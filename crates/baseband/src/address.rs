@@ -1,0 +1,121 @@
+//! Device and member addressing.
+
+use core::fmt;
+
+/// Active member address: identifies one of up to seven active slaves within
+/// a piconet (3-bit field in the baseband header; 0 is the broadcast
+/// address, so slave addresses run 1..=7).
+///
+/// # Examples
+///
+/// ```
+/// use btgs_baseband::AmAddr;
+///
+/// let s1 = AmAddr::new(1).unwrap();
+/// assert_eq!(s1.get(), 1);
+/// assert!(AmAddr::new(0).is_none());
+/// assert!(AmAddr::new(8).is_none());
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct AmAddr(u8);
+
+impl AmAddr {
+    /// Maximum number of active slaves in a piconet.
+    pub const MAX_SLAVES: usize = 7;
+
+    /// Creates an address, returning `None` unless `1 <= addr <= 7`.
+    pub const fn new(addr: u8) -> Option<AmAddr> {
+        if addr >= 1 && addr <= 7 {
+            Some(AmAddr(addr))
+        } else {
+            None
+        }
+    }
+
+    /// The raw 3-bit address value (1..=7).
+    pub const fn get(self) -> u8 {
+        self.0
+    }
+
+    /// Zero-based index (0..=6), convenient for array indexing.
+    pub const fn index(self) -> usize {
+        (self.0 - 1) as usize
+    }
+
+    /// Iterates over all seven possible slave addresses.
+    pub fn all() -> impl Iterator<Item = AmAddr> {
+        (1..=7).map(AmAddr)
+    }
+}
+
+impl fmt::Debug for AmAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "AmAddr({})", self.0)
+    }
+}
+
+impl fmt::Display for AmAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "S{}", self.0)
+    }
+}
+
+impl TryFrom<u8> for AmAddr {
+    type Error = InvalidAmAddr;
+
+    fn try_from(value: u8) -> Result<Self, Self::Error> {
+        AmAddr::new(value).ok_or(InvalidAmAddr(value))
+    }
+}
+
+/// Error returned when converting an out-of-range value to an [`AmAddr`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct InvalidAmAddr(pub u8);
+
+impl fmt::Display for InvalidAmAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid active member address {} (must be 1..=7)", self.0)
+    }
+}
+
+impl std::error::Error for InvalidAmAddr {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn valid_range() {
+        for a in 1..=7u8 {
+            let addr = AmAddr::new(a).unwrap();
+            assert_eq!(addr.get(), a);
+            assert_eq!(addr.index(), (a - 1) as usize);
+        }
+        assert!(AmAddr::new(0).is_none());
+        assert!(AmAddr::new(8).is_none());
+        assert!(AmAddr::new(255).is_none());
+    }
+
+    #[test]
+    fn try_from_reports_value() {
+        assert_eq!(AmAddr::try_from(3).unwrap().get(), 3);
+        let err = AmAddr::try_from(9).unwrap_err();
+        assert_eq!(err, InvalidAmAddr(9));
+        assert!(err.to_string().contains('9'));
+    }
+
+    #[test]
+    fn all_yields_seven() {
+        let v: Vec<AmAddr> = AmAddr::all().collect();
+        assert_eq!(v.len(), 7);
+        assert_eq!(v[0].get(), 1);
+        assert_eq!(v[6].get(), 7);
+    }
+
+    #[test]
+    fn display_and_debug() {
+        let a = AmAddr::new(4).unwrap();
+        assert_eq!(a.to_string(), "S4");
+        assert_eq!(format!("{a:?}"), "AmAddr(4)");
+    }
+}

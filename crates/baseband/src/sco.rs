@@ -1,0 +1,180 @@
+//! SCO (Synchronous Connection-Oriented) link modelling.
+//!
+//! An SCO link reserves a slot pair every `T_sco` slots: the master sends an
+//! HV packet in the reserved even slot and the slave answers with an HV
+//! packet in the following odd slot, with no polling or ARQ. The paper's
+//! conclusion compares its GS poller against an SCO channel: SCO achieves
+//! tight delay bounds but burns its reservation whether or not voice data
+//! benefits, and offers no retransmission.
+
+use crate::packet::PacketType;
+use crate::slot::{slots, SLOT_PAIR};
+use btgs_des::{SimDuration, SimTime};
+use core::fmt;
+
+/// Configuration of one SCO link.
+///
+/// # Examples
+///
+/// ```
+/// use btgs_baseband::{ScoLink, PacketType};
+///
+/// let sco = ScoLink::new(PacketType::Hv3, 0).unwrap();
+/// assert_eq!(sco.interval().as_micros(), 3750);       // every 6 slots
+/// assert_eq!(sco.bandwidth_bytes_per_sec(), 8000.0);  // 64 kbps voice
+/// assert_eq!(sco.reserved_fraction(), 1.0 / 3.0);     // 2 of every 6 slots
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ScoLink {
+    packet: PacketType,
+    /// Offset of the link's reserved slot pair, in slot pairs, within the
+    /// SCO interval (`D_sco` in the specification).
+    offset_pairs: u64,
+}
+
+impl ScoLink {
+    /// Creates an SCO link using the given HV packet type and slot-pair
+    /// offset. Returns `None` if `packet` is not an SCO type or the offset
+    /// does not fit inside the SCO interval.
+    pub fn new(packet: PacketType, offset_pairs: u64) -> Option<ScoLink> {
+        let interval_slots = packet.sco_interval_slots()?;
+        if offset_pairs >= interval_slots / 2 {
+            return None;
+        }
+        Some(ScoLink {
+            packet,
+            offset_pairs,
+        })
+    }
+
+    /// The HV packet type used on this link.
+    pub fn packet(self) -> PacketType {
+        self.packet
+    }
+
+    /// The reservation interval `T_sco` as a duration.
+    pub fn interval(self) -> SimDuration {
+        slots(self.packet.sco_interval_slots().expect("SCO type"))
+    }
+
+    /// Net voice bandwidth carried (bytes per second, each direction).
+    pub fn bandwidth_bytes_per_sec(self) -> f64 {
+        let interval = self.interval().as_secs_f64();
+        self.packet.payload_capacity() as f64 / interval
+    }
+
+    /// Fraction of all slots consumed by this link's reservations.
+    pub fn reserved_fraction(self) -> f64 {
+        2.0 / self.packet.sco_interval_slots().expect("SCO type") as f64
+    }
+
+    /// Start of the first reserved slot pair at or after `t`.
+    pub fn next_reservation(self, t: SimTime) -> SimTime {
+        let interval = self.interval();
+        let offset = SLOT_PAIR * self.offset_pairs;
+        // Reservations sit at k*interval + offset for k = 0,1,2,...
+        if t.as_nanos() <= offset.as_nanos() {
+            return SimTime::ZERO + offset;
+        }
+        let since_offset = t - (SimTime::ZERO + offset);
+        let k = since_offset.div_ceil_duration(interval);
+        SimTime::ZERO + offset + interval * k
+    }
+
+    /// `true` if an exchange occupying `[start, start + dur)` would overlap
+    /// the link's next reservation.
+    pub fn conflicts(self, start: SimTime, dur: SimDuration) -> bool {
+        self.next_reservation(start) < start + dur
+    }
+}
+
+impl fmt::Display for ScoLink {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "SCO({} every {} slots, offset {})",
+            self.packet,
+            self.packet.sco_interval_slots().expect("SCO type"),
+            self.offset_pairs
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_validates() {
+        assert!(ScoLink::new(PacketType::Hv3, 0).is_some());
+        assert!(ScoLink::new(PacketType::Hv3, 2).is_some());
+        assert!(ScoLink::new(PacketType::Hv3, 3).is_none(), "offset too big");
+        assert!(ScoLink::new(PacketType::Hv1, 1).is_none(), "HV1 fills every pair");
+        assert!(ScoLink::new(PacketType::Dh1, 0).is_none(), "not SCO");
+    }
+
+    #[test]
+    fn hv_bandwidths_are_all_64kbps() {
+        for t in [PacketType::Hv1, PacketType::Hv2, PacketType::Hv3] {
+            let sco = ScoLink::new(t, 0).unwrap();
+            assert_eq!(sco.bandwidth_bytes_per_sec(), 8000.0);
+        }
+    }
+
+    #[test]
+    fn reserved_fractions() {
+        assert_eq!(
+            ScoLink::new(PacketType::Hv1, 0).unwrap().reserved_fraction(),
+            1.0
+        );
+        assert_eq!(
+            ScoLink::new(PacketType::Hv2, 0).unwrap().reserved_fraction(),
+            0.5
+        );
+        assert!(
+            (ScoLink::new(PacketType::Hv3, 0).unwrap().reserved_fraction() - 1.0 / 3.0).abs()
+                < 1e-12
+        );
+    }
+
+    #[test]
+    fn next_reservation_walks_the_grid() {
+        let sco = ScoLink::new(PacketType::Hv3, 0).unwrap(); // every 3.75 ms
+        assert_eq!(sco.next_reservation(SimTime::ZERO), SimTime::ZERO);
+        assert_eq!(
+            sco.next_reservation(SimTime::from_nanos(1)),
+            SimTime::from_micros(3750)
+        );
+        assert_eq!(
+            sco.next_reservation(SimTime::from_micros(3750)),
+            SimTime::from_micros(3750)
+        );
+        assert_eq!(
+            sco.next_reservation(SimTime::from_micros(3751)),
+            SimTime::from_micros(7500)
+        );
+    }
+
+    #[test]
+    fn offset_shifts_the_grid() {
+        let sco = ScoLink::new(PacketType::Hv3, 1).unwrap();
+        assert_eq!(sco.next_reservation(SimTime::ZERO), SimTime::from_micros(1250));
+        assert_eq!(
+            sco.next_reservation(SimTime::from_micros(1251)),
+            SimTime::from_micros(5000)
+        );
+    }
+
+    #[test]
+    fn conflict_detection() {
+        let sco = ScoLink::new(PacketType::Hv3, 0).unwrap();
+        // Starting right after a reservation, a 4-slot exchange (2.5 ms)
+        // finishes before the next reservation at 3.75 ms.
+        let start = SimTime::from_micros(1250);
+        assert!(!sco.conflicts(start, slots(4)));
+        // A 6-slot exchange (3.75 ms) would run into it.
+        assert!(sco.conflicts(start, slots(6)));
+        // Starting exactly at a reservation always conflicts.
+        assert!(sco.conflicts(SimTime::from_micros(3750), slots(1)));
+    }
+}

@@ -1,0 +1,51 @@
+//! Criterion micro-benchmark: cost of the Fig. 3 admission routine.
+
+use btgs_baseband::{AmAddr, Direction};
+use btgs_core::{admit, paper_tspec, AdmissionConfig, GsRequest};
+use btgs_traffic::FlowId;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn requests(pairs: u8) -> Vec<GsRequest> {
+    let tspec = paper_tspec();
+    let mut out = Vec::new();
+    for n in 1..=pairs {
+        let s = AmAddr::new(n).expect("<=7");
+        out.push(GsRequest::new(
+            FlowId(2 * n as u32 - 1),
+            s,
+            Direction::MasterToSlave,
+            tspec,
+            8_800.0,
+        ));
+        out.push(GsRequest::new(
+            FlowId(2 * n as u32),
+            s,
+            Direction::SlaveToMaster,
+            tspec,
+            8_800.0,
+        ));
+    }
+    out
+}
+
+fn admission_cost(c: &mut Criterion) {
+    let cfg = AdmissionConfig::paper();
+    // 2 and 4 pairs are admissible; 7 pairs exceed the schedulable
+    // utilisation, so that case measures the full (failing) Audsley search.
+    for pairs in [2u8, 4] {
+        let reqs = requests(pairs);
+        c.bench_function(&format!("admission/{pairs}_bidirectional_pairs"), |b| {
+            b.iter(|| black_box(admit(black_box(&reqs), &cfg)).is_ok())
+        });
+        assert!(admit(&reqs, &cfg).is_ok());
+    }
+    let reqs = requests(7);
+    assert!(admit(&reqs, &cfg).is_err());
+    c.bench_function("admission/7_pairs_rejected", |b| {
+        b.iter(|| black_box(admit(black_box(&reqs), &cfg)).is_err())
+    });
+}
+
+criterion_group!(benches, admission_cost);
+criterion_main!(benches);

@@ -1,0 +1,54 @@
+//! Criterion micro-benchmark: raw event throughput of the DES engine.
+
+use btgs_des::{EventQueue, SimDuration, SimTime, Simulator};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn engine_event_throughput(c: &mut Criterion) {
+    c.bench_function("des/self_rescheduling_event_100k", |b| {
+        b.iter(|| {
+            let mut sim = Simulator::new(0u64);
+            sim.scheduler_mut().schedule_at(SimTime::ZERO, ());
+            sim.run_until(SimTime::from_millis(100_000), |sched, count, ()| {
+                *count += 1;
+                sched.schedule_in(SimDuration::from_millis(1), ());
+            });
+            black_box(*sim.state())
+        })
+    });
+
+    c.bench_function("des/queue_push_pop_10k", |b| {
+        b.iter(|| {
+            let mut q = EventQueue::new();
+            for i in 0..10_000u64 {
+                // Scatter times to exercise heap reordering.
+                q.push(SimTime::from_nanos((i * 2_654_435_761) % 1_000_000), i);
+            }
+            let mut sum = 0u64;
+            while let Some(s) = q.pop() {
+                sum = sum.wrapping_add(s.event);
+            }
+            black_box(sum)
+        })
+    });
+
+    c.bench_function("des/queue_cancel_heavy", |b| {
+        b.iter(|| {
+            let mut q = EventQueue::new();
+            let keys: Vec<_> = (0..10_000u64)
+                .map(|i| q.push(SimTime::from_nanos(i), i))
+                .collect();
+            for k in keys.iter().step_by(2) {
+                q.cancel(*k);
+            }
+            let mut n = 0;
+            while q.pop().is_some() {
+                n += 1;
+            }
+            black_box(n)
+        })
+    });
+}
+
+criterion_group!(benches, engine_event_throughput);
+criterion_main!(benches);

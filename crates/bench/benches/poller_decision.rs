@@ -1,0 +1,63 @@
+//! Criterion micro-benchmark: per-decision cost of each poller.
+
+use btgs_baseband::{AmAddr, Direction, LogicalChannel};
+use btgs_core::{admit, paper_tspec, AdmissionConfig, GsPoller, GsRequest};
+use btgs_des::{SimDuration, SimTime};
+use btgs_piconet::{FlowQueue, FlowSpec, MasterView, Poller};
+use btgs_pollers::{FepPoller, PfpBePoller, RoundRobinPoller};
+use btgs_traffic::FlowId;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn flows() -> Vec<FlowSpec> {
+    let mut out = Vec::new();
+    for n in 1..=7u8 {
+        out.push(FlowSpec::new(
+            FlowId(n as u32),
+            AmAddr::new(n).unwrap(),
+            Direction::SlaveToMaster,
+            LogicalChannel::BestEffort,
+        ));
+    }
+    out
+}
+
+fn bench_poller(c: &mut Criterion, name: &str, poller: &mut dyn Poller) {
+    let flows = flows();
+    let queues: Vec<Option<FlowQueue>> = flows.iter().map(|_| None).collect();
+    c.bench_function(&format!("poller_decide/{name}"), |b| {
+        let mut t = 0u64;
+        b.iter(|| {
+            t += 1_250_000;
+            let now = SimTime::from_nanos(t);
+            let view = MasterView::new(now, &flows, &queues);
+            black_box(poller.decide(now, &view))
+        })
+    });
+}
+
+fn poller_decisions(c: &mut Criterion) {
+    bench_poller(c, "round_robin", &mut RoundRobinPoller::new());
+    bench_poller(c, "fep", &mut FepPoller::new(SimDuration::from_millis(30)));
+    bench_poller(
+        c,
+        "pfp_be",
+        &mut PfpBePoller::new(SimDuration::from_millis(25)),
+    );
+
+    // The GS poller with the paper's four-flow schedule.
+    let tspec = paper_tspec();
+    let s = |n| AmAddr::new(n).unwrap();
+    let reqs = vec![
+        GsRequest::new(FlowId(11), s(1), Direction::SlaveToMaster, tspec, 8800.0),
+        GsRequest::new(FlowId(12), s(2), Direction::MasterToSlave, tspec, 8800.0),
+        GsRequest::new(FlowId(13), s(2), Direction::SlaveToMaster, tspec, 8800.0),
+        GsRequest::new(FlowId(14), s(3), Direction::SlaveToMaster, tspec, 8800.0),
+    ];
+    let outcome = admit(&reqs, &AdmissionConfig::paper()).unwrap();
+    let mut gs = GsPoller::variable(&outcome, SimTime::ZERO);
+    bench_poller(c, "gs_variable", &mut gs);
+}
+
+criterion_group!(benches, poller_decisions);
+criterion_main!(benches);

@@ -1,0 +1,44 @@
+//! Criterion macro-benchmark: simulated seconds per wall second for the
+//! full paper scenario.
+
+use btgs_core::{PaperScenario, PaperScenarioParams, PollerKind};
+use btgs_des::{SimDuration, SimTime};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn sim_throughput(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sim_steady");
+    group.sample_size(10);
+    group.bench_function("paper_scenario_5s_simulated", |b| {
+        b.iter(|| {
+            let scenario = PaperScenario::build(PaperScenarioParams {
+                delay_requirement: SimDuration::from_millis(40),
+                seed: 1,
+                warmup: SimDuration::from_millis(500),
+                include_be: true,
+            });
+            let report = scenario
+                .run(PollerKind::PfpGs, SimTime::from_secs(5))
+                .expect("scenario runs");
+            black_box(report.total_throughput_kbps())
+        })
+    });
+    group.bench_function("gs_only_5s_simulated", |b| {
+        b.iter(|| {
+            let scenario = PaperScenario::build(PaperScenarioParams {
+                delay_requirement: SimDuration::from_millis(40),
+                seed: 1,
+                warmup: SimDuration::from_millis(500),
+                include_be: false,
+            });
+            let report = scenario
+                .run(PollerKind::PfpGs, SimTime::from_secs(5))
+                .expect("scenario runs");
+            black_box(report.total_throughput_kbps())
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, sim_throughput);
+criterion_main!(benches);

@@ -1,0 +1,100 @@
+//! **Ablation B** — the three §3.2 improvements toggled individually:
+//!
+//! * (a) packet-size-aware postponement after a packet's last segment;
+//! * (b) replanning unsuccessful polls from their actual time;
+//! * (c) skipping polls for known-empty master→slave flows.
+
+use btgs_bench::{banner, BenchArgs};
+use btgs_core::{run_point, Improvements, PollerKind};
+use btgs_baseband::AmAddr;
+use btgs_des::SimDuration;
+use btgs_metrics::Table;
+
+fn main() {
+    let args = BenchArgs::parse(60);
+    banner("Ablation: §3.2 improvements (a)/(b)/(c)", &args);
+
+    let variants: [(&str, Improvements); 5] = [
+        ("none (fixed §3.1)", Improvements::NONE),
+        (
+            "(a) only",
+            Improvements {
+                packet_aware: true,
+                replan_from_actual: false,
+                skip_empty_downlink: false,
+            },
+        ),
+        (
+            "(a)+(b)",
+            Improvements {
+                packet_aware: true,
+                replan_from_actual: true,
+                skip_empty_downlink: false,
+            },
+        ),
+        (
+            "(b) only",
+            Improvements {
+                packet_aware: false,
+                replan_from_actual: true,
+                skip_empty_downlink: false,
+            },
+        ),
+        ("(a)+(b)+(c) (§3.2)", Improvements::ALL),
+    ];
+
+    let dreq = SimDuration::from_millis(40);
+    let mut t = Table::new(vec![
+        "improvements",
+        "GS slots/s",
+        "unsuccessful GS polls/s",
+        "BE total [kbps]",
+        "GS max delay",
+        "violations",
+    ]);
+    for (label, improvements) in variants {
+        let point = run_point(
+            dreq,
+            args.seed,
+            args.horizon(),
+            PollerKind::Custom(improvements),
+        );
+        let window_s = point.report.window().as_secs_f64();
+        let max_delay = point
+            .scenario
+            .gs_plans
+            .iter()
+            .map(|p| point.report.flow(p.request.id).delay.max().expect("traffic"))
+            .max()
+            .expect("four GS flows");
+        let violations: usize = point
+            .scenario
+            .gs_plans
+            .iter()
+            .map(|p| {
+                point
+                    .report
+                    .flow(p.request.id)
+                    .delay
+                    .violations_of(p.achievable_bound)
+            })
+            .sum();
+        let be_total: f64 = (4..=7u8)
+            .map(|n| point.report.slave_throughput_kbps(AmAddr::new(n).expect("S4..S7")))
+            .sum();
+        t.row(vec![
+            label.into(),
+            format!("{:.0}", point.report.ledger.gs_total() as f64 / window_s),
+            format!("{:.1}", point.report.gs_polls.unsuccessful as f64 / window_s),
+            format!("{be_total:.1}"),
+            max_delay.to_string(),
+            violations.to_string(),
+        ]);
+    }
+    println!("{}", t.render());
+    println!("Expected: every variant keeps the guarantee; GS slot usage falls as");
+    println!("improvements are added. Improvement (c) has no effect in this scenario:");
+    println!("the only master->slave GS flow (flow 2) shares its polls with uplink");
+    println!("flow 3 (piggybacking), and polls with a possible uplink payload can");
+    println!("never be skipped — the master cannot see the slave's queue.");
+}

@@ -1,0 +1,66 @@
+//! **Ablation C** — conservative vs. exact segment-time accounting.
+//!
+//! The paper charges every GS entity the piconet-wide worst-case exchange
+//! time `U` when computing `y` (both directions could carry a DH3). The
+//! exact model charges only what an entity's own directions can transmit
+//! (POLL + DH3 for a unidirectional uplink flow). Purely analytical.
+
+use btgs_bench::{banner, BenchArgs};
+use btgs_core::{
+    admit, max_admissible_rate, paper_tspec, AdmissionConfig, GsRequest, SegmentTimeModel,
+};
+use btgs_baseband::{AmAddr, Direction};
+use btgs_des::SimDuration;
+use btgs_gs::{delay_bound, ErrorTerms};
+use btgs_metrics::Table;
+use btgs_traffic::FlowId;
+
+fn main() {
+    let args = BenchArgs::parse(1);
+    banner("Ablation: segment-time accounting (conservative vs. exact)", &args);
+
+    let tspec = paper_tspec();
+    let s = |n| AmAddr::new(n).unwrap();
+    let requests = vec![
+        GsRequest::new(FlowId(1), s(1), Direction::SlaveToMaster, tspec, 8800.0),
+        GsRequest::new(FlowId(2), s(2), Direction::MasterToSlave, tspec, 8800.0),
+        GsRequest::new(FlowId(3), s(2), Direction::SlaveToMaster, tspec, 8800.0),
+        GsRequest::new(FlowId(4), s(3), Direction::SlaveToMaster, tspec, 8800.0),
+    ];
+
+    let mut t = Table::new(vec![
+        "model",
+        "entity",
+        "s charged",
+        "y",
+        "R_max [B/s] (Eq. 9)",
+        "min Dreq at R_max",
+    ]);
+    for (model, label) in [
+        (SegmentTimeModel::Conservative, "conservative (paper)"),
+        (SegmentTimeModel::Exact, "exact"),
+    ] {
+        let mut cfg = AdmissionConfig::paper();
+        cfg.segment_time = model;
+        let out = admit(&requests, &cfg).expect("paper set admissible under both models");
+        for e in &out.entities {
+            let r_max = max_admissible_rate(e.eta_min, e.y);
+            let dmin = delay_bound(&tspec, r_max, ErrorTerms::new(e.eta_min, e.y))
+                .expect("R_max >= token rate");
+            t.row(vec![
+                label.into(),
+                format!("{} (prio {})", e.slave, e.priority),
+                e.s.to_string(),
+                e.y.to_string(),
+                format!("{r_max:.0}"),
+                dmin.to_string(),
+            ]);
+        }
+    }
+    println!("{}", t.render());
+    println!("Expected: the exact model charges unidirectional entities 2.5 ms instead");
+    println!("of 3.75 ms, lowering the last entity's y from 11.25 ms to 10 ms and");
+    println!("raising its admissible rate ceiling from 12.8 kB/s to 14.4 kB/s —");
+    println!("tighter delay requirements become admissible.");
+    let _ = SimDuration::ZERO;
+}

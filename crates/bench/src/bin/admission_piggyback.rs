@@ -1,0 +1,111 @@
+//! **Fig. 3 claim** — "taking piggybacking of GS flows into account makes
+//! it possible to accept more GS flows", plus the effect of priority
+//! *reassignment* (Audsley search) over naive arrival-order priorities.
+//!
+//! Purely analytical: for growing sets of bidirectional 64 kbps GS pairs at
+//! increasing rates, counts how many flows each admission variant accepts.
+
+use btgs_bench::{banner, BenchArgs};
+use btgs_core::{
+    admit, paper_tspec, piconet_u, y_max, AdmissionConfig, GsRequest, HigherEntity,
+};
+use btgs_baseband::{AmAddr, Direction};
+use btgs_metrics::Table;
+use btgs_traffic::FlowId;
+
+/// Builds `pairs` bidirectional GS pairs at the given granted rate.
+fn pair_requests(pairs: u8, rate: f64) -> Vec<GsRequest> {
+    let tspec = paper_tspec();
+    let mut out = Vec::new();
+    for n in 1..=pairs {
+        let s = AmAddr::new(n).expect("<=7 pairs");
+        out.push(GsRequest::new(
+            FlowId(2 * n as u32 - 1),
+            s,
+            Direction::MasterToSlave,
+            tspec,
+            rate,
+        ));
+        out.push(GsRequest::new(
+            FlowId(2 * n as u32),
+            s,
+            Direction::SlaveToMaster,
+            tspec,
+            rate,
+        ));
+    }
+    out
+}
+
+/// How many flows of `requests` a given config accepts when flows arrive
+/// one at a time (the paper's incremental setting).
+fn incremental_accepts(requests: &[GsRequest], cfg: &AdmissionConfig) -> usize {
+    let mut accepted: Vec<GsRequest> = Vec::new();
+    for r in requests {
+        let mut trial = accepted.clone();
+        trial.push(r.clone());
+        if admit(&trial, cfg).is_ok() {
+            accepted = trial;
+        }
+    }
+    accepted.len()
+}
+
+/// Arrival-order (no reassignment) feasibility: priorities fixed by
+/// arrival; each entity must satisfy Eq. 9 against the ones before it.
+fn arrival_order_accepts(requests: &[GsRequest], cfg: &AdmissionConfig) -> usize {
+    let tspec = paper_tspec();
+    let eta = 144.0;
+    let u = piconet_u(&cfg.allowed_types);
+    let mut higher: Vec<HigherEntity> = Vec::new();
+    let mut accepted = 0usize;
+    let mut seen_slaves: Vec<AmAddr> = Vec::new();
+    for r in requests {
+        if cfg.piggyback && seen_slaves.contains(&r.slave) {
+            // Counterpart rides on the already-admitted entity.
+            accepted += 1;
+            continue;
+        }
+        let x = btgs_core::poll_interval(eta, r.rate);
+        if y_max(u, &higher, x).is_some() {
+            accepted += 1;
+            seen_slaves.push(r.slave);
+            higher.push(HigherEntity { x, s: u });
+        }
+        let _ = tspec;
+    }
+    accepted
+}
+
+fn main() {
+    let args = BenchArgs::parse(1);
+    banner(
+        "Admission: piggybacking and priority reassignment (Fig. 3)",
+        &args,
+    );
+
+    let mut t = Table::new(vec![
+        "granted rate [B/s]",
+        "offered flows",
+        "accepted (piggyback + reassign)",
+        "accepted (no piggyback)",
+        "accepted (piggyback, arrival order)",
+    ]);
+    for rate in [8_800.0, 9_000.0, 9_600.0, 10_400.0, 11_200.0, 12_800.0, 16_000.0] {
+        let requests = pair_requests(7, rate);
+        let full_cfg = AdmissionConfig::paper();
+        let mut naive_cfg = AdmissionConfig::paper();
+        naive_cfg.piggyback = false;
+        t.row(vec![
+            format!("{rate:.0}"),
+            requests.len().to_string(),
+            incremental_accepts(&requests, &full_cfg).to_string(),
+            incremental_accepts(&requests, &naive_cfg).to_string(),
+            arrival_order_accepts(&requests, &full_cfg).to_string(),
+        ]);
+    }
+    println!("{}", t.render());
+    println!("Expected: the piggyback-aware column dominates the naive one (paper's claim);");
+    println!("for symmetric request sets, arrival order matches the Audsley search, and");
+    println!("falls behind once requests are heterogeneous (see the library tests).");
+}

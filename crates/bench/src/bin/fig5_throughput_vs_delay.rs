@@ -1,0 +1,33 @@
+//! **Fig. 5** — per-slave throughput vs. GS delay requirement.
+//!
+//! The paper's headline figure: seven slaves, four 64 kbps GS flows and
+//! eight BE flows; the requested delay bound sweeps 28–46 ms. Expected
+//! shape (paper): every GS flow stays at 64 kbps regardless of the
+//! requirement (S2 carries two flows → 128 kbps); the BE slaves reach their
+//! maxima at loose bounds and are squeezed to a max-min-fair equal share as
+//! the bound tightens, the lowest-demand slave (S4) saturating first.
+
+use btgs_bench::{banner, BenchArgs};
+use btgs_core::{predicted_be_throughput_kbps, sweep_fig5, PollerKind};
+use btgs_des::SimDuration;
+
+fn main() {
+    let args = BenchArgs::parse(60);
+    banner("Fig. 5: throughput vs. delay requirement (PFP-GS)", &args);
+
+    let requirements: Vec<SimDuration> = (28..=46)
+        .step_by(args.step_ms as usize)
+        .map(SimDuration::from_millis)
+        .collect();
+    let series = sweep_fig5(&requirements, args.seed, args.horizon(), PollerKind::PfpGs);
+    println!("{}", series.to_table().render());
+
+    println!("Reference points:");
+    println!("  paper: GS flat at 64 kbps; BE maxima 83.2 / 94.4 / 105.6 / 116.8 kbps;");
+    println!("         total max 656 kbps incl. 256 kbps GS.");
+    let predicted = predicted_be_throughput_kbps(700.0);
+    println!(
+        "  water-filling prediction at ~700 GS slots/s: S4..S7 = {:.1} / {:.1} / {:.1} / {:.1} kbps",
+        predicted[0], predicted[1], predicted[2], predicted[3]
+    );
+}

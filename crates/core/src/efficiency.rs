@@ -1,0 +1,218 @@
+//! Poll efficiency (the paper's Eq. 4).
+//!
+//! A poll moves one baseband segment per direction, so the number of bytes a
+//! poll moves depends on how the flow's packets segment. The *poll
+//! efficiency* of packet size `L` is `eta(L) = L / n(L)` bytes per poll,
+//! where `n(L)` is the segment count under the flow's segmentation policy
+//! and allowed packet types. The minimum over the flow's packet size range
+//! `[m, M]` — `eta_min` (Eq. 4) — is what the poll interval and the
+//! exported `C` error term must be provisioned for.
+
+use btgs_baseband::PacketType;
+use btgs_piconet::{segment_count, SegmentationPolicy};
+
+/// Poll efficiency of one packet size: `L / n(L)` bytes per poll.
+///
+/// # Panics
+///
+/// Panics if `size` is zero or `allowed` has no data-bearing type.
+///
+/// # Examples
+///
+/// ```
+/// use btgs_core::poll_efficiency;
+/// use btgs_piconet::MaxFirstPolicy;
+/// use btgs_baseband::PacketType;
+///
+/// let allowed = [PacketType::Dh1, PacketType::Dh3];
+/// // One DH3 carries the whole 144-byte packet: 144 bytes/poll.
+/// assert_eq!(poll_efficiency(&MaxFirstPolicy, 144, &allowed), 144.0);
+/// // 184 bytes need DH3+DH1: two polls for 184 bytes = 92 bytes/poll.
+/// assert_eq!(poll_efficiency(&MaxFirstPolicy, 184, &allowed), 92.0);
+/// ```
+pub fn poll_efficiency<P: SegmentationPolicy + ?Sized>(
+    policy: &P,
+    size: u32,
+    allowed: &[PacketType],
+) -> f64 {
+    size as f64 / segment_count(policy, size, allowed) as f64
+}
+
+/// The minimum poll efficiency over all packet sizes in `[min_size,
+/// max_size]` — the paper's Eq. 4:
+/// `eta_min = min_{m <= L <= M} L / n(L)`.
+///
+/// The minimum is found exactly: `n(L)` is a step function of `L`, and
+/// within a run of constant `n`, `L/n` is increasing — so only the sizes
+/// right after each segment-count step (plus `min_size` itself) can attain
+/// the minimum.
+///
+/// # Panics
+///
+/// Panics if `min_size` is zero, `min_size > max_size`, or `allowed` has no
+/// data-bearing type.
+///
+/// # Examples
+///
+/// The paper's evaluation: sizes 144–176 B with DH1+DH3 all fit one DH3, so
+/// the minimum efficiency is attained at 144 B:
+///
+/// ```
+/// use btgs_core::min_poll_efficiency;
+/// use btgs_piconet::MaxFirstPolicy;
+/// use btgs_baseband::PacketType;
+///
+/// let allowed = [PacketType::Dh1, PacketType::Dh3];
+/// let eta = min_poll_efficiency(&MaxFirstPolicy, 144, 176, &allowed);
+/// assert_eq!(eta, 144.0);
+/// ```
+pub fn min_poll_efficiency<P: SegmentationPolicy + ?Sized>(
+    policy: &P,
+    min_size: u32,
+    max_size: u32,
+    allowed: &[PacketType],
+) -> f64 {
+    assert!(min_size > 0, "packet sizes must be positive");
+    assert!(
+        min_size <= max_size,
+        "min_size {min_size} must be <= max_size {max_size}"
+    );
+    let mut best = poll_efficiency(policy, min_size, allowed);
+    let mut n_prev = segment_count(policy, min_size, allowed);
+    let mut size = min_size;
+    // Walk the step function: within a constant-n run, efficiency grows
+    // with L, so candidates are the first size of each run.
+    while size < max_size {
+        // Find the next size where n increases. n is non-decreasing and
+        // bounded; exponential probing keeps this fast for wide ranges.
+        let mut lo = size;
+        let mut hi = size;
+        let mut step = 1u32;
+        loop {
+            let probe = hi.saturating_add(step).min(max_size);
+            if probe == hi {
+                break;
+            }
+            if segment_count(policy, probe, allowed) > n_prev {
+                hi = probe;
+                break;
+            }
+            hi = probe;
+            step = step.saturating_mul(2);
+            if hi == max_size {
+                break;
+            }
+        }
+        if segment_count(policy, hi, allowed) == n_prev {
+            break; // n never increases again within the range
+        }
+        // Binary search for the first size with the larger count.
+        while lo + 1 < hi {
+            let mid = lo + (hi - lo) / 2;
+            if segment_count(policy, mid, allowed) > n_prev {
+                hi = mid;
+            } else {
+                lo = mid;
+            }
+        }
+        size = hi;
+        n_prev = segment_count(policy, size, allowed);
+        best = best.min(poll_efficiency(policy, size, allowed));
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use btgs_piconet::MaxFirstPolicy;
+
+    const PAPER: [PacketType; 2] = [PacketType::Dh1, PacketType::Dh3];
+
+    /// Brute-force reference implementation.
+    fn eta_min_brute(min_size: u32, max_size: u32, allowed: &[PacketType]) -> f64 {
+        (min_size..=max_size)
+            .map(|l| poll_efficiency(&MaxFirstPolicy, l, allowed))
+            .fold(f64::INFINITY, f64::min)
+    }
+
+    #[test]
+    fn paper_eta_min_is_144() {
+        assert_eq!(min_poll_efficiency(&MaxFirstPolicy, 144, 176, &PAPER), 144.0);
+    }
+
+    #[test]
+    fn minimum_sits_just_past_a_boundary() {
+        // Range straddling the DH3 boundary: 184 = DH3+DH1 gives 92 B/poll,
+        // the worst in [150, 200].
+        let eta = min_poll_efficiency(&MaxFirstPolicy, 150, 200, &PAPER);
+        assert_eq!(eta, 92.0);
+    }
+
+    #[test]
+    fn single_size_range() {
+        assert_eq!(min_poll_efficiency(&MaxFirstPolicy, 27, 27, &PAPER), 27.0);
+        assert_eq!(min_poll_efficiency(&MaxFirstPolicy, 28, 28, &PAPER), 28.0);
+    }
+
+    #[test]
+    fn matches_brute_force_on_assorted_ranges() {
+        for (lo, hi) in [
+            (1u32, 27u32),
+            (1, 200),
+            (100, 400),
+            (144, 176),
+            (180, 190),
+            (366, 400),
+            (1, 1000),
+        ] {
+            let fast = min_poll_efficiency(&MaxFirstPolicy, lo, hi, &PAPER);
+            let brute = eta_min_brute(lo, hi, &PAPER);
+            assert_eq!(fast, brute, "range [{lo}, {hi}]");
+        }
+    }
+
+    #[test]
+    fn dh1_only_efficiency() {
+        let dh1 = [PacketType::Dh1];
+        // 28 bytes over DH1: two segments, 14 B/poll.
+        assert_eq!(min_poll_efficiency(&MaxFirstPolicy, 27, 28, &dh1), 14.0);
+        // Wide range: worst case is 27k+1 bytes for minimal k in range.
+        let eta = min_poll_efficiency(&MaxFirstPolicy, 27, 1000, &dh1);
+        assert_eq!(eta, eta_min_brute(27, 1000, &dh1));
+    }
+
+    #[test]
+    #[should_panic(expected = "must be <=")]
+    fn inverted_range_panics() {
+        let _ = min_poll_efficiency(&MaxFirstPolicy, 10, 5, &PAPER);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use btgs_piconet::MaxFirstPolicy;
+    use proptest::prelude::*;
+
+    fn arb_allowed() -> impl Strategy<Value = Vec<PacketType>> {
+        proptest::sample::subsequence(PacketType::ACL_DATA.to_vec(), 1..=6)
+    }
+
+    proptest! {
+        /// The optimized minimum must equal the brute-force minimum.
+        #[test]
+        fn matches_brute_force(
+            lo in 1u32..600,
+            width in 0u32..300,
+            allowed in arb_allowed(),
+        ) {
+            let hi = lo + width;
+            let fast = min_poll_efficiency(&MaxFirstPolicy, lo, hi, &allowed);
+            let brute = (lo..=hi)
+                .map(|l| poll_efficiency(&MaxFirstPolicy, l, &allowed))
+                .fold(f64::INFINITY, f64::min);
+            prop_assert_eq!(fast, brute);
+        }
+    }
+}

@@ -1,0 +1,161 @@
+//! Experiment runners for the paper's evaluation (§4).
+
+use crate::scenario::{PaperScenario, PaperScenarioParams, PollerKind};
+use btgs_baseband::AmAddr;
+use btgs_des::{SimDuration, SimTime};
+use btgs_metrics::SweepSeries;
+use btgs_piconet::RunReport;
+
+/// One point of the Fig. 5 sweep: the scenario, its run report, and the
+/// per-slave throughputs.
+#[derive(Clone, Debug)]
+pub struct SweepPoint {
+    /// The requested delay bound of this point.
+    pub delay_requirement: SimDuration,
+    /// The derived scenario.
+    pub scenario: PaperScenario,
+    /// The simulation result.
+    pub report: RunReport,
+}
+
+impl SweepPoint {
+    /// Throughput of slave `n` (1..=7) in kbit/s.
+    pub fn slave_kbps(&self, n: u8) -> f64 {
+        self.report
+            .slave_throughput_kbps(AmAddr::new(n).expect("slave 1..=7"))
+    }
+}
+
+/// Runs one scenario point.
+///
+/// # Panics
+///
+/// Panics if the scenario fails to build or run — a bug, not an input
+/// condition, for the paper's parameter ranges.
+pub fn run_point(
+    delay_requirement: SimDuration,
+    seed: u64,
+    horizon: SimTime,
+    kind: PollerKind,
+) -> SweepPoint {
+    let scenario = PaperScenario::build(PaperScenarioParams {
+        delay_requirement,
+        seed,
+        ..Default::default()
+    });
+    let report = scenario
+        .run(kind, horizon)
+        .expect("paper scenario must simulate");
+    SweepPoint {
+        delay_requirement,
+        scenario,
+        report,
+    }
+}
+
+/// Reproduces the paper's Fig. 5: per-slave throughput as a function of the
+/// GS delay requirement.
+///
+/// Returns a [`SweepSeries`] whose x-axis is the delay requirement in
+/// seconds and whose seven series are the slaves' throughputs in kbit/s,
+/// labelled as in the paper's legend.
+pub fn sweep_fig5(
+    requirements: &[SimDuration],
+    seed: u64,
+    horizon: SimTime,
+    kind: PollerKind,
+) -> SweepSeries {
+    let mut series = SweepSeries::new("Delay requirement [s]");
+    for n in 1..=7u8 {
+        series.add_series(PaperScenario::slave_legend(
+            AmAddr::new(n).expect("1..=7"),
+        ));
+    }
+    for &dreq in requirements {
+        let point = run_point(dreq, seed, horizon, kind);
+        let ys: Vec<f64> = (1..=7u8).map(|n| point.slave_kbps(n)).collect();
+        series.push_x(dreq.as_secs_f64(), &ys);
+    }
+    series
+}
+
+/// The delay requirements of the paper's Fig. 5 x-axis: 28–46 ms.
+pub fn fig5_requirements(step_ms: u64) -> Vec<SimDuration> {
+    assert!(step_ms > 0, "step must be positive");
+    (28..=46)
+        .step_by(step_ms as usize)
+        .map(SimDuration::from_millis)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use btgs_baseband::LogicalChannel;
+
+    #[test]
+    fn single_point_runs_and_gs_flows_hit_64kbps() {
+        let point = run_point(
+            SimDuration::from_millis(40),
+            7,
+            SimTime::from_secs(12),
+            PollerKind::PfpGs,
+        );
+        // Each GS flow delivers its full 64 kbps.
+        for id in point.report.flows_on(LogicalChannel::GuaranteedService) {
+            let kbps = point.report.throughput_kbps(id);
+            assert!(
+                (kbps - 64.0).abs() < 2.0,
+                "{id}: {kbps} kbps (expected ~64)"
+            );
+        }
+        // Per-slave: S2 carries two GS flows.
+        assert!((point.slave_kbps(2) - 128.0).abs() < 4.0, "{}", point.slave_kbps(2));
+    }
+
+    #[test]
+    fn delay_bounds_hold_in_the_guaranteed_region() {
+        let point = run_point(
+            SimDuration::from_millis(40),
+            3,
+            SimTime::from_secs(12),
+            PollerKind::PfpGs,
+        );
+        for plan in &point.scenario.gs_plans {
+            assert!(plan.guaranteed);
+            let r = point.report.flow(plan.request.id);
+            assert!(r.delay.count() > 0, "{} saw no packets", plan.request.id);
+            let max = r.delay.max().expect("non-empty");
+            assert!(
+                max <= plan.achievable_bound,
+                "{}: max delay {} exceeds bound {}",
+                plan.request.id,
+                max,
+                plan.achievable_bound
+            );
+        }
+    }
+
+    #[test]
+    fn fig5_requirement_grid() {
+        let grid = fig5_requirements(2);
+        assert_eq!(grid.first().copied(), Some(SimDuration::from_millis(28)));
+        assert_eq!(grid.last().copied(), Some(SimDuration::from_millis(46)));
+        assert_eq!(grid.len(), 10);
+    }
+
+    #[test]
+    fn mini_sweep_shape() {
+        // A small, fast sweep: BE throughput must not increase when the
+        // requirement tightens, and GS stays flat.
+        let reqs = [SimDuration::from_millis(30), SimDuration::from_millis(44)];
+        let series = sweep_fig5(&reqs, 5, SimTime::from_secs(8), PollerKind::PfpGs);
+        let s1 = series.series("S1 (GS) flow 1").unwrap();
+        assert!((s1[0] - s1[1]).abs() < 3.0, "GS throughput should be flat");
+        let s7 = series.series("S7 (BE) flow 11+12").unwrap();
+        assert!(
+            s7[0] <= s7[1] + 2.0,
+            "BE throughput should not grow at tighter bounds: {s7:?}"
+        );
+    }
+}

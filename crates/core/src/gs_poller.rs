@@ -1,0 +1,539 @@
+//! The Guaranteed Service pollers (§3.1, §3.2, and the PFP implementation
+//! evaluated in §4).
+//!
+//! One engine covers all three flavours:
+//!
+//! * [`GsPoller::fixed`] — §3.1: polls planned on a rigid `x_i` grid;
+//! * [`GsPoller::variable`] — §3.2: the grid plus improvements (a)–(c);
+//! * [`GsPoller::pfp`] — the paper's evaluation vehicle: the variable
+//!   interval poller for GS entities, with the leftover slots handed to an
+//!   inner best-effort poller (PFP-BE from `btgs-pollers`).
+//!
+//! Due GS polls always win over best-effort service and execute in priority
+//! order — the property the `y_i` computation of Fig. 2 relies on.
+
+use crate::admission::AdmissionOutcome;
+use crate::plan::{Improvements, PollOutcome, PollPlan};
+use btgs_baseband::{AmAddr, Direction, LogicalChannel};
+use btgs_des::SimTime;
+use btgs_piconet::{ExchangeReport, MasterView, PollDecision, Poller, SegmentOutcome};
+use btgs_traffic::FlowId;
+use std::cell::Cell;
+use std::rc::Rc;
+
+struct EntityState {
+    slave: AmAddr,
+    accounting_flow: FlowId,
+    accounting_direction: Direction,
+    can_skip: bool,
+    plan: PollPlan,
+    pending_planned: Option<SimTime>,
+}
+
+/// Shared counters exposed by a [`GsPoller`] (readable after the simulation
+/// consumed the poller box).
+#[derive(Clone, Debug, Default)]
+pub struct GsPollerStats {
+    skipped: Rc<Cell<u64>>,
+    executed: Rc<Cell<u64>>,
+}
+
+impl GsPollerStats {
+    /// GS polls skipped by improvement (c).
+    pub fn skipped_polls(&self) -> u64 {
+        self.skipped.get()
+    }
+
+    /// GS polls issued.
+    pub fn executed_polls(&self) -> u64 {
+        self.executed.get()
+    }
+}
+
+/// The paper's Guaranteed Service poller.
+///
+/// Construct one from an [`AdmissionOutcome`]; the poller then plans polls
+/// for every admitted entity and serves best-effort traffic (through an
+/// optional inner poller) whenever no GS poll is due.
+///
+/// # Examples
+///
+/// ```
+/// use btgs_core::{admit, AdmissionConfig, GsPoller, GsRequest};
+/// use btgs_baseband::{AmAddr, Direction};
+/// use btgs_gs::TokenBucketSpec;
+/// use btgs_traffic::FlowId;
+/// use btgs_des::SimTime;
+///
+/// let tspec = TokenBucketSpec::for_cbr(0.020, 144, 176)?;
+/// let req = GsRequest::new(
+///     FlowId(1),
+///     AmAddr::new(1).unwrap(),
+///     Direction::SlaveToMaster,
+///     tspec,
+///     8800.0,
+/// );
+/// let outcome = admit(&[req], &AdmissionConfig::paper()).unwrap();
+/// let poller = GsPoller::variable(&outcome, SimTime::ZERO);
+/// # Ok::<(), btgs_traffic::InvalidTSpec>(())
+/// ```
+pub struct GsPoller {
+    entities: Vec<EntityState>,
+    be: Option<Box<dyn Poller>>,
+    improvements: Improvements,
+    stats: GsPollerStats,
+    name: &'static str,
+}
+
+impl GsPoller {
+    /// The fixed-interval poller of §3.1.
+    ///
+    /// # Panics
+    ///
+    /// Panics if two entities of `outcome` share a slave (piggybacking must
+    /// be resolved by admission before polling).
+    pub fn fixed(outcome: &AdmissionOutcome, start: SimTime) -> GsPoller {
+        GsPoller::with_improvements(outcome, start, Improvements::NONE).named("gs-fixed")
+    }
+
+    /// The variable-interval poller of §3.2 (all three improvements).
+    ///
+    /// # Panics
+    ///
+    /// See [`GsPoller::fixed`].
+    pub fn variable(outcome: &AdmissionOutcome, start: SimTime) -> GsPoller {
+        GsPoller::with_improvements(outcome, start, Improvements::ALL).named("gs-variable")
+    }
+
+    /// The PFP implementation evaluated in the paper's §4: the variable
+    /// interval poller with leftover slots delegated to `be`.
+    ///
+    /// # Panics
+    ///
+    /// See [`GsPoller::fixed`].
+    pub fn pfp(outcome: &AdmissionOutcome, start: SimTime, be: Box<dyn Poller>) -> GsPoller {
+        GsPoller::with_improvements(outcome, start, Improvements::ALL)
+            .with_best_effort(be)
+            .named("pfp-gs")
+    }
+
+    /// A poller with an explicit improvement selection (the ablation
+    /// surface of the bench suite).
+    ///
+    /// # Panics
+    ///
+    /// Panics if two entities of `outcome` share a slave.
+    pub fn with_improvements(
+        outcome: &AdmissionOutcome,
+        start: SimTime,
+        improvements: Improvements,
+    ) -> GsPoller {
+        let mut entities: Vec<EntityState> = Vec::with_capacity(outcome.entities.len());
+        for e in &outcome.entities {
+            assert!(
+                entities.iter().all(|x| x.slave != e.slave),
+                "entity slaves must be unique; admit with piggybacking enabled"
+            );
+            entities.push(EntityState {
+                slave: e.slave,
+                accounting_flow: e.accounting_flow,
+                accounting_direction: e.accounting_direction,
+                can_skip: e.can_skip,
+                plan: PollPlan::new(e.x, e.rate, improvements, start),
+                pending_planned: None,
+            });
+        }
+        // `outcome.entities` is priority-sorted; keep that order.
+        GsPoller {
+            entities,
+            be: None,
+            improvements,
+            stats: GsPollerStats::default(),
+            name: "gs-custom",
+        }
+    }
+
+    /// Attaches an inner best-effort poller (builder style).
+    #[must_use]
+    pub fn with_best_effort(mut self, be: Box<dyn Poller>) -> GsPoller {
+        self.be = Some(be);
+        self
+    }
+
+    fn named(mut self, name: &'static str) -> GsPoller {
+        self.name = name;
+        self
+    }
+
+    /// A handle to the poller's counters that stays readable after the
+    /// simulation has consumed the poller.
+    pub fn stats(&self) -> GsPollerStats {
+        self.stats.clone()
+    }
+
+    /// The earliest planned GS poll.
+    fn next_gs_plan(&self) -> Option<SimTime> {
+        self.entities.iter().map(|e| e.plan.next_poll()).min()
+    }
+}
+
+impl Poller for GsPoller {
+    fn decide(&mut self, now: SimTime, view: &MasterView<'_>) -> PollDecision {
+        // Improvement (c): skip due polls of downlink-only entities whose
+        // queue the master knows to be empty.
+        if self.improvements.skip_empty_downlink {
+            for e in &mut self.entities {
+                if !e.can_skip {
+                    continue;
+                }
+                while e.plan.is_due(now) && !view.downlink_has_data(e.accounting_flow, now) {
+                    e.plan.skip();
+                    self.stats.skipped.set(self.stats.skipped.get() + 1);
+                }
+            }
+        }
+        // Due GS polls execute in priority order (entities are stored
+        // highest priority first).
+        if let Some(e) = self.entities.iter_mut().find(|e| e.plan.is_due(now)) {
+            e.pending_planned = Some(e.plan.next_poll());
+            self.stats.executed.set(self.stats.executed.get() + 1);
+            return PollDecision::Poll {
+                slave: e.slave,
+                channel: LogicalChannel::GuaranteedService,
+            };
+        }
+        // No GS work: hand the slot to best effort, but never past the next
+        // planned GS poll.
+        let next_gs = self.next_gs_plan();
+        let be_decision = match &mut self.be {
+            Some(be) => be.decide(now, view),
+            None => PollDecision::Sleep,
+        };
+        match (be_decision, next_gs) {
+            (PollDecision::Poll { slave, channel }, _) => PollDecision::Poll { slave, channel },
+            (PollDecision::Idle { until }, Some(gs)) => PollDecision::Idle {
+                until: until.min(gs),
+            },
+            (PollDecision::Idle { until }, None) => PollDecision::Idle { until },
+            (PollDecision::Sleep, Some(gs)) => PollDecision::Idle { until: gs },
+            (PollDecision::Sleep, None) => PollDecision::Sleep,
+        }
+    }
+
+    fn on_exchange(&mut self, report: &ExchangeReport) {
+        if report.channel == LogicalChannel::GuaranteedService {
+            if let Some(e) = self.entities.iter_mut().find(|e| e.slave == report.slave) {
+                let acct = match e.accounting_direction {
+                    Direction::MasterToSlave => &report.down,
+                    Direction::SlaveToMaster => &report.up,
+                };
+                let outcome = match acct {
+                    SegmentOutcome::Data {
+                        flow,
+                        segment,
+                        delivered,
+                        ..
+                    } if *flow == e.accounting_flow => {
+                        if segment.is_last && *delivered {
+                            PollOutcome::LastSegment {
+                                packet_size: segment.packet_size,
+                                first_segment: segment.is_first,
+                            }
+                        } else {
+                            PollOutcome::MidSegment {
+                                // A lost first segment is retransmitted; the
+                                // packet's first *successful* plan anchor is
+                                // set on the first transmission either way.
+                                first_segment: segment.is_first,
+                            }
+                        }
+                    }
+                    _ => PollOutcome::Unsuccessful,
+                };
+                let planned = e.pending_planned.take().unwrap_or(report.start);
+                e.plan.on_poll(planned, report.start, outcome);
+            }
+        }
+        if let Some(be) = &mut self.be {
+            be.on_exchange(report);
+        }
+    }
+
+    fn on_downlink_arrival(&mut self, flow: FlowId, now: SimTime) {
+        if let Some(be) = &mut self.be {
+            be.on_downlink_arrival(flow, now);
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        self.name
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::admission::{admit, AdmissionConfig, GsRequest};
+    use btgs_gs::TokenBucketSpec;
+    use btgs_piconet::{FlowQueue, FlowSpec, SegmentPlan};
+    use btgs_traffic::AppPacket;
+
+    fn s(n: u8) -> AmAddr {
+        AmAddr::new(n).unwrap()
+    }
+
+    fn tspec() -> TokenBucketSpec {
+        TokenBucketSpec::for_cbr(0.020, 144, 176).unwrap()
+    }
+
+    fn outcome_two_uplinks() -> AdmissionOutcome {
+        admit(
+            &[
+                GsRequest::new(FlowId(1), s(1), Direction::SlaveToMaster, tspec(), 8800.0),
+                GsRequest::new(FlowId(2), s(2), Direction::SlaveToMaster, tspec(), 8800.0),
+            ],
+            &AdmissionConfig::paper(),
+        )
+        .unwrap()
+    }
+
+    fn gs_data_report(
+        slave: AmAddr,
+        flow: FlowId,
+        start: SimTime,
+        is_last: bool,
+        is_first: bool,
+        packet_size: u32,
+    ) -> ExchangeReport {
+        ExchangeReport {
+            start,
+            end: start + btgs_baseband::slots(4),
+            slave,
+            channel: LogicalChannel::GuaranteedService,
+            down: SegmentOutcome::Control {
+                ty: btgs_baseband::PacketType::Poll,
+            },
+            up: SegmentOutcome::Data {
+                flow,
+                segment: SegmentPlan {
+                    ty: btgs_baseband::PacketType::Dh3,
+                    bytes: packet_size.min(183),
+                    is_last,
+                    is_first,
+                    packet_seq: 0,
+                    packet_size,
+                    packet_arrival: SimTime::ZERO,
+                },
+                delivered: true,
+                retransmission: false,
+            },
+        }
+    }
+
+    fn gs_empty_report(slave: AmAddr, start: SimTime) -> ExchangeReport {
+        ExchangeReport {
+            start,
+            end: start + btgs_baseband::slots(2),
+            slave,
+            channel: LogicalChannel::GuaranteedService,
+            down: SegmentOutcome::Control {
+                ty: btgs_baseband::PacketType::Poll,
+            },
+            up: SegmentOutcome::Control {
+                ty: btgs_baseband::PacketType::Null,
+            },
+        }
+    }
+
+    #[test]
+    fn due_polls_run_in_priority_order() {
+        let out = outcome_two_uplinks();
+        let mut poller = GsPoller::variable(&out, SimTime::ZERO);
+        let flows = [
+            FlowSpec::new(FlowId(1), s(1), Direction::SlaveToMaster, LogicalChannel::GuaranteedService),
+            FlowSpec::new(FlowId(2), s(2), Direction::SlaveToMaster, LogicalChannel::GuaranteedService),
+        ];
+        let queues = vec![None, None];
+        let view = MasterView::new(SimTime::ZERO, &flows, &queues);
+        // Both due at t = 0; S1 has priority 1.
+        match poller.decide(SimTime::ZERO, &view) {
+            PollDecision::Poll { slave, channel } => {
+                assert_eq!(slave, s(1));
+                assert_eq!(channel, LogicalChannel::GuaranteedService);
+            }
+            other => panic!("{other:?}"),
+        }
+        // After S1's poll completes (unsuccessfully), S2 is next.
+        poller.on_exchange(&gs_empty_report(s(1), SimTime::ZERO));
+        match poller.decide(SimTime::from_micros(1250), &view) {
+            PollDecision::Poll { slave, .. } => assert_eq!(slave, s(2)),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn idles_until_next_plan_when_nothing_due() {
+        let out = outcome_two_uplinks();
+        let mut poller = GsPoller::variable(&out, SimTime::ZERO);
+        let flows = [
+            FlowSpec::new(FlowId(1), s(1), Direction::SlaveToMaster, LogicalChannel::GuaranteedService),
+            FlowSpec::new(FlowId(2), s(2), Direction::SlaveToMaster, LogicalChannel::GuaranteedService),
+        ];
+        let queues = vec![None, None];
+        // Execute both due polls.
+        poller.on_exchange(&gs_empty_report(s(1), SimTime::ZERO));
+        poller.on_exchange(&gs_empty_report(s(2), SimTime::from_micros(1250)));
+        let t = SimTime::from_micros(2500);
+        let view = MasterView::new(t, &flows, &queues);
+        match poller.decide(t, &view) {
+            PollDecision::Idle { until } => {
+                // Improvement (b): next = actual + x = 0 + 16.36 ms.
+                assert_eq!(until.as_nanos(), 16_363_636);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn variable_poller_uses_improvement_a() {
+        let out = outcome_two_uplinks();
+        let mut poller = GsPoller::variable(&out, SimTime::ZERO);
+        // S1's poll at plan 0 returns a 176-byte last segment.
+        let flows: [FlowSpec; 0] = [];
+        let queues: Vec<Option<FlowQueue>> = vec![];
+        let view = MasterView::new(SimTime::ZERO, &flows, &queues);
+        let _ = poller.decide(SimTime::ZERO, &view); // capture planned = 0
+        poller.on_exchange(&gs_data_report(s(1), FlowId(1), SimTime::ZERO, true, true, 176));
+        // Next plan = 176 / 8800 s = 20 ms (> planned + x = 16.36 ms).
+        assert_eq!(poller.entities[0].plan.next_poll(), SimTime::from_millis(20));
+    }
+
+    #[test]
+    fn fixed_poller_ignores_packet_size() {
+        let out = outcome_two_uplinks();
+        let mut poller = GsPoller::fixed(&out, SimTime::ZERO);
+        let flows: [FlowSpec; 0] = [];
+        let queues: Vec<Option<FlowQueue>> = vec![];
+        let view = MasterView::new(SimTime::ZERO, &flows, &queues);
+        let _ = poller.decide(SimTime::ZERO, &view);
+        poller.on_exchange(&gs_data_report(s(1), FlowId(1), SimTime::ZERO, true, true, 176));
+        assert_eq!(
+            poller.entities[0].plan.next_poll().as_nanos(),
+            16_363_636,
+            "fixed interval regardless of packet size"
+        );
+    }
+
+    #[test]
+    fn skip_empty_downlink_entity() {
+        let out = admit(
+            &[GsRequest::new(
+                FlowId(1),
+                s(1),
+                Direction::MasterToSlave,
+                tspec(),
+                8800.0,
+            )],
+            &AdmissionConfig::paper(),
+        )
+        .unwrap();
+        let mut poller = GsPoller::variable(&out, SimTime::ZERO);
+        let stats = poller.stats();
+        let flows = [FlowSpec::new(
+            FlowId(1),
+            s(1),
+            Direction::MasterToSlave,
+            LogicalChannel::GuaranteedService,
+        )];
+        // Empty downlink queue: the due poll is skipped, the poller idles.
+        let queues = vec![Some(FlowQueue::new())];
+        let view = MasterView::new(SimTime::ZERO, &flows, &queues);
+        match poller.decide(SimTime::ZERO, &view) {
+            PollDecision::Idle { until } => assert_eq!(until.as_nanos(), 16_363_636),
+            other => panic!("{other:?}"),
+        }
+        assert_eq!(stats.skipped_polls(), 1);
+        assert_eq!(stats.executed_polls(), 0);
+        // With data present, the poll happens.
+        let mut q = FlowQueue::new();
+        q.push(AppPacket::new(0, FlowId(1), 160, SimTime::from_millis(17)));
+        let queues = vec![Some(q)];
+        let t = SimTime::from_millis(17);
+        let view = MasterView::new(t, &flows, &queues);
+        match poller.decide(t, &view) {
+            PollDecision::Poll { slave, .. } => assert_eq!(slave, s(1)),
+            other => panic!("{other:?}"),
+        }
+        assert_eq!(stats.executed_polls(), 1);
+    }
+
+    #[test]
+    fn fixed_poller_never_skips() {
+        let out = admit(
+            &[GsRequest::new(
+                FlowId(1),
+                s(1),
+                Direction::MasterToSlave,
+                tspec(),
+                8800.0,
+            )],
+            &AdmissionConfig::paper(),
+        )
+        .unwrap();
+        let mut poller = GsPoller::fixed(&out, SimTime::ZERO);
+        let flows = [FlowSpec::new(
+            FlowId(1),
+            s(1),
+            Direction::MasterToSlave,
+            LogicalChannel::GuaranteedService,
+        )];
+        let queues = vec![Some(FlowQueue::new())];
+        let view = MasterView::new(SimTime::ZERO, &flows, &queues);
+        // Fixed poller polls even with a known-empty queue.
+        match poller.decide(SimTime::ZERO, &view) {
+            PollDecision::Poll { slave, .. } => assert_eq!(slave, s(1)),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn be_decisions_capped_by_next_gs_plan() {
+        use btgs_pollers::RoundRobinPoller;
+        let out = outcome_two_uplinks();
+        let mut poller =
+            GsPoller::variable(&out, SimTime::ZERO).with_best_effort(Box::new(RoundRobinPoller::new()));
+        // Drain the due GS polls first.
+        poller.on_exchange(&gs_empty_report(s(1), SimTime::ZERO));
+        poller.on_exchange(&gs_empty_report(s(2), SimTime::from_micros(1250)));
+        // A BE slave exists: the inner round robin polls it.
+        let flows = [
+            FlowSpec::new(FlowId(1), s(1), Direction::SlaveToMaster, LogicalChannel::GuaranteedService),
+            FlowSpec::new(FlowId(9), s(6), Direction::SlaveToMaster, LogicalChannel::BestEffort),
+        ];
+        let queues = vec![None, None];
+        let t = SimTime::from_micros(2500);
+        let view = MasterView::new(t, &flows, &queues);
+        match poller.decide(t, &view) {
+            PollDecision::Poll { slave, channel } => {
+                assert_eq!(slave, s(6));
+                assert_eq!(channel, LogicalChannel::BestEffort);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn name_reflects_flavour() {
+        let out = outcome_two_uplinks();
+        assert_eq!(GsPoller::fixed(&out, SimTime::ZERO).name(), "gs-fixed");
+        assert_eq!(GsPoller::variable(&out, SimTime::ZERO).name(), "gs-variable");
+        let pfp = GsPoller::pfp(
+            &out,
+            SimTime::ZERO,
+            Box::new(btgs_pollers::PfpBePoller::new(
+                btgs_des::SimDuration::from_millis(20),
+            )),
+        );
+        assert_eq!(pfp.name(), "pfp-gs");
+    }
+}

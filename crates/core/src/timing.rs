@@ -1,0 +1,167 @@
+//! Poll intervals and segment-exchange times (the paper's Eq. 5 and the
+//! `U`/`s_i` quantities of Fig. 2).
+
+use btgs_baseband::{slots, PacketType};
+use btgs_des::SimDuration;
+
+/// The poll interval of Eq. 5: `x_i = eta_min_i / R_i` for a granted fluid
+/// rate of `rate` bytes/second.
+///
+/// # Panics
+///
+/// Panics unless both arguments are positive and finite.
+///
+/// # Examples
+///
+/// The paper's evaluation: `eta_min = 144 B`, `R = r = 8800 B/s` gives
+/// `x = 16.36 ms`:
+///
+/// ```
+/// use btgs_core::poll_interval;
+///
+/// let x = poll_interval(144.0, 8800.0);
+/// assert_eq!(x.as_micros(), 16_363);
+/// ```
+pub fn poll_interval(eta_min: f64, rate: f64) -> SimDuration {
+    assert!(
+        eta_min.is_finite() && eta_min > 0.0,
+        "eta_min must be positive and finite, got {eta_min}"
+    );
+    assert!(
+        rate.is_finite() && rate > 0.0,
+        "rate must be positive and finite, got {rate}"
+    );
+    SimDuration::from_secs_f64(eta_min / rate)
+}
+
+/// The longest on-air time of a data packet among `allowed`, in slots.
+/// Control packets (POLL/NULL) take one slot.
+pub fn max_data_slots(allowed: &[PacketType]) -> u64 {
+    allowed
+        .iter()
+        .filter(|t| t.is_acl_data())
+        .map(|t| t.slots())
+        .max()
+        .unwrap_or(1)
+}
+
+/// The piconet-wide maximum segment-exchange time `U` of Fig. 2: the longest
+/// possible downlink-plus-uplink transmission, assuming any node may use the
+/// largest allowed packet in either direction. Ongoing exchanges cannot be
+/// interrupted, so every planned poll may have to wait this long.
+///
+/// # Examples
+///
+/// DH1+DH3 allowed: both master and slave may send a DH3, so
+/// `U = 6 slots = 3.75 ms` — the paper's evaluation value:
+///
+/// ```
+/// use btgs_core::piconet_u;
+/// use btgs_baseband::PacketType;
+///
+/// let u = piconet_u(&[PacketType::Dh1, PacketType::Dh3]);
+/// assert_eq!(u.as_micros(), 3_750);
+/// ```
+pub fn piconet_u(allowed: &[PacketType]) -> SimDuration {
+    slots(2 * max_data_slots(allowed))
+}
+
+/// How the per-entity segment-exchange time `s_i` of Fig. 2 is accounted.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum SegmentTimeModel {
+    /// The paper's accounting: charge every GS entity the piconet-wide
+    /// worst case `U` ("the possibility must be taken into account that
+    /// both the master and the addressed slave transmit a DH3 packet").
+    /// Reproduces the paper's `y` values.
+    #[default]
+    Conservative,
+    /// Tighter accounting: charge only what the entity's own directions can
+    /// actually transmit (a unidirectional uplink entity costs
+    /// POLL + data, not data + data). Admits more/faster flows; ablated in
+    /// the bench suite.
+    Exact,
+}
+
+/// The segment-exchange time `s_i` of one GS entity under the given model.
+///
+/// `has_downlink`/`has_uplink` say which directions carry GS data for this
+/// entity; a direction without data still costs one slot (POLL or NULL).
+pub fn segment_exchange_time(
+    model: SegmentTimeModel,
+    allowed: &[PacketType],
+    has_downlink: bool,
+    has_uplink: bool,
+) -> SimDuration {
+    match model {
+        SegmentTimeModel::Conservative => piconet_u(allowed),
+        SegmentTimeModel::Exact => {
+            let data = max_data_slots(allowed);
+            let down = if has_downlink { data } else { 1 };
+            let up = if has_uplink { data } else { 1 };
+            slots(down + up)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const PAPER: [PacketType; 2] = [PacketType::Dh1, PacketType::Dh3];
+
+    #[test]
+    fn paper_poll_interval() {
+        let x = poll_interval(144.0, 8800.0);
+        assert_eq!(x.as_nanos(), 16_363_636);
+        // Higher granted rate -> shorter interval.
+        assert!(poll_interval(144.0, 12_800.0) < x);
+        assert_eq!(poll_interval(144.0, 12_800.0), SimDuration::from_micros(11_250));
+    }
+
+    #[test]
+    #[should_panic(expected = "rate must be positive")]
+    fn zero_rate_rejected() {
+        let _ = poll_interval(144.0, 0.0);
+    }
+
+    #[test]
+    fn u_values() {
+        assert_eq!(piconet_u(&PAPER), SimDuration::from_micros(3_750));
+        assert_eq!(piconet_u(&[PacketType::Dh1]), SimDuration::from_micros(1_250));
+        assert_eq!(
+            piconet_u(&PacketType::ACL_DATA),
+            SimDuration::from_micros(6_250)
+        );
+        // Control-only set falls back to 1 slot per direction.
+        assert_eq!(piconet_u(&[]), SimDuration::from_micros(1_250));
+    }
+
+    #[test]
+    fn conservative_charges_u_regardless() {
+        for (down, up) in [(true, true), (true, false), (false, true)] {
+            assert_eq!(
+                segment_exchange_time(SegmentTimeModel::Conservative, &PAPER, down, up),
+                SimDuration::from_micros(3_750)
+            );
+        }
+    }
+
+    #[test]
+    fn exact_charges_per_direction() {
+        // Bidirectional: DH3 + DH3 = 6 slots.
+        assert_eq!(
+            segment_exchange_time(SegmentTimeModel::Exact, &PAPER, true, true),
+            SimDuration::from_micros(3_750)
+        );
+        // Uplink only: POLL + DH3 = 4 slots = 2.5 ms.
+        assert_eq!(
+            segment_exchange_time(SegmentTimeModel::Exact, &PAPER, false, true),
+            SimDuration::from_micros(2_500)
+        );
+        // Downlink only: DH3 + NULL = 4 slots.
+        assert_eq!(
+            segment_exchange_time(SegmentTimeModel::Exact, &PAPER, true, false),
+            SimDuration::from_micros(2_500)
+        );
+    }
+}

@@ -1,0 +1,233 @@
+//! The maximum poll delay `y_i` (the paper's Fig. 2 algorithm).
+//!
+//! A planned poll can be delayed by (a) one ongoing, uninterruptible
+//! exchange — at most the piconet-wide `U` — and (b) the polls of every
+//! higher-priority flow that fall due while it waits. Fig. 2 computes the
+//! fixed point
+//!
+//! ```text
+//! y <- U + sum over higher-priority flows k of  ceil(y / x_k) * s_k
+//! ```
+//!
+//! starting from `y = U`, aborting when `y` exceeds the flow's own poll
+//! interval `x_i` (at that point Eq. 9, `y_i <= x_i`, is already violated,
+//! so the flow is infeasible at this priority).
+
+use btgs_des::SimDuration;
+
+/// One higher-priority GS entity as seen by the `y` computation: its poll
+/// interval `x_k` and segment-exchange time `s_k`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct HigherEntity {
+    /// The entity's poll interval `x_k`.
+    pub x: SimDuration,
+    /// The entity's segment-exchange time `s_k`.
+    pub s: SimDuration,
+}
+
+/// Computes `y_i` for an entity with poll interval `x_i`, given the
+/// piconet-wide maximum exchange time `u` and the set of strictly
+/// higher-priority entities. Returns `None` if the fixed point exceeds
+/// `x_i` (the entity is infeasible at this priority, Eq. 9).
+///
+/// # Panics
+///
+/// Panics if `u`, `x_i`, or any `x_k`/`s_k` is zero.
+///
+/// # Examples
+///
+/// The paper's evaluation numbers (`U = s = 3.75 ms`, `x = 16.36 ms`):
+///
+/// ```
+/// use btgs_core::{y_max, HigherEntity};
+/// use btgs_des::SimDuration;
+///
+/// let u = SimDuration::from_micros(3_750);
+/// let x = SimDuration::from_micros(16_364);
+/// let e = HigherEntity { x, s: u };
+///
+/// // Highest priority: y = U = 3.75 ms.
+/// assert_eq!(y_max(u, &[], x), Some(u));
+/// // One higher entity: y = 7.5 ms.
+/// assert_eq!(y_max(u, &[e], x), Some(SimDuration::from_micros(7_500)));
+/// // Two higher entities: y = 11.25 ms.
+/// assert_eq!(y_max(u, &[e, e], x), Some(SimDuration::from_micros(11_250)));
+/// ```
+pub fn y_max(u: SimDuration, higher: &[HigherEntity], x_i: SimDuration) -> Option<SimDuration> {
+    y_fixpoint(u, higher, x_i)
+}
+
+/// The raw Fig. 2 fixed point with an arbitrary abort bound `cap` (where
+/// [`y_max`] uses the entity's own `x_i`). Useful for computing the
+/// *achievable* poll delay of an over-committed entity: pass a loose cap
+/// and interpret `None` as divergence.
+///
+/// # Panics
+///
+/// Panics under the same conditions as [`y_max`].
+pub fn y_fixpoint(
+    u: SimDuration,
+    higher: &[HigherEntity],
+    cap: SimDuration,
+) -> Option<SimDuration> {
+    assert!(!u.is_zero(), "U must be positive");
+    assert!(!cap.is_zero(), "cap must be positive");
+    for h in higher {
+        assert!(
+            !h.x.is_zero() && !h.s.is_zero(),
+            "higher-entity x and s must be positive"
+        );
+    }
+    let mut y = u;
+    loop {
+        if y > cap {
+            return None; // Fig. 2 step f: avoid the infinite loop.
+        }
+        let mut next = u;
+        for h in higher {
+            next += h.s * y.div_ceil_duration(h.x);
+        }
+        if next == y {
+            return Some(y);
+        }
+        debug_assert!(next > y, "the Fig. 2 iteration is monotone");
+        y = next;
+    }
+}
+
+/// The largest rate admissible at a given priority position (the paper's
+/// Eq. 9 rearranged): `R_max = eta_min / y`, in bytes/second.
+///
+/// # Panics
+///
+/// Panics if `y` is zero or `eta_min` is not positive.
+pub fn max_admissible_rate(eta_min: f64, y: SimDuration) -> f64 {
+    assert!(
+        eta_min.is_finite() && eta_min > 0.0,
+        "eta_min must be positive, got {eta_min}"
+    );
+    assert!(!y.is_zero(), "y must be positive");
+    eta_min / y.as_secs_f64()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn us(v: u64) -> SimDuration {
+        SimDuration::from_micros(v)
+    }
+
+    const U: SimDuration = SimDuration::from_micros(3_750);
+
+    #[test]
+    fn paper_values() {
+        let x = us(16_364);
+        let e = HigherEntity { x, s: U };
+        assert_eq!(y_max(U, &[], x), Some(us(3_750)));
+        assert_eq!(y_max(U, &[e], x), Some(us(7_500)));
+        assert_eq!(y_max(U, &[e, e], x), Some(us(11_250)));
+    }
+
+    #[test]
+    fn paper_rmax_is_12800() {
+        let r = max_admissible_rate(144.0, us(11_250));
+        assert!((r - 12_800.0).abs() < 1e-9, "{r}");
+    }
+
+    #[test]
+    fn infeasible_when_y_exceeds_x() {
+        // Tight own interval: even U alone does not fit.
+        assert_eq!(y_max(U, &[], us(2_000)), None);
+        // Higher-priority load pushes y past x.
+        let busy = HigherEntity { x: us(4_000), s: U };
+        assert_eq!(y_max(U, &[busy, busy], us(12_000)), None);
+    }
+
+    #[test]
+    fn boundary_y_equals_x_is_feasible() {
+        // y converges exactly to x_i: Eq. 9 holds with equality.
+        let e = HigherEntity { x: us(16_364), s: U };
+        assert_eq!(y_max(U, &[e], us(7_500)), Some(us(7_500)));
+    }
+
+    #[test]
+    fn multiple_iterations_needed() {
+        // Small higher-priority interval: the first estimate wakes more
+        // higher-priority polls, which wake more, until the fixpoint.
+        let e = HigherEntity {
+            x: us(5_000),
+            s: us(1_250),
+        };
+        // y0 = 3750 -> ceil(3750/5000)=1 -> y1 = 5000
+        // -> ceil(5000/5000)=1 -> y2 = 5000: fixpoint.
+        assert_eq!(y_max(U, &[e], us(20_000)), Some(us(5_000)));
+        // Two of them:
+        // y0=3750 -> 2*1250+3750 = 6250 -> ceil(6250/5000)=2 ->
+        // 2*2500+3750 = 8750 -> ceil(8750/5000)=2 -> fixpoint 8750.
+        assert_eq!(y_max(U, &[e, e], us(20_000)), Some(us(8_750)));
+    }
+
+    #[test]
+    fn y_is_monotone_in_the_higher_set() {
+        let x = us(50_000);
+        let e = HigherEntity { x: us(10_000), s: us(2_500) };
+        let mut last = SimDuration::ZERO;
+        for k in 0..4 {
+            let higher = vec![e; k];
+            let y = y_max(U, &higher, x).expect("feasible");
+            assert!(y >= last, "y must grow with more higher-priority flows");
+            last = y;
+        }
+    }
+
+    #[test]
+    fn divergent_load_is_rejected_not_looped() {
+        // Higher-priority utilisation >= 1: s/x = 1.25 -> no fixpoint.
+        let hog = HigherEntity { x: us(1_000), s: us(1_250) };
+        assert_eq!(y_max(U, &[hog], us(1_000_000)), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_x_rejected() {
+        let _ = y_max(U, &[], SimDuration::ZERO);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// When `y_max` returns a value it must (a) satisfy Eq. 9
+        /// (`y <= x_i`), (b) be a true fixed point of the Fig. 2 iteration,
+        /// and (c) be at least `U`.
+        #[test]
+        fn fixpoint_invariants(
+            u_us in 625u64..10_000,
+            x_i_us in 625u64..200_000,
+            higher in proptest::collection::vec((625u64..100_000, 625u64..6_250), 0..6),
+        ) {
+            let u = SimDuration::from_micros(u_us);
+            let x_i = SimDuration::from_micros(x_i_us);
+            let hs: Vec<HigherEntity> = higher
+                .iter()
+                .map(|(x, s)| HigherEntity {
+                    x: SimDuration::from_micros(*x),
+                    s: SimDuration::from_micros(*s),
+                })
+                .collect();
+            if let Some(y) = y_max(u, &hs, x_i) {
+                prop_assert!(y <= x_i, "Eq. 9 violated");
+                prop_assert!(y >= u, "y below the uninterruptible-exchange floor");
+                let mut recomputed = u;
+                for h in &hs {
+                    recomputed += h.s * y.div_ceil_duration(h.x);
+                }
+                prop_assert_eq!(recomputed, y, "not a fixed point");
+            }
+        }
+    }
+}

@@ -1,0 +1,356 @@
+//! The pending-event set: a time-ordered priority queue with cancellation.
+
+use crate::time::SimTime;
+use core::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// Handle to a scheduled event, usable to [cancel](EventQueue::cancel) it.
+///
+/// Keys are unique for the lifetime of the queue: a key is never reused for a
+/// different event, so a stale key is safely rejected rather than cancelling
+/// an unrelated event.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct EventKey {
+    slot: u32,
+    generation: u32,
+}
+
+/// An event popped from the queue.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Scheduled<E> {
+    /// The instant the event fires.
+    pub time: SimTime,
+    /// The event payload.
+    pub event: E,
+}
+
+#[derive(Clone, Copy, PartialEq, Eq)]
+struct HeapEntry {
+    time: SimTime,
+    seq: u64,
+    slot: u32,
+    generation: u32,
+}
+
+impl Ord for HeapEntry {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; invert so the earliest (time, seq) pops
+        // first. `seq` makes same-time events fire in scheduling order (FIFO),
+        // which keeps runs deterministic.
+        other
+            .time
+            .cmp(&self.time)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+impl PartialOrd for HeapEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+struct Slot<E> {
+    generation: u32,
+    payload: Option<E>,
+}
+
+/// A pending-event set ordered by `(time, insertion order)`.
+///
+/// Same-time events pop in the order they were pushed, which makes runs
+/// reproducible without relying on heap internals.
+///
+/// # Examples
+///
+/// ```
+/// use btgs_des::{EventQueue, SimTime};
+///
+/// let mut q = EventQueue::new();
+/// q.push(SimTime::from_millis(2), "late");
+/// let key = q.push(SimTime::from_millis(1), "early");
+/// q.push(SimTime::from_millis(1), "early2");
+///
+/// assert!(q.cancel(key).is_some());
+/// let first = q.pop().unwrap();
+/// assert_eq!(first.event, "early2");
+/// assert_eq!(q.pop().unwrap().event, "late");
+/// assert!(q.pop().is_none());
+/// ```
+pub struct EventQueue<E> {
+    heap: BinaryHeap<HeapEntry>,
+    slots: Vec<Slot<E>>,
+    free: Vec<u32>,
+    next_seq: u64,
+    live: usize,
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> EventQueue<E> {
+    /// Creates an empty queue.
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            slots: Vec::new(),
+            free: Vec::new(),
+            next_seq: 0,
+            live: 0,
+        }
+    }
+
+    /// Number of live (not yet popped or cancelled) events.
+    pub fn len(&self) -> usize {
+        self.live
+    }
+
+    /// `true` if no live events remain.
+    pub fn is_empty(&self) -> bool {
+        self.live == 0
+    }
+
+    /// Schedules `event` at `time` and returns a key that can cancel it.
+    pub fn push(&mut self, time: SimTime, event: E) -> EventKey {
+        let slot = match self.free.pop() {
+            Some(idx) => {
+                let s = &mut self.slots[idx as usize];
+                debug_assert!(s.payload.is_none());
+                s.payload = Some(event);
+                idx
+            }
+            None => {
+                let idx = u32::try_from(self.slots.len()).expect("event queue slot overflow");
+                self.slots.push(Slot {
+                    generation: 0,
+                    payload: Some(event),
+                });
+                idx
+            }
+        };
+        let generation = self.slots[slot as usize].generation;
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(HeapEntry {
+            time,
+            seq,
+            slot,
+            generation,
+        });
+        self.live += 1;
+        EventKey { slot, generation }
+    }
+
+    /// Cancels a scheduled event, returning its payload if it was still
+    /// pending. Stale keys (already fired or cancelled) return `None`.
+    pub fn cancel(&mut self, key: EventKey) -> Option<E> {
+        let slot = self.slots.get_mut(key.slot as usize)?;
+        if slot.generation != key.generation {
+            return None;
+        }
+        let payload = slot.payload.take()?;
+        self.retire_slot(key.slot);
+        self.live -= 1;
+        Some(payload)
+    }
+
+    /// The firing time of the earliest pending event.
+    pub fn peek_time(&mut self) -> Option<SimTime> {
+        self.skim_dead();
+        self.heap.peek().map(|e| e.time)
+    }
+
+    /// Removes and returns the earliest pending event.
+    pub fn pop(&mut self) -> Option<Scheduled<E>> {
+        loop {
+            let entry = self.heap.pop()?;
+            let slot = &mut self.slots[entry.slot as usize];
+            if slot.generation != entry.generation {
+                continue; // cancelled, slot already reused
+            }
+            let Some(event) = slot.payload.take() else {
+                continue; // cancelled, slot not yet reused
+            };
+            self.retire_slot(entry.slot);
+            self.live -= 1;
+            return Some(Scheduled {
+                time: entry.time,
+                event,
+            });
+        }
+    }
+
+    /// Drops dead (cancelled) entries off the top of the heap so `peek_time`
+    /// reports a live event.
+    fn skim_dead(&mut self) {
+        while let Some(entry) = self.heap.peek() {
+            let slot = &self.slots[entry.slot as usize];
+            if slot.generation == entry.generation && slot.payload.is_some() {
+                return;
+            }
+            self.heap.pop();
+        }
+    }
+
+    fn retire_slot(&mut self, idx: u32) {
+        let slot = &mut self.slots[idx as usize];
+        slot.generation = slot.generation.wrapping_add(1);
+        self.free.push(idx);
+    }
+}
+
+impl<E: core::fmt::Debug> core::fmt::Debug for EventQueue<E> {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.debug_struct("EventQueue")
+            .field("live", &self.live)
+            .finish_non_exhaustive()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(ms: u64) -> SimTime {
+        SimTime::from_millis(ms)
+    }
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.push(t(5), 5);
+        q.push(t(1), 1);
+        q.push(t(3), 3);
+        let order: Vec<i32> = std::iter::from_fn(|| q.pop().map(|s| s.event)).collect();
+        assert_eq!(order, vec![1, 3, 5]);
+    }
+
+    #[test]
+    fn same_time_is_fifo() {
+        let mut q = EventQueue::new();
+        for i in 0..10 {
+            q.push(t(7), i);
+        }
+        let order: Vec<i32> = std::iter::from_fn(|| q.pop().map(|s| s.event)).collect();
+        assert_eq!(order, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn cancel_removes_event() {
+        let mut q = EventQueue::new();
+        let a = q.push(t(1), "a");
+        q.push(t(2), "b");
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.cancel(a), Some("a"));
+        assert_eq!(q.len(), 1);
+        assert_eq!(q.pop().unwrap().event, "b");
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn stale_keys_are_rejected() {
+        let mut q = EventQueue::new();
+        let a = q.push(t(1), 1);
+        assert!(q.cancel(a).is_some());
+        assert!(q.cancel(a).is_none(), "double cancel");
+        // Slot gets reused by a fresh event; old key must not touch it.
+        let _b = q.push(t(2), 2);
+        assert!(q.cancel(a).is_none(), "stale key after reuse");
+        assert_eq!(q.pop().unwrap().event, 2);
+    }
+
+    #[test]
+    fn key_of_popped_event_is_stale() {
+        let mut q = EventQueue::new();
+        let a = q.push(t(1), 1);
+        assert_eq!(q.pop().unwrap().event, 1);
+        assert!(q.cancel(a).is_none());
+    }
+
+    #[test]
+    fn peek_time_skips_cancelled() {
+        let mut q = EventQueue::new();
+        let a = q.push(t(1), 1);
+        q.push(t(4), 4);
+        q.cancel(a);
+        assert_eq!(q.peek_time(), Some(t(4)));
+    }
+
+    #[test]
+    fn empty_queue_behaviour() {
+        let mut q: EventQueue<()> = EventQueue::new();
+        assert!(q.is_empty());
+        assert_eq!(q.len(), 0);
+        assert_eq!(q.peek_time(), None);
+        assert!(q.pop().is_none());
+    }
+
+    #[test]
+    fn heavy_mixed_usage_stays_consistent() {
+        let mut q = EventQueue::new();
+        let mut keys = Vec::new();
+        for round in 0u64..50 {
+            for i in 0..20 {
+                keys.push(q.push(t(round * 10 + i % 7), (round, i)));
+            }
+            // Cancel every third key from this round.
+            let start = keys.len() - 20;
+            for k in keys[start..].iter().step_by(3) {
+                q.cancel(*k);
+            }
+        }
+        let mut last = SimTime::ZERO;
+        let mut popped = 0;
+        while let Some(s) = q.pop() {
+            assert!(s.time >= last, "time order violated");
+            last = s.time;
+            popped += 1;
+        }
+        // 20 per round, 7 cancelled per round (indices 0,3,6,...,18).
+        assert_eq!(popped, 50 * (20 - 7));
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// Popping must always yield a non-decreasing time sequence and
+        /// same-time events in FIFO order, under any interleaving of pushes
+        /// and cancels.
+        #[test]
+        fn ordering_invariant(ops in proptest::collection::vec((0u64..100, proptest::bool::ANY), 1..200)) {
+            let mut q = EventQueue::new();
+            let mut keys = Vec::new();
+            let mut expect_live = 0usize;
+            for (i, (time_ms, cancel_one)) in ops.iter().enumerate() {
+                keys.push(q.push(SimTime::from_millis(*time_ms), i));
+                expect_live += 1;
+                if *cancel_one && !keys.is_empty() {
+                    let k = keys.remove(keys.len() / 2);
+                    if q.cancel(k).is_some() {
+                        expect_live -= 1;
+                    }
+                }
+            }
+            prop_assert_eq!(q.len(), expect_live);
+            let mut last: Option<(SimTime, usize)> = None;
+            let mut count = 0usize;
+            while let Some(s) = q.pop() {
+                if let Some((lt, lseq)) = last {
+                    prop_assert!(s.time >= lt);
+                    if s.time == lt {
+                        prop_assert!(s.event > lseq, "FIFO within same timestamp");
+                    }
+                }
+                last = Some((s.time, s.event));
+                count += 1;
+            }
+            prop_assert_eq!(count, expect_live);
+        }
+    }
+}

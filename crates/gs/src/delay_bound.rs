@@ -1,0 +1,349 @@
+//! The RFC 2212 end-to-end delay bound (the paper's Eq. 1) and its inverse.
+
+use crate::error_terms::ErrorTerms;
+use btgs_des::SimDuration;
+use btgs_traffic::TokenBucketSpec;
+use core::fmt;
+
+/// Errors from the delay-bound computations.
+#[derive(Clone, Debug, PartialEq)]
+pub enum GsError {
+    /// The requested rate is below the flow's token rate `r`; the
+    /// Guaranteed Service requires `R >= r`.
+    RateBelowTokenRate {
+        /// The offending requested rate (bytes/s).
+        requested: f64,
+        /// The flow's token rate (bytes/s).
+        token_rate: f64,
+    },
+    /// The requested delay bound cannot be met at any finite rate because it
+    /// does not exceed the rate-independent deviation `Dtot`.
+    DelayBelowDtot {
+        /// The requested bound.
+        requested: SimDuration,
+        /// The path's rate-independent deviation.
+        dtot: SimDuration,
+    },
+}
+
+impl fmt::Display for GsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GsError::RateBelowTokenRate { requested, token_rate } => write!(
+                f,
+                "requested rate {requested} B/s is below the token rate {token_rate} B/s"
+            ),
+            GsError::DelayBelowDtot { requested, dtot } => write!(
+                f,
+                "requested delay bound {requested} does not exceed the path Dtot {dtot}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for GsError {}
+
+/// Computes the RFC 2212 end-to-end queueing delay bound (the paper's
+/// Eq. 1) for a flow described by `tspec`, served at fluid rate
+/// `rate` bytes/s over a path with accumulated deviations `terms`.
+///
+/// ```text
+/// p > R >= r:  D = (b-M)/R * (p-R)/(p-r) + (M + Ctot)/R + Dtot
+/// R >= p >= r: D = (M + Ctot)/R + Dtot
+/// ```
+///
+/// # Errors
+///
+/// Returns [`GsError::RateBelowTokenRate`] if `rate < r`.
+///
+/// # Examples
+///
+/// The paper's evaluation numbers: `M = 176 B`, `Ctot = 144 B`,
+/// `Dtot = 11.25 ms`, `R = r = 8800 B/s` gives the never-exceeded bound
+/// `320/8800 s + 11.25 ms ≈ 47.6 ms`:
+///
+/// ```
+/// use btgs_des::SimDuration;
+/// use btgs_gs::{delay_bound, ErrorTerms};
+/// use btgs_traffic::TokenBucketSpec;
+///
+/// let tspec = TokenBucketSpec::for_cbr(0.020, 144, 176)?;
+/// let terms = ErrorTerms::new(144.0, SimDuration::from_micros(11_250));
+/// let bound = delay_bound(&tspec, 8800.0, terms).unwrap();
+/// assert_eq!(bound.as_micros(), 47_613); // 36.36 ms + 11.25 ms
+/// # Ok::<(), btgs_traffic::InvalidTSpec>(())
+/// ```
+pub fn delay_bound(
+    tspec: &TokenBucketSpec,
+    rate: f64,
+    terms: ErrorTerms,
+) -> Result<SimDuration, GsError> {
+    let r = tspec.token_rate();
+    let p = tspec.peak_rate();
+    let b = tspec.bucket_depth();
+    let m_big = tspec.max_packet() as f64;
+    if rate < r {
+        return Err(GsError::RateBelowTokenRate {
+            requested: rate,
+            token_rate: r,
+        });
+    }
+    let fixed = (m_big + terms.c_bytes()) / rate;
+    let queueing = if p > rate {
+        // p > R >= r: the burst term applies.
+        (b - m_big) / rate * (p - rate) / (p - r) + fixed
+    } else {
+        // R >= p >= r.
+        fixed
+    };
+    Ok(SimDuration::from_secs_f64(queueing) + terms.d())
+}
+
+/// Computes the minimum fluid rate `R` (bytes/s) whose [`delay_bound`] does
+/// not exceed `target` — the computation a GS receiver performs to turn a
+/// desired delay bound into a rate request.
+///
+/// The returned rate is never below the token rate `r` (requesting less
+/// than `r` is not allowed, and `r` already meets any bound that loose).
+///
+/// # Errors
+///
+/// Returns [`GsError::DelayBelowDtot`] if `target <= Dtot` (no finite rate
+/// can meet it).
+///
+/// # Examples
+///
+/// ```
+/// use btgs_des::SimDuration;
+/// use btgs_gs::{delay_bound, required_rate, ErrorTerms};
+/// use btgs_traffic::TokenBucketSpec;
+///
+/// let tspec = TokenBucketSpec::for_cbr(0.020, 144, 176)?;
+/// let terms = ErrorTerms::new(144.0, SimDuration::from_micros(11_250));
+/// let target = SimDuration::from_micros(36_250);
+/// let rate = required_rate(&tspec, target, terms).unwrap();
+/// assert!((rate - 12_800.0).abs() < 1e-6); // the paper's R_max
+/// assert!(delay_bound(&tspec, rate, terms).unwrap() <= target);
+/// # Ok::<(), btgs_traffic::InvalidTSpec>(())
+/// ```
+pub fn required_rate(
+    tspec: &TokenBucketSpec,
+    target: SimDuration,
+    terms: ErrorTerms,
+) -> Result<f64, GsError> {
+    let r = tspec.token_rate();
+    let p = tspec.peak_rate();
+    let b = tspec.bucket_depth();
+    let m_big = tspec.max_packet() as f64;
+    if target <= terms.d() {
+        return Err(GsError::DelayBelowDtot {
+            requested: target,
+            dtot: terms.d(),
+        });
+    }
+    // Queueing budget once the rate-independent part is spent.
+    let q = (target - terms.d()).as_secs_f64();
+    let mc = m_big + terms.c_bytes();
+
+    // Try the high-rate branch first: R >= p, bound = (M + Ctot)/R.
+    let r_high = mc / q;
+    if r_high >= p {
+        return Ok(r_high.max(r));
+    }
+    // Otherwise the solution (if any beyond r) lies in r <= R < p:
+    //   (b-M)/(p-r) * (p-R)/R + (M+C)/R = q
+    // Writing A = (b-M)/(p-r):  R = (A*p + M + C) / (q + A).
+    if p > r {
+        let a = (b - m_big) / (p - r);
+        let r_low = (a * p + mc) / (q + a);
+        Ok(r_low.max(r))
+    } else {
+        // p == r: only R >= p is admissible, and r_high < p means the token
+        // rate itself already satisfies the bound.
+        Ok(r)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn paper_tspec() -> TokenBucketSpec {
+        TokenBucketSpec::for_cbr(0.020, 144, 176).unwrap()
+    }
+
+    fn paper_terms() -> ErrorTerms {
+        ErrorTerms::new(144.0, SimDuration::from_micros(11_250))
+    }
+
+    #[test]
+    fn rejects_rate_below_token_rate() {
+        let err = delay_bound(&paper_tspec(), 8000.0, paper_terms()).unwrap_err();
+        assert!(matches!(err, GsError::RateBelowTokenRate { .. }));
+        assert!(err.to_string().contains("8000"));
+    }
+
+    #[test]
+    fn paper_dmax_at_token_rate() {
+        // Substituting R = r in Eq. 1: (176+144)/8800 + 11.25 ms = 47.61 ms.
+        let bound = delay_bound(&paper_tspec(), 8800.0, paper_terms()).unwrap();
+        let expect = SimDuration::from_secs_f64(320.0 / 8800.0) + SimDuration::from_micros(11_250);
+        assert_eq!(bound, expect);
+        assert_eq!(bound.as_millis(), 47);
+    }
+
+    #[test]
+    fn paper_dmin_at_max_rate() {
+        // R_max = 12.8 kB/s gives 25 ms + 11.25 ms = 36.25 ms.
+        let bound = delay_bound(&paper_tspec(), 12_800.0, paper_terms()).unwrap();
+        assert_eq!(bound, SimDuration::from_micros(36_250));
+    }
+
+    #[test]
+    fn bound_is_monotone_decreasing_in_rate() {
+        let tspec = paper_tspec();
+        let terms = paper_terms();
+        let mut last = SimDuration::MAX;
+        for rate in [8800.0, 9600.0, 11_000.0, 12_800.0, 20_000.0, 100_000.0] {
+            let b = delay_bound(&tspec, rate, terms).unwrap();
+            assert!(b <= last, "bound must not increase with rate");
+            last = b;
+        }
+    }
+
+    #[test]
+    fn bound_approaches_dtot_at_infinite_rate() {
+        let b = delay_bound(&paper_tspec(), 1e12, paper_terms()).unwrap();
+        assert!(b - paper_terms().d() < SimDuration::from_nanos(1_000));
+    }
+
+    #[test]
+    fn bursty_flow_uses_the_slope_term() {
+        // p > R: a bursty flow (b >> M) at modest rate.
+        let tspec = TokenBucketSpec::new(20_000.0, 5_000.0, 2_000.0, 100, 500).unwrap();
+        let terms = ErrorTerms::ZERO;
+        let bound_low = delay_bound(&tspec, 6_000.0, terms).unwrap();
+        // By hand: (2000-500)/6000 * (20000-6000)/(20000-5000) + 500/6000
+        let by_hand = 1500.0 / 6000.0 * (14_000.0 / 15_000.0) + 500.0 / 6000.0;
+        assert_eq!(bound_low, SimDuration::from_secs_f64(by_hand));
+        // And the burst term vanishes once R >= p.
+        let bound_high = delay_bound(&tspec, 20_000.0, terms).unwrap();
+        assert_eq!(bound_high, SimDuration::from_secs_f64(500.0 / 20_000.0));
+    }
+
+    #[test]
+    fn required_rate_inverts_bound_high_branch() {
+        let tspec = paper_tspec();
+        let terms = paper_terms();
+        for target_us in [36_250u64, 40_000, 45_000, 47_000] {
+            let target = SimDuration::from_micros(target_us);
+            let rate = required_rate(&tspec, target, terms).unwrap();
+            let achieved = delay_bound(&tspec, rate, terms).unwrap();
+            assert!(
+                achieved <= target + SimDuration::from_nanos(1),
+                "target {target}: rate {rate} gives {achieved}"
+            );
+            // Minimality: 1% less rate (if still >= r) must violate.
+            let lower = rate * 0.99;
+            if lower >= tspec.token_rate() && rate > tspec.token_rate() {
+                let worse = delay_bound(&tspec, lower, terms).unwrap();
+                assert!(worse > target, "rate was not minimal");
+            }
+        }
+    }
+
+    #[test]
+    fn required_rate_clamps_to_token_rate_for_loose_bounds() {
+        let rate = required_rate(&paper_tspec(), SimDuration::from_secs(1), paper_terms()).unwrap();
+        assert_eq!(rate, 8800.0);
+    }
+
+    #[test]
+    fn required_rate_rejects_unreachable_targets() {
+        let err =
+            required_rate(&paper_tspec(), SimDuration::from_micros(11_250), paper_terms())
+                .unwrap_err();
+        assert!(matches!(err, GsError::DelayBelowDtot { .. }));
+    }
+
+    #[test]
+    fn required_rate_inverts_bound_low_branch() {
+        // A flow with p > r so the burst branch is exercised.
+        let tspec = TokenBucketSpec::new(20_000.0, 5_000.0, 2_000.0, 100, 500).unwrap();
+        let terms = ErrorTerms::new(50.0, SimDuration::from_millis(2));
+        // Pick a target met somewhere in r < R < p.
+        let target = delay_bound(&tspec, 8_000.0, terms).unwrap();
+        let rate = required_rate(&tspec, target, terms).unwrap();
+        assert!((rate - 8_000.0).abs() < 1e-6, "got {rate}");
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// required_rate must invert delay_bound: the returned rate meets
+        /// the target, and (when above r) shaving 1% off violates it.
+        #[test]
+        fn inversion_round_trip(
+            p_extra in 0.0f64..20_000.0,
+            r in 1_000.0f64..20_000.0,
+            b_extra in 0.0f64..5_000.0,
+            m_small in 32u32..200,
+            m_extra in 0u32..400,
+            c in 0.0f64..500.0,
+            d_us in 0u64..20_000,
+            target_extra_us in 1u64..200_000,
+        ) {
+            let m_big = m_small + m_extra;
+            let tspec = TokenBucketSpec::new(
+                r + p_extra,
+                r,
+                m_big as f64 + b_extra,
+                m_small,
+                m_big,
+            ).unwrap();
+            let terms = ErrorTerms::new(c, SimDuration::from_micros(d_us));
+            let target = terms.d() + SimDuration::from_micros(target_extra_us);
+            let rate = required_rate(&tspec, target, terms).unwrap();
+            prop_assert!(rate >= tspec.token_rate());
+            let achieved = delay_bound(&tspec, rate, terms).unwrap();
+            prop_assert!(
+                achieved <= target + SimDuration::from_nanos(10),
+                "rate {rate} gives {achieved} > {target}"
+            );
+            if rate * 0.99 >= tspec.token_rate() {
+                let worse = delay_bound(&tspec, rate * 0.99, terms).unwrap();
+                prop_assert!(
+                    worse + SimDuration::from_nanos(10) >= target,
+                    "rate {rate} not minimal: {worse} still <= {target}"
+                );
+            }
+        }
+
+        /// The bound decreases (weakly) as the rate grows.
+        #[test]
+        fn monotonicity(
+            r in 1_000.0f64..20_000.0,
+            p_extra in 0.0f64..20_000.0,
+            rate1_frac in 0.0f64..1.0,
+            rate2_frac in 0.0f64..1.0,
+        ) {
+            let tspec = TokenBucketSpec::new(r + p_extra, r, 1_000.0, 100, 500).unwrap();
+            let terms = ErrorTerms::new(144.0, SimDuration::from_millis(3));
+            let lo = r;
+            let hi = 4.0 * (r + p_extra);
+            let rate1 = lo + (hi - lo) * rate1_frac;
+            let rate2 = lo + (hi - lo) * rate2_frac;
+            let b1 = delay_bound(&tspec, rate1, terms).unwrap();
+            let b2 = delay_bound(&tspec, rate2, terms).unwrap();
+            if rate1 <= rate2 {
+                prop_assert!(b1 + SimDuration::from_nanos(1) >= b2);
+            } else {
+                prop_assert!(b2 + SimDuration::from_nanos(1) >= b1);
+            }
+        }
+    }
+}

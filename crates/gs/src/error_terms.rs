@@ -1,0 +1,129 @@
+//! Guaranteed Service error terms (C and D) and their path composition.
+
+use btgs_des::SimDuration;
+use core::fmt;
+
+/// The deviation of one network element from the fluid model, as exported by
+/// the Guaranteed Service (RFC 2212).
+///
+/// * `C` (bytes) — the **rate-dependent** deviation: it contributes `C/R`
+///   seconds of extra queueing delay when the element serves the flow at
+///   fluid rate `R`.
+/// * `D` (time) — the **rate-independent** deviation.
+///
+/// For the paper's Bluetooth poller, `C_i = eta_min_i` (the minimum poll
+/// efficiency in bytes, Eq. 7's rate-dependent term `eta_min_i / R_i = x_i`)
+/// and `D_i = y_i` (the maximum poll delay).
+///
+/// # Examples
+///
+/// ```
+/// use btgs_gs::ErrorTerms;
+/// use btgs_des::SimDuration;
+///
+/// let poller = ErrorTerms::new(144.0, SimDuration::from_micros(11_250));
+/// assert_eq!(poller.c_bytes(), 144.0);
+/// assert_eq!(poller.d().as_micros(), 11_250);
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Default)]
+pub struct ErrorTerms {
+    c_bytes: f64,
+    d: SimDuration,
+}
+
+impl ErrorTerms {
+    /// The zero deviation (a perfect fluid server).
+    pub const ZERO: ErrorTerms = ErrorTerms {
+        c_bytes: 0.0,
+        d: SimDuration::ZERO,
+    };
+
+    /// Creates error terms.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `c_bytes` is negative or not finite.
+    pub fn new(c_bytes: f64, d: SimDuration) -> ErrorTerms {
+        assert!(
+            c_bytes.is_finite() && c_bytes >= 0.0,
+            "C term must be non-negative and finite, got {c_bytes}"
+        );
+        ErrorTerms { c_bytes, d }
+    }
+
+    /// The rate-dependent term `C` in bytes.
+    pub fn c_bytes(&self) -> f64 {
+        self.c_bytes
+    }
+
+    /// The rate-independent term `D`.
+    pub fn d(&self) -> SimDuration {
+        self.d
+    }
+
+    /// Accumulates another element's terms (the `Ctot`/`Dtot` sums of
+    /// RFC 2212: terms add along the GS path).
+    #[must_use]
+    pub fn compose(self, next: ErrorTerms) -> ErrorTerms {
+        ErrorTerms {
+            c_bytes: self.c_bytes + next.c_bytes,
+            d: self.d + next.d,
+        }
+    }
+
+    /// Sums the terms of every element along a path.
+    pub fn total<I: IntoIterator<Item = ErrorTerms>>(path: I) -> ErrorTerms {
+        path.into_iter().fold(ErrorTerms::ZERO, ErrorTerms::compose)
+    }
+}
+
+impl fmt::Display for ErrorTerms {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "C={} B, D={}", self.c_bytes, self.d)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_is_identity() {
+        let e = ErrorTerms::new(100.0, SimDuration::from_millis(5));
+        assert_eq!(ErrorTerms::ZERO.compose(e), e);
+        assert_eq!(e.compose(ErrorTerms::ZERO), e);
+    }
+
+    #[test]
+    fn composition_adds() {
+        let a = ErrorTerms::new(144.0, SimDuration::from_micros(3_750));
+        let b = ErrorTerms::new(56.0, SimDuration::from_micros(1_250));
+        let c = a.compose(b);
+        assert_eq!(c.c_bytes(), 200.0);
+        assert_eq!(c.d(), SimDuration::from_micros(5_000));
+    }
+
+    #[test]
+    fn total_over_path() {
+        let path = vec![
+            ErrorTerms::new(10.0, SimDuration::from_millis(1)),
+            ErrorTerms::new(20.0, SimDuration::from_millis(2)),
+            ErrorTerms::new(30.0, SimDuration::from_millis(3)),
+        ];
+        let tot = ErrorTerms::total(path);
+        assert_eq!(tot.c_bytes(), 60.0);
+        assert_eq!(tot.d(), SimDuration::from_millis(6));
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_c_rejected() {
+        let _ = ErrorTerms::new(-1.0, SimDuration::ZERO);
+    }
+
+    #[test]
+    fn display() {
+        let e = ErrorTerms::new(144.0, SimDuration::from_micros(11_250));
+        assert_eq!(e.to_string(), "C=144 B, D=11.250ms");
+    }
+}

@@ -1,0 +1,219 @@
+//! Packet delay statistics.
+
+use btgs_des::SimDuration;
+use core::fmt;
+
+/// Collects per-packet delay samples and answers summary queries.
+///
+/// Samples are kept in full (a 530 s paper run produces 25 000 samples per
+/// flow — trivially small), so percentiles are exact rather than
+/// approximated.
+///
+/// # Examples
+///
+/// ```
+/// use btgs_metrics::DelayStats;
+/// use btgs_des::SimDuration;
+///
+/// let mut stats = DelayStats::new();
+/// for ms in [10, 20, 30, 40] {
+///     stats.record(SimDuration::from_millis(ms));
+/// }
+/// assert_eq!(stats.count(), 4);
+/// assert_eq!(stats.max().unwrap(), SimDuration::from_millis(40));
+/// assert_eq!(stats.mean().unwrap(), SimDuration::from_millis(25));
+/// assert_eq!(stats.quantile(0.5).unwrap(), SimDuration::from_millis(20));
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct DelayStats {
+    samples_ns: Vec<u64>,
+    sorted: bool,
+    sum_ns: u128,
+}
+
+impl DelayStats {
+    /// Creates an empty collector.
+    pub fn new() -> DelayStats {
+        DelayStats::default()
+    }
+
+    /// Records one delay sample.
+    pub fn record(&mut self, delay: SimDuration) {
+        self.samples_ns.push(delay.as_nanos());
+        self.sum_ns += delay.as_nanos() as u128;
+        self.sorted = false;
+    }
+
+    /// Number of samples recorded.
+    pub fn count(&self) -> usize {
+        self.samples_ns.len()
+    }
+
+    /// `true` if no samples were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.samples_ns.is_empty()
+    }
+
+    /// Smallest sample.
+    pub fn min(&self) -> Option<SimDuration> {
+        self.samples_ns
+            .iter()
+            .min()
+            .map(|&ns| SimDuration::from_nanos(ns))
+    }
+
+    /// Largest sample.
+    pub fn max(&self) -> Option<SimDuration> {
+        self.samples_ns
+            .iter()
+            .max()
+            .map(|&ns| SimDuration::from_nanos(ns))
+    }
+
+    /// Arithmetic mean.
+    pub fn mean(&self) -> Option<SimDuration> {
+        if self.samples_ns.is_empty() {
+            None
+        } else {
+            Some(SimDuration::from_nanos(
+                (self.sum_ns / self.samples_ns.len() as u128) as u64,
+            ))
+        }
+    }
+
+    /// Exact `q`-quantile (nearest-rank method), `q` in `[0, 1]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is outside `[0, 1]`.
+    pub fn quantile(&mut self, q: f64) -> Option<SimDuration> {
+        assert!((0.0..=1.0).contains(&q), "quantile must be in [0,1], got {q}");
+        if self.samples_ns.is_empty() {
+            return None;
+        }
+        if !self.sorted {
+            self.samples_ns.sort_unstable();
+            self.sorted = true;
+        }
+        let n = self.samples_ns.len();
+        let rank = ((q * n as f64).ceil() as usize).clamp(1, n);
+        Some(SimDuration::from_nanos(self.samples_ns[rank - 1]))
+    }
+
+    /// Number of samples strictly greater than `bound`.
+    pub fn violations_of(&self, bound: SimDuration) -> usize {
+        let b = bound.as_nanos();
+        self.samples_ns.iter().filter(|&&ns| ns > b).count()
+    }
+
+    /// Merges another collector's samples into this one.
+    pub fn merge(&mut self, other: &DelayStats) {
+        self.samples_ns.extend_from_slice(&other.samples_ns);
+        self.sum_ns += other.sum_ns;
+        self.sorted = false;
+    }
+}
+
+impl fmt::Display for DelayStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_empty() {
+            return f.write_str("no samples");
+        }
+        let mut copy = self.clone();
+        write!(
+            f,
+            "n={} min={} mean={} p95={} max={}",
+            self.count(),
+            self.min().expect("non-empty"),
+            self.mean().expect("non-empty"),
+            copy.quantile(0.95).expect("non-empty"),
+            self.max().expect("non-empty"),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ms(v: u64) -> SimDuration {
+        SimDuration::from_millis(v)
+    }
+
+    #[test]
+    fn empty_stats() {
+        let mut s = DelayStats::new();
+        assert!(s.is_empty());
+        assert_eq!(s.count(), 0);
+        assert_eq!(s.min(), None);
+        assert_eq!(s.max(), None);
+        assert_eq!(s.mean(), None);
+        assert_eq!(s.quantile(0.5), None);
+        assert_eq!(s.to_string(), "no samples");
+    }
+
+    #[test]
+    fn summary_statistics() {
+        let mut s = DelayStats::new();
+        for v in [5, 1, 9, 3, 7] {
+            s.record(ms(v));
+        }
+        assert_eq!(s.count(), 5);
+        assert_eq!(s.min(), Some(ms(1)));
+        assert_eq!(s.max(), Some(ms(9)));
+        assert_eq!(s.mean(), Some(ms(5)));
+    }
+
+    #[test]
+    fn quantiles_nearest_rank() {
+        let mut s = DelayStats::new();
+        for v in 1..=100u64 {
+            s.record(ms(v));
+        }
+        assert_eq!(s.quantile(0.0), Some(ms(1)));
+        assert_eq!(s.quantile(0.01), Some(ms(1)));
+        assert_eq!(s.quantile(0.5), Some(ms(50)));
+        assert_eq!(s.quantile(0.95), Some(ms(95)));
+        assert_eq!(s.quantile(1.0), Some(ms(100)));
+    }
+
+    #[test]
+    #[should_panic(expected = "quantile must be in")]
+    fn quantile_range_checked() {
+        let mut s = DelayStats::new();
+        s.record(ms(1));
+        let _ = s.quantile(1.5);
+    }
+
+    #[test]
+    fn violations_are_strict() {
+        let mut s = DelayStats::new();
+        for v in [10, 20, 30] {
+            s.record(ms(v));
+        }
+        assert_eq!(s.violations_of(ms(30)), 0, "bound itself is not a violation");
+        assert_eq!(s.violations_of(ms(29)), 1);
+        assert_eq!(s.violations_of(ms(9)), 3);
+    }
+
+    #[test]
+    fn merge_combines() {
+        let mut a = DelayStats::new();
+        a.record(ms(1));
+        let mut b = DelayStats::new();
+        b.record(ms(3));
+        a.merge(&b);
+        assert_eq!(a.count(), 2);
+        assert_eq!(a.mean(), Some(ms(2)));
+    }
+
+    #[test]
+    fn recording_after_quantile_stays_correct() {
+        let mut s = DelayStats::new();
+        s.record(ms(10));
+        assert_eq!(s.quantile(1.0), Some(ms(10)));
+        s.record(ms(5));
+        assert_eq!(s.quantile(0.0), Some(ms(5)));
+        assert_eq!(s.quantile(1.0), Some(ms(10)));
+    }
+}

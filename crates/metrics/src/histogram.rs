@@ -1,0 +1,174 @@
+//! Fixed-bin histograms.
+
+use core::fmt;
+
+/// A histogram over `f64` values with uniform bins.
+///
+/// Values below the range are counted in an underflow bucket, values at or
+/// above the upper edge in an overflow bucket, so no sample is ever lost.
+///
+/// # Examples
+///
+/// ```
+/// use btgs_metrics::Histogram;
+///
+/// let mut h = Histogram::new(0.0, 10.0, 5).unwrap();
+/// h.record(1.0);
+/// h.record(3.0);
+/// h.record(100.0);
+/// assert_eq!(h.count(), 3);
+/// assert_eq!(h.overflow(), 1);
+/// assert_eq!(h.bin_counts()[0], 1); // [0,2)
+/// assert_eq!(h.bin_counts()[1], 1); // [2,4)
+/// ```
+#[derive(Clone, Debug)]
+pub struct Histogram {
+    lo: f64,
+    hi: f64,
+    bins: Vec<u64>,
+    underflow: u64,
+    overflow: u64,
+}
+
+/// Error constructing a [`Histogram`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct InvalidHistogram;
+
+impl fmt::Display for InvalidHistogram {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("histogram requires lo < hi (finite) and at least one bin")
+    }
+}
+
+impl std::error::Error for InvalidHistogram {}
+
+impl Histogram {
+    /// Creates a histogram over `[lo, hi)` with `bins` uniform bins.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the range is empty/non-finite or `bins` is zero.
+    pub fn new(lo: f64, hi: f64, bins: usize) -> Result<Histogram, InvalidHistogram> {
+        if !(lo.is_finite() && hi.is_finite() && lo < hi && bins > 0) {
+            return Err(InvalidHistogram);
+        }
+        Ok(Histogram {
+            lo,
+            hi,
+            bins: vec![0; bins],
+            underflow: 0,
+            overflow: 0,
+        })
+    }
+
+    /// Records a value.
+    pub fn record(&mut self, v: f64) {
+        if v < self.lo {
+            self.underflow += 1;
+        } else if v >= self.hi {
+            self.overflow += 1;
+        } else {
+            let frac = (v - self.lo) / (self.hi - self.lo);
+            let idx = ((frac * self.bins.len() as f64) as usize).min(self.bins.len() - 1);
+            self.bins[idx] += 1;
+        }
+    }
+
+    /// Total samples recorded (including under/overflow).
+    pub fn count(&self) -> u64 {
+        self.bins.iter().sum::<u64>() + self.underflow + self.overflow
+    }
+
+    /// Per-bin counts.
+    pub fn bin_counts(&self) -> &[u64] {
+        &self.bins
+    }
+
+    /// Samples below the range.
+    pub fn underflow(&self) -> u64 {
+        self.underflow
+    }
+
+    /// Samples at or above the upper edge.
+    pub fn overflow(&self) -> u64 {
+        self.overflow
+    }
+
+    /// The `(low, high)` edges of bin `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn bin_edges(&self, i: usize) -> (f64, f64) {
+        assert!(i < self.bins.len(), "bin index out of range");
+        let w = (self.hi - self.lo) / self.bins.len() as f64;
+        (self.lo + w * i as f64, self.lo + w * (i + 1) as f64)
+    }
+
+    /// Renders a compact ASCII bar chart, one bin per line.
+    pub fn ascii_chart(&self, width: usize) -> String {
+        let max = self.bins.iter().copied().max().unwrap_or(0).max(1);
+        let mut out = String::new();
+        for (i, &c) in self.bins.iter().enumerate() {
+            let (lo, hi) = self.bin_edges(i);
+            let bar = "#".repeat((c as usize * width).div_ceil(max as usize).min(width));
+            out.push_str(&format!("[{lo:>10.4}, {hi:>10.4})  {c:>8}  {bar}\n"));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_validation() {
+        assert!(Histogram::new(0.0, 1.0, 10).is_ok());
+        assert!(Histogram::new(1.0, 1.0, 10).is_err());
+        assert!(Histogram::new(2.0, 1.0, 10).is_err());
+        assert!(Histogram::new(0.0, 1.0, 0).is_err());
+        assert!(Histogram::new(f64::NAN, 1.0, 1).is_err());
+    }
+
+    #[test]
+    fn binning() {
+        let mut h = Histogram::new(0.0, 10.0, 10).unwrap();
+        for v in [0.0, 0.5, 1.0, 9.99] {
+            h.record(v);
+        }
+        assert_eq!(h.bin_counts()[0], 2);
+        assert_eq!(h.bin_counts()[1], 1);
+        assert_eq!(h.bin_counts()[9], 1);
+        assert_eq!(h.count(), 4);
+    }
+
+    #[test]
+    fn under_and_overflow() {
+        let mut h = Histogram::new(0.0, 1.0, 4).unwrap();
+        h.record(-0.1);
+        h.record(1.0); // upper edge is exclusive
+        h.record(2.0);
+        assert_eq!(h.underflow(), 1);
+        assert_eq!(h.overflow(), 2);
+        assert_eq!(h.count(), 3);
+    }
+
+    #[test]
+    fn edges() {
+        let h = Histogram::new(0.0, 10.0, 5).unwrap();
+        assert_eq!(h.bin_edges(0), (0.0, 2.0));
+        assert_eq!(h.bin_edges(4), (8.0, 10.0));
+    }
+
+    #[test]
+    fn ascii_chart_renders() {
+        let mut h = Histogram::new(0.0, 2.0, 2).unwrap();
+        h.record(0.5);
+        h.record(0.6);
+        h.record(1.5);
+        let chart = h.ascii_chart(10);
+        assert_eq!(chart.lines().count(), 2);
+        assert!(chart.contains('#'));
+    }
+}

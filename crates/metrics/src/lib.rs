@@ -1,0 +1,31 @@
+//! # btgs-metrics — measurement substrate
+//!
+//! Statistics used by the `btgs` reproduction of *"Providing Delay
+//! Guarantees in Bluetooth"* (Ait Yaiz & Heijenk, ICDCSW'03):
+//!
+//! * [`DelayStats`] — exact per-packet delay summaries (min/mean/quantiles/
+//!   max) plus bound-violation counting, the paper's §4.2 validation metric.
+//! * [`ThroughputMeter`] / [`BinnedThroughput`] — per-flow and per-slave
+//!   throughput, the y-axis of the paper's Fig. 5.
+//! * [`jain_index`] / [`max_min_fair`] — fairness measures for the
+//!   best-effort bandwidth division performed by PFP.
+//! * [`Histogram`] — delay distributions for the extension benches.
+//! * [`Table`] / [`SweepSeries`] — plain-text rendering of every table and
+//!   figure the bench harness regenerates.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod delay;
+mod fairness;
+mod histogram;
+mod series;
+mod table;
+mod throughput;
+
+pub use delay::DelayStats;
+pub use fairness::{jain_index, max_min_fair};
+pub use histogram::{Histogram, InvalidHistogram};
+pub use series::SweepSeries;
+pub use table::{fmt_f64, Table};
+pub use throughput::{BinnedThroughput, ThroughputMeter};

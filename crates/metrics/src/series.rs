@@ -1,0 +1,151 @@
+//! Labelled (x, y) series for parameter sweeps.
+
+use crate::table::Table;
+
+/// A set of named y-series sharing one x-axis — the shape of every figure a
+/// parameter sweep produces (e.g. the paper's Fig. 5: x = delay requirement,
+/// one y-series of throughput per slave).
+///
+/// # Examples
+///
+/// ```
+/// use btgs_metrics::SweepSeries;
+///
+/// let mut s = SweepSeries::new("Dreq [ms]");
+/// s.add_series("S1");
+/// s.add_series("S2");
+/// s.push_x(28.0, &[64.0, 83.0]);
+/// s.push_x(46.0, &[64.0, 83.2]);
+/// assert_eq!(s.series("S1").unwrap(), &[64.0, 64.0]);
+/// println!("{}", s.to_table().render());
+/// ```
+#[derive(Clone, Debug)]
+pub struct SweepSeries {
+    x_label: String,
+    xs: Vec<f64>,
+    names: Vec<String>,
+    ys: Vec<Vec<f64>>,
+}
+
+impl SweepSeries {
+    /// Creates an empty sweep with the given x-axis label.
+    pub fn new<S: Into<String>>(x_label: S) -> SweepSeries {
+        SweepSeries {
+            x_label: x_label.into(),
+            xs: Vec::new(),
+            names: Vec::new(),
+            ys: Vec::new(),
+        }
+    }
+
+    /// Registers a named series. Must be called before the first `push_x`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if data points were already pushed.
+    pub fn add_series<S: Into<String>>(&mut self, name: S) -> &mut SweepSeries {
+        assert!(
+            self.xs.is_empty(),
+            "register all series before pushing data"
+        );
+        self.names.push(name.into());
+        self.ys.push(Vec::new());
+        self
+    }
+
+    /// Appends one x value and the corresponding y of every series.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ys.len()` differs from the number of registered series.
+    pub fn push_x(&mut self, x: f64, ys: &[f64]) {
+        assert_eq!(
+            ys.len(),
+            self.names.len(),
+            "expected {} y-values, got {}",
+            self.names.len(),
+            ys.len()
+        );
+        self.xs.push(x);
+        for (col, &y) in self.ys.iter_mut().zip(ys) {
+            col.push(y);
+        }
+    }
+
+    /// The x values.
+    pub fn xs(&self) -> &[f64] {
+        &self.xs
+    }
+
+    /// The y values of the named series, if it exists.
+    pub fn series(&self, name: &str) -> Option<&[f64]> {
+        let idx = self.names.iter().position(|n| n == name)?;
+        Some(&self.ys[idx])
+    }
+
+    /// Series names in registration order.
+    pub fn names(&self) -> &[String] {
+        &self.names
+    }
+
+    /// Renders the sweep as a table: one row per x value, one column per
+    /// series.
+    pub fn to_table(&self) -> Table {
+        let mut headers = vec![self.x_label.clone()];
+        headers.extend(self.names.iter().cloned());
+        let mut t = Table::new(headers);
+        for (i, &x) in self.xs.iter().enumerate() {
+            let mut row = vec![format!("{x:.3}")];
+            row.extend(self.ys.iter().map(|col| format!("{:.2}", col[i])));
+            t.row(row);
+        }
+        t
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn collects_and_reads_back() {
+        let mut s = SweepSeries::new("x");
+        s.add_series("a").add_series("b");
+        s.push_x(1.0, &[10.0, 20.0]);
+        s.push_x(2.0, &[11.0, 21.0]);
+        assert_eq!(s.xs(), &[1.0, 2.0]);
+        assert_eq!(s.series("a").unwrap(), &[10.0, 11.0]);
+        assert_eq!(s.series("b").unwrap(), &[20.0, 21.0]);
+        assert!(s.series("c").is_none());
+        assert_eq!(s.names().len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "before pushing data")]
+    fn late_registration_panics() {
+        let mut s = SweepSeries::new("x");
+        s.add_series("a");
+        s.push_x(1.0, &[1.0]);
+        s.add_series("b");
+    }
+
+    #[test]
+    #[should_panic(expected = "expected 1 y-values")]
+    fn wrong_width_panics() {
+        let mut s = SweepSeries::new("x");
+        s.add_series("a");
+        s.push_x(1.0, &[1.0, 2.0]);
+    }
+
+    #[test]
+    fn table_rendering() {
+        let mut s = SweepSeries::new("Dreq");
+        s.add_series("S1");
+        s.push_x(0.028, &[64.0]);
+        let rendered = s.to_table().render();
+        assert!(rendered.contains("Dreq"));
+        assert!(rendered.contains("S1"));
+        assert!(rendered.contains("0.028"));
+        assert!(rendered.contains("64.00"));
+    }
+}

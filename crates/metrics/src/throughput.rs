@@ -1,0 +1,205 @@
+//! Throughput measurement.
+
+use btgs_des::{SimDuration, SimTime};
+use core::fmt;
+
+/// Accumulates delivered bytes and converts them to rates over a measurement
+/// window.
+///
+/// # Examples
+///
+/// ```
+/// use btgs_metrics::ThroughputMeter;
+/// use btgs_des::SimTime;
+///
+/// let mut m = ThroughputMeter::new();
+/// m.record(SimTime::from_millis(20), 176);
+/// m.record(SimTime::from_millis(40), 176);
+/// // 352 bytes over a 1-second window:
+/// assert_eq!(m.bytes(), 352);
+/// let rate = m.rate_bps(SimTime::from_secs(1));
+/// assert!((rate - 352.0 * 8.0).abs() < 1e-9);
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct ThroughputMeter {
+    bytes: u64,
+    packets: u64,
+    first: Option<SimTime>,
+    last: Option<SimTime>,
+    window_start: SimTime,
+}
+
+impl ThroughputMeter {
+    /// Creates a meter whose window starts at time zero.
+    pub fn new() -> ThroughputMeter {
+        ThroughputMeter::default()
+    }
+
+    /// Creates a meter whose window starts at `start` (deliveries before
+    /// `start` should not be recorded; useful for warm-up exclusion).
+    pub fn starting_at(start: SimTime) -> ThroughputMeter {
+        ThroughputMeter {
+            window_start: start,
+            ..ThroughputMeter::default()
+        }
+    }
+
+    /// Records the delivery of `bytes` at instant `t`.
+    pub fn record(&mut self, t: SimTime, bytes: u64) {
+        self.bytes += bytes;
+        self.packets += 1;
+        if self.first.is_none() {
+            self.first = Some(t);
+        }
+        self.last = Some(t);
+    }
+
+    /// Total bytes delivered.
+    pub fn bytes(&self) -> u64 {
+        self.bytes
+    }
+
+    /// Total packets delivered.
+    pub fn packets(&self) -> u64 {
+        self.packets
+    }
+
+    /// First delivery instant.
+    pub fn first_delivery(&self) -> Option<SimTime> {
+        self.first
+    }
+
+    /// Last delivery instant.
+    pub fn last_delivery(&self) -> Option<SimTime> {
+        self.last
+    }
+
+    /// Mean rate in **bits** per second over `[window_start, end]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `end` does not lie after the window start.
+    pub fn rate_bps(&self, end: SimTime) -> f64 {
+        let span = end
+            .checked_duration_since(self.window_start)
+            .expect("window end precedes window start");
+        assert!(!span.is_zero(), "measurement window must be non-empty");
+        self.bytes as f64 * 8.0 / span.as_secs_f64()
+    }
+
+    /// Mean rate in **kilobits** per second over `[window_start, end]`.
+    pub fn rate_kbps(&self, end: SimTime) -> f64 {
+        self.rate_bps(end) / 1000.0
+    }
+}
+
+impl fmt::Display for ThroughputMeter {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} B in {} packets", self.bytes, self.packets)
+    }
+}
+
+/// A binned throughput series: delivered bytes aggregated into fixed-width
+/// time bins, for plotting throughput over time.
+#[derive(Clone, Debug)]
+pub struct BinnedThroughput {
+    bin_width: SimDuration,
+    bins: Vec<u64>,
+}
+
+impl BinnedThroughput {
+    /// Creates a series with the given bin width.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bin_width` is zero.
+    pub fn new(bin_width: SimDuration) -> BinnedThroughput {
+        assert!(!bin_width.is_zero(), "bin width must be positive");
+        BinnedThroughput {
+            bin_width,
+            bins: Vec::new(),
+        }
+    }
+
+    /// Records `bytes` delivered at `t`.
+    pub fn record(&mut self, t: SimTime, bytes: u64) {
+        let idx = (t.as_nanos() / self.bin_width.as_nanos()) as usize;
+        if idx >= self.bins.len() {
+            self.bins.resize(idx + 1, 0);
+        }
+        self.bins[idx] += bytes;
+    }
+
+    /// The per-bin byte counts.
+    pub fn bins(&self) -> &[u64] {
+        &self.bins
+    }
+
+    /// Per-bin rates in kilobits per second.
+    pub fn rates_kbps(&self) -> Vec<f64> {
+        let w = self.bin_width.as_secs_f64();
+        self.bins.iter().map(|&b| b as f64 * 8.0 / w / 1000.0).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accumulates() {
+        let mut m = ThroughputMeter::new();
+        assert_eq!(m.bytes(), 0);
+        m.record(SimTime::from_millis(1), 100);
+        m.record(SimTime::from_millis(2), 50);
+        assert_eq!(m.bytes(), 150);
+        assert_eq!(m.packets(), 2);
+        assert_eq!(m.first_delivery(), Some(SimTime::from_millis(1)));
+        assert_eq!(m.last_delivery(), Some(SimTime::from_millis(2)));
+    }
+
+    #[test]
+    fn rate_uses_window() {
+        let mut m = ThroughputMeter::starting_at(SimTime::from_secs(1));
+        m.record(SimTime::from_secs(2), 1000);
+        // 1000 B over 2 s window (1s..3s) = 4000 bps.
+        assert_eq!(m.rate_bps(SimTime::from_secs(3)), 4000.0);
+        assert_eq!(m.rate_kbps(SimTime::from_secs(3)), 4.0);
+    }
+
+    #[test]
+    fn paper_rate_sanity() {
+        // A 64 kbps GS flow: 160 B mean every 20 ms over 10 s.
+        let mut m = ThroughputMeter::new();
+        for k in 0..500u64 {
+            m.record(SimTime::from_millis(20 * k), 160);
+        }
+        let rate = m.rate_kbps(SimTime::from_secs(10));
+        assert!((rate - 64.0).abs() < 1e-9, "{rate}");
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn zero_window_panics() {
+        let m = ThroughputMeter::new();
+        let _ = m.rate_bps(SimTime::ZERO);
+    }
+
+    #[test]
+    fn binned_series() {
+        let mut b = BinnedThroughput::new(SimDuration::from_secs(1));
+        b.record(SimTime::from_millis(100), 125);
+        b.record(SimTime::from_millis(900), 125);
+        b.record(SimTime::from_millis(1500), 250);
+        assert_eq!(b.bins(), &[250, 250]);
+        let rates = b.rates_kbps();
+        assert_eq!(rates, vec![2.0, 2.0]);
+    }
+
+    #[test]
+    fn binned_gap_filling() {
+        let mut b = BinnedThroughput::new(SimDuration::from_secs(1));
+        b.record(SimTime::from_secs(3), 10);
+        assert_eq!(b.bins(), &[0, 0, 0, 10]);
+    }
+}

@@ -1,0 +1,48 @@
+//! # btgs-piconet — slot-accurate Bluetooth piconet simulator
+//!
+//! The simulation substrate for the `btgs` reproduction of *"Providing Delay
+//! Guarantees in Bluetooth"* (Ait Yaiz & Heijenk, ICDCSW'03). It stands in
+//! for the ns-2 + Ericsson Switchlab Bluetooth extensions the paper used:
+//!
+//! * master-driven TDD on the 625 µs slot grid: the master addresses one
+//!   slave per exchange (data segment or POLL down, data segment or NULL
+//!   back up);
+//! * per-flow queues with [segmentation](MaxFirstPolicy) of higher-layer
+//!   packets into DH1/DH3/… baseband packets, exactly the paper's policy;
+//! * strict master ignorance of uplink queues — pollers see only the
+//!   [`MasterView`];
+//! * separate Guaranteed Service and best-effort logical channels (a GS
+//!   poll never moves BE data and vice versa);
+//! * SCO reserved-slot links, a BER channel model with 1-bit ARQ
+//!   retransmission for the paper's future-work benches;
+//! * full accounting: per-flow delays and throughput, per-category
+//!   [slot usage](SlotLedger), poll success counters.
+//!
+//! Polling *policies* plug in through the [`Poller`] trait; baselines live
+//! in `btgs-pollers`, and the paper's Guaranteed Service pollers in
+//! `btgs-core`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod config;
+mod flow;
+mod ledger;
+mod poller;
+mod queue;
+mod report;
+mod sar;
+mod sim;
+
+pub use config::{PiconetConfig, PiconetError, SarPolicy, ScoBinding};
+pub use flow::{validate_flows, FlowSpec};
+pub use ledger::{PollCounters, SlotLedger};
+pub use poller::{
+    DownlinkView, ExchangeReport, MasterView, PollDecision, Poller, SegmentOutcome,
+};
+pub use queue::{FlowQueue, SegmentPlan};
+pub use report::{FlowReport, RunReport};
+pub use sar::{
+    segment_count, segment_plan, AlwaysLargestPolicy, MaxFirstPolicy, SegmentationPolicy,
+};
+pub use sim::{PiconetSim, RoundRobinForTest};

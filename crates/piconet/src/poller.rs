@@ -1,0 +1,325 @@
+//! The poller interface: how a scheduling policy plugs into the master.
+//!
+//! The master consults its [`Poller`] at every decision point (whenever the
+//! channel is free at an even slot boundary). The poller sees only what a
+//! real Bluetooth master can see — its own downlink queues and the outcomes
+//! of past polls — never the slaves' uplink queues. *"With respect to the
+//! upstream traffic, the master lacks knowledge about the availability of
+//! data at a slave."*
+
+use crate::flow::FlowSpec;
+use crate::queue::{FlowQueue, SegmentPlan};
+use btgs_baseband::{AmAddr, Direction, LogicalChannel, PacketType};
+use btgs_des::SimTime;
+use btgs_traffic::FlowId;
+
+/// What the master should do next.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PollDecision {
+    /// Address `slave` with a poll on the given logical channel. The master
+    /// forms the exchange: a downlink data segment (or POLL) plus the
+    /// slave's uplink response (data or NULL).
+    Poll {
+        /// The slave to address.
+        slave: AmAddr,
+        /// Which logical channel the poll serves (GS polls never move BE
+        /// data and vice versa).
+        channel: LogicalChannel,
+    },
+    /// Nothing to do before `until`: the master sleeps and re-consults the
+    /// poller at the first even slot boundary at or after `until` (or
+    /// earlier if new downlink data arrives).
+    Idle {
+        /// Earliest instant the poller wants to be consulted again.
+        until: SimTime,
+    },
+    /// No pending or planned work at all: sleep until the next arrival.
+    Sleep,
+}
+
+/// Read-only view of the master-side state handed to [`Poller::decide`].
+///
+/// Exposes the flow table and the **downlink** queues only.
+#[derive(Debug)]
+pub struct MasterView<'a> {
+    now: SimTime,
+    flows: &'a [FlowSpec],
+    downlink_queues: &'a [Option<FlowQueue>],
+}
+
+/// Snapshot of one downlink queue.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct DownlinkView {
+    /// Queued higher-layer packets (including a partially-sent head).
+    pub packets: usize,
+    /// Arrival instant of the head packet.
+    pub head_arrival: Option<SimTime>,
+    /// Outstanding bytes.
+    pub backlog_bytes: u64,
+}
+
+impl<'a> MasterView<'a> {
+    /// Creates a view.
+    ///
+    /// Normally the simulator constructs views; the constructor is public so
+    /// poller implementations can unit-test their `decide` logic directly.
+    /// `downlink_queues[i]` must be `Some` exactly for the downlink flows of
+    /// `flows[i]`.
+    pub fn new(
+        now: SimTime,
+        flows: &'a [FlowSpec],
+        downlink_queues: &'a [Option<FlowQueue>],
+    ) -> MasterView<'a> {
+        debug_assert_eq!(flows.len(), downlink_queues.len());
+        MasterView {
+            now,
+            flows,
+            downlink_queues,
+        }
+    }
+
+    /// The current instant (an even slot boundary).
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// All flows configured in the piconet.
+    pub fn flows(&self) -> &[FlowSpec] {
+        self.flows
+    }
+
+    /// The flow with the given id, if configured.
+    pub fn flow(&self, id: FlowId) -> Option<&FlowSpec> {
+        self.flows.iter().find(|f| f.id == id)
+    }
+
+    /// The unique flow matching `(slave, direction, channel)`, if any.
+    pub fn flow_at(
+        &self,
+        slave: AmAddr,
+        direction: Direction,
+        channel: LogicalChannel,
+    ) -> Option<&FlowSpec> {
+        self.flows
+            .iter()
+            .find(|f| f.slave == slave && f.direction == direction && f.channel == channel)
+    }
+
+    /// Snapshot of a downlink flow's queue. Returns `None` for uplink flows
+    /// (the master cannot see those) and for unknown ids.
+    pub fn downlink(&self, id: FlowId) -> Option<DownlinkView> {
+        let idx = self.flows.iter().position(|f| f.id == id)?;
+        let q = self.downlink_queues[idx].as_ref()?;
+        Some(DownlinkView {
+            packets: q.len(),
+            head_arrival: q.head_arrival(),
+            backlog_bytes: q.backlog_bytes(),
+        })
+    }
+
+    /// `true` if the downlink flow had data available at instant `t`.
+    /// Uplink flows always report `false` (master ignorance).
+    pub fn downlink_has_data(&self, id: FlowId, t: SimTime) -> bool {
+        matches!(self.downlink(id), Some(v) if matches!(v.head_arrival, Some(a) if a <= t))
+    }
+
+    /// The distinct slaves that have at least one flow, in address order.
+    pub fn slaves(&self) -> Vec<AmAddr> {
+        let mut out: Vec<AmAddr> = Vec::new();
+        for f in self.flows {
+            if !out.contains(&f.slave) {
+                out.push(f.slave);
+            }
+        }
+        out.sort();
+        out
+    }
+}
+
+/// What one direction of a completed exchange carried.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SegmentOutcome {
+    /// A data segment was transmitted.
+    Data {
+        /// The flow the segment belongs to.
+        flow: FlowId,
+        /// The segment that was sent.
+        segment: SegmentPlan,
+        /// `true` if the radio delivered it (always true on the ideal
+        /// channel); a failed segment stays at the head of its queue and is
+        /// offered again (1-bit ARQ).
+        delivered: bool,
+        /// `true` if this transmission was a retransmission of a previously
+        /// failed segment.
+        retransmission: bool,
+    },
+    /// A control packet (POLL downlink / NULL uplink) was transmitted.
+    Control {
+        /// POLL or NULL.
+        ty: PacketType,
+    },
+    /// Nothing was transmitted in this direction (e.g. the slave stayed
+    /// silent because the downlink packet was lost).
+    Silent,
+}
+
+impl SegmentOutcome {
+    /// `true` if a data segment was delivered in this direction.
+    pub fn is_delivered_data(&self) -> bool {
+        matches!(
+            self,
+            SegmentOutcome::Data {
+                delivered: true,
+                ..
+            }
+        )
+    }
+
+    /// Slots occupied on air by this direction.
+    pub fn slots(&self) -> u64 {
+        match self {
+            SegmentOutcome::Data { segment, .. } => segment.ty.slots(),
+            SegmentOutcome::Control { ty } => ty.slots(),
+            SegmentOutcome::Silent => 1, // the response window passes unused
+        }
+    }
+}
+
+/// Feedback to the poller after each completed exchange.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ExchangeReport {
+    /// Master transmission start (even slot boundary).
+    pub start: SimTime,
+    /// Exchange end (the next even slot boundary after the uplink).
+    pub end: SimTime,
+    /// The addressed slave.
+    pub slave: AmAddr,
+    /// The logical channel the poll served.
+    pub channel: LogicalChannel,
+    /// What the master sent.
+    pub down: SegmentOutcome,
+    /// What the slave answered.
+    pub up: SegmentOutcome,
+}
+
+impl ExchangeReport {
+    /// `true` if the poll moved at least one data segment (in either
+    /// direction). The paper calls a GS poll that moved no GS data an
+    /// *unsuccessful* poll.
+    pub fn successful(&self) -> bool {
+        matches!(self.down, SegmentOutcome::Data { .. })
+            || matches!(self.up, SegmentOutcome::Data { .. })
+    }
+}
+
+/// A master polling policy.
+///
+/// Implementations decide which slave to address next and receive feedback
+/// about completed exchanges and master-side (downlink) packet arrivals.
+pub trait Poller {
+    /// Chooses the next action. Called whenever the channel is free at an
+    /// even slot boundary. Must not assume it is called at any particular
+    /// rate; spurious calls (e.g. after an arrival) are allowed.
+    fn decide(&mut self, now: SimTime, view: &MasterView<'_>) -> PollDecision;
+
+    /// Observes a completed exchange (including its radio outcome).
+    fn on_exchange(&mut self, report: &ExchangeReport);
+
+    /// Observes a packet arriving into a master-side (downlink) queue.
+    /// Uplink arrivals are *not* reported: the master cannot see them.
+    fn on_downlink_arrival(&mut self, flow: FlowId, now: SimTime) {
+        let _ = (flow, now);
+    }
+
+    /// A short human-readable name for reports.
+    fn name(&self) -> &'static str;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn s(n: u8) -> AmAddr {
+        AmAddr::new(n).unwrap()
+    }
+
+    fn flows() -> Vec<FlowSpec> {
+        vec![
+            FlowSpec::new(FlowId(1), s(1), Direction::SlaveToMaster, LogicalChannel::GuaranteedService),
+            FlowSpec::new(FlowId(2), s(2), Direction::MasterToSlave, LogicalChannel::BestEffort),
+        ]
+    }
+
+    #[test]
+    fn view_exposes_downlink_only() {
+        let flows = flows();
+        let mut q = FlowQueue::new();
+        q.push(btgs_traffic::AppPacket::new(0, FlowId(2), 100, SimTime::ZERO));
+        let queues = vec![None, Some(q)];
+        let view = MasterView::new(SimTime::from_millis(1), &flows, &queues);
+
+        assert_eq!(view.now(), SimTime::from_millis(1));
+        assert_eq!(view.flows().len(), 2);
+        assert!(view.downlink(FlowId(1)).is_none(), "uplink queue is invisible");
+        let dl = view.downlink(FlowId(2)).unwrap();
+        assert_eq!(dl.packets, 1);
+        assert_eq!(dl.backlog_bytes, 100);
+        assert!(view.downlink_has_data(FlowId(2), SimTime::ZERO));
+        assert!(!view.downlink_has_data(FlowId(1), SimTime::from_secs(1)));
+        assert!(!view.downlink_has_data(FlowId(9), SimTime::ZERO));
+    }
+
+    #[test]
+    fn view_lookups() {
+        let flows = flows();
+        let queues = vec![None, None];
+        let view = MasterView::new(SimTime::ZERO, &flows, &queues);
+        assert_eq!(view.flow(FlowId(1)).unwrap().slave, s(1));
+        assert!(view.flow(FlowId(3)).is_none());
+        assert!(view
+            .flow_at(s(1), Direction::SlaveToMaster, LogicalChannel::GuaranteedService)
+            .is_some());
+        assert!(view
+            .flow_at(s(1), Direction::MasterToSlave, LogicalChannel::GuaranteedService)
+            .is_none());
+        assert_eq!(view.slaves(), vec![s(1), s(2)]);
+    }
+
+    #[test]
+    fn outcome_slots_and_success() {
+        let seg = SegmentPlan {
+            ty: PacketType::Dh3,
+            bytes: 176,
+            is_last: true,
+            is_first: true,
+            packet_seq: 0,
+            packet_size: 176,
+            packet_arrival: SimTime::ZERO,
+        };
+        let data = SegmentOutcome::Data {
+            flow: FlowId(1),
+            segment: seg,
+            delivered: true,
+            retransmission: false,
+        };
+        assert_eq!(data.slots(), 3);
+        assert!(data.is_delivered_data());
+        assert_eq!(SegmentOutcome::Control { ty: PacketType::Poll }.slots(), 1);
+        assert_eq!(SegmentOutcome::Silent.slots(), 1);
+
+        let report = ExchangeReport {
+            start: SimTime::ZERO,
+            end: SimTime::from_micros(2500),
+            slave: s(1),
+            channel: LogicalChannel::GuaranteedService,
+            down: SegmentOutcome::Control { ty: PacketType::Poll },
+            up: data,
+        };
+        assert!(report.successful());
+        let unsuccessful = ExchangeReport {
+            up: SegmentOutcome::Control { ty: PacketType::Null },
+            ..report
+        };
+        assert!(!unsuccessful.successful());
+    }
+}

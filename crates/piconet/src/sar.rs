@@ -1,0 +1,240 @@
+//! Segmentation and reassembly (SAR) of higher-layer packets into baseband
+//! packets.
+//!
+//! The paper's segmentation policy: *"a segmentation policy may require that
+//! the largest available baseband packet is used, unless there is a smaller
+//! baseband packet available in which the remainder of the higher layer
+//! packet fits."* [`MaxFirstPolicy`] implements exactly that; the number of
+//! segments `n_i(L)` it produces drives the poll efficiency `eta` of the
+//! paper's Eq. 4.
+
+use btgs_baseband::{best_fit, largest, PacketType};
+
+/// Chooses the baseband packet type for each segment of a higher-layer
+/// packet.
+pub trait SegmentationPolicy {
+    /// The packet type to use for the next segment, given that `remaining`
+    /// bytes of the higher-layer packet are still to be sent, or `None` if
+    /// `allowed` contains no data-bearing type.
+    fn next_type(&self, remaining: u32, allowed: &[PacketType]) -> Option<PacketType>;
+}
+
+/// The paper's policy: use the largest allowed packet, unless the remainder
+/// fits into a smaller one (then use the smallest sufficient one).
+///
+/// # Examples
+///
+/// ```
+/// use btgs_piconet::{MaxFirstPolicy, SegmentationPolicy};
+/// use btgs_baseband::PacketType;
+///
+/// let allowed = [PacketType::Dh1, PacketType::Dh3];
+/// let policy = MaxFirstPolicy;
+/// // 144 bytes fit a DH3 (183 B) but not a DH1 (27 B):
+/// assert_eq!(policy.next_type(144, &allowed), Some(PacketType::Dh3));
+/// // A 20-byte remainder fits the DH1:
+/// assert_eq!(policy.next_type(20, &allowed), Some(PacketType::Dh1));
+/// // 200 bytes fit nothing whole -> largest (DH3) carries the first chunk:
+/// assert_eq!(policy.next_type(200, &allowed), Some(PacketType::Dh3));
+/// ```
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct MaxFirstPolicy;
+
+impl SegmentationPolicy for MaxFirstPolicy {
+    fn next_type(&self, remaining: u32, allowed: &[PacketType]) -> Option<PacketType> {
+        match best_fit(remaining as usize, allowed) {
+            Some(t) => Some(t),
+            None => largest(allowed),
+        }
+    }
+}
+
+/// A policy that always uses the largest allowed packet, even for tiny
+/// remainders. Wastes air time; useful as an ablation baseline.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct AlwaysLargestPolicy;
+
+impl SegmentationPolicy for AlwaysLargestPolicy {
+    fn next_type(&self, _remaining: u32, allowed: &[PacketType]) -> Option<PacketType> {
+        largest(allowed)
+    }
+}
+
+/// The number of baseband segments (= polls, for an uplink flow) needed to
+/// carry an `size`-byte higher-layer packet — the paper's `n_i(L)`.
+///
+/// # Panics
+///
+/// Panics if `size` is zero or `allowed` has no data-bearing type.
+///
+/// # Examples
+///
+/// ```
+/// use btgs_piconet::{segment_count, MaxFirstPolicy};
+/// use btgs_baseband::PacketType;
+///
+/// let allowed = [PacketType::Dh1, PacketType::Dh3];
+/// assert_eq!(segment_count(&MaxFirstPolicy, 144, &allowed), 1);
+/// assert_eq!(segment_count(&MaxFirstPolicy, 183, &allowed), 1);
+/// assert_eq!(segment_count(&MaxFirstPolicy, 184, &allowed), 2); // DH3+DH1
+/// assert_eq!(segment_count(&MaxFirstPolicy, 400, &allowed), 3); // DH3+DH3+DH1
+/// ```
+pub fn segment_count<P: SegmentationPolicy + ?Sized>(
+    policy: &P,
+    size: u32,
+    allowed: &[PacketType],
+) -> u32 {
+    segment_plan(policy, size, allowed).len() as u32
+}
+
+/// The full segmentation of an `size`-byte packet: the packet type and
+/// payload bytes of every segment, in transmission order.
+///
+/// # Panics
+///
+/// Panics if `size` is zero or `allowed` has no data-bearing type.
+pub fn segment_plan<P: SegmentationPolicy + ?Sized>(
+    policy: &P,
+    size: u32,
+    allowed: &[PacketType],
+) -> Vec<(PacketType, u32)> {
+    assert!(size > 0, "cannot segment an empty packet");
+    let mut remaining = size;
+    let mut out = Vec::new();
+    while remaining > 0 {
+        let ty = policy
+            .next_type(remaining, allowed)
+            .expect("allowed set contains no data-bearing packet type");
+        let take = remaining.min(ty.payload_capacity() as u32);
+        assert!(take > 0, "policy chose a packet type with no capacity");
+        out.push((ty, take));
+        remaining -= take;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const PAPER: [PacketType; 2] = [PacketType::Dh1, PacketType::Dh3];
+
+    #[test]
+    fn paper_sizes_take_one_dh3() {
+        // Every size in the paper's 144..=176 range is one DH3 segment.
+        for size in 144..=176 {
+            assert_eq!(segment_count(&MaxFirstPolicy, size, &PAPER), 1, "{size}");
+            let plan = segment_plan(&MaxFirstPolicy, size, &PAPER);
+            assert_eq!(plan, vec![(PacketType::Dh3, size)]);
+        }
+    }
+
+    #[test]
+    fn small_packets_use_dh1() {
+        for size in 1..=27 {
+            assert_eq!(
+                segment_plan(&MaxFirstPolicy, size, &PAPER),
+                vec![(PacketType::Dh1, size)]
+            );
+        }
+        assert_eq!(
+            segment_plan(&MaxFirstPolicy, 28, &PAPER),
+            vec![(PacketType::Dh3, 28)]
+        );
+    }
+
+    #[test]
+    fn multi_segment_plans() {
+        // 184 = DH3(183) + DH1(1).
+        assert_eq!(
+            segment_plan(&MaxFirstPolicy, 184, &PAPER),
+            vec![(PacketType::Dh3, 183), (PacketType::Dh1, 1)]
+        );
+        // 366 = DH3 + DH3.
+        assert_eq!(
+            segment_plan(&MaxFirstPolicy, 366, &PAPER),
+            vec![(PacketType::Dh3, 183), (PacketType::Dh3, 183)]
+        );
+        // 367 = DH3 + DH3 + DH1.
+        assert_eq!(segment_count(&MaxFirstPolicy, 367, &PAPER), 3);
+    }
+
+    #[test]
+    fn plan_conserves_bytes() {
+        for size in [1u32, 27, 28, 144, 176, 183, 184, 210, 366, 400, 1000] {
+            let plan = segment_plan(&MaxFirstPolicy, size, &PAPER);
+            let total: u32 = plan.iter().map(|(_, b)| b).sum();
+            assert_eq!(total, size);
+            // Every segment respects its capacity.
+            for (ty, b) in plan {
+                assert!(b as usize <= ty.payload_capacity());
+            }
+        }
+    }
+
+    #[test]
+    fn always_largest_wastes_small_remainders() {
+        // 184 bytes: MaxFirst ends with a DH1; AlwaysLargest uses two DH3s.
+        let plan = segment_plan(&AlwaysLargestPolicy, 184, &PAPER);
+        assert_eq!(plan, vec![(PacketType::Dh3, 183), (PacketType::Dh3, 1)]);
+    }
+
+    #[test]
+    fn single_type_sets() {
+        let dh1_only = [PacketType::Dh1];
+        assert_eq!(segment_count(&MaxFirstPolicy, 144, &dh1_only), 6); // ceil(144/27)
+        let dh5_only = [PacketType::Dh5];
+        assert_eq!(segment_count(&MaxFirstPolicy, 339, &dh5_only), 1);
+        assert_eq!(segment_count(&MaxFirstPolicy, 340, &dh5_only), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty packet")]
+    fn zero_size_panics() {
+        let _ = segment_plan(&MaxFirstPolicy, 0, &PAPER);
+    }
+
+    #[test]
+    #[should_panic(expected = "no data-bearing")]
+    fn control_only_allowed_set_panics() {
+        let _ = segment_plan(&MaxFirstPolicy, 10, &[PacketType::Poll]);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn arb_allowed() -> impl Strategy<Value = Vec<PacketType>> {
+        proptest::sample::subsequence(PacketType::ACL_DATA.to_vec(), 1..=6)
+    }
+
+    proptest! {
+        /// Segmentation must conserve bytes, respect capacities, and use the
+        /// minimum-capacity sufficient type for the final segment.
+        #[test]
+        fn plan_invariants(size in 1u32..2_000, allowed in arb_allowed()) {
+            let plan = segment_plan(&MaxFirstPolicy, size, &allowed);
+            let total: u32 = plan.iter().map(|(_, b)| b).sum();
+            prop_assert_eq!(total, size);
+            for (ty, b) in &plan {
+                prop_assert!(*b as usize <= ty.payload_capacity());
+                prop_assert!(*b > 0);
+            }
+            // All but the last segment fill the chosen packet completely
+            // (MaxFirst only under-fills the final segment).
+            for (ty, b) in &plan[..plan.len() - 1] {
+                prop_assert_eq!(*b as usize, ty.payload_capacity());
+            }
+        }
+
+        /// n(L) is non-decreasing in L for a fixed allowed set.
+        #[test]
+        fn segment_count_monotone(size in 1u32..1_999, allowed in arb_allowed()) {
+            let n1 = segment_count(&MaxFirstPolicy, size, &allowed);
+            let n2 = segment_count(&MaxFirstPolicy, size + 1, &allowed);
+            prop_assert!(n2 >= n1);
+        }
+    }
+}

@@ -1,0 +1,768 @@
+//! The piconet simulator: a slot-accurate model of master-driven TDD
+//! polling.
+//!
+//! The master consults its [`Poller`] whenever the channel is free at an
+//! even slot boundary. A poll becomes an *exchange*: a downlink baseband
+//! packet (data segment or POLL) followed by the addressed slave's response
+//! (data segment or NULL), after which the channel is free again. SCO
+//! reservations pre-empt polling; ACL exchanges are sized to fit between
+//! them.
+
+use crate::config::{PiconetConfig, PiconetError, SarPolicy, ScoBinding};
+use crate::flow::FlowSpec;
+use crate::ledger::{PollCounters, SlotLedger};
+use crate::poller::{
+    ExchangeReport, MasterView, PollDecision, Poller, SegmentOutcome,
+};
+use crate::queue::{FlowQueue, SegmentPlan};
+use crate::report::{FlowReport, RunReport};
+use btgs_baseband::{
+    next_master_tx_start, AmAddr, ChannelModel, Direction, LogicalChannel, PacketType, SLOT,
+    SLOT_PAIR,
+};
+use btgs_des::{EventKey, Scheduler, SimDuration, SimTime, Simulator};
+use btgs_traffic::{AppPacket, Source};
+use std::collections::BTreeMap;
+
+/// Destination of a source's packets.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Target {
+    /// Index into the ACL flow tables.
+    Flow(usize),
+    /// Index into the SCO bindings.
+    Sco(usize),
+}
+
+/// One planned transmission direction of an exchange.
+#[derive(Clone, Copy, Debug)]
+enum PlannedTx {
+    Data {
+        flow_idx: usize,
+        seg: SegmentPlan,
+        delivered: bool,
+        retransmission: bool,
+    },
+    Control {
+        ty: PacketType,
+    },
+    Silent,
+}
+
+impl PlannedTx {
+    fn slots(&self) -> u64 {
+        match self {
+            PlannedTx::Data { seg, .. } => seg.ty.slots(),
+            PlannedTx::Control { ty } => ty.slots(),
+            PlannedTx::Silent => 1,
+        }
+    }
+}
+
+#[derive(Clone, Copy, Debug)]
+struct PendingExchange {
+    start: SimTime,
+    slave: AmAddr,
+    channel: LogicalChannel,
+    down: PlannedTx,
+    up: PlannedTx,
+}
+
+#[derive(Debug)]
+enum Ev {
+    /// A higher-layer packet arrives at its queue.
+    Arrival { source_idx: usize, pkt: AppPacket },
+    /// The master re-evaluates what to do (channel known free).
+    Wake,
+    /// An ACL exchange completes.
+    ExchangeDone(PendingExchange),
+    /// An SCO reservation completes.
+    ScoDone { sco_idx: usize, start: SimTime },
+}
+
+struct SourceSlot {
+    source: Box<dyn Source>,
+    target: Target,
+}
+
+struct ScoRt {
+    binding: ScoBinding,
+    queue: FlowQueue,
+    report: FlowReport,
+}
+
+struct World {
+    specs: Vec<FlowSpec>,
+    allowed: Vec<Vec<PacketType>>,
+    sar: SarPolicy,
+    down_queues: Vec<Option<FlowQueue>>,
+    up_queues: Vec<Option<FlowQueue>>,
+    reports: Vec<FlowReport>,
+    sources: Vec<SourceSlot>,
+    poller: Option<Box<dyn Poller>>,
+    channel: Box<dyn ChannelModel>,
+    sco: Vec<ScoRt>,
+    busy_until: SimTime,
+    wake: Option<(SimTime, EventKey)>,
+    warmup: SimTime,
+    ledger: SlotLedger,
+    gs_polls: PollCounters,
+    be_polls: PollCounters,
+}
+
+impl World {
+    fn flow_index(&self, slave: AmAddr, dir: Direction, channel: LogicalChannel) -> Option<usize> {
+        self.specs
+            .iter()
+            .position(|f| f.slave == slave && f.direction == dir && f.channel == channel)
+    }
+
+    /// First SCO reservation strictly after `t`, or `None` without SCO.
+    fn next_sco_after(&self, t: SimTime) -> Option<SimTime> {
+        self.sco
+            .iter()
+            .map(|s| s.binding.link.next_reservation(t + SimDuration::from_nanos(1)))
+            .min()
+    }
+
+    /// Whole slots available before the next SCO reservation.
+    fn window_slots(&self, now: SimTime) -> u64 {
+        match self.next_sco_after(now) {
+            Some(res) => (res - now).div_duration(SLOT),
+            None => u64::MAX,
+        }
+    }
+
+    fn in_window(&self, t: SimTime) -> bool {
+        t >= self.warmup
+    }
+}
+
+fn ensure_wake(sched: &mut Scheduler<Ev>, w: &mut World, t: SimTime) {
+    let target = next_master_tx_start(t.max(sched.now()));
+    if let Some((existing, key)) = w.wake {
+        if existing <= target {
+            return;
+        }
+        sched.cancel(key);
+    }
+    let key = sched.schedule_at(target, Ev::Wake);
+    w.wake = Some((target, key));
+}
+
+fn handle(sched: &mut Scheduler<Ev>, w: &mut World, ev: Ev) {
+    match ev {
+        Ev::Arrival { source_idx, pkt } => on_arrival(sched, w, source_idx, pkt),
+        Ev::Wake => on_wake(sched, w),
+        Ev::ExchangeDone(ex) => on_exchange_done(sched, w, ex),
+        Ev::ScoDone { sco_idx, start } => on_sco_done(sched, w, sco_idx, start),
+    }
+}
+
+fn on_arrival(sched: &mut Scheduler<Ev>, w: &mut World, source_idx: usize, pkt: AppPacket) {
+    let now = sched.now();
+    debug_assert_eq!(pkt.arrival, now);
+    let target = w.sources[source_idx].target;
+    match target {
+        Target::Flow(idx) => {
+            if w.in_window(now) {
+                w.reports[idx].offered_packets += 1;
+                w.reports[idx].offered_bytes += pkt.size as u64;
+            }
+            let downlink = w.specs[idx].direction.is_downlink();
+            if downlink {
+                w.down_queues[idx]
+                    .as_mut()
+                    .expect("downlink queue exists")
+                    .push(pkt);
+                let flow_id = w.specs[idx].id;
+                let mut poller = w.poller.take().expect("poller present");
+                poller.on_downlink_arrival(flow_id, now);
+                w.poller = Some(poller);
+            } else {
+                w.up_queues[idx]
+                    .as_mut()
+                    .expect("uplink queue exists")
+                    .push(pkt);
+            }
+        }
+        Target::Sco(idx) => {
+            if w.in_window(now) {
+                w.sco[idx].report.offered_packets += 1;
+                w.sco[idx].report.offered_bytes += pkt.size as u64;
+            }
+            w.sco[idx].queue.push(pkt);
+        }
+    }
+    // Fetch and schedule the source's next packet.
+    if let Some(next) = w.sources[source_idx].source.next_packet() {
+        debug_assert!(next.arrival >= now, "sources must be time-ordered");
+        sched.schedule_at(next.arrival, Ev::Arrival { source_idx, pkt: next });
+    }
+    // A free master may want to react (e.g. serve fresh downlink data).
+    if now >= w.busy_until {
+        ensure_wake(sched, w, now);
+    }
+}
+
+fn on_wake(sched: &mut Scheduler<Ev>, w: &mut World) {
+    let now = sched.now();
+    if let Some((t, _)) = w.wake {
+        if t == now {
+            w.wake = None;
+        }
+    }
+    if now < w.busy_until {
+        ensure_wake(sched, w, w.busy_until);
+        return;
+    }
+    debug_assert_eq!(now, next_master_tx_start(now), "wake off the slot grid");
+
+    // SCO reservations pre-empt everything.
+    for i in 0..w.sco.len() {
+        if w.sco[i].binding.link.next_reservation(now) == now {
+            start_sco(sched, w, i, now);
+            return;
+        }
+    }
+
+    let mut poller = w.poller.take().expect("poller present");
+    let view = MasterView::new(now, &w.specs, &w.down_queues);
+    let decision = poller.decide(now, &view);
+    w.poller = Some(poller);
+
+    match decision {
+        PollDecision::Poll { slave, channel } => start_exchange(sched, w, now, slave, channel),
+        PollDecision::Idle { until } => {
+            let mut t = until.max(now + SimDuration::from_nanos(1));
+            if let Some(res) = w.next_sco_after(now) {
+                t = t.min(res);
+            }
+            ensure_wake(sched, w, t);
+        }
+        PollDecision::Sleep => {
+            if let Some(res) = w.next_sco_after(now) {
+                ensure_wake(sched, w, res);
+            }
+        }
+    }
+}
+
+/// Packet types of `allowed` that fit in `cap` slots per direction.
+fn fit_types(allowed: &[PacketType], cap: u64) -> Vec<PacketType> {
+    allowed
+        .iter()
+        .copied()
+        .filter(|t| t.slots() <= cap)
+        .collect()
+}
+
+fn plan_direction(
+    queue: Option<&FlowQueue>,
+    flow_idx: Option<usize>,
+    now: SimTime,
+    sar: SarPolicy,
+    allowed: &[PacketType],
+    cap: u64,
+) -> Option<(usize, SegmentPlan)> {
+    let idx = flow_idx?;
+    let queue = queue?;
+    let usable = fit_types(allowed, cap);
+    if !usable.iter().any(|t| t.is_acl_data()) {
+        return None;
+    }
+    queue.peek_segment(now, &sar, &usable).map(|seg| (idx, seg))
+}
+
+fn start_exchange(
+    sched: &mut Scheduler<Ev>,
+    w: &mut World,
+    now: SimTime,
+    slave: AmAddr,
+    channel: LogicalChannel,
+) {
+    let window = w.window_slots(now);
+    if window < 2 {
+        // Cannot even fit POLL+NULL before the SCO reservation.
+        let res = w.next_sco_after(now).expect("window only bounded by SCO");
+        ensure_wake(sched, w, res);
+        return;
+    }
+    let cap = window / 2;
+
+    let down_idx = w.flow_index(slave, Direction::MasterToSlave, channel);
+    let up_idx = w.flow_index(slave, Direction::SlaveToMaster, channel);
+
+    let down_plan = down_idx.and_then(|i| {
+        plan_direction(
+            w.down_queues[i].as_ref(),
+            Some(i),
+            now,
+            w.sar,
+            &w.allowed[i],
+            cap,
+        )
+    });
+    // The slave transmits only data that was available when the master
+    // started transmitting (the paper's strict availability rule).
+    let up_plan = up_idx.and_then(|i| {
+        plan_direction(
+            w.up_queues[i].as_ref(),
+            Some(i),
+            now,
+            w.sar,
+            &w.allowed[i],
+            cap,
+        )
+    });
+
+    // Radio outcomes are drawn now, in a fixed order, for determinism. If
+    // the downlink packet is lost, the slave never hears its address and
+    // stays silent for one slot.
+    let (down, down_ok) = match down_plan {
+        Some((flow_idx, seg)) => {
+            let q = w.down_queues[flow_idx].as_mut().expect("downlink queue");
+            let retransmission = q.head_attempted();
+            q.note_attempt();
+            let delivered = w.channel.deliver(seg.ty, seg.bytes as usize);
+            (
+                PlannedTx::Data {
+                    flow_idx,
+                    seg,
+                    delivered,
+                    retransmission,
+                },
+                delivered,
+            )
+        }
+        None => {
+            let delivered = w.channel.deliver(PacketType::Poll, 0);
+            (
+                PlannedTx::Control {
+                    ty: PacketType::Poll,
+                },
+                delivered,
+            )
+        }
+    };
+
+    let up = if !down_ok {
+        PlannedTx::Silent
+    } else {
+        match up_plan {
+            Some((flow_idx, seg)) => {
+                let q = w.up_queues[flow_idx].as_mut().expect("uplink queue");
+                let retransmission = q.head_attempted();
+                q.note_attempt();
+                let delivered = w.channel.deliver(seg.ty, seg.bytes as usize);
+                PlannedTx::Data {
+                    flow_idx,
+                    seg,
+                    delivered,
+                    retransmission,
+                }
+            }
+            None => {
+                let _ = w.channel.deliver(PacketType::Null, 0);
+                PlannedTx::Control {
+                    ty: PacketType::Null,
+                }
+            }
+        }
+    };
+
+    let duration = (down.slots() + up.slots()) * SLOT;
+    debug_assert_eq!((now + duration).align_down(SLOT_PAIR), now + duration);
+    w.busy_until = now + duration;
+    let ex = PendingExchange {
+        start: now,
+        slave,
+        channel,
+        down,
+        up,
+    };
+    sched.schedule_at(w.busy_until, Ev::ExchangeDone(ex));
+}
+
+fn on_exchange_done(sched: &mut Scheduler<Ev>, w: &mut World, ex: PendingExchange) {
+    let now = sched.now();
+    let in_window = w.in_window(ex.start);
+
+    // Downlink delivery lands when the downlink packet ends.
+    let down_end = ex.start + ex.down.slots() * SLOT;
+    apply_delivery(w, ex.down, down_end, in_window, Direction::MasterToSlave);
+    apply_delivery(w, ex.up, now, in_window, Direction::SlaveToMaster);
+
+    if in_window {
+        for (tx, _dir) in [(ex.down, Direction::MasterToSlave), (ex.up, Direction::SlaveToMaster)] {
+            match tx {
+                PlannedTx::Data {
+                    seg, retransmission, ..
+                } => w.ledger.add_data(ex.channel, seg.ty.slots(), retransmission),
+                PlannedTx::Control { ty } => w.ledger.add_overhead(ex.channel, ty.slots()),
+                PlannedTx::Silent => w.ledger.add_overhead(ex.channel, 1),
+            }
+        }
+        let successful = matches!(ex.down, PlannedTx::Data { .. })
+            || matches!(ex.up, PlannedTx::Data { .. });
+        match ex.channel {
+            LogicalChannel::GuaranteedService => w.gs_polls.record(successful),
+            LogicalChannel::BestEffort => w.be_polls.record(successful),
+        }
+    }
+
+    let report = ExchangeReport {
+        start: ex.start,
+        end: now,
+        slave: ex.slave,
+        channel: ex.channel,
+        down: to_outcome(w, ex.down),
+        up: to_outcome(w, ex.up),
+    };
+    let mut poller = w.poller.take().expect("poller present");
+    poller.on_exchange(&report);
+    w.poller = Some(poller);
+
+    ensure_wake(sched, w, now);
+}
+
+fn to_outcome(w: &World, tx: PlannedTx) -> SegmentOutcome {
+    match tx {
+        PlannedTx::Data {
+            flow_idx,
+            seg,
+            delivered,
+            retransmission,
+        } => SegmentOutcome::Data {
+            flow: w.specs[flow_idx].id,
+            segment: seg,
+            delivered,
+            retransmission,
+        },
+        PlannedTx::Control { ty } => SegmentOutcome::Control { ty },
+        PlannedTx::Silent => SegmentOutcome::Silent,
+    }
+}
+
+fn apply_delivery(
+    w: &mut World,
+    tx: PlannedTx,
+    at: SimTime,
+    in_window: bool,
+    dir: Direction,
+) {
+    let PlannedTx::Data {
+        flow_idx,
+        seg,
+        delivered,
+        ..
+    } = tx
+    else {
+        return;
+    };
+    if !delivered {
+        return; // ARQ: the segment stays at the head of its queue.
+    }
+    let queue = match dir {
+        Direction::MasterToSlave => w.down_queues[flow_idx].as_mut(),
+        Direction::SlaveToMaster => w.up_queues[flow_idx].as_mut(),
+    }
+    .expect("queue exists for delivering flow");
+    let completed = queue.advance(seg.bytes);
+    if in_window {
+        let report = &mut w.reports[flow_idx];
+        report.delivered_bytes += seg.bytes as u64;
+        if let Some(pkt) = completed {
+            report.delivered_packets += 1;
+            if pkt.arrival >= w.warmup {
+                report.delay.record(at - pkt.arrival);
+            }
+        }
+    } else {
+        // Still drain the queue during warm-up; just don't record.
+        let _ = completed;
+    }
+}
+
+fn start_sco(sched: &mut Scheduler<Ev>, w: &mut World, sco_idx: usize, now: SimTime) {
+    w.busy_until = now + SLOT_PAIR;
+    sched.schedule_at(
+        w.busy_until,
+        Ev::ScoDone {
+            sco_idx,
+            start: now,
+        },
+    );
+}
+
+fn on_sco_done(sched: &mut Scheduler<Ev>, w: &mut World, sco_idx: usize, start: SimTime) {
+    let now = sched.now();
+    let in_window = w.in_window(start);
+    if in_window {
+        w.ledger.sco += 2;
+    }
+    let ty = w.sco[sco_idx].binding.link.packet();
+    let capacity = ty.payload_capacity() as u32;
+    // Move up to one HV payload of voice data; SCO has no retransmission,
+    // lost payloads are simply gone.
+    if w.sco[sco_idx].queue.has_data_at(start) {
+        let bytes = w.sco[sco_idx]
+            .queue
+            .head_remaining()
+            .expect("has data")
+            .min(capacity);
+        let delivered = w.channel.deliver(ty, bytes as usize);
+        let warmup = w.warmup;
+        let sco = &mut w.sco[sco_idx];
+        let completed = sco.queue.advance(bytes);
+        if in_window {
+            if delivered {
+                sco.report.delivered_bytes += bytes as u64;
+            } else {
+                sco.report.lost_bytes += bytes as u64;
+            }
+            if let Some(pkt) = completed {
+                if delivered {
+                    sco.report.delivered_packets += 1;
+                    if pkt.arrival >= warmup {
+                        sco.report.delay.record(now - pkt.arrival);
+                    }
+                }
+            }
+        }
+    } else {
+        // The reservation burns its slots regardless.
+        let _ = w.channel.deliver(ty, 0);
+    }
+    ensure_wake(sched, w, now);
+}
+
+/// A configured piconet simulation, ready to run.
+///
+/// # Examples
+///
+/// ```
+/// use btgs_piconet::{FlowSpec, PiconetConfig, PiconetSim, RoundRobinForTest};
+/// use btgs_baseband::{AmAddr, Direction, IdealChannel, LogicalChannel, PacketType};
+/// use btgs_des::{DetRng, SimDuration, SimTime};
+/// use btgs_traffic::{CbrSource, FlowId};
+///
+/// let config = PiconetConfig::new(vec![PacketType::Dh1, PacketType::Dh3])
+///     .with_flow(FlowSpec::new(
+///         FlowId(1),
+///         AmAddr::new(1).unwrap(),
+///         Direction::SlaveToMaster,
+///         LogicalChannel::BestEffort,
+///     ));
+/// let mut sim = PiconetSim::new(
+///     config,
+///     Box::new(RoundRobinForTest::default()),
+///     Box::new(IdealChannel),
+/// ).unwrap();
+/// sim.add_source(Box::new(CbrSource::new(
+///     FlowId(1),
+///     SimDuration::from_millis(20),
+///     160,
+///     160,
+///     DetRng::seed_from_u64(1),
+/// ))).unwrap();
+/// let report = sim.run(SimTime::from_secs(2)).unwrap();
+/// assert!(report.throughput_kbps(FlowId(1)) > 60.0);
+/// ```
+pub struct PiconetSim {
+    sim: Simulator<World, Ev>,
+    started: bool,
+}
+
+impl PiconetSim {
+    /// Builds a simulation from a validated configuration, a poller and a
+    /// channel model.
+    ///
+    /// # Errors
+    ///
+    /// Returns the configuration's validation error, if any.
+    pub fn new(
+        config: PiconetConfig,
+        poller: Box<dyn Poller>,
+        channel: Box<dyn ChannelModel>,
+    ) -> Result<PiconetSim, PiconetError> {
+        config.validate()?;
+        let specs = config.flows.clone();
+        let allowed: Vec<Vec<PacketType>> = specs
+            .iter()
+            .map(|f| config.allowed_for(f).to_vec())
+            .collect();
+        let down_queues = specs
+            .iter()
+            .map(|f| f.direction.is_downlink().then(FlowQueue::new))
+            .collect();
+        let up_queues = specs
+            .iter()
+            .map(|f| f.direction.is_uplink().then(FlowQueue::new))
+            .collect();
+        let reports = specs.iter().map(|_| FlowReport::default()).collect();
+        let sco = config
+            .sco
+            .iter()
+            .map(|b| ScoRt {
+                binding: b.clone(),
+                queue: FlowQueue::new(),
+                report: FlowReport::default(),
+            })
+            .collect();
+        let world = World {
+            specs,
+            allowed,
+            sar: config.sar,
+            down_queues,
+            up_queues,
+            reports,
+            sources: Vec::new(),
+            poller: Some(poller),
+            channel,
+            sco,
+            busy_until: SimTime::ZERO,
+            wake: None,
+            warmup: SimTime::ZERO + config.warmup,
+            ledger: SlotLedger::default(),
+            gs_polls: PollCounters::default(),
+            be_polls: PollCounters::default(),
+        };
+        Ok(PiconetSim {
+            sim: Simulator::new(world),
+            started: false,
+        })
+    }
+
+    /// Registers the traffic source of one flow (ACL or SCO voice).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the flow id is unknown or already has a source.
+    pub fn add_source(&mut self, source: Box<dyn Source>) -> Result<(), PiconetError> {
+        let id = source.flow();
+        let w = self.sim.state_mut();
+        let target = if let Some(idx) = w.specs.iter().position(|f| f.id == id) {
+            Target::Flow(idx)
+        } else if let Some(idx) = w
+            .sco
+            .iter()
+            .position(|s| s.binding.voice_flow == Some(id))
+        {
+            Target::Sco(idx)
+        } else {
+            return Err(PiconetError(format!("no flow {id} configured")));
+        };
+        if w.sources.iter().any(|s| s.target == target) {
+            return Err(PiconetError(format!("flow {id} already has a source")));
+        }
+        w.sources.push(SourceSlot { source, target });
+        Ok(())
+    }
+
+    /// Runs the simulation until `horizon` and returns the report.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if any configured flow lacks a source or the
+    /// simulation was already run.
+    pub fn run(mut self, horizon: SimTime) -> Result<RunReport, PiconetError> {
+        let w = self.sim.state_mut();
+        if self.started {
+            return Err(PiconetError("simulation already ran".into()));
+        }
+        for (idx, f) in w.specs.iter().enumerate() {
+            if !w.sources.iter().any(|s| s.target == Target::Flow(idx)) {
+                return Err(PiconetError(format!("flow {} has no source", f.id)));
+            }
+        }
+        for (idx, s) in w.sco.iter().enumerate() {
+            if s.binding.voice_flow.is_some()
+                && !w.sources.iter().any(|src| src.target == Target::Sco(idx))
+            {
+                return Err(PiconetError(format!(
+                    "SCO voice flow {} has no source",
+                    s.binding.voice_flow.expect("checked above")
+                )));
+            }
+        }
+        if w.warmup >= horizon {
+            return Err(PiconetError(format!(
+                "warm-up {} must end before the horizon {horizon}",
+                w.warmup
+            )));
+        }
+        self.started = true;
+
+        // Seed initial arrivals, then the first master wake-up; same-time
+        // events fire in scheduling order, so packets arriving at t = 0 are
+        // already queued when the master makes its first decision.
+        let n_sources = self.sim.state().sources.len();
+        for source_idx in 0..n_sources {
+            if let Some(pkt) = self.sim.state_mut().sources[source_idx].source.next_packet() {
+                self.sim
+                    .scheduler_mut()
+                    .schedule_at(pkt.arrival, Ev::Arrival { source_idx, pkt });
+            }
+        }
+        self.sim
+            .scheduler_mut()
+            .schedule_at(SimTime::ZERO, Ev::Wake);
+        // The initial Wake is tracked manually (ensure_wake was not used).
+        self.sim.state_mut().wake = None;
+
+        self.sim.run_until(horizon, handle);
+
+        let w = self.sim.into_state();
+        let mut per_flow = BTreeMap::new();
+        for (idx, f) in w.specs.iter().enumerate() {
+            per_flow.insert(f.id, w.reports[idx].clone());
+        }
+        let mut sco_flows = Vec::new();
+        for s in &w.sco {
+            if let Some(id) = s.binding.voice_flow {
+                per_flow.insert(id, s.report.clone());
+                sco_flows.push((id, s.binding.slave));
+            }
+        }
+        Ok(RunReport {
+            window_start: w.warmup,
+            window_end: horizon,
+            flows: w.specs,
+            sco_flows,
+            per_flow,
+            ledger: w.ledger,
+            gs_polls: w.gs_polls,
+            be_polls: w.be_polls,
+            poller: w.poller.expect("poller present").name().to_owned(),
+        })
+    }
+}
+
+/// A deliberately simple 1-poll-per-slave round-robin poller, used by this
+/// crate's tests and doc examples. Real pollers live in `btgs-pollers` and
+/// `btgs-core`.
+#[derive(Debug, Default)]
+pub struct RoundRobinForTest {
+    cursor: usize,
+}
+
+impl Poller for RoundRobinForTest {
+    fn decide(&mut self, _now: SimTime, view: &MasterView<'_>) -> PollDecision {
+        let slaves = view.slaves();
+        if slaves.is_empty() {
+            return PollDecision::Sleep;
+        }
+        let slave = slaves[self.cursor % slaves.len()];
+        self.cursor += 1;
+        PollDecision::Poll {
+            slave,
+            channel: LogicalChannel::BestEffort,
+        }
+    }
+
+    fn on_exchange(&mut self, _report: &ExchangeReport) {}
+
+    fn name(&self) -> &'static str {
+        "round-robin-test"
+    }
+}

@@ -1,0 +1,153 @@
+//! Exhaustive round-robin polling.
+
+use btgs_baseband::{AmAddr, LogicalChannel};
+use btgs_des::SimTime;
+use btgs_piconet::{ExchangeReport, MasterView, PollDecision, Poller};
+
+/// Exhaustive round robin: stays on a slave until an exchange moves no data
+/// in either direction, then advances to the next slave.
+///
+/// Compared with limited (1-poll) round robin it amortises the polling
+/// overhead over bursts, but a heavily loaded slave can hold the channel for
+/// a long time, hurting the delay of the others.
+#[derive(Clone, Debug, Default)]
+pub struct ExhaustiveRoundRobinPoller {
+    cursor: usize,
+    /// `true` while the current slave keeps producing data.
+    stay: bool,
+}
+
+impl ExhaustiveRoundRobinPoller {
+    /// Creates an exhaustive round-robin poller.
+    pub fn new() -> ExhaustiveRoundRobinPoller {
+        ExhaustiveRoundRobinPoller::default()
+    }
+
+    fn be_slaves(view: &MasterView<'_>) -> Vec<AmAddr> {
+        let mut out: Vec<AmAddr> = Vec::new();
+        for f in view.flows() {
+            if f.channel == LogicalChannel::BestEffort && !out.contains(&f.slave) {
+                out.push(f.slave);
+            }
+        }
+        out.sort();
+        out
+    }
+}
+
+impl Poller for ExhaustiveRoundRobinPoller {
+    fn decide(&mut self, _now: SimTime, view: &MasterView<'_>) -> PollDecision {
+        let slaves = Self::be_slaves(view);
+        if slaves.is_empty() {
+            return PollDecision::Sleep;
+        }
+        if !self.stay {
+            self.cursor = (self.cursor + 1) % slaves.len();
+            // Polling this slave until it runs dry.
+            self.stay = true;
+        }
+        PollDecision::Poll {
+            slave: slaves[self.cursor % slaves.len()],
+            channel: LogicalChannel::BestEffort,
+        }
+    }
+
+    fn on_exchange(&mut self, report: &ExchangeReport) {
+        if report.channel == LogicalChannel::BestEffort && !report.successful() {
+            self.stay = false;
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "exhaustive-round-robin"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use btgs_baseband::{Direction, PacketType};
+    use btgs_piconet::{FlowSpec, SegmentOutcome};
+    use btgs_traffic::FlowId;
+
+    fn s(n: u8) -> AmAddr {
+        AmAddr::new(n).unwrap()
+    }
+
+    fn flows2() -> Vec<FlowSpec> {
+        (1..=2)
+            .map(|n| {
+                FlowSpec::new(
+                    FlowId(n as u32),
+                    s(n),
+                    Direction::SlaveToMaster,
+                    LogicalChannel::BestEffort,
+                )
+            })
+            .collect()
+    }
+
+    fn unsuccessful(slave: AmAddr) -> ExchangeReport {
+        ExchangeReport {
+            start: SimTime::ZERO,
+            end: SimTime::from_micros(1250),
+            slave,
+            channel: LogicalChannel::BestEffort,
+            down: SegmentOutcome::Control { ty: PacketType::Poll },
+            up: SegmentOutcome::Control { ty: PacketType::Null },
+        }
+    }
+
+    #[test]
+    fn stays_until_dry_then_moves() {
+        let flows = flows2();
+        let queues = vec![None, None];
+        let view = MasterView::new(SimTime::ZERO, &flows, &queues);
+        let mut err_poller = ExhaustiveRoundRobinPoller::new();
+        // First decision picks a slave; repeat decisions stay on it.
+        let first = match err_poller.decide(SimTime::ZERO, &view) {
+            PollDecision::Poll { slave, .. } => slave,
+            other => panic!("{other:?}"),
+        };
+        for _ in 0..3 {
+            match err_poller.decide(SimTime::ZERO, &view) {
+                PollDecision::Poll { slave, .. } => assert_eq!(slave, first),
+                other => panic!("{other:?}"),
+            }
+        }
+        // An unsuccessful exchange releases the slave.
+        err_poller.on_exchange(&unsuccessful(first));
+        match err_poller.decide(SimTime::ZERO, &view) {
+            PollDecision::Poll { slave, .. } => assert_ne!(slave, first),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn gs_exchanges_do_not_release() {
+        let flows = flows2();
+        let queues = vec![None, None];
+        let view = MasterView::new(SimTime::ZERO, &flows, &queues);
+        let mut p = ExhaustiveRoundRobinPoller::new();
+        let first = match p.decide(SimTime::ZERO, &view) {
+            PollDecision::Poll { slave, .. } => slave,
+            other => panic!("{other:?}"),
+        };
+        let mut gs_report = unsuccessful(first);
+        gs_report.channel = LogicalChannel::GuaranteedService;
+        p.on_exchange(&gs_report);
+        match p.decide(SimTime::ZERO, &view) {
+            PollDecision::Poll { slave, .. } => assert_eq!(slave, first),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn sleeps_without_flows() {
+        let flows: Vec<FlowSpec> = Vec::new();
+        let queues: Vec<Option<btgs_piconet::FlowQueue>> = Vec::new();
+        let view = MasterView::new(SimTime::ZERO, &flows, &queues);
+        let mut p = ExhaustiveRoundRobinPoller::new();
+        assert_eq!(p.decide(SimTime::ZERO, &view), PollDecision::Sleep);
+    }
+}

@@ -1,0 +1,189 @@
+//! Fair-share tracking across slaves.
+//!
+//! PFP "keeps track of the fairness" by comparing what each slave received
+//! against its fair share. The tracker below measures service in slots (the
+//! true currency of a TDD piconet) and reports each slave's deficit against
+//! a weighted equal split of everything served so far.
+
+use btgs_baseband::AmAddr;
+use std::collections::BTreeMap;
+
+/// Tracks per-slave service and computes fairness deficits.
+///
+/// # Examples
+///
+/// ```
+/// use btgs_pollers::FairShareTracker;
+/// use btgs_baseband::AmAddr;
+///
+/// let s1 = AmAddr::new(1).unwrap();
+/// let s2 = AmAddr::new(2).unwrap();
+/// let mut t = FairShareTracker::new();
+/// t.register(s1, 1.0);
+/// t.register(s2, 1.0);
+/// t.record(s1, 6);
+/// // s1 got 6 slots, s2 none: s2 is 3 slots under its fair share.
+/// assert_eq!(t.deficit(s2), 3.0);
+/// assert_eq!(t.deficit(s1), -3.0);
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct FairShareTracker {
+    served: BTreeMap<AmAddr, u64>,
+    weights: BTreeMap<AmAddr, f64>,
+    total_served: u64,
+    total_weight: f64,
+}
+
+impl FairShareTracker {
+    /// Creates an empty tracker.
+    pub fn new() -> FairShareTracker {
+        FairShareTracker::default()
+    }
+
+    /// Registers a slave with the given positive weight. Re-registering
+    /// replaces the weight but keeps the service history.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `weight` is not positive and finite.
+    pub fn register(&mut self, slave: AmAddr, weight: f64) {
+        assert!(
+            weight.is_finite() && weight > 0.0,
+            "weight must be positive and finite, got {weight}"
+        );
+        if let Some(old) = self.weights.insert(slave, weight) {
+            self.total_weight -= old;
+        }
+        self.total_weight += weight;
+        self.served.entry(slave).or_insert(0);
+    }
+
+    /// Records `slots` of service delivered to `slave`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slave was not registered.
+    pub fn record(&mut self, slave: AmAddr, slots: u64) {
+        let entry = self
+            .served
+            .get_mut(&slave)
+            .expect("slave must be registered before recording service");
+        *entry += slots;
+        self.total_served += slots;
+    }
+
+    /// Slots served to `slave` so far.
+    pub fn served(&self, slave: AmAddr) -> u64 {
+        self.served.get(&slave).copied().unwrap_or(0)
+    }
+
+    /// The slave's fair share of everything served so far.
+    pub fn fair_share(&self, slave: AmAddr) -> f64 {
+        match self.weights.get(&slave) {
+            Some(w) if self.total_weight > 0.0 => {
+                self.total_served as f64 * w / self.total_weight
+            }
+            _ => 0.0,
+        }
+    }
+
+    /// How far `slave` is **under** its fair share (negative when it is
+    /// ahead). PFP prefers the slave with the largest deficit.
+    pub fn deficit(&self, slave: AmAddr) -> f64 {
+        self.fair_share(slave) - self.served(slave) as f64
+    }
+
+    /// The fraction of its fair share the slave has received (1.0 when the
+    /// tracker is empty — everyone is trivially satisfied). This is PFP's
+    /// "fraction of the fair share of resources".
+    pub fn fairness_fraction(&self, slave: AmAddr) -> f64 {
+        let share = self.fair_share(slave);
+        if share <= 0.0 {
+            1.0
+        } else {
+            self.served(slave) as f64 / share
+        }
+    }
+
+    /// The registered slaves, in address order.
+    pub fn slaves(&self) -> impl Iterator<Item = AmAddr> + '_ {
+        self.weights.keys().copied()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn s(n: u8) -> AmAddr {
+        AmAddr::new(n).unwrap()
+    }
+
+    #[test]
+    fn empty_tracker_is_neutral() {
+        let t = FairShareTracker::new();
+        assert_eq!(t.served(s(1)), 0);
+        assert_eq!(t.fair_share(s(1)), 0.0);
+        assert_eq!(t.deficit(s(1)), 0.0);
+        assert_eq!(t.fairness_fraction(s(1)), 1.0);
+    }
+
+    #[test]
+    fn equal_weights_split_evenly() {
+        let mut t = FairShareTracker::new();
+        for n in 1..=4 {
+            t.register(s(n), 1.0);
+        }
+        t.record(s(1), 4);
+        t.record(s(2), 4);
+        assert_eq!(t.fair_share(s(3)), 2.0);
+        assert_eq!(t.deficit(s(3)), 2.0);
+        assert_eq!(t.deficit(s(1)), -2.0);
+        assert_eq!(t.fairness_fraction(s(1)), 2.0);
+        assert_eq!(t.fairness_fraction(s(3)), 0.0);
+    }
+
+    #[test]
+    fn weights_scale_shares() {
+        let mut t = FairShareTracker::new();
+        t.register(s(1), 3.0);
+        t.register(s(2), 1.0);
+        t.record(s(1), 8);
+        // s1 entitled to 6 of the 8, s2 to 2.
+        assert_eq!(t.fair_share(s(1)), 6.0);
+        assert_eq!(t.fair_share(s(2)), 2.0);
+        assert_eq!(t.deficit(s(1)), -2.0);
+        assert_eq!(t.deficit(s(2)), 2.0);
+    }
+
+    #[test]
+    fn reregistering_updates_weight_only() {
+        let mut t = FairShareTracker::new();
+        t.register(s(1), 1.0);
+        t.register(s(2), 1.0);
+        t.record(s(1), 10);
+        t.register(s(1), 4.0);
+        assert_eq!(t.served(s(1)), 10);
+        assert_eq!(t.fair_share(s(1)), 8.0);
+    }
+
+    #[test]
+    fn deficits_sum_to_zero() {
+        let mut t = FairShareTracker::new();
+        for n in 1..=5 {
+            t.register(s(n), n as f64);
+        }
+        t.record(s(1), 7);
+        t.record(s(3), 2);
+        t.record(s(5), 11);
+        let total: f64 = (1..=5).map(|n| t.deficit(s(n))).sum();
+        assert!(total.abs() < 1e-9, "deficits must sum to 0, got {total}");
+    }
+
+    #[test]
+    #[should_panic(expected = "registered")]
+    fn recording_unknown_slave_panics() {
+        let mut t = FairShareTracker::new();
+        t.record(s(1), 1);
+    }
+}

@@ -1,0 +1,246 @@
+//! The Fair Exhaustive Poller (FEP).
+//!
+//! Reconstruction of Johansson, Körner & Johansson's scheduler (reference
+//! [7] of the paper): slaves are kept on an *active* or *inactive* list.
+//! Active slaves are polled round-robin and exhaustively; a slave whose poll
+//! returns no data is demoted to the inactive list; inactive slaves are
+//! probed at a fixed low rate so newly busy slaves are discovered, and a
+//! slave with known downlink backlog is promoted immediately.
+
+use btgs_baseband::{AmAddr, LogicalChannel};
+use btgs_des::{SimDuration, SimTime};
+use btgs_piconet::{ExchangeReport, MasterView, PollDecision, Poller};
+use std::collections::BTreeMap;
+
+/// Fair Exhaustive Poller for best-effort traffic.
+#[derive(Clone, Debug)]
+pub struct FepPoller {
+    probe_interval: SimDuration,
+    /// Per slave: `true` if on the active list.
+    active: BTreeMap<AmAddr, bool>,
+    /// Last time each inactive slave was probed.
+    last_probe: BTreeMap<AmAddr, SimTime>,
+    cursor: usize,
+}
+
+impl FepPoller {
+    /// Creates an FEP that probes inactive slaves every `probe_interval`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `probe_interval` is zero.
+    pub fn new(probe_interval: SimDuration) -> FepPoller {
+        assert!(!probe_interval.is_zero(), "probe interval must be positive");
+        FepPoller {
+            probe_interval,
+            active: BTreeMap::new(),
+            last_probe: BTreeMap::new(),
+            cursor: 0,
+        }
+    }
+
+    fn sync_slaves(&mut self, view: &MasterView<'_>) {
+        for f in view.flows() {
+            if f.channel == LogicalChannel::BestEffort {
+                self.active.entry(f.slave).or_insert(true);
+                self.last_probe.entry(f.slave).or_insert(SimTime::ZERO);
+            }
+        }
+    }
+
+    /// `true` if the slave is currently on the active list (test hook).
+    pub fn is_active(&self, slave: AmAddr) -> bool {
+        self.active.get(&slave).copied().unwrap_or(false)
+    }
+}
+
+impl Poller for FepPoller {
+    fn decide(&mut self, now: SimTime, view: &MasterView<'_>) -> PollDecision {
+        self.sync_slaves(view);
+        if self.active.is_empty() {
+            return PollDecision::Sleep;
+        }
+        // Promote slaves with known downlink data.
+        for f in view.flows() {
+            if f.channel == LogicalChannel::BestEffort && view.downlink_has_data(f.id, now) {
+                self.active.insert(f.slave, true);
+            }
+        }
+        let actives: Vec<AmAddr> = self
+            .active
+            .iter()
+            .filter_map(|(s, a)| a.then_some(*s))
+            .collect();
+        if !actives.is_empty() {
+            let slave = actives[self.cursor % actives.len()];
+            return PollDecision::Poll {
+                slave,
+                channel: LogicalChannel::BestEffort,
+            };
+        }
+        // All inactive: probe the most overdue slave, or idle until the next
+        // probe is due.
+        let (&slave, &last) = self
+            .last_probe
+            .iter()
+            .min_by_key(|(_, &t)| t)
+            .expect("non-empty");
+        let due = last + self.probe_interval;
+        if due <= now {
+            PollDecision::Poll {
+                slave,
+                channel: LogicalChannel::BestEffort,
+            }
+        } else {
+            PollDecision::Idle { until: due }
+        }
+    }
+
+    fn on_exchange(&mut self, report: &ExchangeReport) {
+        if report.channel != LogicalChannel::BestEffort {
+            return;
+        }
+        self.last_probe.insert(report.slave, report.end);
+        if report.successful() {
+            self.active.insert(report.slave, true);
+        } else {
+            self.active.insert(report.slave, false);
+            // Advance past the demoted slave.
+            self.cursor = self.cursor.wrapping_add(1);
+        }
+    }
+
+    fn on_downlink_arrival(&mut self, _flow: btgs_traffic::FlowId, _now: SimTime) {
+        // Promotion happens in `decide` via the downlink view.
+    }
+
+    fn name(&self) -> &'static str {
+        "fep"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use btgs_baseband::{Direction, PacketType};
+    use btgs_piconet::{FlowSpec, SegmentOutcome};
+    use btgs_traffic::FlowId;
+
+    fn s(n: u8) -> AmAddr {
+        AmAddr::new(n).unwrap()
+    }
+
+    fn flows() -> Vec<FlowSpec> {
+        (1..=2)
+            .map(|n| {
+                FlowSpec::new(
+                    FlowId(n as u32),
+                    s(n),
+                    Direction::SlaveToMaster,
+                    LogicalChannel::BestEffort,
+                )
+            })
+            .collect()
+    }
+
+    fn report(slave: AmAddr, successful: bool, end: SimTime) -> ExchangeReport {
+        ExchangeReport {
+            start: end - SimDuration::from_micros(1250),
+            end,
+            slave,
+            channel: LogicalChannel::BestEffort,
+            down: SegmentOutcome::Control { ty: PacketType::Poll },
+            up: if successful {
+                SegmentOutcome::Data {
+                    flow: FlowId(1),
+                    segment: btgs_piconet::SegmentPlan {
+                        ty: PacketType::Dh1,
+                        bytes: 10,
+                        is_last: true,
+                        is_first: true,
+                        packet_seq: 0,
+                        packet_size: 10,
+                        packet_arrival: SimTime::ZERO,
+                    },
+                    delivered: true,
+                    retransmission: false,
+                }
+            } else {
+                SegmentOutcome::Control { ty: PacketType::Null }
+            },
+        }
+    }
+
+    #[test]
+    fn unsuccessful_poll_demotes() {
+        let flows = flows();
+        let queues = vec![None, None];
+        let view = MasterView::new(SimTime::ZERO, &flows, &queues);
+        let mut fep = FepPoller::new(SimDuration::from_millis(50));
+        let _ = fep.decide(SimTime::ZERO, &view);
+        assert!(fep.is_active(s(1)) && fep.is_active(s(2)));
+        fep.on_exchange(&report(s(1), false, SimTime::from_millis(2)));
+        assert!(!fep.is_active(s(1)));
+        assert!(fep.is_active(s(2)));
+    }
+
+    #[test]
+    fn successful_poll_keeps_active() {
+        let flows = flows();
+        let queues = vec![None, None];
+        let view = MasterView::new(SimTime::ZERO, &flows, &queues);
+        let mut fep = FepPoller::new(SimDuration::from_millis(50));
+        let _ = fep.decide(SimTime::ZERO, &view);
+        fep.on_exchange(&report(s(1), true, SimTime::from_millis(2)));
+        assert!(fep.is_active(s(1)));
+    }
+
+    #[test]
+    fn all_inactive_idles_until_probe() {
+        let flows = flows();
+        let queues = vec![None, None];
+        let mut fep = FepPoller::new(SimDuration::from_millis(50));
+        let view = MasterView::new(SimTime::ZERO, &flows, &queues);
+        let _ = fep.decide(SimTime::ZERO, &view);
+        fep.on_exchange(&report(s(1), false, SimTime::from_millis(2)));
+        fep.on_exchange(&report(s(2), false, SimTime::from_millis(3)));
+        // Right after demotion: idle until the first probe is due.
+        let view = MasterView::new(SimTime::from_millis(4), &flows, &queues);
+        match fep.decide(SimTime::from_millis(4), &view) {
+            PollDecision::Idle { until } => assert_eq!(until, SimTime::from_millis(52)),
+            other => panic!("expected Idle, got {other:?}"),
+        }
+        // At the due time the overdue slave is probed.
+        let view = MasterView::new(SimTime::from_millis(52), &flows, &queues);
+        match fep.decide(SimTime::from_millis(52), &view) {
+            PollDecision::Poll { slave, .. } => assert_eq!(slave, s(1)),
+            other => panic!("expected Poll, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn downlink_backlog_promotes() {
+        let flows = vec![FlowSpec::new(
+            FlowId(1),
+            s(1),
+            Direction::MasterToSlave,
+            LogicalChannel::BestEffort,
+        )];
+        let mut q = btgs_piconet::FlowQueue::new();
+        q.push(btgs_traffic::AppPacket::new(0, FlowId(1), 50, SimTime::ZERO));
+        let queues = vec![Some(q)];
+        let mut fep = FepPoller::new(SimDuration::from_millis(50));
+        // Demote the slave first.
+        let empty_queues = vec![None];
+        let view0 = MasterView::new(SimTime::ZERO, &flows, &empty_queues);
+        let _ = fep.decide(SimTime::ZERO, &view0);
+        fep.on_exchange(&report(s(1), false, SimTime::from_millis(2)));
+        assert!(!fep.is_active(s(1)));
+        // With downlink data visible, the next decision polls immediately.
+        let view = MasterView::new(SimTime::from_millis(5), &flows, &queues);
+        match fep.decide(SimTime::from_millis(5), &view) {
+            PollDecision::Poll { slave, .. } => assert_eq!(slave, s(1)),
+            other => panic!("expected Poll, got {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,210 @@
+//! Data-availability prediction for uplink queues.
+//!
+//! The master cannot see a slave's uplink queue, so the Predictive Fair
+//! Poller (PFP, ref. [1] of the paper) *predicts* whether polling a slave
+//! will return data. This module reconstructs that predictor from the
+//! paper's summary: an arrival-rate estimate maintained from past poll
+//! outcomes, turned into the probability that at least one packet arrived
+//! since the last poll emptied the queue (a Poisson assumption).
+
+use btgs_des::{SimDuration, SimTime};
+
+/// Estimates the probability that a slave's uplink queue holds data.
+///
+/// Maintains an exponentially-weighted moving average of the packet arrival
+/// rate, learned from successful polls (a data return at time `t` after a
+/// gap `g` is a rate sample `1/g`), and decayed by unsuccessful polls
+/// (evidence that the rate is lower than estimated).
+///
+/// # Examples
+///
+/// ```
+/// use btgs_pollers::AvailabilityPredictor;
+/// use btgs_des::{SimDuration, SimTime};
+///
+/// let mut p = AvailabilityPredictor::new(SimDuration::from_millis(20));
+/// // Right after an empty poll, availability is low…
+/// p.observe_empty(SimTime::from_millis(100));
+/// assert!(p.probability_at(SimTime::from_millis(101)) < 0.2);
+/// // …but approaches 1 as time passes.
+/// assert!(p.probability_at(SimTime::from_millis(400)) > 0.9);
+/// ```
+#[derive(Clone, Debug)]
+pub struct AvailabilityPredictor {
+    /// EWMA arrival rate in packets/second.
+    rate: f64,
+    /// Instant after which the queue is believed (possibly) non-empty:
+    /// the end of the last poll that emptied or missed data.
+    empty_since: SimTime,
+    /// `true` if the last poll returned data without emptying evidence —
+    /// the queue may still be backlogged, so availability is certain.
+    likely_backlogged: bool,
+    last_data_at: Option<SimTime>,
+    alpha: f64,
+}
+
+impl AvailabilityPredictor {
+    /// Smoothing factor for the rate EWMA.
+    const ALPHA: f64 = 0.15;
+
+    /// Creates a predictor with an initial guess of one packet per
+    /// `expected_interval`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `expected_interval` is zero.
+    pub fn new(expected_interval: SimDuration) -> AvailabilityPredictor {
+        assert!(
+            !expected_interval.is_zero(),
+            "expected interval must be positive"
+        );
+        AvailabilityPredictor {
+            rate: 1.0 / expected_interval.as_secs_f64(),
+            empty_since: SimTime::ZERO,
+            likely_backlogged: false,
+            last_data_at: None,
+            alpha: Self::ALPHA,
+        }
+    }
+
+    /// The current arrival-rate estimate in packets per second.
+    pub fn rate(&self) -> f64 {
+        self.rate
+    }
+
+    /// Records a poll at `t` that returned data. `emptied` should be `true`
+    /// if the returned segment completed the known backlog (in Bluetooth the
+    /// master learns this from the flow bit / follow-up NULL; we approximate
+    /// with "the segment was the packet's last").
+    pub fn observe_data(&mut self, t: SimTime, emptied: bool) {
+        if let Some(prev) = self.last_data_at {
+            let gap = t.saturating_duration_since(prev).as_secs_f64();
+            if gap > 0.0 {
+                let sample = 1.0 / gap;
+                self.rate = (1.0 - self.alpha) * self.rate + self.alpha * sample;
+            }
+        }
+        self.last_data_at = Some(t);
+        self.likely_backlogged = !emptied;
+        self.empty_since = t;
+    }
+
+    /// Records a poll at `t` that returned no data.
+    pub fn observe_empty(&mut self, t: SimTime) {
+        // No data over the gap since the queue was last known empty is
+        // evidence for a lower rate; shrink the estimate gently toward the
+        // implied upper bound.
+        let gap = t.saturating_duration_since(self.empty_since).as_secs_f64();
+        if gap > 0.0 {
+            let implied = 1.0 / gap;
+            if implied < self.rate {
+                self.rate = (1.0 - self.alpha) * self.rate + self.alpha * implied;
+            }
+        }
+        self.likely_backlogged = false;
+        self.empty_since = t;
+    }
+
+    /// The probability that the slave holds uplink data at instant `t`:
+    /// `1 - exp(-rate * (t - empty_since))`, or 1 if a backlog is already
+    /// known.
+    pub fn probability_at(&self, t: SimTime) -> f64 {
+        if self.likely_backlogged {
+            return 1.0;
+        }
+        let dt = t.saturating_duration_since(self.empty_since).as_secs_f64();
+        1.0 - (-self.rate * dt).exp()
+    }
+
+    /// The earliest instant at which [`probability_at`] reaches `threshold`
+    /// — when a rate-matched poll should be scheduled.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threshold` is not within `(0, 1)`.
+    ///
+    /// [`probability_at`]: AvailabilityPredictor::probability_at
+    pub fn time_of_probability(&self, threshold: f64) -> SimTime {
+        assert!(
+            (0.0..1.0).contains(&threshold) && threshold > 0.0,
+            "threshold must be in (0,1), got {threshold}"
+        );
+        if self.likely_backlogged {
+            return self.empty_since;
+        }
+        let dt = -(1.0 - threshold).ln() / self.rate.max(1e-3);
+        self.empty_since + SimDuration::from_secs_f64(dt.min(3600.0))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ms(v: u64) -> SimTime {
+        SimTime::from_millis(v)
+    }
+
+    #[test]
+    fn probability_grows_with_time() {
+        let mut p = AvailabilityPredictor::new(SimDuration::from_millis(20));
+        p.observe_empty(ms(0));
+        let p1 = p.probability_at(ms(5));
+        let p2 = p.probability_at(ms(20));
+        let p3 = p.probability_at(ms(200));
+        assert!(p1 < p2 && p2 < p3);
+        assert!(p3 > 0.99);
+        assert!(p.probability_at(ms(0)) == 0.0);
+    }
+
+    #[test]
+    fn backlog_means_certainty() {
+        let mut p = AvailabilityPredictor::new(SimDuration::from_millis(20));
+        p.observe_data(ms(10), false);
+        assert_eq!(p.probability_at(ms(10)), 1.0);
+        assert_eq!(p.time_of_probability(0.5), ms(10));
+        // Emptied: back to stochastic prediction.
+        p.observe_data(ms(20), true);
+        assert!(p.probability_at(ms(20)) < 1.0);
+    }
+
+    #[test]
+    fn rate_learns_from_data_gaps() {
+        // Feed arrivals every 10 ms into a predictor initialised at 50 ms.
+        let mut p = AvailabilityPredictor::new(SimDuration::from_millis(50));
+        let initial = p.rate();
+        for k in 1..=100u64 {
+            p.observe_data(ms(k * 10), true);
+        }
+        assert!(p.rate() > initial, "rate should rise toward 100/s");
+        assert!((p.rate() - 100.0).abs() < 20.0, "rate {}", p.rate());
+    }
+
+    #[test]
+    fn rate_decays_on_empty_polls() {
+        let mut p = AvailabilityPredictor::new(SimDuration::from_millis(10));
+        let initial = p.rate();
+        // Empty polls spaced widely: strong evidence of a lower rate.
+        for k in 1..=50u64 {
+            p.observe_empty(ms(k * 200));
+        }
+        assert!(p.rate() < initial / 2.0, "rate {} vs {initial}", p.rate());
+    }
+
+    #[test]
+    fn time_of_probability_inverts_probability() {
+        let mut p = AvailabilityPredictor::new(SimDuration::from_millis(20));
+        p.observe_empty(ms(100));
+        let t = p.time_of_probability(0.5);
+        let prob = p.probability_at(t);
+        assert!((prob - 0.5).abs() < 0.01, "p({t}) = {prob}");
+        assert!(t > ms(100));
+    }
+
+    #[test]
+    #[should_panic(expected = "threshold")]
+    fn threshold_validated() {
+        let p = AvailabilityPredictor::new(SimDuration::from_millis(20));
+        let _ = p.time_of_probability(1.0);
+    }
+}

@@ -1,0 +1,154 @@
+//! Plain round-robin polling.
+
+use btgs_baseband::{AmAddr, LogicalChannel};
+use btgs_des::SimTime;
+use btgs_piconet::{ExchangeReport, MasterView, PollDecision, Poller};
+
+/// Pure round robin with limited service: every slave gets exactly one poll
+/// per cycle, data or not.
+///
+/// This is the classical baseline the intra-piconet scheduling literature
+/// measures against: trivially fair in polls, but it wastes slots on idle
+/// slaves (every poll of an empty slave costs a POLL/NULL pair) and its
+/// cycle time grows with the piconet size.
+///
+/// # Examples
+///
+/// ```
+/// use btgs_pollers::RoundRobinPoller;
+/// use btgs_piconet::{FlowSpec, MasterView, PollDecision, Poller};
+/// use btgs_baseband::{AmAddr, Direction, LogicalChannel};
+/// use btgs_traffic::FlowId;
+/// use btgs_des::SimTime;
+///
+/// let flows = vec![
+///     FlowSpec::new(FlowId(1), AmAddr::new(1).unwrap(), Direction::SlaveToMaster, LogicalChannel::BestEffort),
+///     FlowSpec::new(FlowId(2), AmAddr::new(2).unwrap(), Direction::SlaveToMaster, LogicalChannel::BestEffort),
+/// ];
+/// let queues = vec![None, None];
+/// let view = MasterView::new(SimTime::ZERO, &flows, &queues);
+/// let mut rr = RoundRobinPoller::new();
+/// let first = rr.decide(SimTime::ZERO, &view);
+/// let second = rr.decide(SimTime::ZERO, &view);
+/// assert_ne!(first, second); // alternates between the two slaves
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct RoundRobinPoller {
+    cursor: usize,
+}
+
+impl RoundRobinPoller {
+    /// Creates a round-robin poller starting at the lowest slave address.
+    pub fn new() -> RoundRobinPoller {
+        RoundRobinPoller::default()
+    }
+
+    fn be_slaves(view: &MasterView<'_>) -> Vec<AmAddr> {
+        let mut out: Vec<AmAddr> = Vec::new();
+        for f in view.flows() {
+            if f.channel == LogicalChannel::BestEffort && !out.contains(&f.slave) {
+                out.push(f.slave);
+            }
+        }
+        out.sort();
+        out
+    }
+}
+
+impl Poller for RoundRobinPoller {
+    fn decide(&mut self, _now: SimTime, view: &MasterView<'_>) -> PollDecision {
+        let slaves = Self::be_slaves(view);
+        if slaves.is_empty() {
+            return PollDecision::Sleep;
+        }
+        let slave = slaves[self.cursor % slaves.len()];
+        self.cursor += 1;
+        PollDecision::Poll {
+            slave,
+            channel: LogicalChannel::BestEffort,
+        }
+    }
+
+    fn on_exchange(&mut self, _report: &ExchangeReport) {}
+
+    fn name(&self) -> &'static str {
+        "round-robin"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use btgs_baseband::Direction;
+    use btgs_piconet::FlowSpec;
+    use btgs_traffic::FlowId;
+
+    fn s(n: u8) -> AmAddr {
+        AmAddr::new(n).unwrap()
+    }
+
+    fn flows3() -> Vec<FlowSpec> {
+        (1..=3)
+            .map(|n| {
+                FlowSpec::new(
+                    FlowId(n as u32),
+                    s(n),
+                    Direction::SlaveToMaster,
+                    LogicalChannel::BestEffort,
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn cycles_through_all_slaves() {
+        let flows = flows3();
+        let queues = vec![None, None, None];
+        let view = MasterView::new(SimTime::ZERO, &flows, &queues);
+        let mut rr = RoundRobinPoller::new();
+        let mut seen = Vec::new();
+        for _ in 0..6 {
+            match rr.decide(SimTime::ZERO, &view) {
+                PollDecision::Poll { slave, channel } => {
+                    assert_eq!(channel, LogicalChannel::BestEffort);
+                    seen.push(slave.get());
+                }
+                other => panic!("expected Poll, got {other:?}"),
+            }
+        }
+        assert_eq!(seen, vec![1, 2, 3, 1, 2, 3]);
+    }
+
+    #[test]
+    fn sleeps_without_be_flows() {
+        let flows = vec![FlowSpec::new(
+            FlowId(1),
+            s(1),
+            Direction::SlaveToMaster,
+            LogicalChannel::GuaranteedService,
+        )];
+        let queues = vec![None];
+        let view = MasterView::new(SimTime::ZERO, &flows, &queues);
+        let mut rr = RoundRobinPoller::new();
+        assert_eq!(rr.decide(SimTime::ZERO, &view), PollDecision::Sleep);
+    }
+
+    #[test]
+    fn ignores_gs_only_slaves() {
+        let mut flows = flows3();
+        flows.push(FlowSpec::new(
+            FlowId(9),
+            s(7),
+            Direction::SlaveToMaster,
+            LogicalChannel::GuaranteedService,
+        ));
+        let queues = vec![None, None, None, None];
+        let view = MasterView::new(SimTime::ZERO, &flows, &queues);
+        let mut rr = RoundRobinPoller::new();
+        for _ in 0..9 {
+            if let PollDecision::Poll { slave, .. } = rr.decide(SimTime::ZERO, &view) {
+                assert_ne!(slave.get(), 7, "GS-only slave polled by BE round robin");
+            }
+        }
+    }
+}

@@ -1,0 +1,48 @@
+//! # btgs-traffic — traffic specifications and sources
+//!
+//! Workload substrate for the `btgs` reproduction of *"Providing Delay
+//! Guarantees in Bluetooth"* (Ait Yaiz & Heijenk, ICDCSW'03):
+//!
+//! * [`TokenBucketSpec`] — the RFC 2215 TSpec `(p, r, b, m, M)` used by the
+//!   Guaranteed Service, plus a running [`Policer`] that checks conformance.
+//! * [`AppPacket`] / [`FlowId`] — higher-layer packets offered to the MAC.
+//! * [`Source`] implementations: [`CbrSource`] (the paper's GS and BE
+//!   sources), [`PoissonSource`], [`OnOffSource`], [`TraceSource`] and
+//!   [`GreedySource`].
+//!
+//! # Examples
+//!
+//! The paper's GS flows: one packet every 20 ms, uniform in `[144, 176]`
+//! bytes — a 64 kbps mean rate whose TSpec is `p = r = 8800 B/s`,
+//! `b = M = 176 B`, `m = 144 B`:
+//!
+//! ```
+//! use btgs_traffic::{CbrSource, FlowId, Policer, Source, TokenBucketSpec};
+//! use btgs_des::{DetRng, SimDuration};
+//!
+//! let spec = TokenBucketSpec::for_cbr(0.020, 144, 176)?;
+//! let mut source = CbrSource::new(
+//!     FlowId(1),
+//!     SimDuration::from_millis(20),
+//!     144,
+//!     176,
+//!     DetRng::seed_from_u64(1),
+//! );
+//! let mut policer = Policer::new(spec);
+//! for _ in 0..500 {
+//!     let pkt = source.next_packet().unwrap();
+//!     assert!(policer.conforms(pkt.arrival.as_secs_f64(), pkt.size));
+//! }
+//! # Ok::<(), btgs_traffic::InvalidTSpec>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod packet;
+mod source;
+mod token_bucket;
+
+pub use packet::{AppPacket, FlowId};
+pub use source::{CbrSource, GreedySource, OnOffSource, PoissonSource, Source, TraceSource};
+pub use token_bucket::{InvalidTSpec, Policer, TokenBucketSpec};

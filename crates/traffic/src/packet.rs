@@ -1,0 +1,85 @@
+//! Higher-layer packets offered to the piconet.
+
+use btgs_des::SimTime;
+use core::fmt;
+
+/// Identifier of a traffic flow within a scenario.
+///
+/// Flow ids double as the *initial* Guaranteed Service priority value in the
+/// paper's admission control ("consider the flow number being the priority
+/// value of a flow"), but the admission routine may reassign priorities.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct FlowId(pub u32);
+
+impl fmt::Debug for FlowId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "FlowId({})", self.0)
+    }
+}
+
+impl fmt::Display for FlowId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "flow{}", self.0)
+    }
+}
+
+/// A higher-layer (e.g. L2CAP) packet offered to the MAC layer.
+///
+/// The MAC segments it into baseband packets; the packet's delay is measured
+/// from [`arrival`](AppPacket::arrival) until its **last** segment has been
+/// received.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct AppPacket {
+    /// Sequence number within the flow (0-based).
+    pub seq: u64,
+    /// The flow this packet belongs to.
+    pub flow: FlowId,
+    /// Payload size in bytes (at least 1).
+    pub size: u32,
+    /// Instant the packet became available for transmission.
+    pub arrival: SimTime,
+}
+
+impl AppPacket {
+    /// Creates a packet.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `size` is zero: zero-length higher-layer packets are not
+    /// meaningful to a MAC scheduler.
+    pub fn new(seq: u64, flow: FlowId, size: u32, arrival: SimTime) -> AppPacket {
+        assert!(size > 0, "packet size must be positive");
+        AppPacket {
+            seq,
+            flow,
+            size,
+            arrival,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction() {
+        let p = AppPacket::new(3, FlowId(1), 160, SimTime::from_millis(60));
+        assert_eq!(p.seq, 3);
+        assert_eq!(p.flow, FlowId(1));
+        assert_eq!(p.size, 160);
+        assert_eq!(p.arrival, SimTime::from_millis(60));
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_size_rejected() {
+        let _ = AppPacket::new(0, FlowId(0), 0, SimTime::ZERO);
+    }
+
+    #[test]
+    fn flow_id_formatting() {
+        assert_eq!(FlowId(7).to_string(), "flow7");
+        assert_eq!(format!("{:?}", FlowId(7)), "FlowId(7)");
+    }
+}

@@ -1,0 +1,70 @@
+//! Admission playground: keep adding Guaranteed Service flows until the
+//! piconet refuses, watching priorities get reshuffled along the way.
+//!
+//! ```text
+//! cargo run --example admission_playground
+//! ```
+
+use btgs::baseband::{AmAddr, Direction};
+use btgs::core::{AdmissionConfig, AdmissionController, GsRequest};
+use btgs::gs::TokenBucketSpec;
+use btgs::metrics::Table;
+use btgs::traffic::FlowId;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut controller = AdmissionController::new(AdmissionConfig::paper());
+    let tspec = TokenBucketSpec::for_cbr(0.020, 144, 176)?;
+
+    // Alternate directions over the slaves; rates get steeper over time so
+    // the later, more demanding flows force priority reshuffles.
+    let attempts: Vec<(u32, u8, Direction, f64)> = vec![
+        (1, 1, Direction::SlaveToMaster, 8_800.0),
+        (2, 2, Direction::SlaveToMaster, 9_600.0),
+        (3, 2, Direction::MasterToSlave, 8_800.0), // piggybacks on flow 2
+        (4, 3, Direction::SlaveToMaster, 12_800.0),
+        (5, 4, Direction::SlaveToMaster, 19_200.0), // needs a high priority
+        (6, 5, Direction::SlaveToMaster, 8_800.0),
+        (7, 6, Direction::SlaveToMaster, 8_800.0),
+        (8, 7, Direction::SlaveToMaster, 8_800.0),
+    ];
+
+    for (id, slave, direction, rate) in attempts {
+        let request = GsRequest::new(
+            FlowId(id),
+            AmAddr::new(slave).expect("1..=7"),
+            direction,
+            tspec,
+            rate,
+        );
+        print!("flow {id} at S{slave} ({direction}, {rate:.0} B/s): ");
+        match controller.try_admit(request) {
+            Ok(outcome) => {
+                println!("ACCEPTED — schedule now:");
+                let mut t = Table::new(vec!["prio", "entity", "flows", "x", "y", "rate [B/s]"]);
+                for e in &outcome.entities {
+                    t.row(vec![
+                        e.priority.to_string(),
+                        e.slave.to_string(),
+                        e.flow_ids
+                            .iter()
+                            .map(|f| f.to_string())
+                            .collect::<Vec<_>>()
+                            .join("+"),
+                        e.x.to_string(),
+                        e.y.to_string(),
+                        format!("{:.0}", e.rate),
+                    ]);
+                }
+                println!("{}", t.render());
+            }
+            Err(e) => println!("REJECTED ({e}); schedule unchanged"),
+        }
+    }
+
+    println!(
+        "final: {} flows admitted across {} polled entities",
+        controller.accepted().len(),
+        controller.outcome().entities.len()
+    );
+    Ok(())
+}

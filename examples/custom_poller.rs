@@ -1,0 +1,139 @@
+//! Implementing a custom polling policy against the `Poller` trait.
+//!
+//! The paper treats the poller as the pluggable heart of a piconet; this
+//! example writes a deliberately naive policy — poll whichever slave's
+//! downlink queue is longest, else round-robin — wires it into the
+//! simulator, and compares it with PFP-BE on the same workload.
+//!
+//! ```text
+//! cargo run --example custom_poller
+//! ```
+
+use btgs::baseband::{AmAddr, Direction, IdealChannel, LogicalChannel, PacketType};
+use btgs::des::{DetRng, SimDuration, SimTime};
+use btgs::piconet::{
+    ExchangeReport, FlowSpec, MasterView, PiconetConfig, PiconetSim, PollDecision, Poller,
+    RunReport,
+};
+use btgs::pollers::PfpBePoller;
+use btgs::traffic::{CbrSource, FlowId, PoissonSource, Source};
+
+/// Longest-downlink-queue-first, with a round-robin fallback.
+struct LongestQueueFirst {
+    cursor: usize,
+}
+
+impl Poller for LongestQueueFirst {
+    fn decide(&mut self, _now: SimTime, view: &MasterView<'_>) -> PollDecision {
+        let mut best: Option<(u64, AmAddr)> = None;
+        for f in view.flows() {
+            if let Some(dl) = view.downlink(f.id) {
+                if dl.backlog_bytes > 0 && best.map_or(true, |(b, _)| dl.backlog_bytes > b) {
+                    best = Some((dl.backlog_bytes, f.slave));
+                }
+            }
+        }
+        let slave = match best {
+            Some((_, slave)) => slave,
+            None => {
+                let slaves = view.slaves();
+                if slaves.is_empty() {
+                    return PollDecision::Sleep;
+                }
+                self.cursor += 1;
+                slaves[self.cursor % slaves.len()]
+            }
+        };
+        PollDecision::Poll {
+            slave,
+            channel: LogicalChannel::BestEffort,
+        }
+    }
+
+    fn on_exchange(&mut self, _report: &ExchangeReport) {}
+
+    fn name(&self) -> &'static str {
+        "longest-queue-first"
+    }
+}
+
+fn scenario() -> PiconetConfig {
+    let mut config = PiconetConfig::new(vec![PacketType::Dh1, PacketType::Dh3])
+        .with_warmup(SimDuration::from_secs(1));
+    for n in 1..=4u8 {
+        let slave = AmAddr::new(n).expect("valid");
+        config = config
+            .with_flow(FlowSpec::new(
+                FlowId(n as u32),
+                slave,
+                Direction::MasterToSlave,
+                LogicalChannel::BestEffort,
+            ))
+            .with_flow(FlowSpec::new(
+                FlowId(10 + n as u32),
+                slave,
+                Direction::SlaveToMaster,
+                LogicalChannel::BestEffort,
+            ));
+    }
+    config
+}
+
+fn sources(seed: u64) -> Vec<Box<dyn Source>> {
+    let root = DetRng::seed_from_u64(seed);
+    let mut out: Vec<Box<dyn Source>> = Vec::new();
+    for n in 1..=4u32 {
+        out.push(Box::new(CbrSource::new(
+            FlowId(n),
+            SimDuration::from_millis(20),
+            176,
+            176,
+            root.stream(u64::from(n)),
+        )));
+        out.push(Box::new(PoissonSource::new(
+            FlowId(10 + n),
+            SimDuration::from_millis(30),
+            100,
+            176,
+            root.stream(u64::from(100 + n)),
+        )));
+    }
+    out
+}
+
+fn run(poller: Box<dyn Poller>) -> Result<RunReport, Box<dyn std::error::Error>> {
+    let mut sim = PiconetSim::new(scenario(), poller, Box::new(IdealChannel))?;
+    for src in sources(3) {
+        sim.add_source(src)?;
+    }
+    Ok(sim.run(SimTime::from_secs(20))?)
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    for (label, poller) in [
+        (
+            "custom longest-queue-first",
+            Box::new(LongestQueueFirst { cursor: 0 }) as Box<dyn Poller>,
+        ),
+        (
+            "pfp-be",
+            Box::new(PfpBePoller::new(SimDuration::from_millis(20))) as Box<dyn Poller>,
+        ),
+    ] {
+        let report = run(poller)?;
+        let mut all = btgs::metrics::DelayStats::new();
+        for f in &report.flows {
+            all.merge(&report.flow(f.id).delay);
+        }
+        println!(
+            "{label:>28}: {:>6.1} kbps total, mean delay {}, max {}, wasted polls {}",
+            report.total_throughput_kbps(),
+            all.mean().expect("traffic"),
+            all.max().expect("traffic"),
+            report.be_polls.unsuccessful,
+        );
+    }
+    println!("\nBoth policies move the offered load; the predictive poller does it");
+    println!("with far fewer wasted polls — the slots the paper hands to QoS.");
+    Ok(())
+}

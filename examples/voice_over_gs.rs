@@ -1,0 +1,62 @@
+//! Voice over Guaranteed Service: the paper's motivating workload.
+//!
+//! Reproduces the Fig. 4 evaluation scenario at a chosen delay requirement:
+//! four 64 kbps voice flows with a guaranteed bound, eight best-effort
+//! flows soaking up whatever the schedule leaves over.
+//!
+//! ```text
+//! cargo run --example voice_over_gs [delay_requirement_ms]
+//! ```
+
+use btgs::core::{PaperScenario, PaperScenarioParams, PollerKind};
+use btgs::des::{SimDuration, SimTime};
+use btgs::metrics::Table;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let dreq_ms: u64 = std::env::args()
+        .nth(1)
+        .map(|a| a.parse())
+        .transpose()?
+        .unwrap_or(40);
+
+    let scenario = PaperScenario::build(PaperScenarioParams {
+        delay_requirement: SimDuration::from_millis(dreq_ms),
+        seed: 7,
+        ..Default::default()
+    });
+
+    println!("GS schedule for a {dreq_ms} ms delay requirement:");
+    let mut t = Table::new(vec!["flow", "granted rate [B/s]", "y", "achievable bound", "guaranteed"]);
+    for plan in &scenario.gs_plans {
+        t.row(vec![
+            plan.request.id.to_string(),
+            format!("{:.0}", plan.request.rate),
+            plan.y.to_string(),
+            plan.achievable_bound.to_string(),
+            plan.guaranteed.to_string(),
+        ]);
+    }
+    println!("{}", t.render());
+
+    let report = scenario.run(PollerKind::PfpGs, SimTime::from_secs(60))?;
+    println!("per-flow results (58 s measured):");
+    println!("{}", report.to_table().render());
+
+    let mut summary = Table::new(vec!["slave", "throughput [kbps]"]);
+    for n in 1..=7u8 {
+        let slave = btgs::baseband::AmAddr::new(n).expect("valid");
+        summary.row(vec![
+            PaperScenario::slave_legend(slave).to_string(),
+            format!("{:.1}", report.slave_throughput_kbps(slave)),
+        ]);
+    }
+    println!("{}", summary.render());
+    println!(
+        "slots: GS {}, BE {}, idle {} (of {} total)",
+        report.ledger.gs_total(),
+        report.ledger.be_total(),
+        report.ledger.idle_in(report.window()),
+        report.window().as_nanos() / btgs::baseband::SLOT.as_nanos(),
+    );
+    Ok(())
+}

@@ -1,0 +1,170 @@
+//! SCO links and the lossy-radio extension, end to end.
+
+use btgs::baseband::{
+    AmAddr, BerChannel, Direction, IdealChannel, LogicalChannel, PacketType, ScoLink,
+};
+use btgs::core::{admit, AdmissionConfig, GsPoller, GsRequest};
+use btgs::des::{DetRng, SimDuration, SimTime};
+use btgs::gs::TokenBucketSpec;
+use btgs::piconet::{FlowSpec, PiconetConfig, PiconetSim, RoundRobinForTest, ScoBinding};
+use btgs::traffic::{CbrSource, FlowId};
+
+fn s(n: u8) -> AmAddr {
+    AmAddr::new(n).unwrap()
+}
+
+#[test]
+fn sco_link_delivers_voice_with_bounded_delay() {
+    // 150-byte frames every 18.75 ms over HV3: aligned with the reservation
+    // grid, worst-case delay <= sync (3.75 ms) + 5 drains (18.75 ms).
+    let config = PiconetConfig::new(vec![PacketType::Dh1])
+        .with_sco(ScoBinding {
+            slave: s(1),
+            link: ScoLink::new(PacketType::Hv3, 0).unwrap(),
+            voice_flow: Some(FlowId(9)),
+        })
+        .with_warmup(SimDuration::from_secs(1));
+    let mut sim = PiconetSim::new(
+        config,
+        Box::new(RoundRobinForTest::default()),
+        Box::new(IdealChannel),
+    )
+    .unwrap();
+    sim.add_source(Box::new(CbrSource::new(
+        FlowId(9),
+        SimDuration::from_micros(18_750),
+        150,
+        150,
+        DetRng::seed_from_u64(1).stream(9),
+    )))
+    .unwrap();
+    let report = sim.run(SimTime::from_secs(15)).unwrap();
+    let voice = report.flow(FlowId(9));
+    assert!(voice.delay.count() > 700);
+    let max = voice.delay.max().unwrap();
+    assert!(
+        max <= SimDuration::from_micros(22_500),
+        "SCO voice delay {max} beyond the 22.5 ms analytical bound"
+    );
+    // The reservation burns exactly a third of all slots.
+    let window_slots = report.window().as_nanos() / btgs::baseband::SLOT.as_nanos();
+    assert_eq!(report.ledger.sco, window_slots / 3);
+    // SCO flows appear in the per-slave aggregation.
+    assert!((report.slave_throughput_kbps(s(1)) - 64.0).abs() < 1.0);
+}
+
+#[test]
+fn sco_loses_bytes_on_a_lossy_radio_but_gs_retransmits() {
+    // At BER 1e-4 a DH3 is lost with ~12% probability: retransmissions fit
+    // in the spare poll budget (at 5e-4 half of all DH3s are lost and the
+    // GS queue could not keep up — see the ber_retransmission bench).
+    let ber = 1e-4;
+    // SCO voice over a lossy channel: bytes vanish (no retransmission).
+    let sco_config = PiconetConfig::new(vec![PacketType::Dh1])
+        .with_sco(ScoBinding {
+            slave: s(1),
+            link: ScoLink::new(PacketType::Hv3, 0).unwrap(),
+            voice_flow: Some(FlowId(9)),
+        })
+        .with_warmup(SimDuration::from_secs(1));
+    let mut sim = PiconetSim::new(
+        sco_config,
+        Box::new(RoundRobinForTest::default()),
+        Box::new(BerChannel::new(ber, DetRng::seed_from_u64(5).stream(1))),
+    )
+    .unwrap();
+    sim.add_source(Box::new(CbrSource::new(
+        FlowId(9),
+        SimDuration::from_micros(18_750),
+        150,
+        150,
+        DetRng::seed_from_u64(1).stream(9),
+    )))
+    .unwrap();
+    let sco_report = sim.run(SimTime::from_secs(15)).unwrap();
+    assert!(
+        sco_report.flow(FlowId(9)).lost_bytes > 0,
+        "SCO must lose bytes at BER {ber}"
+    );
+
+    // The same stream as a GS flow: ARQ recovers everything.
+    let tspec = TokenBucketSpec::for_cbr(0.018_75, 150, 150).unwrap();
+    let request = GsRequest::new(FlowId(1), s(1), Direction::SlaveToMaster, tspec, 12_800.0);
+    let outcome = admit(&[request], &AdmissionConfig::paper()).unwrap();
+    let gs_config = PiconetConfig::new(vec![PacketType::Dh1, PacketType::Dh3])
+        .with_flow(FlowSpec::new(
+            FlowId(1),
+            s(1),
+            Direction::SlaveToMaster,
+            LogicalChannel::GuaranteedService,
+        ))
+        .with_warmup(SimDuration::from_secs(1));
+    let poller = GsPoller::variable(&outcome, SimTime::ZERO);
+    let mut sim = PiconetSim::new(
+        gs_config,
+        Box::new(poller),
+        Box::new(BerChannel::new(ber, DetRng::seed_from_u64(5).stream(2))),
+    )
+    .unwrap();
+    sim.add_source(Box::new(CbrSource::new(
+        FlowId(1),
+        SimDuration::from_micros(18_750),
+        150,
+        150,
+        DetRng::seed_from_u64(1).stream(9),
+    )))
+    .unwrap();
+    let gs_report = sim.run(SimTime::from_secs(15)).unwrap();
+    let gs_flow = gs_report.flow(FlowId(1));
+    assert_eq!(gs_flow.lost_bytes, 0, "ARQ retransmits everything");
+    assert!(
+        gs_flow.delivered_packets + 3 >= gs_flow.offered_packets,
+        "ARQ keeps up at BER {ber}: {} of {} delivered",
+        gs_flow.delivered_packets,
+        gs_flow.offered_packets
+    );
+    assert!(
+        gs_report.ledger.gs_retx > 0,
+        "losses at BER {ber} must cause retransmissions"
+    );
+}
+
+#[test]
+fn ber_zero_behaves_like_the_ideal_channel() {
+    let tspec = TokenBucketSpec::for_cbr(0.020, 144, 176).unwrap();
+    let request = GsRequest::new(FlowId(1), s(1), Direction::SlaveToMaster, tspec, 12_800.0);
+    let outcome = admit(&[request], &AdmissionConfig::paper()).unwrap();
+    let run = |ideal: bool| {
+        let config = PiconetConfig::new(vec![PacketType::Dh1, PacketType::Dh3])
+            .with_flow(FlowSpec::new(
+                FlowId(1),
+                s(1),
+                Direction::SlaveToMaster,
+                LogicalChannel::GuaranteedService,
+            ))
+            .with_warmup(SimDuration::from_secs(1));
+        let poller = GsPoller::variable(&outcome, SimTime::ZERO);
+        let channel: Box<dyn btgs::baseband::ChannelModel> = if ideal {
+            Box::new(IdealChannel)
+        } else {
+            Box::new(BerChannel::new(0.0, DetRng::seed_from_u64(1).stream(0)))
+        };
+        let mut sim = PiconetSim::new(config, Box::new(poller), channel).unwrap();
+        sim.add_source(Box::new(CbrSource::new(
+            FlowId(1),
+            SimDuration::from_millis(20),
+            144,
+            176,
+            DetRng::seed_from_u64(77).stream(1),
+        )))
+        .unwrap();
+        sim.run(SimTime::from_secs(10)).unwrap()
+    };
+    let ideal = run(true);
+    let ber0 = run(false);
+    assert_eq!(ideal.ledger, ber0.ledger);
+    assert_eq!(
+        ideal.flow(FlowId(1)).delivered_bytes,
+        ber0.flow(FlowId(1)).delivered_bytes
+    );
+}
