@@ -74,7 +74,11 @@ pub struct InvalidAmAddr(pub u8);
 
 impl fmt::Display for InvalidAmAddr {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "invalid active member address {} (must be 1..=7)", self.0)
+        write!(
+            f,
+            "invalid active member address {} (must be 1..=7)",
+            self.0
+        )
     }
 }
 

@@ -238,9 +238,11 @@ mod tests {
         // Each HV type carries exactly a 64 kbps voice stream.
         for t in [PacketType::Hv1, PacketType::Hv2, PacketType::Hv3] {
             let interval_slots = t.sco_interval_slots().unwrap();
-            let bytes_per_second =
-                t.payload_capacity() as f64 * (1600.0 / interval_slots as f64);
-            assert!((bytes_per_second - 8000.0).abs() < 1e-9, "{t}: {bytes_per_second}");
+            let bytes_per_second = t.payload_capacity() as f64 * (1600.0 / interval_slots as f64);
+            assert!(
+                (bytes_per_second - 8000.0).abs() < 1e-9,
+                "{t}: {bytes_per_second}"
+            );
         }
     }
 

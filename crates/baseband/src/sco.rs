@@ -109,7 +109,10 @@ mod tests {
         assert!(ScoLink::new(PacketType::Hv3, 0).is_some());
         assert!(ScoLink::new(PacketType::Hv3, 2).is_some());
         assert!(ScoLink::new(PacketType::Hv3, 3).is_none(), "offset too big");
-        assert!(ScoLink::new(PacketType::Hv1, 1).is_none(), "HV1 fills every pair");
+        assert!(
+            ScoLink::new(PacketType::Hv1, 1).is_none(),
+            "HV1 fills every pair"
+        );
         assert!(ScoLink::new(PacketType::Dh1, 0).is_none(), "not SCO");
     }
 
@@ -124,15 +127,23 @@ mod tests {
     #[test]
     fn reserved_fractions() {
         assert_eq!(
-            ScoLink::new(PacketType::Hv1, 0).unwrap().reserved_fraction(),
+            ScoLink::new(PacketType::Hv1, 0)
+                .unwrap()
+                .reserved_fraction(),
             1.0
         );
         assert_eq!(
-            ScoLink::new(PacketType::Hv2, 0).unwrap().reserved_fraction(),
+            ScoLink::new(PacketType::Hv2, 0)
+                .unwrap()
+                .reserved_fraction(),
             0.5
         );
         assert!(
-            (ScoLink::new(PacketType::Hv3, 0).unwrap().reserved_fraction() - 1.0 / 3.0).abs()
+            (ScoLink::new(PacketType::Hv3, 0)
+                .unwrap()
+                .reserved_fraction()
+                - 1.0 / 3.0)
+                .abs()
                 < 1e-12
         );
     }
@@ -158,7 +169,10 @@ mod tests {
     #[test]
     fn offset_shifts_the_grid() {
         let sco = ScoLink::new(PacketType::Hv3, 1).unwrap();
-        assert_eq!(sco.next_reservation(SimTime::ZERO), SimTime::from_micros(1250));
+        assert_eq!(
+            sco.next_reservation(SimTime::ZERO),
+            SimTime::from_micros(1250)
+        );
         assert_eq!(
             sco.next_reservation(SimTime::from_micros(1251)),
             SimTime::from_micros(5000)

@@ -36,7 +36,7 @@ pub fn slot_index(t: SimTime) -> u64 {
 
 /// `true` if `t` lies in an even-numbered slot (a master-to-slave slot).
 pub fn in_even_slot(t: SimTime) -> bool {
-    slot_index(t) % 2 == 0
+    slot_index(t).is_multiple_of(2)
 }
 
 /// The first instant at or after `t` at which a master transmission may

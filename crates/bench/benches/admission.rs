@@ -1,9 +1,10 @@
-//! Criterion micro-benchmark: cost of the Fig. 3 admission routine.
+//! Micro-benchmark: cost of the Fig. 3 admission routine.
 
 use btgs_baseband::{AmAddr, Direction};
+use btgs_bench::microbench::Criterion;
+use btgs_bench::{criterion_group, criterion_main};
 use btgs_core::{admit, paper_tspec, AdmissionConfig, GsRequest};
 use btgs_traffic::FlowId;
-use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
 fn requests(pairs: u8) -> Vec<GsRequest> {

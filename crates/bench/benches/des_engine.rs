@@ -1,7 +1,8 @@
-//! Criterion micro-benchmark: raw event throughput of the DES engine.
+//! Micro-benchmark: raw event throughput of the DES engine.
 
+use btgs_bench::microbench::Criterion;
+use btgs_bench::{criterion_group, criterion_main};
 use btgs_des::{EventQueue, SimDuration, SimTime, Simulator};
-use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
 fn engine_event_throughput(c: &mut Criterion) {

@@ -1,9 +1,10 @@
-//! Criterion macro-benchmark: simulated seconds per wall second for the
+//! Macro-benchmark: simulated seconds per wall second for the
 //! full paper scenario.
 
+use btgs_bench::microbench::Criterion;
+use btgs_bench::{criterion_group, criterion_main};
 use btgs_core::{PaperScenario, PaperScenarioParams, PollerKind};
 use btgs_des::{SimDuration, SimTime};
-use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
 fn sim_throughput(c: &mut Criterion) {

@@ -3,17 +3,30 @@
 //!
 //! Both pollers provide the same delay guarantee; the fixed poller simply
 //! polls more often than needed, burning slots that the variable poller
-//! leaves to best-effort traffic.
+//! leaves to best-effort traffic. The 2 × 3 grid runs in parallel through
+//! [`ExperimentRunner`].
 
-use btgs_bench::{banner, BenchArgs};
-use btgs_core::{run_point, PollerKind};
-use btgs_baseband::AmAddr;
+use btgs_bench::{banner, be_total_kbps, BenchArgs};
+use btgs_core::{ExperimentRunner, PollerKind, ScenarioGrid};
 use btgs_des::SimDuration;
 use btgs_metrics::Table;
 
 fn main() {
     let args = BenchArgs::parse(60);
     banner("Ablation: fixed vs. variable interval poller", &args);
+
+    let grid = ScenarioGrid {
+        pollers: vec![PollerKind::FixedGs, PollerKind::PfpGs],
+        seeds: vec![args.seed],
+        delay_requirements: [36u64, 40, 46]
+            .iter()
+            .map(|&ms| SimDuration::from_millis(ms))
+            .collect(),
+        horizon: args.horizon(),
+        warmup: SimDuration::from_secs(2),
+        include_be: true,
+    };
+    let report = ExperimentRunner::new().run_grid(&grid);
 
     let mut t = Table::new(vec![
         "Dreq",
@@ -25,55 +38,29 @@ fn main() {
         "GS max delay",
         "violations",
     ]);
-    for &ms in &[36u64, 40, 46] {
-        for (kind, label) in [
-            (PollerKind::FixedGs, "fixed (§3.1)"),
-            (PollerKind::PfpGs, "variable (§3.2)"),
-        ] {
-            let point = run_point(SimDuration::from_millis(ms), args.seed, args.horizon(), kind);
-            let window_s = point.report.window().as_secs_f64();
-            let max_delay = point
-                .scenario
-                .gs_plans
+    // Render requirement-major (the paper's reading order); the grid itself
+    // is poller-major.
+    for &dreq in &grid.delay_requirements {
+        for &kind in &grid.pollers {
+            let label = match kind {
+                PollerKind::FixedGs => "fixed (§3.1)",
+                _ => "variable (§3.2)",
+            };
+            let cell = report
+                .cells
                 .iter()
-                .map(|p| {
-                    point
-                        .report
-                        .flow(p.request.id)
-                        .delay
-                        .max()
-                        .expect("GS flows see traffic")
-                })
-                .max()
-                .expect("four GS flows");
-            let violations: usize = point
-                .scenario
-                .gs_plans
-                .iter()
-                .map(|p| {
-                    point
-                        .report
-                        .flow(p.request.id)
-                        .delay
-                        .violations_of(p.achievable_bound)
-                })
-                .sum();
-            let be_total: f64 = (4..=7u8)
-                .map(|n| {
-                    point
-                        .report
-                        .slave_throughput_kbps(AmAddr::new(n).expect("S4..S7"))
-                })
-                .sum();
+                .find(|c| c.cell.poller == kind && c.cell.delay_requirement == dreq)
+                .expect("cell present in grid");
+            let window_s = cell.report.window().as_secs_f64();
             t.row(vec![
-                format!("{ms} ms"),
+                dreq.to_string(),
                 label.into(),
-                format!("{:.0}", point.report.ledger.gs_total() as f64 / window_s),
-                format!("{:.0}", point.report.ledger.gs_overhead as f64 / window_s),
-                format!("{:.1}", point.report.gs_polls.unsuccessful as f64 / window_s),
-                format!("{be_total:.1}"),
-                max_delay.to_string(),
-                violations.to_string(),
+                format!("{:.0}", cell.report.ledger.gs_total() as f64 / window_s),
+                format!("{:.0}", cell.report.ledger.gs_overhead as f64 / window_s),
+                format!("{:.1}", cell.report.gs_polls.unsuccessful as f64 / window_s),
+                format!("{:.1}", be_total_kbps(&cell.report)),
+                cell.gs_max_delay().to_string(),
+                cell.gs_violations().to_string(),
             ]);
         }
     }

@@ -3,10 +3,11 @@
 //! * (a) packet-size-aware postponement after a packet's last segment;
 //! * (b) replanning unsuccessful polls from their actual time;
 //! * (c) skipping polls for known-empty master→slave flows.
+//!
+//! All five variants run concurrently through [`ExperimentRunner`].
 
-use btgs_bench::{banner, BenchArgs};
-use btgs_core::{run_point, Improvements, PollerKind};
-use btgs_baseband::AmAddr;
+use btgs_bench::{banner, be_total_kbps, BenchArgs};
+use btgs_core::{ExperimentRunner, Improvements, PollerKind, ScenarioGrid};
 use btgs_des::SimDuration;
 use btgs_metrics::Table;
 
@@ -43,7 +44,19 @@ fn main() {
         ("(a)+(b)+(c) (§3.2)", Improvements::ALL),
     ];
 
-    let dreq = SimDuration::from_millis(40);
+    let grid = ScenarioGrid {
+        pollers: variants
+            .iter()
+            .map(|(_, imp)| PollerKind::Custom(*imp))
+            .collect(),
+        seeds: vec![args.seed],
+        delay_requirements: vec![SimDuration::from_millis(40)],
+        horizon: args.horizon(),
+        warmup: SimDuration::from_secs(2),
+        include_be: true,
+    };
+    let report = ExperimentRunner::new().run_grid(&grid);
+
     let mut t = Table::new(vec![
         "improvements",
         "GS slots/s",
@@ -52,43 +65,17 @@ fn main() {
         "GS max delay",
         "violations",
     ]);
-    for (label, improvements) in variants {
-        let point = run_point(
-            dreq,
-            args.seed,
-            args.horizon(),
-            PollerKind::Custom(improvements),
-        );
-        let window_s = point.report.window().as_secs_f64();
-        let max_delay = point
-            .scenario
-            .gs_plans
-            .iter()
-            .map(|p| point.report.flow(p.request.id).delay.max().expect("traffic"))
-            .max()
-            .expect("four GS flows");
-        let violations: usize = point
-            .scenario
-            .gs_plans
-            .iter()
-            .map(|p| {
-                point
-                    .report
-                    .flow(p.request.id)
-                    .delay
-                    .violations_of(p.achievable_bound)
-            })
-            .sum();
-        let be_total: f64 = (4..=7u8)
-            .map(|n| point.report.slave_throughput_kbps(AmAddr::new(n).expect("S4..S7")))
-            .sum();
+    // Grid order is poller-major with one seed and one requirement, so the
+    // cells land exactly in variant order.
+    for ((label, _), cell) in variants.iter().zip(&report.cells) {
+        let window_s = cell.report.window().as_secs_f64();
         t.row(vec![
-            label.into(),
-            format!("{:.0}", point.report.ledger.gs_total() as f64 / window_s),
-            format!("{:.1}", point.report.gs_polls.unsuccessful as f64 / window_s),
-            format!("{be_total:.1}"),
-            max_delay.to_string(),
-            violations.to_string(),
+            (*label).into(),
+            format!("{:.0}", cell.report.ledger.gs_total() as f64 / window_s),
+            format!("{:.1}", cell.report.gs_polls.unsuccessful as f64 / window_s),
+            format!("{:.1}", be_total_kbps(&cell.report)),
+            cell.gs_max_delay().to_string(),
+            cell.gs_violations().to_string(),
         ]);
     }
     println!("{}", t.render());

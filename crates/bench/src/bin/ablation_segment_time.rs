@@ -5,11 +5,11 @@
 //! exact model charges only what an entity's own directions can transmit
 //! (POLL + DH3 for a unidirectional uplink flow). Purely analytical.
 
+use btgs_baseband::{AmAddr, Direction};
 use btgs_bench::{banner, BenchArgs};
 use btgs_core::{
     admit, max_admissible_rate, paper_tspec, AdmissionConfig, GsRequest, SegmentTimeModel,
 };
-use btgs_baseband::{AmAddr, Direction};
 use btgs_des::SimDuration;
 use btgs_gs::{delay_bound, ErrorTerms};
 use btgs_metrics::Table;
@@ -17,7 +17,10 @@ use btgs_traffic::FlowId;
 
 fn main() {
     let args = BenchArgs::parse(1);
-    banner("Ablation: segment-time accounting (conservative vs. exact)", &args);
+    banner(
+        "Ablation: segment-time accounting (conservative vs. exact)",
+        &args,
+    );
 
     let tspec = paper_tspec();
     let s = |n| AmAddr::new(n).unwrap();

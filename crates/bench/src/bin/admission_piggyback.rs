@@ -5,11 +5,9 @@
 //! Purely analytical: for growing sets of bidirectional 64 kbps GS pairs at
 //! increasing rates, counts how many flows each admission variant accepts.
 
-use btgs_bench::{banner, BenchArgs};
-use btgs_core::{
-    admit, paper_tspec, piconet_u, y_max, AdmissionConfig, GsRequest, HigherEntity,
-};
 use btgs_baseband::{AmAddr, Direction};
+use btgs_bench::{banner, BenchArgs};
+use btgs_core::{admit, paper_tspec, piconet_u, y_max, AdmissionConfig, GsRequest, HigherEntity};
 use btgs_metrics::Table;
 use btgs_traffic::FlowId;
 
@@ -91,7 +89,9 @@ fn main() {
         "accepted (no piggyback)",
         "accepted (piggyback, arrival order)",
     ]);
-    for rate in [8_800.0, 9_000.0, 9_600.0, 10_400.0, 11_200.0, 12_800.0, 16_000.0] {
+    for rate in [
+        8_800.0, 9_000.0, 9_600.0, 10_400.0, 11_200.0, 12_800.0, 16_000.0,
+    ] {
         let requests = pair_requests(7, rate);
         let full_cfg = AdmissionConfig::paper();
         let mut naive_cfg = AdmissionConfig::paper();

@@ -6,9 +6,9 @@
 //! slot shares. This context experiment shows why the paper builds its GS
 //! poller on PFP.
 
-use btgs_bench::{banner, BenchArgs};
-use btgs_core::BE_RATES_KBPS;
 use btgs_baseband::{AmAddr, Direction, IdealChannel, LogicalChannel, PacketType};
+use btgs_bench::{banner, BenchArgs};
+use btgs_core::{ExperimentRunner, BE_RATES_KBPS};
 use btgs_des::{DetRng, SimDuration, SimTime};
 use btgs_metrics::{jain_index, Table};
 use btgs_piconet::{FlowSpec, PiconetConfig, PiconetSim, Poller};
@@ -59,17 +59,40 @@ fn sources(seed: u64) -> Vec<Box<dyn Source>> {
     out
 }
 
+/// Builds one baseline poller by name; construction happens inside the
+/// worker thread so the boxed pollers need not be `Send`.
+fn poller_by_name(name: &str) -> Box<dyn Poller> {
+    match name {
+        "round-robin" => Box::new(RoundRobinPoller::new()),
+        "exhaustive-rr" => Box::new(ExhaustiveRoundRobinPoller::new()),
+        "fep" => Box::new(FepPoller::new(SimDuration::from_millis(30))),
+        "hol-priority" => Box::new(HolPriorityPoller::new()),
+        "pfp-be" => Box::new(PfpBePoller::new(SimDuration::from_millis(25))),
+        other => panic!("unknown baseline poller {other}"),
+    }
+}
+
 fn main() {
     let args = BenchArgs::parse(60);
     banner("Baseline BE pollers on the Fig. 4 best-effort load", &args);
 
-    let pollers: Vec<(&str, Box<dyn Poller>)> = vec![
-        ("round-robin", Box::new(RoundRobinPoller::new())),
-        ("exhaustive-rr", Box::new(ExhaustiveRoundRobinPoller::new())),
-        ("fep", Box::new(FepPoller::new(SimDuration::from_millis(30)))),
-        ("hol-priority", Box::new(HolPriorityPoller::new())),
-        ("pfp-be", Box::new(PfpBePoller::new(SimDuration::from_millis(25)))),
+    let names = [
+        "round-robin",
+        "exhaustive-rr",
+        "fep",
+        "hol-priority",
+        "pfp-be",
     ];
+    // All five baseline runs are independent and deterministic: fan them
+    // across threads, keep the name order for rendering.
+    let reports = ExperimentRunner::new().run(&names, |name| {
+        let mut sim = PiconetSim::new(config(), poller_by_name(name), Box::new(IdealChannel))
+            .expect("valid baseline scenario");
+        for src in sources(args.seed) {
+            sim.add_source(src).expect("source");
+        }
+        sim.run(args.horizon()).expect("baseline scenario runs")
+    });
 
     let mut t = Table::new(vec![
         "poller",
@@ -81,13 +104,7 @@ fn main() {
         "wasted polls/s",
         "idle slots/s",
     ]);
-    for (name, poller) in pollers {
-        let mut sim = PiconetSim::new(config(), poller, Box::new(IdealChannel))
-            .expect("valid baseline scenario");
-        for src in sources(args.seed) {
-            sim.add_source(src).expect("source");
-        }
-        let report = sim.run(args.horizon()).expect("baseline scenario runs");
+    for (name, report) in names.iter().zip(reports) {
         let window_s = report.window().as_secs_f64();
         let per_slave: Vec<f64> = (4..=7u8)
             .map(|n| report.slave_throughput_kbps(s(n)))
@@ -97,7 +114,7 @@ fn main() {
             all_delays.merge(&report.flow(f.id).delay);
         }
         t.row(vec![
-            name.into(),
+            (*name).into(),
             format!("{:.1}", per_slave.iter().sum::<f64>()),
             per_slave
                 .iter()

@@ -7,9 +7,9 @@
 //! the delay guarantee starts to erode and how many slots ARQ
 //! retransmissions consume.
 
+use btgs_baseband::{AmAddr, BerChannel};
 use btgs_bench::{banner, BenchArgs};
 use btgs_core::{PaperScenario, PaperScenarioParams, PollerKind};
-use btgs_baseband::{AmAddr, BerChannel};
 use btgs_des::{DetRng, SimDuration};
 use btgs_metrics::Table;
 use btgs_piconet::PiconetSim;
@@ -36,12 +36,8 @@ fn main() {
         });
         let poller = scenario.poller(PollerKind::PfpGs);
         let channel = BerChannel::new(ber, DetRng::seed_from_u64(args.seed ^ 0xBE5).stream(9));
-        let mut sim = PiconetSim::new(
-            scenario.config.clone(),
-            Box::new(poller),
-            Box::new(channel),
-        )
-        .expect("valid scenario");
+        let mut sim = PiconetSim::new(scenario.config.clone(), Box::new(poller), Box::new(channel))
+            .expect("valid scenario");
         for src in scenario.sources() {
             sim.add_source(src).expect("source");
         }

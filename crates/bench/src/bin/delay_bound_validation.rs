@@ -18,7 +18,15 @@ fn main() {
     banner("Delay bound validation (§4.2)", &args);
 
     let mut t = Table::new(vec![
-        "Dreq", "seed", "flow", "rate [B/s]", "bound", "max delay", "p99", "samples", "violations",
+        "Dreq",
+        "seed",
+        "flow",
+        "rate [B/s]",
+        "bound",
+        "max delay",
+        "p99",
+        "samples",
+        "violations",
     ]);
     let mut total_violations = 0usize;
     for &ms in &[28u64, 32, 36, 38, 40, 44, 46] {

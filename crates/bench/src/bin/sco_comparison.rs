@@ -11,9 +11,9 @@
 //! * **PFP-GS**: a Guaranteed Service flow polled by the paper's variable
 //!   interval poller.
 
+use btgs_baseband::{AmAddr, Direction, IdealChannel, LogicalChannel, PacketType, ScoLink};
 use btgs_bench::{banner, BenchArgs};
 use btgs_core::{admit, AdmissionConfig, GsPoller, GsRequest};
-use btgs_baseband::{AmAddr, Direction, IdealChannel, LogicalChannel, PacketType, ScoLink};
 use btgs_des::{DetRng, SimDuration, SimTime};
 use btgs_metrics::Table;
 use btgs_piconet::{FlowSpec, PiconetConfig, PiconetSim, RunReport, ScoBinding};
@@ -89,9 +89,10 @@ fn run_sco(args: &BenchArgs) -> RunReport {
             }),
     );
     let be = PfpBePoller::new(SimDuration::from_millis(25));
-    let mut sim = PiconetSim::new(config, Box::new(be), Box::new(IdealChannel))
-        .expect("valid SCO scenario");
-    sim.add_source(voice_source(args.seed)).expect("voice source");
+    let mut sim =
+        PiconetSim::new(config, Box::new(be), Box::new(IdealChannel)).expect("valid SCO scenario");
+    sim.add_source(voice_source(args.seed))
+        .expect("voice source");
     for src in be_sources(args.seed) {
         sim.add_source(src).expect("BE source");
     }
@@ -120,7 +121,8 @@ fn run_pfp_gs(args: &BenchArgs) -> (RunReport, SimDuration) {
     );
     let mut sim = PiconetSim::new(config, Box::new(poller), Box::new(IdealChannel))
         .expect("valid GS scenario");
-    sim.add_source(voice_source(args.seed)).expect("voice source");
+    sim.add_source(voice_source(args.seed))
+        .expect("voice source");
     for src in be_sources(args.seed) {
         sim.add_source(src).expect("BE source");
     }
@@ -169,11 +171,15 @@ fn main() {
         "total BE throughput [kbps]".into(),
         format!(
             "{:.1}",
-            (4..=7u8).map(|n| sco.slave_throughput_kbps(s(n))).sum::<f64>()
+            (4..=7u8)
+                .map(|n| sco.slave_throughput_kbps(s(n)))
+                .sum::<f64>()
         ),
         format!(
             "{:.1}",
-            (4..=7u8).map(|n| gs.slave_throughput_kbps(s(n))).sum::<f64>()
+            (4..=7u8)
+                .map(|n| gs.slave_throughput_kbps(s(n)))
+                .sum::<f64>()
         ),
     ]);
     println!("{}", t.render());

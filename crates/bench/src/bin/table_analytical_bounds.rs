@@ -6,6 +6,7 @@
 //! `R_max` (Eq. 9), the minimum supportable delay requirement, and the
 //! never-exceeded bound `D_max` at `R = r`.
 
+use btgs_baseband::{AmAddr, Direction};
 use btgs_bench::{banner, BenchArgs};
 use btgs_core::{
     admit, max_admissible_rate, min_poll_efficiency, paper_tspec, piconet_u, AdmissionConfig,
@@ -14,7 +15,6 @@ use btgs_core::{
 use btgs_des::SimDuration;
 use btgs_gs::{delay_bound, ErrorTerms};
 use btgs_metrics::Table;
-use btgs_baseband::{AmAddr, Direction};
 use btgs_piconet::SarPolicy;
 use btgs_traffic::FlowId;
 
@@ -34,11 +34,31 @@ fn main() {
     let u = piconet_u(&cfg.allowed_types);
 
     let mut t = Table::new(vec!["quantity", "value", "paper"]);
-    t.row(vec!["TSpec p = r".into(), format!("{} B/s", tspec.token_rate()), "8.8 kB/s".into()]);
-    t.row(vec!["TSpec b = M".into(), format!("{} B", tspec.bucket_depth()), "176 B".into()]);
-    t.row(vec!["TSpec m".into(), format!("{} B", tspec.min_policed_unit()), "144 B".into()]);
-    t.row(vec!["eta_min (Eq. 4)".into(), format!("{eta} B/poll"), "144 B".into()]);
-    t.row(vec!["C error term (Eq. 7)".into(), format!("{eta} B"), "144 B".into()]);
+    t.row(vec![
+        "TSpec p = r".into(),
+        format!("{} B/s", tspec.token_rate()),
+        "8.8 kB/s".into(),
+    ]);
+    t.row(vec![
+        "TSpec b = M".into(),
+        format!("{} B", tspec.bucket_depth()),
+        "176 B".into(),
+    ]);
+    t.row(vec![
+        "TSpec m".into(),
+        format!("{} B", tspec.min_policed_unit()),
+        "144 B".into(),
+    ]);
+    t.row(vec![
+        "eta_min (Eq. 4)".into(),
+        format!("{eta} B/poll"),
+        "144 B".into(),
+    ]);
+    t.row(vec![
+        "C error term (Eq. 7)".into(),
+        format!("{eta} B"),
+        "144 B".into(),
+    ]);
     t.row(vec!["U (Fig. 2)".into(), u.to_string(), "3.75 ms".into()]);
 
     let s = |n| AmAddr::new(n).unwrap();

@@ -14,6 +14,8 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod microbench;
+
 use btgs_des::SimTime;
 
 /// Command-line options shared by all experiment binaries.
@@ -54,7 +56,10 @@ impl BenchArgs {
                 other => panic!("unknown flag {other}; known: --seconds --seed --step"),
             }
         }
-        assert!(out.seconds > 0 && out.step_ms > 0, "values must be positive");
+        assert!(
+            out.seconds > 0 && out.step_ms > 0,
+            "values must be positive"
+        );
         out
     }
 
@@ -62,6 +67,15 @@ impl BenchArgs {
     pub fn horizon(&self) -> SimTime {
         SimTime::from_secs(self.seconds)
     }
+}
+
+/// Aggregate best-effort throughput (slaves S4..S7) in kbit/s.
+pub fn be_total_kbps(report: &btgs_piconet::RunReport) -> f64 {
+    (4..=7u8)
+        .map(|n| {
+            report.slave_throughput_kbps(btgs_baseband::AmAddr::new(n).expect("S4..S7 are valid"))
+        })
+        .sum()
 }
 
 /// Prints the standard experiment header.

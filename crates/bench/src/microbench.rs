@@ -1,0 +1,174 @@
+//! A tiny, dependency-free micro-benchmark harness with a Criterion-shaped
+//! API.
+//!
+//! The workspace builds in fully offline environments, so it cannot pull
+//! `criterion` from crates.io. This module provides the subset of its
+//! surface the bench files use — [`Criterion::bench_function`],
+//! [`Criterion::benchmark_group`], [`Bencher::iter`], and the
+//! [`criterion_group!`]/[`criterion_main!`] macros — backed by a plain
+//! `std::time::Instant` loop: a warm-up phase to calibrate the iteration
+//! count, then a fixed number of timed samples, reporting the best and
+//! median ns/iteration. Results print to stdout; run with
+//! `cargo bench -p btgs-bench`.
+
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+/// Target wall-clock budget of one sample batch.
+const SAMPLE_BUDGET: Duration = Duration::from_millis(40);
+/// Timed sample batches per benchmark.
+const DEFAULT_SAMPLES: usize = 12;
+
+/// The measurement driver handed to every benchmark closure.
+pub struct Bencher {
+    iters_per_sample: u64,
+    samples: usize,
+    /// Best observed nanoseconds per iteration.
+    pub best_ns: f64,
+    /// Median observed nanoseconds per iteration.
+    pub median_ns: f64,
+}
+
+impl Bencher {
+    /// Times `f`, choosing an iteration count so one sample batch lasts
+    /// about [`SAMPLE_BUDGET`].
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut f: F) {
+        // Calibrate: grow the batch until it costs a measurable slice.
+        let mut iters = 1u64;
+        loop {
+            let start = Instant::now();
+            for _ in 0..iters {
+                black_box(f());
+            }
+            let spent = start.elapsed();
+            if spent >= SAMPLE_BUDGET / 4 || iters >= 1 << 30 {
+                let per_iter = spent.as_secs_f64() / iters as f64;
+                if per_iter > 0.0 {
+                    let target = SAMPLE_BUDGET.as_secs_f64() / per_iter;
+                    iters = (target as u64).clamp(1, 1 << 30);
+                }
+                break;
+            }
+            iters = iters.saturating_mul(4);
+        }
+        self.iters_per_sample = iters;
+        // Measure.
+        let mut per_iter_ns: Vec<f64> = Vec::with_capacity(self.samples);
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            for _ in 0..iters {
+                black_box(f());
+            }
+            per_iter_ns.push(start.elapsed().as_nanos() as f64 / iters as f64);
+        }
+        per_iter_ns.sort_by(f64::total_cmp);
+        self.best_ns = per_iter_ns[0];
+        self.median_ns = per_iter_ns[per_iter_ns.len() / 2];
+    }
+}
+
+/// Entry point mirroring `criterion::Criterion`.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    results: Vec<(String, f64, f64)>,
+}
+
+impl Criterion {
+    /// Runs one named benchmark and prints its result line.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        let mut b = Bencher {
+            iters_per_sample: 0,
+            samples: DEFAULT_SAMPLES,
+            best_ns: f64::NAN,
+            median_ns: f64::NAN,
+        };
+        f(&mut b);
+        println!(
+            "{name:<44} {:>14}/iter (best {:>12}, {} x {} iters)",
+            format_ns(b.median_ns),
+            format_ns(b.best_ns),
+            DEFAULT_SAMPLES,
+            b.iters_per_sample,
+        );
+        self.results.push((name.to_owned(), b.median_ns, b.best_ns));
+        self
+    }
+
+    /// Opens a named group (grouping only affects the printed names).
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.to_owned(),
+        }
+    }
+
+    /// Prints the closing summary. Called by [`criterion_main!`].
+    pub fn final_summary(&self) {
+        println!("\n{} benchmarks completed", self.results.len());
+    }
+
+    /// The median ns/iter of a completed benchmark, for programmatic
+    /// before/after comparisons.
+    pub fn median_ns(&self, name: &str) -> Option<f64> {
+        self.results
+            .iter()
+            .find(|(n, _, _)| n == name)
+            .map(|(_, m, _)| *m)
+    }
+}
+
+/// Group handle mirroring `criterion::BenchmarkGroup`.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for criterion compatibility; sampling here is fixed.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Runs one benchmark within the group's namespace.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, f: F) -> &mut Self {
+        let full = format!("{}/{}", self.name, name);
+        self.criterion.bench_function(&full, f);
+        self
+    }
+
+    /// Closes the group.
+    pub fn finish(self) {}
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns >= 1e6 {
+        format!("{:.2} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.2} us", ns / 1e3)
+    } else {
+        format!("{ns:.1} ns")
+    }
+}
+
+/// Mirrors `criterion::criterion_group!`: bundles benchmark functions into
+/// one group function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name(c: &mut $crate::microbench::Criterion) {
+            $($target(c);)+
+        }
+    };
+}
+
+/// Mirrors `criterion::criterion_main!`: emits `main` running the groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            let mut c = $crate::microbench::Criterion::default();
+            $($group(&mut c);)+
+            c.final_summary();
+        }
+    };
+}

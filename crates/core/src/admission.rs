@@ -420,9 +420,8 @@ pub fn admit(
             .expect("every request belongs to an entity");
         let entity = entity_index_of_candidate[cand_idx];
         let terms = ErrorTerms::new(per_flow_eta[i], entities[entity].y);
-        let bound = delay_bound(&r.tspec, r.rate, terms).map_err(|e| {
-            AdmissionError::BadRequest(format!("flow {}: {e}", r.id))
-        })?;
+        let bound = delay_bound(&r.tspec, r.rate, terms)
+            .map_err(|e| AdmissionError::BadRequest(format!("flow {}: {e}", r.id)))?;
         flows.push(FlowGrant {
             id: r.id,
             entity,
@@ -515,7 +514,8 @@ impl AdmissionController {
             .unwrap_or_else(|| panic!("flow {id} is not accepted"));
         self.accepted.remove(pos);
         let config = self.config.as_ref().expect("constructed with a config");
-        self.outcome = admit(&self.accepted, config).expect("a subset of a feasible set is feasible");
+        self.outcome =
+            admit(&self.accepted, config).expect("a subset of a feasible set is feasible");
         &self.outcome
     }
 }
@@ -620,7 +620,11 @@ mod tests {
             &AdmissionConfig::paper(),
         )
         .unwrap();
-        assert_eq!(out.entity_of(FlowId(2)).unwrap().priority, 1, "reassigned to the top");
+        assert_eq!(
+            out.entity_of(FlowId(2)).unwrap().priority,
+            1,
+            "reassigned to the top"
+        );
         let relaxed_entity = out.entity_of(FlowId(1)).unwrap();
         assert_eq!(relaxed_entity.priority, 2);
         // The relaxed flow's y reflects the demanding flow above it:
@@ -718,7 +722,8 @@ mod tests {
     fn controller_keeps_state_on_rejection() {
         let mut ctl = AdmissionController::new(AdmissionConfig::paper());
         for (i, req) in paper_requests().into_iter().enumerate() {
-            ctl.try_admit(req).unwrap_or_else(|e| panic!("flow {i}: {e}"));
+            ctl.try_admit(req)
+                .unwrap_or_else(|e| panic!("flow {i}: {e}"));
         }
         assert_eq!(ctl.accepted().len(), 4);
         let before = ctl.outcome().clone();

@@ -99,9 +99,7 @@ mod tests {
         // Tight GS budget: everyone is squeezed evenly.
         let squeezed = predicted_be_throughput_kbps(1100.0);
         assert!(squeezed[3] < 83.0);
-        let spread = squeezed
-            .iter()
-            .fold(f64::NEG_INFINITY, |a, &b| a.max(b))
+        let spread = squeezed.iter().fold(f64::NEG_INFINITY, |a, &b| a.max(b))
             - squeezed.iter().fold(f64::INFINITY, |a, &b| a.min(b));
         assert!(spread < 1.0, "fair division under pressure: {squeezed:?}");
     }

@@ -1,5 +1,10 @@
-//! Experiment runners for the paper's evaluation (§4).
+//! Experiment entry points for the paper's evaluation (§4).
+//!
+//! [`sweep_fig5`] fans its requirement points across worker threads via
+//! [`ExperimentRunner`]; every point derives all randomness from its own
+//! seed, so the sweep's output is identical to a sequential run.
 
+use crate::runner::ExperimentRunner;
 use crate::scenario::{PaperScenario, PaperScenarioParams, PollerKind};
 use btgs_baseband::AmAddr;
 use btgs_des::{SimDuration, SimTime};
@@ -67,14 +72,15 @@ pub fn sweep_fig5(
 ) -> SweepSeries {
     let mut series = SweepSeries::new("Delay requirement [s]");
     for n in 1..=7u8 {
-        series.add_series(PaperScenario::slave_legend(
-            AmAddr::new(n).expect("1..=7"),
-        ));
+        series.add_series(PaperScenario::slave_legend(AmAddr::new(n).expect("1..=7")));
     }
-    for &dreq in requirements {
-        let point = run_point(dreq, seed, horizon, kind);
+    // One independent, deterministic simulation per requirement: fan the
+    // points across threads and reassemble them in sweep order.
+    let points =
+        ExperimentRunner::new().run(requirements, |&dreq| run_point(dreq, seed, horizon, kind));
+    for point in points {
         let ys: Vec<f64> = (1..=7u8).map(|n| point.slave_kbps(n)).collect();
-        series.push_x(dreq.as_secs_f64(), &ys);
+        series.push_x(point.delay_requirement.as_secs_f64(), &ys);
     }
     series
 }
@@ -110,7 +116,11 @@ mod tests {
             );
         }
         // Per-slave: S2 carries two GS flows.
-        assert!((point.slave_kbps(2) - 128.0).abs() < 4.0, "{}", point.slave_kbps(2));
+        assert!(
+            (point.slave_kbps(2) - 128.0).abs() < 4.0,
+            "{}",
+            point.slave_kbps(2)
+        );
     }
 
     #[test]

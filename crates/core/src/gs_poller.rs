@@ -79,6 +79,9 @@ impl GsPollerStats {
 /// ```
 pub struct GsPoller {
     entities: Vec<EntityState>,
+    /// `slave address - 1 -> index into entities`, so exchange feedback
+    /// needs no linear search.
+    entity_by_slave: [Option<usize>; AmAddr::MAX_SLAVES],
     be: Option<Box<dyn Poller>>,
     improvements: Improvements,
     stats: GsPollerStats,
@@ -129,11 +132,14 @@ impl GsPoller {
         improvements: Improvements,
     ) -> GsPoller {
         let mut entities: Vec<EntityState> = Vec::with_capacity(outcome.entities.len());
+        let mut entity_by_slave = [None; AmAddr::MAX_SLAVES];
         for e in &outcome.entities {
+            let slot = (e.slave.get() - 1) as usize;
             assert!(
-                entities.iter().all(|x| x.slave != e.slave),
+                entity_by_slave[slot].is_none(),
                 "entity slaves must be unique; admit with piggybacking enabled"
             );
+            entity_by_slave[slot] = Some(entities.len());
             entities.push(EntityState {
                 slave: e.slave,
                 accounting_flow: e.accounting_flow,
@@ -146,6 +152,7 @@ impl GsPoller {
         // `outcome.entities` is priority-sorted; keep that order.
         GsPoller {
             entities,
+            entity_by_slave,
             be: None,
             improvements,
             stats: GsPollerStats::default(),
@@ -222,7 +229,8 @@ impl Poller for GsPoller {
 
     fn on_exchange(&mut self, report: &ExchangeReport) {
         if report.channel == LogicalChannel::GuaranteedService {
-            if let Some(e) = self.entities.iter_mut().find(|e| e.slave == report.slave) {
+            let entity = self.entity_by_slave[(report.slave.get() - 1) as usize];
+            if let Some(e) = entity.map(|i| &mut self.entities[i]) {
                 let acct = match e.accounting_direction {
                     Direction::MasterToSlave => &report.down,
                     Direction::SlaveToMaster => &report.up,
@@ -275,7 +283,7 @@ mod tests {
     use super::*;
     use crate::admission::{admit, AdmissionConfig, GsRequest};
     use btgs_gs::TokenBucketSpec;
-    use btgs_piconet::{FlowQueue, FlowSpec, SegmentPlan};
+    use btgs_piconet::{FlowQueue, FlowSpec, FlowTable, SegmentPlan};
     use btgs_traffic::AppPacket;
 
     fn s(n: u8) -> AmAddr {
@@ -350,11 +358,22 @@ mod tests {
         let out = outcome_two_uplinks();
         let mut poller = GsPoller::variable(&out, SimTime::ZERO);
         let flows = [
-            FlowSpec::new(FlowId(1), s(1), Direction::SlaveToMaster, LogicalChannel::GuaranteedService),
-            FlowSpec::new(FlowId(2), s(2), Direction::SlaveToMaster, LogicalChannel::GuaranteedService),
+            FlowSpec::new(
+                FlowId(1),
+                s(1),
+                Direction::SlaveToMaster,
+                LogicalChannel::GuaranteedService,
+            ),
+            FlowSpec::new(
+                FlowId(2),
+                s(2),
+                Direction::SlaveToMaster,
+                LogicalChannel::GuaranteedService,
+            ),
         ];
         let queues = vec![None, None];
-        let view = MasterView::new(SimTime::ZERO, &flows, &queues);
+        let table = FlowTable::new(flows.to_vec()).unwrap();
+        let view = MasterView::new(SimTime::ZERO, &table, &queues);
         // Both due at t = 0; S1 has priority 1.
         match poller.decide(SimTime::ZERO, &view) {
             PollDecision::Poll { slave, channel } => {
@@ -376,15 +395,26 @@ mod tests {
         let out = outcome_two_uplinks();
         let mut poller = GsPoller::variable(&out, SimTime::ZERO);
         let flows = [
-            FlowSpec::new(FlowId(1), s(1), Direction::SlaveToMaster, LogicalChannel::GuaranteedService),
-            FlowSpec::new(FlowId(2), s(2), Direction::SlaveToMaster, LogicalChannel::GuaranteedService),
+            FlowSpec::new(
+                FlowId(1),
+                s(1),
+                Direction::SlaveToMaster,
+                LogicalChannel::GuaranteedService,
+            ),
+            FlowSpec::new(
+                FlowId(2),
+                s(2),
+                Direction::SlaveToMaster,
+                LogicalChannel::GuaranteedService,
+            ),
         ];
         let queues = vec![None, None];
         // Execute both due polls.
         poller.on_exchange(&gs_empty_report(s(1), SimTime::ZERO));
         poller.on_exchange(&gs_empty_report(s(2), SimTime::from_micros(1250)));
         let t = SimTime::from_micros(2500);
-        let view = MasterView::new(t, &flows, &queues);
+        let table = FlowTable::new(flows.to_vec()).unwrap();
+        let view = MasterView::new(t, &table, &queues);
         match poller.decide(t, &view) {
             PollDecision::Idle { until } => {
                 // Improvement (b): next = actual + x = 0 + 16.36 ms.
@@ -401,11 +431,22 @@ mod tests {
         // S1's poll at plan 0 returns a 176-byte last segment.
         let flows: [FlowSpec; 0] = [];
         let queues: Vec<Option<FlowQueue>> = vec![];
-        let view = MasterView::new(SimTime::ZERO, &flows, &queues);
+        let table = FlowTable::new(flows.to_vec()).unwrap();
+        let view = MasterView::new(SimTime::ZERO, &table, &queues);
         let _ = poller.decide(SimTime::ZERO, &view); // capture planned = 0
-        poller.on_exchange(&gs_data_report(s(1), FlowId(1), SimTime::ZERO, true, true, 176));
+        poller.on_exchange(&gs_data_report(
+            s(1),
+            FlowId(1),
+            SimTime::ZERO,
+            true,
+            true,
+            176,
+        ));
         // Next plan = 176 / 8800 s = 20 ms (> planned + x = 16.36 ms).
-        assert_eq!(poller.entities[0].plan.next_poll(), SimTime::from_millis(20));
+        assert_eq!(
+            poller.entities[0].plan.next_poll(),
+            SimTime::from_millis(20)
+        );
     }
 
     #[test]
@@ -414,9 +455,17 @@ mod tests {
         let mut poller = GsPoller::fixed(&out, SimTime::ZERO);
         let flows: [FlowSpec; 0] = [];
         let queues: Vec<Option<FlowQueue>> = vec![];
-        let view = MasterView::new(SimTime::ZERO, &flows, &queues);
+        let table = FlowTable::new(flows.to_vec()).unwrap();
+        let view = MasterView::new(SimTime::ZERO, &table, &queues);
         let _ = poller.decide(SimTime::ZERO, &view);
-        poller.on_exchange(&gs_data_report(s(1), FlowId(1), SimTime::ZERO, true, true, 176));
+        poller.on_exchange(&gs_data_report(
+            s(1),
+            FlowId(1),
+            SimTime::ZERO,
+            true,
+            true,
+            176,
+        ));
         assert_eq!(
             poller.entities[0].plan.next_poll().as_nanos(),
             16_363_636,
@@ -447,7 +496,8 @@ mod tests {
         )];
         // Empty downlink queue: the due poll is skipped, the poller idles.
         let queues = vec![Some(FlowQueue::new())];
-        let view = MasterView::new(SimTime::ZERO, &flows, &queues);
+        let table = FlowTable::new(flows.to_vec()).unwrap();
+        let view = MasterView::new(SimTime::ZERO, &table, &queues);
         match poller.decide(SimTime::ZERO, &view) {
             PollDecision::Idle { until } => assert_eq!(until.as_nanos(), 16_363_636),
             other => panic!("{other:?}"),
@@ -459,7 +509,8 @@ mod tests {
         q.push(AppPacket::new(0, FlowId(1), 160, SimTime::from_millis(17)));
         let queues = vec![Some(q)];
         let t = SimTime::from_millis(17);
-        let view = MasterView::new(t, &flows, &queues);
+        let table = FlowTable::new(flows.to_vec()).unwrap();
+        let view = MasterView::new(t, &table, &queues);
         match poller.decide(t, &view) {
             PollDecision::Poll { slave, .. } => assert_eq!(slave, s(1)),
             other => panic!("{other:?}"),
@@ -488,7 +539,8 @@ mod tests {
             LogicalChannel::GuaranteedService,
         )];
         let queues = vec![Some(FlowQueue::new())];
-        let view = MasterView::new(SimTime::ZERO, &flows, &queues);
+        let table = FlowTable::new(flows.to_vec()).unwrap();
+        let view = MasterView::new(SimTime::ZERO, &table, &queues);
         // Fixed poller polls even with a known-empty queue.
         match poller.decide(SimTime::ZERO, &view) {
             PollDecision::Poll { slave, .. } => assert_eq!(slave, s(1)),
@@ -500,19 +552,30 @@ mod tests {
     fn be_decisions_capped_by_next_gs_plan() {
         use btgs_pollers::RoundRobinPoller;
         let out = outcome_two_uplinks();
-        let mut poller =
-            GsPoller::variable(&out, SimTime::ZERO).with_best_effort(Box::new(RoundRobinPoller::new()));
+        let mut poller = GsPoller::variable(&out, SimTime::ZERO)
+            .with_best_effort(Box::new(RoundRobinPoller::new()));
         // Drain the due GS polls first.
         poller.on_exchange(&gs_empty_report(s(1), SimTime::ZERO));
         poller.on_exchange(&gs_empty_report(s(2), SimTime::from_micros(1250)));
         // A BE slave exists: the inner round robin polls it.
         let flows = [
-            FlowSpec::new(FlowId(1), s(1), Direction::SlaveToMaster, LogicalChannel::GuaranteedService),
-            FlowSpec::new(FlowId(9), s(6), Direction::SlaveToMaster, LogicalChannel::BestEffort),
+            FlowSpec::new(
+                FlowId(1),
+                s(1),
+                Direction::SlaveToMaster,
+                LogicalChannel::GuaranteedService,
+            ),
+            FlowSpec::new(
+                FlowId(9),
+                s(6),
+                Direction::SlaveToMaster,
+                LogicalChannel::BestEffort,
+            ),
         ];
         let queues = vec![None, None];
         let t = SimTime::from_micros(2500);
-        let view = MasterView::new(t, &flows, &queues);
+        let table = FlowTable::new(flows.to_vec()).unwrap();
+        let view = MasterView::new(t, &table, &queues);
         match poller.decide(t, &view) {
             PollDecision::Poll { slave, channel } => {
                 assert_eq!(slave, s(6));
@@ -526,7 +589,10 @@ mod tests {
     fn name_reflects_flavour() {
         let out = outcome_two_uplinks();
         assert_eq!(GsPoller::fixed(&out, SimTime::ZERO).name(), "gs-fixed");
-        assert_eq!(GsPoller::variable(&out, SimTime::ZERO).name(), "gs-variable");
+        assert_eq!(
+            GsPoller::variable(&out, SimTime::ZERO).name(),
+            "gs-variable"
+        );
         let pfp = GsPoller::pfp(
             &out,
             SimTime::ZERO,

@@ -18,6 +18,9 @@
 //!   evaluated in §4.
 //! * **The evaluation** ([`PaperScenario`], [`sweep_fig5`]) — the Fig. 4
 //!   piconet and the Fig. 5 throughput-vs-delay-requirement sweep.
+//! * **The harness** ([`ExperimentRunner`], [`ScenarioGrid`]) — fans
+//!   poller × seed × requirement grids across threads with bit-identical
+//!   results at any thread count.
 //!
 //! # Examples
 //!
@@ -53,6 +56,7 @@ mod efficiency;
 mod experiment;
 mod gs_poller;
 mod plan;
+mod runner;
 mod scenario;
 mod timing;
 mod ymax;
@@ -66,6 +70,9 @@ pub use efficiency::{min_poll_efficiency, poll_efficiency};
 pub use experiment::{fig5_requirements, run_point, sweep_fig5, SweepPoint};
 pub use gs_poller::{GsPoller, GsPollerStats};
 pub use plan::{Improvements, PollOutcome, PollPlan};
+pub use runner::{
+    comparison_pollers, CellResult, ExperimentRunner, GridCell, GridReport, ScenarioGrid,
+};
 pub use scenario::{
     paper_tspec, GsFlowPlan, PaperScenario, PaperScenarioParams, PollerKind, BE_PACKET_SIZE,
     BE_RATES_KBPS, GS_INTERVAL, GS_PACKET_RANGE,

@@ -190,8 +190,8 @@ impl PollPlan {
                 if self.improvements.packet_aware {
                     // Eq. 10: the fluid model affords the packet L/R of
                     // service; never plan earlier than the fixed plan would.
-                    let fluid = first_plan
-                        + SimDuration::from_secs_f64(packet_size as f64 / self.rate);
+                    let fluid =
+                        first_plan + SimDuration::from_secs_f64(packet_size as f64 / self.rate);
                     self.next = fluid.max(planned + self.x);
                 } else {
                     self.next = planned + self.x;
@@ -277,7 +277,9 @@ mod tests {
         plan.on_poll(
             SimTime::ZERO,
             SimTime::ZERO,
-            PollOutcome::MidSegment { first_segment: true },
+            PollOutcome::MidSegment {
+                first_segment: true,
+            },
         );
         assert_eq!(plan.next_poll(), ms(16));
         plan.on_poll(
@@ -356,8 +358,21 @@ mod tests {
     fn multi_packet_sequence() {
         let mut plan = variable();
         // Packet 1: two segments (first at t=0, second at t=16), 320 bytes.
-        plan.on_poll(SimTime::ZERO, SimTime::ZERO, PollOutcome::MidSegment { first_segment: true });
-        plan.on_poll(ms(16), ms(16), PollOutcome::LastSegment { packet_size: 320, first_segment: false });
+        plan.on_poll(
+            SimTime::ZERO,
+            SimTime::ZERO,
+            PollOutcome::MidSegment {
+                first_segment: true,
+            },
+        );
+        plan.on_poll(
+            ms(16),
+            ms(16),
+            PollOutcome::LastSegment {
+                packet_size: 320,
+                first_segment: false,
+            },
+        );
         // 320 B / 9000 B/s = 35.56 ms from t=0.
         assert_eq!(plan.next_poll().as_nanos(), 35_555_556);
         assert_eq!(plan.executed(), 2);
@@ -370,12 +385,25 @@ mod tests {
         // nor replan from the actual time — the packet keeps draining on
         // the provisioned grid.
         let mut plan = variable();
-        plan.on_poll(SimTime::ZERO, SimTime::ZERO, PollOutcome::MidSegment { first_segment: true });
+        plan.on_poll(
+            SimTime::ZERO,
+            SimTime::ZERO,
+            PollOutcome::MidSegment {
+                first_segment: true,
+            },
+        );
         plan.on_poll(ms(16), ms(20), PollOutcome::Unsuccessful); // lost POLL
         assert_eq!(plan.next_poll(), ms(32), "cadence from planned time");
         // The packet finally completes; improvement (a) still anchors at
         // the FIRST poll's planned time (t = 0).
-        plan.on_poll(ms(32), ms(32), PollOutcome::LastSegment { packet_size: 450, first_segment: false });
+        plan.on_poll(
+            ms(32),
+            ms(32),
+            PollOutcome::LastSegment {
+                packet_size: 450,
+                first_segment: false,
+            },
+        );
         assert_eq!(plan.next_poll(), ms(50)); // 450 B / 9000 B/s from t=0
     }
 

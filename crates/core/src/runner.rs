@@ -1,0 +1,472 @@
+//! Parallel experiment execution: fan a deterministic scenario grid across
+//! worker threads.
+//!
+//! The paper's evaluation — and every ablation around it — is a sweep:
+//! poller × seed × delay requirement, each cell an independent,
+//! deterministic simulation. [`ExperimentRunner`] executes such grids on a
+//! pool of `std::thread` workers. Because every cell derives all of its
+//! randomness from its own seed (see [`PaperScenario::sources`]), the
+//! result of a grid is **bit-identical** whatever the thread count — the
+//! runner only changes wall-clock time, never output.
+//!
+//! ```
+//! use btgs_core::{ExperimentRunner, PollerKind, ScenarioGrid};
+//! use btgs_des::{SimDuration, SimTime};
+//!
+//! let grid = ScenarioGrid {
+//!     pollers: vec![PollerKind::PfpGs, PollerKind::FixedGs],
+//!     seeds: vec![1, 2],
+//!     delay_requirements: vec![SimDuration::from_millis(40)],
+//!     horizon: SimTime::from_secs(3),
+//!     warmup: SimDuration::from_millis(500),
+//!     include_be: false,
+//! };
+//! let report = ExperimentRunner::new().run_grid(&grid);
+//! assert_eq!(report.cells.len(), 4);
+//! ```
+
+use crate::plan::Improvements;
+use crate::scenario::{PaperScenario, PaperScenarioParams, PollerKind};
+use btgs_des::{SimDuration, SimTime};
+use btgs_metrics::{fmt_f64, DelayStats, Table};
+use btgs_piconet::RunReport;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+impl PollerKind {
+    /// A short stable label for tables and logs.
+    pub fn label(&self) -> String {
+        match self {
+            PollerKind::PfpGs => "pfp-gs".into(),
+            PollerKind::FixedGs => "gs-fixed".into(),
+            PollerKind::Custom(imp) => {
+                let mut s = String::from("gs-custom(");
+                if imp.packet_aware {
+                    s.push('a');
+                }
+                if imp.replan_from_actual {
+                    s.push('b');
+                }
+                if imp.skip_empty_downlink {
+                    s.push('c');
+                }
+                s.push(')');
+                s
+            }
+        }
+    }
+}
+
+/// A poller × seed × delay-requirement grid over the paper's Fig. 4
+/// scenario.
+#[derive(Clone, Debug)]
+pub struct ScenarioGrid {
+    /// The pollers to compare.
+    pub pollers: Vec<PollerKind>,
+    /// Seeds for the per-cell deterministic RNG streams.
+    pub seeds: Vec<u64>,
+    /// The delay requirements to sweep.
+    pub delay_requirements: Vec<SimDuration>,
+    /// Simulated horizon of every cell.
+    pub horizon: SimTime,
+    /// Warm-up excluded from measurements.
+    pub warmup: SimDuration,
+    /// Include the eight BE flows of Fig. 4.
+    pub include_be: bool,
+}
+
+impl ScenarioGrid {
+    /// The paper's default evaluation surface for the given pollers and
+    /// seeds: `Dreq = 40 ms`, BE load included.
+    pub fn paper(pollers: Vec<PollerKind>, seeds: Vec<u64>, horizon: SimTime) -> ScenarioGrid {
+        ScenarioGrid {
+            pollers,
+            seeds,
+            delay_requirements: vec![SimDuration::from_millis(40)],
+            horizon,
+            warmup: SimDuration::from_secs(2),
+            include_be: true,
+        }
+    }
+
+    /// Materialises the cells in deterministic (poller-major, then
+    /// requirement, then seed) order.
+    pub fn cells(&self) -> Vec<GridCell> {
+        let mut out = Vec::with_capacity(
+            self.pollers.len() * self.seeds.len() * self.delay_requirements.len(),
+        );
+        for &poller in &self.pollers {
+            for &delay_requirement in &self.delay_requirements {
+                for &seed in &self.seeds {
+                    out.push(GridCell {
+                        poller,
+                        seed,
+                        delay_requirement,
+                        horizon: self.horizon,
+                        warmup: self.warmup,
+                        include_be: self.include_be,
+                    });
+                }
+            }
+        }
+        out
+    }
+}
+
+/// One point of a [`ScenarioGrid`].
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct GridCell {
+    /// The poller driving this cell.
+    pub poller: PollerKind,
+    /// The root seed of the cell's RNG streams.
+    pub seed: u64,
+    /// The delay requirement of the cell's GS flows.
+    pub delay_requirement: SimDuration,
+    /// Simulated horizon.
+    pub horizon: SimTime,
+    /// Warm-up excluded from measurements.
+    pub warmup: SimDuration,
+    /// Include the eight BE flows.
+    pub include_be: bool,
+}
+
+impl GridCell {
+    /// The scenario parameters of this cell.
+    pub fn params(&self) -> PaperScenarioParams {
+        PaperScenarioParams {
+            delay_requirement: self.delay_requirement,
+            seed: self.seed,
+            warmup: self.warmup,
+            include_be: self.include_be,
+        }
+    }
+
+    /// Builds and runs the cell's simulation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the scenario fails to simulate — a bug, not an input
+    /// condition, for the paper's parameter ranges.
+    pub fn run(&self) -> CellResult {
+        let scenario = PaperScenario::build(self.params());
+        let report = scenario
+            .run(self.poller, self.horizon)
+            .expect("paper scenario must simulate");
+        CellResult {
+            cell: *self,
+            scenario,
+            report,
+        }
+    }
+}
+
+/// The outcome of one grid cell.
+#[derive(Clone, Debug)]
+pub struct CellResult {
+    /// The cell that produced this result.
+    pub cell: GridCell,
+    /// The derived scenario (schedule, plans, bounds).
+    pub scenario: PaperScenario,
+    /// The simulation report.
+    pub report: RunReport,
+}
+
+impl CellResult {
+    /// The worst packet delay over all of this cell's GS flows.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a GS flow saw no traffic (a broken run, not an input
+    /// condition).
+    pub fn gs_max_delay(&self) -> SimDuration {
+        self.scenario
+            .gs_plans
+            .iter()
+            .map(|p| {
+                self.report
+                    .flow(p.request.id)
+                    .delay
+                    .max()
+                    .expect("GS flows see traffic")
+            })
+            .max()
+            .expect("at least one GS flow")
+    }
+
+    /// Packets of this cell's GS flows that exceeded their achievable
+    /// bound.
+    pub fn gs_violations(&self) -> usize {
+        self.scenario
+            .gs_plans
+            .iter()
+            .map(|p| {
+                self.report
+                    .flow(p.request.id)
+                    .delay
+                    .violations_of(p.achievable_bound)
+            })
+            .sum()
+    }
+}
+
+/// The merged outcome of a whole grid, in [`ScenarioGrid::cells`] order.
+#[derive(Clone, Debug)]
+pub struct GridReport {
+    /// Per-cell results, in deterministic grid order.
+    pub cells: Vec<CellResult>,
+}
+
+impl GridReport {
+    /// The results of one poller, in grid order.
+    pub fn of_poller(&self, kind: PollerKind) -> impl Iterator<Item = &CellResult> {
+        self.cells.iter().filter(move |c| c.cell.poller == kind)
+    }
+
+    /// Merged per-poller summary: throughput and delay statistics pooled
+    /// over every seed and requirement of that poller.
+    pub fn summary_table(&self) -> Table {
+        let mut t = Table::new(vec![
+            "poller",
+            "cells",
+            "GS [kbps]",
+            "BE [kbps]",
+            "GS delay mean",
+            "GS delay max",
+            "bound violations",
+        ]);
+        let mut seen: Vec<PollerKind> = Vec::new();
+        for c in &self.cells {
+            if !seen.contains(&c.cell.poller) {
+                seen.push(c.cell.poller);
+            }
+        }
+        for kind in seen {
+            let mut n = 0usize;
+            let mut gs_kbps = 0.0;
+            let mut be_kbps = 0.0;
+            let mut delays = DelayStats::new();
+            let mut violations = 0usize;
+            for c in self.of_poller(kind) {
+                n += 1;
+                for f in &c.report.flows {
+                    let kbps = c.report.throughput_kbps(f.id);
+                    if f.channel.is_gs() {
+                        gs_kbps += kbps;
+                        delays.merge(&c.report.flow(f.id).delay);
+                    } else {
+                        be_kbps += kbps;
+                    }
+                }
+                violations += c.gs_violations();
+            }
+            let cells = n.max(1) as f64;
+            t.row(vec![
+                kind.label(),
+                n.to_string(),
+                fmt_f64(gs_kbps / cells, 1),
+                fmt_f64(be_kbps / cells, 1),
+                delays.mean().map_or_else(|| "-".into(), |d| d.to_string()),
+                delays.max().map_or_else(|| "-".into(), |d| d.to_string()),
+                violations.to_string(),
+            ]);
+        }
+        t
+    }
+
+    /// A stable textual digest of every cell (poller, seed, requirement,
+    /// per-flow delivery counts and delay extrema). Two runs of the same
+    /// grid — sequential or parallel — must render identically; the
+    /// determinism tests hinge on this.
+    pub fn digest(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        for c in &self.cells {
+            let _ = write!(
+                out,
+                "{}|seed={}|dreq={}",
+                c.cell.poller.label(),
+                c.cell.seed,
+                c.cell.delay_requirement
+            );
+            for f in &c.report.flows {
+                let r = c.report.flow(f.id);
+                let _ = write!(
+                    out,
+                    "|{}:{}:{}:{}",
+                    f.id,
+                    r.delivered_packets,
+                    r.delivered_bytes,
+                    r.delay.max().map_or_else(|| "-".into(), |d| d.to_string()),
+                );
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// A deterministic parallel map over experiment cells.
+///
+/// Workers claim cells from an atomic cursor and run them independently;
+/// results are reassembled in input order, so the output is invariant
+/// under the thread count and the OS schedule.
+#[derive(Clone, Copy, Debug)]
+pub struct ExperimentRunner {
+    threads: usize,
+}
+
+impl Default for ExperimentRunner {
+    fn default() -> Self {
+        ExperimentRunner::new()
+    }
+}
+
+impl ExperimentRunner {
+    /// A runner using all available CPU parallelism.
+    pub fn new() -> ExperimentRunner {
+        let threads = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        ExperimentRunner { threads }
+    }
+
+    /// A runner with an explicit worker count (1 = sequential, in the
+    /// calling thread).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threads` is zero.
+    pub fn with_threads(threads: usize) -> ExperimentRunner {
+        assert!(threads > 0, "at least one worker thread is required");
+        ExperimentRunner { threads }
+    }
+
+    /// The configured worker count.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Maps `f` over `cells` on the worker pool and returns the results in
+    /// input order.
+    ///
+    /// `f` must be a pure function of its cell (up to interior determinism
+    /// — e.g. a simulation seeded from the cell); under that condition the
+    /// output is identical for every thread count.
+    pub fn run<C, R, F>(&self, cells: &[C], f: F) -> Vec<R>
+    where
+        C: Sync,
+        R: Send,
+        F: Fn(&C) -> R + Sync,
+    {
+        if cells.is_empty() {
+            return Vec::new();
+        }
+        let workers = self.threads.min(cells.len());
+        if workers == 1 {
+            return cells.iter().map(f).collect();
+        }
+        let cursor = AtomicUsize::new(0);
+        let collected: Mutex<Vec<(usize, R)>> = Mutex::new(Vec::with_capacity(cells.len()));
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| {
+                    // Claim-and-run until the grid is exhausted. Each worker
+                    // batches its results locally and merges once, keeping
+                    // lock traffic negligible next to simulation time.
+                    let mut local: Vec<(usize, R)> = Vec::new();
+                    loop {
+                        let i = cursor.fetch_add(1, Ordering::Relaxed);
+                        if i >= cells.len() {
+                            break;
+                        }
+                        local.push((i, f(&cells[i])));
+                    }
+                    collected
+                        .lock()
+                        .expect("worker panicked while holding the result lock")
+                        .append(&mut local);
+                });
+            }
+        });
+        let mut pairs = collected.into_inner().expect("workers joined");
+        pairs.sort_by_key(|(i, _)| *i);
+        debug_assert_eq!(pairs.len(), cells.len());
+        pairs.into_iter().map(|(_, r)| r).collect()
+    }
+
+    /// Runs a whole [`ScenarioGrid`] and merges the results.
+    pub fn run_grid(&self, grid: &ScenarioGrid) -> GridReport {
+        let cells = grid.cells();
+        let results = self.run(&cells, GridCell::run);
+        GridReport { cells: results }
+    }
+}
+
+/// The four-poller comparison set used by the ablation benches: fixed
+/// (§3.1), variable without (c), full §3.2, and the PFP configuration.
+pub fn comparison_pollers() -> Vec<PollerKind> {
+    vec![
+        PollerKind::FixedGs,
+        PollerKind::Custom(Improvements {
+            packet_aware: true,
+            replan_from_actual: true,
+            skip_empty_downlink: false,
+        }),
+        PollerKind::Custom(Improvements::ALL),
+        PollerKind::PfpGs,
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grid_cell_order_is_deterministic() {
+        let grid = ScenarioGrid {
+            pollers: vec![PollerKind::PfpGs, PollerKind::FixedGs],
+            seeds: vec![1, 2, 3],
+            delay_requirements: vec![SimDuration::from_millis(40), SimDuration::from_millis(30)],
+            horizon: SimTime::from_secs(1),
+            warmup: SimDuration::ZERO,
+            include_be: false,
+        };
+        let cells = grid.cells();
+        assert_eq!(cells.len(), 12);
+        assert_eq!(cells[0].poller, PollerKind::PfpGs);
+        assert_eq!(cells[0].seed, 1);
+        assert_eq!(cells[1].seed, 2);
+        assert_eq!(cells[3].delay_requirement, SimDuration::from_millis(30));
+        assert_eq!(cells[6].poller, PollerKind::FixedGs);
+        assert_eq!(cells, grid.cells());
+    }
+
+    #[test]
+    fn parallel_map_preserves_input_order() {
+        let runner = ExperimentRunner::with_threads(8);
+        let cells: Vec<u64> = (0..100).collect();
+        let out = runner.run(&cells, |&c| c * 2);
+        assert_eq!(out, (0..100).map(|c| c * 2).collect::<Vec<_>>());
+        // Degenerate cases.
+        assert!(runner.run(&[] as &[u64], |&c| c).is_empty());
+        assert_eq!(
+            ExperimentRunner::with_threads(1).run(&cells, |&c| c + 1)[99],
+            100
+        );
+    }
+
+    #[test]
+    fn labels_are_stable() {
+        assert_eq!(PollerKind::PfpGs.label(), "pfp-gs");
+        assert_eq!(PollerKind::FixedGs.label(), "gs-fixed");
+        assert_eq!(
+            PollerKind::Custom(Improvements::ALL).label(),
+            "gs-custom(abc)"
+        );
+        assert_eq!(
+            PollerKind::Custom(Improvements::NONE).label(),
+            "gs-custom()"
+        );
+        assert_eq!(comparison_pollers().len(), 4);
+    }
+}

@@ -159,8 +159,8 @@ impl PaperScenario {
                 .unwrap_or(SimDuration::from_millis(200));
             let terms = ErrorTerms::new(eta, y);
             // Receiver-side rate computation, clamped to Eq. 9's maximum.
-            let r_required = required_rate(&tspec, params.delay_requirement, terms)
-                .unwrap_or(f64::INFINITY);
+            let r_required =
+                required_rate(&tspec, params.delay_requirement, terms).unwrap_or(f64::INFINITY);
             let r_max = eta / y.as_secs_f64();
             let rate = r_required.min(r_max).max(tspec.token_rate());
             let x = poll_interval(eta, rate);
@@ -173,8 +173,7 @@ impl PaperScenario {
                 .find(|(_, d)| d.is_uplink())
                 .unwrap_or(&flow_defs[0]);
             for (id, dir) in flow_defs.iter() {
-                let request =
-                    GsRequest::new(FlowId(*id), *sl, *dir, tspec, rate);
+                let request = GsRequest::new(FlowId(*id), *sl, *dir, tspec, rate);
                 grants.push(FlowGrant {
                     id: FlowId(*id),
                     entity: idx,
@@ -264,14 +263,12 @@ impl PaperScenario {
             } else {
                 let k = (f.slave.get() - 4) as usize;
                 let rate_bps = BE_RATES_KBPS[k] * 1000.0;
-                let interval =
-                    SimDuration::from_secs_f64(BE_PACKET_SIZE as f64 * 8.0 / rate_bps);
+                let interval = SimDuration::from_secs_f64(BE_PACKET_SIZE as f64 * 8.0 / rate_bps);
                 (interval, BE_PACKET_SIZE, BE_PACKET_SIZE)
             };
             let offset = SimTime::from_nanos(stream.below(interval.as_nanos()));
             out.push(Box::new(
-                CbrSource::new(f.id, interval, min_size, max_size, stream)
-                    .starting_at(offset),
+                CbrSource::new(f.id, interval, min_size, max_size, stream).starting_at(offset),
             ));
         }
         out
@@ -340,7 +337,12 @@ mod tests {
             ..Default::default()
         });
         assert_eq!(sc.outcome.entities.len(), 3);
-        let ys: Vec<u64> = sc.outcome.entities.iter().map(|e| e.y.as_micros()).collect();
+        let ys: Vec<u64> = sc
+            .outcome
+            .entities
+            .iter()
+            .map(|e| e.y.as_micros())
+            .collect();
         assert_eq!(ys, vec![3_750, 7_500, 11_250]);
         for p in &sc.gs_plans {
             assert!(p.guaranteed, "{:?}", p.request.id);
@@ -360,14 +362,24 @@ mod tests {
         assert!(at_bound.gs_plans.iter().all(|p| p.guaranteed));
         // Flow 4 runs exactly at the paper's R_max = 12.8 kB/s.
         let f4 = &at_bound.gs_plans[3];
-        assert!((f4.request.rate - 12_800.0).abs() < 1e-6, "{}", f4.request.rate);
+        assert!(
+            (f4.request.rate - 12_800.0).abs() < 1e-6,
+            "{}",
+            f4.request.rate
+        );
 
         let below = PaperScenario::build(PaperScenarioParams {
             delay_requirement: SimDuration::from_micros(36_000),
             ..Default::default()
         });
-        assert!(!below.gs_plans[3].guaranteed, "flow 4 saturates below 36.25 ms");
-        assert!(below.gs_plans[0].guaranteed, "flow 1 is fine far below that");
+        assert!(
+            !below.gs_plans[3].guaranteed,
+            "flow 4 saturates below 36.25 ms"
+        );
+        assert!(
+            below.gs_plans[0].guaranteed,
+            "flow 1 is fine far below that"
+        );
     }
 
     #[test]

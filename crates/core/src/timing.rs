@@ -115,7 +115,10 @@ mod tests {
         assert_eq!(x.as_nanos(), 16_363_636);
         // Higher granted rate -> shorter interval.
         assert!(poll_interval(144.0, 12_800.0) < x);
-        assert_eq!(poll_interval(144.0, 12_800.0), SimDuration::from_micros(11_250));
+        assert_eq!(
+            poll_interval(144.0, 12_800.0),
+            SimDuration::from_micros(11_250)
+        );
     }
 
     #[test]
@@ -127,7 +130,10 @@ mod tests {
     #[test]
     fn u_values() {
         assert_eq!(piconet_u(&PAPER), SimDuration::from_micros(3_750));
-        assert_eq!(piconet_u(&[PacketType::Dh1]), SimDuration::from_micros(1_250));
+        assert_eq!(
+            piconet_u(&[PacketType::Dh1]),
+            SimDuration::from_micros(1_250)
+        );
         assert_eq!(
             piconet_u(&PacketType::ACL_DATA),
             SimDuration::from_micros(6_250)

@@ -215,8 +215,10 @@ mod tests {
     #[test]
     fn clock_advances_to_event_times() {
         let mut sim: Simulator<Vec<(SimTime, Ev)>, Ev> = Simulator::new(Vec::new());
-        sim.scheduler_mut().schedule_at(SimTime::from_millis(3), Ev::Ping);
-        sim.scheduler_mut().schedule_at(SimTime::from_millis(1), Ev::Pong);
+        sim.scheduler_mut()
+            .schedule_at(SimTime::from_millis(3), Ev::Ping);
+        sim.scheduler_mut()
+            .schedule_at(SimTime::from_millis(1), Ev::Pong);
         sim.run(|sched, log, ev| log.push((sched.now(), ev)));
         assert_eq!(
             *sim.state(),

@@ -316,41 +316,45 @@ mod tests {
 #[cfg(test)]
 mod proptests {
     use super::*;
-    use proptest::prelude::*;
+    use crate::rng::DetRng;
 
-    proptest! {
-        /// Popping must always yield a non-decreasing time sequence and
-        /// same-time events in FIFO order, under any interleaving of pushes
-        /// and cancels.
-        #[test]
-        fn ordering_invariant(ops in proptest::collection::vec((0u64..100, proptest::bool::ANY), 1..200)) {
+    /// Popping must always yield a non-decreasing time sequence and
+    /// same-time events in FIFO order, under any interleaving of pushes
+    /// and cancels.
+    #[test]
+    fn ordering_invariant() {
+        let mut rng = DetRng::seed_from_u64(0xDE5);
+        for _ in 0..128 {
+            let n_ops = rng.range_inclusive(1, 199) as usize;
             let mut q = EventQueue::new();
             let mut keys = Vec::new();
             let mut expect_live = 0usize;
-            for (i, (time_ms, cancel_one)) in ops.iter().enumerate() {
-                keys.push(q.push(SimTime::from_millis(*time_ms), i));
+            for i in 0..n_ops {
+                let time_ms = rng.below(100);
+                let cancel_one = rng.chance(0.5);
+                keys.push(q.push(SimTime::from_millis(time_ms), i));
                 expect_live += 1;
-                if *cancel_one && !keys.is_empty() {
+                if cancel_one && !keys.is_empty() {
                     let k = keys.remove(keys.len() / 2);
                     if q.cancel(k).is_some() {
                         expect_live -= 1;
                     }
                 }
             }
-            prop_assert_eq!(q.len(), expect_live);
+            assert_eq!(q.len(), expect_live);
             let mut last: Option<(SimTime, usize)> = None;
             let mut count = 0usize;
             while let Some(s) = q.pop() {
                 if let Some((lt, lseq)) = last {
-                    prop_assert!(s.time >= lt);
+                    assert!(s.time >= lt);
                     if s.time == lt {
-                        prop_assert!(s.event > lseq, "FIFO within same timestamp");
+                        assert!(s.event > lseq, "FIFO within same timestamp");
                     }
                 }
                 last = Some((s.time, s.event));
                 count += 1;
             }
-            prop_assert_eq!(count, expect_live);
+            assert_eq!(count, expect_live);
         }
     }
 }

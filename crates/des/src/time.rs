@@ -283,11 +283,7 @@ impl Add<SimDuration> for SimTime {
     type Output = SimTime;
     #[inline]
     fn add(self, rhs: SimDuration) -> SimTime {
-        SimTime(
-            self.0
-                .checked_add(rhs.0)
-                .expect("simulation time overflow"),
-        )
+        SimTime(self.0.checked_add(rhs.0).expect("simulation time overflow"))
     }
 }
 
@@ -419,15 +415,15 @@ impl fmt::Display for SimDuration {
 fn format_ns(ns: u64) -> String {
     if ns == 0 {
         "0s".to_owned()
-    } else if ns % 1_000_000_000 == 0 {
+    } else if ns.is_multiple_of(1_000_000_000) {
         format!("{}s", ns / 1_000_000_000)
     } else if ns >= 1_000_000_000 {
         format!("{:.6}s", ns as f64 / 1e9)
-    } else if ns % 1_000_000 == 0 {
+    } else if ns.is_multiple_of(1_000_000) {
         format!("{}ms", ns / 1_000_000)
     } else if ns >= 1_000_000 {
         format!("{:.3}ms", ns as f64 / 1e6)
-    } else if ns % 1_000 == 0 {
+    } else if ns.is_multiple_of(1_000) {
         format!("{}us", ns / 1_000)
     } else {
         format!("{ns}ns")
@@ -443,7 +439,10 @@ mod tests {
         assert_eq!(SimTime::from_micros(1), SimTime::from_nanos(1_000));
         assert_eq!(SimTime::from_millis(1), SimTime::from_micros(1_000));
         assert_eq!(SimTime::from_secs(1), SimTime::from_millis(1_000));
-        assert_eq!(SimDuration::from_secs(2), SimDuration::from_nanos(2_000_000_000));
+        assert_eq!(
+            SimDuration::from_secs(2),
+            SimDuration::from_nanos(2_000_000_000)
+        );
     }
 
     #[test]
@@ -502,7 +501,10 @@ mod tests {
     fn alignment() {
         let slot2 = SimDuration::from_micros(1250);
         assert_eq!(SimTime::ZERO.align_up(slot2), SimTime::ZERO);
-        assert_eq!(SimTime::from_nanos(1).align_up(slot2), SimTime::from_micros(1250));
+        assert_eq!(
+            SimTime::from_nanos(1).align_up(slot2),
+            SimTime::from_micros(1250)
+        );
         assert_eq!(
             SimTime::from_micros(1250).align_up(slot2),
             SimTime::from_micros(1250)
@@ -544,7 +546,7 @@ mod tests {
         assert!(SimTime::ZERO < SimTime::MAX);
         assert_eq!(SimTime::default(), SimTime::ZERO);
         assert_eq!(SimDuration::default(), SimDuration::ZERO);
-        let mut v = vec![SimTime::from_secs(2), SimTime::ZERO, SimTime::from_secs(1)];
+        let mut v = [SimTime::from_secs(2), SimTime::ZERO, SimTime::from_secs(1)];
         v.sort();
         assert_eq!(v[0], SimTime::ZERO);
         assert_eq!(v[2], SimTime::from_secs(2));

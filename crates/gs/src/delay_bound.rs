@@ -29,7 +29,10 @@ pub enum GsError {
 impl fmt::Display for GsError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            GsError::RateBelowTokenRate { requested, token_rate } => write!(
+            GsError::RateBelowTokenRate {
+                requested,
+                token_rate,
+            } => write!(
                 f,
                 "requested rate {requested} B/s is below the token rate {token_rate} B/s"
             ),
@@ -260,9 +263,12 @@ mod tests {
 
     #[test]
     fn required_rate_rejects_unreachable_targets() {
-        let err =
-            required_rate(&paper_tspec(), SimDuration::from_micros(11_250), paper_terms())
-                .unwrap_err();
+        let err = required_rate(
+            &paper_tspec(),
+            SimDuration::from_micros(11_250),
+            paper_terms(),
+        )
+        .unwrap_err();
         assert!(matches!(err, GsError::DelayBelowDtot { .. }));
     }
 
@@ -281,56 +287,54 @@ mod tests {
 #[cfg(test)]
 mod proptests {
     use super::*;
-    use proptest::prelude::*;
+    use btgs_des::DetRng;
 
-    proptest! {
-        /// required_rate must invert delay_bound: the returned rate meets
-        /// the target, and (when above r) shaving 1% off violates it.
-        #[test]
-        fn inversion_round_trip(
-            p_extra in 0.0f64..20_000.0,
-            r in 1_000.0f64..20_000.0,
-            b_extra in 0.0f64..5_000.0,
-            m_small in 32u32..200,
-            m_extra in 0u32..400,
-            c in 0.0f64..500.0,
-            d_us in 0u64..20_000,
-            target_extra_us in 1u64..200_000,
-        ) {
+    /// required_rate must invert delay_bound: the returned rate meets
+    /// the target, and (when above r) shaving 1% off violates it.
+    #[test]
+    fn inversion_round_trip() {
+        let mut rng = DetRng::seed_from_u64(0x65B1);
+        for _ in 0..512 {
+            let p_extra = rng.next_f64() * 20_000.0;
+            let r = 1_000.0 + rng.next_f64() * 19_000.0;
+            let b_extra = rng.next_f64() * 5_000.0;
+            let m_small = rng.range_inclusive(32, 199) as u32;
+            let m_extra = rng.below(400) as u32;
+            let c = rng.next_f64() * 500.0;
+            let d_us = rng.below(20_000);
+            let target_extra_us = rng.range_inclusive(1, 199_999);
             let m_big = m_small + m_extra;
-            let tspec = TokenBucketSpec::new(
-                r + p_extra,
-                r,
-                m_big as f64 + b_extra,
-                m_small,
-                m_big,
-            ).unwrap();
+            let tspec =
+                TokenBucketSpec::new(r + p_extra, r, m_big as f64 + b_extra, m_small, m_big)
+                    .unwrap();
             let terms = ErrorTerms::new(c, SimDuration::from_micros(d_us));
             let target = terms.d() + SimDuration::from_micros(target_extra_us);
             let rate = required_rate(&tspec, target, terms).unwrap();
-            prop_assert!(rate >= tspec.token_rate());
+            assert!(rate >= tspec.token_rate());
             let achieved = delay_bound(&tspec, rate, terms).unwrap();
-            prop_assert!(
+            assert!(
                 achieved <= target + SimDuration::from_nanos(10),
                 "rate {rate} gives {achieved} > {target}"
             );
             if rate * 0.99 >= tspec.token_rate() {
                 let worse = delay_bound(&tspec, rate * 0.99, terms).unwrap();
-                prop_assert!(
+                assert!(
                     worse + SimDuration::from_nanos(10) >= target,
                     "rate {rate} not minimal: {worse} still <= {target}"
                 );
             }
         }
+    }
 
-        /// The bound decreases (weakly) as the rate grows.
-        #[test]
-        fn monotonicity(
-            r in 1_000.0f64..20_000.0,
-            p_extra in 0.0f64..20_000.0,
-            rate1_frac in 0.0f64..1.0,
-            rate2_frac in 0.0f64..1.0,
-        ) {
+    /// The bound decreases (weakly) as the rate grows.
+    #[test]
+    fn monotonicity() {
+        let mut rng = DetRng::seed_from_u64(0x65B2);
+        for _ in 0..512 {
+            let r = 1_000.0 + rng.next_f64() * 19_000.0;
+            let p_extra = rng.next_f64() * 20_000.0;
+            let rate1_frac = rng.next_f64();
+            let rate2_frac = rng.next_f64();
             let tspec = TokenBucketSpec::new(r + p_extra, r, 1_000.0, 100, 500).unwrap();
             let terms = ErrorTerms::new(144.0, SimDuration::from_millis(3));
             let lo = r;
@@ -340,9 +344,9 @@ mod proptests {
             let b1 = delay_bound(&tspec, rate1, terms).unwrap();
             let b2 = delay_bound(&tspec, rate2, terms).unwrap();
             if rate1 <= rate2 {
-                prop_assert!(b1 + SimDuration::from_nanos(1) >= b2);
+                assert!(b1 + SimDuration::from_nanos(1) >= b2);
             } else {
-                prop_assert!(b2 + SimDuration::from_nanos(1) >= b1);
+                assert!(b2 + SimDuration::from_nanos(1) >= b1);
             }
         }
     }

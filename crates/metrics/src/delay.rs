@@ -87,7 +87,10 @@ impl DelayStats {
     ///
     /// Panics if `q` is outside `[0, 1]`.
     pub fn quantile(&mut self, q: f64) -> Option<SimDuration> {
-        assert!((0.0..=1.0).contains(&q), "quantile must be in [0,1], got {q}");
+        assert!(
+            (0.0..=1.0).contains(&q),
+            "quantile must be in [0,1], got {q}"
+        );
         if self.samples_ns.is_empty() {
             return None;
         }
@@ -191,7 +194,11 @@ mod tests {
         for v in [10, 20, 30] {
             s.record(ms(v));
         }
-        assert_eq!(s.violations_of(ms(30)), 0, "bound itself is not a violation");
+        assert_eq!(
+            s.violations_of(ms(30)),
+            0,
+            "bound itself is not a violation"
+        );
         assert_eq!(s.violations_of(ms(29)), 1);
         assert_eq!(s.violations_of(ms(9)), 3);
     }

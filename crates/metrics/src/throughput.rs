@@ -138,7 +138,10 @@ impl BinnedThroughput {
     /// Per-bin rates in kilobits per second.
     pub fn rates_kbps(&self) -> Vec<f64> {
         let w = self.bin_width.as_secs_f64();
-        self.bins.iter().map(|&b| b as f64 * 8.0 / w / 1000.0).collect()
+        self.bins
+            .iter()
+            .map(|&b| b as f64 * 8.0 / w / 1000.0)
+            .collect()
     }
 }
 

@@ -215,9 +215,19 @@ mod tests {
 
     #[test]
     fn allowed_for_override() {
-        let f1 = FlowSpec::new(FlowId(1), s(1), Direction::SlaveToMaster, LogicalChannel::BestEffort);
-        let f2 = FlowSpec::new(FlowId(2), s(2), Direction::SlaveToMaster, LogicalChannel::BestEffort)
-            .with_allowed_types(vec![PacketType::Dh1]);
+        let f1 = FlowSpec::new(
+            FlowId(1),
+            s(1),
+            Direction::SlaveToMaster,
+            LogicalChannel::BestEffort,
+        );
+        let f2 = FlowSpec::new(
+            FlowId(2),
+            s(2),
+            Direction::SlaveToMaster,
+            LogicalChannel::BestEffort,
+        )
+        .with_allowed_types(vec![PacketType::Dh1]);
         let cfg = base().with_flow(f1.clone()).with_flow(f2.clone());
         assert_eq!(cfg.allowed_for(&f1), &[PacketType::Dh1, PacketType::Dh3]);
         assert_eq!(cfg.allowed_for(&f2), &[PacketType::Dh1]);
@@ -225,8 +235,13 @@ mod tests {
 
     #[test]
     fn rejects_flow_without_data_types() {
-        let f = FlowSpec::new(FlowId(1), s(1), Direction::SlaveToMaster, LogicalChannel::BestEffort)
-            .with_allowed_types(vec![PacketType::Poll]);
+        let f = FlowSpec::new(
+            FlowId(1),
+            s(1),
+            Direction::SlaveToMaster,
+            LogicalChannel::BestEffort,
+        )
+        .with_allowed_types(vec![PacketType::Poll]);
         let err = base().with_flow(f).validate().unwrap_err();
         assert!(err.to_string().contains("no data-bearing"));
     }

@@ -169,12 +169,42 @@ mod tests {
     #[test]
     fn validation_accepts_the_paper_scenario_shape() {
         let flows = vec![
-            FlowSpec::new(FlowId(1), s(1), Direction::SlaveToMaster, LogicalChannel::GuaranteedService),
-            FlowSpec::new(FlowId(2), s(2), Direction::MasterToSlave, LogicalChannel::GuaranteedService),
-            FlowSpec::new(FlowId(3), s(2), Direction::SlaveToMaster, LogicalChannel::GuaranteedService),
-            FlowSpec::new(FlowId(4), s(3), Direction::SlaveToMaster, LogicalChannel::GuaranteedService),
-            FlowSpec::new(FlowId(5), s(4), Direction::MasterToSlave, LogicalChannel::BestEffort),
-            FlowSpec::new(FlowId(6), s(4), Direction::SlaveToMaster, LogicalChannel::BestEffort),
+            FlowSpec::new(
+                FlowId(1),
+                s(1),
+                Direction::SlaveToMaster,
+                LogicalChannel::GuaranteedService,
+            ),
+            FlowSpec::new(
+                FlowId(2),
+                s(2),
+                Direction::MasterToSlave,
+                LogicalChannel::GuaranteedService,
+            ),
+            FlowSpec::new(
+                FlowId(3),
+                s(2),
+                Direction::SlaveToMaster,
+                LogicalChannel::GuaranteedService,
+            ),
+            FlowSpec::new(
+                FlowId(4),
+                s(3),
+                Direction::SlaveToMaster,
+                LogicalChannel::GuaranteedService,
+            ),
+            FlowSpec::new(
+                FlowId(5),
+                s(4),
+                Direction::MasterToSlave,
+                LogicalChannel::BestEffort,
+            ),
+            FlowSpec::new(
+                FlowId(6),
+                s(4),
+                Direction::SlaveToMaster,
+                LogicalChannel::BestEffort,
+            ),
         ];
         assert!(validate_flows(&flows).is_ok());
     }
@@ -182,8 +212,18 @@ mod tests {
     #[test]
     fn validation_rejects_duplicate_ids() {
         let flows = vec![
-            FlowSpec::new(FlowId(1), s(1), Direction::SlaveToMaster, LogicalChannel::BestEffort),
-            FlowSpec::new(FlowId(1), s(2), Direction::SlaveToMaster, LogicalChannel::BestEffort),
+            FlowSpec::new(
+                FlowId(1),
+                s(1),
+                Direction::SlaveToMaster,
+                LogicalChannel::BestEffort,
+            ),
+            FlowSpec::new(
+                FlowId(1),
+                s(2),
+                Direction::SlaveToMaster,
+                LogicalChannel::BestEffort,
+            ),
         ];
         let err = validate_flows(&flows).unwrap_err();
         assert!(err.contains("duplicate"));
@@ -192,15 +232,35 @@ mod tests {
     #[test]
     fn validation_rejects_colliding_flows() {
         let flows = vec![
-            FlowSpec::new(FlowId(1), s(1), Direction::SlaveToMaster, LogicalChannel::BestEffort),
-            FlowSpec::new(FlowId(2), s(1), Direction::SlaveToMaster, LogicalChannel::BestEffort),
+            FlowSpec::new(
+                FlowId(1),
+                s(1),
+                Direction::SlaveToMaster,
+                LogicalChannel::BestEffort,
+            ),
+            FlowSpec::new(
+                FlowId(2),
+                s(1),
+                Direction::SlaveToMaster,
+                LogicalChannel::BestEffort,
+            ),
         ];
         let err = validate_flows(&flows).unwrap_err();
         assert!(err.contains("both carry"));
         // GS and BE on the same (slave, direction) are fine.
         let ok = vec![
-            FlowSpec::new(FlowId(1), s(1), Direction::SlaveToMaster, LogicalChannel::BestEffort),
-            FlowSpec::new(FlowId(2), s(1), Direction::SlaveToMaster, LogicalChannel::GuaranteedService),
+            FlowSpec::new(
+                FlowId(1),
+                s(1),
+                Direction::SlaveToMaster,
+                LogicalChannel::BestEffort,
+            ),
+            FlowSpec::new(
+                FlowId(2),
+                s(1),
+                Direction::SlaveToMaster,
+                LogicalChannel::GuaranteedService,
+            ),
         ];
         assert!(validate_flows(&ok).is_ok());
     }

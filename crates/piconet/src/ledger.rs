@@ -6,8 +6,8 @@
 //! classifies every slot of a run so the savings are directly observable.
 
 use btgs_baseband::LogicalChannel;
-use btgs_metrics::Table;
 use btgs_des::SimDuration;
+use btgs_metrics::Table;
 
 /// Slot usage classification over a measurement window.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -166,8 +166,10 @@ mod tests {
 
     #[test]
     fn idle_computation() {
-        let mut l = SlotLedger::default();
-        l.gs_data = 100;
+        let l = SlotLedger {
+            gs_data: 100,
+            ..SlotLedger::default()
+        };
         // 1 second = 1600 slots.
         assert_eq!(l.idle_in(SimDuration::from_secs(1)), 1500);
     }
@@ -175,8 +177,10 @@ mod tests {
     #[test]
     #[should_panic(expected = "window holds only")]
     fn over_accounting_panics() {
-        let mut l = SlotLedger::default();
-        l.gs_data = 2000;
+        let l = SlotLedger {
+            gs_data: 2000,
+            ..SlotLedger::default()
+        };
         let _ = l.idle_in(SimDuration::from_secs(1));
     }
 

@@ -7,6 +7,9 @@
 //! * master-driven TDD on the 625 µs slot grid: the master addresses one
 //!   slave per exchange (data segment or POLL down, data segment or NULL
 //!   back up);
+//! * a dense [`FlowTable`] arena ([`FlowIdx`] handles, O(1) lookups,
+//!   precomputed slave/flow lists) backing every per-decision query, so
+//!   the simulation hot path neither scans nor allocates;
 //! * per-flow queues with [segmentation](MaxFirstPolicy) of higher-layer
 //!   packets into DH1/DH3/… baseband packets, exactly the paper's policy;
 //! * strict master ignorance of uplink queues — pollers see only the
@@ -27,6 +30,7 @@
 
 mod config;
 mod flow;
+mod flow_table;
 mod ledger;
 mod poller;
 mod queue;
@@ -36,10 +40,9 @@ mod sim;
 
 pub use config::{PiconetConfig, PiconetError, SarPolicy, ScoBinding};
 pub use flow::{validate_flows, FlowSpec};
+pub use flow_table::{FlowIdx, FlowTable};
 pub use ledger::{PollCounters, SlotLedger};
-pub use poller::{
-    DownlinkView, ExchangeReport, MasterView, PollDecision, Poller, SegmentOutcome,
-};
+pub use poller::{DownlinkView, ExchangeReport, MasterView, PollDecision, Poller, SegmentOutcome};
 pub use queue::{FlowQueue, SegmentPlan};
 pub use report::{FlowReport, RunReport};
 pub use sar::{

@@ -8,6 +8,7 @@
 //! data at a slave."*
 
 use crate::flow::FlowSpec;
+use crate::flow_table::{FlowIdx, FlowTable};
 use crate::queue::{FlowQueue, SegmentPlan};
 use btgs_baseband::{AmAddr, Direction, LogicalChannel, PacketType};
 use btgs_des::SimTime;
@@ -39,11 +40,13 @@ pub enum PollDecision {
 
 /// Read-only view of the master-side state handed to [`Poller::decide`].
 ///
-/// Exposes the flow table and the **downlink** queues only.
+/// Exposes the [`FlowTable`] and the **downlink** queues only. Every
+/// lookup is O(1) and allocation-free — this view is rebuilt at every
+/// decision point, so it must stay cheap.
 #[derive(Debug)]
 pub struct MasterView<'a> {
     now: SimTime,
-    flows: &'a [FlowSpec],
+    table: &'a FlowTable,
     downlink_queues: &'a [Option<FlowQueue>],
 }
 
@@ -63,17 +66,17 @@ impl<'a> MasterView<'a> {
     ///
     /// Normally the simulator constructs views; the constructor is public so
     /// poller implementations can unit-test their `decide` logic directly.
-    /// `downlink_queues[i]` must be `Some` exactly for the downlink flows of
-    /// `flows[i]`.
+    /// `downlink_queues[i]` must be `Some` exactly for the downlink flows at
+    /// index `i` of `table`.
     pub fn new(
         now: SimTime,
-        flows: &'a [FlowSpec],
+        table: &'a FlowTable,
         downlink_queues: &'a [Option<FlowQueue>],
     ) -> MasterView<'a> {
-        debug_assert_eq!(flows.len(), downlink_queues.len());
+        debug_assert_eq!(table.len(), downlink_queues.len());
         MasterView {
             now,
-            flows,
+            table,
             downlink_queues,
         }
     }
@@ -83,33 +86,43 @@ impl<'a> MasterView<'a> {
         self.now
     }
 
-    /// All flows configured in the piconet.
-    pub fn flows(&self) -> &[FlowSpec] {
-        self.flows
+    /// The flow table of the piconet.
+    pub fn table(&self) -> &'a FlowTable {
+        self.table
     }
 
-    /// The flow with the given id, if configured.
-    pub fn flow(&self, id: FlowId) -> Option<&FlowSpec> {
-        self.flows.iter().find(|f| f.id == id)
+    /// All flows configured in the piconet, in dense-index order.
+    pub fn flows(&self) -> &'a [FlowSpec] {
+        self.table.specs()
     }
 
-    /// The unique flow matching `(slave, direction, channel)`, if any.
+    /// The flow with the given id, if configured. O(1).
+    pub fn flow(&self, id: FlowId) -> Option<&'a FlowSpec> {
+        self.table.idx_of(id).map(|idx| self.table.spec(idx))
+    }
+
+    /// The unique flow matching `(slave, direction, channel)`, if any. O(1).
     pub fn flow_at(
         &self,
         slave: AmAddr,
         direction: Direction,
         channel: LogicalChannel,
-    ) -> Option<&FlowSpec> {
-        self.flows
-            .iter()
-            .find(|f| f.slave == slave && f.direction == direction && f.channel == channel)
+    ) -> Option<&'a FlowSpec> {
+        self.table
+            .at(slave, direction, channel)
+            .map(|idx| self.table.spec(idx))
     }
 
     /// Snapshot of a downlink flow's queue. Returns `None` for uplink flows
-    /// (the master cannot see those) and for unknown ids.
+    /// (the master cannot see those) and for unknown ids. O(1).
     pub fn downlink(&self, id: FlowId) -> Option<DownlinkView> {
-        let idx = self.flows.iter().position(|f| f.id == id)?;
-        let q = self.downlink_queues[idx].as_ref()?;
+        self.downlink_at(self.table.idx_of(id)?)
+    }
+
+    /// Snapshot of a downlink flow's queue by dense index. Returns `None`
+    /// for uplink flows.
+    pub fn downlink_at(&self, idx: FlowIdx) -> Option<DownlinkView> {
+        let q = self.downlink_queues[idx.get()].as_ref()?;
         Some(DownlinkView {
             packets: q.len(),
             head_arrival: q.head_arrival(),
@@ -123,16 +136,26 @@ impl<'a> MasterView<'a> {
         matches!(self.downlink(id), Some(v) if matches!(v.head_arrival, Some(a) if a <= t))
     }
 
+    /// `true` if the downlink flow at `idx` had data available at `t`.
+    pub fn downlink_has_data_at(&self, idx: FlowIdx, t: SimTime) -> bool {
+        matches!(self.downlink_at(idx), Some(v) if matches!(v.head_arrival, Some(a) if a <= t))
+    }
+
     /// The distinct slaves that have at least one flow, in address order.
-    pub fn slaves(&self) -> Vec<AmAddr> {
-        let mut out: Vec<AmAddr> = Vec::new();
-        for f in self.flows {
-            if !out.contains(&f.slave) {
-                out.push(f.slave);
-            }
-        }
-        out.sort();
-        out
+    /// Precomputed — no allocation.
+    pub fn slaves(&self) -> &'a [AmAddr] {
+        self.table.slaves()
+    }
+
+    /// The distinct slaves with at least one flow on `channel`, in address
+    /// order. Precomputed — no allocation.
+    pub fn slaves_on(&self, channel: LogicalChannel) -> &'a [AmAddr] {
+        self.table.slaves_on(channel)
+    }
+
+    /// The flows of one slave, as dense indices. Precomputed.
+    pub fn flows_of(&self, slave: AmAddr) -> &'a [FlowIdx] {
+        self.table.flows_of(slave)
     }
 }
 
@@ -245,22 +268,40 @@ mod tests {
 
     fn flows() -> Vec<FlowSpec> {
         vec![
-            FlowSpec::new(FlowId(1), s(1), Direction::SlaveToMaster, LogicalChannel::GuaranteedService),
-            FlowSpec::new(FlowId(2), s(2), Direction::MasterToSlave, LogicalChannel::BestEffort),
+            FlowSpec::new(
+                FlowId(1),
+                s(1),
+                Direction::SlaveToMaster,
+                LogicalChannel::GuaranteedService,
+            ),
+            FlowSpec::new(
+                FlowId(2),
+                s(2),
+                Direction::MasterToSlave,
+                LogicalChannel::BestEffort,
+            ),
         ]
     }
 
     #[test]
     fn view_exposes_downlink_only() {
-        let flows = flows();
+        let table = FlowTable::new(flows()).unwrap();
         let mut q = FlowQueue::new();
-        q.push(btgs_traffic::AppPacket::new(0, FlowId(2), 100, SimTime::ZERO));
+        q.push(btgs_traffic::AppPacket::new(
+            0,
+            FlowId(2),
+            100,
+            SimTime::ZERO,
+        ));
         let queues = vec![None, Some(q)];
-        let view = MasterView::new(SimTime::from_millis(1), &flows, &queues);
+        let view = MasterView::new(SimTime::from_millis(1), &table, &queues);
 
         assert_eq!(view.now(), SimTime::from_millis(1));
         assert_eq!(view.flows().len(), 2);
-        assert!(view.downlink(FlowId(1)).is_none(), "uplink queue is invisible");
+        assert!(
+            view.downlink(FlowId(1)).is_none(),
+            "uplink queue is invisible"
+        );
         let dl = view.downlink(FlowId(2)).unwrap();
         assert_eq!(dl.packets, 1);
         assert_eq!(dl.backlog_bytes, 100);
@@ -271,16 +312,24 @@ mod tests {
 
     #[test]
     fn view_lookups() {
-        let flows = flows();
+        let table = FlowTable::new(flows()).unwrap();
         let queues = vec![None, None];
-        let view = MasterView::new(SimTime::ZERO, &flows, &queues);
+        let view = MasterView::new(SimTime::ZERO, &table, &queues);
         assert_eq!(view.flow(FlowId(1)).unwrap().slave, s(1));
         assert!(view.flow(FlowId(3)).is_none());
         assert!(view
-            .flow_at(s(1), Direction::SlaveToMaster, LogicalChannel::GuaranteedService)
+            .flow_at(
+                s(1),
+                Direction::SlaveToMaster,
+                LogicalChannel::GuaranteedService
+            )
             .is_some());
         assert!(view
-            .flow_at(s(1), Direction::MasterToSlave, LogicalChannel::GuaranteedService)
+            .flow_at(
+                s(1),
+                Direction::MasterToSlave,
+                LogicalChannel::GuaranteedService
+            )
             .is_none());
         assert_eq!(view.slaves(), vec![s(1), s(2)]);
     }
@@ -304,7 +353,13 @@ mod tests {
         };
         assert_eq!(data.slots(), 3);
         assert!(data.is_delivered_data());
-        assert_eq!(SegmentOutcome::Control { ty: PacketType::Poll }.slots(), 1);
+        assert_eq!(
+            SegmentOutcome::Control {
+                ty: PacketType::Poll
+            }
+            .slots(),
+            1
+        );
         assert_eq!(SegmentOutcome::Silent.slots(), 1);
 
         let report = ExchangeReport {
@@ -312,12 +367,16 @@ mod tests {
             end: SimTime::from_micros(2500),
             slave: s(1),
             channel: LogicalChannel::GuaranteedService,
-            down: SegmentOutcome::Control { ty: PacketType::Poll },
+            down: SegmentOutcome::Control {
+                ty: PacketType::Poll,
+            },
             up: data,
         };
         assert!(report.successful());
         let unsuccessful = ExchangeReport {
-            up: SegmentOutcome::Control { ty: PacketType::Null },
+            up: SegmentOutcome::Control {
+                ty: PacketType::Null,
+            },
             ..report
         };
         assert!(!unsuccessful.successful());

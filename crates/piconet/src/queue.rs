@@ -156,10 +156,7 @@ impl FlowQueue {
     ///
     /// Panics if the queue is empty or `bytes` exceeds the head's remainder.
     pub fn advance(&mut self, bytes: u32) -> Option<AppPacket> {
-        let head = self
-            .packets
-            .front()
-            .expect("advance on an empty queue");
+        let head = self.packets.front().expect("advance on an empty queue");
         let remaining = head.size - self.head_sent;
         assert!(
             bytes <= remaining,
@@ -208,7 +205,9 @@ mod tests {
         assert_eq!(q.backlog_bytes(), 0);
         assert_eq!(q.head_arrival(), None);
         assert!(!q.has_data_at(SimTime::from_secs(10)));
-        assert!(q.peek_segment(SimTime::ZERO, &MaxFirstPolicy, &PAPER).is_none());
+        assert!(q
+            .peek_segment(SimTime::ZERO, &MaxFirstPolicy, &PAPER)
+            .is_none());
     }
 
     #[test]
@@ -216,7 +215,10 @@ mod tests {
         let mut q = FlowQueue::new();
         q.push(pkt(0, 160, 20));
         assert!(!q.has_data_at(SimTime::from_millis(19)));
-        assert!(q.has_data_at(SimTime::from_millis(20)), "arrival instant counts");
+        assert!(
+            q.has_data_at(SimTime::from_millis(20)),
+            "arrival instant counts"
+        );
         assert!(q.has_data_at(SimTime::from_millis(21)));
         assert!(q
             .peek_segment(SimTime::from_millis(19), &MaxFirstPolicy, &PAPER)
@@ -240,7 +242,8 @@ mod tests {
         assert_eq!(seg.packet_size, 144);
         // Peeking again returns the same segment (non-destructive).
         assert_eq!(
-            q.peek_segment(SimTime::ZERO, &MaxFirstPolicy, &PAPER).unwrap(),
+            q.peek_segment(SimTime::ZERO, &MaxFirstPolicy, &PAPER)
+                .unwrap(),
             seg
         );
         let done = q.advance(seg.bytes);
@@ -252,11 +255,21 @@ mod tests {
     fn multi_segment_packet_progress() {
         let mut q = FlowQueue::new();
         q.push(pkt(0, 200, 0)); // DH3(183) + DH1(17)
-        let s1 = q.peek_segment(SimTime::ZERO, &MaxFirstPolicy, &PAPER).unwrap();
-        assert_eq!((s1.ty, s1.bytes, s1.is_first, s1.is_last), (PacketType::Dh3, 183, true, false));
+        let s1 = q
+            .peek_segment(SimTime::ZERO, &MaxFirstPolicy, &PAPER)
+            .unwrap();
+        assert_eq!(
+            (s1.ty, s1.bytes, s1.is_first, s1.is_last),
+            (PacketType::Dh3, 183, true, false)
+        );
         assert!(q.advance(s1.bytes).is_none(), "packet not yet complete");
-        let s2 = q.peek_segment(SimTime::ZERO, &MaxFirstPolicy, &PAPER).unwrap();
-        assert_eq!((s2.ty, s2.bytes, s2.is_first, s2.is_last), (PacketType::Dh1, 17, false, true));
+        let s2 = q
+            .peek_segment(SimTime::ZERO, &MaxFirstPolicy, &PAPER)
+            .unwrap();
+        assert_eq!(
+            (s2.ty, s2.bytes, s2.is_first, s2.is_last),
+            (PacketType::Dh1, 17, false, true)
+        );
         let done = q.advance(s2.bytes);
         assert!(done.is_some());
         assert_eq!(q.backlog_bytes(), 0);
@@ -266,9 +279,13 @@ mod tests {
     fn arq_retransmission_replays_segment() {
         let mut q = FlowQueue::new();
         q.push(pkt(0, 176, 0));
-        let s = q.peek_segment(SimTime::ZERO, &MaxFirstPolicy, &PAPER).unwrap();
+        let s = q
+            .peek_segment(SimTime::ZERO, &MaxFirstPolicy, &PAPER)
+            .unwrap();
         // Segment lost: do NOT advance. The next peek must be identical.
-        let again = q.peek_segment(SimTime::ZERO, &MaxFirstPolicy, &PAPER).unwrap();
+        let again = q
+            .peek_segment(SimTime::ZERO, &MaxFirstPolicy, &PAPER)
+            .unwrap();
         assert_eq!(s, again);
         q.advance(s.bytes);
         assert!(q.is_empty());
@@ -282,7 +299,9 @@ mod tests {
         q.note_attempt();
         assert!(q.head_attempted(), "second send would be a retransmission");
         // Segment finally delivered: the next segment is a fresh one.
-        let s = q.peek_segment(SimTime::ZERO, &MaxFirstPolicy, &PAPER).unwrap();
+        let s = q
+            .peek_segment(SimTime::ZERO, &MaxFirstPolicy, &PAPER)
+            .unwrap();
         q.advance(s.bytes);
         assert!(!q.head_attempted());
     }
@@ -294,10 +313,14 @@ mod tests {
         q.push(pkt(1, 144, 20));
         assert_eq!(q.len(), 2);
         assert_eq!(q.backlog_bytes(), 320);
-        let s = q.peek_segment(SimTime::from_millis(25), &MaxFirstPolicy, &PAPER).unwrap();
+        let s = q
+            .peek_segment(SimTime::from_millis(25), &MaxFirstPolicy, &PAPER)
+            .unwrap();
         assert_eq!(s.packet_seq, 0, "head first");
         q.advance(s.bytes);
-        let s = q.peek_segment(SimTime::from_millis(25), &MaxFirstPolicy, &PAPER).unwrap();
+        let s = q
+            .peek_segment(SimTime::from_millis(25), &MaxFirstPolicy, &PAPER)
+            .unwrap();
         assert_eq!(s.packet_seq, 1);
         assert_eq!(q.backlog_bytes(), 144);
     }

@@ -99,11 +99,7 @@ impl RunReport {
 
     /// Aggregate delivered throughput over all flows, in kbit/s.
     pub fn total_throughput_kbps(&self) -> f64 {
-        let acl: f64 = self
-            .flows
-            .iter()
-            .map(|f| self.throughput_kbps(f.id))
-            .sum();
+        let acl: f64 = self.flows.iter().map(|f| self.throughput_kbps(f.id)).sum();
         let sco: f64 = self
             .sco_flows
             .iter()
@@ -124,7 +120,15 @@ impl RunReport {
     /// Renders a per-flow summary table.
     pub fn to_table(&self) -> Table {
         let mut t = Table::new(vec![
-            "flow", "slave", "chan", "dir", "offered", "delivered", "kbps", "delay mean", "delay max",
+            "flow",
+            "slave",
+            "chan",
+            "dir",
+            "offered",
+            "delivered",
+            "kbps",
+            "delay mean",
+            "delay max",
         ]);
         for f in &self.flows {
             let r = self.flow(f.id);
@@ -136,9 +140,7 @@ impl RunReport {
                 r.offered_packets.to_string(),
                 r.delivered_packets.to_string(),
                 format!("{:.2}", r.throughput_kbps(self.window())),
-                r.delay
-                    .mean()
-                    .map_or_else(|| "-".into(), |d| d.to_string()),
+                r.delay.mean().map_or_else(|| "-".into(), |d| d.to_string()),
                 r.delay.max().map_or_else(|| "-".into(), |d| d.to_string()),
             ]);
         }
@@ -154,8 +156,18 @@ mod tests {
     fn report() -> RunReport {
         let s1 = AmAddr::new(1).unwrap();
         let flows = vec![
-            FlowSpec::new(FlowId(1), s1, Direction::SlaveToMaster, LogicalChannel::GuaranteedService),
-            FlowSpec::new(FlowId(2), s1, Direction::MasterToSlave, LogicalChannel::BestEffort),
+            FlowSpec::new(
+                FlowId(1),
+                s1,
+                Direction::SlaveToMaster,
+                LogicalChannel::GuaranteedService,
+            ),
+            FlowSpec::new(
+                FlowId(2),
+                s1,
+                Direction::MasterToSlave,
+                LogicalChannel::BestEffort,
+            ),
         ];
         let mut per_flow = BTreeMap::new();
         per_flow.insert(
@@ -204,7 +216,10 @@ mod tests {
     #[test]
     fn channel_filter() {
         let r = report();
-        assert_eq!(r.flows_on(LogicalChannel::GuaranteedService), vec![FlowId(1)]);
+        assert_eq!(
+            r.flows_on(LogicalChannel::GuaranteedService),
+            vec![FlowId(1)]
+        );
         assert_eq!(r.flows_on(LogicalChannel::BestEffort), vec![FlowId(2)]);
     }
 

@@ -9,11 +9,9 @@
 //! them.
 
 use crate::config::{PiconetConfig, PiconetError, SarPolicy, ScoBinding};
-use crate::flow::FlowSpec;
+use crate::flow_table::FlowTable;
 use crate::ledger::{PollCounters, SlotLedger};
-use crate::poller::{
-    ExchangeReport, MasterView, PollDecision, Poller, SegmentOutcome,
-};
+use crate::poller::{ExchangeReport, MasterView, PollDecision, Poller, SegmentOutcome};
 use crate::queue::{FlowQueue, SegmentPlan};
 use crate::report::{FlowReport, RunReport};
 use btgs_baseband::{
@@ -91,7 +89,7 @@ struct ScoRt {
 }
 
 struct World {
-    specs: Vec<FlowSpec>,
+    table: FlowTable,
     allowed: Vec<Vec<PacketType>>,
     sar: SarPolicy,
     down_queues: Vec<Option<FlowQueue>>,
@@ -110,17 +108,21 @@ struct World {
 }
 
 impl World {
+    /// Dense index of the unique flow at `(slave, dir, channel)`, O(1) via
+    /// the [`FlowTable`].
     fn flow_index(&self, slave: AmAddr, dir: Direction, channel: LogicalChannel) -> Option<usize> {
-        self.specs
-            .iter()
-            .position(|f| f.slave == slave && f.direction == dir && f.channel == channel)
+        self.table.at(slave, dir, channel).map(|idx| idx.get())
     }
 
     /// First SCO reservation strictly after `t`, or `None` without SCO.
     fn next_sco_after(&self, t: SimTime) -> Option<SimTime> {
         self.sco
             .iter()
-            .map(|s| s.binding.link.next_reservation(t + SimDuration::from_nanos(1)))
+            .map(|s| {
+                s.binding
+                    .link
+                    .next_reservation(t + SimDuration::from_nanos(1))
+            })
             .min()
     }
 
@@ -168,13 +170,13 @@ fn on_arrival(sched: &mut Scheduler<Ev>, w: &mut World, source_idx: usize, pkt: 
                 w.reports[idx].offered_packets += 1;
                 w.reports[idx].offered_bytes += pkt.size as u64;
             }
-            let downlink = w.specs[idx].direction.is_downlink();
+            let downlink = w.table.specs()[idx].direction.is_downlink();
             if downlink {
                 w.down_queues[idx]
                     .as_mut()
                     .expect("downlink queue exists")
                     .push(pkt);
-                let flow_id = w.specs[idx].id;
+                let flow_id = w.table.specs()[idx].id;
                 let mut poller = w.poller.take().expect("poller present");
                 poller.on_downlink_arrival(flow_id, now);
                 w.poller = Some(poller);
@@ -196,7 +198,13 @@ fn on_arrival(sched: &mut Scheduler<Ev>, w: &mut World, source_idx: usize, pkt: 
     // Fetch and schedule the source's next packet.
     if let Some(next) = w.sources[source_idx].source.next_packet() {
         debug_assert!(next.arrival >= now, "sources must be time-ordered");
-        sched.schedule_at(next.arrival, Ev::Arrival { source_idx, pkt: next });
+        sched.schedule_at(
+            next.arrival,
+            Ev::Arrival {
+                source_idx,
+                pkt: next,
+            },
+        );
     }
     // A free master may want to react (e.g. serve fresh downlink data).
     if now >= w.busy_until {
@@ -226,7 +234,7 @@ fn on_wake(sched: &mut Scheduler<Ev>, w: &mut World) {
     }
 
     let mut poller = w.poller.take().expect("poller present");
-    let view = MasterView::new(now, &w.specs, &w.down_queues);
+    let view = MasterView::new(now, &w.table, &w.down_queues);
     let decision = poller.decide(now, &view);
     w.poller = Some(poller);
 
@@ -393,17 +401,24 @@ fn on_exchange_done(sched: &mut Scheduler<Ev>, w: &mut World, ex: PendingExchang
     apply_delivery(w, ex.up, now, in_window, Direction::SlaveToMaster);
 
     if in_window {
-        for (tx, _dir) in [(ex.down, Direction::MasterToSlave), (ex.up, Direction::SlaveToMaster)] {
+        for (tx, _dir) in [
+            (ex.down, Direction::MasterToSlave),
+            (ex.up, Direction::SlaveToMaster),
+        ] {
             match tx {
                 PlannedTx::Data {
-                    seg, retransmission, ..
-                } => w.ledger.add_data(ex.channel, seg.ty.slots(), retransmission),
+                    seg,
+                    retransmission,
+                    ..
+                } => w
+                    .ledger
+                    .add_data(ex.channel, seg.ty.slots(), retransmission),
                 PlannedTx::Control { ty } => w.ledger.add_overhead(ex.channel, ty.slots()),
                 PlannedTx::Silent => w.ledger.add_overhead(ex.channel, 1),
             }
         }
-        let successful = matches!(ex.down, PlannedTx::Data { .. })
-            || matches!(ex.up, PlannedTx::Data { .. });
+        let successful =
+            matches!(ex.down, PlannedTx::Data { .. }) || matches!(ex.up, PlannedTx::Data { .. });
         match ex.channel {
             LogicalChannel::GuaranteedService => w.gs_polls.record(successful),
             LogicalChannel::BestEffort => w.be_polls.record(successful),
@@ -433,7 +448,7 @@ fn to_outcome(w: &World, tx: PlannedTx) -> SegmentOutcome {
             delivered,
             retransmission,
         } => SegmentOutcome::Data {
-            flow: w.specs[flow_idx].id,
+            flow: w.table.specs()[flow_idx].id,
             segment: seg,
             delivered,
             retransmission,
@@ -443,13 +458,7 @@ fn to_outcome(w: &World, tx: PlannedTx) -> SegmentOutcome {
     }
 }
 
-fn apply_delivery(
-    w: &mut World,
-    tx: PlannedTx,
-    at: SimTime,
-    in_window: bool,
-    dir: Direction,
-) {
+fn apply_delivery(w: &mut World, tx: PlannedTx, at: SimTime, in_window: bool, dir: Direction) {
     let PlannedTx::Data {
         flow_idx,
         seg,
@@ -586,20 +595,28 @@ impl PiconetSim {
         channel: Box<dyn ChannelModel>,
     ) -> Result<PiconetSim, PiconetError> {
         config.validate()?;
-        let specs = config.flows.clone();
-        let allowed: Vec<Vec<PacketType>> = specs
+        // `config.validate()` above already ran `validate_flows`.
+        let table = FlowTable::from_validated(config.flows.clone());
+        let allowed: Vec<Vec<PacketType>> = table
+            .specs()
             .iter()
             .map(|f| config.allowed_for(f).to_vec())
             .collect();
-        let down_queues = specs
+        let down_queues = table
+            .specs()
             .iter()
             .map(|f| f.direction.is_downlink().then(FlowQueue::new))
             .collect();
-        let up_queues = specs
+        let up_queues = table
+            .specs()
             .iter()
             .map(|f| f.direction.is_uplink().then(FlowQueue::new))
             .collect();
-        let reports = specs.iter().map(|_| FlowReport::default()).collect();
+        let reports = table
+            .specs()
+            .iter()
+            .map(|_| FlowReport::default())
+            .collect();
         let sco = config
             .sco
             .iter()
@@ -610,7 +627,7 @@ impl PiconetSim {
             })
             .collect();
         let world = World {
-            specs,
+            table,
             allowed,
             sar: config.sar,
             down_queues,
@@ -641,13 +658,9 @@ impl PiconetSim {
     pub fn add_source(&mut self, source: Box<dyn Source>) -> Result<(), PiconetError> {
         let id = source.flow();
         let w = self.sim.state_mut();
-        let target = if let Some(idx) = w.specs.iter().position(|f| f.id == id) {
-            Target::Flow(idx)
-        } else if let Some(idx) = w
-            .sco
-            .iter()
-            .position(|s| s.binding.voice_flow == Some(id))
-        {
+        let target = if let Some(idx) = w.table.idx_of(id) {
+            Target::Flow(idx.get())
+        } else if let Some(idx) = w.sco.iter().position(|s| s.binding.voice_flow == Some(id)) {
             Target::Sco(idx)
         } else {
             return Err(PiconetError(format!("no flow {id} configured")));
@@ -670,19 +683,16 @@ impl PiconetSim {
         if self.started {
             return Err(PiconetError("simulation already ran".into()));
         }
-        for (idx, f) in w.specs.iter().enumerate() {
+        for (idx, f) in w.table.specs().iter().enumerate() {
             if !w.sources.iter().any(|s| s.target == Target::Flow(idx)) {
                 return Err(PiconetError(format!("flow {} has no source", f.id)));
             }
         }
         for (idx, s) in w.sco.iter().enumerate() {
-            if s.binding.voice_flow.is_some()
-                && !w.sources.iter().any(|src| src.target == Target::Sco(idx))
-            {
-                return Err(PiconetError(format!(
-                    "SCO voice flow {} has no source",
-                    s.binding.voice_flow.expect("checked above")
-                )));
+            if let Some(vf) = s.binding.voice_flow {
+                if !w.sources.iter().any(|src| src.target == Target::Sco(idx)) {
+                    return Err(PiconetError(format!("SCO voice flow {vf} has no source")));
+                }
             }
         }
         if w.warmup >= horizon {
@@ -698,7 +708,10 @@ impl PiconetSim {
         // already queued when the master makes its first decision.
         let n_sources = self.sim.state().sources.len();
         for source_idx in 0..n_sources {
-            if let Some(pkt) = self.sim.state_mut().sources[source_idx].source.next_packet() {
+            if let Some(pkt) = self.sim.state_mut().sources[source_idx]
+                .source
+                .next_packet()
+            {
                 self.sim
                     .scheduler_mut()
                     .schedule_at(pkt.arrival, Ev::Arrival { source_idx, pkt });
@@ -714,7 +727,7 @@ impl PiconetSim {
 
         let w = self.sim.into_state();
         let mut per_flow = BTreeMap::new();
-        for (idx, f) in w.specs.iter().enumerate() {
+        for (idx, f) in w.table.specs().iter().enumerate() {
             per_flow.insert(f.id, w.reports[idx].clone());
         }
         let mut sco_flows = Vec::new();
@@ -727,7 +740,7 @@ impl PiconetSim {
         Ok(RunReport {
             window_start: w.warmup,
             window_end: horizon,
-            flows: w.specs,
+            flows: w.table.specs().to_vec(),
             sco_flows,
             per_flow,
             ledger: w.ledger,

@@ -1,0 +1,177 @@
+//! Randomized property tests of the [`FlowTable`] invariants, driven by the
+//! workspace's deterministic RNG so every platform checks the same cases.
+//!
+//! Invariants:
+//! * `idx_of` ∘ `id` and `id` ∘ `idx_of` are identities (idx ↔ id round
+//!   trip);
+//! * `at(slave, direction, channel)` agrees with a linear scan;
+//! * the per-slave lists are sorted, disjoint, and jointly complete;
+//! * the slave lists (overall and per channel) are sorted and exact.
+
+use btgs_baseband::{AmAddr, Direction, LogicalChannel};
+use btgs_des::DetRng;
+use btgs_piconet::{FlowIdx, FlowSpec, FlowTable};
+use btgs_traffic::FlowId;
+
+/// Generates a valid flow set: unique ids, at most one flow per
+/// `(slave, direction, channel)` triple, in random order.
+fn random_flows(rng: &mut DetRng) -> Vec<FlowSpec> {
+    let mut triples = Vec::new();
+    for slave in 1..=7u8 {
+        for direction in [Direction::MasterToSlave, Direction::SlaveToMaster] {
+            for channel in [
+                LogicalChannel::GuaranteedService,
+                LogicalChannel::BestEffort,
+            ] {
+                triples.push((AmAddr::new(slave).unwrap(), direction, channel));
+            }
+        }
+    }
+    rng.shuffle(&mut triples);
+    let n = rng.below(triples.len() as u64 + 1) as usize;
+    let mut ids: Vec<u32> = (0..n as u32).map(|i| i * 3 + rng.below(3) as u32).collect();
+    rng.shuffle(&mut ids);
+    triples[..n]
+        .iter()
+        .zip(ids)
+        .map(|(&(slave, direction, channel), id)| {
+            FlowSpec::new(FlowId(id), slave, direction, channel)
+        })
+        .collect()
+}
+
+#[test]
+fn idx_id_round_trip() {
+    let mut rng = DetRng::seed_from_u64(0xF70A);
+    for _ in 0..256 {
+        let flows = random_flows(&mut rng);
+        let table = FlowTable::new(flows.clone()).expect("valid set");
+        assert_eq!(table.len(), flows.len());
+        assert_eq!(table.specs(), &flows[..]);
+        for (i, f) in flows.iter().enumerate() {
+            let idx = table.idx_of(f.id).expect("configured flow resolves");
+            assert_eq!(idx, FlowIdx(i as u32), "indices follow configuration order");
+            assert_eq!(table.id(idx), f.id, "id(idx_of(id)) == id");
+            assert_eq!(table.spec(idx), f);
+        }
+        // Unknown ids miss.
+        assert!(table.idx_of(FlowId(9_999)).is_none());
+    }
+}
+
+#[test]
+fn key_lookup_agrees_with_linear_scan() {
+    let mut rng = DetRng::seed_from_u64(0xF70B);
+    for _ in 0..256 {
+        let flows = random_flows(&mut rng);
+        let table = FlowTable::new(flows.clone()).expect("valid set");
+        for slave in (1..=7u8).map(|n| AmAddr::new(n).unwrap()) {
+            for direction in [Direction::MasterToSlave, Direction::SlaveToMaster] {
+                for channel in [
+                    LogicalChannel::GuaranteedService,
+                    LogicalChannel::BestEffort,
+                ] {
+                    let linear = flows.iter().position(|f| {
+                        f.slave == slave && f.direction == direction && f.channel == channel
+                    });
+                    assert_eq!(
+                        table.at(slave, direction, channel),
+                        linear.map(|i| FlowIdx(i as u32))
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn per_slave_lists_sorted_and_complete() {
+    let mut rng = DetRng::seed_from_u64(0xF70C);
+    for _ in 0..256 {
+        let flows = random_flows(&mut rng);
+        let table = FlowTable::new(flows.clone()).expect("valid set");
+        let mut covered = 0usize;
+        for slave in (1..=7u8).map(|n| AmAddr::new(n).unwrap()) {
+            let list = table.flows_of(slave);
+            assert!(
+                list.windows(2).all(|w| w[0] < w[1]),
+                "per-slave list must be strictly increasing"
+            );
+            for &idx in list {
+                assert_eq!(table.spec(idx).slave, slave, "list holds only own flows");
+            }
+            // Completeness: every flow of this slave appears.
+            let expect = flows.iter().filter(|f| f.slave == slave).count();
+            assert_eq!(list.len(), expect);
+            covered += list.len();
+        }
+        assert_eq!(covered, table.len(), "per-slave lists partition the table");
+    }
+}
+
+#[test]
+fn slave_lists_sorted_and_exact() {
+    let mut rng = DetRng::seed_from_u64(0xF70D);
+    for _ in 0..256 {
+        let flows = random_flows(&mut rng);
+        let table = FlowTable::new(flows.clone()).expect("valid set");
+        let sorted = |s: &[AmAddr]| s.windows(2).all(|w| w[0] < w[1]);
+        assert!(sorted(table.slaves()));
+        let mut expect: Vec<AmAddr> = flows.iter().map(|f| f.slave).collect();
+        expect.sort();
+        expect.dedup();
+        assert_eq!(table.slaves(), &expect[..]);
+        for channel in [
+            LogicalChannel::GuaranteedService,
+            LogicalChannel::BestEffort,
+        ] {
+            let list = table.slaves_on(channel);
+            assert!(sorted(list));
+            let mut expect: Vec<AmAddr> = flows
+                .iter()
+                .filter(|f| f.channel == channel)
+                .map(|f| f.slave)
+                .collect();
+            expect.sort();
+            expect.dedup();
+            assert_eq!(list, &expect[..]);
+        }
+    }
+}
+
+#[test]
+fn invalid_sets_are_rejected() {
+    let s = |n| AmAddr::new(n).unwrap();
+    // Duplicate id.
+    assert!(FlowTable::new(vec![
+        FlowSpec::new(
+            FlowId(1),
+            s(1),
+            Direction::SlaveToMaster,
+            LogicalChannel::BestEffort
+        ),
+        FlowSpec::new(
+            FlowId(1),
+            s(2),
+            Direction::SlaveToMaster,
+            LogicalChannel::BestEffort
+        ),
+    ])
+    .is_err());
+    // Colliding (slave, direction, channel).
+    assert!(FlowTable::new(vec![
+        FlowSpec::new(
+            FlowId(1),
+            s(1),
+            Direction::SlaveToMaster,
+            LogicalChannel::BestEffort
+        ),
+        FlowSpec::new(
+            FlowId(2),
+            s(1),
+            Direction::SlaveToMaster,
+            LogicalChannel::BestEffort
+        ),
+    ])
+    .is_err());
+}

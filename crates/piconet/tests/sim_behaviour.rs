@@ -1,9 +1,7 @@
 //! Behavioural tests of the piconet simulator: slot-grid discipline,
 //! master ignorance, logical-channel separation, and exchange accounting.
 
-use btgs_baseband::{
-    AmAddr, Direction, IdealChannel, LogicalChannel, PacketType, SLOT_PAIR,
-};
+use btgs_baseband::{AmAddr, Direction, IdealChannel, LogicalChannel, PacketType, SLOT_PAIR};
 use btgs_des::{DetRng, SimDuration, SimTime};
 use btgs_piconet::{
     ExchangeReport, FlowSpec, MasterView, PiconetConfig, PiconetSim, PollDecision, Poller,

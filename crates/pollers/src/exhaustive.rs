@@ -1,6 +1,6 @@
 //! Exhaustive round-robin polling.
 
-use btgs_baseband::{AmAddr, LogicalChannel};
+use btgs_baseband::LogicalChannel;
 use btgs_des::SimTime;
 use btgs_piconet::{ExchangeReport, MasterView, PollDecision, Poller};
 
@@ -22,22 +22,12 @@ impl ExhaustiveRoundRobinPoller {
     pub fn new() -> ExhaustiveRoundRobinPoller {
         ExhaustiveRoundRobinPoller::default()
     }
-
-    fn be_slaves(view: &MasterView<'_>) -> Vec<AmAddr> {
-        let mut out: Vec<AmAddr> = Vec::new();
-        for f in view.flows() {
-            if f.channel == LogicalChannel::BestEffort && !out.contains(&f.slave) {
-                out.push(f.slave);
-            }
-        }
-        out.sort();
-        out
-    }
 }
 
 impl Poller for ExhaustiveRoundRobinPoller {
     fn decide(&mut self, _now: SimTime, view: &MasterView<'_>) -> PollDecision {
-        let slaves = Self::be_slaves(view);
+        // Precomputed sorted slave list — no per-decision allocation.
+        let slaves = view.slaves_on(LogicalChannel::BestEffort);
         if slaves.is_empty() {
             return PollDecision::Sleep;
         }
@@ -66,8 +56,8 @@ impl Poller for ExhaustiveRoundRobinPoller {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use btgs_baseband::{Direction, PacketType};
-    use btgs_piconet::{FlowSpec, SegmentOutcome};
+    use btgs_baseband::{AmAddr, Direction, PacketType};
+    use btgs_piconet::{FlowSpec, FlowTable, SegmentOutcome};
     use btgs_traffic::FlowId;
 
     fn s(n: u8) -> AmAddr {
@@ -93,8 +83,12 @@ mod tests {
             end: SimTime::from_micros(1250),
             slave,
             channel: LogicalChannel::BestEffort,
-            down: SegmentOutcome::Control { ty: PacketType::Poll },
-            up: SegmentOutcome::Control { ty: PacketType::Null },
+            down: SegmentOutcome::Control {
+                ty: PacketType::Poll,
+            },
+            up: SegmentOutcome::Control {
+                ty: PacketType::Null,
+            },
         }
     }
 
@@ -102,7 +96,8 @@ mod tests {
     fn stays_until_dry_then_moves() {
         let flows = flows2();
         let queues = vec![None, None];
-        let view = MasterView::new(SimTime::ZERO, &flows, &queues);
+        let table = FlowTable::new(flows.to_vec()).unwrap();
+        let view = MasterView::new(SimTime::ZERO, &table, &queues);
         let mut err_poller = ExhaustiveRoundRobinPoller::new();
         // First decision picks a slave; repeat decisions stay on it.
         let first = match err_poller.decide(SimTime::ZERO, &view) {
@@ -127,7 +122,8 @@ mod tests {
     fn gs_exchanges_do_not_release() {
         let flows = flows2();
         let queues = vec![None, None];
-        let view = MasterView::new(SimTime::ZERO, &flows, &queues);
+        let table = FlowTable::new(flows.to_vec()).unwrap();
+        let view = MasterView::new(SimTime::ZERO, &table, &queues);
         let mut p = ExhaustiveRoundRobinPoller::new();
         let first = match p.decide(SimTime::ZERO, &view) {
             PollDecision::Poll { slave, .. } => slave,
@@ -146,7 +142,8 @@ mod tests {
     fn sleeps_without_flows() {
         let flows: Vec<FlowSpec> = Vec::new();
         let queues: Vec<Option<btgs_piconet::FlowQueue>> = Vec::new();
-        let view = MasterView::new(SimTime::ZERO, &flows, &queues);
+        let table = FlowTable::new(flows.to_vec()).unwrap();
+        let view = MasterView::new(SimTime::ZERO, &table, &queues);
         let mut p = ExhaustiveRoundRobinPoller::new();
         assert_eq!(p.decide(SimTime::ZERO, &view), PollDecision::Sleep);
     }

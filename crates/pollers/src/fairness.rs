@@ -80,9 +80,7 @@ impl FairShareTracker {
     /// The slave's fair share of everything served so far.
     pub fn fair_share(&self, slave: AmAddr) -> f64 {
         match self.weights.get(&slave) {
-            Some(w) if self.total_weight > 0.0 => {
-                self.total_served as f64 * w / self.total_weight
-            }
+            Some(w) if self.total_weight > 0.0 => self.total_served as f64 * w / self.total_weight,
             _ => 0.0,
         }
     }

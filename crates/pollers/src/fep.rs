@@ -60,19 +60,23 @@ impl Poller for FepPoller {
         if self.active.is_empty() {
             return PollDecision::Sleep;
         }
-        // Promote slaves with known downlink data.
-        for f in view.flows() {
-            if f.channel == LogicalChannel::BestEffort && view.downlink_has_data(f.id, now) {
+        // Promote slaves with known downlink data (O(1) queue peeks via the
+        // dense flow table).
+        for (idx, f) in view.table().iter() {
+            if f.channel == LogicalChannel::BestEffort && view.downlink_has_data_at(idx, now) {
                 self.active.insert(f.slave, true);
             }
         }
-        let actives: Vec<AmAddr> = self
-            .active
-            .iter()
-            .filter_map(|(s, a)| a.then_some(*s))
-            .collect();
-        if !actives.is_empty() {
-            let slave = actives[self.cursor % actives.len()];
+        // Pick the cursor-th active slave without materialising the active
+        // list (at most 7 slaves; two cheap passes beat an allocation).
+        let n_active = self.active.values().filter(|a| **a).count();
+        if n_active > 0 {
+            let slave = *self
+                .active
+                .iter()
+                .filter_map(|(s, a)| a.then_some(s))
+                .nth(self.cursor % n_active)
+                .expect("n_active counted above");
             return PollDecision::Poll {
                 slave,
                 channel: LogicalChannel::BestEffort,
@@ -123,7 +127,7 @@ impl Poller for FepPoller {
 mod tests {
     use super::*;
     use btgs_baseband::{Direction, PacketType};
-    use btgs_piconet::{FlowSpec, SegmentOutcome};
+    use btgs_piconet::{FlowSpec, FlowTable, SegmentOutcome};
     use btgs_traffic::FlowId;
 
     fn s(n: u8) -> AmAddr {
@@ -149,7 +153,9 @@ mod tests {
             end,
             slave,
             channel: LogicalChannel::BestEffort,
-            down: SegmentOutcome::Control { ty: PacketType::Poll },
+            down: SegmentOutcome::Control {
+                ty: PacketType::Poll,
+            },
             up: if successful {
                 SegmentOutcome::Data {
                     flow: FlowId(1),
@@ -166,7 +172,9 @@ mod tests {
                     retransmission: false,
                 }
             } else {
-                SegmentOutcome::Control { ty: PacketType::Null }
+                SegmentOutcome::Control {
+                    ty: PacketType::Null,
+                }
             },
         }
     }
@@ -175,7 +183,8 @@ mod tests {
     fn unsuccessful_poll_demotes() {
         let flows = flows();
         let queues = vec![None, None];
-        let view = MasterView::new(SimTime::ZERO, &flows, &queues);
+        let table = FlowTable::new(flows.to_vec()).unwrap();
+        let view = MasterView::new(SimTime::ZERO, &table, &queues);
         let mut fep = FepPoller::new(SimDuration::from_millis(50));
         let _ = fep.decide(SimTime::ZERO, &view);
         assert!(fep.is_active(s(1)) && fep.is_active(s(2)));
@@ -188,7 +197,8 @@ mod tests {
     fn successful_poll_keeps_active() {
         let flows = flows();
         let queues = vec![None, None];
-        let view = MasterView::new(SimTime::ZERO, &flows, &queues);
+        let table = FlowTable::new(flows.to_vec()).unwrap();
+        let view = MasterView::new(SimTime::ZERO, &table, &queues);
         let mut fep = FepPoller::new(SimDuration::from_millis(50));
         let _ = fep.decide(SimTime::ZERO, &view);
         fep.on_exchange(&report(s(1), true, SimTime::from_millis(2)));
@@ -200,18 +210,21 @@ mod tests {
         let flows = flows();
         let queues = vec![None, None];
         let mut fep = FepPoller::new(SimDuration::from_millis(50));
-        let view = MasterView::new(SimTime::ZERO, &flows, &queues);
+        let table = FlowTable::new(flows.to_vec()).unwrap();
+        let view = MasterView::new(SimTime::ZERO, &table, &queues);
         let _ = fep.decide(SimTime::ZERO, &view);
         fep.on_exchange(&report(s(1), false, SimTime::from_millis(2)));
         fep.on_exchange(&report(s(2), false, SimTime::from_millis(3)));
         // Right after demotion: idle until the first probe is due.
-        let view = MasterView::new(SimTime::from_millis(4), &flows, &queues);
+        let table = FlowTable::new(flows.to_vec()).unwrap();
+        let view = MasterView::new(SimTime::from_millis(4), &table, &queues);
         match fep.decide(SimTime::from_millis(4), &view) {
             PollDecision::Idle { until } => assert_eq!(until, SimTime::from_millis(52)),
             other => panic!("expected Idle, got {other:?}"),
         }
         // At the due time the overdue slave is probed.
-        let view = MasterView::new(SimTime::from_millis(52), &flows, &queues);
+        let table = FlowTable::new(flows.to_vec()).unwrap();
+        let view = MasterView::new(SimTime::from_millis(52), &table, &queues);
         match fep.decide(SimTime::from_millis(52), &view) {
             PollDecision::Poll { slave, .. } => assert_eq!(slave, s(1)),
             other => panic!("expected Poll, got {other:?}"),
@@ -220,24 +233,31 @@ mod tests {
 
     #[test]
     fn downlink_backlog_promotes() {
-        let flows = vec![FlowSpec::new(
+        let flows = [FlowSpec::new(
             FlowId(1),
             s(1),
             Direction::MasterToSlave,
             LogicalChannel::BestEffort,
         )];
         let mut q = btgs_piconet::FlowQueue::new();
-        q.push(btgs_traffic::AppPacket::new(0, FlowId(1), 50, SimTime::ZERO));
+        q.push(btgs_traffic::AppPacket::new(
+            0,
+            FlowId(1),
+            50,
+            SimTime::ZERO,
+        ));
         let queues = vec![Some(q)];
         let mut fep = FepPoller::new(SimDuration::from_millis(50));
         // Demote the slave first.
         let empty_queues = vec![None];
-        let view0 = MasterView::new(SimTime::ZERO, &flows, &empty_queues);
+        let table = FlowTable::new(flows.to_vec()).unwrap();
+        let view0 = MasterView::new(SimTime::ZERO, &table, &empty_queues);
         let _ = fep.decide(SimTime::ZERO, &view0);
         fep.on_exchange(&report(s(1), false, SimTime::from_millis(2)));
         assert!(!fep.is_active(s(1)));
         // With downlink data visible, the next decision polls immediately.
-        let view = MasterView::new(SimTime::from_millis(5), &flows, &queues);
+        let table = FlowTable::new(flows.to_vec()).unwrap();
+        let view = MasterView::new(SimTime::from_millis(5), &table, &queues);
         match fep.decide(SimTime::from_millis(5), &view) {
             PollDecision::Poll { slave, .. } => assert_eq!(slave, s(1)),
             other => panic!("expected Poll, got {other:?}"),

@@ -25,15 +25,16 @@ impl HolPriorityPoller {
 
 impl Poller for HolPriorityPoller {
     fn decide(&mut self, now: SimTime, view: &MasterView<'_>) -> PollDecision {
-        // Oldest downlink head-of-line packet wins.
+        // Oldest downlink head-of-line packet wins. Indexed iteration keeps
+        // the downlink lookup O(1) per flow.
         let mut best: Option<(SimTime, AmAddr)> = None;
-        for f in view.flows() {
+        for (idx, f) in view.table().iter() {
             if f.channel != LogicalChannel::BestEffort {
                 continue;
             }
-            if let Some(dl) = view.downlink(f.id) {
+            if let Some(dl) = view.downlink_at(idx) {
                 if let Some(arrival) = dl.head_arrival {
-                    if arrival <= now && best.map_or(true, |(b, _)| arrival < b) {
+                    if arrival <= now && best.is_none_or(|(b, _)| arrival < b) {
                         best = Some((arrival, f.slave));
                     }
                 }
@@ -45,17 +46,12 @@ impl Poller for HolPriorityPoller {
                 channel: LogicalChannel::BestEffort,
             };
         }
-        // No downlink backlog: cycle slaves to collect uplink data.
-        let mut slaves: Vec<AmAddr> = Vec::new();
-        for f in view.flows() {
-            if f.channel == LogicalChannel::BestEffort && !slaves.contains(&f.slave) {
-                slaves.push(f.slave);
-            }
-        }
+        // No downlink backlog: cycle slaves to collect uplink data. The
+        // slave list is precomputed — no per-decision allocation.
+        let slaves = view.slaves_on(LogicalChannel::BestEffort);
         if slaves.is_empty() {
             return PollDecision::Sleep;
         }
-        slaves.sort();
         let slave = slaves[self.cursor % slaves.len()];
         self.cursor += 1;
         PollDecision::Poll {
@@ -75,7 +71,7 @@ impl Poller for HolPriorityPoller {
 mod tests {
     use super::*;
     use btgs_baseband::Direction;
-    use btgs_piconet::{FlowQueue, FlowSpec};
+    use btgs_piconet::{FlowQueue, FlowSpec, FlowTable};
     use btgs_traffic::{AppPacket, FlowId};
 
     fn s(n: u8) -> AmAddr {
@@ -84,16 +80,27 @@ mod tests {
 
     #[test]
     fn oldest_hol_packet_wins() {
-        let flows = vec![
-            FlowSpec::new(FlowId(1), s(1), Direction::MasterToSlave, LogicalChannel::BestEffort),
-            FlowSpec::new(FlowId(2), s(2), Direction::MasterToSlave, LogicalChannel::BestEffort),
+        let flows = [
+            FlowSpec::new(
+                FlowId(1),
+                s(1),
+                Direction::MasterToSlave,
+                LogicalChannel::BestEffort,
+            ),
+            FlowSpec::new(
+                FlowId(2),
+                s(2),
+                Direction::MasterToSlave,
+                LogicalChannel::BestEffort,
+            ),
         ];
         let mut q1 = FlowQueue::new();
         q1.push(AppPacket::new(0, FlowId(1), 50, SimTime::from_millis(5)));
         let mut q2 = FlowQueue::new();
         q2.push(AppPacket::new(0, FlowId(2), 50, SimTime::from_millis(2)));
         let queues = vec![Some(q1), Some(q2)];
-        let view = MasterView::new(SimTime::from_millis(10), &flows, &queues);
+        let table = FlowTable::new(flows.to_vec()).unwrap();
+        let view = MasterView::new(SimTime::from_millis(10), &table, &queues);
         let mut hol = HolPriorityPoller::new();
         match hol.decide(SimTime::from_millis(10), &view) {
             PollDecision::Poll { slave, .. } => assert_eq!(slave, s(2), "older HOL first"),
@@ -103,7 +110,7 @@ mod tests {
 
     #[test]
     fn future_arrivals_do_not_count() {
-        let flows = vec![FlowSpec::new(
+        let flows = [FlowSpec::new(
             FlowId(1),
             s(1),
             Direction::MasterToSlave,
@@ -112,7 +119,8 @@ mod tests {
         let mut q = FlowQueue::new();
         q.push(AppPacket::new(0, FlowId(1), 50, SimTime::from_millis(100)));
         let queues = vec![Some(q)];
-        let view = MasterView::new(SimTime::from_millis(10), &flows, &queues);
+        let table = FlowTable::new(flows.to_vec()).unwrap();
+        let view = MasterView::new(SimTime::from_millis(10), &table, &queues);
         let mut hol = HolPriorityPoller::new();
         // Not yet arrived -> falls back to cycling, which still polls S1,
         // but through the uplink-collection path.
@@ -124,12 +132,23 @@ mod tests {
 
     #[test]
     fn cycles_when_no_downlink_data() {
-        let flows = vec![
-            FlowSpec::new(FlowId(1), s(1), Direction::SlaveToMaster, LogicalChannel::BestEffort),
-            FlowSpec::new(FlowId(2), s(2), Direction::SlaveToMaster, LogicalChannel::BestEffort),
+        let flows = [
+            FlowSpec::new(
+                FlowId(1),
+                s(1),
+                Direction::SlaveToMaster,
+                LogicalChannel::BestEffort,
+            ),
+            FlowSpec::new(
+                FlowId(2),
+                s(2),
+                Direction::SlaveToMaster,
+                LogicalChannel::BestEffort,
+            ),
         ];
         let queues = vec![None, None];
-        let view = MasterView::new(SimTime::ZERO, &flows, &queues);
+        let table = FlowTable::new(flows.to_vec()).unwrap();
+        let view = MasterView::new(SimTime::ZERO, &table, &queues);
         let mut hol = HolPriorityPoller::new();
         let mut seen = Vec::new();
         for _ in 0..4 {
@@ -144,7 +163,8 @@ mod tests {
     fn sleeps_with_no_flows() {
         let flows: Vec<FlowSpec> = vec![];
         let queues: Vec<Option<FlowQueue>> = vec![];
-        let view = MasterView::new(SimTime::ZERO, &flows, &queues);
+        let table = FlowTable::new(flows.to_vec()).unwrap();
+        let view = MasterView::new(SimTime::ZERO, &table, &queues);
         assert_eq!(
             HolPriorityPoller::new().decide(SimTime::ZERO, &view),
             PollDecision::Sleep

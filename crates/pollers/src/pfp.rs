@@ -83,27 +83,35 @@ impl PfpBePoller {
     }
 
     /// The probability that polling `slave` at `now` returns data in either
-    /// direction.
+    /// direction. Walks only the slave's own (precomputed) flow list.
     fn availability(&self, slave: AmAddr, now: SimTime, view: &MasterView<'_>) -> f64 {
-        // Downlink queues are at the master: exact knowledge.
-        let downlink_ready = view.flows().iter().any(|f| {
-            f.slave == slave
-                && f.channel == LogicalChannel::BestEffort
-                && view.downlink_has_data(f.id, now)
-        });
-        if downlink_ready {
-            return 1.0;
+        let mut has_uplink = false;
+        for &idx in view.flows_of(slave) {
+            let f = view.table().spec(idx);
+            if f.channel != LogicalChannel::BestEffort {
+                continue;
+            }
+            if f.direction.is_uplink() {
+                has_uplink = true;
+            } else if view.downlink_has_data_at(idx, now) {
+                // Downlink queues are at the master: exact knowledge.
+                return 1.0;
+            }
         }
-        // Does the slave have an uplink BE flow at all?
-        let has_uplink = view.flows().iter().any(|f| {
-            f.slave == slave && f.channel == LogicalChannel::BestEffort && f.direction.is_uplink()
-        });
         if !has_uplink {
             return 0.0;
         }
         self.predictors
             .get(&slave)
             .map_or(0.0, |p| p.probability_at(now))
+    }
+
+    /// `true` if the slave has at least one best-effort uplink flow.
+    fn has_be_uplink(slave: AmAddr, view: &MasterView<'_>) -> bool {
+        view.flows_of(slave).iter().any(|&idx| {
+            let f = view.table().spec(idx);
+            f.channel == LogicalChannel::BestEffort && f.direction.is_uplink()
+        })
     }
 
     /// Test hook: the current fairness deficit of a slave in slots.
@@ -127,7 +135,7 @@ impl Poller for PfpBePoller {
             }
             let deficit = self.fairness.deficit(slave);
             let key = (deficit, p);
-            if best.map_or(true, |(d, pp, _)| key > (d, pp)) {
+            if best.is_none_or(|(d, pp, _)| key > (d, pp)) {
                 best = Some((deficit, p, slave));
             }
         }
@@ -143,13 +151,7 @@ impl Poller for PfpBePoller {
         let next = self
             .predictors
             .iter()
-            .filter(|(slave, _)| {
-                view.flows().iter().any(|f| {
-                    f.slave == **slave
-                        && f.channel == LogicalChannel::BestEffort
-                        && f.direction.is_uplink()
-                })
-            })
+            .filter(|(slave, _)| Self::has_be_uplink(**slave, view))
             .map(|(_, p)| p.time_of_probability(self.threshold))
             .min();
         match next {
@@ -220,7 +222,7 @@ impl PfpBePoller {
 mod tests {
     use super::*;
     use btgs_baseband::{Direction, PacketType};
-    use btgs_piconet::{FlowQueue, FlowSpec, SegmentPlan};
+    use btgs_piconet::{FlowQueue, FlowSpec, FlowTable, SegmentPlan};
     use btgs_traffic::{AppPacket, FlowId};
 
     fn s(n: u8) -> AmAddr {
@@ -246,7 +248,9 @@ mod tests {
             end,
             slave,
             channel: LogicalChannel::BestEffort,
-            down: SegmentOutcome::Control { ty: PacketType::Poll },
+            down: SegmentOutcome::Control {
+                ty: PacketType::Poll,
+            },
             up: SegmentOutcome::Data {
                 flow: FlowId(1),
                 segment: SegmentPlan {
@@ -266,14 +270,16 @@ mod tests {
 
     fn empty_report(slave: AmAddr, end: SimTime) -> ExchangeReport {
         ExchangeReport {
-            up: SegmentOutcome::Control { ty: PacketType::Null },
+            up: SegmentOutcome::Control {
+                ty: PacketType::Null,
+            },
             ..data_report(slave, end, true)
         }
     }
 
     #[test]
     fn known_downlink_data_polls_immediately() {
-        let flows = vec![FlowSpec::new(
+        let flows = [FlowSpec::new(
             FlowId(1),
             s(1),
             Direction::MasterToSlave,
@@ -282,7 +288,8 @@ mod tests {
         let mut q = FlowQueue::new();
         q.push(AppPacket::new(0, FlowId(1), 100, SimTime::ZERO));
         let queues = vec![Some(q)];
-        let view = MasterView::new(SimTime::ZERO, &flows, &queues);
+        let table = FlowTable::new(flows.to_vec()).unwrap();
+        let view = MasterView::new(SimTime::ZERO, &table, &queues);
         let mut pfp = PfpBePoller::new(SimDuration::from_millis(20));
         match pfp.decide(SimTime::ZERO, &view) {
             PollDecision::Poll { slave, channel } => {
@@ -300,7 +307,8 @@ mod tests {
         let mut pfp = PfpBePoller::new(SimDuration::from_millis(20));
         // Teach the predictors that both slaves were just emptied.
         let t0 = SimTime::from_millis(100);
-        let view = MasterView::new(t0, &flows, &queues);
+        let table = FlowTable::new(flows.to_vec()).unwrap();
+        let view = MasterView::new(t0, &table, &queues);
         let _ = pfp.decide(t0, &view);
         pfp.on_exchange(&empty_report(s(1), t0));
         pfp.on_exchange(&empty_report(s(2), t0));
@@ -321,7 +329,8 @@ mod tests {
         let queues = vec![None, None];
         let mut pfp = PfpBePoller::new(SimDuration::from_millis(20));
         let t0 = SimTime::from_millis(50);
-        let view = MasterView::new(t0, &flows, &queues);
+        let table = FlowTable::new(flows.to_vec()).unwrap();
+        let view = MasterView::new(t0, &table, &queues);
         let _ = pfp.decide(t0, &view);
         // Serve slave 1 a lot; slave 2 nothing.
         for k in 0..10u64 {
@@ -331,7 +340,8 @@ mod tests {
         // Both slaves fully available (backlogged predictor for s1; long
         // elapsed time for s2): fairness must pick s2.
         let t1 = t0 + SimDuration::from_millis(500);
-        let view = MasterView::new(t1, &flows, &queues);
+        let table = FlowTable::new(flows.to_vec()).unwrap();
+        let view = MasterView::new(t1, &table, &queues);
         match pfp.decide(t1, &view) {
             PollDecision::Poll { slave, .. } => assert_eq!(slave, s(2)),
             other => panic!("{other:?}"),
@@ -340,14 +350,15 @@ mod tests {
 
     #[test]
     fn sleeps_with_no_be_flows() {
-        let flows = vec![FlowSpec::new(
+        let flows = [FlowSpec::new(
             FlowId(1),
             s(1),
             Direction::SlaveToMaster,
             LogicalChannel::GuaranteedService,
         )];
         let queues = vec![None];
-        let view = MasterView::new(SimTime::ZERO, &flows, &queues);
+        let table = FlowTable::new(flows.to_vec()).unwrap();
+        let view = MasterView::new(SimTime::ZERO, &table, &queues);
         let mut pfp = PfpBePoller::new(SimDuration::from_millis(20));
         assert_eq!(pfp.decide(SimTime::ZERO, &view), PollDecision::Sleep);
     }
@@ -356,14 +367,15 @@ mod tests {
     fn downlink_only_slave_never_idles_forever() {
         // A slave with only a downlink flow: when its queue is empty the
         // poller sleeps (arrivals wake the master), it must not busy-poll.
-        let flows = vec![FlowSpec::new(
+        let flows = [FlowSpec::new(
             FlowId(1),
             s(1),
             Direction::MasterToSlave,
             LogicalChannel::BestEffort,
         )];
         let queues = vec![Some(FlowQueue::new())];
-        let view = MasterView::new(SimTime::ZERO, &flows, &queues);
+        let table = FlowTable::new(flows.to_vec()).unwrap();
+        let view = MasterView::new(SimTime::ZERO, &table, &queues);
         let mut pfp = PfpBePoller::new(SimDuration::from_millis(20));
         assert_eq!(pfp.decide(SimTime::ZERO, &view), PollDecision::Sleep);
     }

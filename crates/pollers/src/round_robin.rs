@@ -1,6 +1,6 @@
 //! Plain round-robin polling.
 
-use btgs_baseband::{AmAddr, LogicalChannel};
+use btgs_baseband::LogicalChannel;
 use btgs_des::SimTime;
 use btgs_piconet::{ExchangeReport, MasterView, PollDecision, Poller};
 
@@ -16,17 +16,17 @@ use btgs_piconet::{ExchangeReport, MasterView, PollDecision, Poller};
 ///
 /// ```
 /// use btgs_pollers::RoundRobinPoller;
-/// use btgs_piconet::{FlowSpec, MasterView, PollDecision, Poller};
+/// use btgs_piconet::{FlowSpec, FlowTable, MasterView, PollDecision, Poller};
 /// use btgs_baseband::{AmAddr, Direction, LogicalChannel};
 /// use btgs_traffic::FlowId;
 /// use btgs_des::SimTime;
 ///
-/// let flows = vec![
+/// let table = FlowTable::new(vec![
 ///     FlowSpec::new(FlowId(1), AmAddr::new(1).unwrap(), Direction::SlaveToMaster, LogicalChannel::BestEffort),
 ///     FlowSpec::new(FlowId(2), AmAddr::new(2).unwrap(), Direction::SlaveToMaster, LogicalChannel::BestEffort),
-/// ];
+/// ]).unwrap();
 /// let queues = vec![None, None];
-/// let view = MasterView::new(SimTime::ZERO, &flows, &queues);
+/// let view = MasterView::new(SimTime::ZERO, &table, &queues);
 /// let mut rr = RoundRobinPoller::new();
 /// let first = rr.decide(SimTime::ZERO, &view);
 /// let second = rr.decide(SimTime::ZERO, &view);
@@ -42,22 +42,12 @@ impl RoundRobinPoller {
     pub fn new() -> RoundRobinPoller {
         RoundRobinPoller::default()
     }
-
-    fn be_slaves(view: &MasterView<'_>) -> Vec<AmAddr> {
-        let mut out: Vec<AmAddr> = Vec::new();
-        for f in view.flows() {
-            if f.channel == LogicalChannel::BestEffort && !out.contains(&f.slave) {
-                out.push(f.slave);
-            }
-        }
-        out.sort();
-        out
-    }
 }
 
 impl Poller for RoundRobinPoller {
     fn decide(&mut self, _now: SimTime, view: &MasterView<'_>) -> PollDecision {
-        let slaves = Self::be_slaves(view);
+        // Precomputed sorted slave list — no per-decision allocation.
+        let slaves = view.slaves_on(LogicalChannel::BestEffort);
         if slaves.is_empty() {
             return PollDecision::Sleep;
         }
@@ -79,8 +69,8 @@ impl Poller for RoundRobinPoller {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use btgs_baseband::Direction;
-    use btgs_piconet::FlowSpec;
+    use btgs_baseband::{AmAddr, Direction};
+    use btgs_piconet::{FlowSpec, FlowTable};
     use btgs_traffic::FlowId;
 
     fn s(n: u8) -> AmAddr {
@@ -104,7 +94,8 @@ mod tests {
     fn cycles_through_all_slaves() {
         let flows = flows3();
         let queues = vec![None, None, None];
-        let view = MasterView::new(SimTime::ZERO, &flows, &queues);
+        let table = FlowTable::new(flows.to_vec()).unwrap();
+        let view = MasterView::new(SimTime::ZERO, &table, &queues);
         let mut rr = RoundRobinPoller::new();
         let mut seen = Vec::new();
         for _ in 0..6 {
@@ -121,14 +112,15 @@ mod tests {
 
     #[test]
     fn sleeps_without_be_flows() {
-        let flows = vec![FlowSpec::new(
+        let flows = [FlowSpec::new(
             FlowId(1),
             s(1),
             Direction::SlaveToMaster,
             LogicalChannel::GuaranteedService,
         )];
         let queues = vec![None];
-        let view = MasterView::new(SimTime::ZERO, &flows, &queues);
+        let table = FlowTable::new(flows.to_vec()).unwrap();
+        let view = MasterView::new(SimTime::ZERO, &table, &queues);
         let mut rr = RoundRobinPoller::new();
         assert_eq!(rr.decide(SimTime::ZERO, &view), PollDecision::Sleep);
     }
@@ -143,7 +135,8 @@ mod tests {
             LogicalChannel::GuaranteedService,
         ));
         let queues = vec![None, None, None, None];
-        let view = MasterView::new(SimTime::ZERO, &flows, &queues);
+        let table = FlowTable::new(flows.to_vec()).unwrap();
+        let view = MasterView::new(SimTime::ZERO, &table, &queues);
         let mut rr = RoundRobinPoller::new();
         for _ in 0..9 {
             if let PollDecision::Poll { slave, .. } = rr.decide(SimTime::ZERO, &view) {

@@ -28,7 +28,7 @@ impl Poller for LongestQueueFirst {
         let mut best: Option<(u64, AmAddr)> = None;
         for f in view.flows() {
             if let Some(dl) = view.downlink(f.id) {
-                if dl.backlog_bytes > 0 && best.map_or(true, |(b, _)| dl.backlog_bytes > b) {
+                if dl.backlog_bytes > 0 && best.is_none_or(|(b, _)| dl.backlog_bytes > b) {
                     best = Some((dl.backlog_bytes, f.slave));
                 }
             }

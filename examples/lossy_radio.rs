@@ -24,7 +24,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let schedule = admit(&[request], &AdmissionConfig::paper())?;
     let bound = schedule.grant(flow).expect("admitted").bound;
     println!("ideal-radio delay bound: {bound}\n");
-    println!("{:>10} {:>12} {:>12} {:>12} {:>12}", "BER", "delivered", "max delay", "violations", "retx slots");
+    println!(
+        "{:>10} {:>12} {:>12} {:>12} {:>12}",
+        "BER", "delivered", "max delay", "violations", "retx slots"
+    );
 
     for ber in [0.0, 1e-5, 1e-4, 1e-3] {
         let config = PiconetConfig::new(vec![PacketType::Dh1, PacketType::Dh3])

@@ -26,7 +26,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     });
 
     println!("GS schedule for a {dreq_ms} ms delay requirement:");
-    let mut t = Table::new(vec!["flow", "granted rate [B/s]", "y", "achievable bound", "guaranteed"]);
+    let mut t = Table::new(vec![
+        "flow",
+        "granted rate [B/s]",
+        "y",
+        "achievable bound",
+        "guaranteed",
+    ]);
     for plan in &scenario.gs_plans {
         t.row(vec![
             plan.request.id.to_string(),

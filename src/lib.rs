@@ -15,11 +15,14 @@
 //! * [`traffic`] — token buckets and traffic sources;
 //! * [`metrics`] — delay/throughput/fairness statistics and tables;
 //! * [`gs`] — RFC 2212 delay bound and error-term composition;
-//! * [`piconet`] — the piconet simulator and the [`piconet::Poller`] trait;
+//! * [`piconet`] — the piconet simulator, its dense
+//!   [`piconet::FlowTable`] arena, and the [`piconet::Poller`] trait;
 //! * [`pollers`] — baseline schedulers (round robin, FEP, PFP-BE, …);
 //! * [`core`] — the paper's contribution: poll efficiency, `x`/`y`
-//!   computations, C/D export, admission control, the GS pollers, and the
-//!   Fig. 4/Fig. 5 evaluation scenario.
+//!   computations, C/D export, admission control, the GS pollers, the
+//!   Fig. 4/Fig. 5 evaluation scenario, and the parallel
+//!   [`core::ExperimentRunner`] that sweeps scenario grids across
+//!   threads deterministically.
 //!
 //! # Quickstart
 //!

@@ -1,45 +1,33 @@
 //! Property-based integration tests: randomly generated request sets, with
-//! the admission verdict checked against first principles and (for small
-//! cases) against simulation.
+//! the admission verdict checked against first principles. Randomness is
+//! driven by the workspace's own [`DetRng`](btgs::des::DetRng) so every run
+//! checks the identical case list on every platform.
 
 use btgs::baseband::{AmAddr, Direction};
-use btgs::core::{
-    admit, piconet_u, y_max, AdmissionConfig, GsRequest, HigherEntity,
-};
+use btgs::core::{admit, piconet_u, y_max, AdmissionConfig, GsRequest, HigherEntity};
+use btgs::des::DetRng;
 use btgs::gs::TokenBucketSpec;
 use btgs::traffic::FlowId;
-use proptest::prelude::*;
 
-fn arb_request(id: u32) -> impl Strategy<Value = GsRequest> {
-    (
-        1u8..=7,
-        prop_oneof![Just(Direction::SlaveToMaster), Just(Direction::MasterToSlave)],
-        10_000u64..40_000, // interval us
-        100u32..300,       // min packet
-        0u32..150,         // extra to max packet
-        0u32..8,           // rate bump (units of 1/8 over token rate)
-    )
-        .prop_map(move |(slave, dir, interval_us, m, extra, bump)| {
-            let tspec =
-                TokenBucketSpec::for_cbr(interval_us as f64 / 1e6, m, m + extra).unwrap();
-            let rate = tspec.token_rate() * (1.0 + bump as f64 / 8.0);
-            GsRequest::new(
-                FlowId(id),
-                AmAddr::new(slave).unwrap(),
-                dir,
-                tspec,
-                rate,
-            )
-        })
+fn arb_request(rng: &mut DetRng, id: u32) -> GsRequest {
+    let slave = rng.range_inclusive(1, 7) as u8;
+    let dir = if rng.chance(0.5) {
+        Direction::SlaveToMaster
+    } else {
+        Direction::MasterToSlave
+    };
+    let interval_us = rng.range_inclusive(10_000, 39_999);
+    let m = rng.range_inclusive(100, 299) as u32;
+    let extra = rng.below(150) as u32;
+    let bump = rng.below(8);
+    let tspec = TokenBucketSpec::for_cbr(interval_us as f64 / 1e6, m, m + extra).unwrap();
+    let rate = tspec.token_rate() * (1.0 + bump as f64 / 8.0);
+    GsRequest::new(FlowId(id), AmAddr::new(slave).unwrap(), dir, tspec, rate)
 }
 
-fn arb_request_set() -> impl Strategy<Value = Vec<GsRequest>> {
-    proptest::collection::vec(proptest::bool::ANY, 1..6).prop_flat_map(|mask| {
-        let n = mask.len();
-        (0..n as u32)
-            .map(|i| arb_request(i + 1))
-            .collect::<Vec<_>>()
-    })
+fn arb_request_set(rng: &mut DetRng) -> Vec<GsRequest> {
+    let n = rng.range_inclusive(1, 5) as u32;
+    (0..n).map(|i| arb_request(rng, i + 1)).collect()
 }
 
 /// Drops requests that collide on (slave, direction) so the set is valid.
@@ -56,14 +44,13 @@ fn dedup(requests: Vec<GsRequest>) -> Vec<GsRequest> {
     out
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    /// Whatever admit() accepts must satisfy Eq. 9 entity by entity, with
-    /// `y` recomputed independently from the returned priorities.
-    #[test]
-    fn accepted_schedules_satisfy_eq9(requests in arb_request_set()) {
-        let requests = dedup(requests);
+/// Whatever admit() accepts must satisfy Eq. 9 entity by entity, with
+/// `y` recomputed independently from the returned priorities.
+#[test]
+fn accepted_schedules_satisfy_eq9() {
+    let mut rng = DetRng::seed_from_u64(0xAD31);
+    for _ in 0..64 {
+        let requests = dedup(arb_request_set(&mut rng));
         let cfg = AdmissionConfig::paper();
         if let Ok(outcome) = admit(&requests, &cfg) {
             let u = piconet_u(&cfg.allowed_types);
@@ -75,55 +62,65 @@ proptest! {
                     .map(|h| HigherEntity { x: h.x, s: h.s })
                     .collect();
                 let y = y_max(u, &higher, e.x);
-                prop_assert_eq!(y, Some(e.y), "entity {} fails Eq. 9", i);
-                prop_assert!(e.y <= e.x);
-                prop_assert!(e.priority as usize == i + 1);
+                assert_eq!(y, Some(e.y), "entity {} fails Eq. 9", i);
+                assert!(e.y <= e.x);
+                assert!(e.priority as usize == i + 1);
             }
             // Every request received a grant with a finite bound.
-            prop_assert_eq!(outcome.flows.len(), requests.len());
+            assert_eq!(outcome.flows.len(), requests.len());
             for g in &outcome.flows {
-                prop_assert!(g.bound > btgs::des::SimDuration::ZERO);
-                prop_assert!(g.eta_min > 0.0);
+                assert!(g.bound > btgs::des::SimDuration::ZERO);
+                assert!(g.eta_min > 0.0);
             }
         }
     }
+}
 
-    /// Admission is monotone under removal: any subset of an accepted set
-    /// is accepted too (checked on prefixes).
-    #[test]
-    fn admission_is_monotone_on_prefixes(requests in arb_request_set()) {
-        let requests = dedup(requests);
+/// Admission is monotone under removal: any subset of an accepted set
+/// is accepted too (checked on prefixes).
+#[test]
+fn admission_is_monotone_on_prefixes() {
+    let mut rng = DetRng::seed_from_u64(0xAD32);
+    for _ in 0..64 {
+        let requests = dedup(arb_request_set(&mut rng));
         let cfg = AdmissionConfig::paper();
         if admit(&requests, &cfg).is_ok() {
             for k in 0..requests.len() {
                 let prefix = &requests[..k];
-                prop_assert!(
+                assert!(
                     admit(prefix, &cfg).is_ok(),
                     "prefix of length {k} rejected though the full set passed"
                 );
             }
         }
     }
+}
 
-    /// Piggybacking never hurts: anything the naive accounting accepts is
-    /// also accepted with piggybacking enabled.
-    #[test]
-    fn piggybacking_dominates_naive(requests in arb_request_set()) {
-        let requests = dedup(requests);
+/// Piggybacking never hurts: anything the naive accounting accepts is
+/// also accepted with piggybacking enabled.
+#[test]
+fn piggybacking_dominates_naive() {
+    let mut rng = DetRng::seed_from_u64(0xAD33);
+    for _ in 0..64 {
+        let requests = dedup(arb_request_set(&mut rng));
         let mut naive = AdmissionConfig::paper();
         naive.piggyback = false;
         if admit(&requests, &naive).is_ok() {
-            prop_assert!(admit(&requests, &AdmissionConfig::paper()).is_ok());
+            assert!(admit(&requests, &AdmissionConfig::paper()).is_ok());
         }
     }
+}
 
-    /// Raising a rate can only shrink the achievable delay bound for that
-    /// flow (when both rates are admitted).
-    #[test]
-    fn higher_rate_tightens_the_bound(bump in 1u32..16) {
-        let tspec = TokenBucketSpec::for_cbr(0.020, 144, 176).unwrap();
-        let s1 = AmAddr::new(1).unwrap();
-        let base = GsRequest::new(FlowId(1), s1, Direction::SlaveToMaster, tspec, 8_800.0);
+/// Raising a rate can only shrink the achievable delay bound for that
+/// flow (when both rates are admitted).
+#[test]
+fn higher_rate_tightens_the_bound() {
+    let tspec = TokenBucketSpec::for_cbr(0.020, 144, 176).unwrap();
+    let s1 = AmAddr::new(1).unwrap();
+    let cfg = AdmissionConfig::paper();
+    let base = GsRequest::new(FlowId(1), s1, Direction::SlaveToMaster, tspec, 8_800.0);
+    let b1 = admit(&[base], &cfg).unwrap().flows[0].bound;
+    for bump in 1u32..16 {
         let faster = GsRequest::new(
             FlowId(1),
             s1,
@@ -131,10 +128,8 @@ proptest! {
             tspec,
             8_800.0 + 250.0 * bump as f64,
         );
-        let cfg = AdmissionConfig::paper();
-        let b1 = admit(&[base], &cfg).unwrap().flows[0].bound;
         if let Ok(out) = admit(&[faster], &cfg) {
-            prop_assert!(out.flows[0].bound <= b1);
+            assert!(out.flows[0].bound <= b1);
         }
     }
 }

@@ -96,21 +96,69 @@ fn configurations() -> Vec<Vec<GsRequest>> {
         )],
         // Three slaves at the token rate (the paper's shape, no BE).
         vec![
-            GsRequest::new(FlowId(1), s(1), Direction::SlaveToMaster, tspec(20.0, 144, 176), 8_800.0),
-            GsRequest::new(FlowId(2), s(2), Direction::MasterToSlave, tspec(20.0, 144, 176), 8_800.0),
-            GsRequest::new(FlowId(3), s(2), Direction::SlaveToMaster, tspec(20.0, 144, 176), 8_800.0),
-            GsRequest::new(FlowId(4), s(3), Direction::SlaveToMaster, tspec(20.0, 144, 176), 8_800.0),
+            GsRequest::new(
+                FlowId(1),
+                s(1),
+                Direction::SlaveToMaster,
+                tspec(20.0, 144, 176),
+                8_800.0,
+            ),
+            GsRequest::new(
+                FlowId(2),
+                s(2),
+                Direction::MasterToSlave,
+                tspec(20.0, 144, 176),
+                8_800.0,
+            ),
+            GsRequest::new(
+                FlowId(3),
+                s(2),
+                Direction::SlaveToMaster,
+                tspec(20.0, 144, 176),
+                8_800.0,
+            ),
+            GsRequest::new(
+                FlowId(4),
+                s(3),
+                Direction::SlaveToMaster,
+                tspec(20.0, 144, 176),
+                8_800.0,
+            ),
         ],
         // Heterogeneous rates and packet sizes, including multi-segment
         // packets (300..400 B needs two DH3 polls at worst).
         vec![
-            GsRequest::new(FlowId(1), s(1), Direction::SlaveToMaster, tspec(25.0, 300, 400), 18_000.0),
-            GsRequest::new(FlowId(2), s(2), Direction::SlaveToMaster, tspec(40.0, 144, 176), 8_800.0),
+            GsRequest::new(
+                FlowId(1),
+                s(1),
+                Direction::SlaveToMaster,
+                tspec(25.0, 300, 400),
+                18_000.0,
+            ),
+            GsRequest::new(
+                FlowId(2),
+                s(2),
+                Direction::SlaveToMaster,
+                tspec(40.0, 144, 176),
+                8_800.0,
+            ),
         ],
         // Small packets over DH1-capable range.
         vec![
-            GsRequest::new(FlowId(1), s(1), Direction::SlaveToMaster, tspec(15.0, 80, 100), 9_000.0),
-            GsRequest::new(FlowId(2), s(2), Direction::MasterToSlave, tspec(30.0, 144, 176), 8_800.0),
+            GsRequest::new(
+                FlowId(1),
+                s(1),
+                Direction::SlaveToMaster,
+                tspec(15.0, 80, 100),
+                9_000.0,
+            ),
+            GsRequest::new(
+                FlowId(2),
+                s(2),
+                Direction::MasterToSlave,
+                tspec(30.0, 144, 176),
+                8_800.0,
+            ),
         ],
     ]
 }
@@ -182,7 +230,7 @@ fn bursty_conforming_traffic_stays_within_bounds() {
     let s1 = AmAddr::new(1).unwrap();
     let spec = tspec(20.0, 144, 176);
     let request = GsRequest::new(FlowId(1), s1, Direction::SlaveToMaster, spec, 12_800.0);
-    let outcome = admit(&[request.clone()], &AdmissionConfig::paper()).unwrap();
+    let outcome = admit(std::slice::from_ref(&request), &AdmissionConfig::paper()).unwrap();
     let grant = outcome.grant(FlowId(1)).unwrap();
 
     let mut config = PiconetConfig::new(vec![PacketType::Dh1, PacketType::Dh3])

@@ -1,9 +1,7 @@
 //! End-to-end reproduction checks of the paper's evaluation (§4).
 
 use btgs::baseband::AmAddr;
-use btgs::core::{
-    run_point, PaperScenario, PaperScenarioParams, PollerKind,
-};
+use btgs::core::{run_point, PaperScenario, PaperScenarioParams, PollerKind};
 use btgs::des::{SimDuration, SimTime};
 
 fn s(n: u8) -> AmAddr {
@@ -117,7 +115,9 @@ fn warmup_and_windows_are_respected() {
         warmup: SimDuration::from_secs(3),
         include_be: false,
     });
-    let report = scenario.run(PollerKind::PfpGs, SimTime::from_secs(10)).unwrap();
+    let report = scenario
+        .run(PollerKind::PfpGs, SimTime::from_secs(10))
+        .unwrap();
     assert_eq!(report.window_start, SimTime::from_secs(3));
     assert_eq!(report.window_end, SimTime::from_secs(10));
     assert_eq!(report.window(), SimDuration::from_secs(7));
@@ -142,7 +142,11 @@ fn determinism_same_seed_same_report() {
     let b = run(21);
     let c = run(22);
     for n in 1..=7u8 {
-        assert_eq!(a.slave_kbps(n), b.slave_kbps(n), "S{n} differs across replays");
+        assert_eq!(
+            a.slave_kbps(n),
+            b.slave_kbps(n),
+            "S{n} differs across replays"
+        );
     }
     assert_eq!(a.report.ledger, b.report.ledger);
     // A different seed genuinely changes the trajectory (phases shift).
