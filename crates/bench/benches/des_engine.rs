@@ -1,54 +1,76 @@
 //! Micro-benchmark: raw event throughput of the DES engine.
+//!
+//! Each wheel benchmark has a `*_heap` twin running the identical workload
+//! on the [`HeapEventQueue`] reference backend, measured in the same
+//! process — the in-run ratio is immune to machine noise between sessions.
 
-use btgs_bench::microbench::Criterion;
+use btgs_bench::microbench::{Criterion, Throughput};
 use btgs_bench::{criterion_group, criterion_main};
-use btgs_des::{EventQueue, SimDuration, SimTime, Simulator};
+use btgs_des::{EventQueue, HeapEventQueue, PendingEvents, SimDuration, SimTime, Simulator};
 use std::hint::black_box;
 
+/// Events fired by the self-rescheduling loop (t = 0..=100_000 ms).
+const SELF_RESCHED_EVENTS: u64 = 100_001;
+
+fn self_resched<Q: PendingEvents<()>>(queue: Q) -> u64 {
+    let mut sim = Simulator::with_queue(0u64, queue);
+    sim.scheduler_mut().schedule_at(SimTime::ZERO, ());
+    sim.run_until(SimTime::from_millis(100_000), |sched, count, ()| {
+        *count += 1;
+        sched.schedule_in(SimDuration::from_millis(1), ());
+    });
+    *sim.state()
+}
+
+fn push_pop_10k<Q: PendingEvents<u64>>(mut q: Q) -> u64 {
+    for i in 0..10_000u64 {
+        // Scatter times to exercise bucket/heap reordering.
+        q.push(SimTime::from_nanos((i * 2_654_435_761) % 1_000_000), i);
+    }
+    let mut sum = 0u64;
+    while let Some(s) = q.pop() {
+        sum = sum.wrapping_add(s.event);
+    }
+    sum
+}
+
+fn cancel_heavy<Q: PendingEvents<u64>>(mut q: Q) -> u64 {
+    let keys: Vec<_> = (0..10_000u64)
+        .map(|i| q.push(SimTime::from_nanos(i), i))
+        .collect();
+    for k in keys.iter().step_by(2) {
+        q.cancel(*k);
+    }
+    let mut n = 0;
+    while q.pop().is_some() {
+        n += 1;
+    }
+    n
+}
+
 fn engine_event_throughput(c: &mut Criterion) {
-    c.bench_function("des/self_rescheduling_event_100k", |b| {
-        b.iter(|| {
-            let mut sim = Simulator::new(0u64);
-            sim.scheduler_mut().schedule_at(SimTime::ZERO, ());
-            sim.run_until(SimTime::from_millis(100_000), |sched, count, ()| {
-                *count += 1;
-                sched.schedule_in(SimDuration::from_millis(1), ());
-            });
-            black_box(*sim.state())
-        })
+    let mut group = c.benchmark_group("des");
+    group.throughput(Throughput::Elements(SELF_RESCHED_EVENTS));
+    group.bench_function("self_rescheduling_event_100k", |b| {
+        b.iter(|| black_box(self_resched(EventQueue::new())))
     });
-
-    c.bench_function("des/queue_push_pop_10k", |b| {
-        b.iter(|| {
-            let mut q = EventQueue::new();
-            for i in 0..10_000u64 {
-                // Scatter times to exercise heap reordering.
-                q.push(SimTime::from_nanos((i * 2_654_435_761) % 1_000_000), i);
-            }
-            let mut sum = 0u64;
-            while let Some(s) = q.pop() {
-                sum = sum.wrapping_add(s.event);
-            }
-            black_box(sum)
-        })
+    group.bench_function("self_rescheduling_event_100k_heap", |b| {
+        b.iter(|| black_box(self_resched(HeapEventQueue::new())))
     });
-
-    c.bench_function("des/queue_cancel_heavy", |b| {
-        b.iter(|| {
-            let mut q = EventQueue::new();
-            let keys: Vec<_> = (0..10_000u64)
-                .map(|i| q.push(SimTime::from_nanos(i), i))
-                .collect();
-            for k in keys.iter().step_by(2) {
-                q.cancel(*k);
-            }
-            let mut n = 0;
-            while q.pop().is_some() {
-                n += 1;
-            }
-            black_box(n)
-        })
+    group.throughput(Throughput::Elements(10_000));
+    group.bench_function("queue_push_pop_10k", |b| {
+        b.iter(|| black_box(push_pop_10k(EventQueue::new())))
     });
+    group.bench_function("queue_push_pop_10k_heap", |b| {
+        b.iter(|| black_box(push_pop_10k(HeapEventQueue::new())))
+    });
+    group.bench_function("queue_cancel_heavy", |b| {
+        b.iter(|| black_box(cancel_heavy(EventQueue::new())))
+    });
+    group.bench_function("queue_cancel_heavy_heap", |b| {
+        b.iter(|| black_box(cancel_heavy(HeapEventQueue::new())))
+    });
+    group.finish();
 }
 
 criterion_group!(benches, engine_event_throughput);

@@ -10,8 +10,18 @@
 //! count, then a fixed number of timed samples, reporting the best and
 //! median ns/iteration. Results print to stdout; run with
 //! `cargo bench -p btgs-bench`.
+//!
+//! # Machine-readable output
+//!
+//! When the environment variable `BTGS_BENCH_JSON` names a directory, each
+//! bench binary additionally writes `BENCH_<bench>.json` there: one record
+//! per benchmark with `median_ns`, `best_ns` and — where the bench declared
+//! a [`Throughput`] — `elements_per_iter` and `elements_per_sec`
+//! (events/sec for the engine benches). The committed `BENCH_*.json` files
+//! at the repository root track this perf trajectory across PRs.
 
 use std::hint::black_box;
+use std::io::Write;
 use std::time::{Duration, Instant};
 
 /// Target wall-clock budget of one sample batch.
@@ -67,15 +77,41 @@ impl Bencher {
     }
 }
 
+/// Declared per-iteration workload, mirroring `criterion::Throughput`.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// Elements (e.g. simulation events) processed per iteration; enables
+    /// the derived elements/sec figure in print and JSON output.
+    Elements(u64),
+}
+
+/// One completed benchmark.
+#[derive(Clone, Debug)]
+struct BenchResult {
+    name: String,
+    median_ns: f64,
+    best_ns: f64,
+    elements: Option<u64>,
+}
+
 /// Entry point mirroring `criterion::Criterion`.
 #[derive(Debug, Default)]
 pub struct Criterion {
-    results: Vec<(String, f64, f64)>,
+    results: Vec<BenchResult>,
 }
 
 impl Criterion {
     /// Runs one named benchmark and prints its result line.
-    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, f: F) -> &mut Self {
+        self.bench_inner(name, None, f)
+    }
+
+    fn bench_inner<F: FnMut(&mut Bencher)>(
+        &mut self,
+        name: &str,
+        elements: Option<u64>,
+        mut f: F,
+    ) -> &mut Self {
         let mut b = Bencher {
             iters_per_sample: 0,
             samples: DEFAULT_SAMPLES,
@@ -83,14 +119,22 @@ impl Criterion {
             median_ns: f64::NAN,
         };
         f(&mut b);
+        let rate = elements
+            .map(|n| format!("  {:>12}", format_rate(n as f64 * 1e9 / b.median_ns)))
+            .unwrap_or_default();
         println!(
-            "{name:<44} {:>14}/iter (best {:>12}, {} x {} iters)",
+            "{name:<44} {:>14}/iter (best {:>12}, {} x {} iters){rate}",
             format_ns(b.median_ns),
             format_ns(b.best_ns),
             DEFAULT_SAMPLES,
             b.iters_per_sample,
         );
-        self.results.push((name.to_owned(), b.median_ns, b.best_ns));
+        self.results.push(BenchResult {
+            name: name.to_owned(),
+            median_ns: b.median_ns,
+            best_ns: b.best_ns,
+            elements,
+        });
         self
     }
 
@@ -99,6 +143,7 @@ impl Criterion {
         BenchmarkGroup {
             criterion: self,
             name: name.to_owned(),
+            elements: None,
         }
     }
 
@@ -112,8 +157,72 @@ impl Criterion {
     pub fn median_ns(&self, name: &str) -> Option<f64> {
         self.results
             .iter()
-            .find(|(n, _, _)| n == name)
-            .map(|(_, m, _)| *m)
+            .find(|r| r.name == name)
+            .map(|r| r.median_ns)
+    }
+
+    /// Renders every result as a JSON array (ns/op plus derived
+    /// elements/sec where a [`Throughput`] was declared).
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("[\n");
+        for (i, r) in self.results.iter().enumerate() {
+            let sep = if i + 1 == self.results.len() { "" } else { "," };
+            out.push_str(&format!(
+                "  {{\"name\": \"{}\", \"median_ns\": {:.1}, \"best_ns\": {:.1}",
+                json_escape(&r.name),
+                r.median_ns,
+                r.best_ns,
+            ));
+            if let Some(n) = r.elements {
+                out.push_str(&format!(
+                    ", \"elements_per_iter\": {n}, \"elements_per_sec\": {:.1}",
+                    n as f64 * 1e9 / r.median_ns
+                ));
+            }
+            out.push_str(&format!("}}{sep}\n"));
+        }
+        out.push(']');
+        out
+    }
+
+    /// Writes `BENCH_<bench>.json` into the directory named by the
+    /// `BTGS_BENCH_JSON` environment variable, if set. Called by
+    /// [`criterion_main!`] with the bench binary's name.
+    pub fn write_json_from_env(&self, bench: &str) {
+        let Ok(dir) = std::env::var("BTGS_BENCH_JSON") else {
+            return;
+        };
+        let path = std::path::Path::new(&dir).join(format!("BENCH_{bench}.json"));
+        let payload = format!(
+            "{{\n\"bench\": \"{}\",\n\"results\": {}\n}}\n",
+            json_escape(bench),
+            self.to_json()
+        );
+        match std::fs::File::create(&path).and_then(|mut f| f.write_all(payload.as_bytes())) {
+            Ok(()) => println!("wrote {}", path.display()),
+            Err(e) => eprintln!("BTGS_BENCH_JSON: cannot write {}: {e}", path.display()),
+        }
+    }
+}
+
+fn json_escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+/// The invoking bench binary's logical name: the executable file stem with
+/// cargo's trailing `-<16-hex-digit>` disambiguator removed.
+pub fn bench_binary_name() -> String {
+    let arg0 = std::env::args().next().unwrap_or_default();
+    let stem = std::path::Path::new(&arg0)
+        .file_stem()
+        .and_then(|s| s.to_str())
+        .unwrap_or("bench")
+        .to_owned();
+    match stem.rsplit_once('-') {
+        Some((base, hash)) if hash.len() == 16 && hash.bytes().all(|b| b.is_ascii_hexdigit()) => {
+            base.to_owned()
+        }
+        _ => stem,
     }
 }
 
@@ -121,6 +230,7 @@ impl Criterion {
 pub struct BenchmarkGroup<'a> {
     criterion: &'a mut Criterion,
     name: String,
+    elements: Option<u64>,
 }
 
 impl BenchmarkGroup<'_> {
@@ -129,10 +239,19 @@ impl BenchmarkGroup<'_> {
         self
     }
 
+    /// Declares the per-iteration workload of subsequent benchmarks in this
+    /// group (mirrors `criterion::BenchmarkGroup::throughput`).
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        let Throughput::Elements(n) = t;
+        self.elements = Some(n);
+        self
+    }
+
     /// Runs one benchmark within the group's namespace.
     pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, f: F) -> &mut Self {
         let full = format!("{}/{}", self.name, name);
-        self.criterion.bench_function(&full, f);
+        let elements = self.elements;
+        self.criterion.bench_inner(&full, elements, f);
         self
     }
 
@@ -150,6 +269,16 @@ fn format_ns(ns: f64) -> String {
     }
 }
 
+fn format_rate(per_sec: f64) -> String {
+    if per_sec >= 1e6 {
+        format!("{:.2} Mel/s", per_sec / 1e6)
+    } else if per_sec >= 1e3 {
+        format!("{:.1} kel/s", per_sec / 1e3)
+    } else {
+        format!("{per_sec:.0} el/s")
+    }
+}
+
 /// Mirrors `criterion::criterion_group!`: bundles benchmark functions into
 /// one group function.
 #[macro_export]
@@ -161,7 +290,8 @@ macro_rules! criterion_group {
     };
 }
 
-/// Mirrors `criterion::criterion_main!`: emits `main` running the groups.
+/// Mirrors `criterion::criterion_main!`: emits `main` running the groups,
+/// then emitting JSON when `BTGS_BENCH_JSON` is set.
 #[macro_export]
 macro_rules! criterion_main {
     ($($group:path),+ $(,)?) => {
@@ -169,6 +299,7 @@ macro_rules! criterion_main {
             let mut c = $crate::microbench::Criterion::default();
             $($group(&mut c);)+
             c.final_summary();
+            c.write_json_from_env(&$crate::microbench::bench_binary_name());
         }
     };
 }

@@ -1,0 +1,235 @@
+//! CI enforcement of the allocation-free hot paths (ROADMAP item).
+//!
+//! Installs the counting global allocator and asserts a **zero** allocation
+//! delta across three hot loops:
+//!
+//! 1. every poller's per-decision path,
+//! 2. the DES engine's event loop (timing-wheel push/pop cycle),
+//! 3. the full piconet simulator's steady state, bracketed inside a run
+//!    via [`PiconetSim::run_probed`] after warm-up growth has settled.
+//!
+//! The binary runs **without the libtest harness** (`harness = false`):
+//! the allocation counter is process-global, and even an otherwise idle
+//! harness occasionally allocates from its controller thread, which would
+//! make a zero-delta assertion flaky. Here `main` is the only thread.
+
+use btgs_baseband::{AmAddr, Direction, IdealChannel, LogicalChannel, PacketType};
+use btgs_bench::alloc_counter::{allocation_count, CountingAllocator};
+use btgs_core::{PaperScenario, PaperScenarioParams, PollerKind};
+use btgs_des::{DetRng, SimDuration, SimTime, Simulator};
+use btgs_piconet::{FlowQueue, FlowSpec, FlowTable, MasterView, PiconetSim, Poller};
+use btgs_pollers::{
+    ExhaustiveRoundRobinPoller, FepPoller, HolPriorityPoller, PfpBePoller, RoundRobinPoller,
+};
+use btgs_traffic::{CbrSource, FlowId};
+use std::hint::black_box;
+
+#[global_allocator]
+static ALLOC: CountingAllocator = CountingAllocator;
+
+/// The paper's Fig. 4 flow layout (4 GS + 8 BE flows over 7 slaves).
+fn fig4_flows() -> Vec<FlowSpec> {
+    let s = |n| AmAddr::new(n).unwrap();
+    let mut out = Vec::new();
+    let gs = [
+        (1, 1, Direction::SlaveToMaster),
+        (2, 2, Direction::MasterToSlave),
+        (3, 2, Direction::SlaveToMaster),
+        (4, 3, Direction::SlaveToMaster),
+    ];
+    for (id, slave, dir) in gs {
+        out.push(FlowSpec::new(
+            FlowId(id),
+            s(slave),
+            dir,
+            LogicalChannel::GuaranteedService,
+        ));
+    }
+    for k in 0..4u32 {
+        let sl = s(4 + k as u8);
+        out.push(FlowSpec::new(
+            FlowId(5 + 2 * k),
+            sl,
+            Direction::MasterToSlave,
+            LogicalChannel::BestEffort,
+        ));
+        out.push(FlowSpec::new(
+            FlowId(6 + 2 * k),
+            sl,
+            Direction::SlaveToMaster,
+            LogicalChannel::BestEffort,
+        ));
+    }
+    out
+}
+
+/// Drives `poller.decide` across moving instants; returns the allocation
+/// delta over the timed loop (after a warm-up pass that may register
+/// per-slave state).
+fn decide_loop_allocs(poller: &mut dyn Poller) -> u64 {
+    let table = FlowTable::new(fig4_flows()).unwrap();
+    let queues: Vec<Option<FlowQueue>> = table
+        .specs()
+        .iter()
+        .map(|f| f.direction.is_downlink().then(FlowQueue::new))
+        .collect();
+    let mut t = 0u64;
+    let mut run = |n: u32, t: &mut u64| {
+        for _ in 0..n {
+            *t += 1_250_000;
+            let now = SimTime::from_nanos(*t);
+            let view = MasterView::new(now, &table, &queues);
+            black_box(poller.decide(now, &view));
+        }
+    };
+    run(64, &mut t); // warm-up: first-decision registration may allocate
+    let before = allocation_count();
+    run(4096, &mut t);
+    allocation_count() - before
+}
+
+fn poller_decisions_are_allocation_free() {
+    let pollers: Vec<(&str, Box<dyn Poller>)> = vec![
+        ("round-robin", Box::new(RoundRobinPoller::new())),
+        ("exhaustive", Box::new(ExhaustiveRoundRobinPoller::new())),
+        (
+            "fep",
+            Box::new(FepPoller::new(SimDuration::from_millis(25))),
+        ),
+        ("hol", Box::new(HolPriorityPoller::new())),
+        (
+            "pfp-be",
+            Box::new(PfpBePoller::new(SimDuration::from_millis(25))),
+        ),
+    ];
+    for (name, mut poller) in pollers {
+        let delta = decide_loop_allocs(poller.as_mut());
+        assert_eq!(delta, 0, "poller '{name}' allocated {delta} times");
+    }
+}
+
+fn des_event_loop_is_allocation_free() {
+    let mut sim = Simulator::new(0u64);
+    sim.scheduler_mut().schedule_at(SimTime::ZERO, ());
+    // Warm-up: grow arena/bucket capacities across a full L0 window cycle.
+    sim.run_until(SimTime::from_millis(300), |sched, count, ()| {
+        *count += 1;
+        sched.schedule_in(SimDuration::from_millis(1), ());
+    });
+    let before = allocation_count();
+    sim.run_until(SimTime::from_millis(2_300), |sched, count, ()| {
+        *count += 1;
+        sched.schedule_in(SimDuration::from_millis(1), ());
+    });
+    let delta = allocation_count() - before;
+    assert_eq!(delta, 0, "DES event loop allocated {delta} times");
+    assert!(*sim.state() > 2_000, "loop actually ran");
+}
+
+fn sim_steady_state_is_allocation_free() {
+    // The paper scenario without the (deliberately overloading) BE flows:
+    // queues stay bounded, so after warm-up the event loop must not touch
+    // the allocator at all — queue slots, wheel buckets, poller state and
+    // report buffers all recycle.
+    let scenario = PaperScenario::build(PaperScenarioParams {
+        delay_requirement: SimDuration::from_millis(40),
+        seed: 1,
+        warmup: SimDuration::from_millis(500),
+        include_be: false,
+    });
+    let poller = scenario.poller(PollerKind::PfpGs);
+    let mut sim = PiconetSim::new(
+        scenario.config.clone(),
+        Box::new(poller),
+        Box::new(IdealChannel),
+    )
+    .unwrap();
+    for src in scenario.sources() {
+        sim.add_source(src).unwrap();
+    }
+    // Bracket simulated seconds 2..6 inside the run: the first probe fires
+    // at the checkpoint, the second when the run loop finishes (before any
+    // report assembly).
+    let mut marks = [0u64; 2];
+    let mut i = 0;
+    let report = sim
+        .run_probed(SimTime::from_secs(2), SimTime::from_secs(6), &mut || {
+            marks[i.min(1)] = allocation_count();
+            i += 1;
+        })
+        .unwrap();
+    assert_eq!(i, 2, "probe fires at checkpoint and at loop end");
+    let delta = marks[1] - marks[0];
+    assert_eq!(
+        delta, 0,
+        "sim steady state allocated {delta} times over 4 simulated seconds"
+    );
+    // Sanity: the bracketed window processed real work.
+    assert!(report.events_processed > 2_000);
+    assert!(report.total_throughput_kbps() > 200.0);
+}
+
+fn mixed_acl_sco_steady_state_is_allocation_free() {
+    // An SCO link alongside a CBR ACL flow exercises the reservation cache
+    // and the SCO handlers in the bracketed window.
+    use btgs_baseband::ScoLink;
+    use btgs_piconet::{PiconetConfig, ScoBinding};
+
+    let config = PiconetConfig::new(vec![PacketType::Dh1, PacketType::Dh3])
+        .with_flow(FlowSpec::new(
+            FlowId(1),
+            AmAddr::new(1).unwrap(),
+            Direction::SlaveToMaster,
+            LogicalChannel::BestEffort,
+        ))
+        .with_sco(ScoBinding {
+            slave: AmAddr::new(2).unwrap(),
+            link: ScoLink::new(PacketType::Hv3, 0).unwrap(),
+            voice_flow: Some(FlowId(9)),
+        })
+        .with_warmup(SimDuration::from_millis(500));
+    let mut sim = PiconetSim::new(
+        config,
+        Box::new(btgs_piconet::RoundRobinForTest::default()),
+        Box::new(IdealChannel),
+    )
+    .unwrap();
+    sim.add_source(Box::new(CbrSource::new(
+        FlowId(1),
+        SimDuration::from_millis(20),
+        160,
+        160,
+        DetRng::seed_from_u64(1),
+    )))
+    .unwrap();
+    sim.add_source(Box::new(CbrSource::new(
+        FlowId(9),
+        SimDuration::from_millis(3750) / 1000,
+        30,
+        30,
+        DetRng::seed_from_u64(2),
+    )))
+    .unwrap();
+    let mut marks = [0u64; 2];
+    let mut i = 0;
+    let report = sim
+        .run_probed(SimTime::from_secs(2), SimTime::from_secs(5), &mut || {
+            marks[i.min(1)] = allocation_count();
+            i += 1;
+        })
+        .unwrap();
+    let delta = marks[1] - marks[0];
+    assert_eq!(delta, 0, "ACL+SCO steady state allocated {delta} times");
+    assert!(report.events_processed > 1_000);
+}
+
+fn main() {
+    poller_decisions_are_allocation_free();
+    println!("ok - poller decisions are allocation-free");
+    des_event_loop_is_allocation_free();
+    println!("ok - DES event loop is allocation-free");
+    sim_steady_state_is_allocation_free();
+    println!("ok - simulator steady state is allocation-free");
+    mixed_acl_sco_steady_state_is_allocation_free();
+    println!("ok - ACL+SCO steady state is allocation-free");
+}

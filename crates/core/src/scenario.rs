@@ -29,7 +29,8 @@ use btgs_baseband::{AmAddr, Direction, IdealChannel, LogicalChannel, PacketType}
 use btgs_des::{DetRng, SimDuration, SimTime};
 use btgs_gs::{delay_bound, required_rate, ErrorTerms, TokenBucketSpec};
 use btgs_piconet::{
-    FlowSpec, PiconetConfig, PiconetError, PiconetSim, Poller, RunReport, SarPolicy,
+    EventQueueBackend, FlowSpec, PiconetConfig, PiconetError, PiconetSim, Poller, RunReport,
+    SarPolicy,
 };
 use btgs_pollers::PfpBePoller;
 use btgs_traffic::{CbrSource, FlowId, Source};
@@ -297,11 +298,30 @@ impl PaperScenario {
     /// Propagates simulator configuration errors (none are expected for a
     /// well-formed scenario).
     pub fn run(&self, kind: PollerKind, horizon: SimTime) -> Result<RunReport, PiconetError> {
+        self.run_with_backend(kind, horizon, EventQueueBackend::TimingWheel)
+    }
+
+    /// Runs the scenario on an explicit event-queue backend.
+    ///
+    /// The differential tests use this to demand byte-identical reports
+    /// from the timing wheel and the binary-heap reference.
+    ///
+    /// # Errors
+    ///
+    /// Propagates simulator configuration errors (none are expected for a
+    /// well-formed scenario).
+    pub fn run_with_backend(
+        &self,
+        kind: PollerKind,
+        horizon: SimTime,
+        backend: EventQueueBackend,
+    ) -> Result<RunReport, PiconetError> {
         let poller = self.poller(kind);
-        let mut sim = PiconetSim::new(
+        let mut sim = PiconetSim::with_backend(
             self.config.clone(),
             Box::new(poller),
             Box::new(IdealChannel),
+            backend,
         )?;
         for src in self.sources() {
             sim.add_source(src)?;

@@ -1,25 +1,31 @@
 //! The discrete-event simulation driver.
 
-use crate::queue::{EventKey, EventQueue};
+use crate::queue::{EventKey, PendingEvents};
 use crate::time::{SimDuration, SimTime};
+use crate::wheel::EventQueue;
+use core::marker::PhantomData;
 
 /// Scheduling facade handed to event handlers.
 ///
-/// A handler receives `&mut Scheduler<E>` and may plant new events or cancel
-/// pending ones; it cannot rewind the clock.
+/// A handler receives `&mut Scheduler<E, Q>` and may plant new events or
+/// cancel pending ones; it cannot rewind the clock. The queue backend `Q`
+/// defaults to the timing-wheel [`EventQueue`]; differential tests swap in
+/// the [`HeapEventQueue`](crate::HeapEventQueue) reference.
 #[derive(Debug)]
-pub struct Scheduler<E> {
+pub struct Scheduler<E, Q: PendingEvents<E> = EventQueue<E>> {
     now: SimTime,
-    queue: EventQueue<E>,
+    queue: Q,
     stopped: bool,
+    _event: PhantomData<fn() -> E>,
 }
 
-impl<E> Scheduler<E> {
-    fn new() -> Self {
+impl<E, Q: PendingEvents<E>> Scheduler<E, Q> {
+    fn with_queue(queue: Q) -> Self {
         Scheduler {
             now: SimTime::ZERO,
-            queue: EventQueue::new(),
+            queue,
             stopped: false,
+            _event: PhantomData,
         }
     }
 
@@ -79,6 +85,11 @@ impl<E> Scheduler<E> {
 /// checker still allows handlers to mutate the state and schedule more
 /// events at the same time.
 ///
+/// The third parameter selects the pending-event backend. It defaults to
+/// the timing-wheel [`EventQueue`]; [`Simulator::with_queue`] accepts any
+/// [`PendingEvents`] implementation, which the differential tests use to
+/// run the same model against the heap reference.
+///
 /// # Examples
 ///
 /// A counter that re-arms itself until the horizon:
@@ -98,17 +109,26 @@ impl<E> Scheduler<E> {
 /// assert_eq!(*sim.state(), 11); // fires at 0..=10 ms inclusive
 /// ```
 #[derive(Debug)]
-pub struct Simulator<S, E> {
-    scheduler: Scheduler<E>,
+pub struct Simulator<S, E, Q: PendingEvents<E> = EventQueue<E>> {
+    scheduler: Scheduler<E, Q>,
     state: S,
     events_processed: u64,
 }
 
 impl<S, E> Simulator<S, E> {
-    /// Creates a simulator owning `state`, with the clock at zero.
+    /// Creates a simulator owning `state`, with the clock at zero, backed
+    /// by the timing-wheel [`EventQueue`].
     pub fn new(state: S) -> Self {
+        Simulator::with_queue(state, EventQueue::new())
+    }
+}
+
+impl<S, E, Q: PendingEvents<E>> Simulator<S, E, Q> {
+    /// Creates a simulator owning `state`, with the clock at zero, backed
+    /// by the given pending-event structure.
+    pub fn with_queue(state: S, queue: Q) -> Self {
         Simulator {
-            scheduler: Scheduler::new(),
+            scheduler: Scheduler::with_queue(queue),
             state,
             events_processed: 0,
         }
@@ -135,7 +155,7 @@ impl<S, E> Simulator<S, E> {
     }
 
     /// Access to the scheduler, e.g. to seed initial events.
-    pub fn scheduler_mut(&mut self) -> &mut Scheduler<E> {
+    pub fn scheduler_mut(&mut self) -> &mut Scheduler<E, Q> {
         &mut self.scheduler
     }
 
@@ -148,7 +168,7 @@ impl<S, E> Simulator<S, E> {
     /// clock to its timestamp. Returns `false` if no event was pending.
     pub fn step<F>(&mut self, mut handler: F) -> bool
     where
-        F: FnMut(&mut Scheduler<E>, &mut S, E),
+        F: FnMut(&mut Scheduler<E, Q>, &mut S, E),
     {
         match self.scheduler.queue.pop() {
             Some(scheduled) => {
@@ -170,17 +190,19 @@ impl<S, E> Simulator<S, E> {
     /// this call.
     pub fn run_until<F>(&mut self, horizon: SimTime, mut handler: F) -> u64
     where
-        F: FnMut(&mut Scheduler<E>, &mut S, E),
+        F: FnMut(&mut Scheduler<E, Q>, &mut S, E),
     {
         let start = self.events_processed;
         self.scheduler.stopped = false;
         while !self.scheduler.stopped {
-            match self.scheduler.queue.peek_time() {
-                Some(t) if t <= horizon => {
-                    self.step(&mut handler);
-                }
-                _ => break,
-            }
+            // One queue traversal serves both the horizon check and the pop.
+            let Some(scheduled) = self.scheduler.queue.pop_if_due(horizon) else {
+                break;
+            };
+            debug_assert!(scheduled.time >= self.scheduler.now);
+            self.scheduler.now = scheduled.time;
+            self.events_processed += 1;
+            handler(&mut self.scheduler, &mut self.state, scheduled.event);
         }
         // Park the clock at the horizon so a subsequent run resumes cleanly.
         if self.scheduler.now < horizon && self.scheduler.queue.peek_time().is_none() {
@@ -193,7 +215,7 @@ impl<S, E> Simulator<S, E> {
     /// [`Scheduler::stop`]. Returns the number of events processed.
     pub fn run<F>(&mut self, mut handler: F) -> u64
     where
-        F: FnMut(&mut Scheduler<E>, &mut S, E),
+        F: FnMut(&mut Scheduler<E, Q>, &mut S, E),
     {
         let start = self.events_processed;
         self.scheduler.stopped = false;
@@ -205,6 +227,7 @@ impl<S, E> Simulator<S, E> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::queue::HeapEventQueue;
 
     #[derive(Debug, PartialEq)]
     enum Ev {
@@ -307,5 +330,19 @@ mod tests {
         }
         sim.run(|_, log, i| log.push(i));
         assert_eq!(*sim.state(), vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn heap_backend_drives_the_same_model() {
+        let mut sim: Simulator<u32, (), HeapEventQueue<()>> =
+            Simulator::with_queue(0, HeapEventQueue::new());
+        sim.scheduler_mut().schedule_at(SimTime::ZERO, ());
+        let n = sim.run_until(SimTime::from_millis(5), |sched, count, ()| {
+            *count += 1;
+            sched.schedule_in(SimDuration::from_millis(1), ());
+        });
+        assert_eq!(n, 6);
+        assert_eq!(*sim.state(), 6);
+        assert_eq!(sim.now(), SimTime::from_millis(5));
     }
 }

@@ -7,10 +7,14 @@
 //!
 //! * [`SimTime`] / [`SimDuration`] — integer-nanosecond simulated time, so
 //!   slot arithmetic (1 Bluetooth slot = 625 µs) is exact.
-//! * [`EventQueue`] — a pending-event set with stable FIFO ordering for
-//!   same-time events and cheap cancellation.
+//! * [`EventQueue`] — the pending-event set: a hierarchical timing wheel
+//!   with stable FIFO ordering for same-time events, cheap cancellation,
+//!   and O(1) push/pop for the near-future slot-grid workload.
+//! * [`HeapEventQueue`] — the binary-heap reference implementation of the
+//!   same [`PendingEvents`] contract, kept for differential testing.
 //! * [`Simulator`] / [`Scheduler`] — the run loop: handlers mutate domain
-//!   state and plant or cancel future events.
+//!   state and plant or cancel future events; generic over the queue
+//!   backend (defaults to the wheel).
 //! * [`DetRng`] — self-contained xoshiro256++ PRNG with independent
 //!   sub-streams, so experiments replay bit-for-bit on any platform.
 //!
@@ -43,8 +47,10 @@ mod engine;
 mod queue;
 mod rng;
 mod time;
+mod wheel;
 
 pub use engine::{Scheduler, Simulator};
-pub use queue::{EventKey, EventQueue, Scheduled};
+pub use queue::{EventKey, HeapEventQueue, PendingEvents, Scheduled};
 pub use rng::DetRng;
 pub use time::{SimDuration, SimTime};
+pub use wheel::EventQueue;

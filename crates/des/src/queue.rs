@@ -1,18 +1,28 @@
-//! The pending-event set: a time-ordered priority queue with cancellation.
+//! The pending-event set: keys, payload storage, the queue interface, and
+//! the binary-heap reference implementation.
+//!
+//! The production queue is the hierarchical timing wheel in [`crate::wheel`]
+//! (re-exported as [`EventQueue`](crate::EventQueue)); the
+//! [`HeapEventQueue`] here implements the exact same contract on a
+//! `BinaryHeap` and exists as the *reference model*: differential tests
+//! drive both with identical operation sequences and demand identical
+//! behaviour, and full simulation runs must produce byte-identical reports
+//! under either backend.
 
 use crate::time::SimTime;
 use core::cmp::Ordering;
 use std::collections::BinaryHeap;
 
-/// Handle to a scheduled event, usable to [cancel](EventQueue::cancel) it.
+/// Handle to a scheduled event, usable to [cancel](HeapEventQueue::cancel)
+/// it.
 ///
 /// Keys are unique for the lifetime of the queue: a key is never reused for a
 /// different event, so a stale key is safely rejected rather than cancelling
 /// an unrelated event.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub struct EventKey {
-    slot: u32,
-    generation: u32,
+    pub(crate) slot: u32,
+    pub(crate) generation: u32,
 }
 
 /// An event popped from the queue.
@@ -24,18 +34,60 @@ pub struct Scheduled<E> {
     pub event: E,
 }
 
-#[derive(Clone, Copy, PartialEq, Eq)]
-struct HeapEntry {
-    time: SimTime,
-    seq: u64,
-    slot: u32,
-    generation: u32,
+/// The interface between the [`Simulator`](crate::Simulator) run loop and a
+/// pending-event structure.
+///
+/// Both implementations — the timing-wheel [`EventQueue`](crate::EventQueue)
+/// and the [`HeapEventQueue`] reference — honour the same contract: events
+/// pop in `(time, insertion order)` order, same-time events are FIFO, and a
+/// cancelled or popped key is stale forever.
+pub trait PendingEvents<E> {
+    /// Schedules `event` at `time` and returns a key that can cancel it.
+    fn push(&mut self, time: SimTime, event: E) -> EventKey;
+
+    /// Cancels a scheduled event, returning its payload if it was still
+    /// pending. Stale keys (already fired or cancelled) return `None`.
+    fn cancel(&mut self, key: EventKey) -> Option<E>;
+
+    /// The firing time of the earliest pending event.
+    fn peek_time(&mut self) -> Option<SimTime>;
+
+    /// Removes and returns the earliest pending event.
+    fn pop(&mut self) -> Option<Scheduled<E>>;
+
+    /// Removes and returns the earliest pending event if it fires no later
+    /// than `horizon`.
+    fn pop_if_due(&mut self, horizon: SimTime) -> Option<Scheduled<E>> {
+        match self.peek_time() {
+            Some(t) if t <= horizon => self.pop(),
+            _ => None,
+        }
+    }
+
+    /// Number of live (not yet popped or cancelled) events.
+    fn len(&self) -> usize;
+
+    /// `true` if no live events remain.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
 }
 
-impl Ord for HeapEntry {
+/// An index entry for one scheduled event; the payload lives in the
+/// [`SlotArena`]. Ordered so the *earliest* `(time, seq)` is the maximum
+/// (`BinaryHeap` is a max-heap).
+#[derive(Clone, Copy, PartialEq, Eq)]
+pub(crate) struct Entry {
+    pub(crate) time: SimTime,
+    pub(crate) seq: u64,
+    pub(crate) slot: u32,
+    pub(crate) generation: u32,
+}
+
+impl Ord for Entry {
     fn cmp(&self, other: &Self) -> Ordering {
-        // BinaryHeap is a max-heap; invert so the earliest (time, seq) pops
-        // first. `seq` makes same-time events fire in scheduling order (FIFO),
+        // Inverted so the earliest (time, seq) pops first from a max-heap.
+        // `seq` makes same-time events fire in scheduling order (FIFO),
         // which keeps runs deterministic.
         other
             .time
@@ -44,7 +96,7 @@ impl Ord for HeapEntry {
     }
 }
 
-impl PartialOrd for HeapEntry {
+impl PartialOrd for Entry {
     fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
         Some(self.cmp(other))
     }
@@ -55,17 +107,93 @@ struct Slot<E> {
     payload: Option<E>,
 }
 
-/// A pending-event set ordered by `(time, insertion order)`.
+/// Generation-checked payload storage shared by both queue backends.
+///
+/// Every scheduled event's payload lives in a slot; the `(slot, generation)`
+/// pair is the [`EventKey`]. Cancellation bumps the generation, so index
+/// entries still sitting in a heap or wheel bucket are recognised as dead
+/// and skipped lazily. Freed slots are recycled through a free list, so the
+/// arena stops allocating once it reaches the high-water mark of concurrently
+/// pending events.
+pub(crate) struct SlotArena<E> {
+    slots: Vec<Slot<E>>,
+    free: Vec<u32>,
+    /// Most recently retired slot: the single-event churn pattern (pop then
+    /// re-push, the dominant cycle of a self-rescheduling model) recycles
+    /// it through this register without touching the free vector.
+    last_free: Option<u32>,
+}
+
+impl<E> SlotArena<E> {
+    pub(crate) fn new() -> Self {
+        SlotArena {
+            slots: Vec::new(),
+            free: Vec::new(),
+            last_free: None,
+        }
+    }
+
+    /// Stores `payload`, returning its `(slot, generation)` key.
+    #[inline]
+    pub(crate) fn alloc(&mut self, payload: E) -> (u32, u32) {
+        let recycled = self.last_free.take().or_else(|| self.free.pop());
+        let slot = match recycled {
+            Some(idx) => {
+                let s = &mut self.slots[idx as usize];
+                debug_assert!(s.payload.is_none());
+                s.payload = Some(payload);
+                idx
+            }
+            None => {
+                let idx = u32::try_from(self.slots.len()).expect("event queue slot overflow");
+                self.slots.push(Slot {
+                    generation: 0,
+                    payload: Some(payload),
+                });
+                idx
+            }
+        };
+        (slot, self.slots[slot as usize].generation)
+    }
+
+    /// Removes the payload a key refers to, if the key is still current.
+    #[inline]
+    pub(crate) fn take(&mut self, key: EventKey) -> Option<E> {
+        let slot = self.slots.get_mut(key.slot as usize)?;
+        if slot.generation != key.generation {
+            return None;
+        }
+        let payload = slot.payload.take()?;
+        slot.generation = slot.generation.wrapping_add(1);
+        if let Some(prev) = self.last_free.replace(key.slot) {
+            self.free.push(prev);
+        }
+        Some(payload)
+    }
+
+    /// `true` if the entry still refers to a pending payload.
+    #[inline]
+    pub(crate) fn is_live(&self, entry: &Entry) -> bool {
+        let slot = &self.slots[entry.slot as usize];
+        slot.generation == entry.generation && slot.payload.is_some()
+    }
+}
+
+/// The reference pending-event set: a `BinaryHeap` ordered by
+/// `(time, insertion order)`.
 ///
 /// Same-time events pop in the order they were pushed, which makes runs
-/// reproducible without relying on heap internals.
+/// reproducible without relying on heap internals. The production
+/// [`EventQueue`](crate::EventQueue) (a hierarchical timing wheel) must be
+/// operationally indistinguishable from this structure; it exists so
+/// differential tests have an obviously-correct model to compare against.
 ///
 /// # Examples
 ///
 /// ```
-/// use btgs_des::{EventQueue, SimTime};
+/// use btgs_des::{HeapEventQueue, SimTime};
 ///
-/// let mut q = EventQueue::new();
+/// let mut q = HeapEventQueue::new();
 /// q.push(SimTime::from_millis(2), "late");
 /// let key = q.push(SimTime::from_millis(1), "early");
 /// q.push(SimTime::from_millis(1), "early2");
@@ -76,27 +204,25 @@ struct Slot<E> {
 /// assert_eq!(q.pop().unwrap().event, "late");
 /// assert!(q.pop().is_none());
 /// ```
-pub struct EventQueue<E> {
-    heap: BinaryHeap<HeapEntry>,
-    slots: Vec<Slot<E>>,
-    free: Vec<u32>,
+pub struct HeapEventQueue<E> {
+    heap: BinaryHeap<Entry>,
+    arena: SlotArena<E>,
     next_seq: u64,
     live: usize,
 }
 
-impl<E> Default for EventQueue<E> {
+impl<E> Default for HeapEventQueue<E> {
     fn default() -> Self {
         Self::new()
     }
 }
 
-impl<E> EventQueue<E> {
+impl<E> HeapEventQueue<E> {
     /// Creates an empty queue.
     pub fn new() -> Self {
-        EventQueue {
+        HeapEventQueue {
             heap: BinaryHeap::new(),
-            slots: Vec::new(),
-            free: Vec::new(),
+            arena: SlotArena::new(),
             next_seq: 0,
             live: 0,
         }
@@ -114,26 +240,10 @@ impl<E> EventQueue<E> {
 
     /// Schedules `event` at `time` and returns a key that can cancel it.
     pub fn push(&mut self, time: SimTime, event: E) -> EventKey {
-        let slot = match self.free.pop() {
-            Some(idx) => {
-                let s = &mut self.slots[idx as usize];
-                debug_assert!(s.payload.is_none());
-                s.payload = Some(event);
-                idx
-            }
-            None => {
-                let idx = u32::try_from(self.slots.len()).expect("event queue slot overflow");
-                self.slots.push(Slot {
-                    generation: 0,
-                    payload: Some(event),
-                });
-                idx
-            }
-        };
-        let generation = self.slots[slot as usize].generation;
+        let (slot, generation) = self.arena.alloc(event);
         let seq = self.next_seq;
         self.next_seq += 1;
-        self.heap.push(HeapEntry {
+        self.heap.push(Entry {
             time,
             seq,
             slot,
@@ -146,12 +256,7 @@ impl<E> EventQueue<E> {
     /// Cancels a scheduled event, returning its payload if it was still
     /// pending. Stale keys (already fired or cancelled) return `None`.
     pub fn cancel(&mut self, key: EventKey) -> Option<E> {
-        let slot = self.slots.get_mut(key.slot as usize)?;
-        if slot.generation != key.generation {
-            return None;
-        }
-        let payload = slot.payload.take()?;
-        self.retire_slot(key.slot);
+        let payload = self.arena.take(key)?;
         self.live -= 1;
         Some(payload)
     }
@@ -166,14 +271,12 @@ impl<E> EventQueue<E> {
     pub fn pop(&mut self) -> Option<Scheduled<E>> {
         loop {
             let entry = self.heap.pop()?;
-            let slot = &mut self.slots[entry.slot as usize];
-            if slot.generation != entry.generation {
-                continue; // cancelled, slot already reused
-            }
-            let Some(event) = slot.payload.take() else {
-                continue; // cancelled, slot not yet reused
+            let Some(event) = self.arena.take(EventKey {
+                slot: entry.slot,
+                generation: entry.generation,
+            }) else {
+                continue; // cancelled
             };
-            self.retire_slot(entry.slot);
             self.live -= 1;
             return Some(Scheduled {
                 time: entry.time,
@@ -186,24 +289,39 @@ impl<E> EventQueue<E> {
     /// reports a live event.
     fn skim_dead(&mut self) {
         while let Some(entry) = self.heap.peek() {
-            let slot = &self.slots[entry.slot as usize];
-            if slot.generation == entry.generation && slot.payload.is_some() {
+            if self.arena.is_live(entry) {
                 return;
             }
             self.heap.pop();
         }
     }
+}
 
-    fn retire_slot(&mut self, idx: u32) {
-        let slot = &mut self.slots[idx as usize];
-        slot.generation = slot.generation.wrapping_add(1);
-        self.free.push(idx);
+impl<E> PendingEvents<E> for HeapEventQueue<E> {
+    fn push(&mut self, time: SimTime, event: E) -> EventKey {
+        HeapEventQueue::push(self, time, event)
+    }
+
+    fn cancel(&mut self, key: EventKey) -> Option<E> {
+        HeapEventQueue::cancel(self, key)
+    }
+
+    fn peek_time(&mut self) -> Option<SimTime> {
+        HeapEventQueue::peek_time(self)
+    }
+
+    fn pop(&mut self) -> Option<Scheduled<E>> {
+        HeapEventQueue::pop(self)
+    }
+
+    fn len(&self) -> usize {
+        HeapEventQueue::len(self)
     }
 }
 
-impl<E: core::fmt::Debug> core::fmt::Debug for EventQueue<E> {
+impl<E: core::fmt::Debug> core::fmt::Debug for HeapEventQueue<E> {
     fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
-        f.debug_struct("EventQueue")
+        f.debug_struct("HeapEventQueue")
             .field("live", &self.live)
             .finish_non_exhaustive()
     }
@@ -212,104 +330,134 @@ impl<E: core::fmt::Debug> core::fmt::Debug for EventQueue<E> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::wheel::EventQueue;
 
     fn t(ms: u64) -> SimTime {
         SimTime::from_millis(ms)
     }
 
+    /// Every contract test runs against both backends.
+    fn both(check: impl Fn(&mut dyn PendingEvents<i32>)) {
+        let mut wheel: EventQueue<i32> = EventQueue::new();
+        check(&mut wheel);
+        let mut heap: HeapEventQueue<i32> = HeapEventQueue::new();
+        check(&mut heap);
+    }
+
     #[test]
     fn pops_in_time_order() {
-        let mut q = EventQueue::new();
-        q.push(t(5), 5);
-        q.push(t(1), 1);
-        q.push(t(3), 3);
-        let order: Vec<i32> = std::iter::from_fn(|| q.pop().map(|s| s.event)).collect();
-        assert_eq!(order, vec![1, 3, 5]);
+        both(|q| {
+            q.push(t(5), 5);
+            q.push(t(1), 1);
+            q.push(t(3), 3);
+            let order: Vec<i32> = std::iter::from_fn(|| q.pop().map(|s| s.event)).collect();
+            assert_eq!(order, vec![1, 3, 5]);
+        });
     }
 
     #[test]
     fn same_time_is_fifo() {
-        let mut q = EventQueue::new();
-        for i in 0..10 {
-            q.push(t(7), i);
-        }
-        let order: Vec<i32> = std::iter::from_fn(|| q.pop().map(|s| s.event)).collect();
-        assert_eq!(order, (0..10).collect::<Vec<_>>());
+        both(|q| {
+            for i in 0..10 {
+                q.push(t(7), i);
+            }
+            let order: Vec<i32> = std::iter::from_fn(|| q.pop().map(|s| s.event)).collect();
+            assert_eq!(order, (0..10).collect::<Vec<_>>());
+        });
     }
 
     #[test]
     fn cancel_removes_event() {
-        let mut q = EventQueue::new();
-        let a = q.push(t(1), "a");
-        q.push(t(2), "b");
-        assert_eq!(q.len(), 2);
-        assert_eq!(q.cancel(a), Some("a"));
-        assert_eq!(q.len(), 1);
-        assert_eq!(q.pop().unwrap().event, "b");
-        assert!(q.is_empty());
+        both(|q| {
+            let a = q.push(t(1), 10);
+            q.push(t(2), 20);
+            assert_eq!(q.len(), 2);
+            assert_eq!(q.cancel(a), Some(10));
+            assert_eq!(q.len(), 1);
+            assert_eq!(q.pop().unwrap().event, 20);
+            assert!(q.is_empty());
+        });
     }
 
     #[test]
     fn stale_keys_are_rejected() {
-        let mut q = EventQueue::new();
-        let a = q.push(t(1), 1);
-        assert!(q.cancel(a).is_some());
-        assert!(q.cancel(a).is_none(), "double cancel");
-        // Slot gets reused by a fresh event; old key must not touch it.
-        let _b = q.push(t(2), 2);
-        assert!(q.cancel(a).is_none(), "stale key after reuse");
-        assert_eq!(q.pop().unwrap().event, 2);
+        both(|q| {
+            let a = q.push(t(1), 1);
+            assert!(q.cancel(a).is_some());
+            assert!(q.cancel(a).is_none(), "double cancel");
+            // Slot gets reused by a fresh event; old key must not touch it.
+            let _b = q.push(t(2), 2);
+            assert!(q.cancel(a).is_none(), "stale key after reuse");
+            assert_eq!(q.pop().unwrap().event, 2);
+        });
     }
 
     #[test]
     fn key_of_popped_event_is_stale() {
-        let mut q = EventQueue::new();
-        let a = q.push(t(1), 1);
-        assert_eq!(q.pop().unwrap().event, 1);
-        assert!(q.cancel(a).is_none());
+        both(|q| {
+            let a = q.push(t(1), 1);
+            assert_eq!(q.pop().unwrap().event, 1);
+            assert!(q.cancel(a).is_none());
+        });
     }
 
     #[test]
     fn peek_time_skips_cancelled() {
-        let mut q = EventQueue::new();
-        let a = q.push(t(1), 1);
-        q.push(t(4), 4);
-        q.cancel(a);
-        assert_eq!(q.peek_time(), Some(t(4)));
+        both(|q| {
+            let a = q.push(t(1), 1);
+            q.push(t(4), 4);
+            q.cancel(a);
+            assert_eq!(q.peek_time(), Some(t(4)));
+        });
+    }
+
+    #[test]
+    fn pop_if_due_respects_horizon() {
+        both(|q| {
+            q.push(t(1), 1);
+            q.push(t(5), 5);
+            assert_eq!(q.pop_if_due(t(0)), None);
+            assert_eq!(q.pop_if_due(t(1)).unwrap().event, 1);
+            assert_eq!(q.pop_if_due(t(4)), None);
+            assert_eq!(q.pop_if_due(t(5)).unwrap().event, 5);
+            assert_eq!(q.pop_if_due(SimTime::MAX), None);
+        });
     }
 
     #[test]
     fn empty_queue_behaviour() {
-        let mut q: EventQueue<()> = EventQueue::new();
-        assert!(q.is_empty());
-        assert_eq!(q.len(), 0);
-        assert_eq!(q.peek_time(), None);
-        assert!(q.pop().is_none());
+        both(|q| {
+            assert!(q.is_empty());
+            assert_eq!(q.len(), 0);
+            assert_eq!(q.peek_time(), None);
+            assert!(q.pop().is_none());
+        });
     }
 
     #[test]
     fn heavy_mixed_usage_stays_consistent() {
-        let mut q = EventQueue::new();
-        let mut keys = Vec::new();
-        for round in 0u64..50 {
-            for i in 0..20 {
-                keys.push(q.push(t(round * 10 + i % 7), (round, i)));
+        both(|q| {
+            let mut keys = Vec::new();
+            for round in 0u64..50 {
+                for i in 0u64..20 {
+                    keys.push(q.push(t(round * 10 + i % 7), (round * 100 + i) as i32));
+                }
+                // Cancel every third key from this round.
+                let start = keys.len() - 20;
+                for k in keys[start..].iter().step_by(3) {
+                    q.cancel(*k);
+                }
             }
-            // Cancel every third key from this round.
-            let start = keys.len() - 20;
-            for k in keys[start..].iter().step_by(3) {
-                q.cancel(*k);
+            let mut last = SimTime::ZERO;
+            let mut popped = 0;
+            while let Some(s) = q.pop() {
+                assert!(s.time >= last, "time order violated");
+                last = s.time;
+                popped += 1;
             }
-        }
-        let mut last = SimTime::ZERO;
-        let mut popped = 0;
-        while let Some(s) = q.pop() {
-            assert!(s.time >= last, "time order violated");
-            last = s.time;
-            popped += 1;
-        }
-        // 20 per round, 7 cancelled per round (indices 0,3,6,...,18).
-        assert_eq!(popped, 50 * (20 - 7));
+            // 20 per round, 7 cancelled per round (indices 0,3,6,...,18).
+            assert_eq!(popped, 50 * (20 - 7));
+        });
     }
 }
 
@@ -317,16 +465,15 @@ mod tests {
 mod proptests {
     use super::*;
     use crate::rng::DetRng;
+    use crate::wheel::EventQueue;
 
     /// Popping must always yield a non-decreasing time sequence and
     /// same-time events in FIFO order, under any interleaving of pushes
-    /// and cancels.
+    /// and cancels — for both backends.
     #[test]
     fn ordering_invariant() {
-        let mut rng = DetRng::seed_from_u64(0xDE5);
-        for _ in 0..128 {
+        fn run(q: &mut dyn PendingEvents<usize>, rng: &mut DetRng) {
             let n_ops = rng.range_inclusive(1, 199) as usize;
-            let mut q = EventQueue::new();
             let mut keys = Vec::new();
             let mut expect_live = 0usize;
             for i in 0..n_ops {
@@ -355,6 +502,15 @@ mod proptests {
                 count += 1;
             }
             assert_eq!(count, expect_live);
+        }
+
+        let mut rng = DetRng::seed_from_u64(0xDE5);
+        for _ in 0..128 {
+            run(&mut EventQueue::new(), &mut rng);
+        }
+        let mut rng = DetRng::seed_from_u64(0xDE5);
+        for _ in 0..128 {
+            run(&mut HeapEventQueue::new(), &mut rng);
         }
     }
 }

@@ -1,0 +1,629 @@
+//! The production pending-event set: a hierarchical timing wheel.
+//!
+//! The simulator's event population is extremely clustered: master wake-ups,
+//! exchange completions and SCO reservations all land on the 625 µs slot
+//! grid within a few slot-pairs of the clock, and traffic arrivals sit at
+//! most tens of milliseconds out. A comparison-based heap pays `O(log n)`
+//! and a cache miss per level for that workload; a calendar of time buckets
+//! pays `O(1)`.
+//!
+//! # Structure
+//!
+//! Time (integer nanoseconds) is divided into *ticks* of 2^19 ns ≈ 0.524 ms
+//! — slightly under one slot, so consecutive exchanges land in consecutive
+//! buckets. Three tiers hold the index entries (payloads live in the shared
+//! slot arena, exactly as in the heap backend):
+//!
+//! * **L0** — 256 buckets of one tick each, covering the current *aligned*
+//!   134 ms window. Push and pop are array indexing.
+//! * **L1** — 256 buckets of 256 ticks (≈134 ms) each, covering ≈34 s.
+//!   When the clock enters an L1 bucket's range, its entries cascade down
+//!   into L0.
+//! * **Overflow** — a `BinaryHeap`, for the rare event more than ≈34 s
+//!   ahead. Entries migrate into the rings as the L1 window advances.
+//!
+//! The bucket at the current tick is drained into a *batch*, sorted
+//! descending by `(time, seq)` and consumed from the back, so pops are
+//! `O(1)` and same-time events fire in FIFO push order — the exact
+//! `(time, insertion order)` contract of the
+//! [`HeapEventQueue`](crate::HeapEventQueue) reference, which differential
+//! tests enforce. Late pushes into the current tick (a handler scheduling
+//! for *now*) binary-search into the batch.
+//!
+//! Cancellation is lazy: [`cancel`](EventQueue::cancel) invalidates the
+//! entry's generation in the arena and the dead index entry is skipped when
+//! its bucket drains.
+//!
+//! In steady state nothing allocates: buckets, batch and arena all recycle
+//! their capacity, which the allocation-counting tests in `btgs-bench`
+//! enforce.
+
+use crate::queue::{Entry, EventKey, PendingEvents, Scheduled, SlotArena};
+use crate::time::SimTime;
+use std::collections::BinaryHeap;
+
+/// log2 of the bucket count per level.
+const LEVEL_BITS: u32 = 8;
+/// Buckets per level.
+const LEVEL_SIZE: usize = 1 << LEVEL_BITS;
+/// Mask selecting a bucket index within a level.
+const LEVEL_MASK: u64 = LEVEL_SIZE as u64 - 1;
+/// log2 of the L0 tick width in nanoseconds: 2^19 ns ≈ 0.524 ms, slightly
+/// under one Bluetooth slot (625 µs).
+const L0_SHIFT: u32 = 19;
+/// log2 of the L1 bucket width in nanoseconds (≈134 ms).
+const L1_SHIFT: u32 = L0_SHIFT + LEVEL_BITS;
+/// 64-bit words per occupancy bitmap.
+const WORDS: usize = LEVEL_SIZE / 64;
+
+/// Index of the first occupied bucket at or after `start`, per `bits`;
+/// `None` if the rest of the level is empty.
+#[inline]
+fn next_occupied(bits: &[u64; WORDS], start: usize) -> Option<usize> {
+    let mut word = start >> 6;
+    let mut w = bits[word] & (!0u64 << (start & 63));
+    loop {
+        if w != 0 {
+            return Some((word << 6) + w.trailing_zeros() as usize);
+        }
+        word += 1;
+        if word == WORDS {
+            return None;
+        }
+        w = bits[word];
+    }
+}
+
+/// A pending-event set ordered by `(time, insertion order)`, implemented as
+/// a hierarchical timing wheel.
+///
+/// Same-time events pop in the order they were pushed, which makes runs
+/// reproducible without relying on container internals. Behaviour is
+/// byte-for-byte identical to the [`HeapEventQueue`](crate::HeapEventQueue)
+/// reference model.
+///
+/// # Examples
+///
+/// ```
+/// use btgs_des::{EventQueue, SimTime};
+///
+/// let mut q = EventQueue::new();
+/// q.push(SimTime::from_millis(2), "late");
+/// let key = q.push(SimTime::from_millis(1), "early");
+/// q.push(SimTime::from_millis(1), "early2");
+///
+/// assert!(q.cancel(key).is_some());
+/// let first = q.pop().unwrap();
+/// assert_eq!(first.event, "early2");
+/// assert_eq!(q.pop().unwrap().event, "late");
+/// assert!(q.pop().is_none());
+/// ```
+pub struct EventQueue<E> {
+    /// Fast-path register holding the earliest pending entry, when known.
+    ///
+    /// A push into an empty queue lands here instead of a bucket, and an
+    /// earlier push displaces it; a model with few in-flight events (like
+    /// the self-rescheduling micro-benchmarks) then cycles push→pop through
+    /// this one field without ever touching the rings. Invariant: when
+    /// `Some`, no *live* entry anywhere in the structure orders before it.
+    front: Option<Entry>,
+    /// Entries of the tick being drained (and any "past" pushes), sorted
+    /// descending by `(time, seq)`; popped from the back.
+    batch: Vec<Entry>,
+    /// One-tick buckets covering the current aligned L1 window.
+    l0: Box<[Vec<Entry>; LEVEL_SIZE]>,
+    /// 256-tick buckets covering the next ≈34 s.
+    l1: Box<[Vec<Entry>; LEVEL_SIZE]>,
+    /// Events further out than the L1 horizon.
+    overflow: BinaryHeap<Entry>,
+    /// Recycled capacity for L1 buckets. The L1 ring only wraps every
+    /// ≈34 s, so without recycling every window advance would grow a
+    /// fresh zero-capacity bucket — steady-state allocations. Drained
+    /// buckets park their capacity here; first pushes adopt it.
+    l1_spare: Vec<Entry>,
+    /// Index entries currently stored across `l0` / `l1` (including dead
+    /// ones), kept so refills can skip empty levels without scanning.
+    l0_len: usize,
+    l1_len: usize,
+    /// Occupancy bitmaps (bit *i* ⇔ bucket *i* non-empty): the refill scan
+    /// finds the next occupied bucket with mask-and-count-zeros instead of
+    /// touching empty buckets' memory.
+    l0_bits: [u64; WORDS],
+    l1_bits: [u64; WORDS],
+    /// The refill scan position; nothing earlier remains in the rings.
+    cur_tick: u64,
+    /// `true` once the bucket at `cur_tick` has been drained into the
+    /// batch — further pushes for that tick must merge into the batch,
+    /// not the (already consumed) bucket.
+    cur_drained: bool,
+    arena: SlotArena<E>,
+    next_seq: u64,
+    live: usize,
+}
+
+/// Initial capacity of every L0 bucket. Eight entries absorb the typical
+/// worst-case tick occupancy (clustered arrivals plus cancelled-wake
+/// zombies) up front, so steady state does not trickle capacity upgrades
+/// across the 256 slots as each sees its first busy tick. 256 × 8 × 24 B
+/// ≈ 49 KiB per queue.
+const L0_PREALLOC: usize = 8;
+
+/// A per-level bucket array; each bucket pre-sized to `prealloc` entries.
+fn buckets(prealloc: usize) -> Box<[Vec<Entry>; LEVEL_SIZE]> {
+    let v: Vec<Vec<Entry>> = (0..LEVEL_SIZE)
+        .map(|_| Vec::with_capacity(prealloc))
+        .collect();
+    match v.into_boxed_slice().try_into() {
+        Ok(b) => b,
+        Err(_) => unreachable!("collected exactly LEVEL_SIZE buckets"),
+    }
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> EventQueue<E> {
+    /// Creates an empty queue.
+    pub fn new() -> Self {
+        EventQueue {
+            front: None,
+            // Pre-sized like the L0 buckets: bucket swaps rotate the batch
+            // vector into the ring, so a zero-capacity batch would seed a
+            // zero-capacity bucket and re-start the warm-up trickle.
+            batch: Vec::with_capacity(L0_PREALLOC),
+            l0: buckets(L0_PREALLOC),
+            l1: buckets(0),
+            overflow: BinaryHeap::new(),
+            l1_spare: Vec::new(),
+            l0_bits: [0; WORDS],
+            l1_bits: [0; WORDS],
+            l0_len: 0,
+            l1_len: 0,
+            cur_tick: 0,
+            cur_drained: false,
+            arena: SlotArena::new(),
+            next_seq: 0,
+            live: 0,
+        }
+    }
+
+    /// Number of live (not yet popped or cancelled) events.
+    pub fn len(&self) -> usize {
+        self.live
+    }
+
+    /// `true` if no live events remain.
+    pub fn is_empty(&self) -> bool {
+        self.live == 0
+    }
+
+    /// Schedules `event` at `time` and returns a key that can cancel it.
+    #[inline]
+    pub fn push(&mut self, time: SimTime, event: E) -> EventKey {
+        let (slot, generation) = self.arena.alloc(event);
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        let entry = Entry {
+            time,
+            seq,
+            slot,
+            generation,
+        };
+        if self.live == 0 {
+            // Empty queue: the new entry IS the front. Zombies possibly
+            // still parked (in buckets or the register itself) are dead and
+            // never returned, so overwriting the register is sound.
+            self.front = Some(entry);
+            self.live = 1;
+            return EventKey { slot, generation };
+        }
+        self.live += 1;
+        if let Some(f) = self.front {
+            // New entries get fresh (larger) seqs, so a time tie keeps the
+            // register holder first — FIFO within a timestamp.
+            if time < f.time {
+                self.front = Some(entry);
+                self.place(f);
+                return EventKey { slot, generation };
+            }
+        }
+        self.place(entry);
+        EventKey { slot, generation }
+    }
+
+    /// Cancels a scheduled event, returning its payload if it was still
+    /// pending. Stale keys (already fired or cancelled) return `None`.
+    ///
+    /// The index entry stays in its bucket and is discarded lazily when the
+    /// bucket drains.
+    pub fn cancel(&mut self, key: EventKey) -> Option<E> {
+        let payload = self.arena.take(key)?;
+        self.live -= 1;
+        Some(payload)
+    }
+
+    /// The firing time of the earliest pending event.
+    pub fn peek_time(&mut self) -> Option<SimTime> {
+        self.ensure_front().map(|e| e.time)
+    }
+
+    /// Removes and returns the earliest pending event.
+    pub fn pop(&mut self) -> Option<Scheduled<E>> {
+        let entry = self.ensure_front()?;
+        Some(self.take_front(entry))
+    }
+
+    /// Removes and returns the earliest pending event if it fires no later
+    /// than `horizon`. One traversal serves both the peek and the pop,
+    /// which is what the run loop hammers.
+    #[inline]
+    pub fn pop_if_due(&mut self, horizon: SimTime) -> Option<Scheduled<E>> {
+        // Fast path: a due register entry resolves with a single arena
+        // access (the take doubles as the liveness check).
+        if let Some(f) = self.front {
+            if f.time <= horizon {
+                self.front = None;
+                if let Some(event) = self.arena.take(EventKey {
+                    slot: f.slot,
+                    generation: f.generation,
+                }) {
+                    self.live -= 1;
+                    return Some(Scheduled {
+                        time: f.time,
+                        event,
+                    });
+                }
+                // Dead register (cancelled while parked): fall through.
+            } else if self.arena.is_live(&f) {
+                return None; // earliest event is live but not yet due
+            } else {
+                self.front = None;
+            }
+        }
+        let entry = self.ensure_front()?;
+        if entry.time > horizon {
+            return None;
+        }
+        Some(self.take_front(entry))
+    }
+
+    /// Removes `entry` — which [`Self::ensure_front`] just returned — from
+    /// the register or the batch and resolves its payload.
+    fn take_front(&mut self, entry: Entry) -> Scheduled<E> {
+        match self.front {
+            Some(f) if f.seq == entry.seq => self.front = None,
+            _ => {
+                let popped = self.batch.pop();
+                debug_assert!(popped.is_some_and(|p| p.seq == entry.seq));
+            }
+        }
+        let event = self
+            .arena
+            .take(EventKey {
+                slot: entry.slot,
+                generation: entry.generation,
+            })
+            .expect("front entry is live");
+        self.live -= 1;
+        Scheduled {
+            time: entry.time,
+            event,
+        }
+    }
+
+    /// Routes an index entry to the batch, a ring bucket, or the overflow
+    /// heap according to its distance from `cur_tick`.
+    fn place(&mut self, e: Entry) {
+        let tick = e.time.as_nanos() >> L0_SHIFT;
+        if tick < self.cur_tick || (tick == self.cur_tick && self.cur_drained) {
+            // Behind the drain point: merge into the sorted batch so the
+            // back stays the earliest. Rare (a handler scheduling for the
+            // instant being processed), so the O(n) insert is immaterial.
+            let key = (e.time, e.seq);
+            let pos = self.batch.partition_point(|x| (x.time, x.seq) > key);
+            self.batch.insert(pos, e);
+            return;
+        }
+        let l1_tick = tick >> LEVEL_BITS;
+        let cur_l1 = self.cur_tick >> LEVEL_BITS;
+        if l1_tick == cur_l1 {
+            let idx = (tick & LEVEL_MASK) as usize;
+            self.l0[idx].push(e);
+            self.l0_bits[idx >> 6] |= 1 << (idx & 63);
+            self.l0_len += 1;
+        } else if l1_tick - cur_l1 < LEVEL_SIZE as u64 {
+            let idx = (l1_tick & LEVEL_MASK) as usize;
+            let bucket = &mut self.l1[idx];
+            if bucket.capacity() == 0 && self.l1_spare.capacity() > 0 {
+                std::mem::swap(bucket, &mut self.l1_spare);
+            }
+            bucket.push(e);
+            self.l1_bits[idx >> 6] |= 1 << (idx & 63);
+            self.l1_len += 1;
+        } else {
+            self.overflow.push(e);
+        }
+    }
+
+    /// The earliest live entry — the register if occupied, else the back of
+    /// the batch after advancing past dead entries and empty buckets.
+    /// Returns `None` if no live event remains anywhere.
+    fn ensure_front(&mut self) -> Option<Entry> {
+        loop {
+            if let Some(f) = self.front {
+                if self.arena.is_live(&f) {
+                    return Some(f);
+                }
+                self.front = None; // cancelled while parked
+            }
+            while let Some(e) = self.batch.last() {
+                if self.arena.is_live(e) {
+                    return Some(*e);
+                }
+                self.batch.pop();
+            }
+            // A refill may land a singleton in the register, so loop.
+            if !self.refill() {
+                return None;
+            }
+        }
+    }
+
+    /// Moves the next non-empty bucket into the (empty) batch, cascading
+    /// L1 buckets and migrating overflow entries as the window advances.
+    /// Returns `false` if every tier is empty.
+    fn refill(&mut self) -> bool {
+        debug_assert!(self.batch.is_empty());
+        loop {
+            if self.l0_len > 0 {
+                // Jump to the next occupied bucket in the current aligned
+                // L1 window via the occupancy bitmap.
+                let base = self.cur_tick & !LEVEL_MASK;
+                let start = (self.cur_tick & LEVEL_MASK) as usize;
+                let idx = next_occupied(&self.l0_bits, start)
+                    .expect("l0_len > 0 but no occupied bucket in the window");
+                self.cur_tick = base + idx as u64;
+                self.cur_drained = true;
+                self.l0_bits[idx >> 6] &= !(1 << (idx & 63));
+                let bucket = &mut self.l0[idx];
+                self.l0_len -= bucket.len();
+                if bucket.len() == 1 {
+                    // The dominant slot-grid case: one event per tick. It
+                    // is the earliest entry anywhere (batch empty, rings
+                    // later), so it goes straight into the front register —
+                    // no batch round-trip — and the bucket keeps its
+                    // capacity. Pushes that would order before it displace
+                    // it via the register compare in `push`.
+                    debug_assert!(self.front.is_none());
+                    self.front = Some(bucket.pop().expect("len checked"));
+                } else {
+                    std::mem::swap(&mut self.batch, bucket);
+                    self.batch
+                        .sort_unstable_by_key(|e| core::cmp::Reverse((e.time, e.seq)));
+                }
+                return true;
+            }
+            if self.l1_len == 0 && self.overflow.is_empty() {
+                return false;
+            }
+            // Advance to the next L1 window holding entries. Overflow
+            // entries always lie beyond every ring entry (the migration
+            // below maintains that), so the ring candidate wins if present.
+            let cur_l1 = self.cur_tick >> LEVEL_BITS;
+            let target = if self.l1_len > 0 {
+                // The ring holds l1 ticks in (cur_l1, cur_l1 + 256): scan
+                // the bitmap from the cursor up, then from the wrap.
+                let start = ((cur_l1 + 1) & LEVEL_MASK) as usize;
+                let idx = next_occupied(&self.l1_bits, start)
+                    .or_else(|| next_occupied(&self.l1_bits, 0))
+                    .expect("l1_len > 0 but no occupied L1 bucket");
+                let k = (idx as u64).wrapping_sub(cur_l1 + 1) & LEVEL_MASK;
+                cur_l1 + 1 + k
+            } else {
+                self.overflow
+                    .peek()
+                    .expect("overflow non-empty")
+                    .time
+                    .as_nanos()
+                    >> L1_SHIFT
+            };
+            self.cur_tick = target << LEVEL_BITS;
+            self.cur_drained = false;
+            // Cascade the target L1 bucket into L0.
+            let idx = (target & LEVEL_MASK) as usize;
+            if !self.l1[idx].is_empty() {
+                self.l1_bits[idx >> 6] &= !(1 << (idx & 63));
+                let mut bucket = std::mem::take(&mut self.l1[idx]);
+                self.l1_len -= bucket.len();
+                for e in bucket.drain(..) {
+                    let tick = e.time.as_nanos() >> L0_SHIFT;
+                    debug_assert_eq!(tick >> LEVEL_BITS, target);
+                    let i0 = (tick & LEVEL_MASK) as usize;
+                    self.l0[i0].push(e);
+                    self.l0_bits[i0 >> 6] |= 1 << (i0 & 63);
+                    self.l0_len += 1;
+                }
+                // Park the emptied capacity for whichever slot fills next
+                // (this slot will not come around again for ~34 s).
+                if bucket.capacity() > self.l1_spare.capacity() {
+                    self.l1_spare = bucket;
+                }
+            }
+            // Migrate overflow entries the advanced window now covers.
+            while let Some(e) = self.overflow.peek() {
+                let o_l1 = e.time.as_nanos() >> L1_SHIFT;
+                debug_assert!(o_l1 >= target);
+                if o_l1 - target >= LEVEL_SIZE as u64 {
+                    break;
+                }
+                let e = self.overflow.pop().expect("just peeked");
+                if o_l1 == target {
+                    let tick = e.time.as_nanos() >> L0_SHIFT;
+                    let i0 = (tick & LEVEL_MASK) as usize;
+                    self.l0[i0].push(e);
+                    self.l0_bits[i0 >> 6] |= 1 << (i0 & 63);
+                    self.l0_len += 1;
+                } else {
+                    let i1 = (o_l1 & LEVEL_MASK) as usize;
+                    self.l1[i1].push(e);
+                    self.l1_bits[i1 >> 6] |= 1 << (i1 & 63);
+                    self.l1_len += 1;
+                }
+            }
+            // L0 may still be empty (everything landed in the L1 ring):
+            // loop and advance again.
+        }
+    }
+}
+
+impl<E> PendingEvents<E> for EventQueue<E> {
+    fn push(&mut self, time: SimTime, event: E) -> EventKey {
+        EventQueue::push(self, time, event)
+    }
+
+    fn cancel(&mut self, key: EventKey) -> Option<E> {
+        EventQueue::cancel(self, key)
+    }
+
+    fn peek_time(&mut self) -> Option<SimTime> {
+        EventQueue::peek_time(self)
+    }
+
+    fn pop(&mut self) -> Option<Scheduled<E>> {
+        EventQueue::pop(self)
+    }
+
+    fn pop_if_due(&mut self, horizon: SimTime) -> Option<Scheduled<E>> {
+        EventQueue::pop_if_due(self, horizon)
+    }
+
+    fn len(&self) -> usize {
+        EventQueue::len(self)
+    }
+}
+
+impl<E: core::fmt::Debug> core::fmt::Debug for EventQueue<E> {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.debug_struct("EventQueue")
+            .field("live", &self.live)
+            .finish_non_exhaustive()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn us(v: u64) -> SimTime {
+        SimTime::from_micros(v)
+    }
+
+    #[test]
+    fn events_across_all_tiers_pop_in_order() {
+        let mut q = EventQueue::new();
+        // Overflow (beyond ~34 s), L1 (beyond ~134 ms), L0, current tick.
+        q.push(SimTime::from_secs(120), "overflow");
+        q.push(SimTime::from_secs(1), "l1");
+        q.push(SimTime::from_millis(5), "l0");
+        q.push(SimTime::from_nanos(1), "batch-range");
+        let order: Vec<&str> = std::iter::from_fn(|| q.pop().map(|s| s.event)).collect();
+        assert_eq!(order, vec!["batch-range", "l0", "l1", "overflow"]);
+    }
+
+    #[test]
+    fn push_into_current_tick_while_draining() {
+        let mut q = EventQueue::new();
+        q.push(us(100), 1);
+        q.push(us(100), 2);
+        q.push(us(900), 9);
+        assert_eq!(q.pop().unwrap().event, 1);
+        // Same time as the entry still in the batch: FIFO puts it after.
+        q.push(us(100), 3);
+        // Earlier than everything left: pops first.
+        q.push(us(50), 0);
+        let order: Vec<i32> = std::iter::from_fn(|| q.pop().map(|s| s.event)).collect();
+        assert_eq!(order, vec![0, 2, 3, 9]);
+    }
+
+    #[test]
+    fn l1_cascade_preserves_sub_bucket_order() {
+        let mut q = EventQueue::new();
+        // Two entries in the same L1 bucket but different L0 ticks, pushed
+        // out of order; plus one in a later L1 bucket.
+        let base = 500_000_000; // 500 ms: well beyond the first L0 window
+        q.push(SimTime::from_nanos(base + 700_000), "second");
+        q.push(SimTime::from_nanos(base), "first");
+        q.push(SimTime::from_nanos(base + 200_000_000), "third");
+        let order: Vec<&str> = std::iter::from_fn(|| q.pop().map(|s| s.event)).collect();
+        assert_eq!(order, vec!["first", "second", "third"]);
+    }
+
+    #[test]
+    fn overflow_migrates_through_window_jumps() {
+        let mut q = EventQueue::new();
+        // All far beyond the initial L1 horizon: forces overflow, then a
+        // window jump, then migration into rings.
+        for s in [100u64, 40, 70, 100, 35] {
+            q.push(SimTime::from_secs(s), s);
+        }
+        let order: Vec<u64> = std::iter::from_fn(|| q.pop().map(|s| s.event)).collect();
+        assert_eq!(order, vec![35, 40, 70, 100, 100]);
+    }
+
+    #[test]
+    fn far_future_times_do_not_overflow_arithmetic() {
+        let mut q = EventQueue::new();
+        q.push(SimTime::from_nanos(u64::MAX - 1), "max");
+        q.push(SimTime::from_secs(1), "near");
+        assert_eq!(q.pop().unwrap().event, "near");
+        assert_eq!(q.pop().unwrap().event, "max");
+        assert!(q.pop().is_none());
+    }
+
+    #[test]
+    fn cancelled_entries_are_skipped_in_every_tier() {
+        let mut q = EventQueue::new();
+        let a = q.push(SimTime::from_millis(1), "l0");
+        let b = q.push(SimTime::from_secs(1), "l1");
+        let c = q.push(SimTime::from_secs(100), "overflow");
+        let keep = q.push(SimTime::from_secs(200), "keep");
+        assert_eq!(q.cancel(a), Some("l0"));
+        assert_eq!(q.cancel(b), Some("l1"));
+        assert_eq!(q.cancel(c), Some("overflow"));
+        assert_eq!(q.len(), 1);
+        assert_eq!(q.peek_time(), Some(SimTime::from_secs(200)));
+        assert_eq!(q.pop().unwrap().event, "keep");
+        assert_eq!(q.cancel(keep), None, "popped key is stale");
+    }
+
+    #[test]
+    fn slot_grid_workload_round_trips() {
+        // The simulator's actual pattern: wake/done events marching down
+        // the 625 µs slot grid, plus periodic arrivals ~20 ms out.
+        let mut q = EventQueue::new();
+        let slot = 625_000u64;
+        let mut popped = Vec::new();
+        let mut t = 0u64;
+        q.push(SimTime::from_nanos(0), 0u64);
+        for i in 1..=2_000u64 {
+            let s = q.pop().unwrap();
+            assert!(s.time.as_nanos() >= t);
+            t = s.time.as_nanos();
+            popped.push(s.event);
+            // Re-arm two slots ahead, and every 32nd event plant an arrival
+            // 20 ms out (which cancels the previous arrival).
+            q.push(SimTime::from_nanos(t + 2 * slot), i);
+            if i % 32 == 0 {
+                let k = q.push(SimTime::from_nanos(t + 20_000_000), 1_000_000 + i);
+                q.cancel(k);
+            }
+            if q.len() > 1 {
+                q.pop(); // keep the population small and marching
+            }
+        }
+        assert_eq!(popped.len(), 2_000);
+    }
+}

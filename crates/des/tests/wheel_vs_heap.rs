@@ -1,0 +1,193 @@
+//! Differential property test: the timing-wheel [`EventQueue`] against the
+//! [`HeapEventQueue`] reference model under DetRng-driven random
+//! push/cancel/pop interleavings.
+//!
+//! Both structures receive the identical operation sequence; after every
+//! operation their observable behaviour (lengths, peeked times, popped
+//! `(time, payload)` pairs, cancel results) must match exactly. Time spans
+//! are drawn across all wheel tiers — current tick, L0 ring, L1 ring and
+//! the overflow heap — and pops interleave with pushes so the wheel's
+//! window advances mid-sequence, which is where a calendar structure can
+//! subtly diverge from a heap.
+
+use btgs_des::{DetRng, EventKey, EventQueue, HeapEventQueue, PendingEvents, SimTime};
+
+/// One randomly generated operation.
+#[derive(Clone, Copy, Debug)]
+enum Op {
+    Push(SimTime),
+    CancelRecent(usize),
+    Pop,
+    PopIfDue(SimTime),
+    Peek,
+}
+
+/// Draws a time offset that exercises a specific wheel tier.
+fn arb_offset(rng: &mut DetRng) -> u64 {
+    match rng.below(10) {
+        // Same tick / immediate neighbourhood (batch + first L0 buckets).
+        0..=3 => rng.below(2_000_000),
+        // Within the L0 window (~134 ms).
+        4..=6 => rng.below(130_000_000),
+        // Within the L1 horizon (~34 s).
+        7..=8 => rng.below(30_000_000_000),
+        // Beyond the L1 horizon: overflow heap.
+        _ => 34_000_000_000 + rng.below(300_000_000_000),
+    }
+}
+
+fn run_sequence(rng: &mut DetRng, n_ops: usize) {
+    let mut wheel: EventQueue<u64> = EventQueue::new();
+    let mut heap: HeapEventQueue<u64> = HeapEventQueue::new();
+    // Keys come back in identical order from both, so parallel vectors of
+    // live keys stay aligned.
+    let mut wheel_keys: Vec<EventKey> = Vec::new();
+    let mut heap_keys: Vec<EventKey> = Vec::new();
+    let mut last_popped = SimTime::ZERO;
+    let mut payload = 0u64;
+
+    for step in 0..n_ops {
+        let op = match rng.below(10) {
+            0..=4 => {
+                // Mirror engine usage: never schedule behind the clock.
+                Op::Push(last_popped + btgs_des::SimDuration::from_nanos(arb_offset(rng)))
+            }
+            5 => Op::CancelRecent(rng.below(8) as usize),
+            6..=7 => Op::Pop,
+            8 => Op::PopIfDue(
+                last_popped + btgs_des::SimDuration::from_nanos(rng.below(200_000_000)),
+            ),
+            _ => Op::Peek,
+        };
+        match op {
+            Op::Push(t) => {
+                payload += 1;
+                wheel_keys.push(wheel.push(t, payload));
+                heap_keys.push(heap.push(t, payload));
+            }
+            Op::CancelRecent(back) => {
+                if wheel_keys.is_empty() {
+                    continue;
+                }
+                let idx = wheel_keys.len().saturating_sub(1 + back);
+                let wk = wheel_keys.remove(idx);
+                let hk = heap_keys.remove(idx);
+                assert_eq!(wheel.cancel(wk), heap.cancel(hk), "cancel at step {step}");
+                // A second cancel of the same key must be stale in both.
+                assert_eq!(wheel.cancel(wk), None);
+                assert_eq!(heap.cancel(hk), None);
+            }
+            Op::Pop => {
+                let w = wheel.pop();
+                let h = heap.pop();
+                match (&w, &h) {
+                    (Some(a), Some(b)) => {
+                        assert_eq!((a.time, a.event), (b.time, b.event), "pop at step {step}");
+                        assert!(a.time >= last_popped, "time went backwards");
+                        last_popped = a.time;
+                    }
+                    (None, None) => {}
+                    _ => panic!("pop divergence at step {step}: {w:?} vs {h:?}"),
+                }
+            }
+            Op::PopIfDue(h) => {
+                let a = wheel.pop_if_due(h);
+                let b = heap.pop_if_due(h);
+                match (&a, &b) {
+                    (Some(x), Some(y)) => {
+                        assert_eq!((x.time, x.event), (y.time, y.event));
+                        assert!(x.time <= h, "pop_if_due returned a late event");
+                        last_popped = x.time;
+                    }
+                    (None, None) => {}
+                    _ => panic!("pop_if_due divergence at step {step}: {a:?} vs {b:?}"),
+                }
+            }
+            Op::Peek => {
+                assert_eq!(wheel.peek_time(), heap.peek_time(), "peek at step {step}");
+            }
+        }
+        assert_eq!(wheel.len(), heap.len(), "len after step {step}");
+        assert_eq!(wheel.is_empty(), heap.is_empty());
+    }
+
+    // Drain both completely: the full remaining order must be identical,
+    // non-decreasing in time, and FIFO within equal timestamps (payloads
+    // are issued in push order, so equal times must pop ascending).
+    let mut last: Option<(SimTime, u64)> = None;
+    loop {
+        let w = wheel.pop();
+        let h = heap.pop();
+        match (w, h) {
+            (Some(a), Some(b)) => {
+                assert_eq!((a.time, a.event), (b.time, b.event), "drain divergence");
+                if let Some((lt, lp)) = last {
+                    assert!(a.time >= lt);
+                    if a.time == lt {
+                        assert!(a.event > lp, "FIFO within same timestamp");
+                    }
+                }
+                last = Some((a.time, a.event));
+            }
+            (None, None) => break,
+            (w, h) => panic!("drain length divergence: {w:?} vs {h:?}"),
+        }
+    }
+    assert!(wheel.is_empty() && heap.is_empty());
+}
+
+#[test]
+fn wheel_matches_heap_reference_under_random_interleavings() {
+    let mut rng = DetRng::seed_from_u64(0x77EE1);
+    for _ in 0..64 {
+        let n_ops = rng.range_inclusive(50, 800) as usize;
+        run_sequence(&mut rng, n_ops);
+    }
+}
+
+#[test]
+fn wheel_matches_heap_on_dense_slot_grid() {
+    // A focused sequence shaped like the simulator: slot-grid times with
+    // many exact collisions, frequent cancel/re-arm of the same logical
+    // timer (the master wake-up), and interleaved pops.
+    let mut rng = DetRng::seed_from_u64(0x5107);
+    for _ in 0..32 {
+        let mut wheel: EventQueue<u32> = EventQueue::new();
+        let mut heap: HeapEventQueue<u32> = HeapEventQueue::new();
+        let mut wake: Option<(EventKey, EventKey, u32)> = None;
+        let mut now = SimTime::ZERO;
+        for i in 0..600u32 {
+            let pairs_ahead = rng.range_inclusive(0, 40);
+            let t = now + btgs_des::SimDuration::from_micros(1250 * pairs_ahead);
+            if rng.chance(0.3) {
+                // Re-arm the wake timer: cancel then push, like ensure_wake.
+                if let Some((wk, hk, _)) = wake.take() {
+                    assert_eq!(wheel.cancel(wk), heap.cancel(hk));
+                }
+                wake = Some((wheel.push(t, i), heap.push(t, i), i));
+            } else {
+                wheel.push(t, i);
+                heap.push(t, i);
+            }
+            if rng.chance(0.6) {
+                let a = wheel.pop();
+                let b = heap.pop();
+                assert_eq!(
+                    a.as_ref().map(|s| (s.time, s.event)),
+                    b.as_ref().map(|s| (s.time, s.event))
+                );
+                if let Some(s) = a {
+                    if wake.is_some_and(|(_, _, p)| p == s.event) {
+                        // The tracked wake just fired; its keys are stale.
+                        wake = None;
+                    }
+                    now = s.time;
+                }
+            }
+        }
+        while let (Some(a), Some(b)) = (wheel.pop(), heap.pop()) {
+            assert_eq!((a.time, a.event), (b.time, b.event));
+        }
+        assert_eq!(wheel.len(), heap.len());
+    }
+}

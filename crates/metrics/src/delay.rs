@@ -44,6 +44,13 @@ impl DelayStats {
         self.sorted = false;
     }
 
+    /// Pre-sizes the sample buffer for at least `additional` further
+    /// samples, so recording inside an allocation-free window does not
+    /// grow the buffer.
+    pub fn reserve(&mut self, additional: usize) {
+        self.samples_ns.reserve(additional);
+    }
+
     /// Number of samples recorded.
     pub fn count(&self) -> usize {
         self.samples_ns.len()

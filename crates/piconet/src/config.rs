@@ -43,6 +43,86 @@ impl SegmentationPolicy for SarPolicy {
     }
 }
 
+/// A flow's allowed packet types, pre-filtered by every possible
+/// per-direction slot budget of an exchange.
+///
+/// When the master sizes an ACL exchange it caps each direction at
+/// `window / 2` slots (the room left before the next SCO reservation). ACL
+/// packets occupy 1, 3 or 5 slots, so every cap collapses to one of three
+/// classes: caps 1–2 admit only single-slot types, caps 3–4 also the
+/// three-slot types, and caps ≥ 5 the full set. Precomputing the three
+/// filtered sets once per flow (at simulator build time) replaces the
+/// per-exchange filter-into-a-fresh-`Vec` that used to run twice per poll
+/// in the simulator's hot loop.
+///
+/// # Examples
+///
+/// ```
+/// use btgs_piconet::AllowedByCap;
+/// use btgs_baseband::PacketType;
+///
+/// let table = AllowedByCap::new(&[PacketType::Dh1, PacketType::Dh3]);
+/// assert_eq!(table.data_types(5), Some(&[PacketType::Dh1, PacketType::Dh3][..]));
+/// assert_eq!(table.data_types(4), Some(&[PacketType::Dh1, PacketType::Dh3][..]));
+/// assert_eq!(table.data_types(2), Some(&[PacketType::Dh1][..]));
+///
+/// // A 3-slot-only flow cannot transmit data through a 2-slot budget.
+/// let dh3 = AllowedByCap::new(&[PacketType::Dh3]);
+/// assert_eq!(dh3.data_types(2), None);
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct AllowedByCap {
+    /// Filtered sets for caps of 1–2, 3–4 and ≥ 5 slots, in the original
+    /// allowed-set order (control types included, exactly like the unfiltered
+    /// set handed to the segmentation policy).
+    sets: [Vec<PacketType>; 3],
+    /// Whether the matching set contains a data-bearing type.
+    has_data: [bool; 3],
+}
+
+impl AllowedByCap {
+    /// Precomputes the per-cap filtered sets of `allowed`.
+    pub fn new(allowed: &[PacketType]) -> AllowedByCap {
+        let filter = |cap: u64| -> Vec<PacketType> {
+            allowed
+                .iter()
+                .copied()
+                .filter(|t| t.slots() <= cap)
+                .collect()
+        };
+        let sets = [filter(1), filter(3), filter(5)];
+        let has_data = [
+            sets[0].iter().any(|t| t.is_acl_data()),
+            sets[1].iter().any(|t| t.is_acl_data()),
+            sets[2].iter().any(|t| t.is_acl_data()),
+        ];
+        AllowedByCap { sets, has_data }
+    }
+
+    #[inline]
+    fn class(cap: u64) -> usize {
+        if cap >= 5 {
+            2
+        } else if cap >= 3 {
+            1
+        } else {
+            0
+        }
+    }
+
+    /// The allowed types fitting a per-direction budget of `cap` slots, or
+    /// `None` if no *data-bearing* type fits (the exchange then degrades to
+    /// POLL/NULL signalling).
+    #[inline]
+    pub fn data_types(&self, cap: u64) -> Option<&[PacketType]> {
+        if cap == 0 {
+            return None;
+        }
+        let class = Self::class(cap);
+        self.has_data[class].then_some(self.sets[class].as_slice())
+    }
+}
+
 /// An SCO link bound to a slave, optionally fed by a voice flow.
 #[derive(Clone, Debug, PartialEq)]
 pub struct ScoBinding {
@@ -133,6 +213,12 @@ impl PiconetConfig {
     /// set).
     pub fn allowed_for<'a>(&'a self, flow: &'a FlowSpec) -> &'a [PacketType] {
         flow.allowed_types.as_deref().unwrap_or(&self.allowed_types)
+    }
+
+    /// The precomputed per-slot-cap allowed-type table of a flow (see
+    /// [`AllowedByCap`]).
+    pub fn allowed_by_cap_for(&self, flow: &FlowSpec) -> AllowedByCap {
+        AllowedByCap::new(self.allowed_for(flow))
     }
 
     /// Checks the whole configuration.

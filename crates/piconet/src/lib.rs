@@ -38,7 +38,7 @@ mod report;
 mod sar;
 mod sim;
 
-pub use config::{PiconetConfig, PiconetError, SarPolicy, ScoBinding};
+pub use config::{AllowedByCap, PiconetConfig, PiconetError, SarPolicy, ScoBinding};
 pub use flow::{validate_flows, FlowSpec};
 pub use flow_table::{FlowIdx, FlowTable};
 pub use ledger::{PollCounters, SlotLedger};
@@ -48,4 +48,4 @@ pub use report::{FlowReport, RunReport};
 pub use sar::{
     segment_count, segment_plan, AlwaysLargestPolicy, MaxFirstPolicy, SegmentationPolicy,
 };
-pub use sim::{PiconetSim, RoundRobinForTest};
+pub use sim::{EventQueueBackend, PiconetSim, RoundRobinForTest};

@@ -138,7 +138,11 @@ impl<'a> MasterView<'a> {
 
     /// `true` if the downlink flow at `idx` had data available at `t`.
     pub fn downlink_has_data_at(&self, idx: FlowIdx, t: SimTime) -> bool {
-        matches!(self.downlink_at(idx), Some(v) if matches!(v.head_arrival, Some(a) if a <= t))
+        // Checked on every PFP availability probe: go straight to the
+        // queue's head-arrival test instead of snapshotting a full view.
+        self.downlink_queues[idx.get()]
+            .as_ref()
+            .is_some_and(|q| q.has_data_at(t))
     }
 
     /// The distinct slaves that have at least one flow, in address order.

@@ -52,6 +52,10 @@ pub struct RunReport {
     pub gs_polls: PollCounters,
     /// BE poll counters.
     pub be_polls: PollCounters,
+    /// Total discrete events the engine processed over the whole run
+    /// (including warm-up) — the numerator of events-per-second engine
+    /// throughput in the benches.
+    pub events_processed: u64,
     /// Name of the poller that produced the run.
     pub poller: String,
 }
@@ -197,6 +201,7 @@ mod tests {
             ledger: SlotLedger::default(),
             gs_polls: PollCounters::default(),
             be_polls: PollCounters::default(),
+            events_processed: 0,
             poller: "test".into(),
         }
     }

@@ -8,7 +8,7 @@
 //! reservations pre-empt polling; ACL exchanges are sized to fit between
 //! them.
 
-use crate::config::{PiconetConfig, PiconetError, SarPolicy, ScoBinding};
+use crate::config::{AllowedByCap, PiconetConfig, PiconetError, SarPolicy, ScoBinding};
 use crate::flow_table::FlowTable;
 use crate::ledger::{PollCounters, SlotLedger};
 use crate::poller::{ExchangeReport, MasterView, PollDecision, Poller, SegmentOutcome};
@@ -18,7 +18,9 @@ use btgs_baseband::{
     next_master_tx_start, AmAddr, ChannelModel, Direction, LogicalChannel, PacketType, SLOT,
     SLOT_PAIR,
 };
-use btgs_des::{EventKey, Scheduler, SimDuration, SimTime, Simulator};
+use btgs_des::{
+    EventKey, EventQueue, HeapEventQueue, PendingEvents, Scheduler, SimDuration, SimTime, Simulator,
+};
 use btgs_traffic::{AppPacket, Source};
 use std::collections::BTreeMap;
 
@@ -71,8 +73,10 @@ enum Ev {
     Arrival { source_idx: usize, pkt: AppPacket },
     /// The master re-evaluates what to do (channel known free).
     Wake,
-    /// An ACL exchange completes.
-    ExchangeDone(PendingExchange),
+    /// The in-flight ACL exchange (parked in [`World::pending_exchange`] —
+    /// TDD allows only one, so the event stays payload-free and every
+    /// event-queue slot small) completes.
+    ExchangeDone,
     /// An SCO reservation completes.
     ScoDone { sco_idx: usize, start: SimTime },
 }
@@ -90,7 +94,9 @@ struct ScoRt {
 
 struct World {
     table: FlowTable,
-    allowed: Vec<Vec<PacketType>>,
+    /// Per-flow allowed packet types, pre-filtered by slot cap so the hot
+    /// path never builds a fresh `Vec` per exchange.
+    allowed: Vec<AllowedByCap>,
     sar: SarPolicy,
     down_queues: Vec<Option<FlowQueue>>,
     up_queues: Vec<Option<FlowQueue>>,
@@ -99,6 +105,13 @@ struct World {
     poller: Option<Box<dyn Poller>>,
     channel: Box<dyn ChannelModel>,
     sco: Vec<ScoRt>,
+    /// Memoised [`World::next_sco_after`] result: `(asked, reservation)`.
+    /// Valid for any query instant in `[asked, reservation)`, because the
+    /// reservation grids are static and nothing lies strictly between.
+    sco_cache: Option<(SimTime, SimTime)>,
+    /// The single in-flight ACL exchange (the master's TDD discipline
+    /// allows no more), resolved by [`Ev::ExchangeDone`].
+    pending_exchange: Option<PendingExchange>,
     busy_until: SimTime,
     wake: Option<(SimTime, EventKey)>,
     warmup: SimTime,
@@ -115,8 +128,23 @@ impl World {
     }
 
     /// First SCO reservation strictly after `t`, or `None` without SCO.
-    fn next_sco_after(&self, t: SimTime) -> Option<SimTime> {
-        self.sco
+    ///
+    /// The result is cached: reservations form static periodic grids, so a
+    /// result computed at `asked` stays the answer for every `t` up to (but
+    /// excluding) that reservation. Wakes between two reservations — the
+    /// common case — then cost two comparisons instead of a walk over every
+    /// SCO link.
+    fn next_sco_after(&mut self, t: SimTime) -> Option<SimTime> {
+        if self.sco.is_empty() {
+            return None;
+        }
+        if let Some((asked, res)) = self.sco_cache {
+            if t >= asked && t < res {
+                return Some(res);
+            }
+        }
+        let res = self
+            .sco
             .iter()
             .map(|s| {
                 s.binding
@@ -124,10 +152,13 @@ impl World {
                     .next_reservation(t + SimDuration::from_nanos(1))
             })
             .min()
+            .expect("sco is non-empty");
+        self.sco_cache = Some((t, res));
+        Some(res)
     }
 
     /// Whole slots available before the next SCO reservation.
-    fn window_slots(&self, now: SimTime) -> u64 {
+    fn window_slots(&mut self, now: SimTime) -> u64 {
         match self.next_sco_after(now) {
             Some(res) => (res - now).div_duration(SLOT),
             None => u64::MAX,
@@ -139,7 +170,7 @@ impl World {
     }
 }
 
-fn ensure_wake(sched: &mut Scheduler<Ev>, w: &mut World, t: SimTime) {
+fn ensure_wake<Q: PendingEvents<Ev>>(sched: &mut Scheduler<Ev, Q>, w: &mut World, t: SimTime) {
     let target = next_master_tx_start(t.max(sched.now()));
     if let Some((existing, key)) = w.wake {
         if existing <= target {
@@ -151,16 +182,52 @@ fn ensure_wake(sched: &mut Scheduler<Ev>, w: &mut World, t: SimTime) {
     w.wake = Some((target, key));
 }
 
-fn handle(sched: &mut Scheduler<Ev>, w: &mut World, ev: Ev) {
+/// Re-evaluates the master *now* — the instant an exchange or SCO
+/// reservation ends, which is always on the slot grid.
+///
+/// Equivalent to `ensure_wake(sched, w, now)` followed by the queue
+/// round-trip of the resulting same-instant `Ev::Wake`, but skips the
+/// push/pop/dispatch when no other event is pending at this instant. When
+/// one is (e.g. an arrival stamped exactly at the exchange boundary), the
+/// wake is queued as before so the strict FIFO rule — same-time arrivals
+/// become visible before the master decides — is preserved bit for bit.
+fn wake_now<Q: PendingEvents<Ev>>(sched: &mut Scheduler<Ev, Q>, w: &mut World) {
+    let now = sched.now();
+    debug_assert_eq!(now, next_master_tx_start(now), "wake_now off the slot grid");
+    if let Some((t, key)) = w.wake {
+        if t == now {
+            return; // a Wake for this instant is already queued; FIFO runs it
+        }
+        sched.cancel(key);
+        w.wake = None;
+    }
+    match sched.next_event_time() {
+        Some(t) if t <= now => {
+            let key = sched.schedule_at(now, Ev::Wake);
+            w.wake = Some((now, key));
+        }
+        _ => on_wake(sched, w),
+    }
+}
+
+fn handle<Q: PendingEvents<Ev>>(sched: &mut Scheduler<Ev, Q>, w: &mut World, ev: Ev) {
     match ev {
         Ev::Arrival { source_idx, pkt } => on_arrival(sched, w, source_idx, pkt),
         Ev::Wake => on_wake(sched, w),
-        Ev::ExchangeDone(ex) => on_exchange_done(sched, w, ex),
+        Ev::ExchangeDone => {
+            let ex = w.pending_exchange.take().expect("an exchange is in flight");
+            on_exchange_done(sched, w, ex);
+        }
         Ev::ScoDone { sco_idx, start } => on_sco_done(sched, w, sco_idx, start),
     }
 }
 
-fn on_arrival(sched: &mut Scheduler<Ev>, w: &mut World, source_idx: usize, pkt: AppPacket) {
+fn on_arrival<Q: PendingEvents<Ev>>(
+    sched: &mut Scheduler<Ev, Q>,
+    w: &mut World,
+    source_idx: usize,
+    pkt: AppPacket,
+) {
     let now = sched.now();
     debug_assert_eq!(pkt.arrival, now);
     let target = w.sources[source_idx].target;
@@ -170,16 +237,15 @@ fn on_arrival(sched: &mut Scheduler<Ev>, w: &mut World, source_idx: usize, pkt: 
                 w.reports[idx].offered_packets += 1;
                 w.reports[idx].offered_bytes += pkt.size as u64;
             }
-            let downlink = w.table.specs()[idx].direction.is_downlink();
-            if downlink {
-                w.down_queues[idx]
-                    .as_mut()
-                    .expect("downlink queue exists")
-                    .push(pkt);
+            // A populated downlink queue slot *is* the direction marker —
+            // no need to consult the flow spec on this per-packet path.
+            if let Some(q) = w.down_queues[idx].as_mut() {
+                q.push(pkt);
                 let flow_id = w.table.specs()[idx].id;
-                let mut poller = w.poller.take().expect("poller present");
-                poller.on_downlink_arrival(flow_id, now);
-                w.poller = Some(poller);
+                w.poller
+                    .as_mut()
+                    .expect("poller present")
+                    .on_downlink_arrival(flow_id, now);
             } else {
                 w.up_queues[idx]
                     .as_mut()
@@ -212,7 +278,7 @@ fn on_arrival(sched: &mut Scheduler<Ev>, w: &mut World, source_idx: usize, pkt: 
     }
 }
 
-fn on_wake(sched: &mut Scheduler<Ev>, w: &mut World) {
+fn on_wake<Q: PendingEvents<Ev>>(sched: &mut Scheduler<Ev, Q>, w: &mut World) {
     let now = sched.now();
     if let Some((t, _)) = w.wake {
         if t == now {
@@ -233,10 +299,12 @@ fn on_wake(sched: &mut Scheduler<Ev>, w: &mut World) {
         }
     }
 
-    let mut poller = w.poller.take().expect("poller present");
     let view = MasterView::new(now, &w.table, &w.down_queues);
-    let decision = poller.decide(now, &view);
-    w.poller = Some(poller);
+    let decision = w
+        .poller
+        .as_mut()
+        .expect("poller present")
+        .decide(now, &view);
 
     match decision {
         PollDecision::Poll { slave, channel } => start_exchange(sched, w, now, slave, channel),
@@ -255,34 +323,22 @@ fn on_wake(sched: &mut Scheduler<Ev>, w: &mut World) {
     }
 }
 
-/// Packet types of `allowed` that fit in `cap` slots per direction.
-fn fit_types(allowed: &[PacketType], cap: u64) -> Vec<PacketType> {
-    allowed
-        .iter()
-        .copied()
-        .filter(|t| t.slots() <= cap)
-        .collect()
-}
-
+/// The next segment a flow would transmit through a `cap`-slot budget, using
+/// its precomputed [`AllowedByCap`] table — no per-exchange filtering or
+/// allocation.
 fn plan_direction(
     queue: Option<&FlowQueue>,
-    flow_idx: Option<usize>,
+    allowed: &AllowedByCap,
     now: SimTime,
     sar: SarPolicy,
-    allowed: &[PacketType],
     cap: u64,
-) -> Option<(usize, SegmentPlan)> {
-    let idx = flow_idx?;
-    let queue = queue?;
-    let usable = fit_types(allowed, cap);
-    if !usable.iter().any(|t| t.is_acl_data()) {
-        return None;
-    }
-    queue.peek_segment(now, &sar, &usable).map(|seg| (idx, seg))
+) -> Option<SegmentPlan> {
+    let usable = allowed.data_types(cap)?;
+    queue?.peek_segment(now, &sar, usable)
 }
 
-fn start_exchange(
-    sched: &mut Scheduler<Ev>,
+fn start_exchange<Q: PendingEvents<Ev>>(
+    sched: &mut Scheduler<Ev, Q>,
     w: &mut World,
     now: SimTime,
     slave: AmAddr,
@@ -301,26 +357,13 @@ fn start_exchange(
     let up_idx = w.flow_index(slave, Direction::SlaveToMaster, channel);
 
     let down_plan = down_idx.and_then(|i| {
-        plan_direction(
-            w.down_queues[i].as_ref(),
-            Some(i),
-            now,
-            w.sar,
-            &w.allowed[i],
-            cap,
-        )
+        plan_direction(w.down_queues[i].as_ref(), &w.allowed[i], now, w.sar, cap)
+            .map(|seg| (i, seg))
     });
     // The slave transmits only data that was available when the master
     // started transmitting (the paper's strict availability rule).
     let up_plan = up_idx.and_then(|i| {
-        plan_direction(
-            w.up_queues[i].as_ref(),
-            Some(i),
-            now,
-            w.sar,
-            &w.allowed[i],
-            cap,
-        )
+        plan_direction(w.up_queues[i].as_ref(), &w.allowed[i], now, w.sar, cap).map(|seg| (i, seg))
     });
 
     // Radio outcomes are drawn now, in a fixed order, for determinism. If
@@ -381,17 +424,22 @@ fn start_exchange(
     let duration = (down.slots() + up.slots()) * SLOT;
     debug_assert_eq!((now + duration).align_down(SLOT_PAIR), now + duration);
     w.busy_until = now + duration;
-    let ex = PendingExchange {
+    debug_assert!(w.pending_exchange.is_none(), "one exchange at a time");
+    w.pending_exchange = Some(PendingExchange {
         start: now,
         slave,
         channel,
         down,
         up,
-    };
-    sched.schedule_at(w.busy_until, Ev::ExchangeDone(ex));
+    });
+    sched.schedule_at(w.busy_until, Ev::ExchangeDone);
 }
 
-fn on_exchange_done(sched: &mut Scheduler<Ev>, w: &mut World, ex: PendingExchange) {
+fn on_exchange_done<Q: PendingEvents<Ev>>(
+    sched: &mut Scheduler<Ev, Q>,
+    w: &mut World,
+    ex: PendingExchange,
+) {
     let now = sched.now();
     let in_window = w.in_window(ex.start);
 
@@ -433,11 +481,12 @@ fn on_exchange_done(sched: &mut Scheduler<Ev>, w: &mut World, ex: PendingExchang
         down: to_outcome(w, ex.down),
         up: to_outcome(w, ex.up),
     };
-    let mut poller = w.poller.take().expect("poller present");
-    poller.on_exchange(&report);
-    w.poller = Some(poller);
+    w.poller
+        .as_mut()
+        .expect("poller present")
+        .on_exchange(&report);
 
-    ensure_wake(sched, w, now);
+    wake_now(sched, w);
 }
 
 fn to_outcome(w: &World, tx: PlannedTx) -> SegmentOutcome {
@@ -492,7 +541,12 @@ fn apply_delivery(w: &mut World, tx: PlannedTx, at: SimTime, in_window: bool, di
     }
 }
 
-fn start_sco(sched: &mut Scheduler<Ev>, w: &mut World, sco_idx: usize, now: SimTime) {
+fn start_sco<Q: PendingEvents<Ev>>(
+    sched: &mut Scheduler<Ev, Q>,
+    w: &mut World,
+    sco_idx: usize,
+    now: SimTime,
+) {
     w.busy_until = now + SLOT_PAIR;
     sched.schedule_at(
         w.busy_until,
@@ -503,7 +557,12 @@ fn start_sco(sched: &mut Scheduler<Ev>, w: &mut World, sco_idx: usize, now: SimT
     );
 }
 
-fn on_sco_done(sched: &mut Scheduler<Ev>, w: &mut World, sco_idx: usize, start: SimTime) {
+fn on_sco_done<Q: PendingEvents<Ev>>(
+    sched: &mut Scheduler<Ev, Q>,
+    w: &mut World,
+    sco_idx: usize,
+    start: SimTime,
+) {
     let now = sched.now();
     let in_window = w.in_window(start);
     if in_window {
@@ -542,7 +601,7 @@ fn on_sco_done(sched: &mut Scheduler<Ev>, w: &mut World, sco_idx: usize, start: 
         // The reservation burns its slots regardless.
         let _ = w.channel.deliver(ty, 0);
     }
-    ensure_wake(sched, w, now);
+    wake_now(sched, w);
 }
 
 /// A configured piconet simulation, ready to run.
@@ -578,13 +637,71 @@ fn on_sco_done(sched: &mut Scheduler<Ev>, w: &mut World, sco_idx: usize, start: 
 /// assert!(report.throughput_kbps(FlowId(1)) > 60.0);
 /// ```
 pub struct PiconetSim {
-    sim: Simulator<World, Ev>,
+    sim: Engine,
     started: bool,
+}
+
+/// Selects the pending-event structure backing a [`PiconetSim`] run.
+///
+/// Production runs use the timing wheel; the heap exists so differential
+/// tests can demand byte-identical [`RunReport`]s from both backends.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum EventQueueBackend {
+    /// The hierarchical timing wheel ([`btgs_des::EventQueue`]).
+    #[default]
+    TimingWheel,
+    /// The `BinaryHeap` reference ([`btgs_des::HeapEventQueue`]).
+    BinaryHeap,
+}
+
+/// The simulator monomorphised per queue backend: the run loop is matched
+/// once, so backend selection costs nothing per event.
+enum Engine {
+    Wheel(Simulator<World, Ev, EventQueue<Ev>>),
+    Heap(Simulator<World, Ev, HeapEventQueue<Ev>>),
+}
+
+impl Engine {
+    fn world_mut(&mut self) -> &mut World {
+        match self {
+            Engine::Wheel(s) => s.state_mut(),
+            Engine::Heap(s) => s.state_mut(),
+        }
+    }
+}
+
+/// Seeds the initial arrivals and wake-up, then drives the run loop to
+/// `horizon`, invoking `probe` at `checkpoint` and again when the loop
+/// finishes.
+fn drive<Q: PendingEvents<Ev>>(
+    sim: &mut Simulator<World, Ev, Q>,
+    checkpoint: SimTime,
+    horizon: SimTime,
+    probe: &mut dyn FnMut(),
+) {
+    // Seed initial arrivals, then the first master wake-up; same-time
+    // events fire in scheduling order, so packets arriving at t = 0 are
+    // already queued when the master makes its first decision.
+    let n_sources = sim.state().sources.len();
+    for source_idx in 0..n_sources {
+        if let Some(pkt) = sim.state_mut().sources[source_idx].source.next_packet() {
+            sim.scheduler_mut()
+                .schedule_at(pkt.arrival, Ev::Arrival { source_idx, pkt });
+        }
+    }
+    sim.scheduler_mut().schedule_at(SimTime::ZERO, Ev::Wake);
+    // The initial Wake is tracked manually (ensure_wake was not used).
+    sim.state_mut().wake = None;
+
+    sim.run_until(checkpoint, handle);
+    probe();
+    sim.run_until(horizon, handle);
+    probe();
 }
 
 impl PiconetSim {
     /// Builds a simulation from a validated configuration, a poller and a
-    /// channel model.
+    /// channel model, backed by the default timing-wheel event queue.
     ///
     /// # Errors
     ///
@@ -594,13 +711,28 @@ impl PiconetSim {
         poller: Box<dyn Poller>,
         channel: Box<dyn ChannelModel>,
     ) -> Result<PiconetSim, PiconetError> {
+        PiconetSim::with_backend(config, poller, channel, EventQueueBackend::TimingWheel)
+    }
+
+    /// Builds a simulation on an explicit event-queue backend (differential
+    /// testing of the wheel against the heap reference).
+    ///
+    /// # Errors
+    ///
+    /// Returns the configuration's validation error, if any.
+    pub fn with_backend(
+        config: PiconetConfig,
+        poller: Box<dyn Poller>,
+        channel: Box<dyn ChannelModel>,
+        backend: EventQueueBackend,
+    ) -> Result<PiconetSim, PiconetError> {
         config.validate()?;
         // `config.validate()` above already ran `validate_flows`.
         let table = FlowTable::from_validated(config.flows.clone());
-        let allowed: Vec<Vec<PacketType>> = table
+        let allowed: Vec<AllowedByCap> = table
             .specs()
             .iter()
-            .map(|f| config.allowed_for(f).to_vec())
+            .map(|f| config.allowed_by_cap_for(f))
             .collect();
         let down_queues = table
             .specs()
@@ -615,7 +747,13 @@ impl PiconetSim {
         let reports = table
             .specs()
             .iter()
-            .map(|_| FlowReport::default())
+            .map(|_| {
+                let mut r = FlowReport::default();
+                // Head-room so early in-window samples never grow the
+                // buffer mid-run (it doubles amortized beyond this).
+                r.delay.reserve(1024);
+                r
+            })
             .collect();
         let sco = config
             .sco
@@ -623,7 +761,13 @@ impl PiconetSim {
             .map(|b| ScoRt {
                 binding: b.clone(),
                 queue: FlowQueue::new(),
-                report: FlowReport::default(),
+                report: {
+                    let mut r = FlowReport::default();
+                    // Voice samples arrive every T_sco; same head-room as
+                    // the ACL reports so recording stays allocation-free.
+                    r.delay.reserve(4096);
+                    r
+                },
             })
             .collect();
         let world = World {
@@ -637,6 +781,8 @@ impl PiconetSim {
             poller: Some(poller),
             channel,
             sco,
+            sco_cache: None,
+            pending_exchange: None,
             busy_until: SimTime::ZERO,
             wake: None,
             warmup: SimTime::ZERO + config.warmup,
@@ -644,8 +790,16 @@ impl PiconetSim {
             gs_polls: PollCounters::default(),
             be_polls: PollCounters::default(),
         };
+        let sim = match backend {
+            EventQueueBackend::TimingWheel => {
+                Engine::Wheel(Simulator::with_queue(world, EventQueue::new()))
+            }
+            EventQueueBackend::BinaryHeap => {
+                Engine::Heap(Simulator::with_queue(world, HeapEventQueue::new()))
+            }
+        };
         Ok(PiconetSim {
-            sim: Simulator::new(world),
+            sim,
             started: false,
         })
     }
@@ -657,7 +811,7 @@ impl PiconetSim {
     /// Returns an error if the flow id is unknown or already has a source.
     pub fn add_source(&mut self, source: Box<dyn Source>) -> Result<(), PiconetError> {
         let id = source.flow();
-        let w = self.sim.state_mut();
+        let w = self.sim.world_mut();
         let target = if let Some(idx) = w.table.idx_of(id) {
             Target::Flow(idx.get())
         } else if let Some(idx) = w.sco.iter().position(|s| s.binding.voice_flow == Some(id)) {
@@ -678,8 +832,30 @@ impl PiconetSim {
     ///
     /// Returns an error if any configured flow lacks a source or the
     /// simulation was already run.
-    pub fn run(mut self, horizon: SimTime) -> Result<RunReport, PiconetError> {
-        let w = self.sim.state_mut();
+    pub fn run(self, horizon: SimTime) -> Result<RunReport, PiconetError> {
+        self.run_probed(horizon, horizon, &mut || {})
+    }
+
+    /// Runs to `horizon`, invoking `probe` when the clock reaches
+    /// `checkpoint` and once more when the run loop finishes (before report
+    /// assembly).
+    ///
+    /// The allocation-counting benches use this to bracket the steady-state
+    /// window: the first call snapshots the allocator counters after warm-up
+    /// growth has settled, the second reads them before the report's own
+    /// allocations happen.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if any configured flow lacks a source or the
+    /// simulation was already run.
+    pub fn run_probed(
+        mut self,
+        checkpoint: SimTime,
+        horizon: SimTime,
+        probe: &mut dyn FnMut(),
+    ) -> Result<RunReport, PiconetError> {
+        let w = self.sim.world_mut();
         if self.started {
             return Err(PiconetError("simulation already ran".into()));
         }
@@ -703,29 +879,16 @@ impl PiconetSim {
         }
         self.started = true;
 
-        // Seed initial arrivals, then the first master wake-up; same-time
-        // events fire in scheduling order, so packets arriving at t = 0 are
-        // already queued when the master makes its first decision.
-        let n_sources = self.sim.state().sources.len();
-        for source_idx in 0..n_sources {
-            if let Some(pkt) = self.sim.state_mut().sources[source_idx]
-                .source
-                .next_packet()
-            {
-                self.sim
-                    .scheduler_mut()
-                    .schedule_at(pkt.arrival, Ev::Arrival { source_idx, pkt });
+        let (events_processed, w) = match self.sim {
+            Engine::Wheel(mut sim) => {
+                drive(&mut sim, checkpoint, horizon, probe);
+                (sim.events_processed(), sim.into_state())
             }
-        }
-        self.sim
-            .scheduler_mut()
-            .schedule_at(SimTime::ZERO, Ev::Wake);
-        // The initial Wake is tracked manually (ensure_wake was not used).
-        self.sim.state_mut().wake = None;
-
-        self.sim.run_until(horizon, handle);
-
-        let w = self.sim.into_state();
+            Engine::Heap(mut sim) => {
+                drive(&mut sim, checkpoint, horizon, probe);
+                (sim.events_processed(), sim.into_state())
+            }
+        };
         let mut per_flow = BTreeMap::new();
         for (idx, f) in w.table.specs().iter().enumerate() {
             per_flow.insert(f.id, w.reports[idx].clone());
@@ -746,6 +909,7 @@ impl PiconetSim {
             ledger: w.ledger,
             gs_polls: w.gs_polls,
             be_polls: w.be_polls,
+            events_processed,
             poller: w.poller.expect("poller present").name().to_owned(),
         })
     }

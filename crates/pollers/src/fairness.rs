@@ -4,9 +4,17 @@
 //! against its fair share. The tracker below measures service in slots (the
 //! true currency of a TDD piconet) and reports each slave's deficit against
 //! a weighted equal split of everything served so far.
+//!
+//! Storage is dense per-slave arrays indexed by the 3-bit active member
+//! address (a piconet holds at most seven slaves), so every query on the
+//! poller hot path is a couple of array loads — no map walks, no
+//! allocation. Iteration stays in ascending address order, matching the
+//! ordered-map behaviour this replaced bit for bit.
 
 use btgs_baseband::AmAddr;
-use std::collections::BTreeMap;
+
+/// One more than the highest active member address (slot 0 is unused).
+const SLOTS: usize = AmAddr::MAX_SLAVES + 1;
 
 /// Tracks per-slave service and computes fairness deficits.
 ///
@@ -26,12 +34,25 @@ use std::collections::BTreeMap;
 /// assert_eq!(t.deficit(s2), 3.0);
 /// assert_eq!(t.deficit(s1), -3.0);
 /// ```
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug)]
 pub struct FairShareTracker {
-    served: BTreeMap<AmAddr, u64>,
-    weights: BTreeMap<AmAddr, f64>,
+    served: [u64; SLOTS],
+    weights: [f64; SLOTS],
+    registered: [bool; SLOTS],
     total_served: u64,
     total_weight: f64,
+}
+
+impl Default for FairShareTracker {
+    fn default() -> Self {
+        FairShareTracker {
+            served: [0; SLOTS],
+            weights: [0.0; SLOTS],
+            registered: [false; SLOTS],
+            total_served: 0,
+            total_weight: 0.0,
+        }
+    }
 }
 
 impl FairShareTracker {
@@ -51,11 +72,13 @@ impl FairShareTracker {
             weight.is_finite() && weight > 0.0,
             "weight must be positive and finite, got {weight}"
         );
-        if let Some(old) = self.weights.insert(slave, weight) {
-            self.total_weight -= old;
+        let i = slave.get() as usize;
+        if self.registered[i] {
+            self.total_weight -= self.weights[i];
         }
+        self.registered[i] = true;
+        self.weights[i] = weight;
         self.total_weight += weight;
-        self.served.entry(slave).or_insert(0);
     }
 
     /// Records `slots` of service delivered to `slave`.
@@ -64,24 +87,27 @@ impl FairShareTracker {
     ///
     /// Panics if the slave was not registered.
     pub fn record(&mut self, slave: AmAddr, slots: u64) {
-        let entry = self
-            .served
-            .get_mut(&slave)
-            .expect("slave must be registered before recording service");
-        *entry += slots;
+        let i = slave.get() as usize;
+        assert!(
+            self.registered[i],
+            "slave must be registered before recording service"
+        );
+        self.served[i] += slots;
         self.total_served += slots;
     }
 
     /// Slots served to `slave` so far.
     pub fn served(&self, slave: AmAddr) -> u64 {
-        self.served.get(&slave).copied().unwrap_or(0)
+        self.served[slave.get() as usize]
     }
 
     /// The slave's fair share of everything served so far.
     pub fn fair_share(&self, slave: AmAddr) -> f64 {
-        match self.weights.get(&slave) {
-            Some(w) if self.total_weight > 0.0 => self.total_served as f64 * w / self.total_weight,
-            _ => 0.0,
+        let i = slave.get() as usize;
+        if self.registered[i] && self.total_weight > 0.0 {
+            self.total_served as f64 * self.weights[i] / self.total_weight
+        } else {
+            0.0
         }
     }
 
@@ -105,7 +131,9 @@ impl FairShareTracker {
 
     /// The registered slaves, in address order.
     pub fn slaves(&self) -> impl Iterator<Item = AmAddr> + '_ {
-        self.weights.keys().copied()
+        (1..SLOTS as u8)
+            .filter(|&n| self.registered[n as usize])
+            .map(|n| AmAddr::new(n).expect("1..=7 is a valid slave address"))
     }
 }
 
@@ -176,6 +204,16 @@ mod tests {
         t.record(s(5), 11);
         let total: f64 = (1..=5).map(|n| t.deficit(s(n))).sum();
         assert!(total.abs() < 1e-9, "deficits must sum to 0, got {total}");
+    }
+
+    #[test]
+    fn slaves_iterate_in_address_order() {
+        let mut t = FairShareTracker::new();
+        t.register(s(5), 1.0);
+        t.register(s(2), 1.0);
+        t.register(s(7), 1.0);
+        let order: Vec<u8> = t.slaves().map(|a| a.get()).collect();
+        assert_eq!(order, vec![2, 5, 7]);
     }
 
     #[test]

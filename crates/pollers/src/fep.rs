@@ -10,17 +10,27 @@
 use btgs_baseband::{AmAddr, LogicalChannel};
 use btgs_des::{SimDuration, SimTime};
 use btgs_piconet::{ExchangeReport, MasterView, PollDecision, Poller};
-use std::collections::BTreeMap;
+
+/// One more than the highest active member address (slot 0 is unused).
+const SLOTS: usize = AmAddr::MAX_SLAVES + 1;
 
 /// Fair Exhaustive Poller for best-effort traffic.
+///
+/// Per-slave state lives in dense arrays indexed by the 3-bit active member
+/// address; every scan runs in ascending address order, matching the
+/// ordered maps this replaced decision for decision — without their node
+/// allocations on the hot path.
 #[derive(Clone, Debug)]
 pub struct FepPoller {
     probe_interval: SimDuration,
-    /// Per slave: `true` if on the active list.
-    active: BTreeMap<AmAddr, bool>,
-    /// Last time each inactive slave was probed.
-    last_probe: BTreeMap<AmAddr, SimTime>,
+    /// Per slave: registered (`Some`) and on the active list (`true`)?
+    active: [Option<bool>; SLOTS],
+    /// Last time each slave was probed.
+    last_probe: [SimTime; SLOTS],
     cursor: usize,
+    /// Flow count of the view when the slave set was last synced (flow
+    /// sets are static per run).
+    synced_flows: usize,
 }
 
 impl FepPoller {
@@ -33,47 +43,67 @@ impl FepPoller {
         assert!(!probe_interval.is_zero(), "probe interval must be positive");
         FepPoller {
             probe_interval,
-            active: BTreeMap::new(),
-            last_probe: BTreeMap::new(),
+            active: [None; SLOTS],
+            last_probe: [SimTime::ZERO; SLOTS],
             cursor: 0,
+            synced_flows: 0,
         }
     }
 
+    /// Registers the view's best-effort slaves.
+    ///
+    /// A simulation's flow set is fixed for the whole run, so this runs
+    /// once (guarded by the flow count). A poller instance must not be
+    /// reused across runs with different flow sets — registrations from
+    /// the old set would persist; build a fresh poller per run, as
+    /// `PiconetSim` does.
     fn sync_slaves(&mut self, view: &MasterView<'_>) {
+        if self.synced_flows == view.flows().len() {
+            return;
+        }
         for f in view.flows() {
             if f.channel == LogicalChannel::BestEffort {
-                self.active.entry(f.slave).or_insert(true);
-                self.last_probe.entry(f.slave).or_insert(SimTime::ZERO);
+                let slot = &mut self.active[f.slave.get() as usize];
+                if slot.is_none() {
+                    *slot = Some(true);
+                }
             }
         }
+        self.synced_flows = view.flows().len();
+    }
+
+    /// The registered slaves in address order.
+    fn slaves(&self) -> impl Iterator<Item = (AmAddr, bool)> + '_ {
+        (1..SLOTS as u8).filter_map(move |n| {
+            self.active[n as usize].map(|a| (AmAddr::new(n).expect("1..=7 is a valid address"), a))
+        })
     }
 
     /// `true` if the slave is currently on the active list (test hook).
     pub fn is_active(&self, slave: AmAddr) -> bool {
-        self.active.get(&slave).copied().unwrap_or(false)
+        self.active[slave.get() as usize].unwrap_or(false)
     }
 }
 
 impl Poller for FepPoller {
     fn decide(&mut self, now: SimTime, view: &MasterView<'_>) -> PollDecision {
         self.sync_slaves(view);
-        if self.active.is_empty() {
+        if self.synced_flows == 0 || self.slaves().next().is_none() {
             return PollDecision::Sleep;
         }
         // Promote slaves with known downlink data (O(1) queue peeks via the
         // dense flow table).
         for (idx, f) in view.table().iter() {
             if f.channel == LogicalChannel::BestEffort && view.downlink_has_data_at(idx, now) {
-                self.active.insert(f.slave, true);
+                self.active[f.slave.get() as usize] = Some(true);
             }
         }
         // Pick the cursor-th active slave without materialising the active
         // list (at most 7 slaves; two cheap passes beat an allocation).
-        let n_active = self.active.values().filter(|a| **a).count();
+        let n_active = self.slaves().filter(|(_, a)| *a).count();
         if n_active > 0 {
-            let slave = *self
-                .active
-                .iter()
+            let slave = self
+                .slaves()
                 .filter_map(|(s, a)| a.then_some(s))
                 .nth(self.cursor % n_active)
                 .expect("n_active counted above");
@@ -83,11 +113,12 @@ impl Poller for FepPoller {
             };
         }
         // All inactive: probe the most overdue slave, or idle until the next
-        // probe is due.
-        let (&slave, &last) = self
-            .last_probe
-            .iter()
-            .min_by_key(|(_, &t)| t)
+        // probe is due. Strict `<` keeps the first (lowest-address) slave on
+        // ties, exactly as the ordered-map min did.
+        let (slave, last) = self
+            .slaves()
+            .map(|(s, _)| (s, self.last_probe[s.get() as usize]))
+            .reduce(|best, cand| if cand.1 < best.1 { cand } else { best })
             .expect("non-empty");
         let due = last + self.probe_interval;
         if due <= now {
@@ -104,11 +135,11 @@ impl Poller for FepPoller {
         if report.channel != LogicalChannel::BestEffort {
             return;
         }
-        self.last_probe.insert(report.slave, report.end);
+        self.last_probe[report.slave.get() as usize] = report.end;
         if report.successful() {
-            self.active.insert(report.slave, true);
+            self.active[report.slave.get() as usize] = Some(true);
         } else {
-            self.active.insert(report.slave, false);
+            self.active[report.slave.get() as usize] = Some(false);
             // Advance past the demoted slave.
             self.cursor = self.cursor.wrapping_add(1);
         }

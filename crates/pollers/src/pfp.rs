@@ -26,14 +26,35 @@ use crate::predictor::AvailabilityPredictor;
 use btgs_baseband::{AmAddr, LogicalChannel};
 use btgs_des::{SimDuration, SimTime};
 use btgs_piconet::{ExchangeReport, MasterView, PollDecision, Poller, SegmentOutcome};
-use std::collections::BTreeMap;
+
+/// One more than the highest active member address (slot 0 is unused).
+const SLOTS: usize = AmAddr::MAX_SLAVES + 1;
 
 /// Predictive Fair Poller for the best-effort logical channel.
+///
+/// Per-slave state lives in dense arrays indexed by the 3-bit active member
+/// address, and the registered-slave list is kept sorted, so a decision is
+/// a handful of array loads per slave — the ordered-map version this
+/// replaced walked `BTreeMap`s several times per poll. Decision order is
+/// unchanged (ascending address, exactly the old map iteration order).
 #[derive(Clone, Debug)]
 pub struct PfpBePoller {
     threshold: f64,
     expected_interval: SimDuration,
-    predictors: BTreeMap<AmAddr, AvailabilityPredictor>,
+    predictors: [Option<AvailabilityPredictor>; SLOTS],
+    /// Registered slaves in ascending address order.
+    slaves: Vec<AmAddr>,
+    /// Whether a slave carries at least one best-effort uplink flow
+    /// (static per run; cached by [`PfpBePoller::sync`]).
+    has_uplink: [bool; SLOTS],
+    /// Each slave's best-effort *downlink* flow indices into the
+    /// [`btgs_piconet::FlowTable`] (static per run; cached by `sync`).
+    /// Downlink queues live at the master, so availability checks walk
+    /// exactly these, with no channel/direction re-filtering per decision.
+    down_flows: [Vec<btgs_piconet::FlowIdx>; SLOTS],
+    /// Flow count of the view when `sync` last ran. The flow set of a
+    /// simulation is fixed, so an unchanged count means nothing to do.
+    synced_flows: usize,
     fairness: FairShareTracker,
 }
 
@@ -64,54 +85,74 @@ impl PfpBePoller {
         PfpBePoller {
             threshold,
             expected_interval,
-            predictors: BTreeMap::new(),
+            predictors: [const { None }; SLOTS],
+            slaves: Vec::new(),
+            has_uplink: [false; SLOTS],
+            down_flows: [const { Vec::new() }; SLOTS],
+            synced_flows: 0,
             fairness: FairShareTracker::new(),
         }
     }
 
+    /// Caches per-slave flow structure from the view.
+    ///
+    /// A simulation's flow set is fixed for the whole run, so this runs
+    /// once (guarded by the flow count). A poller instance must not be
+    /// reused against a *rebuilt* flow table — cached [`FlowIdx`] values
+    /// would dangle; build a fresh poller per run, as `PiconetSim` does.
+    ///
+    /// [`FlowIdx`]: btgs_piconet::FlowIdx
     fn sync(&mut self, view: &MasterView<'_>) {
-        for f in view.flows() {
-            if f.channel != LogicalChannel::BestEffort {
-                continue;
+        if self.synced_flows == view.flows().len() {
+            return; // the flow set of a run is static
+        }
+        for slot in &mut self.down_flows {
+            slot.clear();
+        }
+        self.has_uplink = [false; SLOTS];
+        for &slave in view.slaves() {
+            for &idx in view.flows_of(slave) {
+                let f = view.table().spec(idx);
+                if f.channel != LogicalChannel::BestEffort {
+                    continue;
+                }
+                self.register_slave(f.slave);
+                if f.direction.is_uplink() {
+                    self.has_uplink[f.slave.get() as usize] = true;
+                } else {
+                    self.down_flows[f.slave.get() as usize].push(idx);
+                }
             }
-            if !self.predictors.contains_key(&f.slave) {
-                self.predictors
-                    .insert(f.slave, AvailabilityPredictor::new(self.expected_interval));
-                self.fairness.register(f.slave, 1.0);
-            }
+        }
+        self.synced_flows = view.flows().len();
+    }
+
+    fn register_slave(&mut self, slave: AmAddr) {
+        let i = slave.get() as usize;
+        if self.predictors[i].is_none() {
+            self.predictors[i] = Some(AvailabilityPredictor::new(self.expected_interval));
+            self.fairness.register(slave, 1.0);
+            let pos = self.slaves.partition_point(|s| *s < slave);
+            self.slaves.insert(pos, slave);
         }
     }
 
     /// The probability that polling `slave` at `now` returns data in either
-    /// direction. Walks only the slave's own (precomputed) flow list.
+    /// direction. Walks only the slave's precomputed BE downlink indices.
     fn availability(&self, slave: AmAddr, now: SimTime, view: &MasterView<'_>) -> f64 {
-        let mut has_uplink = false;
-        for &idx in view.flows_of(slave) {
-            let f = view.table().spec(idx);
-            if f.channel != LogicalChannel::BestEffort {
-                continue;
-            }
-            if f.direction.is_uplink() {
-                has_uplink = true;
-            } else if view.downlink_has_data_at(idx, now) {
+        let i = slave.get() as usize;
+        for &idx in &self.down_flows[i] {
+            if view.downlink_has_data_at(idx, now) {
                 // Downlink queues are at the master: exact knowledge.
                 return 1.0;
             }
         }
-        if !has_uplink {
+        if !self.has_uplink[i] {
             return 0.0;
         }
-        self.predictors
-            .get(&slave)
+        self.predictors[i]
+            .as_ref()
             .map_or(0.0, |p| p.probability_at(now))
-    }
-
-    /// `true` if the slave has at least one best-effort uplink flow.
-    fn has_be_uplink(slave: AmAddr, view: &MasterView<'_>) -> bool {
-        view.flows_of(slave).iter().any(|&idx| {
-            let f = view.table().spec(idx);
-            f.channel == LogicalChannel::BestEffort && f.direction.is_uplink()
-        })
     }
 
     /// Test hook: the current fairness deficit of a slave in slots.
@@ -123,12 +164,12 @@ impl PfpBePoller {
 impl Poller for PfpBePoller {
     fn decide(&mut self, now: SimTime, view: &MasterView<'_>) -> PollDecision {
         self.sync(view);
-        if self.predictors.is_empty() {
+        if self.slaves.is_empty() {
             return PollDecision::Sleep;
         }
         // Candidates that clear the availability threshold, by deficit.
         let mut best: Option<(f64, f64, AmAddr)> = None;
-        for &slave in self.predictors.keys() {
+        for &slave in &self.slaves {
             let p = self.availability(slave, now, view);
             if p < self.threshold {
                 continue;
@@ -149,10 +190,11 @@ impl Poller for PfpBePoller {
         // threshold crossing. Slaves without uplink flows never cross (their
         // downlink arrivals wake the master through the arrival path).
         let next = self
-            .predictors
+            .slaves
             .iter()
-            .filter(|(slave, _)| Self::has_be_uplink(**slave, view))
-            .map(|(_, p)| p.time_of_probability(self.threshold))
+            .filter(|slave| self.has_uplink[slave.get() as usize])
+            .filter_map(|slave| self.predictors[slave.get() as usize].as_ref())
+            .map(|p| p.time_of_probability(self.threshold))
             .min();
         match next {
             Some(t) if t > now => PollDecision::Idle { until: t },
@@ -161,8 +203,8 @@ impl Poller for PfpBePoller {
                 // as above-threshold next decision round; poll the most
                 // underserved slave directly to make progress.
                 let slave = self
-                    .predictors
-                    .keys()
+                    .slaves
+                    .iter()
                     .copied()
                     .max_by(|a, b| {
                         self.fairness
@@ -183,13 +225,12 @@ impl Poller for PfpBePoller {
         if report.channel != LogicalChannel::BestEffort {
             return;
         }
-        self.sync_slave(report.slave);
+        self.register_slave(report.slave);
         let slots = report.down.slots() + report.up.slots();
         self.fairness.record(report.slave, slots);
-        let predictor = self
-            .predictors
-            .get_mut(&report.slave)
-            .expect("registered in sync_slave");
+        let predictor = self.predictors[report.slave.get() as usize]
+            .as_mut()
+            .expect("registered above");
         match report.up {
             SegmentOutcome::Data { segment, .. } => {
                 // `is_last` approximates "queue drained" — the master cannot
@@ -205,16 +246,6 @@ impl Poller for PfpBePoller {
 
     fn name(&self) -> &'static str {
         "pfp-be"
-    }
-}
-
-impl PfpBePoller {
-    fn sync_slave(&mut self, slave: AmAddr) {
-        if !self.predictors.contains_key(&slave) {
-            self.predictors
-                .insert(slave, AvailabilityPredictor::new(self.expected_interval));
-            self.fairness.register(slave, 1.0);
-        }
     }
 }
 
