@@ -68,6 +68,68 @@ impl TryFrom<u8> for AmAddr {
     }
 }
 
+/// Identifier of one piconet within a scatternet.
+///
+/// [`AmAddr`]s are scoped per piconet — the same 3-bit address names
+/// different devices in different piconets — so scatternet-level routing
+/// keys on the `(PiconetId, AmAddr)` pair (see [`ScopedSlave`]).
+///
+/// # Examples
+///
+/// ```
+/// use btgs_baseband::{AmAddr, PiconetId, ScopedSlave};
+///
+/// let p0 = PiconetId(0);
+/// let bridge = ScopedSlave::new(p0, AmAddr::new(7).unwrap());
+/// assert_eq!(bridge.piconet, p0);
+/// assert_eq!(bridge.to_string(), "P0/S7");
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct PiconetId(pub u8);
+
+impl PiconetId {
+    /// Zero-based index, for addressing per-piconet arrays.
+    #[inline]
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for PiconetId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "PiconetId({})", self.0)
+    }
+}
+
+impl fmt::Display for PiconetId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "P{}", self.0)
+    }
+}
+
+/// A slave address scoped to its piconet: the device identity a scatternet
+/// routes on.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ScopedSlave {
+    /// The piconet the address is valid in.
+    pub piconet: PiconetId,
+    /// The 3-bit active member address within that piconet.
+    pub slave: AmAddr,
+}
+
+impl ScopedSlave {
+    /// Creates a scoped slave address.
+    pub const fn new(piconet: PiconetId, slave: AmAddr) -> ScopedSlave {
+        ScopedSlave { piconet, slave }
+    }
+}
+
+impl fmt::Display for ScopedSlave {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}/{}", self.piconet, self.slave)
+    }
+}
+
 /// Error returned when converting an out-of-range value to an [`AmAddr`].
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct InvalidAmAddr(pub u8);

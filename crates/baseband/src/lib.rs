@@ -16,6 +16,9 @@
 //!   [`BerChannel`] for the future-work, non-ideal-radio benches.
 //! * [`ScoLink`]: reserved-slot voice links, used by the paper's
 //!   SCO-vs-poller comparison.
+//! * [`PiconetId`] / [`ScopedSlave`] / [`PresenceWindow`]: per-piconet
+//!   address scoping and deterministic bridge rendezvous schedules for the
+//!   scatternet layer (the paper's future-work direction).
 //!
 //! # Examples
 //!
@@ -36,13 +39,15 @@ mod address;
 mod channel;
 mod link;
 mod packet;
+mod presence;
 mod sco;
 pub mod slot;
 
-pub use address::{AmAddr, InvalidAmAddr};
+pub use address::{AmAddr, InvalidAmAddr, PiconetId, ScopedSlave};
 pub use channel::{BerChannel, ChannelModel, IdealChannel};
 pub use link::{Direction, LinkType, LogicalChannel};
 pub use packet::{best_fit, largest, PacketType};
+pub use presence::{InvalidPresenceWindow, PresenceWindow};
 pub use sco::ScoLink;
 pub use slot::{
     in_even_slot, next_master_tx_start, slot_index, slots, SLOT, SLOTS_PER_SECOND, SLOT_PAIR,

@@ -1,0 +1,229 @@
+//! Bridge presence: deterministic rendezvous schedules for scatternet
+//! bridge slaves.
+//!
+//! A scatternet bridge is one radio time-sharing between piconets: while it
+//! listens on piconet A's hopping sequence it is deaf to piconet B, so each
+//! master must know *when* the bridge is reachable. This module models the
+//! simplest deterministic rendezvous scheme — a periodic cycle with one
+//! contiguous window per piconet — which is all the delay analysis needs:
+//! the residence time of a relayed packet is the distance to the next
+//! window start, a pure function of the schedule.
+//!
+//! Presence is evaluated with integer slot arithmetic only (no allocation,
+//! no floating point), so pollers can consult it on their hot decision
+//! path.
+
+use crate::slot::SLOT_PAIR;
+use btgs_des::{SimDuration, SimTime};
+use core::fmt;
+
+/// A periodic presence window: within every cycle of length `cycle`, the
+/// device is present during `[offset, offset + len)` (and absent for the
+/// rest of the cycle).
+///
+/// All three durations must be multiples of the master TX period
+/// ([`SLOT_PAIR`]) so window edges coincide with poll decision points.
+///
+/// # Examples
+///
+/// ```
+/// use btgs_baseband::PresenceWindow;
+/// use btgs_des::{SimDuration, SimTime};
+///
+/// // In a 20 ms cycle, present during the first half.
+/// let w = PresenceWindow::new(
+///     SimDuration::from_millis(20),
+///     SimDuration::ZERO,
+///     SimDuration::from_millis(10),
+/// ).unwrap();
+/// assert!(w.contains(SimTime::from_millis(3)));
+/// assert!(!w.contains(SimTime::from_millis(12)));
+/// // Next reachable instant from inside the absence gap.
+/// assert_eq!(w.next_present(SimTime::from_millis(12)), SimTime::from_millis(20));
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct PresenceWindow {
+    cycle_ns: u64,
+    offset_ns: u64,
+    len_ns: u64,
+}
+
+/// Error raised for ill-formed presence windows.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct InvalidPresenceWindow(pub String);
+
+impl fmt::Display for InvalidPresenceWindow {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid presence window: {}", self.0)
+    }
+}
+
+impl std::error::Error for InvalidPresenceWindow {}
+
+impl PresenceWindow {
+    /// Creates a window of `len` starting `offset` into every `cycle`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error unless `0 < len`, `offset + len <= cycle`, and all
+    /// three are multiples of [`SLOT_PAIR`].
+    pub fn new(
+        cycle: SimDuration,
+        offset: SimDuration,
+        len: SimDuration,
+    ) -> Result<PresenceWindow, InvalidPresenceWindow> {
+        let pair = SLOT_PAIR.as_nanos();
+        for (name, v) in [("cycle", cycle), ("offset", offset), ("len", len)] {
+            if v.as_nanos() % pair != 0 {
+                return Err(InvalidPresenceWindow(format!(
+                    "{name} {v} is not a multiple of the 1.25 ms slot pair"
+                )));
+            }
+        }
+        if len.is_zero() {
+            return Err(InvalidPresenceWindow("window length is zero".into()));
+        }
+        if offset + len > cycle {
+            return Err(InvalidPresenceWindow(format!(
+                "window [{offset}, {offset}+{len}) overruns the {cycle} cycle"
+            )));
+        }
+        Ok(PresenceWindow {
+            cycle_ns: cycle.as_nanos(),
+            offset_ns: offset.as_nanos(),
+            len_ns: len.as_nanos(),
+        })
+    }
+
+    /// The rendezvous cycle length.
+    pub fn cycle(&self) -> SimDuration {
+        SimDuration::from_nanos(self.cycle_ns)
+    }
+
+    /// The window start offset within the cycle.
+    pub fn offset(&self) -> SimDuration {
+        SimDuration::from_nanos(self.offset_ns)
+    }
+
+    /// The window length.
+    pub fn len(&self) -> SimDuration {
+        SimDuration::from_nanos(self.len_ns)
+    }
+
+    /// Always `false`: a valid window has positive length. Present for
+    /// `len`/`is_empty` API symmetry.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Phase of instant `t` within the cycle, in nanoseconds.
+    #[inline]
+    fn phase(&self, t: SimTime) -> u64 {
+        t.as_nanos() % self.cycle_ns
+    }
+
+    /// `true` if the device is present at instant `t`.
+    #[inline]
+    pub fn contains(&self, t: SimTime) -> bool {
+        let p = self.phase(t);
+        p >= self.offset_ns && p < self.offset_ns + self.len_ns
+    }
+
+    /// The earliest instant at or after `t` at which the device is present
+    /// (`t` itself when already inside the window).
+    #[inline]
+    pub fn next_present(&self, t: SimTime) -> SimTime {
+        let p = self.phase(t);
+        if p >= self.offset_ns && p < self.offset_ns + self.len_ns {
+            return t;
+        }
+        let wait = if p < self.offset_ns {
+            self.offset_ns - p
+        } else {
+            self.cycle_ns - p + self.offset_ns
+        };
+        t + SimDuration::from_nanos(wait)
+    }
+
+    /// Time remaining in the current window at instant `t`, or zero when
+    /// absent. An exchange with the bridge must fit into this remainder.
+    #[inline]
+    pub fn remaining(&self, t: SimTime) -> SimDuration {
+        let p = self.phase(t);
+        if p >= self.offset_ns && p < self.offset_ns + self.len_ns {
+            SimDuration::from_nanos(self.offset_ns + self.len_ns - p)
+        } else {
+            SimDuration::ZERO
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ms(v: u64) -> SimDuration {
+        SimDuration::from_millis(v)
+    }
+
+    fn at(v: u64) -> SimTime {
+        SimTime::from_millis(v)
+    }
+
+    #[test]
+    fn validation() {
+        assert!(PresenceWindow::new(ms(20), ms(0), ms(10)).is_ok());
+        // Zero length.
+        assert!(PresenceWindow::new(ms(20), ms(0), ms(0)).is_err());
+        // Overrun.
+        assert!(PresenceWindow::new(ms(20), ms(15), ms(10)).is_err());
+        // Off the slot-pair grid.
+        assert!(PresenceWindow::new(
+            SimDuration::from_micros(20_100),
+            ms(0),
+            SimDuration::from_micros(10_050)
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn containment_and_boundaries() {
+        let w = PresenceWindow::new(ms(20), ms(5), ms(10)).unwrap();
+        assert!(!w.contains(at(0)));
+        assert!(w.contains(at(5)), "window start is inclusive");
+        assert!(w.contains(at(14)));
+        assert!(!w.contains(at(15)), "window end is exclusive");
+        assert!(!w.contains(at(19)));
+        // Periodicity.
+        assert!(w.contains(at(25)));
+        assert!(!w.contains(at(35)));
+    }
+
+    #[test]
+    fn next_present_waits_for_the_window() {
+        let w = PresenceWindow::new(ms(20), ms(5), ms(10)).unwrap();
+        assert_eq!(w.next_present(at(0)), at(5));
+        assert_eq!(w.next_present(at(5)), at(5), "already present");
+        assert_eq!(w.next_present(at(9)), at(9));
+        assert_eq!(w.next_present(at(15)), at(25), "wrap to the next cycle");
+        assert_eq!(w.next_present(at(22)), at(25));
+    }
+
+    #[test]
+    fn remaining_counts_down_inside_the_window() {
+        let w = PresenceWindow::new(ms(20), ms(5), ms(10)).unwrap();
+        assert_eq!(w.remaining(at(5)), ms(10));
+        assert_eq!(w.remaining(at(12)), ms(3));
+        assert_eq!(w.remaining(at(15)), ms(0));
+        assert_eq!(w.remaining(at(0)), ms(0));
+    }
+
+    #[test]
+    fn full_cycle_window_is_always_present() {
+        let w = PresenceWindow::new(ms(20), ms(0), ms(20)).unwrap();
+        for t in 0..60 {
+            assert!(w.contains(at(t)));
+            assert_eq!(w.next_present(at(t)), at(t));
+        }
+    }
+}

@@ -1,0 +1,54 @@
+//! Macro-benchmark: simulated seconds per wall second for the chained
+//! scatternet scenario (2 and 3 Fig. 4 piconets, one bridged GS flow).
+//!
+//! Throughput is declared in shared-engine events (measured from a probe
+//! run), so the JSON output records events/sec alongside ns/op — the same
+//! convention as `sim_steady`. The single-piconet `sim_steady` numbers are
+//! the baseline: a scatternet run costs roughly the sum of its piconets
+//! plus the (small) relay fabric.
+
+use btgs_bench::microbench::{Criterion, Throughput};
+use btgs_bench::{criterion_group, criterion_main};
+use btgs_core::{PollerKind, ScatternetScenario, ScatternetScenarioParams};
+use btgs_des::{SimDuration, SimTime};
+use std::hint::black_box;
+
+fn params(piconets: u8) -> ScatternetScenarioParams {
+    ScatternetScenarioParams {
+        piconets,
+        delay_requirement: SimDuration::from_millis(40),
+        seed: 1,
+        warmup: SimDuration::from_millis(500),
+        include_be: true,
+        bridge_cycle: SimDuration::from_millis(20),
+    }
+}
+
+fn run(piconets: u8) -> btgs_piconet::ScatternetReport {
+    let scenario = ScatternetScenario::build(params(piconets));
+    scenario
+        .run(PollerKind::PfpGs, SimTime::from_secs(5))
+        .expect("scenario runs")
+}
+
+fn scatternet_throughput(c: &mut Criterion) {
+    // One probe run per scenario supplies the event count for the
+    // events/sec figure (runs are deterministic, so it is exact).
+    let events2 = run(2).events_processed;
+    let events3 = run(3).events_processed;
+
+    let mut group = c.benchmark_group("scatternet_steady");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(events2));
+    group.bench_function("chained2_5s_simulated", |b| {
+        b.iter(|| black_box(run(2).total_throughput_kbps()))
+    });
+    group.throughput(Throughput::Elements(events3));
+    group.bench_function("chained3_5s_simulated", |b| {
+        b.iter(|| black_box(run(3).total_throughput_kbps()))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, scatternet_throughput);
+criterion_main!(benches);

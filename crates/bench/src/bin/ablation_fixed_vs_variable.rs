@@ -17,6 +17,7 @@ fn main() {
 
     let grid = ScenarioGrid {
         pollers: vec![PollerKind::FixedGs, PollerKind::PfpGs],
+        piconets: vec![1],
         seeds: vec![args.seed],
         delay_requirements: [36u64, 40, 46]
             .iter()

@@ -49,6 +49,7 @@ fn main() {
             .iter()
             .map(|(_, imp)| PollerKind::Custom(*imp))
             .collect(),
+        piconets: vec![1],
         seeds: vec![args.seed],
         delay_requirements: vec![SimDuration::from_millis(40)],
         horizon: args.horizon(),

@@ -1,0 +1,167 @@
+//! Appends fresh `BTGS_BENCH_JSON` outputs to the committed `BENCH_*.json`
+//! trajectory files (ROADMAP item: CI keeps the perf trajectory in-repo
+//! instead of only uploading artifacts).
+//!
+//! Usage:
+//!
+//! ```text
+//! bench_trajectory <bench-json-dir> <entry-label> [note]
+//! ```
+//!
+//! For every `BENCH_<name>.json` the microbench harness wrote into
+//! `<bench-json-dir>` (shape `{"bench": ..., "results": [...]}`), the
+//! matching trajectory file `BENCH_<name>.json` in the current directory
+//! gains one entry `{"pr": "<entry-label>", "queue": "<note>", "results":
+//! [...]}`. Missing trajectory files are created with an empty skeleton
+//! first, so new benches self-register. Everything is plain string
+//! surgery on the fixed formats both sides emit — no JSON dependency.
+
+use std::fs;
+use std::path::Path;
+use std::process::ExitCode;
+
+/// Escapes a string for embedding in a JSON string literal. Labels and
+/// notes come from CI shell interpolation; an unescaped quote would
+/// corrupt every committed trajectory file.
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Extracts the `"results": [...]` array (inclusive of brackets) from a
+/// harness output file.
+fn extract_results(payload: &str) -> Option<&str> {
+    let key = "\"results\":";
+    let start = payload.find(key)? + key.len();
+    let rest = &payload[start..];
+    let open = rest.find('[')?;
+    let close = rest.rfind(']')?;
+    Some(rest[open..=close].trim_start_matches('\n'))
+}
+
+/// `true` if the trajectory array between its final brackets already holds
+/// an entry (so the new one needs a separating comma).
+fn trajectory_is_nonempty(file: &str, close: usize) -> bool {
+    let open = file[..close].rfind("\"trajectory\":").and_then(|k| {
+        let rest = &file[k..close];
+        rest.find('[').map(|o| k + o)
+    });
+    match open {
+        Some(o) => !file[o + 1..close].trim().is_empty(),
+        None => false,
+    }
+}
+
+fn append_entry(
+    trajectory_path: &Path,
+    bench: &str,
+    label: &str,
+    note: &str,
+    results: &str,
+) -> Result<(), String> {
+    let skeleton = || {
+        format!(
+            "{{\n\"bench\": \"{bench}\",\n\"comment\": \"Perf trajectory of the {bench} bench. \
+             Entries are appended automatically by CI (crates/bench/src/bin/bench_trajectory.rs); \
+             wall-clock numbers from different machines are not directly comparable - compare \
+             entries from the same host, or in-process twin benches.\",\n\"trajectory\": [\n]\n}}\n"
+        )
+    };
+    // Only a genuinely missing file starts a fresh skeleton; any other
+    // read error aborts — rebuilding from scratch would silently destroy
+    // the committed history this tool exists to preserve.
+    let file = match fs::read_to_string(trajectory_path) {
+        Ok(f) => f,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => skeleton(),
+        Err(e) => return Err(format!("{}: {e}", trajectory_path.display())),
+    };
+    let close = file
+        .rfind(']')
+        .ok_or_else(|| format!("{}: no trajectory array", trajectory_path.display()))?;
+    let sep = if trajectory_is_nonempty(&file, close) {
+        ",\n"
+    } else {
+        ""
+    };
+    // Indent the results array to match the hand-written entries.
+    let indented = results.replace('\n', "\n    ");
+    let (label, note) = (json_escape(label), json_escape(note));
+    let entry = format!(
+        "{sep}  {{\n    \"pr\": \"{label}\",\n    \"queue\": \"{note}\",\n    \"results\": {indented}\n  }}\n"
+    );
+    let mut out = String::with_capacity(file.len() + entry.len());
+    out.push_str(file[..close].trim_end_matches([' ', '\n']));
+    out.push('\n');
+    out.push_str(&entry);
+    out.push_str(&file[close..]);
+    fs::write(trajectory_path, out).map_err(|e| format!("{}: {e}", trajectory_path.display()))
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (dir, label) = match args.as_slice() {
+        [dir, label, ..] => (dir.clone(), label.clone()),
+        _ => {
+            eprintln!("usage: bench_trajectory <bench-json-dir> <entry-label> [note]");
+            return ExitCode::FAILURE;
+        }
+    };
+    let note = args
+        .get(2)
+        .cloned()
+        .unwrap_or_else(|| "appended by CI".to_owned());
+
+    let entries = match fs::read_dir(&dir) {
+        Ok(e) => e,
+        Err(e) => {
+            eprintln!("cannot read {dir}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let mut appended = 0;
+    for entry in entries.flatten() {
+        let name = entry.file_name().to_string_lossy().into_owned();
+        let Some(bench) = name
+            .strip_prefix("BENCH_")
+            .and_then(|n| n.strip_suffix(".json"))
+            .map(str::to_owned)
+        else {
+            continue;
+        };
+        let payload = match fs::read_to_string(entry.path()) {
+            Ok(p) => p,
+            Err(e) => {
+                eprintln!("skipping {name}: {e}");
+                continue;
+            }
+        };
+        let Some(results) = extract_results(&payload) else {
+            eprintln!("skipping {name}: no results array");
+            continue;
+        };
+        let target = Path::new(&format!("BENCH_{bench}.json")).to_path_buf();
+        match append_entry(&target, &bench, &label, &note, results) {
+            Ok(()) => {
+                println!("appended '{label}' to {}", target.display());
+                appended += 1;
+            }
+            Err(e) => {
+                eprintln!("failed on {name}: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    println!("{appended} trajectory file(s) updated");
+    ExitCode::SUCCESS
+}

@@ -38,8 +38,7 @@ fn main() {
                 PollerKind::PfpGs,
             );
             for plan in &point.scenario.gs_plans {
-                let r = point.report.flow(plan.request.id);
-                let mut delay = r.delay.clone();
+                let delay = &point.report.flow(plan.request.id).delay;
                 let max = delay.max().expect("GS flows see traffic");
                 let violations = delay.violations_of(plan.achievable_bound);
                 total_violations += violations;

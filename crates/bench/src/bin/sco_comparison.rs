@@ -138,8 +138,7 @@ fn main() {
 
     let mut t = Table::new(vec!["metric", "SCO (HV3)", "PFP-GS"]);
     let delay_row = |r: &RunReport| {
-        let rep = r.flow(VOICE_FLOW);
-        let mut d = rep.delay.clone();
+        let d = &r.flow(VOICE_FLOW).delay;
         (
             d.mean().map_or("-".into(), |v| v.to_string()),
             d.quantile(0.99).map_or("-".into(), |v| v.to_string()),

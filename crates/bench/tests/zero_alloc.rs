@@ -15,7 +15,9 @@
 
 use btgs_baseband::{AmAddr, Direction, IdealChannel, LogicalChannel, PacketType};
 use btgs_bench::alloc_counter::{allocation_count, CountingAllocator};
-use btgs_core::{PaperScenario, PaperScenarioParams, PollerKind};
+use btgs_core::{
+    PaperScenario, PaperScenarioParams, PollerKind, ScatternetScenario, ScatternetScenarioParams,
+};
 use btgs_des::{DetRng, SimDuration, SimTime, Simulator};
 use btgs_piconet::{FlowQueue, FlowSpec, FlowTable, MasterView, PiconetSim, Poller};
 use btgs_pollers::{
@@ -169,6 +171,40 @@ fn sim_steady_state_is_allocation_free() {
     assert!(report.total_throughput_kbps() > 200.0);
 }
 
+fn scatternet_steady_state_is_allocation_free() {
+    // Two chained Fig. 4 piconets with one bridged GS flow, without the
+    // (deliberately overloading) BE load: after warm-up the shared wheel,
+    // both piconet worlds, the relay outboxes, the origin FIFO and the
+    // chain statistics must all recycle — zero allocator traffic even
+    // while packets cross the bridge every cycle.
+    let scenario = ScatternetScenario::build(ScatternetScenarioParams {
+        piconets: 2,
+        delay_requirement: SimDuration::from_millis(40),
+        seed: 1,
+        warmup: SimDuration::from_millis(500),
+        include_be: false,
+        bridge_cycle: SimDuration::from_millis(20),
+    });
+    let sim = scenario.simulator(PollerKind::PfpGs).unwrap();
+    let mut marks = [0u64; 2];
+    let mut i = 0;
+    let report = sim
+        .run_probed(SimTime::from_secs(2), SimTime::from_secs(6), &mut || {
+            marks[i.min(1)] = allocation_count();
+            i += 1;
+        })
+        .unwrap();
+    assert_eq!(i, 2, "probe fires at checkpoint and at loop end");
+    let delta = marks[1] - marks[0];
+    assert_eq!(
+        delta, 0,
+        "scatternet steady state allocated {delta} times over 4 simulated seconds"
+    );
+    // Sanity: the bracketed window processed real cross-piconet work.
+    assert!(report.events_processed > 4_000);
+    assert!(report.chains[0].delivered_packets > 100);
+}
+
 fn mixed_acl_sco_steady_state_is_allocation_free() {
     // An SCO link alongside a CBR ACL flow exercises the reservation cache
     // and the SCO handlers in the bracketed window.
@@ -232,4 +268,6 @@ fn main() {
     println!("ok - simulator steady state is allocation-free");
     mixed_acl_sco_steady_state_is_allocation_free();
     println!("ok - ACL+SCO steady state is allocation-free");
+    scatternet_steady_state_is_allocation_free();
+    println!("ok - scatternet steady state is allocation-free");
 }

@@ -178,9 +178,14 @@ impl GsPoller {
         self.stats.clone()
     }
 
-    /// The earliest planned GS poll.
-    fn next_gs_plan(&self) -> Option<SimTime> {
-        self.entities.iter().map(|e| e.plan.next_poll()).min()
+    /// The earliest instant a planned GS poll can actually execute: an
+    /// absent bridge entity's plan is clamped to the slave's next
+    /// appearance (a no-op for always-present slaves).
+    fn next_gs_plan(&self, view: &MasterView<'_>) -> Option<SimTime> {
+        self.entities
+            .iter()
+            .map(|e| e.plan.next_poll().max(view.next_present(e.slave)))
+            .min()
     }
 }
 
@@ -200,8 +205,15 @@ impl Poller for GsPoller {
             }
         }
         // Due GS polls execute in priority order (entities are stored
-        // highest priority first).
-        if let Some(e) = self.entities.iter_mut().find(|e| e.plan.is_due(now)) {
+        // highest priority first). A due entity whose bridge slave is off
+        // in another piconet cannot be addressed — lower priorities run,
+        // and the deferred poll fires the instant the bridge returns (via
+        // the presence-clamped plan minimum below).
+        if let Some(e) = self
+            .entities
+            .iter_mut()
+            .find(|e| e.plan.is_due(now) && view.is_present(e.slave))
+        {
             e.pending_planned = Some(e.plan.next_poll());
             self.stats.executed.set(self.stats.executed.get() + 1);
             return PollDecision::Poll {
@@ -211,7 +223,7 @@ impl Poller for GsPoller {
         }
         // No GS work: hand the slot to best effort, but never past the next
         // planned GS poll.
-        let next_gs = self.next_gs_plan();
+        let next_gs = self.next_gs_plan(view);
         let be_decision = match &mut self.be {
             Some(be) => be.decide(now, view),
             None => PollDecision::Sleep,

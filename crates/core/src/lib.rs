@@ -18,9 +18,12 @@
 //!   evaluated in §4.
 //! * **The evaluation** ([`PaperScenario`], [`sweep_fig5`]) — the Fig. 4
 //!   piconet and the Fig. 5 throughput-vs-delay-requirement sweep.
+//! * **The scatternet scenario** ([`ScatternetScenario`]) — the paper's
+//!   future-work workload: 2–3 chained Fig. 4 piconets with one bridged
+//!   GS flow, reporting per-hop, end-to-end and bridge-residence delays.
 //! * **The harness** ([`ExperimentRunner`], [`ScenarioGrid`]) — fans
-//!   poller × seed × requirement grids across threads with bit-identical
-//!   results at any thread count.
+//!   poller × piconet-count × seed × requirement grids across threads
+//!   with bit-identical results at any thread count.
 //!
 //! # Examples
 //!
@@ -57,6 +60,7 @@ mod experiment;
 mod gs_poller;
 mod plan;
 mod runner;
+mod scatternet_scenario;
 mod scenario;
 mod timing;
 mod ymax;
@@ -71,7 +75,12 @@ pub use experiment::{fig5_requirements, run_point, sweep_fig5, SweepPoint};
 pub use gs_poller::{GsPoller, GsPollerStats};
 pub use plan::{Improvements, PollOutcome, PollPlan};
 pub use runner::{
-    comparison_pollers, CellResult, ExperimentRunner, GridCell, GridReport, ScenarioGrid,
+    comparison_pollers, CellResult, ExperimentRunner, GridCell, GridReport, ScatternetCellResult,
+    ScenarioGrid,
+};
+pub use scatternet_scenario::{
+    ScatternetScenario, ScatternetScenarioParams, BRIDGE_IN_SLAVE, BRIDGE_OUT_SLAVE, CHAIN_ID_BASE,
+    PICONET_ID_STRIDE,
 };
 pub use scenario::{
     paper_tspec, GsFlowPlan, PaperScenario, PaperScenarioParams, PollerKind, BE_PACKET_SIZE,

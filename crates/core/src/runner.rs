@@ -15,6 +15,7 @@
 //!
 //! let grid = ScenarioGrid {
 //!     pollers: vec![PollerKind::PfpGs, PollerKind::FixedGs],
+//!     piconets: vec![1],
 //!     seeds: vec![1, 2],
 //!     delay_requirements: vec![SimDuration::from_millis(40)],
 //!     horizon: SimTime::from_secs(3),
@@ -26,10 +27,11 @@
 //! ```
 
 use crate::plan::Improvements;
+use crate::scatternet_scenario::{ScatternetScenario, ScatternetScenarioParams};
 use crate::scenario::{PaperScenario, PaperScenarioParams, PollerKind};
 use btgs_des::{SimDuration, SimTime};
 use btgs_metrics::{fmt_f64, DelayStats, Table};
-use btgs_piconet::RunReport;
+use btgs_piconet::{RunReport, ScatternetReport};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
@@ -57,12 +59,16 @@ impl PollerKind {
     }
 }
 
-/// A poller × seed × delay-requirement grid over the paper's Fig. 4
-/// scenario.
+/// A poller × piconet-count × seed × delay-requirement grid over the
+/// paper's Fig. 4 scenario and its scatternet extension.
 #[derive(Clone, Debug)]
 pub struct ScenarioGrid {
     /// The pollers to compare.
     pub pollers: Vec<PollerKind>,
+    /// The piconet counts to sweep: `1` runs the single-piconet Fig. 4
+    /// scenario (bit-identical to the pre-scatternet runner), `≥ 2` runs
+    /// the chained [`ScatternetScenario`] with one bridged GS flow.
+    pub piconets: Vec<u8>,
     /// Seeds for the per-cell deterministic RNG streams.
     pub seeds: Vec<u64>,
     /// The delay requirements to sweep.
@@ -71,16 +77,18 @@ pub struct ScenarioGrid {
     pub horizon: SimTime,
     /// Warm-up excluded from measurements.
     pub warmup: SimDuration,
-    /// Include the eight BE flows of Fig. 4.
+    /// Include the BE flows (all eight of Fig. 4 in a single piconet; the
+    /// reduced S4/S5 load per scatternet piconet).
     pub include_be: bool,
 }
 
 impl ScenarioGrid {
     /// The paper's default evaluation surface for the given pollers and
-    /// seeds: `Dreq = 40 ms`, BE load included.
+    /// seeds: `Dreq = 40 ms`, one piconet, BE load included.
     pub fn paper(pollers: Vec<PollerKind>, seeds: Vec<u64>, horizon: SimTime) -> ScenarioGrid {
         ScenarioGrid {
             pollers,
+            piconets: vec![1],
             seeds,
             delay_requirements: vec![SimDuration::from_millis(40)],
             horizon,
@@ -89,23 +97,29 @@ impl ScenarioGrid {
         }
     }
 
-    /// Materialises the cells in deterministic (poller-major, then
-    /// requirement, then seed) order.
+    /// Materialises the cells in deterministic (poller-major, then piconet
+    /// count, then requirement, then seed) order.
     pub fn cells(&self) -> Vec<GridCell> {
         let mut out = Vec::with_capacity(
-            self.pollers.len() * self.seeds.len() * self.delay_requirements.len(),
+            self.pollers.len()
+                * self.piconets.len()
+                * self.seeds.len()
+                * self.delay_requirements.len(),
         );
         for &poller in &self.pollers {
-            for &delay_requirement in &self.delay_requirements {
-                for &seed in &self.seeds {
-                    out.push(GridCell {
-                        poller,
-                        seed,
-                        delay_requirement,
-                        horizon: self.horizon,
-                        warmup: self.warmup,
-                        include_be: self.include_be,
-                    });
+            for &piconets in &self.piconets {
+                for &delay_requirement in &self.delay_requirements {
+                    for &seed in &self.seeds {
+                        out.push(GridCell {
+                            poller,
+                            piconets,
+                            seed,
+                            delay_requirement,
+                            horizon: self.horizon,
+                            warmup: self.warmup,
+                            include_be: self.include_be,
+                        });
+                    }
                 }
             }
         }
@@ -118,6 +132,8 @@ impl ScenarioGrid {
 pub struct GridCell {
     /// The poller driving this cell.
     pub poller: PollerKind,
+    /// Piconet count: 1 = the Fig. 4 piconet, ≥ 2 = chained scatternet.
+    pub piconets: u8,
     /// The root seed of the cell's RNG streams.
     pub seed: u64,
     /// The delay requirement of the cell's GS flows.
@@ -126,18 +142,31 @@ pub struct GridCell {
     pub horizon: SimTime,
     /// Warm-up excluded from measurements.
     pub warmup: SimDuration,
-    /// Include the eight BE flows.
+    /// Include the BE flows.
     pub include_be: bool,
 }
 
 impl GridCell {
-    /// The scenario parameters of this cell.
+    /// The single-piconet scenario parameters of this cell (also the
+    /// reference schedule of piconet 0 in a scatternet cell).
     pub fn params(&self) -> PaperScenarioParams {
         PaperScenarioParams {
             delay_requirement: self.delay_requirement,
             seed: self.seed,
             warmup: self.warmup,
             include_be: self.include_be,
+        }
+    }
+
+    /// The scatternet scenario parameters of this cell (piconets ≥ 2).
+    pub fn scatternet_params(&self) -> ScatternetScenarioParams {
+        ScatternetScenarioParams {
+            piconets: self.piconets,
+            delay_requirement: self.delay_requirement,
+            seed: self.seed,
+            warmup: self.warmup,
+            include_be: self.include_be,
+            bridge_cycle: SimDuration::from_millis(20),
         }
     }
 
@@ -149,15 +178,44 @@ impl GridCell {
     /// condition, for the paper's parameter ranges.
     pub fn run(&self) -> CellResult {
         let scenario = PaperScenario::build(self.params());
-        let report = scenario
+        if self.piconets <= 1 {
+            let report = scenario
+                .run(self.poller, self.horizon)
+                .expect("paper scenario must simulate");
+            return CellResult {
+                cell: *self,
+                scenario,
+                report,
+                scatternet: None,
+            };
+        }
+        let scatternet_scenario = ScatternetScenario::build(self.scatternet_params());
+        let scatternet_report = scatternet_scenario
             .run(self.poller, self.horizon)
-            .expect("paper scenario must simulate");
+            .expect("scatternet scenario must simulate");
         CellResult {
             cell: *self,
+            // `scenario` keeps the single-piconet reference schedule: its
+            // bounds are what piconet 0's paper flows would be guaranteed
+            // without the bridge load, so `gs_violations` measures the
+            // scatternet's interference.
             scenario,
-            report,
+            report: scatternet_report.piconets[0].clone(),
+            scatternet: Some(ScatternetCellResult {
+                scenario: scatternet_scenario,
+                report: scatternet_report,
+            }),
         }
     }
+}
+
+/// The scatternet-specific outcome of a multi-piconet grid cell.
+#[derive(Clone, Debug)]
+pub struct ScatternetCellResult {
+    /// The derived chained-piconets scenario.
+    pub scenario: ScatternetScenario,
+    /// The full scatternet report (per-piconet runs + chain statistics).
+    pub report: ScatternetReport,
 }
 
 /// The outcome of one grid cell.
@@ -165,10 +223,19 @@ impl GridCell {
 pub struct CellResult {
     /// The cell that produced this result.
     pub cell: GridCell,
-    /// The derived scenario (schedule, plans, bounds).
+    /// The derived single-piconet scenario (schedule, plans, bounds). For
+    /// scatternet cells this is the reference schedule of piconet 0.
     pub scenario: PaperScenario,
-    /// The simulation report.
+    /// The simulation report. For scatternet cells this is a *copy* of
+    /// piconet 0's report (also reachable via
+    /// `scatternet.report.piconets[0]`): the duplication buys every grid
+    /// consumer (summary tables, digests, sweeps) one uniform field at the
+    /// cost of one extra per-cell report clone — acceptable because
+    /// multi-piconet grids are orders of magnitude smaller than the
+    /// single-piconet sweeps.
     pub report: RunReport,
+    /// Present for cells with `piconets ≥ 2`: the full scatternet outcome.
+    pub scatternet: Option<ScatternetCellResult>,
 }
 
 impl CellResult {
@@ -279,17 +346,9 @@ impl GridReport {
     /// determinism tests hinge on this.
     pub fn digest(&self) -> String {
         use std::fmt::Write as _;
-        let mut out = String::new();
-        for c in &self.cells {
-            let _ = write!(
-                out,
-                "{}|seed={}|dreq={}",
-                c.cell.poller.label(),
-                c.cell.seed,
-                c.cell.delay_requirement
-            );
-            for f in &c.report.flows {
-                let r = c.report.flow(f.id);
+        fn flow_digest(out: &mut String, report: &RunReport) {
+            for f in &report.flows {
+                let r = report.flow(f.id);
                 let _ = write!(
                     out,
                     "|{}:{}:{}:{}",
@@ -298,6 +357,42 @@ impl GridReport {
                     r.delivered_bytes,
                     r.delay.max().map_or_else(|| "-".into(), |d| d.to_string()),
                 );
+            }
+        }
+        let mut out = String::new();
+        for c in &self.cells {
+            let _ = write!(
+                out,
+                "{}|pics={}|seed={}|dreq={}",
+                c.cell.poller.label(),
+                c.cell.piconets,
+                c.cell.seed,
+                c.cell.delay_requirement
+            );
+            match &c.scatternet {
+                None => flow_digest(&mut out, &c.report),
+                Some(s) => {
+                    // Every piconet's flows, then the chain statistics.
+                    for r in &s.report.piconets {
+                        flow_digest(&mut out, r);
+                    }
+                    for chain in &s.report.chains {
+                        let _ = write!(
+                            out,
+                            "|chain:{}:{}:{}:{}",
+                            chain.delivered_packets,
+                            chain.relayed_packets,
+                            chain
+                                .e2e
+                                .max()
+                                .map_or_else(|| "-".into(), |d| d.to_string()),
+                            chain
+                                .residence
+                                .max()
+                                .map_or_else(|| "-".into(), |d| d.to_string()),
+                        );
+                    }
+                }
             }
             out.push('\n');
         }
@@ -425,6 +520,7 @@ mod tests {
     fn grid_cell_order_is_deterministic() {
         let grid = ScenarioGrid {
             pollers: vec![PollerKind::PfpGs, PollerKind::FixedGs],
+            piconets: vec![1],
             seeds: vec![1, 2, 3],
             delay_requirements: vec![SimDuration::from_millis(40), SimDuration::from_millis(30)],
             horizon: SimTime::from_secs(1),

@@ -1,0 +1,446 @@
+//! The scatternet evaluation scenario: chained Fig. 4 piconets with one
+//! bridged Guaranteed Service flow — the paper's future-work workload.
+//!
+//! `N` piconets each carry the paper's GS population (flows 1–4 on S1–S3,
+//! ids offset by `100·p`) plus an optional reduced best-effort load (S4 and
+//! S5; S6/S7 are reserved for bridge roles). A single cross-piconet GS
+//! chain enters at the master of piconet 0 and is relayed bridge by bridge
+//! to the master of piconet `N−1`:
+//!
+//! ```text
+//! M0 ─▸ B0 (P0/S6 ⇄ P1/S7) ─▸ M1 ─▸ B1 (P1/S6 ⇄ P2/S7) ─▸ M2 ─ …
+//! ```
+//!
+//! Every bridge alternates between its two piconets on a deterministic
+//! rendezvous cycle (half the cycle in each), and each piconet's GS
+//! schedule gains one bridge-hop entity per bridge role, appended *after*
+//! the paper entities — so the paper flows keep their exact single-piconet
+//! plans and the per-piconet reports stay comparable to Fig. 5.
+
+use crate::admission::AdmissionOutcome;
+use crate::gs_poller::GsPoller;
+use crate::scenario::{
+    derive_gs_schedule, GsFlowPlan, PollerKind, BE_PACKET_SIZE, BE_RATES_KBPS, GS_INTERVAL,
+    GS_PACKET_RANGE,
+};
+use btgs_baseband::{
+    AmAddr, ChannelModel, Direction, IdealChannel, LogicalChannel, PacketType, PiconetId,
+    ScopedSlave,
+};
+use btgs_des::{DetRng, SimDuration, SimTime};
+use btgs_piconet::{
+    BridgeSpec, ChainSpec, FlowSpec, PiconetConfig, PiconetError, Poller, SarPolicy,
+    ScatternetConfig, ScatternetReport, ScatternetSim,
+};
+use btgs_pollers::PfpBePoller;
+use btgs_traffic::{CbrSource, FlowId, Source};
+
+/// Gap between consecutive piconets' flow id blocks.
+pub const PICONET_ID_STRIDE: u32 = 100;
+
+/// First id of the chain's hop flows (`CHAIN_ID_BASE + 2p` enters piconet
+/// `p`, `CHAIN_ID_BASE + 1 + 2p` leaves it).
+pub const CHAIN_ID_BASE: u32 = 900;
+
+/// The slave address every bridge uses in its *downstream* piconet.
+pub const BRIDGE_IN_SLAVE: u8 = 7;
+
+/// The slave address every bridge uses in its *upstream* piconet.
+pub const BRIDGE_OUT_SLAVE: u8 = 6;
+
+/// Parameters of the scatternet scenario.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ScatternetScenarioParams {
+    /// Number of chained piconets (≥ 2).
+    pub piconets: u8,
+    /// The delay bound every per-piconet GS flow requests.
+    pub delay_requirement: SimDuration,
+    /// Seed for all stochastic components.
+    pub seed: u64,
+    /// Warm-up excluded from measurements (per piconet and chain).
+    pub warmup: SimDuration,
+    /// Include the reduced best-effort load (S4/S5 pairs per piconet).
+    pub include_be: bool,
+    /// Bridge rendezvous cycle; each bridge spends half in each piconet.
+    pub bridge_cycle: SimDuration,
+}
+
+impl ScatternetScenarioParams {
+    /// Defaults matching [`PaperScenarioParams`](crate::PaperScenarioParams)
+    /// with `n` piconets and a 20 ms rendezvous cycle.
+    pub fn chained(n: u8) -> ScatternetScenarioParams {
+        ScatternetScenarioParams {
+            piconets: n,
+            delay_requirement: SimDuration::from_millis(40),
+            seed: 1,
+            warmup: SimDuration::from_secs(2),
+            include_be: true,
+            bridge_cycle: SimDuration::from_millis(20),
+        }
+    }
+}
+
+/// A fully derived instance of the chained-piconets scenario.
+#[derive(Clone, Debug)]
+pub struct ScatternetScenario {
+    /// The parameters it was built from.
+    pub params: ScatternetScenarioParams,
+    /// The scatternet configuration (piconets, bridges, the chain).
+    pub config: ScatternetConfig,
+    /// Per-piconet GS schedules (paper entities plus bridge-hop entities).
+    pub outcomes: Vec<AdmissionOutcome>,
+    /// Per-piconet GS flow plans, paper flows and bridge hops alike.
+    pub gs_plans: Vec<Vec<GsFlowPlan>>,
+}
+
+fn slave(n: u8) -> AmAddr {
+    AmAddr::new(n).expect("scenario slave addresses are 1..=7")
+}
+
+/// First hop id of piconet `p`'s incoming bridge flow.
+fn hop_in_id(p: u8) -> u32 {
+    CHAIN_ID_BASE + 2 * p as u32
+}
+
+/// Hop id of piconet `p`'s outgoing bridge flow.
+fn hop_out_id(p: u8) -> u32 {
+    CHAIN_ID_BASE + 1 + 2 * p as u32
+}
+
+impl ScatternetScenario {
+    /// Derives the scenario.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `params.piconets < 2` (a one-piconet "scatternet" is the
+    /// plain [`PaperScenario`](crate::PaperScenario)) or `> 9` (piconet 9's
+    /// paper-flow id block would reach [`CHAIN_ID_BASE`]; longer chains
+    /// need a wider id scheme first).
+    pub fn build(params: ScatternetScenarioParams) -> ScatternetScenario {
+        let n = params.piconets;
+        assert!(n >= 2, "a scatternet scenario needs at least two piconets");
+        assert!(
+            u32::from(n) * PICONET_ID_STRIDE <= CHAIN_ID_BASE,
+            "flow id scheme supports at most {} chained piconets",
+            CHAIN_ID_BASE / PICONET_ID_STRIDE
+        );
+        let allowed = vec![PacketType::Dh1, PacketType::Dh3];
+
+        let mut piconets = Vec::with_capacity(n as usize);
+        let mut outcomes = Vec::with_capacity(n as usize);
+        let mut gs_plans = Vec::with_capacity(n as usize);
+        for p in 0..n {
+            let base = PICONET_ID_STRIDE * p as u32;
+            // The paper's entity order, then the bridge roles (lowest
+            // priority, so the paper flows keep their exact plans).
+            let mut defs: Vec<(AmAddr, Vec<(u32, Direction)>)> = vec![
+                (slave(1), vec![(base + 1, Direction::SlaveToMaster)]),
+                (
+                    slave(2),
+                    vec![
+                        (base + 2, Direction::MasterToSlave),
+                        (base + 3, Direction::SlaveToMaster),
+                    ],
+                ),
+                (slave(3), vec![(base + 4, Direction::SlaveToMaster)]),
+            ];
+            if p > 0 {
+                defs.push((
+                    slave(BRIDGE_IN_SLAVE),
+                    vec![(hop_in_id(p), Direction::SlaveToMaster)],
+                ));
+            }
+            if p < n - 1 {
+                defs.push((
+                    slave(BRIDGE_OUT_SLAVE),
+                    vec![(hop_out_id(p), Direction::MasterToSlave)],
+                ));
+            }
+            let borrowed: Vec<(AmAddr, &[(u32, Direction)])> =
+                defs.iter().map(|(s, f)| (*s, f.as_slice())).collect();
+            let (outcome, plans) =
+                derive_gs_schedule(&borrowed, params.delay_requirement, &allowed);
+
+            let mut config = PiconetConfig::new(allowed.clone()).with_warmup(params.warmup);
+            for plan in &plans {
+                config = config.with_flow(FlowSpec::new(
+                    plan.request.id,
+                    plan.request.slave,
+                    plan.request.direction,
+                    LogicalChannel::GuaranteedService,
+                ));
+            }
+            if params.include_be {
+                // S6/S7 carry bridge roles, so only the two lightest Fig. 4
+                // best-effort pairs ride along (S4 and S5).
+                for k in 0..2u32 {
+                    let sl = slave(4 + k as u8);
+                    config = config
+                        .with_flow(FlowSpec::new(
+                            FlowId(base + 5 + 2 * k),
+                            sl,
+                            Direction::MasterToSlave,
+                            LogicalChannel::BestEffort,
+                        ))
+                        .with_flow(FlowSpec::new(
+                            FlowId(base + 6 + 2 * k),
+                            sl,
+                            Direction::SlaveToMaster,
+                            LogicalChannel::BestEffort,
+                        ));
+                }
+            }
+            piconets.push(config);
+            outcomes.push(outcome);
+            gs_plans.push(plans);
+        }
+
+        let bridges = (0..n - 1)
+            .map(|k| BridgeSpec {
+                upstream: ScopedSlave::new(PiconetId(k), slave(BRIDGE_OUT_SLAVE)),
+                downstream: ScopedSlave::new(PiconetId(k + 1), slave(BRIDGE_IN_SLAVE)),
+                cycle: params.bridge_cycle,
+                dwell_upstream: params.bridge_cycle / 2,
+            })
+            .collect();
+        let mut hops = Vec::with_capacity(2 * (n as usize - 1));
+        for p in 0..n {
+            if p > 0 {
+                hops.push(FlowId(hop_in_id(p)));
+            }
+            if p < n - 1 {
+                hops.push(FlowId(hop_out_id(p)));
+            }
+        }
+        let config = ScatternetConfig {
+            piconets,
+            bridges,
+            chains: vec![ChainSpec { hops }],
+        };
+
+        ScatternetScenario {
+            params,
+            config,
+            outcomes,
+            gs_plans,
+        }
+    }
+
+    /// The id of the chain's first hop (the flow a source must feed).
+    pub fn chain_entry(&self) -> FlowId {
+        self.config.chains[0].hops[0]
+    }
+
+    /// The traffic sources of every source-fed flow, seeded from
+    /// `params.seed`.
+    ///
+    /// Like the single-piconet scenario, CBR phases are staggered
+    /// pseudo-randomly within one interval; additionally each piconet's
+    /// sources are staggered by a per-piconet offset (via
+    /// [`CbrSource::starting_at`]) so the piconets do not run in lockstep.
+    pub fn sources(&self) -> Vec<Box<dyn Source>> {
+        let root = DetRng::seed_from_u64(self.params.seed);
+        let mut out: Vec<Box<dyn Source>> = Vec::new();
+        for (p, cfg) in self.config.piconets.iter().enumerate() {
+            // Spread piconet starts across one GS interval.
+            let pic_offset = GS_INTERVAL * p as u64 / self.config.piconets.len() as u64;
+            for f in &cfg.flows {
+                if f.id != self.chain_entry() && f.id.0 >= CHAIN_ID_BASE {
+                    continue; // relay-fed hop
+                }
+                let mut stream = root.stream(u64::from(f.id.0));
+                let (interval, min_size, max_size) = if f.channel.is_gs() {
+                    (GS_INTERVAL, GS_PACKET_RANGE.0, GS_PACKET_RANGE.1)
+                } else {
+                    let k = (f.slave.get() - 4) as usize;
+                    let rate_bps = BE_RATES_KBPS[k] * 1000.0;
+                    let interval =
+                        SimDuration::from_secs_f64(BE_PACKET_SIZE as f64 * 8.0 / rate_bps);
+                    (interval, BE_PACKET_SIZE, BE_PACKET_SIZE)
+                };
+                let offset = SimTime::ZERO
+                    + pic_offset
+                    + SimDuration::from_nanos(stream.below(interval.as_nanos()));
+                out.push(Box::new(
+                    CbrSource::new(f.id, interval, min_size, max_size, stream).starting_at(offset),
+                ));
+            }
+        }
+        out
+    }
+
+    /// Builds the per-piconet pollers of the given kind.
+    pub fn pollers(&self, kind: PollerKind) -> Vec<Box<dyn Poller>> {
+        self.outcomes
+            .iter()
+            .map(|outcome| {
+                let be: Box<dyn Poller> = Box::new(PfpBePoller::new(SimDuration::from_millis(25)));
+                let poller: Box<dyn Poller> = match kind {
+                    PollerKind::PfpGs => Box::new(GsPoller::pfp(outcome, SimTime::ZERO, be)),
+                    PollerKind::FixedGs => {
+                        Box::new(GsPoller::fixed(outcome, SimTime::ZERO).with_best_effort(be))
+                    }
+                    PollerKind::Custom(improvements) => Box::new(
+                        GsPoller::with_improvements(outcome, SimTime::ZERO, improvements)
+                            .with_best_effort(be),
+                    ),
+                };
+                poller
+            })
+            .collect()
+    }
+
+    /// Builds the simulator over ideal radio channels.
+    ///
+    /// # Errors
+    ///
+    /// Propagates scatternet validation errors (none are expected for a
+    /// derived scenario).
+    pub fn simulator(&self, kind: PollerKind) -> Result<ScatternetSim, PiconetError> {
+        let channels: Vec<Box<dyn ChannelModel>> = self
+            .config
+            .piconets
+            .iter()
+            .map(|_| Box::new(IdealChannel) as Box<dyn ChannelModel>)
+            .collect();
+        let mut sim = ScatternetSim::new(self.config.clone(), self.pollers(kind), channels)?;
+        for src in self.sources() {
+            sim.add_source(src)?;
+        }
+        Ok(sim)
+    }
+
+    /// Runs the scenario to `horizon` with the given poller kind.
+    ///
+    /// # Errors
+    ///
+    /// Propagates simulator configuration errors (none are expected for a
+    /// derived scenario).
+    pub fn run(
+        &self,
+        kind: PollerKind,
+        horizon: SimTime,
+    ) -> Result<ScatternetReport, PiconetError> {
+        self.simulator(kind)?.run(horizon)
+    }
+
+    /// The segmentation policy of every piconet (the paper's max-first).
+    pub fn sar(&self) -> SarPolicy {
+        SarPolicy::MaxFirst
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_chained_topology() {
+        let sc = ScatternetScenario::build(ScatternetScenarioParams::chained(3));
+        assert_eq!(sc.config.piconets.len(), 3);
+        assert_eq!(sc.config.bridges.len(), 2);
+        assert_eq!(
+            sc.config.chains[0].hops,
+            vec![FlowId(901), FlowId(902), FlowId(903), FlowId(904)]
+        );
+        // P0: 4 GS + 1 hop out + 4 BE; P1: 4 GS + hop in + hop out + 4 BE;
+        // P2: 4 GS + hop in + 4 BE.
+        assert_eq!(sc.config.piconets[0].flows.len(), 9);
+        assert_eq!(sc.config.piconets[1].flows.len(), 10);
+        assert_eq!(sc.config.piconets[2].flows.len(), 9);
+        for cfg in &sc.config.piconets {
+            assert!(cfg.validate().is_ok());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at most 9 chained piconets")]
+    fn rejects_chains_that_overrun_the_id_scheme() {
+        // Piconet 9's paper-flow block would collide with CHAIN_ID_BASE.
+        let _ = ScatternetScenario::build(ScatternetScenarioParams::chained(10));
+    }
+
+    #[test]
+    fn nine_piconets_is_the_longest_supported_chain() {
+        let sc = ScatternetScenario::build(ScatternetScenarioParams::chained(9));
+        assert_eq!(sc.config.piconets.len(), 9);
+        // Highest paper-flow id stays below the chain id block.
+        let max_id = sc
+            .config
+            .piconets
+            .iter()
+            .flat_map(|c| &c.flows)
+            .map(|f| f.id.0)
+            .filter(|id| *id < CHAIN_ID_BASE)
+            .max()
+            .unwrap();
+        assert!(max_id < CHAIN_ID_BASE);
+        assert!(ScatternetSim::new(
+            sc.config.clone(),
+            sc.pollers(PollerKind::PfpGs),
+            sc.config
+                .piconets
+                .iter()
+                .map(|_| Box::new(IdealChannel) as Box<dyn ChannelModel>)
+                .collect(),
+        )
+        .is_ok());
+    }
+
+    #[test]
+    fn paper_entities_keep_single_piconet_plans() {
+        use crate::scenario::{PaperScenario, PaperScenarioParams};
+        let single = PaperScenario::build(PaperScenarioParams::default());
+        let scatter = ScatternetScenario::build(ScatternetScenarioParams::chained(2));
+        // Bridge entities are appended after the paper's three, so the
+        // paper flows' schedules are identical in every piconet.
+        for plans in &scatter.gs_plans {
+            for (sp, pp) in plans.iter().zip(&single.gs_plans) {
+                assert_eq!(sp.y, pp.y, "paper entity y must be unchanged");
+                assert_eq!(sp.achievable_bound, pp.achievable_bound);
+            }
+            assert!(plans.len() > single.gs_plans.len(), "bridge hops present");
+        }
+    }
+
+    #[test]
+    fn sources_cover_exactly_the_source_fed_flows() {
+        let sc = ScatternetScenario::build(ScatternetScenarioParams::chained(2));
+        let ids: Vec<FlowId> = sc.sources().iter().map(|s| s.flow()).collect();
+        // Chain entry is fed; the relay-fed hop is not.
+        assert!(ids.contains(&FlowId(901)));
+        assert!(!ids.contains(&FlowId(902)));
+        // Per piconet: 4 GS + 4 BE, plus the one chain source.
+        assert_eq!(ids.len(), 2 * 8 + 1);
+        // Deterministic.
+        let again: Vec<FlowId> = sc.sources().iter().map(|s| s.flow()).collect();
+        assert_eq!(ids, again);
+    }
+
+    #[test]
+    fn two_piconet_chain_runs_and_reports_end_to_end() {
+        let mut params = ScatternetScenarioParams::chained(2);
+        params.warmup = SimDuration::from_millis(500);
+        let sc = ScatternetScenario::build(params);
+        let report = sc.run(PollerKind::PfpGs, SimTime::from_secs(4)).unwrap();
+        let chain = &report.chains[0];
+        assert!(
+            chain.delivered_packets > 100,
+            "the bridged GS flow must flow: {} delivered",
+            chain.delivered_packets
+        );
+        assert_eq!(chain.e2e.count() as u64, chain.delivered_packets);
+        assert!(chain.residence.count() > 0);
+        // Paper GS flows still deliver ~64 kbps in each piconet.
+        for p in 0..2u8 {
+            let r = report.piconet(PiconetId(p));
+            for id in 1..=4u32 {
+                let kbps = r.throughput_kbps(FlowId(PICONET_ID_STRIDE * p as u32 + id));
+                assert!(
+                    (kbps - 64.0).abs() < 4.0,
+                    "P{p} flow {id}: {kbps} kbps (expected ~64)"
+                );
+            }
+        }
+    }
+}

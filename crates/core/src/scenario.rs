@@ -115,6 +115,93 @@ fn slave(n: u8) -> AmAddr {
     AmAddr::new(n).expect("scenario slave addresses are 1..=7")
 }
 
+/// Derives the Guaranteed Service schedule of one piconet the way a GS
+/// receiver would (see the module docs): entities take the given priority
+/// order; each entity's `y` follows from the entities above it (Fig. 2);
+/// each flow requests `R = (M + C) / (Dreq - D)` (Eq. 1 inverted), clamped
+/// to `[r, eta_min / y]` (Eq. 9).
+///
+/// Shared by the single-piconet Fig. 4 scenario and the scatternet
+/// scenario, whose piconets append bridge-hop entities after the paper's
+/// three — higher-priority plans are unaffected by the extra entities, so
+/// the paper flows keep their exact single-piconet schedule.
+pub(crate) fn derive_gs_schedule(
+    entity_defs: &[(AmAddr, &[(u32, Direction)])],
+    delay_requirement: SimDuration,
+    allowed: &[PacketType],
+) -> (AdmissionOutcome, Vec<GsFlowPlan>) {
+    let sar = SarPolicy::MaxFirst;
+    let tspec = paper_tspec();
+    let eta = min_poll_efficiency(&sar, tspec.min_policed_unit(), tspec.max_packet(), allowed);
+    let u = piconet_u(allowed);
+
+    let mut higher: Vec<HigherEntity> = Vec::new();
+    let mut entities = Vec::new();
+    let mut gs_plans: Vec<GsFlowPlan> = Vec::new();
+    let mut grants = Vec::new();
+    let x_at_token_rate = poll_interval(eta, tspec.token_rate());
+    for (idx, (sl, flow_defs)) in entity_defs.iter().enumerate() {
+        // The achievable y at this priority position, allowing for the
+        // loosest possible own interval (R = r). If even that diverges,
+        // fall back to a generous cap for reporting.
+        let y = y_fixpoint(u, &higher, x_at_token_rate)
+            .or_else(|| y_fixpoint(u, &higher, SimDuration::from_millis(200)))
+            .unwrap_or(SimDuration::from_millis(200));
+        let terms = ErrorTerms::new(eta, y);
+        // Receiver-side rate computation, clamped to Eq. 9's maximum.
+        let r_required = required_rate(&tspec, delay_requirement, terms).unwrap_or(f64::INFINITY);
+        let r_max = eta / y.as_secs_f64();
+        let rate = r_required.min(r_max).max(tspec.token_rate());
+        let x = poll_interval(eta, rate);
+        let achievable =
+            delay_bound(&tspec, rate, terms).expect("rate is clamped to at least the token rate");
+        let guaranteed = x >= y && achievable <= delay_requirement;
+
+        let accounting = flow_defs
+            .iter()
+            .find(|(_, d)| d.is_uplink())
+            .unwrap_or(&flow_defs[0]);
+        for (id, dir) in flow_defs.iter() {
+            let request = GsRequest::new(FlowId(*id), *sl, *dir, tspec, rate);
+            grants.push(FlowGrant {
+                id: FlowId(*id),
+                entity: idx,
+                eta_min: eta,
+                terms,
+                bound: achievable,
+            });
+            gs_plans.push(GsFlowPlan {
+                request,
+                y,
+                achievable_bound: achievable,
+                guaranteed,
+            });
+        }
+        entities.push(EntityPlan {
+            slave: *sl,
+            priority: idx as u32 + 1,
+            x,
+            y,
+            s: u,
+            accounting_flow: FlowId(accounting.0),
+            accounting_direction: accounting.1,
+            rate,
+            eta_min: eta,
+            flow_ids: flow_defs.iter().map(|(id, _)| FlowId(*id)).collect(),
+            can_skip: flow_defs.iter().all(|(_, d)| d.is_downlink()),
+            has_downlink: flow_defs.iter().any(|(_, d)| d.is_downlink()),
+            has_uplink: flow_defs.iter().any(|(_, d)| d.is_uplink()),
+        });
+        higher.push(HigherEntity { x, s: u });
+    }
+    gs_plans.sort_by_key(|p| p.request.id);
+    let outcome = AdmissionOutcome {
+        entities,
+        flows: grants,
+    };
+    (outcome, gs_plans)
+}
+
 /// The paper's TSpec (Eqs. 11–12): `p = r = 8800 B/s`, `b = M = 176`,
 /// `m = 144`.
 pub fn paper_tspec() -> TokenBucketSpec {
@@ -130,10 +217,6 @@ impl PaperScenario {
     /// Derives the scenario for the given parameters.
     pub fn build(params: PaperScenarioParams) -> PaperScenario {
         let allowed = vec![PacketType::Dh1, PacketType::Dh3];
-        let sar = SarPolicy::MaxFirst;
-        let tspec = paper_tspec();
-        let eta = min_poll_efficiency(&sar, tspec.min_policed_unit(), tspec.max_packet(), &allowed);
-        let u = piconet_u(&allowed);
 
         // Entities in the paper's priority order. Each entry: (slave,
         // flows: [(id, direction)]).
@@ -145,72 +228,8 @@ impl PaperScenario {
             ),
             (slave(3), &[(4, Direction::SlaveToMaster)]),
         ];
-
-        let mut higher: Vec<HigherEntity> = Vec::new();
-        let mut entities = Vec::new();
-        let mut gs_plans: Vec<GsFlowPlan> = Vec::new();
-        let mut grants = Vec::new();
-        let x_at_token_rate = poll_interval(eta, tspec.token_rate());
-        for (idx, (sl, flow_defs)) in entity_defs.iter().enumerate() {
-            // The achievable y at this priority position, allowing for the
-            // loosest possible own interval (R = r). If even that diverges,
-            // fall back to a generous cap for reporting.
-            let y = y_fixpoint(u, &higher, x_at_token_rate)
-                .or_else(|| y_fixpoint(u, &higher, SimDuration::from_millis(200)))
-                .unwrap_or(SimDuration::from_millis(200));
-            let terms = ErrorTerms::new(eta, y);
-            // Receiver-side rate computation, clamped to Eq. 9's maximum.
-            let r_required =
-                required_rate(&tspec, params.delay_requirement, terms).unwrap_or(f64::INFINITY);
-            let r_max = eta / y.as_secs_f64();
-            let rate = r_required.min(r_max).max(tspec.token_rate());
-            let x = poll_interval(eta, rate);
-            let achievable = delay_bound(&tspec, rate, terms)
-                .expect("rate is clamped to at least the token rate");
-            let guaranteed = x >= y && achievable <= params.delay_requirement;
-
-            let accounting = flow_defs
-                .iter()
-                .find(|(_, d)| d.is_uplink())
-                .unwrap_or(&flow_defs[0]);
-            for (id, dir) in flow_defs.iter() {
-                let request = GsRequest::new(FlowId(*id), *sl, *dir, tspec, rate);
-                grants.push(FlowGrant {
-                    id: FlowId(*id),
-                    entity: idx,
-                    eta_min: eta,
-                    terms,
-                    bound: achievable,
-                });
-                gs_plans.push(GsFlowPlan {
-                    request,
-                    y,
-                    achievable_bound: achievable,
-                    guaranteed,
-                });
-            }
-            entities.push(EntityPlan {
-                slave: *sl,
-                priority: idx as u32 + 1,
-                x,
-                y,
-                s: u,
-                accounting_flow: FlowId(accounting.0),
-                accounting_direction: accounting.1,
-                rate,
-                eta_min: eta,
-                flow_ids: flow_defs.iter().map(|(id, _)| FlowId(*id)).collect(),
-                can_skip: flow_defs.iter().all(|(_, d)| d.is_downlink()),
-                has_downlink: flow_defs.iter().any(|(_, d)| d.is_downlink()),
-                has_uplink: flow_defs.iter().any(|(_, d)| d.is_uplink()),
-            });
-            higher.push(HigherEntity { x, s: u });
-        }
-        gs_plans.sort_by_key(|p| p.request.id);
-        let outcome = AdmissionOutcome {
-            entities,
-            flows: grants,
-        };
+        let (outcome, gs_plans) =
+            derive_gs_schedule(&entity_defs, params.delay_requirement, &allowed);
 
         // Piconet configuration.
         let mut config = PiconetConfig::new(allowed).with_warmup(params.warmup);

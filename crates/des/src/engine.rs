@@ -159,6 +159,13 @@ impl<S, E, Q: PendingEvents<E>> Simulator<S, E, Q> {
         &mut self.scheduler
     }
 
+    /// Simultaneous exclusive access to the scheduler and the domain state,
+    /// for seeding routines that plant events while mutating state (the
+    /// borrow checker cannot split the two through separate method calls).
+    pub fn split_mut(&mut self) -> (&mut Scheduler<E, Q>, &mut S) {
+        (&mut self.scheduler, &mut self.state)
+    }
+
     /// Total number of events processed so far.
     pub fn events_processed(&self) -> u64 {
         self.events_processed

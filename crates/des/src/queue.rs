@@ -150,6 +150,12 @@ impl<E> SlotArena<E> {
                     generation: 0,
                     payload: Some(payload),
                 });
+                // Keep the free list able to hold every slot: growing it
+                // here (the path that is allowed to allocate) means `take`
+                // never has to, so cancellations stay allocation-free even
+                // when more slots are simultaneously free late in a run
+                // than at any point during warm-up.
+                self.free.reserve(self.slots.len() - self.free.len());
                 idx
             }
         };

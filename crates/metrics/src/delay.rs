@@ -2,12 +2,21 @@
 
 use btgs_des::SimDuration;
 use core::fmt;
+use std::cell::{Cell, RefCell};
 
 /// Collects per-packet delay samples and answers summary queries.
 ///
 /// Samples are kept in full (a 530 s paper run produces 25 000 samples per
 /// flow — trivially small), so percentiles are exact rather than
 /// approximated.
+///
+/// Order-statistic queries ([`quantile`](DelayStats::quantile),
+/// [`violations_of`](DelayStats::violations_of), the `Display` p95) share a
+/// lazily sorted view of the sample buffer, maintained behind interior
+/// mutability: the first such query after new samples sorts once in place;
+/// every further query is a binary search or an index — no cloning, no
+/// hidden per-call allocation. Sample insertion order is never observable
+/// through the public API, so re-ordering is safe.
 ///
 /// # Examples
 ///
@@ -26,8 +35,8 @@ use core::fmt;
 /// ```
 #[derive(Clone, Debug, Default)]
 pub struct DelayStats {
-    samples_ns: Vec<u64>,
-    sorted: bool,
+    samples_ns: RefCell<Vec<u64>>,
+    sorted: Cell<bool>,
     sum_ns: u128,
 }
 
@@ -39,88 +48,115 @@ impl DelayStats {
 
     /// Records one delay sample.
     pub fn record(&mut self, delay: SimDuration) {
-        self.samples_ns.push(delay.as_nanos());
+        self.samples_ns.get_mut().push(delay.as_nanos());
         self.sum_ns += delay.as_nanos() as u128;
-        self.sorted = false;
+        self.sorted.set(false);
     }
 
     /// Pre-sizes the sample buffer for at least `additional` further
     /// samples, so recording inside an allocation-free window does not
     /// grow the buffer.
     pub fn reserve(&mut self, additional: usize) {
-        self.samples_ns.reserve(additional);
+        self.samples_ns.get_mut().reserve(additional);
+    }
+
+    /// Sorts the sample buffer in place unless it is already sorted.
+    fn ensure_sorted(&self) {
+        if !self.sorted.get() {
+            self.samples_ns.borrow_mut().sort_unstable();
+            self.sorted.set(true);
+        }
     }
 
     /// Number of samples recorded.
     pub fn count(&self) -> usize {
-        self.samples_ns.len()
+        self.samples_ns.borrow().len()
     }
 
     /// `true` if no samples were recorded.
     pub fn is_empty(&self) -> bool {
-        self.samples_ns.is_empty()
+        self.samples_ns.borrow().is_empty()
     }
 
     /// Smallest sample.
     pub fn min(&self) -> Option<SimDuration> {
-        self.samples_ns
-            .iter()
-            .min()
-            .map(|&ns| SimDuration::from_nanos(ns))
+        let samples = self.samples_ns.borrow();
+        if self.sorted.get() {
+            samples.first().map(|&ns| SimDuration::from_nanos(ns))
+        } else {
+            samples.iter().min().map(|&ns| SimDuration::from_nanos(ns))
+        }
     }
 
     /// Largest sample.
     pub fn max(&self) -> Option<SimDuration> {
-        self.samples_ns
-            .iter()
-            .max()
-            .map(|&ns| SimDuration::from_nanos(ns))
+        let samples = self.samples_ns.borrow();
+        if self.sorted.get() {
+            samples.last().map(|&ns| SimDuration::from_nanos(ns))
+        } else {
+            samples.iter().max().map(|&ns| SimDuration::from_nanos(ns))
+        }
+    }
+
+    /// Exact sum of all samples, in nanoseconds. The scatternet tests use
+    /// this to assert the end-to-end identity (e2e = Σ hop delays +
+    /// Σ residence) without truncation error.
+    pub fn sum_nanos(&self) -> u128 {
+        self.sum_ns
     }
 
     /// Arithmetic mean.
     pub fn mean(&self) -> Option<SimDuration> {
-        if self.samples_ns.is_empty() {
+        let n = self.count();
+        if n == 0 {
             None
         } else {
-            Some(SimDuration::from_nanos(
-                (self.sum_ns / self.samples_ns.len() as u128) as u64,
-            ))
+            Some(SimDuration::from_nanos((self.sum_ns / n as u128) as u64))
         }
     }
 
     /// Exact `q`-quantile (nearest-rank method), `q` in `[0, 1]`.
     ///
+    /// Sorts lazily on first use (via the shared sorted cache); repeated
+    /// quantile queries are O(1).
+    ///
     /// # Panics
     ///
     /// Panics if `q` is outside `[0, 1]`.
-    pub fn quantile(&mut self, q: f64) -> Option<SimDuration> {
+    pub fn quantile(&self, q: f64) -> Option<SimDuration> {
         assert!(
             (0.0..=1.0).contains(&q),
             "quantile must be in [0,1], got {q}"
         );
-        if self.samples_ns.is_empty() {
+        if self.is_empty() {
             return None;
         }
-        if !self.sorted {
-            self.samples_ns.sort_unstable();
-            self.sorted = true;
-        }
-        let n = self.samples_ns.len();
+        self.ensure_sorted();
+        let samples = self.samples_ns.borrow();
+        let n = samples.len();
         let rank = ((q * n as f64).ceil() as usize).clamp(1, n);
-        Some(SimDuration::from_nanos(self.samples_ns[rank - 1]))
+        Some(SimDuration::from_nanos(samples[rank - 1]))
     }
 
     /// Number of samples strictly greater than `bound`.
+    ///
+    /// Runs on the sorted view: one binary search
+    /// ([`partition_point`](slice::partition_point)) instead of a linear
+    /// scan.
     pub fn violations_of(&self, bound: SimDuration) -> usize {
+        self.ensure_sorted();
+        let samples = self.samples_ns.borrow();
         let b = bound.as_nanos();
-        self.samples_ns.iter().filter(|&&ns| ns > b).count()
+        samples.len() - samples.partition_point(|&ns| ns <= b)
     }
 
     /// Merges another collector's samples into this one.
     pub fn merge(&mut self, other: &DelayStats) {
-        self.samples_ns.extend_from_slice(&other.samples_ns);
+        self.samples_ns
+            .get_mut()
+            .extend_from_slice(&other.samples_ns.borrow());
         self.sum_ns += other.sum_ns;
-        self.sorted = false;
+        self.sorted.set(false);
     }
 }
 
@@ -129,14 +165,15 @@ impl fmt::Display for DelayStats {
         if self.is_empty() {
             return f.write_str("no samples");
         }
-        let mut copy = self.clone();
+        // p95 goes through the shared sorted cache: the buffer is sorted (in
+        // place) at most once, not cloned per format call.
         write!(
             f,
             "n={} min={} mean={} p95={} max={}",
             self.count(),
             self.min().expect("non-empty"),
             self.mean().expect("non-empty"),
-            copy.quantile(0.95).expect("non-empty"),
+            self.quantile(0.95).expect("non-empty"),
             self.max().expect("non-empty"),
         )
     }
@@ -152,7 +189,7 @@ mod tests {
 
     #[test]
     fn empty_stats() {
-        let mut s = DelayStats::new();
+        let s = DelayStats::new();
         assert!(s.is_empty());
         assert_eq!(s.count(), 0);
         assert_eq!(s.min(), None);
@@ -208,6 +245,37 @@ mod tests {
         );
         assert_eq!(s.violations_of(ms(29)), 1);
         assert_eq!(s.violations_of(ms(9)), 3);
+    }
+
+    #[test]
+    fn violations_use_the_sorted_cache() {
+        let mut s = DelayStats::new();
+        for v in [40, 10, 30, 20] {
+            s.record(ms(v));
+        }
+        // First order-statistic query sorts once…
+        assert_eq!(s.violations_of(ms(25)), 2);
+        // …further queries and quantiles reuse the sorted view.
+        assert_eq!(s.quantile(0.5), Some(ms(20)));
+        assert_eq!(s.violations_of(ms(5)), 4);
+        assert_eq!(s.violations_of(ms(40)), 0);
+        // Recording invalidates and re-sorts lazily.
+        s.record(ms(50));
+        assert_eq!(s.violations_of(ms(45)), 1);
+        assert_eq!(s.min(), Some(ms(10)));
+        assert_eq!(s.max(), Some(ms(50)));
+    }
+
+    #[test]
+    fn display_uses_shared_cache() {
+        let mut s = DelayStats::new();
+        for v in 1..=100u64 {
+            s.record(ms(v));
+        }
+        let rendered = s.to_string();
+        assert!(rendered.contains("p95=95ms"), "{rendered}");
+        // The same object keeps answering consistently afterwards.
+        assert_eq!(s.quantile(0.95), Some(ms(95)));
     }
 
     #[test]

@@ -2,8 +2,8 @@
 
 use crate::flow::{validate_flows, FlowSpec};
 use crate::sar::{AlwaysLargestPolicy, MaxFirstPolicy, SegmentationPolicy};
-use btgs_baseband::{AmAddr, PacketType, ScoLink};
-use btgs_des::SimDuration;
+use btgs_baseband::{AmAddr, PacketType, PresenceWindow, ScoLink, SLOT};
+use btgs_des::{SimDuration, SimTime};
 use btgs_traffic::FlowId;
 use core::fmt;
 
@@ -123,6 +123,107 @@ impl AllowedByCap {
     }
 }
 
+/// Per-slave presence schedule of one piconet.
+///
+/// Full-time slaves have no entry and are always present; a scatternet
+/// bridge slave carries the [`PresenceWindow`] of its rendezvous schedule.
+/// Every query is a couple of integer operations on a 7-entry array —
+/// cheap enough for poller hot paths — and the default (all-present) mask
+/// short-circuits to the exact pre-scatternet behaviour.
+///
+/// # Examples
+///
+/// ```
+/// use btgs_piconet::PresenceMask;
+/// use btgs_baseband::{AmAddr, PresenceWindow};
+/// use btgs_des::{SimDuration, SimTime};
+///
+/// let bridge = AmAddr::new(7).unwrap();
+/// let window = PresenceWindow::new(
+///     SimDuration::from_millis(20),
+///     SimDuration::ZERO,
+///     SimDuration::from_millis(10),
+/// ).unwrap();
+/// let mut mask = PresenceMask::new();
+/// mask.set(bridge, window).unwrap();
+/// assert!(mask.is_present(bridge, SimTime::ZERO));
+/// assert!(!mask.is_present(bridge, SimTime::from_millis(12)));
+/// // Full-time slaves are always present.
+/// assert!(mask.is_present(AmAddr::new(1).unwrap(), SimTime::from_millis(12)));
+/// ```
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct PresenceMask {
+    windows: [Option<PresenceWindow>; AmAddr::MAX_SLAVES],
+}
+
+impl PresenceMask {
+    /// The trivial mask: every slave always present.
+    pub const ALWAYS: PresenceMask = PresenceMask {
+        windows: [None; AmAddr::MAX_SLAVES],
+    };
+
+    /// Creates the trivial (all-present) mask.
+    pub fn new() -> PresenceMask {
+        PresenceMask::ALWAYS
+    }
+
+    /// Registers the presence window of a part-time slave.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the slave already has a window (one device
+    /// cannot follow two rendezvous schedules in the same piconet).
+    pub fn set(&mut self, slave: AmAddr, window: PresenceWindow) -> Result<(), PiconetError> {
+        let slot = &mut self.windows[slave.index()];
+        if slot.is_some() {
+            return Err(PiconetError(format!(
+                "slave {slave} already has a presence window"
+            )));
+        }
+        *slot = Some(window);
+        Ok(())
+    }
+
+    /// The presence window of a slave, or `None` for full-time slaves.
+    pub fn window_of(&self, slave: AmAddr) -> Option<&PresenceWindow> {
+        self.windows[slave.index()].as_ref()
+    }
+
+    /// `true` if no slave has a presence window (the single-piconet case).
+    pub fn is_trivial(&self) -> bool {
+        self.windows.iter().all(|w| w.is_none())
+    }
+
+    /// `true` if `slave` is reachable at instant `t`.
+    #[inline]
+    pub fn is_present(&self, slave: AmAddr, t: SimTime) -> bool {
+        match &self.windows[slave.index()] {
+            None => true,
+            Some(w) => w.contains(t),
+        }
+    }
+
+    /// The earliest instant at or after `t` at which `slave` is reachable
+    /// (`t` itself for full-time slaves).
+    #[inline]
+    pub fn next_present(&self, slave: AmAddr, t: SimTime) -> SimTime {
+        match &self.windows[slave.index()] {
+            None => t,
+            Some(w) => w.next_present(t),
+        }
+    }
+
+    /// Whole slots for which `slave` stays reachable from `t` on
+    /// (`u64::MAX` for full-time slaves).
+    #[inline]
+    pub fn remaining_slots(&self, slave: AmAddr, t: SimTime) -> u64 {
+        match &self.windows[slave.index()] {
+            None => u64::MAX,
+            Some(w) => w.remaining(t).div_duration(SLOT),
+        }
+    }
+}
+
 /// An SCO link bound to a slave, optionally fed by a voice flow.
 #[derive(Clone, Debug, PartialEq)]
 pub struct ScoBinding {
@@ -166,6 +267,9 @@ pub struct PiconetConfig {
     pub sar: SarPolicy,
     /// Warm-up period excluded from all measurements.
     pub warmup: SimDuration,
+    /// Per-slave presence schedule; trivial (all-present) outside a
+    /// scatternet.
+    pub presence: PresenceMask,
 }
 
 impl PiconetConfig {
@@ -178,6 +282,7 @@ impl PiconetConfig {
             sco: Vec::new(),
             sar: SarPolicy::MaxFirst,
             warmup: SimDuration::ZERO,
+            presence: PresenceMask::ALWAYS,
         }
     }
 
@@ -206,6 +311,21 @@ impl PiconetConfig {
     #[must_use]
     pub fn with_sar(mut self, sar: SarPolicy) -> PiconetConfig {
         self.sar = sar;
+        self
+    }
+
+    /// Marks `slave` as part-time with the given presence window (builder
+    /// style).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slave already has a presence window; use
+    /// [`PresenceMask::set`] directly for fallible registration.
+    #[must_use]
+    pub fn with_presence(mut self, slave: AmAddr, window: PresenceWindow) -> PiconetConfig {
+        self.presence
+            .set(slave, window)
+            .expect("slave registered twice in with_presence");
         self
     }
 

@@ -62,9 +62,9 @@ const fn slave_slot(slave: AmAddr) -> usize {
 
 /// Multiplicative hasher for `FlowId` keys: a `u32` id needs mixing, not
 /// SipHash — on piconet-sized tables the default hasher costs more than the
-/// linear scan it replaces.
+/// linear scan it replaces. Shared with the scatternet's sharded arena.
 #[derive(Clone, Copy, Debug, Default)]
-struct FlowIdHasher(u64);
+pub(crate) struct FlowIdHasher(u64);
 
 impl Hasher for FlowIdHasher {
     #[inline]

@@ -19,7 +19,12 @@
 //! * SCO reserved-slot links, a BER channel model with 1-bit ARQ
 //!   retransmission for the paper's future-work benches;
 //! * full accounting: per-flow delays and throughput, per-category
-//!   [slot usage](SlotLedger), poll success counters.
+//!   [slot usage](SlotLedger), poll success counters;
+//! * a **scatternet layer** ([`ScatternetSim`]): N piconets on one shared
+//!   engine, a sharded flow arena ([`ShardedFlowArena`]) routing global
+//!   flow ids, bridge slaves on deterministic rendezvous schedules
+//!   ([`PresenceMask`]), and cross-piconet chains with end-to-end and
+//!   bridge-residence delay accounting ([`ChainReport`]).
 //!
 //! Polling *policies* plug in through the [`Poller`] trait; baselines live
 //! in `btgs-pollers`, and the paper's Guaranteed Service pollers in
@@ -36,9 +41,10 @@ mod poller;
 mod queue;
 mod report;
 mod sar;
+mod scatternet;
 mod sim;
 
-pub use config::{AllowedByCap, PiconetConfig, PiconetError, SarPolicy, ScoBinding};
+pub use config::{AllowedByCap, PiconetConfig, PiconetError, PresenceMask, SarPolicy, ScoBinding};
 pub use flow::{validate_flows, FlowSpec};
 pub use flow_table::{FlowIdx, FlowTable};
 pub use ledger::{PollCounters, SlotLedger};
@@ -47,5 +53,9 @@ pub use queue::{FlowQueue, SegmentPlan};
 pub use report::{FlowReport, RunReport};
 pub use sar::{
     segment_count, segment_plan, AlwaysLargestPolicy, MaxFirstPolicy, SegmentationPolicy,
+};
+pub use scatternet::{
+    BridgeSpec, ChainReport, ChainSpec, ScatternetConfig, ScatternetReport, ScatternetSim,
+    ShardedFlowArena,
 };
 pub use sim::{EventQueueBackend, PiconetSim, RoundRobinForTest};

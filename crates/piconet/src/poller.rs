@@ -7,6 +7,7 @@
 //! upstream traffic, the master lacks knowledge about the availability of
 //! data at a slave."*
 
+use crate::config::PresenceMask;
 use crate::flow::FlowSpec;
 use crate::flow_table::{FlowIdx, FlowTable};
 use crate::queue::{FlowQueue, SegmentPlan};
@@ -48,6 +49,7 @@ pub struct MasterView<'a> {
     now: SimTime,
     table: &'a FlowTable,
     downlink_queues: &'a [Option<FlowQueue>],
+    presence: &'a PresenceMask,
 }
 
 /// Snapshot of one downlink queue.
@@ -73,17 +75,66 @@ impl<'a> MasterView<'a> {
         table: &'a FlowTable,
         downlink_queues: &'a [Option<FlowQueue>],
     ) -> MasterView<'a> {
+        MasterView::with_presence(now, table, downlink_queues, &PresenceMask::ALWAYS)
+    }
+
+    /// Creates a view with an explicit per-slave presence mask (scatternet
+    /// piconets with bridge slaves; [`MasterView::new`] assumes everybody is
+    /// always present).
+    pub fn with_presence(
+        now: SimTime,
+        table: &'a FlowTable,
+        downlink_queues: &'a [Option<FlowQueue>],
+        presence: &'a PresenceMask,
+    ) -> MasterView<'a> {
         debug_assert_eq!(table.len(), downlink_queues.len());
         MasterView {
             now,
             table,
             downlink_queues,
+            presence,
         }
     }
 
     /// The current instant (an even slot boundary).
     pub fn now(&self) -> SimTime {
         self.now
+    }
+
+    /// The per-slave presence mask of the piconet.
+    pub fn presence(&self) -> &'a PresenceMask {
+        self.presence
+    }
+
+    /// `true` if `slave` is reachable right now (always true outside a
+    /// scatternet). Pollers must not address absent bridge slaves.
+    #[inline]
+    pub fn is_present(&self, slave: AmAddr) -> bool {
+        self.presence.is_present(slave, self.now)
+    }
+
+    /// The earliest instant at or after now at which `slave` is reachable
+    /// (now itself for present slaves). O(1), allocation-free.
+    #[inline]
+    pub fn next_present(&self, slave: AmAddr) -> SimTime {
+        self.presence.next_present(slave, self.now)
+    }
+
+    /// The earliest instant at or after now at which *any* of `slaves` is
+    /// reachable — the shared "everybody is off in another piconet, wait
+    /// for the first one back" fallback of the presence-aware pollers.
+    /// Allocation-free.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slaves` is empty (an empty candidate set should `Sleep`,
+    /// not idle).
+    pub fn earliest_presence(&self, slaves: &[AmAddr]) -> SimTime {
+        slaves
+            .iter()
+            .map(|&s| self.next_present(s))
+            .min()
+            .expect("earliest_presence needs at least one candidate slave")
     }
 
     /// The flow table of the piconet.

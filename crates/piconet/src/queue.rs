@@ -68,6 +68,21 @@ impl FlowQueue {
         FlowQueue::default()
     }
 
+    /// Creates an empty queue pre-sized for `capacity` packets, so pushes
+    /// up to that depth never touch the allocator (the scatternet relay
+    /// queues rely on this for the zero-alloc steady state).
+    pub fn with_capacity(capacity: usize) -> FlowQueue {
+        FlowQueue {
+            packets: VecDeque::with_capacity(capacity),
+            ..FlowQueue::default()
+        }
+    }
+
+    /// Pre-sizes the queue for at least `additional` further packets.
+    pub fn reserve(&mut self, additional: usize) {
+        self.packets.reserve(additional);
+    }
+
     /// Enqueues a higher-layer packet.
     ///
     /// # Panics

@@ -1,0 +1,823 @@
+//! The scatternet layer: N piconets, bridge slaves on deterministic
+//! rendezvous schedules, and cross-piconet flows relayed hop by hop.
+//!
+//! The paper's future-work section points at inter-piconet operation; this
+//! module opens that workload without touching the single-piconet
+//! semantics:
+//!
+//! * a [`ShardedFlowArena`] routes every global [`FlowId`] to its
+//!   `(PiconetId, FlowIdx)` shard — per-piconet [`FlowTable`]s stay dense
+//!   and the global id space stays O(1) to resolve;
+//! * [`BridgeSpec`]s describe slaves that time-share between two piconets
+//!   on a periodic rendezvous cycle; their [`PresenceWindow`]s are injected
+//!   into each piconet's presence mask, so pollers skip absent bridges;
+//! * [`ChainSpec`]s compose per-piconet flows into cross-piconet paths.
+//!   Packets completing a hop are re-enqueued on the next hop — at the
+//!   exchange end for master relays (same device), or when the bridge next
+//!   appears in the target piconet (the *residence time*);
+//! * [`ScatternetSim`] drives all piconet worlds on **one** shared timing
+//!   wheel, reusing the single-piconet event handlers verbatim — a piconet
+//!   inside a scatternet and a [`PiconetSim`](crate::PiconetSim) run the
+//!   same code;
+//! * [`ScatternetReport`] carries each piconet's [`RunReport`] (per-hop
+//!   delay statistics included) plus per-chain end-to-end and residence
+//!   [`DelayStats`]: with immediate master relays, end-to-end delay is
+//!   exactly the sum of per-hop queueing delays plus bridge residence.
+//!
+//! The steady state is allocation-free like the single-piconet loop: relay
+//! outboxes, origin FIFOs and report buffers are pre-reserved at build
+//! time.
+
+use crate::config::{PiconetConfig, PiconetError};
+use crate::flow::FlowSpec;
+use crate::flow_table::{FlowIdHasher, FlowIdx, FlowTable};
+use crate::poller::Poller;
+use crate::report::RunReport;
+use crate::sim::{handle, seed_world, Ev, EvSink, World};
+use btgs_baseband::{ChannelModel, PiconetId, PresenceWindow, ScopedSlave};
+use btgs_des::{EventKey, EventQueue, Scheduler, SimDuration, SimTime, Simulator};
+use btgs_metrics::DelayStats;
+use btgs_traffic::{AppPacket, FlowId, Source};
+use std::collections::{HashMap, VecDeque};
+use std::hash::BuildHasherDefault;
+
+/// How one global flow id resolves to its shard. Mirrors the dense/spread
+/// split of the per-piconet id index.
+#[derive(Clone, Debug)]
+enum RouteIndex {
+    /// Direct map for small id spaces: one masked array read.
+    Dense(Vec<Option<(PiconetId, FlowIdx)>>),
+    /// Fast-hash map for sparse id spaces.
+    Spread(HashMap<FlowId, (PiconetId, FlowIdx), BuildHasherDefault<FlowIdHasher>>),
+}
+
+/// Largest id the direct map will spend memory on, relative to flow count.
+const DENSE_ID_HEADROOM: usize = 64;
+
+/// The sharded flow arena of a scatternet: one dense [`FlowTable`] per
+/// piconet, plus a global index from [`FlowId`] to `(PiconetId, FlowIdx)`.
+///
+/// Flow ids are globally unique across shards (validated at construction),
+/// so a global id resolves to exactly one shard — no cross-shard aliasing.
+///
+/// # Examples
+///
+/// ```
+/// use btgs_piconet::{FlowSpec, FlowTable, ShardedFlowArena};
+/// use btgs_baseband::{AmAddr, Direction, LogicalChannel, PiconetId};
+/// use btgs_traffic::FlowId;
+///
+/// let s = |n| AmAddr::new(n).unwrap();
+/// let shard0 = FlowTable::new(vec![FlowSpec::new(
+///     FlowId(1), s(1), Direction::SlaveToMaster, LogicalChannel::GuaranteedService,
+/// )]).unwrap();
+/// let shard1 = FlowTable::new(vec![FlowSpec::new(
+///     FlowId(101), s(1), Direction::SlaveToMaster, LogicalChannel::GuaranteedService,
+/// )]).unwrap();
+/// let arena = ShardedFlowArena::new(vec![shard0, shard1]).unwrap();
+/// let (pic, idx) = arena.route(FlowId(101)).unwrap();
+/// assert_eq!(pic, PiconetId(1));
+/// assert_eq!(arena.shard(pic).id(idx), FlowId(101));
+/// assert!(arena.route(FlowId(2)).is_none());
+/// ```
+#[derive(Clone, Debug)]
+pub struct ShardedFlowArena {
+    shards: Vec<FlowTable>,
+    route: RouteIndex,
+    len: usize,
+}
+
+impl ShardedFlowArena {
+    /// Builds the arena from per-piconet flow tables.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if a flow id appears in more than one shard, or if
+    /// there are more than 255 shards (piconet ids are 8-bit).
+    pub fn new(shards: Vec<FlowTable>) -> Result<ShardedFlowArena, String> {
+        if shards.len() > u8::MAX as usize {
+            return Err(format!(
+                "{} piconets exceed the 255 the 8-bit PiconetId can name",
+                shards.len()
+            ));
+        }
+        let len: usize = shards.iter().map(|t| t.len()).sum();
+        let max_id = shards
+            .iter()
+            .flat_map(|t| t.specs())
+            .map(|f| f.id.0 as usize)
+            .max()
+            .unwrap_or(0);
+        let entries = shards.iter().enumerate().flat_map(|(p, t)| {
+            t.iter()
+                .map(move |(idx, f)| (f.id, (PiconetId(p as u8), idx)))
+        });
+        let route = if max_id <= len * 8 + DENSE_ID_HEADROOM {
+            let mut dense = vec![None; max_id + 1];
+            for (id, target) in entries {
+                let slot = &mut dense[id.0 as usize];
+                if slot.is_some() {
+                    return Err(format!("flow id {id} appears in more than one piconet"));
+                }
+                *slot = Some(target);
+            }
+            RouteIndex::Dense(dense)
+        } else {
+            let mut map: HashMap<_, _, BuildHasherDefault<FlowIdHasher>> =
+                HashMap::with_capacity_and_hasher(len, BuildHasherDefault::default());
+            for (id, target) in entries {
+                if map.insert(id, target).is_some() {
+                    return Err(format!("flow id {id} appears in more than one piconet"));
+                }
+            }
+            RouteIndex::Spread(map)
+        };
+        Ok(ShardedFlowArena { shards, route, len })
+    }
+
+    /// Number of piconet shards.
+    pub fn num_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Total number of flows across all shards.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// `true` if no shard holds any flow.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The dense flow table of one piconet.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pic` is out of range.
+    pub fn shard(&self, pic: PiconetId) -> &FlowTable {
+        &self.shards[pic.index()]
+    }
+
+    /// All shards, in piconet order.
+    pub fn shards(&self) -> &[FlowTable] {
+        &self.shards
+    }
+
+    /// Resolves a global flow id to its `(piconet, dense index)` pair,
+    /// O(1).
+    #[inline]
+    pub fn route(&self, id: FlowId) -> Option<(PiconetId, FlowIdx)> {
+        match &self.route {
+            RouteIndex::Dense(dense) => *dense.get(id.0 as usize)?,
+            RouteIndex::Spread(map) => map.get(&id).copied(),
+        }
+    }
+
+    /// The spec of a global flow id, O(1).
+    pub fn spec_of(&self, id: FlowId) -> Option<&FlowSpec> {
+        let (pic, idx) = self.route(id)?;
+        Some(self.shards[pic.index()].spec(idx))
+    }
+}
+
+/// A bridge slave: one radio that is `upstream.slave` in piconet
+/// `upstream.piconet` and `downstream.slave` in piconet
+/// `downstream.piconet`, alternating between the two on a fixed cycle.
+///
+/// Within every `cycle`, the bridge spends `[0, dwell_upstream)` in the
+/// upstream piconet and `[dwell_upstream, cycle)` in the downstream one.
+/// Packets cross the bridge in the upstream→downstream direction: a
+/// downlink hop delivers to the bridge while it sits upstream, and the
+/// relayed packet becomes transmittable downstream when the bridge next
+/// appears there.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct BridgeSpec {
+    /// The bridge's identity in the piconet packets arrive from.
+    pub upstream: ScopedSlave,
+    /// The bridge's identity in the piconet packets continue into.
+    pub downstream: ScopedSlave,
+    /// Rendezvous cycle length (slot-pair aligned).
+    pub cycle: SimDuration,
+    /// Time per cycle spent in the upstream piconet; the remainder is spent
+    /// downstream.
+    pub dwell_upstream: SimDuration,
+}
+
+impl BridgeSpec {
+    /// The presence windows of the bridge: `(upstream, downstream)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns the window validation error (zero dwell, misaligned or
+    /// overlong durations).
+    pub fn windows(&self) -> Result<(PresenceWindow, PresenceWindow), PiconetError> {
+        let up = PresenceWindow::new(self.cycle, SimDuration::ZERO, self.dwell_upstream)
+            .map_err(|e| PiconetError(format!("bridge {}: {e}", self.upstream)))?;
+        let down = PresenceWindow::new(
+            self.cycle,
+            self.dwell_upstream,
+            self.cycle - self.dwell_upstream,
+        )
+        .map_err(|e| PiconetError(format!("bridge {}: {e}", self.downstream)))?;
+        Ok((up, down))
+    }
+}
+
+/// A cross-piconet flow: an ordered list of per-piconet hop flows.
+///
+/// Consecutive hops must share a device: an uplink hop followed by a
+/// downlink hop in the same piconet (the master relays internally), or a
+/// downlink hop to a bridge slave followed by an uplink hop from that
+/// bridge's identity in the next piconet.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ChainSpec {
+    /// The hop flows, in path order. The first hop is fed by a registered
+    /// source; every later hop is fed by relaying.
+    pub hops: Vec<FlowId>,
+}
+
+/// Static description of a scatternet scenario.
+#[derive(Clone, Debug)]
+pub struct ScatternetConfig {
+    /// The piconets, indexed by [`PiconetId`].
+    pub piconets: Vec<PiconetConfig>,
+    /// The bridge slaves connecting them.
+    pub bridges: Vec<BridgeSpec>,
+    /// Cross-piconet flows relayed across the bridges.
+    pub chains: Vec<ChainSpec>,
+}
+
+/// What happens to a packet that completes delivery on a captured hop.
+#[derive(Clone, Copy, Debug)]
+enum HopNext {
+    /// Last hop of its chain: record end-to-end delay.
+    Terminal {
+        chain: u32,
+        /// Position of the completed hop within the chain.
+        hop: u16,
+    },
+    /// Relay onto the next hop.
+    Forward {
+        chain: u32,
+        /// Position of the completed hop within the chain (0 = first hop,
+        /// whose packet arrival is the chain's origin timestamp).
+        hop: u16,
+        /// Target piconet.
+        pic: u8,
+        /// Dense index of the target hop flow in its piconet.
+        flow_idx: u32,
+        /// Bridge crossings wait for the target-piconet presence window;
+        /// `None` is a master-internal relay (immediate).
+        window: Option<PresenceWindow>,
+    },
+}
+
+/// Per-chain runtime accounting.
+///
+/// Every chain statistic and counter covers the same packet population:
+/// packets whose *origin* (first-hop arrival) falls inside the measurement
+/// window. Per-flow FIFO order holds at every hop, and origins are
+/// non-decreasing, so the warm-up packets form a prefix of each hop's
+/// crossing sequence — a crossing is attributed to a counted packet by
+/// comparing its per-hop index against the warm-up prefix length, with no
+/// per-packet bookkeeping beyond the origin FIFO.
+struct ChainRt {
+    hops: Vec<FlowId>,
+    /// Origin (first-hop arrival) timestamps of packets in flight along the
+    /// chain, FIFO — per-flow order is preserved across hops, so the
+    /// terminal hop pops its own origin.
+    origins: VecDeque<SimTime>,
+    /// Packets that have completed each hop so far (crossing index).
+    crossings: Vec<u64>,
+    /// Number of packets whose origin fell into warm-up — a prefix of every
+    /// hop's crossing sequence (origins are non-decreasing).
+    warmup_origins: u64,
+    e2e: DelayStats,
+    residence: DelayStats,
+    relayed: u64,
+    delivered: u64,
+}
+
+/// A piconet-tagged event on the shared scatternet wheel.
+#[derive(Debug)]
+struct SEv {
+    pic: u8,
+    ev: Ev,
+}
+
+/// [`EvSink`] adapter: tags every event scheduled by a piconet's handlers
+/// with that piconet's id before it reaches the shared scheduler.
+struct PicCtx<'a> {
+    sched: &'a mut Scheduler<SEv, EventQueue<SEv>>,
+    pic: u8,
+}
+
+impl EvSink for PicCtx<'_> {
+    #[inline]
+    fn now(&self) -> SimTime {
+        self.sched.now()
+    }
+
+    #[inline]
+    fn schedule_at(&mut self, at: SimTime, ev: Ev) -> EventKey {
+        self.sched.schedule_at(at, SEv { pic: self.pic, ev })
+    }
+
+    #[inline]
+    fn cancel(&mut self, key: EventKey) {
+        let _ = self.sched.cancel(key);
+    }
+
+    #[inline]
+    fn next_event_time(&mut self) -> Option<SimTime> {
+        // Conservative: any same-instant event (even another piconet's)
+        // routes the wake through the queue instead of inlining it.
+        self.sched.next_event_time()
+    }
+}
+
+/// The shared state of all piconets plus the relay fabric.
+struct ScatterWorld {
+    worlds: Vec<World>,
+    /// `routes[pic][flow_idx]`: relay action for captured flows.
+    routes: Vec<Vec<Option<HopNext>>>,
+    chains: Vec<ChainRt>,
+    /// Chain statistics are recorded for packets originating at or after
+    /// this instant (the maximum piconet warm-up).
+    warmup: SimTime,
+}
+
+fn handle_scatter(sched: &mut Scheduler<SEv, EventQueue<SEv>>, sw: &mut ScatterWorld, ev: SEv) {
+    let pic = ev.pic as usize;
+    {
+        let mut ctx = PicCtx { sched, pic: ev.pic };
+        handle(&mut ctx, &mut sw.worlds[pic], ev.ev);
+    }
+    if sw.worlds[pic].outbox.is_empty() {
+        return;
+    }
+    // Route every packet the handler completed on a captured hop. The
+    // outbox cannot grow while draining (routing only schedules events), so
+    // the indexed loop is exact; `Captured` is `Copy`, so each read ends
+    // its borrow before the routing mutates chains.
+    let captured = sw.worlds[pic].outbox.len();
+    for i in 0..captured {
+        let cap = sw.worlds[pic].outbox[i];
+        let Some(next) = sw.routes[pic][cap.flow_idx] else {
+            debug_assert!(false, "captured flow without a route");
+            continue;
+        };
+        match next {
+            HopNext::Terminal { chain, hop } => {
+                let c = &mut sw.chains[chain as usize];
+                let i = c.crossings[hop as usize];
+                c.crossings[hop as usize] += 1;
+                let origin = c.origins.pop_front().expect(
+                    "per-flow FIFO holds across hops: every terminal delivery has an origin",
+                );
+                // Counted iff the packet is past the warm-up prefix —
+                // equivalent to `origin >= warmup` here (asserted), phrased
+                // the same way as the intermediate hops for symmetry.
+                if i >= c.warmup_origins {
+                    debug_assert!(origin >= sw.warmup);
+                    c.delivered += 1;
+                    c.e2e.record(cap.at - origin);
+                }
+            }
+            HopNext::Forward {
+                chain,
+                hop,
+                pic: tpic,
+                flow_idx,
+                window,
+            } => {
+                let now = sched.now();
+                // The handoff instant: immediately for a master-internal
+                // relay; when the bridge next appears in the target piconet
+                // for a bridge crossing. The `max(now)` only guards against
+                // hand-built non-complementary schedules — derived bridge
+                // windows always put the next appearance at or after the
+                // exchange end.
+                let handoff = match &window {
+                    Some(w) => w.next_present(cap.at).max(now),
+                    None => now,
+                };
+                let flow = sw.worlds[tpic as usize].table.id(FlowIdx(flow_idx));
+                let c = &mut sw.chains[chain as usize];
+                let i = c.crossings[hop as usize];
+                c.crossings[hop as usize] += 1;
+                if hop == 0 {
+                    // Classify the origin before the counted check, so a
+                    // warm-up packet extends the prefix past itself.
+                    if cap.pkt.arrival < sw.warmup {
+                        c.warmup_origins += 1;
+                    }
+                    c.origins.push_back(cap.pkt.arrival);
+                }
+                // Counted iff this crossing belongs to a packet whose
+                // origin cleared warm-up: all chain statistics and counters
+                // cover exactly the same packet population.
+                if i >= c.warmup_origins {
+                    c.relayed += 1;
+                    if window.is_some() {
+                        c.residence.record(handoff - cap.at);
+                    }
+                }
+                let pkt = AppPacket::new(cap.pkt.seq, flow, cap.pkt.size, handoff);
+                sched.schedule_at(
+                    handoff,
+                    SEv {
+                        pic: tpic,
+                        ev: Ev::Relay {
+                            flow_idx: flow_idx as usize,
+                            pkt,
+                        },
+                    },
+                );
+            }
+        }
+    }
+    sw.worlds[pic].outbox.clear();
+}
+
+/// Measurements of one cross-piconet chain.
+#[derive(Clone, Debug)]
+pub struct ChainReport {
+    /// The hop flows, in path order.
+    pub hops: Vec<FlowId>,
+    /// Packets relayed onto a further hop within the measurement window
+    /// (counted once per hop crossed).
+    pub relayed_packets: u64,
+    /// Packets that completed the final hop and originated within the
+    /// measurement window (always equal to `e2e.count()`).
+    pub delivered_packets: u64,
+    /// End-to-end delay: first-hop arrival to final-hop delivery. Equals
+    /// the sum of per-hop queueing delays plus the bridge residence times
+    /// (master relays are immediate).
+    pub e2e: DelayStats,
+    /// Bridge residence: delivery at the bridge to the bridge's next
+    /// appearance in the target piconet, per bridge crossing.
+    pub residence: DelayStats,
+}
+
+/// The complete result of one scatternet run.
+#[derive(Clone, Debug)]
+pub struct ScatternetReport {
+    /// Per-piconet run reports (per-hop delay statistics live here, under
+    /// the hop flows' ids). Their `events_processed` fields are zero — the
+    /// engine is shared, see [`ScatternetReport::events_processed`].
+    pub piconets: Vec<RunReport>,
+    /// Per-chain end-to-end measurements.
+    pub chains: Vec<ChainReport>,
+    /// Total events the shared engine processed over the whole run.
+    pub events_processed: u64,
+}
+
+impl ScatternetReport {
+    /// The run report of one piconet.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pic` is out of range.
+    pub fn piconet(&self, pic: PiconetId) -> &RunReport {
+        &self.piconets[pic.index()]
+    }
+
+    /// Aggregate delivered throughput over all piconets, in kbit/s.
+    pub fn total_throughput_kbps(&self) -> f64 {
+        self.piconets
+            .iter()
+            .map(RunReport::total_throughput_kbps)
+            .sum()
+    }
+}
+
+/// A configured scatternet simulation, ready to run.
+///
+/// Owns one [`World`] per piconet, all driven by a single shared timing
+/// wheel; see the [module docs](self) for the relay semantics.
+pub struct ScatternetSim {
+    sim: Simulator<ScatterWorld, SEv, EventQueue<SEv>>,
+    arena: ShardedFlowArena,
+    /// `relay_fed[pic][flow_idx]`: fed by relaying, exempt from the
+    /// one-source-per-flow rule.
+    relay_fed: Vec<Vec<bool>>,
+}
+
+impl ScatternetSim {
+    /// Builds a scatternet simulation.
+    ///
+    /// `pollers` and `channels` are per piconet, in [`PiconetId`] order.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first violated rule: per-piconet configuration errors,
+    /// bridge windows that do not fit their cycle, bridges naming unknown
+    /// piconets or doubling up on a slave, chains whose hops are unknown,
+    /// shared, or not connected device-to-device.
+    pub fn new(
+        config: ScatternetConfig,
+        pollers: Vec<Box<dyn Poller>>,
+        channels: Vec<Box<dyn ChannelModel>>,
+    ) -> Result<ScatternetSim, PiconetError> {
+        let n = config.piconets.len();
+        if n == 0 {
+            return Err(PiconetError(
+                "a scatternet needs at least one piconet".into(),
+            ));
+        }
+        if n > u8::MAX as usize {
+            return Err(PiconetError(format!(
+                "{n} piconets exceed the 255 the 8-bit PiconetId can name"
+            )));
+        }
+        if pollers.len() != n || channels.len() != n {
+            return Err(PiconetError(format!(
+                "{n} piconets need exactly {n} pollers and {n} channel models"
+            )));
+        }
+
+        // Inject the bridge presence windows into each piconet's mask.
+        let mut piconets = config.piconets.clone();
+        let mut bridge_windows: Vec<(PresenceWindow, PresenceWindow)> =
+            Vec::with_capacity(config.bridges.len());
+        for b in &config.bridges {
+            if b.upstream.piconet.index() >= n || b.downstream.piconet.index() >= n {
+                return Err(PiconetError(format!(
+                    "bridge {} -> {} names an unknown piconet",
+                    b.upstream, b.downstream
+                )));
+            }
+            if b.upstream.piconet == b.downstream.piconet {
+                return Err(PiconetError(format!(
+                    "bridge {} -> {} must connect two distinct piconets",
+                    b.upstream, b.downstream
+                )));
+            }
+            let (up, down) = b.windows()?;
+            piconets[b.upstream.piconet.index()]
+                .presence
+                .set(b.upstream.slave, up)?;
+            piconets[b.downstream.piconet.index()]
+                .presence
+                .set(b.downstream.slave, down)?;
+            bridge_windows.push((up, down));
+        }
+
+        // Build the per-piconet worlds and the sharded arena over their
+        // dense flow tables.
+        let mut worlds = Vec::with_capacity(n);
+        let mut chans = channels;
+        let mut polls = pollers;
+        for cfg in piconets.iter().rev() {
+            // Pop from the back so ownership moves without index juggling.
+            let poller = polls.pop().expect("length checked");
+            let channel = chans.pop().expect("length checked");
+            worlds.push(World::build(cfg, poller, channel)?);
+        }
+        worlds.reverse();
+        let arena = ShardedFlowArena::new(worlds.iter().map(|w| w.table.clone()).collect())
+            .map_err(PiconetError)?;
+
+        // Resolve the chains into relay routes.
+        let mut routes: Vec<Vec<Option<HopNext>>> =
+            worlds.iter().map(|w| vec![None; w.table.len()]).collect();
+        let mut relay_fed: Vec<Vec<bool>> =
+            worlds.iter().map(|w| vec![false; w.table.len()]).collect();
+        let mut chains = Vec::with_capacity(config.chains.len());
+        for (ci, chain) in config.chains.iter().enumerate() {
+            if chain.hops.len() < 2 {
+                return Err(PiconetError(format!(
+                    "chain {ci} needs at least two hops (a single-hop chain is just a flow)"
+                )));
+            }
+            let resolved: Vec<(PiconetId, FlowIdx)> = chain
+                .hops
+                .iter()
+                .map(|id| {
+                    arena
+                        .route(*id)
+                        .ok_or_else(|| PiconetError(format!("chain {ci}: unknown hop flow {id}")))
+                })
+                .collect::<Result<_, _>>()?;
+            for (k, window) in resolved.windows(2).enumerate() {
+                let (apic, aidx) = window[0];
+                let (bpic, bidx) = window[1];
+                let a = arena.shard(apic).spec(aidx);
+                let b = arena.shard(bpic).spec(bidx);
+                let bridge_window = if apic == bpic {
+                    // Master relay: hop k terminates at the master, hop k+1
+                    // originates there.
+                    if !a.direction.is_uplink() || !b.direction.is_downlink() {
+                        return Err(PiconetError(format!(
+                            "chain {ci}: hops {} -> {} stay in {apic} but do not relay \
+                             through the master (uplink then downlink required)",
+                            a.id, b.id
+                        )));
+                    }
+                    None
+                } else {
+                    // Bridge relay: hop k delivers to the bridge slave, hop
+                    // k+1 transmits from its identity in the next piconet.
+                    if !a.direction.is_downlink() || !b.direction.is_uplink() {
+                        return Err(PiconetError(format!(
+                            "chain {ci}: hops {} -> {} cross piconets but do not relay \
+                             through a bridge slave (downlink then uplink required)",
+                            a.id, b.id
+                        )));
+                    }
+                    let bridge = config
+                        .bridges
+                        .iter()
+                        .position(|br| {
+                            br.upstream == ScopedSlave::new(apic, a.slave)
+                                && br.downstream == ScopedSlave::new(bpic, b.slave)
+                        })
+                        .ok_or_else(|| {
+                            PiconetError(format!(
+                                "chain {ci}: no bridge connects {apic}/{} to {bpic}/{}",
+                                a.slave, b.slave
+                            ))
+                        })?;
+                    Some(bridge_windows[bridge].1)
+                };
+                let slot = &mut routes[apic.index()][aidx.get()];
+                if slot.is_some() {
+                    return Err(PiconetError(format!(
+                        "hop flow {} is shared by two chain positions",
+                        a.id
+                    )));
+                }
+                *slot = Some(HopNext::Forward {
+                    chain: ci as u32,
+                    hop: k as u16,
+                    pic: bpic.0,
+                    flow_idx: bidx.0,
+                    window: bridge_window,
+                });
+                relay_fed[bpic.index()][bidx.get()] = true;
+            }
+            let (lpic, lidx) = *resolved.last().expect("at least two hops");
+            let slot = &mut routes[lpic.index()][lidx.get()];
+            if slot.is_some() {
+                return Err(PiconetError(format!(
+                    "hop flow {} is shared by two chain positions",
+                    arena.shard(lpic).id(lidx)
+                )));
+            }
+            *slot = Some(HopNext::Terminal {
+                chain: ci as u32,
+                hop: (chain.hops.len() - 1) as u16,
+            });
+
+            let mut e2e = DelayStats::new();
+            let mut residence = DelayStats::new();
+            e2e.reserve(4096);
+            residence.reserve(4096);
+            chains.push(ChainRt {
+                hops: chain.hops.clone(),
+                origins: VecDeque::with_capacity(1024),
+                crossings: vec![0; chain.hops.len()],
+                warmup_origins: 0,
+                e2e,
+                residence,
+                relayed: 0,
+                delivered: 0,
+            });
+        }
+
+        // Arm the capture flags and pre-size the relay machinery.
+        for (pic, picroutes) in routes.iter().enumerate() {
+            for (idx, r) in picroutes.iter().enumerate() {
+                if r.is_some() {
+                    worlds[pic].capture[idx] = true;
+                    worlds[pic].reserve_relay(idx, 64);
+                }
+            }
+            for (idx, fed) in relay_fed[pic].iter().enumerate() {
+                if *fed {
+                    worlds[pic].reserve_relay(idx, 64);
+                }
+            }
+        }
+
+        let warmup = piconets
+            .iter()
+            .map(|c| SimTime::ZERO + c.warmup)
+            .max()
+            .expect("at least one piconet");
+        let world = ScatterWorld {
+            worlds,
+            routes,
+            chains,
+            warmup,
+        };
+        Ok(ScatternetSim {
+            sim: Simulator::with_queue(world, EventQueue::new()),
+            arena,
+            relay_fed,
+        })
+    }
+
+    /// The sharded flow arena (global id routing) of this scatternet.
+    pub fn arena(&self) -> &ShardedFlowArena {
+        &self.arena
+    }
+
+    /// Registers the traffic source of one flow, resolved through the
+    /// global id space.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the id is unknown, already has a source, or
+    /// names a relay-fed hop (those are fed by the previous hop).
+    pub fn add_source(&mut self, source: Box<dyn Source>) -> Result<(), PiconetError> {
+        let id = source.flow();
+        if let Some((pic, idx)) = self.arena.route(id) {
+            if self.relay_fed[pic.index()][idx.get()] {
+                return Err(PiconetError(format!(
+                    "flow {id} is relay-fed; it cannot also have a source"
+                )));
+            }
+            return self.sim.state_mut().worlds[pic.index()].add_source(source);
+        }
+        // SCO voice flows are not in the arena: route to the world whose
+        // SCO binding claims the id.
+        let worlds = &mut self.sim.state_mut().worlds;
+        match worlds.iter().position(|w| w.has_sco_voice(id)) {
+            Some(pic) => worlds[pic].add_source(source),
+            None => Err(PiconetError(format!("no flow {id} configured"))),
+        }
+    }
+
+    /// Runs the scatternet until `horizon` and returns the report.
+    /// (Consuming `self` makes a second run unrepresentable.)
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if a non-relay-fed flow lacks a source or a
+    /// warm-up reaches past the horizon.
+    pub fn run(self, horizon: SimTime) -> Result<ScatternetReport, PiconetError> {
+        self.run_probed(horizon, horizon, &mut || {})
+    }
+
+    /// Runs to `horizon`, invoking `probe` when the clock reaches
+    /// `checkpoint` and once more when the run loop finishes (before report
+    /// assembly) — the same bracketing hook as
+    /// [`PiconetSim::run_probed`](crate::PiconetSim::run_probed), used by
+    /// the zero-allocation gate.
+    ///
+    /// # Errors
+    ///
+    /// See [`ScatternetSim::run`].
+    pub fn run_probed(
+        mut self,
+        checkpoint: SimTime,
+        horizon: SimTime,
+        probe: &mut dyn FnMut(),
+    ) -> Result<ScatternetReport, PiconetError> {
+        // `self` is consumed, so a sim cannot run twice by construction.
+        let (sched, sw) = self.sim.split_mut();
+        for (pic, w) in sw.worlds.iter_mut().enumerate() {
+            let fed = &self.relay_fed[pic];
+            w.check_sources(&|idx| fed[idx])?;
+            w.check_horizon(horizon)?;
+            w.horizon = horizon;
+            let mut ctx = PicCtx {
+                sched: &mut *sched,
+                pic: pic as u8,
+            };
+            seed_world(&mut ctx, w);
+        }
+
+        self.sim.run_until(checkpoint, handle_scatter);
+        probe();
+        self.sim.run_until(horizon, handle_scatter);
+        probe();
+
+        let events_processed = self.sim.events_processed();
+        let sw = self.sim.into_state();
+        let piconets = sw
+            .worlds
+            .into_iter()
+            .map(|w| w.into_report(horizon, 0))
+            .collect();
+        let chains = sw
+            .chains
+            .into_iter()
+            .map(|c| ChainReport {
+                hops: c.hops,
+                relayed_packets: c.relayed,
+                delivered_packets: c.delivered,
+                e2e: c.e2e,
+                residence: c.residence,
+            })
+            .collect();
+        Ok(ScatternetReport {
+            piconets,
+            chains,
+            events_processed,
+        })
+    }
+}

@@ -8,7 +8,9 @@
 //! reservations pre-empt polling; ACL exchanges are sized to fit between
 //! them.
 
-use crate::config::{AllowedByCap, PiconetConfig, PiconetError, SarPolicy, ScoBinding};
+use crate::config::{
+    AllowedByCap, PiconetConfig, PiconetError, PresenceMask, SarPolicy, ScoBinding,
+};
 use crate::flow_table::FlowTable;
 use crate::ledger::{PollCounters, SlotLedger};
 use crate::poller::{ExchangeReport, MasterView, PollDecision, Poller, SegmentOutcome};
@@ -26,11 +28,54 @@ use std::collections::BTreeMap;
 
 /// Destination of a source's packets.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
-enum Target {
+pub(crate) enum Target {
     /// Index into the ACL flow tables.
     Flow(usize),
     /// Index into the SCO bindings.
     Sco(usize),
+}
+
+/// The event-scheduling surface the piconet handlers need.
+///
+/// Handlers used to take `&mut Scheduler<Ev, Q>` directly; the scatternet
+/// layer drives the *same* handlers from a shared scheduler whose event
+/// type wraps [`Ev`] with a piconet id. This trait is the seam: a plain
+/// scheduler implements it 1:1 (the single-piconet path compiles to exactly
+/// the old code), while the scatternet adapter tags every scheduled event
+/// with its piconet before it reaches the shared queue.
+pub(crate) trait EvSink {
+    /// The current simulated time.
+    fn now(&self) -> SimTime;
+    /// Schedules `ev` at the absolute instant `at`.
+    fn schedule_at(&mut self, at: SimTime, ev: Ev) -> EventKey;
+    /// Cancels a pending event scheduled through this sink.
+    fn cancel(&mut self, key: EventKey);
+    /// The firing time of the next pending event — *any* event, including
+    /// other piconets' in a scatternet (the same-instant-wake inlining in
+    /// [`wake_now`] only needs a conservative answer).
+    fn next_event_time(&mut self) -> Option<SimTime>;
+}
+
+impl<Q: PendingEvents<Ev>> EvSink for Scheduler<Ev, Q> {
+    #[inline]
+    fn now(&self) -> SimTime {
+        Scheduler::now(self)
+    }
+
+    #[inline]
+    fn schedule_at(&mut self, at: SimTime, ev: Ev) -> EventKey {
+        Scheduler::schedule_at(self, at, ev)
+    }
+
+    #[inline]
+    fn cancel(&mut self, key: EventKey) {
+        let _ = Scheduler::cancel(self, key);
+    }
+
+    #[inline]
+    fn next_event_time(&mut self) -> Option<SimTime> {
+        Scheduler::next_event_time(self)
+    }
 }
 
 /// One planned transmission direction of an exchange.
@@ -68,7 +113,7 @@ struct PendingExchange {
 }
 
 #[derive(Debug)]
-enum Ev {
+pub(crate) enum Ev {
     /// A higher-layer packet arrives at its queue.
     Arrival { source_idx: usize, pkt: AppPacket },
     /// The master re-evaluates what to do (channel known free).
@@ -79,11 +124,15 @@ enum Ev {
     ExchangeDone,
     /// An SCO reservation completes.
     ScoDone { sco_idx: usize, start: SimTime },
+    /// A packet relayed from another piconet (scatternet bridge or master
+    /// relay) lands in the flow's queue. `pkt.arrival` is the handoff
+    /// instant, which is also the event time.
+    Relay { flow_idx: usize, pkt: AppPacket },
 }
 
-struct SourceSlot {
-    source: Box<dyn Source>,
-    target: Target,
+pub(crate) struct SourceSlot {
+    pub(crate) source: Box<dyn Source>,
+    pub(crate) target: Target,
 }
 
 struct ScoRt {
@@ -92,8 +141,20 @@ struct ScoRt {
     report: FlowReport,
 }
 
-struct World {
-    table: FlowTable,
+/// A higher-layer packet that completed delivery on a capture-marked flow,
+/// waiting in the [`World::outbox`] for the scatternet layer to route.
+#[derive(Clone, Copy, Debug)]
+pub(crate) struct Captured {
+    /// Dense index of the flow the packet completed on.
+    pub(crate) flow_idx: usize,
+    /// The completed higher-layer packet (with this hop's arrival time).
+    pub(crate) pkt: AppPacket,
+    /// The delivery instant of the packet's last segment.
+    pub(crate) at: SimTime,
+}
+
+pub(crate) struct World {
+    pub(crate) table: FlowTable,
     /// Per-flow allowed packet types, pre-filtered by slot cap so the hot
     /// path never builds a fresh `Vec` per exchange.
     allowed: Vec<AllowedByCap>,
@@ -101,7 +162,7 @@ struct World {
     down_queues: Vec<Option<FlowQueue>>,
     up_queues: Vec<Option<FlowQueue>>,
     reports: Vec<FlowReport>,
-    sources: Vec<SourceSlot>,
+    pub(crate) sources: Vec<SourceSlot>,
     poller: Option<Box<dyn Poller>>,
     channel: Box<dyn ChannelModel>,
     sco: Vec<ScoRt>,
@@ -115,12 +176,225 @@ struct World {
     busy_until: SimTime,
     wake: Option<(SimTime, EventKey)>,
     warmup: SimTime,
+    /// Per-slave presence windows (bridge slaves in a scatternet); the
+    /// default mask reports every slave always present and costs nothing.
+    pub(crate) presence: PresenceMask,
+    /// Latest admissible arrival instant: arrivals past the run horizon are
+    /// never scheduled, so infinite sources cannot outrun the run loop.
+    pub(crate) horizon: SimTime,
+    /// `capture[idx]`: completed deliveries of flow `idx` are pushed to the
+    /// [`World::outbox`] for scatternet routing. All-false outside a
+    /// scatternet.
+    pub(crate) capture: Vec<bool>,
+    /// Packets captured by the current event, drained by the scatternet
+    /// loop after each handler returns. Pre-reserved; empty in steady state.
+    pub(crate) outbox: Vec<Captured>,
     ledger: SlotLedger,
     gs_polls: PollCounters,
     be_polls: PollCounters,
 }
 
 impl World {
+    /// Builds the per-piconet simulation state from a configuration, a
+    /// poller and a channel model. Shared by [`PiconetSim`] and the
+    /// scatternet simulator (which builds one world per piconet).
+    ///
+    /// # Errors
+    ///
+    /// Returns the configuration's validation error, if any.
+    pub(crate) fn build(
+        config: &PiconetConfig,
+        poller: Box<dyn Poller>,
+        channel: Box<dyn ChannelModel>,
+    ) -> Result<World, PiconetError> {
+        config.validate()?;
+        // `config.validate()` above already ran `validate_flows`.
+        let table = FlowTable::from_validated(config.flows.clone());
+        let allowed: Vec<AllowedByCap> = table
+            .specs()
+            .iter()
+            .map(|f| config.allowed_by_cap_for(f))
+            .collect();
+        let down_queues = table
+            .specs()
+            .iter()
+            .map(|f| f.direction.is_downlink().then(FlowQueue::new))
+            .collect();
+        let up_queues = table
+            .specs()
+            .iter()
+            .map(|f| f.direction.is_uplink().then(FlowQueue::new))
+            .collect();
+        let reports = table
+            .specs()
+            .iter()
+            .map(|_| {
+                let mut r = FlowReport::default();
+                // Head-room so early in-window samples never grow the
+                // buffer mid-run (it doubles amortized beyond this).
+                r.delay.reserve(1024);
+                r
+            })
+            .collect();
+        let sco = config
+            .sco
+            .iter()
+            .map(|b| ScoRt {
+                binding: b.clone(),
+                queue: FlowQueue::new(),
+                report: {
+                    let mut r = FlowReport::default();
+                    // Voice samples arrive every T_sco; same head-room as
+                    // the ACL reports so recording stays allocation-free.
+                    r.delay.reserve(4096);
+                    r
+                },
+            })
+            .collect();
+        let capture = vec![false; table.len()];
+        Ok(World {
+            table,
+            allowed,
+            sar: config.sar,
+            down_queues,
+            up_queues,
+            reports,
+            sources: Vec::new(),
+            poller: Some(poller),
+            channel,
+            sco,
+            sco_cache: None,
+            pending_exchange: None,
+            busy_until: SimTime::ZERO,
+            wake: None,
+            warmup: SimTime::ZERO + config.warmup,
+            presence: config.presence.clone(),
+            horizon: SimTime::MAX,
+            capture,
+            outbox: Vec::new(),
+            ledger: SlotLedger::default(),
+            gs_polls: PollCounters::default(),
+            be_polls: PollCounters::default(),
+        })
+    }
+
+    /// Registers the traffic source of one flow (ACL or SCO voice).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the flow id is unknown or already has a source.
+    pub(crate) fn add_source(&mut self, source: Box<dyn Source>) -> Result<(), PiconetError> {
+        let id = source.flow();
+        let target = if let Some(idx) = self.table.idx_of(id) {
+            Target::Flow(idx.get())
+        } else if let Some(idx) = self
+            .sco
+            .iter()
+            .position(|s| s.binding.voice_flow == Some(id))
+        {
+            Target::Sco(idx)
+        } else {
+            return Err(PiconetError(format!("no flow {id} configured")));
+        };
+        if self.sources.iter().any(|s| s.target == target) {
+            return Err(PiconetError(format!("flow {id} already has a source")));
+        }
+        self.sources.push(SourceSlot { source, target });
+        Ok(())
+    }
+
+    /// Checks that every flow has a source. `relay_fed(idx)` exempts flows
+    /// the scatternet feeds by relaying (they have no source of their own).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error naming the first flow without a source.
+    pub(crate) fn check_sources(
+        &self,
+        relay_fed: &dyn Fn(usize) -> bool,
+    ) -> Result<(), PiconetError> {
+        for (idx, f) in self.table.specs().iter().enumerate() {
+            if relay_fed(idx) {
+                continue;
+            }
+            if !self.sources.iter().any(|s| s.target == Target::Flow(idx)) {
+                return Err(PiconetError(format!("flow {} has no source", f.id)));
+            }
+        }
+        for (idx, s) in self.sco.iter().enumerate() {
+            if let Some(vf) = s.binding.voice_flow {
+                if !self
+                    .sources
+                    .iter()
+                    .any(|src| src.target == Target::Sco(idx))
+                {
+                    return Err(PiconetError(format!("SCO voice flow {vf} has no source")));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Checks that the warm-up ends before `horizon`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when it does not.
+    pub(crate) fn check_horizon(&self, horizon: SimTime) -> Result<(), PiconetError> {
+        if self.warmup >= horizon {
+            return Err(PiconetError(format!(
+                "warm-up {} must end before the horizon {horizon}",
+                self.warmup
+            )));
+        }
+        Ok(())
+    }
+
+    /// Assembles the per-flow [`RunReport`] of a finished run.
+    pub(crate) fn into_report(self, window_end: SimTime, events_processed: u64) -> RunReport {
+        let mut per_flow = BTreeMap::new();
+        for (idx, f) in self.table.specs().iter().enumerate() {
+            per_flow.insert(f.id, self.reports[idx].clone());
+        }
+        let mut sco_flows = Vec::new();
+        for s in &self.sco {
+            if let Some(id) = s.binding.voice_flow {
+                per_flow.insert(id, s.report.clone());
+                sco_flows.push((id, s.binding.slave));
+            }
+        }
+        RunReport {
+            window_start: self.warmup,
+            window_end,
+            flows: self.table.specs().to_vec(),
+            sco_flows,
+            per_flow,
+            ledger: self.ledger,
+            gs_polls: self.gs_polls,
+            be_polls: self.be_polls,
+            events_processed,
+            poller: self.poller.expect("poller present").name().to_owned(),
+        }
+    }
+
+    /// `true` if one of this world's SCO bindings carries voice flow `id`.
+    pub(crate) fn has_sco_voice(&self, id: btgs_traffic::FlowId) -> bool {
+        self.sco.iter().any(|s| s.binding.voice_flow == Some(id))
+    }
+
+    /// Pre-sizes the relay machinery of a scatternet piconet: `capture`
+    /// flags are set by the scatternet, the outbox and the relay-fed
+    /// queues must absorb their steady-state depth without allocating.
+    pub(crate) fn reserve_relay(&mut self, flow_idx: usize, queue_depth: usize) {
+        self.outbox.reserve(32);
+        if let Some(q) = self.down_queues[flow_idx].as_mut() {
+            q.reserve(queue_depth);
+        }
+        if let Some(q) = self.up_queues[flow_idx].as_mut() {
+            q.reserve(queue_depth);
+        }
+    }
+
     /// Dense index of the unique flow at `(slave, dir, channel)`, O(1) via
     /// the [`FlowTable`].
     fn flow_index(&self, slave: AmAddr, dir: Direction, channel: LogicalChannel) -> Option<usize> {
@@ -170,7 +444,7 @@ impl World {
     }
 }
 
-fn ensure_wake<Q: PendingEvents<Ev>>(sched: &mut Scheduler<Ev, Q>, w: &mut World, t: SimTime) {
+fn ensure_wake<S: EvSink>(sched: &mut S, w: &mut World, t: SimTime) {
     let target = next_master_tx_start(t.max(sched.now()));
     if let Some((existing, key)) = w.wake {
         if existing <= target {
@@ -191,7 +465,7 @@ fn ensure_wake<Q: PendingEvents<Ev>>(sched: &mut Scheduler<Ev, Q>, w: &mut World
 /// one is (e.g. an arrival stamped exactly at the exchange boundary), the
 /// wake is queued as before so the strict FIFO rule — same-time arrivals
 /// become visible before the master decides — is preserved bit for bit.
-fn wake_now<Q: PendingEvents<Ev>>(sched: &mut Scheduler<Ev, Q>, w: &mut World) {
+fn wake_now<S: EvSink>(sched: &mut S, w: &mut World) {
     let now = sched.now();
     debug_assert_eq!(now, next_master_tx_start(now), "wake_now off the slot grid");
     if let Some((t, key)) = w.wake {
@@ -210,7 +484,7 @@ fn wake_now<Q: PendingEvents<Ev>>(sched: &mut Scheduler<Ev, Q>, w: &mut World) {
     }
 }
 
-fn handle<Q: PendingEvents<Ev>>(sched: &mut Scheduler<Ev, Q>, w: &mut World, ev: Ev) {
+pub(crate) fn handle<S: EvSink>(sched: &mut S, w: &mut World, ev: Ev) {
     match ev {
         Ev::Arrival { source_idx, pkt } => on_arrival(sched, w, source_idx, pkt),
         Ev::Wake => on_wake(sched, w),
@@ -219,40 +493,48 @@ fn handle<Q: PendingEvents<Ev>>(sched: &mut Scheduler<Ev, Q>, w: &mut World, ev:
             on_exchange_done(sched, w, ex);
         }
         Ev::ScoDone { sco_idx, start } => on_sco_done(sched, w, sco_idx, start),
+        Ev::Relay { flow_idx, pkt } => on_relay(sched, w, flow_idx, pkt),
     }
 }
 
-fn on_arrival<Q: PendingEvents<Ev>>(
-    sched: &mut Scheduler<Ev, Q>,
-    w: &mut World,
-    source_idx: usize,
-    pkt: AppPacket,
-) {
+/// Books a higher-layer packet into its flow queue: offered-traffic
+/// accounting, the queue push, and the poller's downlink notification —
+/// shared verbatim by the arrival and relay paths so both stay bit-for-bit
+/// identical in accounting order.
+fn accept_flow_packet(w: &mut World, idx: usize, pkt: AppPacket, now: SimTime) {
+    if w.in_window(now) {
+        w.reports[idx].offered_packets += 1;
+        w.reports[idx].offered_bytes += pkt.size as u64;
+    }
+    // A populated downlink queue slot *is* the direction marker —
+    // no need to consult the flow spec on this per-packet path.
+    if let Some(q) = w.down_queues[idx].as_mut() {
+        q.push(pkt);
+        let flow_id = w.table.specs()[idx].id;
+        w.poller
+            .as_mut()
+            .expect("poller present")
+            .on_downlink_arrival(flow_id, now);
+    } else {
+        w.up_queues[idx]
+            .as_mut()
+            .expect("uplink queue exists")
+            .push(pkt);
+    }
+}
+
+fn on_arrival<S: EvSink>(sched: &mut S, w: &mut World, source_idx: usize, pkt: AppPacket) {
     let now = sched.now();
     debug_assert_eq!(pkt.arrival, now);
+    debug_assert!(
+        pkt.arrival <= w.horizon,
+        "scheduled arrival {} exceeds the run horizon {}",
+        pkt.arrival,
+        w.horizon
+    );
     let target = w.sources[source_idx].target;
     match target {
-        Target::Flow(idx) => {
-            if w.in_window(now) {
-                w.reports[idx].offered_packets += 1;
-                w.reports[idx].offered_bytes += pkt.size as u64;
-            }
-            // A populated downlink queue slot *is* the direction marker —
-            // no need to consult the flow spec on this per-packet path.
-            if let Some(q) = w.down_queues[idx].as_mut() {
-                q.push(pkt);
-                let flow_id = w.table.specs()[idx].id;
-                w.poller
-                    .as_mut()
-                    .expect("poller present")
-                    .on_downlink_arrival(flow_id, now);
-            } else {
-                w.up_queues[idx]
-                    .as_mut()
-                    .expect("uplink queue exists")
-                    .push(pkt);
-            }
-        }
+        Target::Flow(idx) => accept_flow_packet(w, idx, pkt, now),
         Target::Sco(idx) => {
             if w.in_window(now) {
                 w.sco[idx].report.offered_packets += 1;
@@ -261,16 +543,20 @@ fn on_arrival<Q: PendingEvents<Ev>>(
             w.sco[idx].queue.push(pkt);
         }
     }
-    // Fetch and schedule the source's next packet.
+    // Fetch and schedule the source's next packet. Arrivals past the run
+    // horizon would never be popped; skipping them keeps infinite sources
+    // (greedy, Poisson) from piling dead events into the queue.
     if let Some(next) = w.sources[source_idx].source.next_packet() {
         debug_assert!(next.arrival >= now, "sources must be time-ordered");
-        sched.schedule_at(
-            next.arrival,
-            Ev::Arrival {
-                source_idx,
-                pkt: next,
-            },
-        );
+        if next.arrival <= w.horizon {
+            sched.schedule_at(
+                next.arrival,
+                Ev::Arrival {
+                    source_idx,
+                    pkt: next,
+                },
+            );
+        }
     }
     // A free master may want to react (e.g. serve fresh downlink data).
     if now >= w.busy_until {
@@ -278,7 +564,20 @@ fn on_arrival<Q: PendingEvents<Ev>>(
     }
 }
 
-fn on_wake<Q: PendingEvents<Ev>>(sched: &mut Scheduler<Ev, Q>, w: &mut World) {
+/// A packet handed over from another piconet (scatternet relay): same
+/// bookkeeping as an arrival, but there is no source to re-arm — the next
+/// relay is scheduled by the scatternet layer when its packet completes the
+/// previous hop.
+fn on_relay<S: EvSink>(sched: &mut S, w: &mut World, flow_idx: usize, pkt: AppPacket) {
+    let now = sched.now();
+    debug_assert_eq!(pkt.arrival, now, "relay handoff lands at its event time");
+    accept_flow_packet(w, flow_idx, pkt, now);
+    if now >= w.busy_until {
+        ensure_wake(sched, w, now);
+    }
+}
+
+fn on_wake<S: EvSink>(sched: &mut S, w: &mut World) {
     let now = sched.now();
     if let Some((t, _)) = w.wake {
         if t == now {
@@ -299,7 +598,7 @@ fn on_wake<Q: PendingEvents<Ev>>(sched: &mut Scheduler<Ev, Q>, w: &mut World) {
         }
     }
 
-    let view = MasterView::new(now, &w.table, &w.down_queues);
+    let view = MasterView::with_presence(now, &w.table, &w.down_queues, &w.presence);
     let decision = w
         .poller
         .as_mut()
@@ -337,18 +636,32 @@ fn plan_direction(
     queue?.peek_segment(now, &sar, usable)
 }
 
-fn start_exchange<Q: PendingEvents<Ev>>(
-    sched: &mut Scheduler<Ev, Q>,
+fn start_exchange<S: EvSink>(
+    sched: &mut S,
     w: &mut World,
     now: SimTime,
     slave: AmAddr,
     channel: LogicalChannel,
 ) {
-    let window = w.window_slots(now);
+    let sco_window = w.window_slots(now);
+    // A part-time (bridge) slave bounds the exchange again: it must finish
+    // before the slave leaves for its other piconet. Always-present slaves
+    // report an unbounded window, so the single-piconet path is unchanged.
+    let presence_window = w.presence.remaining_slots(slave, now);
+    let window = sco_window.min(presence_window);
     if window < 2 {
-        // Cannot even fit POLL+NULL before the SCO reservation.
-        let res = w.next_sco_after(now).expect("window only bounded by SCO");
-        ensure_wake(sched, w, res);
+        // Cannot even fit POLL+NULL before the blocking boundary: wake at
+        // the earliest instant a blocker clears (the SCO reservation runs,
+        // or the bridge slave returns).
+        let mut t = SimTime::MAX;
+        if sco_window < 2 {
+            t = t.min(w.next_sco_after(now).expect("window only bounded by SCO"));
+        }
+        if presence_window < 2 {
+            t = t.min(w.presence.next_present(slave, now));
+        }
+        debug_assert!(t < SimTime::MAX, "window < 2 implies a blocker");
+        ensure_wake(sched, w, t);
         return;
     }
     let cap = window / 2;
@@ -435,11 +748,7 @@ fn start_exchange<Q: PendingEvents<Ev>>(
     sched.schedule_at(w.busy_until, Ev::ExchangeDone);
 }
 
-fn on_exchange_done<Q: PendingEvents<Ev>>(
-    sched: &mut Scheduler<Ev, Q>,
-    w: &mut World,
-    ex: PendingExchange,
-) {
+fn on_exchange_done<S: EvSink>(sched: &mut S, w: &mut World, ex: PendingExchange) {
     let now = sched.now();
     let in_window = w.in_window(ex.start);
 
@@ -535,18 +844,17 @@ fn apply_delivery(w: &mut World, tx: PlannedTx, at: SimTime, in_window: bool, di
                 report.delay.record(at - pkt.arrival);
             }
         }
-    } else {
-        // Still drain the queue during warm-up; just don't record.
-        let _ = completed;
+    }
+    // Relay capture runs regardless of the measurement window: a scatternet
+    // must forward warm-up packets too, it just does not record them.
+    if let Some(pkt) = completed {
+        if w.capture[flow_idx] {
+            w.outbox.push(Captured { flow_idx, pkt, at });
+        }
     }
 }
 
-fn start_sco<Q: PendingEvents<Ev>>(
-    sched: &mut Scheduler<Ev, Q>,
-    w: &mut World,
-    sco_idx: usize,
-    now: SimTime,
-) {
+fn start_sco<S: EvSink>(sched: &mut S, w: &mut World, sco_idx: usize, now: SimTime) {
     w.busy_until = now + SLOT_PAIR;
     sched.schedule_at(
         w.busy_until,
@@ -557,12 +865,7 @@ fn start_sco<Q: PendingEvents<Ev>>(
     );
 }
 
-fn on_sco_done<Q: PendingEvents<Ev>>(
-    sched: &mut Scheduler<Ev, Q>,
-    w: &mut World,
-    sco_idx: usize,
-    start: SimTime,
-) {
+fn on_sco_done<S: EvSink>(sched: &mut S, w: &mut World, sco_idx: usize, start: SimTime) {
     let now = sched.now();
     let in_window = w.in_window(start);
     if in_window {
@@ -638,7 +941,6 @@ fn on_sco_done<Q: PendingEvents<Ev>>(
 /// ```
 pub struct PiconetSim {
     sim: Engine,
-    started: bool,
 }
 
 /// Selects the pending-event structure backing a [`PiconetSim`] run.
@@ -670,6 +972,24 @@ impl Engine {
     }
 }
 
+/// Seeds one world's initial arrivals and wake-up. Same-time events fire in
+/// scheduling order, so packets arriving at t = 0 are already queued when
+/// the master makes its first decision. Shared by the single-piconet run
+/// loop and the scatternet (which seeds every piconet through its tagging
+/// [`EvSink`]).
+pub(crate) fn seed_world<S: EvSink>(sched: &mut S, w: &mut World) {
+    for source_idx in 0..w.sources.len() {
+        if let Some(pkt) = w.sources[source_idx].source.next_packet() {
+            if pkt.arrival <= w.horizon {
+                sched.schedule_at(pkt.arrival, Ev::Arrival { source_idx, pkt });
+            }
+        }
+    }
+    sched.schedule_at(SimTime::ZERO, Ev::Wake);
+    // The initial Wake is tracked manually (ensure_wake was not used).
+    w.wake = None;
+}
+
 /// Seeds the initial arrivals and wake-up, then drives the run loop to
 /// `horizon`, invoking `probe` at `checkpoint` and again when the loop
 /// finishes.
@@ -679,19 +999,9 @@ fn drive<Q: PendingEvents<Ev>>(
     horizon: SimTime,
     probe: &mut dyn FnMut(),
 ) {
-    // Seed initial arrivals, then the first master wake-up; same-time
-    // events fire in scheduling order, so packets arriving at t = 0 are
-    // already queued when the master makes its first decision.
-    let n_sources = sim.state().sources.len();
-    for source_idx in 0..n_sources {
-        if let Some(pkt) = sim.state_mut().sources[source_idx].source.next_packet() {
-            sim.scheduler_mut()
-                .schedule_at(pkt.arrival, Ev::Arrival { source_idx, pkt });
-        }
-    }
-    sim.scheduler_mut().schedule_at(SimTime::ZERO, Ev::Wake);
-    // The initial Wake is tracked manually (ensure_wake was not used).
-    sim.state_mut().wake = None;
+    let (sched, w) = sim.split_mut();
+    w.horizon = horizon;
+    seed_world(sched, w);
 
     sim.run_until(checkpoint, handle);
     probe();
@@ -726,70 +1036,7 @@ impl PiconetSim {
         channel: Box<dyn ChannelModel>,
         backend: EventQueueBackend,
     ) -> Result<PiconetSim, PiconetError> {
-        config.validate()?;
-        // `config.validate()` above already ran `validate_flows`.
-        let table = FlowTable::from_validated(config.flows.clone());
-        let allowed: Vec<AllowedByCap> = table
-            .specs()
-            .iter()
-            .map(|f| config.allowed_by_cap_for(f))
-            .collect();
-        let down_queues = table
-            .specs()
-            .iter()
-            .map(|f| f.direction.is_downlink().then(FlowQueue::new))
-            .collect();
-        let up_queues = table
-            .specs()
-            .iter()
-            .map(|f| f.direction.is_uplink().then(FlowQueue::new))
-            .collect();
-        let reports = table
-            .specs()
-            .iter()
-            .map(|_| {
-                let mut r = FlowReport::default();
-                // Head-room so early in-window samples never grow the
-                // buffer mid-run (it doubles amortized beyond this).
-                r.delay.reserve(1024);
-                r
-            })
-            .collect();
-        let sco = config
-            .sco
-            .iter()
-            .map(|b| ScoRt {
-                binding: b.clone(),
-                queue: FlowQueue::new(),
-                report: {
-                    let mut r = FlowReport::default();
-                    // Voice samples arrive every T_sco; same head-room as
-                    // the ACL reports so recording stays allocation-free.
-                    r.delay.reserve(4096);
-                    r
-                },
-            })
-            .collect();
-        let world = World {
-            table,
-            allowed,
-            sar: config.sar,
-            down_queues,
-            up_queues,
-            reports,
-            sources: Vec::new(),
-            poller: Some(poller),
-            channel,
-            sco,
-            sco_cache: None,
-            pending_exchange: None,
-            busy_until: SimTime::ZERO,
-            wake: None,
-            warmup: SimTime::ZERO + config.warmup,
-            ledger: SlotLedger::default(),
-            gs_polls: PollCounters::default(),
-            be_polls: PollCounters::default(),
-        };
+        let world = World::build(&config, poller, channel)?;
         let sim = match backend {
             EventQueueBackend::TimingWheel => {
                 Engine::Wheel(Simulator::with_queue(world, EventQueue::new()))
@@ -798,10 +1045,7 @@ impl PiconetSim {
                 Engine::Heap(Simulator::with_queue(world, HeapEventQueue::new()))
             }
         };
-        Ok(PiconetSim {
-            sim,
-            started: false,
-        })
+        Ok(PiconetSim { sim })
     }
 
     /// Registers the traffic source of one flow (ACL or SCO voice).
@@ -810,20 +1054,7 @@ impl PiconetSim {
     ///
     /// Returns an error if the flow id is unknown or already has a source.
     pub fn add_source(&mut self, source: Box<dyn Source>) -> Result<(), PiconetError> {
-        let id = source.flow();
-        let w = self.sim.world_mut();
-        let target = if let Some(idx) = w.table.idx_of(id) {
-            Target::Flow(idx.get())
-        } else if let Some(idx) = w.sco.iter().position(|s| s.binding.voice_flow == Some(id)) {
-            Target::Sco(idx)
-        } else {
-            return Err(PiconetError(format!("no flow {id} configured")));
-        };
-        if w.sources.iter().any(|s| s.target == target) {
-            return Err(PiconetError(format!("flow {id} already has a source")));
-        }
-        w.sources.push(SourceSlot { source, target });
-        Ok(())
+        self.sim.world_mut().add_source(source)
     }
 
     /// Runs the simulation until `horizon` and returns the report.
@@ -855,29 +1086,10 @@ impl PiconetSim {
         horizon: SimTime,
         probe: &mut dyn FnMut(),
     ) -> Result<RunReport, PiconetError> {
+        // `self` is consumed, so a sim cannot run twice by construction.
         let w = self.sim.world_mut();
-        if self.started {
-            return Err(PiconetError("simulation already ran".into()));
-        }
-        for (idx, f) in w.table.specs().iter().enumerate() {
-            if !w.sources.iter().any(|s| s.target == Target::Flow(idx)) {
-                return Err(PiconetError(format!("flow {} has no source", f.id)));
-            }
-        }
-        for (idx, s) in w.sco.iter().enumerate() {
-            if let Some(vf) = s.binding.voice_flow {
-                if !w.sources.iter().any(|src| src.target == Target::Sco(idx)) {
-                    return Err(PiconetError(format!("SCO voice flow {vf} has no source")));
-                }
-            }
-        }
-        if w.warmup >= horizon {
-            return Err(PiconetError(format!(
-                "warm-up {} must end before the horizon {horizon}",
-                w.warmup
-            )));
-        }
-        self.started = true;
+        w.check_sources(&|_| false)?;
+        w.check_horizon(horizon)?;
 
         let (events_processed, w) = match self.sim {
             Engine::Wheel(mut sim) => {
@@ -889,29 +1101,7 @@ impl PiconetSim {
                 (sim.events_processed(), sim.into_state())
             }
         };
-        let mut per_flow = BTreeMap::new();
-        for (idx, f) in w.table.specs().iter().enumerate() {
-            per_flow.insert(f.id, w.reports[idx].clone());
-        }
-        let mut sco_flows = Vec::new();
-        for s in &w.sco {
-            if let Some(id) = s.binding.voice_flow {
-                per_flow.insert(id, s.report.clone());
-                sco_flows.push((id, s.binding.slave));
-            }
-        }
-        Ok(RunReport {
-            window_start: w.warmup,
-            window_end: horizon,
-            flows: w.table.specs().to_vec(),
-            sco_flows,
-            per_flow,
-            ledger: w.ledger,
-            gs_polls: w.gs_polls,
-            be_polls: w.be_polls,
-            events_processed,
-            poller: w.poller.expect("poller present").name().to_owned(),
-        })
+        Ok(w.into_report(horizon, events_processed))
     }
 }
 

@@ -1,0 +1,458 @@
+//! Deterministic property tests for the scatternet layer, in the style of
+//! `flow_table_properties.rs`: DetRng-driven random instances instead of a
+//! proptest dependency.
+//!
+//! Covered:
+//! * the sharded arena — global-id ↔ `(piconet, index)` round-trips, no
+//!   cross-shard aliasing;
+//! * bridge forwarding — per-flow FIFO across the hop, and the end-to-end
+//!   identity `e2e = Σ per-hop queueing + Σ bridge residence` (exact, via
+//!   sample sums);
+//! * a 1-piconet scatternet is observationally identical to `PiconetSim`.
+
+use btgs_baseband::{AmAddr, Direction, IdealChannel, LogicalChannel, PiconetId, ScopedSlave};
+use btgs_des::{DetRng, SimDuration, SimTime};
+use btgs_piconet::{
+    BridgeSpec, ChainSpec, FlowSpec, FlowTable, MasterView, PiconetConfig, PiconetSim,
+    PollDecision, Poller, RunReport, ScatternetConfig, ScatternetSim, ShardedFlowArena,
+};
+use btgs_traffic::{CbrSource, FlowId, Source, TraceSource};
+
+fn s(n: u8) -> AmAddr {
+    AmAddr::new(n).unwrap()
+}
+
+fn pic(n: u8) -> PiconetId {
+    PiconetId(n)
+}
+
+/// Builds a random valid multi-shard flow layout: every flow id unique
+/// across shards, at most one flow per (slave, direction, channel) within a
+/// shard.
+fn random_shards(rng: &mut DetRng, n_shards: usize) -> Vec<Vec<FlowSpec>> {
+    let mut next_id = 1 + rng.below(50) as u32;
+    let mut shards = Vec::new();
+    for _ in 0..n_shards {
+        let mut flows = Vec::new();
+        for slave in 1..=7u8 {
+            for direction in [Direction::MasterToSlave, Direction::SlaveToMaster] {
+                for channel in [
+                    LogicalChannel::GuaranteedService,
+                    LogicalChannel::BestEffort,
+                ] {
+                    if rng.chance(0.35) {
+                        flows.push(FlowSpec::new(FlowId(next_id), s(slave), direction, channel));
+                        next_id += 1 + rng.below(4) as u32;
+                    }
+                }
+            }
+        }
+        shards.push(flows);
+    }
+    shards
+}
+
+#[test]
+fn arena_round_trips_every_global_id() {
+    let mut rng = DetRng::seed_from_u64(0xA7E7A);
+    for case in 0..50 {
+        let n_shards = 1 + rng.below(5) as usize;
+        let layouts = random_shards(&mut rng, n_shards);
+        let tables: Vec<FlowTable> = layouts
+            .iter()
+            .map(|f| FlowTable::new(f.clone()).expect("layout is valid"))
+            .collect();
+        let arena = ShardedFlowArena::new(tables).expect("unique ids");
+        let total: usize = layouts.iter().map(Vec::len).sum();
+        assert_eq!(arena.len(), total, "case {case}");
+        assert_eq!(arena.num_shards(), n_shards);
+        for (p, flows) in layouts.iter().enumerate() {
+            for f in flows {
+                // id -> (piconet, idx) -> id round-trip.
+                let (rp, idx) = arena
+                    .route(f.id)
+                    .unwrap_or_else(|| panic!("case {case}: {} unroutable", f.id));
+                assert_eq!(rp, pic(p as u8), "case {case}: {} in wrong shard", f.id);
+                assert_eq!(arena.shard(rp).id(idx), f.id);
+                assert_eq!(arena.spec_of(f.id).unwrap(), f);
+            }
+        }
+    }
+}
+
+#[test]
+fn arena_rejects_cross_shard_aliasing_and_misses_unknown_ids() {
+    let mut rng = DetRng::seed_from_u64(0xBEEF);
+    for _ in 0..50 {
+        let n_shards = 1 + rng.below(4) as usize;
+        let layouts = random_shards(&mut rng, n_shards);
+        let all_ids: Vec<FlowId> = layouts.iter().flatten().map(|f| f.id).collect();
+        if all_ids.is_empty() {
+            continue;
+        }
+        let tables: Vec<FlowTable> = layouts
+            .iter()
+            .map(|f| FlowTable::new(f.clone()).unwrap())
+            .collect();
+        let arena = ShardedFlowArena::new(tables.clone()).unwrap();
+        // Ids not in any shard miss.
+        let max = all_ids.iter().map(|i| i.0).max().unwrap();
+        assert!(arena.route(FlowId(max + 1)).is_none());
+        assert!(arena.route(FlowId(max + 999)).is_none());
+        // Duplicating any shard aliases every one of its ids: rejected.
+        let dup = tables.iter().find(|t| !t.is_empty()).map(|t| {
+            let mut v = tables.clone();
+            v.push(t.clone());
+            v
+        });
+        if let Some(aliased) = dup {
+            assert!(
+                ShardedFlowArena::new(aliased).is_err(),
+                "aliased ids must be rejected"
+            );
+        }
+    }
+}
+
+/// A minimal presence-aware GS poller for chain tests: polls its slave's GS
+/// channel whenever the slave is reachable, idles until its return
+/// otherwise.
+struct ChainTestPoller {
+    slaves: Vec<AmAddr>,
+    cursor: usize,
+}
+
+impl ChainTestPoller {
+    fn new(slaves: Vec<AmAddr>) -> ChainTestPoller {
+        ChainTestPoller { slaves, cursor: 0 }
+    }
+}
+
+impl Poller for ChainTestPoller {
+    fn decide(&mut self, _now: SimTime, view: &MasterView<'_>) -> PollDecision {
+        for _ in 0..self.slaves.len() {
+            let slave = self.slaves[self.cursor % self.slaves.len()];
+            self.cursor += 1;
+            if view.is_present(slave) {
+                return PollDecision::Poll {
+                    slave,
+                    channel: LogicalChannel::GuaranteedService,
+                };
+            }
+        }
+        let until = self
+            .slaves
+            .iter()
+            .map(|&sl| view.next_present(sl))
+            .min()
+            .expect("non-empty");
+        PollDecision::Idle { until }
+    }
+
+    fn on_exchange(&mut self, _report: &btgs_piconet::ExchangeReport) {}
+
+    fn name(&self) -> &'static str {
+        "chain-test"
+    }
+}
+
+/// A two-piconet scatternet with one bridged GS chain:
+/// `M0 -> bridge (P0, S7)` then `bridge (P1, S7) -> M1`.
+fn two_piconet_chain() -> ScatternetConfig {
+    let allowed = vec![
+        btgs_baseband::PacketType::Dh1,
+        btgs_baseband::PacketType::Dh3,
+    ];
+    let p0 = PiconetConfig::new(allowed.clone()).with_flow(FlowSpec::new(
+        FlowId(901),
+        s(7),
+        Direction::MasterToSlave,
+        LogicalChannel::GuaranteedService,
+    ));
+    let p1 = PiconetConfig::new(allowed).with_flow(FlowSpec::new(
+        FlowId(902),
+        s(7),
+        Direction::SlaveToMaster,
+        LogicalChannel::GuaranteedService,
+    ));
+    ScatternetConfig {
+        piconets: vec![p0, p1],
+        bridges: vec![BridgeSpec {
+            upstream: ScopedSlave::new(pic(0), s(7)),
+            downstream: ScopedSlave::new(pic(1), s(7)),
+            cycle: SimDuration::from_millis(20),
+            dwell_upstream: SimDuration::from_millis(10),
+        }],
+        chains: vec![ChainSpec {
+            hops: vec![FlowId(901), FlowId(902)],
+        }],
+    }
+}
+
+fn chain_sim(config: ScatternetConfig) -> ScatternetSim {
+    let pollers: Vec<Box<dyn Poller>> = vec![
+        Box::new(ChainTestPoller::new(vec![s(7)])),
+        Box::new(ChainTestPoller::new(vec![s(7)])),
+    ];
+    let channels: Vec<Box<dyn btgs_baseband::ChannelModel>> =
+        vec![Box::new(IdealChannel), Box::new(IdealChannel)];
+    ScatternetSim::new(config, pollers, channels).expect("valid scatternet")
+}
+
+#[test]
+fn bridged_chain_delivers_end_to_end() {
+    let mut sim = chain_sim(two_piconet_chain());
+    sim.add_source(Box::new(CbrSource::new(
+        FlowId(901),
+        SimDuration::from_millis(20),
+        144,
+        176,
+        DetRng::seed_from_u64(7),
+    )))
+    .unwrap();
+    let report = sim.run(SimTime::from_secs(2)).unwrap();
+
+    let chain = &report.chains[0];
+    assert!(
+        chain.delivered_packets >= 90,
+        "a 2 s run at 50 pkt/s should deliver most packets, got {}",
+        chain.delivered_packets
+    );
+    assert!(chain.relayed_packets >= chain.delivered_packets);
+    assert_eq!(chain.e2e.count() as u64, chain.delivered_packets);
+    // Residence is bounded by the bridge's absence stretch (10 ms) and the
+    // end-to-end delay includes at least one residence wait.
+    assert!(chain.residence.max().unwrap() <= SimDuration::from_millis(10));
+    assert!(chain.e2e.min().unwrap() > SimDuration::ZERO);
+
+    // Per-hop stats exist in the per-piconet reports.
+    let hop0 = report.piconet(pic(0)).flow(FlowId(901));
+    let hop1 = report.piconet(pic(1)).flow(FlowId(902));
+    assert!(hop0.delivered_packets >= chain.delivered_packets);
+    assert_eq!(hop1.delivered_packets, chain.delivered_packets);
+}
+
+#[test]
+fn end_to_end_equals_hop_delays_plus_residence_exactly() {
+    // Zero warm-up so every sample set covers the same packets; random
+    // jittered trace so segmentation and timing vary.
+    let mut rng = DetRng::seed_from_u64(42);
+    for case in 0..10 {
+        let mut items = Vec::new();
+        let mut t = SimTime::from_millis(rng.below(5));
+        for _ in 0..40 {
+            t += SimDuration::from_micros(5_000 + rng.below(40_000));
+            items.push((t, 100 + rng.below(300) as u32));
+        }
+        let mut sim = chain_sim(two_piconet_chain());
+        sim.add_source(Box::new(TraceSource::new(FlowId(901), items)))
+            .unwrap();
+        let report = sim.run(SimTime::from_secs(4)).unwrap();
+
+        let chain = &report.chains[0];
+        let hop0 = &report.piconet(pic(0)).flow(FlowId(901)).delay;
+        let hop1 = &report.piconet(pic(1)).flow(FlowId(902)).delay;
+        assert_eq!(chain.delivered_packets, 40, "case {case}: all delivered");
+        assert_eq!(hop0.count(), 40);
+        assert_eq!(hop1.count(), 40);
+        assert_eq!(chain.e2e.count(), 40);
+        // The identity holds sample-for-sample, so it holds for the exact
+        // sums: e2e_i = hop0_i + residence_i + hop1_i.
+        assert_eq!(
+            chain.e2e.sum_nanos(),
+            hop0.sum_nanos() + chain.residence.sum_nanos() + hop1.sum_nanos(),
+            "case {case}: end-to-end must equal hop queueing plus residence"
+        );
+        // FIFO across the hop: the uplink hop delivered every packet the
+        // downlink hop completed, in order (a reorder would desynchronise
+        // the origin FIFO and panic or corrupt the counts above).
+        assert_eq!(chain.relayed_packets, 40);
+    }
+}
+
+#[test]
+fn chain_counters_share_one_measurement_window() {
+    // With a non-zero warm-up, packets straddling the boundary must not
+    // smear across the chain statistics: e2e, residence and both counters
+    // cover exactly the packets whose *origin* cleared warm-up.
+    let mut config = two_piconet_chain();
+    for cfg in &mut config.piconets {
+        cfg.warmup = SimDuration::from_millis(500);
+    }
+    let mut sim = chain_sim(config);
+    sim.add_source(Box::new(CbrSource::new(
+        FlowId(901),
+        SimDuration::from_millis(20),
+        144,
+        176,
+        DetRng::seed_from_u64(3),
+    )))
+    .unwrap();
+    let report = sim.run(SimTime::from_secs(3)).unwrap();
+    let chain = &report.chains[0];
+    assert!(chain.delivered_packets > 50);
+    assert_eq!(chain.e2e.count() as u64, chain.delivered_packets);
+    // Every counted forward of this 2-hop chain is a bridge crossing, so
+    // the residence sample count equals the relayed counter exactly.
+    assert_eq!(chain.residence.count() as u64, chain.relayed_packets);
+    // Relays lead deliveries only by the packets still in flight.
+    assert!(chain.relayed_packets >= chain.delivered_packets);
+    assert!(chain.relayed_packets <= chain.delivered_packets + 2);
+}
+
+#[test]
+fn chain_validation_rejects_broken_topologies() {
+    // Missing bridge.
+    let mut config = two_piconet_chain();
+    config.bridges.clear();
+    let pollers: Vec<Box<dyn Poller>> = vec![
+        Box::new(ChainTestPoller::new(vec![s(7)])),
+        Box::new(ChainTestPoller::new(vec![s(7)])),
+    ];
+    let channels: Vec<Box<dyn btgs_baseband::ChannelModel>> =
+        vec![Box::new(IdealChannel), Box::new(IdealChannel)];
+    let err = match ScatternetSim::new(config, pollers, channels) {
+        Err(e) => e,
+        Ok(_) => panic!("missing bridge must be rejected"),
+    };
+    assert!(err.to_string().contains("no bridge"), "{err}");
+
+    // Wrong hop directions for a bridge crossing (uplink then downlink).
+    let allowed = vec![btgs_baseband::PacketType::Dh1];
+    let p0 = PiconetConfig::new(allowed.clone()).with_flow(FlowSpec::new(
+        FlowId(901),
+        s(7),
+        Direction::SlaveToMaster,
+        LogicalChannel::GuaranteedService,
+    ));
+    let p1 = PiconetConfig::new(allowed).with_flow(FlowSpec::new(
+        FlowId(902),
+        s(7),
+        Direction::MasterToSlave,
+        LogicalChannel::GuaranteedService,
+    ));
+    let config = ScatternetConfig {
+        piconets: vec![p0, p1],
+        bridges: vec![BridgeSpec {
+            upstream: ScopedSlave::new(pic(0), s(7)),
+            downstream: ScopedSlave::new(pic(1), s(7)),
+            cycle: SimDuration::from_millis(20),
+            dwell_upstream: SimDuration::from_millis(10),
+        }],
+        chains: vec![ChainSpec {
+            hops: vec![FlowId(901), FlowId(902)],
+        }],
+    };
+    let pollers: Vec<Box<dyn Poller>> = vec![
+        Box::new(ChainTestPoller::new(vec![s(7)])),
+        Box::new(ChainTestPoller::new(vec![s(7)])),
+    ];
+    let channels: Vec<Box<dyn btgs_baseband::ChannelModel>> =
+        vec![Box::new(IdealChannel), Box::new(IdealChannel)];
+    let err = match ScatternetSim::new(config, pollers, channels) {
+        Err(e) => e,
+        Ok(_) => panic!("wrong hop directions must be rejected"),
+    };
+    assert!(err.to_string().contains("downlink then uplink"), "{err}");
+}
+
+#[test]
+fn relay_fed_hops_reject_sources_and_first_hops_require_them() {
+    let mut sim = chain_sim(two_piconet_chain());
+    // The relay-fed hop must not accept a source.
+    let err = sim
+        .add_source(Box::new(CbrSource::new(
+            FlowId(902),
+            SimDuration::from_millis(20),
+            144,
+            176,
+            DetRng::seed_from_u64(1),
+        )))
+        .unwrap_err();
+    assert!(err.to_string().contains("relay-fed"), "{err}");
+    // Without the first-hop source the run refuses to start.
+    let err = sim.run(SimTime::from_secs(1)).unwrap_err();
+    assert!(err.to_string().contains("has no source"), "{err}");
+}
+
+/// Flattens the observable per-flow surface of a [`RunReport`].
+fn digest(r: &RunReport) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    for f in &r.flows {
+        let fr = r.flow(f.id);
+        let _ = write!(
+            out,
+            "{}:{}:{}:{}:{}:{};",
+            f.id,
+            fr.offered_packets,
+            fr.delivered_packets,
+            fr.delivered_bytes,
+            fr.delay.count(),
+            fr.delay.max().map_or_else(|| "-".into(), |d| d.to_string()),
+        );
+    }
+    out
+}
+
+#[test]
+fn one_piconet_scatternet_matches_piconet_sim_exactly() {
+    let allowed = vec![
+        btgs_baseband::PacketType::Dh1,
+        btgs_baseband::PacketType::Dh3,
+    ];
+    let config = PiconetConfig::new(allowed)
+        .with_flow(FlowSpec::new(
+            FlowId(1),
+            s(1),
+            Direction::SlaveToMaster,
+            LogicalChannel::BestEffort,
+        ))
+        .with_flow(FlowSpec::new(
+            FlowId(2),
+            s(2),
+            Direction::MasterToSlave,
+            LogicalChannel::BestEffort,
+        ))
+        .with_warmup(SimDuration::from_millis(250));
+    let source = |flow: u32, seed: u64| {
+        Box::new(CbrSource::new(
+            FlowId(flow),
+            SimDuration::from_millis(15),
+            100,
+            300,
+            DetRng::seed_from_u64(seed),
+        )) as Box<dyn Source>
+    };
+
+    let mut single = PiconetSim::new(
+        config.clone(),
+        Box::new(btgs_piconet::RoundRobinForTest::default()),
+        Box::new(IdealChannel),
+    )
+    .unwrap();
+    single.add_source(source(1, 11)).unwrap();
+    single.add_source(source(2, 22)).unwrap();
+    let single_report = single.run(SimTime::from_secs(3)).unwrap();
+
+    let mut scatter = ScatternetSim::new(
+        ScatternetConfig {
+            piconets: vec![config],
+            bridges: Vec::new(),
+            chains: Vec::new(),
+        },
+        vec![Box::new(btgs_piconet::RoundRobinForTest::default())],
+        vec![Box::new(IdealChannel)],
+    )
+    .unwrap();
+    scatter.add_source(source(1, 11)).unwrap();
+    scatter.add_source(source(2, 22)).unwrap();
+    let scatter_report = scatter.run(SimTime::from_secs(3)).unwrap();
+
+    assert_eq!(
+        digest(&single_report),
+        digest(scatter_report.piconet(pic(0))),
+        "a 1-piconet scatternet must be observationally identical"
+    );
+    assert!(scatter_report.chains.is_empty());
+}

@@ -36,9 +36,22 @@ impl Poller for ExhaustiveRoundRobinPoller {
             // Polling this slave until it runs dry.
             self.stay = true;
         }
-        PollDecision::Poll {
-            slave: slaves[self.cursor % slaves.len()],
-            channel: LogicalChannel::BestEffort,
+        // Skip absent bridge slaves (bounded, allocation-free; a no-op with
+        // the always-present mask).
+        for _ in 0..slaves.len() {
+            let slave = slaves[self.cursor % slaves.len()];
+            if view.is_present(slave) {
+                return PollDecision::Poll {
+                    slave,
+                    channel: LogicalChannel::BestEffort,
+                };
+            }
+            self.cursor = (self.cursor + 1) % slaves.len();
+        }
+        // Every BE slave is off in another piconet: wait for the first one
+        // back.
+        PollDecision::Idle {
+            until: view.earliest_presence(slaves),
         }
     }
 

@@ -98,13 +98,18 @@ impl Poller for FepPoller {
                 self.active[f.slave.get() as usize] = Some(true);
             }
         }
-        // Pick the cursor-th active slave without materialising the active
-        // list (at most 7 slaves; two cheap passes beat an allocation).
-        let n_active = self.slaves().filter(|(_, a)| *a).count();
+        // Pick the cursor-th active *and present* slave without
+        // materialising the list (at most 7 slaves; two cheap passes beat
+        // an allocation). Absent bridge slaves stay on the active list but
+        // cannot be addressed until they return.
+        let n_active = self
+            .slaves()
+            .filter(|(s, a)| *a && view.is_present(*s))
+            .count();
         if n_active > 0 {
             let slave = self
                 .slaves()
-                .filter_map(|(s, a)| a.then_some(s))
+                .filter_map(|(s, a)| (a && view.is_present(s)).then_some(s))
                 .nth(self.cursor % n_active)
                 .expect("n_active counted above");
             return PollDecision::Poll {
@@ -112,14 +117,24 @@ impl Poller for FepPoller {
                 channel: LogicalChannel::BestEffort,
             };
         }
-        // All inactive: probe the most overdue slave, or idle until the next
-        // probe is due. Strict `<` keeps the first (lowest-address) slave on
-        // ties, exactly as the ordered-map min did.
-        let (slave, last) = self
+        // Nobody pollable is active: probe the most overdue *present*
+        // slave, or idle until the next probe is due. Strict `<` keeps the
+        // first (lowest-address) slave on ties, exactly as the ordered-map
+        // min did.
+        let overdue = self
             .slaves()
+            .filter(|(s, _)| view.is_present(*s))
             .map(|(s, _)| (s, self.last_probe[s.get() as usize]))
-            .reduce(|best, cand| if cand.1 < best.1 { cand } else { best })
-            .expect("non-empty");
+            .reduce(|best, cand| if cand.1 < best.1 { cand } else { best });
+        let Some((slave, last)) = overdue else {
+            // Every registered slave is off in another piconet.
+            let until = self
+                .slaves()
+                .map(|(s, _)| view.next_present(s))
+                .min()
+                .expect("slave set checked non-empty above");
+            return PollDecision::Idle { until };
+        };
         let due = last + self.probe_interval;
         if due <= now {
             PollDecision::Poll {

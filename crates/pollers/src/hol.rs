@@ -32,6 +32,11 @@ impl Poller for HolPriorityPoller {
             if f.channel != LogicalChannel::BestEffort {
                 continue;
             }
+            if !view.is_present(f.slave) {
+                // An absent bridge slave cannot be addressed, however old
+                // its backlog; it is reconsidered when it returns.
+                continue;
+            }
             if let Some(dl) = view.downlink_at(idx) {
                 if let Some(arrival) = dl.head_arrival {
                     if arrival <= now && best.is_none_or(|(b, _)| arrival < b) {
@@ -47,16 +52,24 @@ impl Poller for HolPriorityPoller {
             };
         }
         // No downlink backlog: cycle slaves to collect uplink data. The
-        // slave list is precomputed — no per-decision allocation.
+        // slave list is precomputed — no per-decision allocation; absent
+        // bridge slaves are skipped (bounded scan).
         let slaves = view.slaves_on(LogicalChannel::BestEffort);
         if slaves.is_empty() {
             return PollDecision::Sleep;
         }
-        let slave = slaves[self.cursor % slaves.len()];
-        self.cursor += 1;
-        PollDecision::Poll {
-            slave,
-            channel: LogicalChannel::BestEffort,
+        for _ in 0..slaves.len() {
+            let slave = slaves[self.cursor % slaves.len()];
+            self.cursor += 1;
+            if view.is_present(slave) {
+                return PollDecision::Poll {
+                    slave,
+                    channel: LogicalChannel::BestEffort,
+                };
+            }
+        }
+        PollDecision::Idle {
+            until: view.earliest_presence(slaves),
         }
     }
 

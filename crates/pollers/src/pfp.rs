@@ -168,8 +168,13 @@ impl Poller for PfpBePoller {
             return PollDecision::Sleep;
         }
         // Candidates that clear the availability threshold, by deficit.
+        // Absent bridge slaves are never candidates, whatever their
+        // predicted availability.
         let mut best: Option<(f64, f64, AmAddr)> = None;
         for &slave in &self.slaves {
+            if !view.is_present(slave) {
+                continue;
+            }
             let p = self.availability(slave, now, view);
             if p < self.threshold {
                 continue;
@@ -188,33 +193,51 @@ impl Poller for PfpBePoller {
         }
         // Nobody is likely to have data: sleep until the earliest predicted
         // threshold crossing. Slaves without uplink flows never cross (their
-        // downlink arrivals wake the master through the arrival path).
+        // downlink arrivals wake the master through the arrival path), and
+        // an absent slave cannot be polled before it returns, however
+        // likely its data.
         let next = self
             .slaves
             .iter()
             .filter(|slave| self.has_uplink[slave.get() as usize])
-            .filter_map(|slave| self.predictors[slave.get() as usize].as_ref())
-            .map(|p| p.time_of_probability(self.threshold))
+            .filter_map(|slave| {
+                self.predictors[slave.get() as usize]
+                    .as_ref()
+                    .map(|p| (slave, p))
+            })
+            .map(|(slave, p)| {
+                p.time_of_probability(self.threshold)
+                    .max(view.next_present(*slave))
+            })
             .min();
         match next {
             Some(t) if t > now => PollDecision::Idle { until: t },
             Some(_) => {
                 // A crossing in the past means the probability is computed
                 // as above-threshold next decision round; poll the most
-                // underserved slave directly to make progress.
+                // underserved *present* slave directly to make progress.
                 let slave = self
                     .slaves
                     .iter()
                     .copied()
+                    .filter(|s| view.is_present(*s))
                     .max_by(|a, b| {
                         self.fairness
                             .deficit(*a)
                             .total_cmp(&self.fairness.deficit(*b))
-                    })
-                    .expect("non-empty");
-                PollDecision::Poll {
-                    slave,
-                    channel: LogicalChannel::BestEffort,
+                    });
+                match slave {
+                    Some(slave) => PollDecision::Poll {
+                        slave,
+                        channel: LogicalChannel::BestEffort,
+                    },
+                    None => {
+                        // Everybody with data prospects is off in another
+                        // piconet: wait for the first one back.
+                        PollDecision::Idle {
+                            until: view.earliest_presence(&self.slaves),
+                        }
+                    }
                 }
             }
             None => PollDecision::Sleep,

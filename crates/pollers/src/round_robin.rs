@@ -51,11 +51,23 @@ impl Poller for RoundRobinPoller {
         if slaves.is_empty() {
             return PollDecision::Sleep;
         }
-        let slave = slaves[self.cursor % slaves.len()];
-        self.cursor += 1;
-        PollDecision::Poll {
-            slave,
-            channel: LogicalChannel::BestEffort,
+        // Skip absent bridge slaves (always-present masks take the first
+        // candidate, exactly the pre-scatternet path). The scan is bounded
+        // by the slave count and allocation-free.
+        for _ in 0..slaves.len() {
+            let slave = slaves[self.cursor % slaves.len()];
+            self.cursor += 1;
+            if view.is_present(slave) {
+                return PollDecision::Poll {
+                    slave,
+                    channel: LogicalChannel::BestEffort,
+                };
+            }
+        }
+        // Every BE slave is off in another piconet: wait for the first one
+        // back.
+        PollDecision::Idle {
+            until: view.earliest_presence(slaves),
         }
     }
 

@@ -19,6 +19,40 @@ pub trait Source {
     fn flow(&self) -> FlowId;
 }
 
+/// Packet-count and time-horizon limits shared by every source.
+///
+/// Infinite sources (`PoissonSource`, `GreedySource`, …) otherwise never
+/// return `None`; a misconfigured finite-horizon sweep would keep drawing
+/// arrivals past the horizon forever. Each source embeds a `SourceLimits`
+/// and consults [`SourceLimits::allows`] before emitting a packet, so the
+/// two cut-offs behave identically across all source kinds.
+#[derive(Clone, Copy, Debug, Default)]
+struct SourceLimits {
+    /// Total number of packets the source may emit.
+    limit: Option<u64>,
+    /// Latest admissible arrival instant (inclusive).
+    horizon: Option<SimTime>,
+}
+
+impl SourceLimits {
+    /// `true` if a packet numbered `seq` arriving at `arrival` may still be
+    /// emitted.
+    #[inline]
+    fn allows(&self, seq: u64, arrival: SimTime) -> bool {
+        if let Some(limit) = self.limit {
+            if seq >= limit {
+                return false;
+            }
+        }
+        if let Some(horizon) = self.horizon {
+            if arrival > horizon {
+                return false;
+            }
+        }
+        true
+    }
+}
+
 /// Constant-bit-rate source: one packet every `interval`, sizes drawn
 /// uniformly from `[min_size, max_size]`.
 ///
@@ -55,7 +89,7 @@ pub struct CbrSource {
     next_arrival: SimTime,
     seq: u64,
     start: SimTime,
-    limit: Option<u64>,
+    limits: SourceLimits,
 }
 
 impl CbrSource {
@@ -84,13 +118,23 @@ impl CbrSource {
             next_arrival: SimTime::ZERO,
             seq: 0,
             start: SimTime::ZERO,
-            limit: None,
+            limits: SourceLimits::default(),
         }
     }
 
     /// Delays the first packet until `start` (builder style).
+    ///
+    /// # Panics
+    ///
+    /// Panics if packets were already drawn: rewinding `next_arrival` after
+    /// the fact would violate the non-decreasing-arrival contract of
+    /// [`Source::next_packet`].
     #[must_use]
     pub fn starting_at(mut self, start: SimTime) -> CbrSource {
+        assert_eq!(
+            self.seq, 0,
+            "starting_at must be applied before the first packet is drawn"
+        );
         self.start = start;
         self.next_arrival = start;
         self
@@ -99,7 +143,15 @@ impl CbrSource {
     /// Limits the source to `n` packets in total (builder style).
     #[must_use]
     pub fn with_packet_limit(mut self, n: u64) -> CbrSource {
-        self.limit = Some(n);
+        self.limits.limit = Some(n);
+        self
+    }
+
+    /// Stops the source at `horizon`: packets that would arrive after it are
+    /// never generated (builder style).
+    #[must_use]
+    pub fn with_horizon(mut self, horizon: SimTime) -> CbrSource {
+        self.limits.horizon = Some(horizon);
         self
     }
 
@@ -117,10 +169,8 @@ impl CbrSource {
 
 impl Source for CbrSource {
     fn next_packet(&mut self) -> Option<AppPacket> {
-        if let Some(limit) = self.limit {
-            if self.seq >= limit {
-                return None;
-            }
+        if !self.limits.allows(self.seq, self.next_arrival) {
+            return None;
         }
         let size = if self.min_size == self.max_size {
             self.min_size
@@ -150,6 +200,7 @@ pub struct PoissonSource {
     rng: DetRng,
     next_arrival: SimTime,
     seq: u64,
+    limits: SourceLimits,
 }
 
 impl PoissonSource {
@@ -179,12 +230,51 @@ impl PoissonSource {
             rng,
             next_arrival: first,
             seq: 0,
+            limits: SourceLimits::default(),
         }
+    }
+
+    /// Delays the process start until `start`: the first arrival lands one
+    /// random interval after `start` (builder style). Needed for staggered
+    /// per-piconet start times in scatternet scenarios.
+    ///
+    /// # Panics
+    ///
+    /// Panics if packets were already drawn (the non-decreasing-arrival
+    /// contract would be violated).
+    #[must_use]
+    pub fn starting_at(mut self, start: SimTime) -> PoissonSource {
+        assert_eq!(
+            self.seq, 0,
+            "starting_at must be applied before the first packet is drawn"
+        );
+        // The first interval was already drawn relative to time zero; shift
+        // it so the whole process translates by `start`.
+        self.next_arrival = start + (self.next_arrival - SimTime::ZERO);
+        self
+    }
+
+    /// Limits the source to `n` packets in total (builder style).
+    #[must_use]
+    pub fn with_packet_limit(mut self, n: u64) -> PoissonSource {
+        self.limits.limit = Some(n);
+        self
+    }
+
+    /// Stops the source at `horizon`: packets that would arrive after it are
+    /// never generated (builder style).
+    #[must_use]
+    pub fn with_horizon(mut self, horizon: SimTime) -> PoissonSource {
+        self.limits.horizon = Some(horizon);
+        self
     }
 }
 
 impl Source for PoissonSource {
     fn next_packet(&mut self) -> Option<AppPacket> {
+        if !self.limits.allows(self.seq, self.next_arrival) {
+            return None;
+        }
         let size = if self.min_size == self.max_size {
             self.min_size
         } else {
@@ -216,6 +306,7 @@ pub struct OnOffSource {
     seq: u64,
     next_arrival: SimTime,
     on_until: SimTime,
+    limits: SourceLimits,
 }
 
 impl OnOffSource {
@@ -249,7 +340,43 @@ impl OnOffSource {
             seq: 0,
             next_arrival: SimTime::ZERO,
             on_until,
+            limits: SourceLimits::default(),
         }
+    }
+
+    /// Delays the process start until `start`: the first ON period begins at
+    /// `start` (builder style). Needed for staggered per-piconet start times
+    /// in scatternet scenarios.
+    ///
+    /// # Panics
+    ///
+    /// Panics if packets were already drawn (the non-decreasing-arrival
+    /// contract would be violated).
+    #[must_use]
+    pub fn starting_at(mut self, start: SimTime) -> OnOffSource {
+        assert_eq!(
+            self.seq, 0,
+            "starting_at must be applied before the first packet is drawn"
+        );
+        // Translate the whole ON/OFF process by `start`.
+        self.next_arrival = start + (self.next_arrival - SimTime::ZERO);
+        self.on_until = start + (self.on_until - SimTime::ZERO);
+        self
+    }
+
+    /// Limits the source to `n` packets in total (builder style).
+    #[must_use]
+    pub fn with_packet_limit(mut self, n: u64) -> OnOffSource {
+        self.limits.limit = Some(n);
+        self
+    }
+
+    /// Stops the source at `horizon`: packets that would arrive after it are
+    /// never generated (builder style).
+    #[must_use]
+    pub fn with_horizon(mut self, horizon: SimTime) -> OnOffSource {
+        self.limits.horizon = Some(horizon);
+        self
     }
 }
 
@@ -262,6 +389,9 @@ impl Source for OnOffSource {
             let resume = self.on_until + SimDuration::from_secs_f64(off);
             self.next_arrival = resume;
             self.on_until = resume + SimDuration::from_secs_f64(on);
+        }
+        if !self.limits.allows(self.seq, self.next_arrival) {
+            return None;
         }
         let pkt = AppPacket::new(self.seq, self.flow, self.size, self.next_arrival);
         self.seq += 1;
@@ -332,6 +462,7 @@ pub struct GreedySource {
     spacing: SimDuration,
     next_arrival: SimTime,
     seq: u64,
+    limits: SourceLimits,
 }
 
 impl GreedySource {
@@ -348,12 +479,31 @@ impl GreedySource {
             spacing: SimDuration::from_micros(1),
             next_arrival: SimTime::ZERO,
             seq: 0,
+            limits: SourceLimits::default(),
         }
+    }
+
+    /// Limits the source to `n` packets in total (builder style).
+    #[must_use]
+    pub fn with_packet_limit(mut self, n: u64) -> GreedySource {
+        self.limits.limit = Some(n);
+        self
+    }
+
+    /// Stops the source at `horizon`: packets that would arrive after it are
+    /// never generated (builder style).
+    #[must_use]
+    pub fn with_horizon(mut self, horizon: SimTime) -> GreedySource {
+        self.limits.horizon = Some(horizon);
+        self
     }
 }
 
 impl Source for GreedySource {
     fn next_packet(&mut self) -> Option<AppPacket> {
+        if !self.limits.allows(self.seq, self.next_arrival) {
+            return None;
+        }
         let pkt = AppPacket::new(self.seq, self.flow, self.size, self.next_arrival);
         self.seq += 1;
         self.next_arrival += self.spacing;
@@ -520,6 +670,114 @@ mod tests {
             FlowId(5),
             vec![(SimTime::from_millis(2), 1), (SimTime::from_millis(1), 1)],
         );
+    }
+
+    #[test]
+    #[should_panic(expected = "before the first packet")]
+    fn cbr_starting_at_after_draw_panics() {
+        let mut src = CbrSource::new(
+            FlowId(1),
+            SimDuration::from_millis(20),
+            176,
+            176,
+            DetRng::seed_from_u64(1),
+        );
+        let _ = src.next_packet();
+        // Rewinding `next_arrival` after packets were drawn would break the
+        // non-decreasing-arrival contract.
+        let _ = src.starting_at(SimTime::from_millis(5));
+    }
+
+    #[test]
+    fn poisson_start_offset_limit_and_horizon() {
+        let mk = || {
+            PoissonSource::new(
+                FlowId(3),
+                SimDuration::from_millis(20),
+                176,
+                176,
+                DetRng::seed_from_u64(9),
+            )
+        };
+        let base: Vec<SimTime> = drain(&mut mk(), 50).iter().map(|p| p.arrival).collect();
+        let start = SimTime::from_millis(500);
+        let shifted: Vec<SimTime> = drain(&mut mk().starting_at(start), 50)
+            .iter()
+            .map(|p| p.arrival)
+            .collect();
+        // The whole process translates by the start offset.
+        for (b, s) in base.iter().zip(&shifted) {
+            assert_eq!(*s, start + (*b - SimTime::ZERO));
+        }
+        assert!(shifted[0] >= start);
+
+        let mut limited = mk().with_packet_limit(7);
+        assert_eq!(drain(&mut limited, 100).len(), 7);
+        assert!(limited.next_packet().is_none());
+
+        let horizon = SimTime::from_millis(100);
+        let mut bounded = mk().with_horizon(horizon);
+        let pkts = drain(&mut bounded, 100_000);
+        assert!(!pkts.is_empty());
+        assert!(pkts.iter().all(|p| p.arrival <= horizon));
+        assert!(bounded.next_packet().is_none(), "horizon is permanent");
+    }
+
+    #[test]
+    fn onoff_start_offset_limit_and_horizon() {
+        let mk = || {
+            OnOffSource::new(
+                FlowId(4),
+                SimDuration::from_millis(10),
+                100,
+                SimDuration::from_millis(200),
+                SimDuration::from_millis(400),
+                DetRng::seed_from_u64(4),
+            )
+        };
+        let base: Vec<SimTime> = drain(&mut mk(), 50).iter().map(|p| p.arrival).collect();
+        let start = SimTime::from_secs(3);
+        let shifted: Vec<SimTime> = drain(&mut mk().starting_at(start), 50)
+            .iter()
+            .map(|p| p.arrival)
+            .collect();
+        for (b, s) in base.iter().zip(&shifted) {
+            assert_eq!(*s, start + (*b - SimTime::ZERO));
+        }
+
+        let mut limited = mk().with_packet_limit(5);
+        assert_eq!(drain(&mut limited, 100).len(), 5);
+
+        let horizon = SimTime::from_secs(1);
+        let mut bounded = mk().with_horizon(horizon);
+        let pkts = drain(&mut bounded, 100_000);
+        assert!(pkts.iter().all(|p| p.arrival <= horizon));
+        assert!(bounded.next_packet().is_none());
+    }
+
+    #[test]
+    fn greedy_limit_and_horizon_make_it_finite() {
+        let mut limited = GreedySource::new(FlowId(6), 176).with_packet_limit(10);
+        assert_eq!(drain(&mut limited, 1000).len(), 10);
+
+        let mut bounded = GreedySource::new(FlowId(6), 176).with_horizon(SimTime::from_micros(5));
+        // Spacing is 1 µs: arrivals at 0..=5 µs pass, the 7th is beyond.
+        assert_eq!(drain(&mut bounded, 1000).len(), 6);
+        assert!(bounded.next_packet().is_none());
+    }
+
+    #[test]
+    fn cbr_horizon_is_inclusive() {
+        let mut src = CbrSource::new(
+            FlowId(1),
+            SimDuration::from_millis(10),
+            176,
+            176,
+            DetRng::seed_from_u64(1),
+        )
+        .with_horizon(SimTime::from_millis(30));
+        // Arrivals at 0, 10, 20, 30 ms.
+        assert_eq!(drain(&mut src, 100).len(), 4);
     }
 
     #[test]

@@ -8,6 +8,7 @@ use btgs::des::{SimDuration, SimTime};
 fn grid_4x8() -> ScenarioGrid {
     ScenarioGrid {
         pollers: comparison_pollers(),
+        piconets: vec![1],
         seeds: (1..=8).collect(),
         delay_requirements: vec![SimDuration::from_millis(40)],
         horizon: SimTime::from_secs(2),
@@ -49,12 +50,83 @@ fn parallel_grid_matches_sequential_byte_for_byte() {
     }
 }
 
+/// The new piconets axis: scatternet cells (2 and 3 chained piconets, one
+/// bridged GS flow) run under the same runner, deterministically at any
+/// thread count, and report per-hop and end-to-end delay statistics.
+#[test]
+fn scatternet_axis_runs_under_the_experiment_runner() {
+    let grid = ScenarioGrid {
+        pollers: vec![PollerKind::PfpGs],
+        piconets: vec![1, 2, 3],
+        seeds: vec![1, 2],
+        delay_requirements: vec![SimDuration::from_millis(40)],
+        horizon: SimTime::from_secs(2),
+        warmup: SimDuration::from_millis(500),
+        include_be: true,
+    };
+    assert_eq!(
+        grid.cells().len(),
+        6,
+        "1 poller x 3 piconet counts x 2 seeds"
+    );
+
+    let sequential = ExperimentRunner::with_threads(1).run_grid(&grid);
+    let parallel = ExperimentRunner::with_threads(6).run_grid(&grid);
+    assert_eq!(
+        sequential.digest(),
+        parallel.digest(),
+        "scatternet cells must stay deterministic under parallel execution"
+    );
+
+    for result in &sequential.cells {
+        let n = result.cell.piconets;
+        if n == 1 {
+            assert!(result.scatternet.is_none());
+            continue;
+        }
+        let sn = result
+            .scatternet
+            .as_ref()
+            .expect("multi-piconet cells carry the scatternet outcome");
+        assert_eq!(sn.report.piconets.len(), n as usize);
+        // The bridged GS chain delivered, with end-to-end and residence
+        // statistics spanning every hop.
+        let chain = &sn.report.chains[0];
+        assert_eq!(chain.hops.len(), 2 * (n as usize - 1));
+        assert!(
+            chain.delivered_packets > 25,
+            "{n} piconets: only {} chain packets delivered",
+            chain.delivered_packets
+        );
+        assert_eq!(chain.e2e.count() as u64, chain.delivered_packets);
+        assert!(chain.residence.count() > 0, "bridge residence recorded");
+        // Per-hop statistics live in the per-piconet reports.
+        let mut hop_samples = 0;
+        for r in &sn.report.piconets {
+            for &hop in &chain.hops {
+                if r.per_flow.contains_key(&hop) {
+                    hop_samples += r.flow(hop).delay.count();
+                }
+            }
+        }
+        assert!(
+            hop_samples >= chain.e2e.count() * chain.hops.len() / 2,
+            "per-hop delay stats present ({hop_samples} samples)"
+        );
+        // Every piconet still carries its paper GS load.
+        for r in &sn.report.piconets {
+            assert!(r.total_throughput_kbps() > 200.0);
+        }
+    }
+}
+
 /// Repeated runs at the same thread count are stable too (no hidden
 /// global state).
 #[test]
 fn repeated_parallel_runs_are_stable() {
     let grid = ScenarioGrid {
         pollers: vec![PollerKind::PfpGs],
+        piconets: vec![1],
         seeds: vec![3, 4],
         delay_requirements: vec![SimDuration::from_millis(40)],
         horizon: SimTime::from_secs(2),
