@@ -146,7 +146,10 @@ impl PresenceWindow {
     }
 
     /// Time remaining in the current window at instant `t`, or zero when
-    /// absent. An exchange with the bridge must fit into this remainder.
+    /// absent. An exchange with the bridge must fit into this remainder —
+    /// one *ending exactly on the departure boundary* still fits (the
+    /// window is end-exclusive, so the last symbol is on air while the
+    /// device is still listening).
     #[inline]
     pub fn remaining(&self, t: SimTime) -> SimDuration {
         let p = self.phase(t);
@@ -155,6 +158,74 @@ impl PresenceWindow {
         } else {
             SimDuration::ZERO
         }
+    }
+
+    /// The earliest instant at or after `t` at which the device is present
+    /// **with at least `need` of window left** — the instant a transaction
+    /// of duration `need` can start and still end at (or before) the
+    /// departure boundary.
+    ///
+    /// When `need` exceeds the window length no instant ever qualifies;
+    /// the function degrades to [`next_present`](PresenceWindow::next_present)
+    /// (the best any caller can do — the transaction will be truncated by
+    /// the departure cap). [`fits`](PresenceWindow::fits) degrades the
+    /// same way, so a caller that waits for `next_fitting` and then
+    /// re-checks `fits` never spins: the two agree on every instant.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use btgs_baseband::PresenceWindow;
+    /// use btgs_des::{SimDuration, SimTime};
+    ///
+    /// let w = PresenceWindow::new(
+    ///     SimDuration::from_millis(20),
+    ///     SimDuration::ZERO,
+    ///     SimDuration::from_millis(10),
+    /// ).unwrap();
+    /// let need = SimDuration::from_micros(3_750);
+    /// // 8 ms into the window: only 2 ms left, wait for the next cycle.
+    /// assert_eq!(
+    ///     w.next_fitting(SimTime::from_millis(8), need),
+    ///     SimTime::from_millis(20),
+    /// );
+    /// // At 6.25 ms exactly `need` remains: starting now still fits.
+    /// assert_eq!(
+    ///     w.next_fitting(SimTime::from_micros(6_250), need),
+    ///     SimTime::from_micros(6_250),
+    /// );
+    /// ```
+    #[inline]
+    pub fn next_fitting(&self, t: SimTime, need: SimDuration) -> SimTime {
+        if need.as_nanos() > self.len_ns {
+            return self.next_present(t);
+        }
+        let latest_start = self.offset_ns + self.len_ns - need.as_nanos();
+        let p = self.phase(t);
+        if p >= self.offset_ns && p <= latest_start {
+            return t;
+        }
+        let wait = if p < self.offset_ns {
+            self.offset_ns - p
+        } else {
+            self.cycle_ns - p + self.offset_ns
+        };
+        t + SimDuration::from_nanos(wait)
+    }
+
+    /// `true` if a transaction of duration `need` starting at `t` ends at
+    /// or before the departure boundary. Must stay the point evaluation of
+    /// [`next_fitting`](PresenceWindow::next_fitting) — including its
+    /// degradation to bare presence when `need` exceeds the window length
+    /// (such a transaction is truncated by the departure cap wherever it
+    /// starts, and reporting `false` everywhere would let a
+    /// wait-then-recheck caller spin forever).
+    #[inline]
+    pub fn fits(&self, t: SimTime, need: SimDuration) -> bool {
+        if need.as_nanos() > self.len_ns {
+            return self.contains(t);
+        }
+        self.remaining(t) >= need
     }
 }
 

@@ -21,6 +21,8 @@ fn params(piconets: u8) -> ScatternetScenarioParams {
         warmup: SimDuration::from_millis(500),
         include_be: true,
         bridge_cycle: SimDuration::from_millis(20),
+        chain_deadline: None,
+        bidirectional: false,
     }
 }
 

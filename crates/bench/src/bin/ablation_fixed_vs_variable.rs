@@ -23,6 +23,9 @@ fn main() {
             .iter()
             .map(|&ms| SimDuration::from_millis(ms))
             .collect(),
+        chain_deadlines: vec![None],
+        bidirectional: false,
+        bridge_cycle: SimDuration::from_millis(20),
         horizon: args.horizon(),
         warmup: SimDuration::from_secs(2),
         include_be: true,

@@ -52,6 +52,9 @@ fn main() {
         piconets: vec![1],
         seeds: vec![args.seed],
         delay_requirements: vec![SimDuration::from_millis(40)],
+        chain_deadlines: vec![None],
+        bidirectional: false,
+        bridge_cycle: SimDuration::from_millis(20),
         horizon: args.horizon(),
         warmup: SimDuration::from_secs(2),
         include_be: true,

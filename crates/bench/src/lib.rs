@@ -9,7 +9,9 @@
 //! * `--seconds N` — simulated seconds per run (default varies per
 //!   experiment; the paper uses 530 s);
 //! * `--seed N` — root RNG seed (default 1);
-//! * `--step N` — sweep step in milliseconds where applicable.
+//! * `--step N` — sweep step in milliseconds where applicable;
+//! * `--scatternet` — run the experiment's scatternet mode where one
+//!   exists (currently `delay_bound_validation`).
 
 // `deny` rather than `forbid`: `alloc_counter` implements `GlobalAlloc`
 // (an inherently unsafe trait) and carries a scoped `allow`.
@@ -30,6 +32,9 @@ pub struct BenchArgs {
     pub seed: u64,
     /// Sweep step (ms) where applicable.
     pub step_ms: u64,
+    /// Run the experiment's scatternet mode where one exists
+    /// (`--scatternet`).
+    pub scatternet: bool,
 }
 
 impl BenchArgs {
@@ -44,6 +49,7 @@ impl BenchArgs {
             seconds: default_seconds,
             seed: 1,
             step_ms: 2,
+            scatternet: false,
         };
         let mut args = std::env::args().skip(1);
         while let Some(flag) = args.next() {
@@ -56,7 +62,10 @@ impl BenchArgs {
                 "--seconds" => out.seconds = take("--seconds"),
                 "--seed" => out.seed = take("--seed"),
                 "--step" => out.step_ms = take("--step"),
-                other => panic!("unknown flag {other}; known: --seconds --seed --step"),
+                "--scatternet" => out.scatternet = true,
+                other => {
+                    panic!("unknown flag {other}; known: --seconds --seed --step --scatternet")
+                }
             }
         }
         assert!(

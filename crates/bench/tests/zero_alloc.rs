@@ -184,6 +184,8 @@ fn scatternet_steady_state_is_allocation_free() {
         warmup: SimDuration::from_millis(500),
         include_be: false,
         bridge_cycle: SimDuration::from_millis(20),
+        chain_deadline: None,
+        bidirectional: false,
     });
     let sim = scenario.simulator(PollerKind::PfpGs).unwrap();
     let mut marks = [0u64; 2];

@@ -456,6 +456,17 @@ fn validate(requests: &[GsRequest]) -> Result<(), AdmissionError> {
 /// A stateful admission controller: accepted flows persist, each new request
 /// re-runs the Fig. 3 routine over the whole set, and a rejection leaves the
 /// accepted set untouched (Fig. 3 steps a/g: store and restore priorities).
+///
+/// The accepted set is kept in **canonical (ascending flow-id) order**, so
+/// the controller's schedule is a pure function of the accepted *set*: the
+/// feasibility test is order-independent anyway (Audsley's search admits a
+/// set iff *any* priority order works), and canonical ordering extends that
+/// to the produced schedule itself. In particular, [`release`] followed by
+/// [`try_admit`] of the same request restores byte-identical state — the
+/// round-trip property chain admission's rollback relies on.
+///
+/// [`release`]: AdmissionController::release
+/// [`try_admit`]: AdmissionController::try_admit
 #[derive(Clone, Debug, Default)]
 pub struct AdmissionController {
     config: Option<AdmissionConfig>,
@@ -473,7 +484,7 @@ impl AdmissionController {
         }
     }
 
-    /// The currently accepted requests, in admission order.
+    /// The currently accepted requests, in canonical (flow-id) order.
     pub fn accepted(&self) -> &[GsRequest] {
         &self.accepted
     }
@@ -493,7 +504,11 @@ impl AdmissionController {
     pub fn try_admit(&mut self, request: GsRequest) -> Result<&AdmissionOutcome, AdmissionError> {
         let config = self.config.as_ref().expect("constructed with a config");
         let mut all = self.accepted.clone();
-        all.push(request);
+        // Canonical insertion position: the schedule must depend on the
+        // accepted set only, not on the admission history (see the type
+        // docs). `admit` rejects duplicate ids, so ties cannot survive.
+        let pos = all.partition_point(|r| r.id < request.id);
+        all.insert(pos, request);
         let outcome = admit(&all, config)?;
         self.accepted = all;
         self.outcome = outcome;
@@ -756,5 +771,46 @@ mod tests {
     fn releasing_unknown_flow_panics() {
         let mut ctl = AdmissionController::new(AdmissionConfig::paper());
         ctl.release(FlowId(1));
+    }
+
+    #[test]
+    fn release_then_readmit_restores_state_exactly() {
+        // Releasing a flow and re-admitting the identical request must
+        // restore byte-identical controller state, whichever flow is
+        // cycled — the round-trip chain rollback relies on.
+        let mut ctl = AdmissionController::new(AdmissionConfig::paper());
+        for req in paper_requests() {
+            ctl.try_admit(req).unwrap();
+        }
+        for victim in paper_requests() {
+            let accepted_before = ctl.accepted().to_vec();
+            let outcome_before = ctl.outcome().clone();
+            ctl.release(victim.id);
+            assert_ne!(ctl.accepted().len(), accepted_before.len());
+            ctl.try_admit(victim.clone())
+                .expect("re-admitting a released flow of a feasible set");
+            assert_eq!(ctl.accepted(), accepted_before.as_slice());
+            assert_eq!(*ctl.outcome(), outcome_before);
+        }
+    }
+
+    #[test]
+    fn controller_outcome_is_independent_of_admission_order() {
+        // The canonical ordering makes the schedule a pure function of the
+        // accepted set: admitting the paper flows in any order yields the
+        // same outcome.
+        let reqs = paper_requests();
+        let mut reference = AdmissionController::new(AdmissionConfig::paper());
+        for req in reqs.clone() {
+            reference.try_admit(req).unwrap();
+        }
+        for order in [[3usize, 1, 0, 2], [2, 0, 3, 1], [1, 3, 2, 0]] {
+            let mut ctl = AdmissionController::new(AdmissionConfig::paper());
+            for &i in &order {
+                ctl.try_admit(reqs[i].clone()).unwrap();
+            }
+            assert_eq!(ctl.accepted(), reference.accepted());
+            assert_eq!(ctl.outcome(), reference.outcome());
+        }
     }
 }

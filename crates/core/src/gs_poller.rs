@@ -15,7 +15,7 @@
 use crate::admission::AdmissionOutcome;
 use crate::plan::{Improvements, PollOutcome, PollPlan};
 use btgs_baseband::{AmAddr, Direction, LogicalChannel};
-use btgs_des::SimTime;
+use btgs_des::{SimDuration, SimTime};
 use btgs_piconet::{ExchangeReport, MasterView, PollDecision, Poller, SegmentOutcome};
 use btgs_traffic::FlowId;
 use std::cell::Cell;
@@ -26,6 +26,12 @@ struct EntityState {
     accounting_flow: FlowId,
     accounting_direction: Direction,
     can_skip: bool,
+    /// The entity's segment-exchange time `s`: a GS poll is only issued
+    /// when this much of a part-time slave's presence window remains, so
+    /// every executed poll can move the full η_min the admission
+    /// accounting promises (a shorter remainder would silently truncate
+    /// the exchange to smaller packets).
+    s: SimDuration,
     plan: PollPlan,
     pending_planned: Option<SimTime>,
 }
@@ -145,6 +151,7 @@ impl GsPoller {
                 accounting_flow: e.accounting_flow,
                 accounting_direction: e.accounting_direction,
                 can_skip: e.can_skip,
+                s: e.s,
                 plan: PollPlan::new(e.x, e.rate, improvements, start),
                 pending_planned: None,
             });
@@ -178,13 +185,18 @@ impl GsPoller {
         self.stats.clone()
     }
 
-    /// The earliest instant a planned GS poll can actually execute: an
-    /// absent bridge entity's plan is clamped to the slave's next
-    /// appearance (a no-op for always-present slaves).
+    /// The earliest instant a planned GS poll can actually execute: a
+    /// bridge entity's plan is clamped to the next instant its slave is
+    /// present *with room for the entity's full segment exchange* (a
+    /// no-op for always-present slaves).
     fn next_gs_plan(&self, view: &MasterView<'_>) -> Option<SimTime> {
         self.entities
             .iter()
-            .map(|e| e.plan.next_poll().max(view.next_present(e.slave)))
+            .map(|e| {
+                e.plan
+                    .next_poll()
+                    .max(view.next_present_fitting(e.slave, e.s))
+            })
             .min()
     }
 }
@@ -206,13 +218,16 @@ impl Poller for GsPoller {
         }
         // Due GS polls execute in priority order (entities are stored
         // highest priority first). A due entity whose bridge slave is off
-        // in another piconet cannot be addressed — lower priorities run,
-        // and the deferred poll fires the instant the bridge returns (via
+        // in another piconet — or present without room for its full
+        // segment exchange before departure (a poll issued into a shorter
+        // remainder is truncated below the η_min the admission promised) —
+        // cannot be addressed: lower priorities run, and the deferred poll
+        // fires the instant the bridge can host a full exchange again (via
         // the presence-clamped plan minimum below).
         if let Some(e) = self
             .entities
             .iter_mut()
-            .find(|e| e.plan.is_due(now) && view.is_present(e.slave))
+            .find(|e| e.plan.is_due(now) && view.fits_exchange(e.slave, e.s))
         {
             e.pending_planned = Some(e.plan.next_poll());
             self.stats.executed.set(self.stats.executed.get() + 1);

@@ -13,6 +13,10 @@
 //!   into RFC 2212's Eq. 1 via `btgs-gs`.
 //! * **Admission control** ([`admit`], Fig. 3) — piggyback-aware entity
 //!   formation plus Audsley-style priority reassignment enforcing Eq. 9.
+//! * **Chain admission** ([`ScatternetAdmissionController`]) — multi-hop
+//!   GS admission: the single-piconet test runs in every traversed piconet
+//!   atomically, and per-hop bounds compose with worst-case bridge
+//!   residences into a provable end-to-end bound.
 //! * **The pollers** ([`GsPoller`]) — fixed interval (§3.1), variable
 //!   interval with improvements (a)–(c) (§3.2), and the PFP configuration
 //!   evaluated in §4.
@@ -55,6 +59,7 @@
 
 mod admission;
 mod analysis;
+mod chain_admission;
 mod efficiency;
 mod experiment;
 mod gs_poller;
@@ -70,6 +75,10 @@ pub use admission::{
     FlowGrant, GsRequest,
 };
 pub use analysis::{be_slot_demands, gs_slot_estimate, predicted_be_throughput_kbps};
+pub use chain_admission::{
+    ChainAdmissionError, ChainGrant, ChainHopSpec, ChainRequest, HopGrant,
+    ScatternetAdmissionController,
+};
 pub use efficiency::{min_poll_efficiency, poll_efficiency};
 pub use experiment::{fig5_requirements, run_point, sweep_fig5, SweepPoint};
 pub use gs_poller::{GsPoller, GsPollerStats};

@@ -18,6 +18,9 @@
 //!     piconets: vec![1],
 //!     seeds: vec![1, 2],
 //!     delay_requirements: vec![SimDuration::from_millis(40)],
+//!     chain_deadlines: vec![None],
+//!     bidirectional: false,
+//!     bridge_cycle: SimDuration::from_millis(20),
 //!     horizon: SimTime::from_secs(3),
 //!     warmup: SimDuration::from_millis(500),
 //!     include_be: false,
@@ -73,6 +76,19 @@ pub struct ScenarioGrid {
     pub seeds: Vec<u64>,
     /// The delay requirements to sweep.
     pub delay_requirements: Vec<SimDuration>,
+    /// End-to-end chain deadlines to sweep in scatternet cells: `None`
+    /// runs the measured-only chain, `Some` runs multi-hop admission and
+    /// records the composed bound. Only applicable with `piconets ≥ 2`
+    /// ([`ScenarioGrid::validate`] rejects the combination otherwise).
+    pub chain_deadlines: Vec<Option<SimDuration>>,
+    /// Run a reverse chain over the same bridges in scatternet cells
+    /// (shared-bridge contention). Only applicable with `piconets ≥ 2`.
+    pub bidirectional: bool,
+    /// Bridge rendezvous cycle of scatternet cells (each bridge spends
+    /// half in each piconet). Admission-controlled cells need a cycle
+    /// short enough that `cycle/2 + U` leaves an admissible
+    /// presence-compensated interval — 10 ms with the paper's packet set.
+    pub bridge_cycle: SimDuration,
     /// Simulated horizon of every cell.
     pub horizon: SimTime,
     /// Warm-up excluded from measurements.
@@ -91,34 +107,140 @@ impl ScenarioGrid {
             piconets: vec![1],
             seeds,
             delay_requirements: vec![SimDuration::from_millis(40)],
+            chain_deadlines: vec![None],
+            bidirectional: false,
+            bridge_cycle: SimDuration::from_millis(20),
             horizon,
             warmup: SimDuration::from_secs(2),
             include_be: true,
         }
     }
 
+    /// Checks that the grid is well-formed **before** any cell runs: every
+    /// axis non-empty, the warm-up inside the horizon, piconet counts the
+    /// scenarios support, scatternet-only axes (`chain_deadlines` other
+    /// than `None`, `bidirectional`) not combined with single-piconet
+    /// cells, and every admission-controlled scatternet cell's chain
+    /// actually admissible — so an infeasible deadline is a
+    /// grid-construction error, not a panic mid-run inside
+    /// [`ExperimentRunner`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable description of the first violated rule.
+    pub fn validate(&self) -> Result<(), String> {
+        for (name, empty) in [
+            ("pollers", self.pollers.is_empty()),
+            ("piconets", self.piconets.is_empty()),
+            ("seeds", self.seeds.is_empty()),
+            ("delay_requirements", self.delay_requirements.is_empty()),
+            ("chain_deadlines", self.chain_deadlines.is_empty()),
+        ] {
+            if empty {
+                return Err(format!("grid axis `{name}` is empty"));
+            }
+        }
+        if self.warmup >= self.horizon - SimTime::ZERO {
+            return Err(format!(
+                "warm-up {} must end before the horizon {}",
+                self.warmup, self.horizon
+            ));
+        }
+        let scatternet_axes =
+            self.bidirectional || self.chain_deadlines.iter().any(Option::is_some);
+        for &p in &self.piconets {
+            if p == 0 {
+                return Err("piconet count 0 names no scenario (use 1 for Fig. 4)".into());
+            }
+            if u32::from(p) * crate::scatternet_scenario::PICONET_ID_STRIDE
+                > crate::scatternet_scenario::CHAIN_ID_BASE
+            {
+                return Err(format!(
+                    "piconet count {p} exceeds the flow-id scheme's maximum of {}",
+                    crate::scatternet_scenario::CHAIN_ID_BASE
+                        / crate::scatternet_scenario::PICONET_ID_STRIDE
+                ));
+            }
+            if p == 1 && scatternet_axes {
+                return Err(
+                    "chain_deadlines/bidirectional are scatternet axes; they are undefined \
+                     for single-piconet cells (piconets = 1)"
+                        .into(),
+                );
+            }
+        }
+        // Scatternet cells split the rendezvous cycle evenly, and both
+        // halves must be valid presence windows (positive, slot-pair
+        // aligned) — otherwise BridgeSpec::windows fails inside a worker
+        // thread mid-run.
+        if self.piconets.iter().any(|&p| p >= 2) {
+            let dwell = self.bridge_cycle / 2;
+            btgs_baseband::PresenceWindow::new(self.bridge_cycle, SimDuration::ZERO, dwell)
+                .and_then(|_| {
+                    btgs_baseband::PresenceWindow::new(
+                        self.bridge_cycle,
+                        dwell,
+                        self.bridge_cycle - dwell,
+                    )
+                })
+                .map_err(|e| format!("bridge_cycle {}: {e}", self.bridge_cycle))?;
+        }
+        // Admission feasibility is deterministic per (piconets,
+        // requirement, deadline) — seeds only affect traffic. Reject
+        // inadmissible cells here, where the caller can still react.
+        for &p in &self.piconets {
+            if p < 2 {
+                continue;
+            }
+            for &dreq in &self.delay_requirements {
+                for deadline in self.chain_deadlines.iter().flatten() {
+                    let mut params = ScatternetScenarioParams::chained(p);
+                    params.delay_requirement = dreq;
+                    params.warmup = self.warmup;
+                    params.include_be = self.include_be;
+                    params.chain_deadline = Some(*deadline);
+                    params.bidirectional = self.bidirectional;
+                    params.bridge_cycle = self.bridge_cycle;
+                    ScatternetScenario::try_build(params).map_err(|e| {
+                        format!(
+                            "cell (piconets = {p}, Dreq = {dreq}, chain deadline = {deadline}) \
+                             is not admissible: {e}"
+                        )
+                    })?;
+                }
+            }
+        }
+        Ok(())
+    }
+
     /// Materialises the cells in deterministic (poller-major, then piconet
-    /// count, then requirement, then seed) order.
+    /// count, then chain deadline, then requirement, then seed) order.
     pub fn cells(&self) -> Vec<GridCell> {
         let mut out = Vec::with_capacity(
             self.pollers.len()
                 * self.piconets.len()
+                * self.chain_deadlines.len()
                 * self.seeds.len()
                 * self.delay_requirements.len(),
         );
         for &poller in &self.pollers {
             for &piconets in &self.piconets {
-                for &delay_requirement in &self.delay_requirements {
-                    for &seed in &self.seeds {
-                        out.push(GridCell {
-                            poller,
-                            piconets,
-                            seed,
-                            delay_requirement,
-                            horizon: self.horizon,
-                            warmup: self.warmup,
-                            include_be: self.include_be,
-                        });
+                for &chain_deadline in &self.chain_deadlines {
+                    for &delay_requirement in &self.delay_requirements {
+                        for &seed in &self.seeds {
+                            out.push(GridCell {
+                                poller,
+                                piconets,
+                                seed,
+                                delay_requirement,
+                                chain_deadline,
+                                bidirectional: self.bidirectional,
+                                bridge_cycle: self.bridge_cycle,
+                                horizon: self.horizon,
+                                warmup: self.warmup,
+                                include_be: self.include_be,
+                            });
+                        }
                     }
                 }
             }
@@ -138,6 +260,13 @@ pub struct GridCell {
     pub seed: u64,
     /// The delay requirement of the cell's GS flows.
     pub delay_requirement: SimDuration,
+    /// End-to-end deadline of the bridged chain(s); `Some` runs multi-hop
+    /// admission (scatternet cells only).
+    pub chain_deadline: Option<SimDuration>,
+    /// Run the reverse chain too (scatternet cells only).
+    pub bidirectional: bool,
+    /// Bridge rendezvous cycle (scatternet cells only).
+    pub bridge_cycle: SimDuration,
     /// Simulated horizon.
     pub horizon: SimTime,
     /// Warm-up excluded from measurements.
@@ -166,7 +295,9 @@ impl GridCell {
             seed: self.seed,
             warmup: self.warmup,
             include_be: self.include_be,
-            bridge_cycle: SimDuration::from_millis(20),
+            bridge_cycle: self.bridge_cycle,
+            chain_deadline: self.chain_deadline,
+            bidirectional: self.bidirectional,
         }
     }
 
@@ -363,11 +494,15 @@ impl GridReport {
         for c in &self.cells {
             let _ = write!(
                 out,
-                "{}|pics={}|seed={}|dreq={}",
+                "{}|pics={}|seed={}|dreq={}|cd={}|bi={}",
                 c.cell.poller.label(),
                 c.cell.piconets,
                 c.cell.seed,
-                c.cell.delay_requirement
+                c.cell.delay_requirement,
+                c.cell
+                    .chain_deadline
+                    .map_or_else(|| "-".into(), |d| d.to_string()),
+                c.cell.bidirectional,
             );
             match &c.scatternet {
                 None => flow_digest(&mut out, &c.report),
@@ -490,10 +625,30 @@ impl ExperimentRunner {
     }
 
     /// Runs a whole [`ScenarioGrid`] and merges the results.
+    ///
+    /// # Panics
+    ///
+    /// Panics — with the validation message, before any cell has run — if
+    /// [`ScenarioGrid::validate`] rejects the grid. Use
+    /// [`ExperimentRunner::try_run_grid`] to handle rejection.
     pub fn run_grid(&self, grid: &ScenarioGrid) -> GridReport {
+        self.try_run_grid(grid)
+            .unwrap_or_else(|e| panic!("invalid scenario grid: {e}"))
+    }
+
+    /// Validates the grid, then runs it; an ill-formed grid (including an
+    /// inadmissible chain deadline) is reported as an error before any
+    /// cell executes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ScenarioGrid::validate`]'s description of the violated
+    /// rule.
+    pub fn try_run_grid(&self, grid: &ScenarioGrid) -> Result<GridReport, String> {
+        grid.validate()?;
         let cells = grid.cells();
         let results = self.run(&cells, GridCell::run);
-        GridReport { cells: results }
+        Ok(GridReport { cells: results })
     }
 }
 
@@ -523,6 +678,9 @@ mod tests {
             piconets: vec![1],
             seeds: vec![1, 2, 3],
             delay_requirements: vec![SimDuration::from_millis(40), SimDuration::from_millis(30)],
+            chain_deadlines: vec![None],
+            bidirectional: false,
+            bridge_cycle: SimDuration::from_millis(20),
             horizon: SimTime::from_secs(1),
             warmup: SimDuration::ZERO,
             include_be: false,
@@ -549,6 +707,79 @@ mod tests {
             ExperimentRunner::with_threads(1).run(&cells, |&c| c + 1)[99],
             100
         );
+    }
+
+    fn base_grid() -> ScenarioGrid {
+        ScenarioGrid {
+            pollers: vec![PollerKind::PfpGs],
+            piconets: vec![1],
+            seeds: vec![1],
+            delay_requirements: vec![SimDuration::from_millis(40)],
+            chain_deadlines: vec![None],
+            bidirectional: false,
+            bridge_cycle: SimDuration::from_millis(10),
+            horizon: SimTime::from_secs(2),
+            warmup: SimDuration::from_millis(500),
+            include_be: false,
+        }
+    }
+
+    #[test]
+    fn validation_rejects_malformed_grids_at_construction_time() {
+        assert!(base_grid().validate().is_ok());
+
+        let mut g = base_grid();
+        g.seeds.clear();
+        assert!(g.validate().unwrap_err().contains("seeds"));
+
+        let mut g = base_grid();
+        g.piconets = vec![0];
+        assert!(g.validate().unwrap_err().contains("piconet count 0"));
+
+        // Piconet counts past the flow-id scheme used to panic mid-run
+        // inside the worker threads; now they are a grid-level error.
+        let mut g = base_grid();
+        g.piconets = vec![10];
+        assert!(g.validate().unwrap_err().contains("flow-id scheme"));
+
+        let mut g = base_grid();
+        g.warmup = SimDuration::from_secs(3);
+        assert!(g.validate().unwrap_err().contains("warm-up"));
+
+        // Scatternet-only axes combined with single-piconet cells.
+        let mut g = base_grid();
+        g.chain_deadlines = vec![Some(SimDuration::from_millis(150))];
+        assert!(g.validate().unwrap_err().contains("scatternet axes"));
+        let mut g = base_grid();
+        g.bidirectional = true;
+        assert!(g.validate().unwrap_err().contains("scatternet axes"));
+
+        // Ill-formed bridge cycles (off the slot-pair grid, or zero) are
+        // grid errors too — they used to fail inside a worker thread.
+        let mut g = base_grid();
+        g.piconets = vec![2];
+        g.bridge_cycle = SimDuration::from_millis(3);
+        assert!(g.validate().unwrap_err().contains("bridge_cycle"));
+        g.bridge_cycle = SimDuration::ZERO;
+        assert!(g.validate().unwrap_err().contains("bridge_cycle"));
+        // Single-piconet grids never build bridges; the cycle is unused.
+        let mut g = base_grid();
+        g.bridge_cycle = SimDuration::from_millis(3);
+        assert!(g.validate().is_ok());
+
+        // An inadmissible chain deadline is a grid-construction error,
+        // not a mid-run panic: at Dreq = 40 ms no chain can be admitted.
+        let mut g = base_grid();
+        g.piconets = vec![2];
+        g.chain_deadlines = vec![Some(SimDuration::from_millis(150))];
+        let err = g.validate().unwrap_err();
+        assert!(err.contains("not admissible"), "{err}");
+        assert!(ExperimentRunner::with_threads(1).try_run_grid(&g).is_err());
+
+        // The same deadline with capacity left (Dreq = 46 ms) validates
+        // and runs.
+        g.delay_requirements = vec![SimDuration::from_millis(46)];
+        assert!(g.validate().is_ok(), "{:?}", g.validate());
     }
 
     #[test]

@@ -109,6 +109,16 @@ pub fn delay_bound(
 /// The returned rate is never below the token rate `r` (requesting less
 /// than `r` is not allowed, and `r` already meets any bound that loose).
 ///
+/// The inversion is **guaranteed conservative at nanosecond resolution**:
+/// `delay_bound(tspec, required_rate(tspec, target, terms), terms) <=
+/// target` holds exactly, never merely up to a rounding tolerance. The
+/// closed-form solution lands on the real-valued boundary, where the
+/// float-to-nanosecond conversion inside [`delay_bound`] may round either
+/// way; rounding *up* there would overstate the delay by under a
+/// nanosecond — an *optimistic* grant, since the admitted rate would not
+/// actually meet the advertised bound. The rate is therefore bumped by the
+/// smallest factor that restores the invariant before it is returned.
+///
 /// # Errors
 ///
 /// Returns [`GsError::DelayBelowDtot`] if `target <= Dtot` (no finite rate
@@ -151,19 +161,47 @@ pub fn required_rate(
     // Try the high-rate branch first: R >= p, bound = (M + Ctot)/R.
     let r_high = mc / q;
     if r_high >= p {
-        return Ok(r_high.max(r));
+        return Ok(seal_rate(tspec, target, terms, r_high.max(r)));
     }
     // Otherwise the solution (if any beyond r) lies in r <= R < p:
     //   (b-M)/(p-r) * (p-R)/R + (M+C)/R = q
     // Writing A = (b-M)/(p-r):  R = (A*p + M + C) / (q + A).
-    if p > r {
+    let rate = if p > r {
         let a = (b - m_big) / (p - r);
         let r_low = (a * p + mc) / (q + a);
-        Ok(r_low.max(r))
+        r_low.max(r)
     } else {
         // p == r: only R >= p is admissible, and r_high < p means the token
         // rate itself already satisfies the bound.
-        Ok(r)
+        r
+    };
+    Ok(seal_rate(tspec, target, terms, rate))
+}
+
+/// Restores `delay_bound(rate) <= target` when the closed-form rate sits on
+/// the boundary and nanosecond rounding tipped the bound one step past the
+/// target. Only sub-nanosecond rounding slack ever needs repair (the
+/// real-valued solution meets the target by construction, and clamping to
+/// `r` only happens for targets the token rate already satisfies), so the
+/// rate grows one relative epsilon at a time (doubling, so the loop
+/// terminates in a handful of steps) until the invariant holds.
+fn seal_rate(tspec: &TokenBucketSpec, target: SimDuration, terms: ErrorTerms, rate: f64) -> f64 {
+    let exact = delay_bound(tspec, rate, terms).expect("rate is at least the token rate");
+    if exact <= target {
+        return rate;
+    }
+    let mut eps = f64::EPSILON;
+    loop {
+        let bumped = rate * (1.0 + eps);
+        if delay_bound(tspec, bumped, terms).expect("bumped rate exceeds the token rate") <= target
+        {
+            return bumped;
+        }
+        eps *= 2.0;
+        assert!(
+            eps < 1e-6,
+            "rounding repair diverged: rate {rate} cannot reach {target}"
+        );
     }
 }
 
@@ -323,6 +361,40 @@ mod proptests {
                     "rate {rate} not minimal: {worse} still <= {target}"
                 );
             }
+        }
+    }
+
+    /// The inversion is conservative with **no** rounding tolerance:
+    /// `delay_bound(required_rate(D)) <= D` exactly, for randomized
+    /// TSpecs, error terms, and targets. A truncated/rounded conversion
+    /// that tips the recomputed bound even one nanosecond past the target
+    /// would make the admission optimistic — this property pins the
+    /// rounding direction at every truncation site on the path.
+    #[test]
+    fn inversion_is_exactly_conservative() {
+        let mut rng = DetRng::seed_from_u64(0x5EA1);
+        for _ in 0..2048 {
+            let p_extra = rng.next_f64() * 20_000.0;
+            let r = 1_000.0 + rng.next_f64() * 19_000.0;
+            let b_extra = rng.next_f64() * 5_000.0;
+            let m_small = rng.range_inclusive(32, 199) as u32;
+            let m_extra = rng.below(400) as u32;
+            let c = rng.next_f64() * 500.0;
+            let d_us = rng.below(20_000);
+            let target_extra_ns = rng.range_inclusive(1, 199_999_999);
+            let m_big = m_small + m_extra;
+            let tspec =
+                TokenBucketSpec::new(r + p_extra, r, m_big as f64 + b_extra, m_small, m_big)
+                    .unwrap();
+            let terms = ErrorTerms::new(c, SimDuration::from_micros(d_us));
+            let target = terms.d() + SimDuration::from_nanos(target_extra_ns);
+            let rate = required_rate(&tspec, target, terms).unwrap();
+            assert!(rate >= tspec.token_rate());
+            let achieved = delay_bound(&tspec, rate, terms).unwrap();
+            assert!(
+                achieved <= target,
+                "optimistic inversion: rate {rate} gives {achieved} > {target}"
+            );
         }
     }
 

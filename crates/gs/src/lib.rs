@@ -11,6 +11,9 @@
 //!   bound for a token-bucket flow served at fluid rate `R`.
 //! * [`required_rate`] — the receiver-side inverse: the smallest `R` that
 //!   meets a desired bound.
+//! * The `compose` helpers ([`worst_case_residence`], [`compose_e2e_bound`],
+//!   [`split_queueing_budget`]) — multi-hop composition of per-hop bounds
+//!   with bridge-residence terms, and the inverse deadline split.
 //!
 //! The Bluetooth-specific half — how a polling master *produces* its `C` and
 //! `D` terms and admits flows — lives in `btgs-core`.
@@ -39,9 +42,13 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod compose;
 mod delay_bound;
 mod error_terms;
 
+pub use compose::{
+    compose_e2e_bound, presence_absence_penalty, split_queueing_budget, worst_case_residence,
+};
 pub use delay_bound::{delay_bound, required_rate, GsError};
 pub use error_terms::ErrorTerms;
 

@@ -222,6 +222,35 @@ impl PresenceMask {
             Some(w) => w.remaining(t).div_duration(SLOT),
         }
     }
+
+    /// `true` if a transaction of duration `need` starting at `t` finishes
+    /// at or before `slave`'s departure (always for full-time slaves). An
+    /// exchange ending exactly *on* the boundary fits — the window is
+    /// end-exclusive. For windows shorter than `need` this degrades to
+    /// bare presence, in lock-step with [`next_fitting`]
+    /// (see [`PresenceWindow::fits`]): the exchange is truncated by the
+    /// departure cap, but a wait-then-recheck caller never spins.
+    ///
+    /// [`next_fitting`]: PresenceMask::next_fitting
+    #[inline]
+    pub fn fits(&self, slave: AmAddr, t: SimTime, need: SimDuration) -> bool {
+        match &self.windows[slave.index()] {
+            None => true,
+            Some(w) => w.fits(t, need),
+        }
+    }
+
+    /// The earliest instant at or after `t` at which a transaction of
+    /// duration `need` with `slave` can start and still finish before the
+    /// departure boundary (`t` itself for full-time slaves); see
+    /// [`PresenceWindow::next_fitting`] for windows shorter than `need`.
+    #[inline]
+    pub fn next_fitting(&self, slave: AmAddr, t: SimTime, need: SimDuration) -> SimTime {
+        match &self.windows[slave.index()] {
+            None => t,
+            Some(w) => w.next_fitting(t, need),
+        }
+    }
 }
 
 /// An SCO link bound to a slave, optionally fed by a voice flow.

@@ -12,7 +12,7 @@ use crate::flow::FlowSpec;
 use crate::flow_table::{FlowIdx, FlowTable};
 use crate::queue::{FlowQueue, SegmentPlan};
 use btgs_baseband::{AmAddr, Direction, LogicalChannel, PacketType};
-use btgs_des::SimTime;
+use btgs_des::{SimDuration, SimTime};
 use btgs_traffic::FlowId;
 
 /// What the master should do next.
@@ -118,6 +118,29 @@ impl<'a> MasterView<'a> {
     #[inline]
     pub fn next_present(&self, slave: AmAddr) -> SimTime {
         self.presence.next_present(slave, self.now)
+    }
+
+    /// `true` if an exchange of duration `need` started now would finish
+    /// at or before `slave`'s departure (always true for full-time
+    /// slaves). Ending exactly on the boundary fits. Pollers whose service
+    /// guarantee assumes a *full* exchange per poll (the GS η_min
+    /// accounting) must check this instead of bare [`is_present`]: a poll
+    /// issued into a shorter remainder is silently truncated to smaller
+    /// packets by the departure cap, breaking the per-poll guarantee.
+    ///
+    /// [`is_present`]: MasterView::is_present
+    #[inline]
+    pub fn fits_exchange(&self, slave: AmAddr, need: SimDuration) -> bool {
+        self.presence.fits(slave, self.now, need)
+    }
+
+    /// The earliest instant at or after now at which an exchange of
+    /// duration `need` with `slave` can start and still finish before its
+    /// departure (now itself for full-time slaves). O(1),
+    /// allocation-free.
+    #[inline]
+    pub fn next_present_fitting(&self, slave: AmAddr, need: SimDuration) -> SimTime {
+        self.presence.next_fitting(slave, self.now, need)
     }
 
     /// The earliest instant at or after now at which *any* of `slaves` is

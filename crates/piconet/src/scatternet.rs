@@ -229,12 +229,38 @@ impl BridgeSpec {
 /// Consecutive hops must share a device: an uplink hop followed by a
 /// downlink hop in the same piconet (the master relays internally), or a
 /// downlink hop to a bridge slave followed by an uplink hop from that
-/// bridge's identity in the next piconet.
+/// bridge's identity in the next piconet. A bridge may be crossed in
+/// either direction — upstream→downstream or back — so bidirectional
+/// chains share one rendezvous schedule.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct ChainSpec {
     /// The hop flows, in path order. The first hop is fed by a registered
     /// source; every later hop is fed by relaying.
     pub hops: Vec<FlowId>,
+    /// The per-hop polling intervals granted by multi-hop admission, in
+    /// path order — recorded for reporting/auditing; the simulator itself
+    /// polls whatever its per-piconet pollers decide. Empty when the chain
+    /// was not admission-controlled; otherwise must match `hops` in
+    /// length.
+    pub hop_intervals: Vec<SimDuration>,
+}
+
+impl ChainSpec {
+    /// A chain over `hops` without recorded admission grants.
+    pub fn new(hops: Vec<FlowId>) -> ChainSpec {
+        ChainSpec {
+            hops,
+            hop_intervals: Vec::new(),
+        }
+    }
+
+    /// Attaches the admission-granted per-hop polling intervals (builder
+    /// style).
+    #[must_use]
+    pub fn with_intervals(mut self, hop_intervals: Vec<SimDuration>) -> ChainSpec {
+        self.hop_intervals = hop_intervals;
+        self
+    }
 }
 
 /// Static description of a scatternet scenario.
@@ -592,6 +618,13 @@ impl ScatternetSim {
                     "chain {ci} needs at least two hops (a single-hop chain is just a flow)"
                 )));
             }
+            if !chain.hop_intervals.is_empty() && chain.hop_intervals.len() != chain.hops.len() {
+                return Err(PiconetError(format!(
+                    "chain {ci} records {} granted intervals for {} hops",
+                    chain.hop_intervals.len(),
+                    chain.hops.len()
+                )));
+            }
             let resolved: Vec<(PiconetId, FlowIdx)> = chain
                 .hops
                 .iter()
@@ -627,12 +660,23 @@ impl ScatternetSim {
                             a.id, b.id
                         )));
                     }
-                    let bridge = config
+                    // A bridge serves crossings in both directions: the
+                    // handoff waits for the bridge's window in whichever
+                    // piconet the packet continues into.
+                    let from = ScopedSlave::new(apic, a.slave);
+                    let into = ScopedSlave::new(bpic, b.slave);
+                    let window = config
                         .bridges
                         .iter()
-                        .position(|br| {
-                            br.upstream == ScopedSlave::new(apic, a.slave)
-                                && br.downstream == ScopedSlave::new(bpic, b.slave)
+                        .zip(&bridge_windows)
+                        .find_map(|(br, (up, down))| {
+                            if br.upstream == from && br.downstream == into {
+                                Some(*down)
+                            } else if br.upstream == into && br.downstream == from {
+                                Some(*up)
+                            } else {
+                                None
+                            }
                         })
                         .ok_or_else(|| {
                             PiconetError(format!(
@@ -640,7 +684,7 @@ impl ScatternetSim {
                                 a.slave, b.slave
                             ))
                         })?;
-                    Some(bridge_windows[bridge].1)
+                    Some(window)
                 };
                 let slot = &mut routes[apic.index()][aidx.get()];
                 if slot.is_some() {

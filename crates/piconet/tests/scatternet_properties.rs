@@ -183,9 +183,7 @@ fn two_piconet_chain() -> ScatternetConfig {
             cycle: SimDuration::from_millis(20),
             dwell_upstream: SimDuration::from_millis(10),
         }],
-        chains: vec![ChainSpec {
-            hops: vec![FlowId(901), FlowId(902)],
-        }],
+        chains: vec![ChainSpec::new(vec![FlowId(901), FlowId(902)])],
     }
 }
 
@@ -339,9 +337,7 @@ fn chain_validation_rejects_broken_topologies() {
             cycle: SimDuration::from_millis(20),
             dwell_upstream: SimDuration::from_millis(10),
         }],
-        chains: vec![ChainSpec {
-            hops: vec![FlowId(901), FlowId(902)],
-        }],
+        chains: vec![ChainSpec::new(vec![FlowId(901), FlowId(902)])],
     };
     let pollers: Vec<Box<dyn Poller>> = vec![
         Box::new(ChainTestPoller::new(vec![s(7)])),
@@ -455,4 +451,108 @@ fn one_piconet_scatternet_matches_piconet_sim_exactly() {
         "a 1-piconet scatternet must be observationally identical"
     );
     assert!(scatter_report.chains.is_empty());
+}
+
+/// Two chains cross ONE bridge in opposite directions: the forward chain
+/// rides the bridge's downstream window, the reverse chain its upstream
+/// window. Both deliver, and each chain's residence samples stay within
+/// the worst case of its target window (cycle − target dwell).
+#[test]
+fn bidirectional_chains_share_one_bridge() {
+    let allowed = vec![
+        btgs_baseband::PacketType::Dh1,
+        btgs_baseband::PacketType::Dh3,
+    ];
+    let p0 = PiconetConfig::new(allowed.clone())
+        .with_flow(FlowSpec::new(
+            FlowId(901),
+            s(7),
+            Direction::MasterToSlave,
+            LogicalChannel::GuaranteedService,
+        ))
+        .with_flow(FlowSpec::new(
+            FlowId(912),
+            s(7),
+            Direction::SlaveToMaster,
+            LogicalChannel::GuaranteedService,
+        ));
+    let p1 = PiconetConfig::new(allowed)
+        .with_flow(FlowSpec::new(
+            FlowId(902),
+            s(7),
+            Direction::SlaveToMaster,
+            LogicalChannel::GuaranteedService,
+        ))
+        .with_flow(FlowSpec::new(
+            FlowId(911),
+            s(7),
+            Direction::MasterToSlave,
+            LogicalChannel::GuaranteedService,
+        ));
+    let cycle = SimDuration::from_millis(20);
+    let dwell = SimDuration::from_millis(10);
+    let config = ScatternetConfig {
+        piconets: vec![p0, p1],
+        bridges: vec![BridgeSpec {
+            upstream: ScopedSlave::new(pic(0), s(7)),
+            downstream: ScopedSlave::new(pic(1), s(7)),
+            cycle,
+            dwell_upstream: dwell,
+        }],
+        chains: vec![
+            // Forward: M0 -> bridge -> M1 (crosses upstream->downstream).
+            ChainSpec::new(vec![FlowId(901), FlowId(902)]),
+            // Reverse: M1 -> bridge -> M0 (crosses downstream->upstream).
+            ChainSpec::new(vec![FlowId(911), FlowId(912)]),
+        ],
+    };
+    let mut sim = chain_sim(config);
+    for (flow, seed) in [(901u32, 7u64), (911, 8)] {
+        sim.add_source(Box::new(CbrSource::new(
+            FlowId(flow),
+            SimDuration::from_millis(20),
+            144,
+            176,
+            DetRng::seed_from_u64(seed),
+        )))
+        .unwrap();
+    }
+    let report = sim.run(SimTime::from_secs(4)).unwrap();
+    assert_eq!(report.chains.len(), 2);
+    for (ci, chain) in report.chains.iter().enumerate() {
+        assert!(
+            chain.delivered_packets >= 150,
+            "chain {ci}: only {} delivered over 4 s at 50 pkt/s",
+            chain.delivered_packets
+        );
+        // Worst-case residence of either crossing direction: the target
+        // window's absence gap (both are 10 ms with an even split).
+        let worst = cycle - dwell;
+        assert!(chain.residence.count() > 0);
+        assert!(
+            chain.residence.max().unwrap() <= worst,
+            "chain {ci}: residence {} exceeds the analytic worst case {worst}",
+            chain.residence.max().unwrap()
+        );
+        // e2e is still the exact sum of hop queueing and residence.
+        assert_eq!(chain.e2e.count() as u64, chain.delivered_packets);
+    }
+}
+
+/// `hop_intervals`, when recorded, must match the hop count.
+#[test]
+fn mismatched_hop_interval_record_is_rejected() {
+    let mut config = two_piconet_chain();
+    config.chains[0].hop_intervals = vec![SimDuration::from_millis(16)];
+    let pollers: Vec<Box<dyn Poller>> = vec![
+        Box::new(ChainTestPoller::new(vec![s(7)])),
+        Box::new(ChainTestPoller::new(vec![s(7)])),
+    ];
+    let channels: Vec<Box<dyn btgs_baseband::ChannelModel>> =
+        vec![Box::new(IdealChannel), Box::new(IdealChannel)];
+    let err = match ScatternetSim::new(config, pollers, channels) {
+        Err(e) => e,
+        Ok(_) => panic!("interval/hop count mismatch must be rejected"),
+    };
+    assert!(err.to_string().contains("granted intervals"), "{err}");
 }

@@ -133,3 +133,38 @@ fn higher_rate_tightens_the_bound() {
         }
     }
 }
+
+/// Releasing any accepted flow and re-admitting the identical request
+/// restores byte-identical controller state (accepted set and schedule),
+/// for randomized feasible sets — the round-trip invariant chain-admission
+/// rollback builds on.
+#[test]
+fn release_readmit_round_trip_is_identity() {
+    use btgs::core::AdmissionController;
+    let mut rng = DetRng::seed_from_u64(0xAD35);
+    let mut exercised = 0usize;
+    for _ in 0..64 {
+        let requests = dedup(arb_request_set(&mut rng));
+        let cfg = AdmissionConfig::paper();
+        let mut ctl = AdmissionController::new(cfg);
+        let mut admitted: Vec<GsRequest> = Vec::new();
+        for r in requests {
+            if ctl.try_admit(r.clone()).is_ok() {
+                admitted.push(r);
+            }
+        }
+        if admitted.is_empty() {
+            continue;
+        }
+        let victim = admitted[rng.below(admitted.len() as u64) as usize].clone();
+        let accepted_before = ctl.accepted().to_vec();
+        let outcome_before = ctl.outcome().clone();
+        ctl.release(victim.id);
+        ctl.try_admit(victim)
+            .expect("a released member of a feasible set re-admits");
+        assert_eq!(ctl.accepted(), accepted_before.as_slice());
+        assert_eq!(*ctl.outcome(), outcome_before);
+        exercised += 1;
+    }
+    assert!(exercised > 32, "too few feasible sets: {exercised}");
+}

@@ -11,6 +11,9 @@ fn grid_4x8() -> ScenarioGrid {
         piconets: vec![1],
         seeds: (1..=8).collect(),
         delay_requirements: vec![SimDuration::from_millis(40)],
+        chain_deadlines: vec![None],
+        bidirectional: false,
+        bridge_cycle: SimDuration::from_millis(20),
         horizon: SimTime::from_secs(2),
         warmup: SimDuration::from_millis(500),
         include_be: true,
@@ -60,6 +63,9 @@ fn scatternet_axis_runs_under_the_experiment_runner() {
         piconets: vec![1, 2, 3],
         seeds: vec![1, 2],
         delay_requirements: vec![SimDuration::from_millis(40)],
+        chain_deadlines: vec![None],
+        bidirectional: false,
+        bridge_cycle: SimDuration::from_millis(20),
         horizon: SimTime::from_secs(2),
         warmup: SimDuration::from_millis(500),
         include_be: true,
@@ -129,6 +135,9 @@ fn repeated_parallel_runs_are_stable() {
         piconets: vec![1],
         seeds: vec![3, 4],
         delay_requirements: vec![SimDuration::from_millis(40)],
+        chain_deadlines: vec![None],
+        bidirectional: false,
+        bridge_cycle: SimDuration::from_millis(20),
         horizon: SimTime::from_secs(2),
         warmup: SimDuration::from_millis(500),
         include_be: false,
