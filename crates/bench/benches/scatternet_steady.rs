@@ -9,7 +9,7 @@
 
 use btgs_bench::microbench::{Criterion, Throughput};
 use btgs_bench::{criterion_group, criterion_main};
-use btgs_core::{PollerKind, ScatternetScenario, ScatternetScenarioParams};
+use btgs_core::{BeSourceMix, PollerKind, ScatternetScenario, ScatternetScenarioParams};
 use btgs_des::{SimDuration, SimTime};
 use std::hint::black_box;
 
@@ -23,6 +23,8 @@ fn params(piconets: u8) -> ScatternetScenarioParams {
         bridge_cycle: SimDuration::from_millis(20),
         chain_deadline: None,
         bidirectional: false,
+        be_load_scale: 1.0,
+        be_source_mix: BeSourceMix::Cbr,
     }
 }
 

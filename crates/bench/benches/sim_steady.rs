@@ -19,6 +19,7 @@ fn params(include_be: bool) -> PaperScenarioParams {
         seed: 1,
         warmup: SimDuration::from_millis(500),
         include_be,
+        ..Default::default()
     }
 }
 

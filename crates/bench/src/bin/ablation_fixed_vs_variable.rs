@@ -7,8 +7,9 @@
 //! [`ExperimentRunner`].
 
 use btgs_bench::{banner, be_total_kbps, BenchArgs};
-use btgs_core::{ExperimentRunner, PollerKind, ScenarioGrid};
+use btgs_core::{BeSourceMix, CollectSink, ExperimentRunner, MultiSink, PollerKind, ScenarioGrid};
 use btgs_des::SimDuration;
+use btgs_grid::OnlineAggregator;
 use btgs_metrics::Table;
 
 fn main() {
@@ -29,8 +30,19 @@ fn main() {
         horizon: args.horizon(),
         warmup: SimDuration::from_secs(2),
         include_be: true,
+        be_load_scale: vec![1.0],
+        be_source_mix: BeSourceMix::Cbr,
     };
-    let report = ExperimentRunner::new().run_grid(&grid);
+    // Streamed execution through the grid subsystem's sinks.
+    let mut collect = CollectSink::new();
+    let mut aggregate = OnlineAggregator::for_grid(&grid);
+    {
+        let mut sinks = MultiSink::new(vec![&mut collect, &mut aggregate]);
+        ExperimentRunner::new()
+            .run_grid_streaming(&grid, &mut sinks)
+            .expect("ablation grid is valid");
+    }
+    let report = collect.into_report();
 
     let mut t = Table::new(vec![
         "Dreq",
@@ -69,6 +81,8 @@ fn main() {
         }
     }
     println!("{}", t.render());
+    println!("\nStreaming per-poller aggregate (bounded memory):");
+    println!("{}", aggregate.summary_table().render());
     println!("Expected: both meet the bound (violations = 0); the variable poller");
     println!("spends fewer GS slots, leaving more for BE — the §3.2 claim.");
 }

@@ -7,8 +7,11 @@
 //! All five variants run concurrently through [`ExperimentRunner`].
 
 use btgs_bench::{banner, be_total_kbps, BenchArgs};
-use btgs_core::{ExperimentRunner, Improvements, PollerKind, ScenarioGrid};
+use btgs_core::{
+    BeSourceMix, CollectSink, ExperimentRunner, Improvements, MultiSink, PollerKind, ScenarioGrid,
+};
 use btgs_des::SimDuration;
+use btgs_grid::OnlineAggregator;
 use btgs_metrics::Table;
 
 fn main() {
@@ -58,8 +61,20 @@ fn main() {
         horizon: args.horizon(),
         warmup: SimDuration::from_secs(2),
         include_be: true,
+        be_load_scale: vec![1.0],
+        be_source_mix: BeSourceMix::Cbr,
     };
-    let report = ExperimentRunner::new().run_grid(&grid);
+    // Streamed execution: the in-memory collector and the bounded-memory
+    // aggregator ride the same CellSink pass (grid-subsystem plumbing).
+    let mut collect = CollectSink::new();
+    let mut aggregate = OnlineAggregator::for_grid(&grid);
+    {
+        let mut sinks = MultiSink::new(vec![&mut collect, &mut aggregate]);
+        ExperimentRunner::new()
+            .run_grid_streaming(&grid, &mut sinks)
+            .expect("ablation grid is valid");
+    }
+    let report = collect.into_report();
 
     let mut t = Table::new(vec![
         "improvements",
@@ -83,6 +98,8 @@ fn main() {
         ]);
     }
     println!("{}", t.render());
+    println!("\nStreaming per-poller aggregate (bounded memory):");
+    println!("{}", aggregate.summary_table().render());
     println!("Expected: every variant keeps the guarantee; GS slot usage falls as");
     println!("improvements are added. Improvement (c) has no effect in this scenario:");
     println!("the only master->slave GS flow (flow 2) shares its polls with uplink");

@@ -9,13 +9,22 @@
 //! ```
 //!
 //! For every `BENCH_<name>.json` the microbench harness wrote into
-//! `<bench-json-dir>` (shape `{"bench": ..., "results": [...]}`), the
-//! matching trajectory file `BENCH_<name>.json` in the current directory
-//! gains one entry `{"pr": "<entry-label>", "queue": "<note>", "results":
-//! [...]}`. Missing trajectory files are created with an empty skeleton
-//! first, so new benches self-register. Everything is plain string
-//! surgery on the fixed formats both sides emit — no JSON dependency.
+//! `<bench-json-dir>` (shape `{"bench": ..., "host": ..., "results":
+//! [...]}`), the matching trajectory file `BENCH_<name>.json` in the
+//! current directory gains one entry `{"pr": "<entry-label>", "queue":
+//! "<note>", "host": "<hostname/cpu>", "results": [...]}`. Missing
+//! trajectory files are created with an empty skeleton first, so new
+//! benches self-register. The append itself is plain string surgery on
+//! the fixed formats both sides emit (preserving the committed files'
+//! layout byte-for-byte).
+//!
+//! Because wall-clock numbers from different machines are not comparable
+//! (the ROADMAP caveat), the tool also prints **per-bench deltas against
+//! the latest entry with the same host fingerprint**, ignoring entries
+//! from other hosts; with no same-host predecessor it says so instead of
+//! comparing apples to oranges.
 
+use btgs_grid::json::Json;
 use std::fs;
 use std::path::Path;
 use std::process::ExitCode;
@@ -68,6 +77,7 @@ fn append_entry(
     bench: &str,
     label: &str,
     note: &str,
+    host: &str,
     results: &str,
 ) -> Result<(), String> {
     let skeleton = || {
@@ -86,6 +96,8 @@ fn append_entry(
         Err(e) if e.kind() == std::io::ErrorKind::NotFound => skeleton(),
         Err(e) => return Err(format!("{}: {e}", trajectory_path.display())),
     };
+    // Same-host deltas against the committed history, before appending.
+    print_same_host_deltas(&file, host, results);
     let close = file
         .rfind(']')
         .ok_or_else(|| format!("{}: no trajectory array", trajectory_path.display()))?;
@@ -96,9 +108,9 @@ fn append_entry(
     };
     // Indent the results array to match the hand-written entries.
     let indented = results.replace('\n', "\n    ");
-    let (label, note) = (json_escape(label), json_escape(note));
+    let (label, note, host) = (json_escape(label), json_escape(note), json_escape(host));
     let entry = format!(
-        "{sep}  {{\n    \"pr\": \"{label}\",\n    \"queue\": \"{note}\",\n    \"results\": {indented}\n  }}\n"
+        "{sep}  {{\n    \"pr\": \"{label}\",\n    \"queue\": \"{note}\",\n    \"host\": \"{host}\",\n    \"results\": {indented}\n  }}\n"
     );
     let mut out = String::with_capacity(file.len() + entry.len());
     out.push_str(file[..close].trim_end_matches([' ', '\n']));
@@ -106,6 +118,70 @@ fn append_entry(
     out.push_str(&entry);
     out.push_str(&file[close..]);
     fs::write(trajectory_path, out).map_err(|e| format!("{}: {e}", trajectory_path.display()))
+}
+
+/// `(name, median_ns)` pairs of a parsed results array.
+fn medians(results: &Json) -> Vec<(String, f64)> {
+    results
+        .as_arr()
+        .unwrap_or(&[])
+        .iter()
+        .filter_map(|r| {
+            Some((
+                r.get("name")?.as_str()?.to_owned(),
+                r.get("median_ns")?.as_f64()?,
+            ))
+        })
+        .collect()
+}
+
+/// Prints per-bench deltas of `new_results` against the most recent
+/// trajectory entry with the same host fingerprint. Entries from other
+/// hosts are filtered out — their wall clock is not comparable. Never
+/// fails: delta reporting is advisory, the append is the contract.
+fn print_same_host_deltas(trajectory_file: &str, host: &str, new_results: &str) {
+    let Ok(parsed) = Json::parse(trajectory_file) else {
+        println!("  (trajectory not parseable; deltas skipped)");
+        return;
+    };
+    let entries = parsed
+        .get("trajectory")
+        .and_then(Json::as_arr)
+        .unwrap_or(&[]);
+    let other_hosts = entries
+        .iter()
+        .filter(|e| e.get("host").and_then(Json::as_str) != Some(host))
+        .count();
+    let baseline = entries
+        .iter()
+        .rev()
+        .find(|e| e.get("host").and_then(Json::as_str) == Some(host));
+    let Some(baseline) = baseline else {
+        println!(
+            "  no prior same-host entry ({other_hosts} entr(y/ies) from other/unknown hosts \
+             ignored); deltas skipped"
+        );
+        return;
+    };
+    let base_label = baseline
+        .get("pr")
+        .and_then(Json::as_str)
+        .unwrap_or("<unlabelled>");
+    let base = baseline.get("results").map(medians).unwrap_or_default();
+    let Ok(new_parsed) = Json::parse(new_results) else {
+        return;
+    };
+    for (name, new_ns) in medians(&new_parsed) {
+        if let Some((_, old_ns)) = base.iter().find(|(n, _)| *n == name) {
+            if *old_ns > 0.0 {
+                println!(
+                    "  same-host delta vs '{base_label}': {name}: {old_ns:.0} -> {new_ns:.0} ns/op \
+                     (x{:.2})",
+                    new_ns / old_ns
+                );
+            }
+        }
+    }
 }
 
 fn main() -> ExitCode {
@@ -150,8 +226,18 @@ fn main() -> ExitCode {
             eprintln!("skipping {name}: no results array");
             continue;
         };
+        // The harness stamps its host fingerprint into the payload. A
+        // payload without one (an older harness) may have been produced
+        // on a *different* machine than the one appending it, so it is
+        // tagged as explicitly unknown — never with this machine's
+        // fingerprint, which would poison future same-host deltas with
+        // foreign wall-clock numbers.
+        let host = Json::parse(&payload)
+            .ok()
+            .and_then(|j| j.get("host").and_then(Json::as_str).map(str::to_owned))
+            .unwrap_or_else(|| "unknown/legacy-harness".to_owned());
         let target = Path::new(&format!("BENCH_{bench}.json")).to_path_buf();
-        match append_entry(&target, &bench, &label, &note, results) {
+        match append_entry(&target, &bench, &label, &note, &host, results) {
             Ok(()) => {
                 println!("appended '{label}' to {}", target.display());
                 appended += 1;

@@ -17,7 +17,7 @@
 //! admission ledger rolled back byte-identically.
 
 use btgs_bench::{banner, BenchArgs};
-use btgs_core::{run_point, ExperimentRunner, PollerKind, ScenarioGrid};
+use btgs_core::{run_point, BeSourceMix, ExperimentRunner, PollerKind, ScenarioGrid};
 use btgs_des::SimDuration;
 use btgs_metrics::Table;
 
@@ -111,6 +111,8 @@ fn scatternet_mode(args: &BenchArgs) {
             horizon: args.horizon(),
             warmup: SimDuration::from_secs(1),
             include_be: true,
+            be_load_scale: vec![1.0],
+            be_source_mix: BeSourceMix::Cbr,
         };
         let report = ExperimentRunner::new()
             .try_run_grid(&grid)
@@ -162,6 +164,8 @@ fn scatternet_mode(args: &BenchArgs) {
         horizon: args.horizon(),
         warmup: SimDuration::from_secs(1),
         include_be: true,
+        be_load_scale: vec![1.0],
+        be_source_mix: BeSourceMix::Cbr,
     };
     let err = hopeless
         .validate()

@@ -1,0 +1,38 @@
+//! Sharded-grid worker process.
+//!
+//! Reads one shard spec (JSON: grid + shard id + cell indices, see
+//! `btgs_grid::wire`) from **stdin**, simulates each listed cell, and
+//! writes one length-prefixed frame per completed cell to **stdout**,
+//! flushing after each so the parent streams results as they finish.
+//! Diagnostics go to stderr. Spawned by `btgs_grid::ShardedGridRunner`
+//! (see the `grid_smoke` binary and `crates/bench/tests/grid_sharded.rs`
+//! for parents).
+//!
+//! Fault injection for the crash-recovery tests:
+//! `BTGS_GRID_CRASH_AFTER_CELLS=<n>` aborts after `n` cells, and
+//! `BTGS_GRID_CRASH_TORN=1` additionally emits a half-written frame
+//! first — simulating a worker killed mid-write.
+
+use btgs_grid::{fault_injection_from_env, run_worker};
+use std::io::Read;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut spec = String::new();
+    if let Err(e) = std::io::stdin().read_to_string(&mut spec) {
+        eprintln!("grid_worker: cannot read shard spec from stdin: {e}");
+        return ExitCode::FAILURE;
+    }
+    let stdout = std::io::stdout();
+    let mut out = stdout.lock();
+    match run_worker(&spec, &mut out, &fault_injection_from_env()) {
+        Ok(cells) => {
+            eprintln!("grid_worker: completed {cells} cell(s)");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("grid_worker: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -19,6 +19,7 @@
 #![warn(missing_docs)]
 
 pub mod alloc_counter;
+pub mod host;
 pub mod microbench;
 
 use btgs_des::SimTime;

@@ -187,15 +187,18 @@ impl Criterion {
 
     /// Writes `BENCH_<bench>.json` into the directory named by the
     /// `BTGS_BENCH_JSON` environment variable, if set. Called by
-    /// [`criterion_main!`] with the bench binary's name.
+    /// [`criterion_main!`] with the bench binary's name. The payload
+    /// carries the host fingerprint, so trajectory entries are
+    /// self-describing (cross-host wall clock is not comparable).
     pub fn write_json_from_env(&self, bench: &str) {
         let Ok(dir) = std::env::var("BTGS_BENCH_JSON") else {
             return;
         };
         let path = std::path::Path::new(&dir).join(format!("BENCH_{bench}.json"));
         let payload = format!(
-            "{{\n\"bench\": \"{}\",\n\"results\": {}\n}}\n",
+            "{{\n\"bench\": \"{}\",\n\"host\": \"{}\",\n\"results\": {}\n}}\n",
             json_escape(bench),
+            json_escape(&crate::host::host_fingerprint()),
             self.to_json()
         );
         match std::fs::File::create(&path).and_then(|mut f| f.write_all(payload.as_bytes())) {

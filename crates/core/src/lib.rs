@@ -67,6 +67,7 @@ mod plan;
 mod runner;
 mod scatternet_scenario;
 mod scenario;
+mod sink;
 mod timing;
 mod ymax;
 
@@ -84,17 +85,18 @@ pub use experiment::{fig5_requirements, run_point, sweep_fig5, SweepPoint};
 pub use gs_poller::{GsPoller, GsPollerStats};
 pub use plan::{Improvements, PollOutcome, PollPlan};
 pub use runner::{
-    comparison_pollers, CellResult, ExperimentRunner, GridCell, GridReport, ScatternetCellResult,
-    ScenarioGrid,
+    comparison_pollers, CellOutcome, CellResult, ExperimentRunner, GridCell, GridReport,
+    ScatternetCellResult, ScenarioGrid,
 };
 pub use scatternet_scenario::{
     ScatternetScenario, ScatternetScenarioParams, BRIDGE_IN_SLAVE, BRIDGE_OUT_SLAVE, CHAIN_ID_BASE,
     PICONET_ID_STRIDE,
 };
 pub use scenario::{
-    paper_tspec, GsFlowPlan, PaperScenario, PaperScenarioParams, PollerKind, BE_PACKET_SIZE,
-    BE_RATES_KBPS, GS_INTERVAL, GS_PACKET_RANGE,
+    paper_tspec, BeSourceMix, GsFlowPlan, PaperScenario, PaperScenarioParams, PollerKind,
+    BE_ONOFF_MEAN, BE_PACKET_SIZE, BE_RATES_KBPS, GS_INTERVAL, GS_PACKET_RANGE,
 };
+pub use sink::{CellSink, CollectSink, MultiSink};
 pub use timing::{
     max_data_slots, piconet_u, poll_interval, segment_exchange_time, SegmentTimeModel,
 };

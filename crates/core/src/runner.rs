@@ -10,7 +10,7 @@
 //! runner only changes wall-clock time, never output.
 //!
 //! ```
-//! use btgs_core::{ExperimentRunner, PollerKind, ScenarioGrid};
+//! use btgs_core::{BeSourceMix, ExperimentRunner, PollerKind, ScenarioGrid};
 //! use btgs_des::{SimDuration, SimTime};
 //!
 //! let grid = ScenarioGrid {
@@ -24,6 +24,8 @@
 //!     horizon: SimTime::from_secs(3),
 //!     warmup: SimDuration::from_millis(500),
 //!     include_be: false,
+//!     be_load_scale: vec![1.0],
+//!     be_source_mix: BeSourceMix::Cbr,
 //! };
 //! let report = ExperimentRunner::new().run_grid(&grid);
 //! assert_eq!(report.cells.len(), 4);
@@ -31,7 +33,8 @@
 
 use crate::plan::Improvements;
 use crate::scatternet_scenario::{ScatternetScenario, ScatternetScenarioParams};
-use crate::scenario::{PaperScenario, PaperScenarioParams, PollerKind};
+use crate::scenario::{BeSourceMix, PaperScenario, PaperScenarioParams, PollerKind};
+use crate::sink::{CellSink, CollectSink};
 use btgs_des::{SimDuration, SimTime};
 use btgs_metrics::{fmt_f64, DelayStats, Table};
 use btgs_piconet::{RunReport, ScatternetReport};
@@ -57,6 +60,28 @@ impl PollerKind {
                 }
                 s.push(')');
                 s
+            }
+        }
+    }
+
+    /// The inverse of [`PollerKind::label`] — the wire format ships
+    /// pollers as their labels, so the mapping must stay bijective.
+    pub fn from_label(label: &str) -> Option<PollerKind> {
+        match label {
+            "pfp-gs" => Some(PollerKind::PfpGs),
+            "gs-fixed" => Some(PollerKind::FixedGs),
+            _ => {
+                let subset = label.strip_prefix("gs-custom(")?.strip_suffix(')')?;
+                let mut imp = Improvements::NONE;
+                for c in subset.chars() {
+                    match c {
+                        'a' if !imp.packet_aware => imp.packet_aware = true,
+                        'b' if !imp.replan_from_actual => imp.replan_from_actual = true,
+                        'c' if !imp.skip_empty_downlink => imp.skip_empty_downlink = true,
+                        _ => return None,
+                    }
+                }
+                Some(PollerKind::Custom(imp))
             }
         }
     }
@@ -96,6 +121,13 @@ pub struct ScenarioGrid {
     /// Include the BE flows (all eight of Fig. 4 in a single piconet; the
     /// reduced S4/S5 load per scatternet piconet).
     pub include_be: bool,
+    /// Best-effort load multipliers to sweep (1.0 = the Fig. 4 rates) —
+    /// the ROADMAP's saturation-study axis. Requires `include_be` unless
+    /// it is exactly `[1.0]`.
+    pub be_load_scale: Vec<f64>,
+    /// How the BE flows generate traffic (a grid-wide variant, not an
+    /// axis).
+    pub be_source_mix: BeSourceMix,
 }
 
 impl ScenarioGrid {
@@ -113,6 +145,8 @@ impl ScenarioGrid {
             horizon,
             warmup: SimDuration::from_secs(2),
             include_be: true,
+            be_load_scale: vec![1.0],
+            be_source_mix: BeSourceMix::Cbr,
         }
     }
 
@@ -135,9 +169,25 @@ impl ScenarioGrid {
             ("seeds", self.seeds.is_empty()),
             ("delay_requirements", self.delay_requirements.is_empty()),
             ("chain_deadlines", self.chain_deadlines.is_empty()),
+            ("be_load_scale", self.be_load_scale.is_empty()),
         ] {
             if empty {
                 return Err(format!("grid axis `{name}` is empty"));
+            }
+        }
+        for &scale in &self.be_load_scale {
+            // The cap keeps the shortest scaled CBR interval far above the
+            // slot grid — beyond it a cell's event count explodes and the
+            // load is unschedulable anyway.
+            if !(scale.is_finite() && scale > 0.0 && scale <= 100.0) {
+                return Err(format!(
+                    "be_load_scale {scale} is outside the supported (0, 100] range"
+                ));
+            }
+            if scale != 1.0 && !self.include_be {
+                return Err(format!(
+                    "be_load_scale {scale} sweeps best-effort load, but include_be is false"
+                ));
             }
         }
         if self.warmup >= self.horizon - SimTime::ZERO {
@@ -214,32 +264,38 @@ impl ScenarioGrid {
     }
 
     /// Materialises the cells in deterministic (poller-major, then piconet
-    /// count, then chain deadline, then requirement, then seed) order.
+    /// count, then chain deadline, then requirement, then BE load scale,
+    /// then seed) order.
     pub fn cells(&self) -> Vec<GridCell> {
         let mut out = Vec::with_capacity(
             self.pollers.len()
                 * self.piconets.len()
                 * self.chain_deadlines.len()
                 * self.seeds.len()
-                * self.delay_requirements.len(),
+                * self.delay_requirements.len()
+                * self.be_load_scale.len(),
         );
         for &poller in &self.pollers {
             for &piconets in &self.piconets {
                 for &chain_deadline in &self.chain_deadlines {
                     for &delay_requirement in &self.delay_requirements {
-                        for &seed in &self.seeds {
-                            out.push(GridCell {
-                                poller,
-                                piconets,
-                                seed,
-                                delay_requirement,
-                                chain_deadline,
-                                bidirectional: self.bidirectional,
-                                bridge_cycle: self.bridge_cycle,
-                                horizon: self.horizon,
-                                warmup: self.warmup,
-                                include_be: self.include_be,
-                            });
+                        for &be_load_scale in &self.be_load_scale {
+                            for &seed in &self.seeds {
+                                out.push(GridCell {
+                                    poller,
+                                    piconets,
+                                    seed,
+                                    delay_requirement,
+                                    chain_deadline,
+                                    bidirectional: self.bidirectional,
+                                    bridge_cycle: self.bridge_cycle,
+                                    horizon: self.horizon,
+                                    warmup: self.warmup,
+                                    include_be: self.include_be,
+                                    be_load_scale,
+                                    be_source_mix: self.be_source_mix,
+                                });
+                            }
                         }
                     }
                 }
@@ -273,6 +329,10 @@ pub struct GridCell {
     pub warmup: SimDuration,
     /// Include the BE flows.
     pub include_be: bool,
+    /// Multiplier on the BE flows' Fig. 4 rates.
+    pub be_load_scale: f64,
+    /// How the BE flows generate traffic.
+    pub be_source_mix: BeSourceMix,
 }
 
 impl GridCell {
@@ -284,6 +344,8 @@ impl GridCell {
             seed: self.seed,
             warmup: self.warmup,
             include_be: self.include_be,
+            be_load_scale: self.be_load_scale,
+            be_source_mix: self.be_source_mix,
         }
     }
 
@@ -298,6 +360,39 @@ impl GridCell {
             bridge_cycle: self.bridge_cycle,
             chain_deadline: self.chain_deadline,
             bidirectional: self.bidirectional,
+            be_load_scale: self.be_load_scale,
+            be_source_mix: self.be_source_mix,
+        }
+    }
+
+    /// Runs the cell's **simulation only**, returning the measured
+    /// reports without the derived scenario objects.
+    ///
+    /// This is the expensive half of [`GridCell::run`] and the payload a
+    /// sharded worker ships back over the wire — the parent process
+    /// re-derives the (deterministic, cheap) scenario via
+    /// [`CellResult::reassemble`], so both paths construct the result
+    /// through identical code.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the scenario fails to simulate — a bug, not an input
+    /// condition, for the paper's parameter ranges.
+    pub fn simulate(&self) -> CellOutcome {
+        if self.piconets <= 1 {
+            let scenario = PaperScenario::build(self.params());
+            CellOutcome::Piconet(
+                scenario
+                    .run(self.poller, self.horizon)
+                    .expect("paper scenario must simulate"),
+            )
+        } else {
+            let scenario = ScatternetScenario::build(self.scatternet_params());
+            CellOutcome::Scatternet(
+                scenario
+                    .run(self.poller, self.horizon)
+                    .expect("scatternet scenario must simulate"),
+            )
         }
     }
 
@@ -308,36 +403,19 @@ impl GridCell {
     /// Panics if the scenario fails to simulate — a bug, not an input
     /// condition, for the paper's parameter ranges.
     pub fn run(&self) -> CellResult {
-        let scenario = PaperScenario::build(self.params());
-        if self.piconets <= 1 {
-            let report = scenario
-                .run(self.poller, self.horizon)
-                .expect("paper scenario must simulate");
-            return CellResult {
-                cell: *self,
-                scenario,
-                report,
-                scatternet: None,
-            };
-        }
-        let scatternet_scenario = ScatternetScenario::build(self.scatternet_params());
-        let scatternet_report = scatternet_scenario
-            .run(self.poller, self.horizon)
-            .expect("scatternet scenario must simulate");
-        CellResult {
-            cell: *self,
-            // `scenario` keeps the single-piconet reference schedule: its
-            // bounds are what piconet 0's paper flows would be guaranteed
-            // without the bridge load, so `gs_violations` measures the
-            // scatternet's interference.
-            scenario,
-            report: scatternet_report.piconets[0].clone(),
-            scatternet: Some(ScatternetCellResult {
-                scenario: scatternet_scenario,
-                report: scatternet_report,
-            }),
-        }
+        CellResult::reassemble(*self, self.simulate())
     }
+}
+
+/// The measured outcome of one cell's simulation — what a sharded worker
+/// transmits; everything else in a [`CellResult`] is deterministically
+/// re-derivable from the [`GridCell`].
+#[derive(Clone, Debug)]
+pub enum CellOutcome {
+    /// A single-piconet (Fig. 4) cell's report.
+    Piconet(RunReport),
+    /// A scatternet cell's full report.
+    Scatternet(ScatternetReport),
 }
 
 /// The scatternet-specific outcome of a multi-piconet grid cell.
@@ -370,6 +448,65 @@ pub struct CellResult {
 }
 
 impl CellResult {
+    /// Reconstructs the full cell result from the cell coordinates and
+    /// the measured outcome.
+    ///
+    /// The scenario derivation (admission, schedules, bounds) is a pure
+    /// function of the cell, so a result reassembled in a *different
+    /// process* from a worker's shipped [`CellOutcome`] is byte-identical
+    /// to one produced in-process by [`GridCell::run`] — the property the
+    /// sharded grid runner's bit-for-bit merge guarantee rests on.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the outcome variant does not match the cell's piconet
+    /// count.
+    pub fn reassemble(cell: GridCell, outcome: CellOutcome) -> CellResult {
+        // The single-piconet reference schedule: for scatternet cells its
+        // bounds are what piconet 0's paper flows would be guaranteed
+        // without the bridge load, so `gs_violations` measures the
+        // scatternet's interference.
+        let scenario = PaperScenario::build(cell.params());
+        match outcome {
+            CellOutcome::Piconet(report) => {
+                assert!(
+                    cell.piconets <= 1,
+                    "scatternet cell carries a single-piconet outcome"
+                );
+                CellResult {
+                    cell,
+                    scenario,
+                    report,
+                    scatternet: None,
+                }
+            }
+            CellOutcome::Scatternet(report) => {
+                assert!(
+                    cell.piconets >= 2,
+                    "single-piconet cell carries a scatternet outcome"
+                );
+                CellResult {
+                    cell,
+                    scenario,
+                    report: report.piconets[0].clone(),
+                    scatternet: Some(ScatternetCellResult {
+                        scenario: ScatternetScenario::build(cell.scatternet_params()),
+                        report,
+                    }),
+                }
+            }
+        }
+    }
+
+    /// The measured outcome alone — the inverse of
+    /// [`CellResult::reassemble`] (the wire format ships this).
+    pub fn outcome(&self) -> CellOutcome {
+        match &self.scatternet {
+            None => CellOutcome::Piconet(self.report.clone()),
+            Some(s) => CellOutcome::Scatternet(s.report.clone()),
+        }
+    }
+
     /// The worst packet delay over all of this cell's GS flows.
     ///
     /// # Panics
@@ -494,7 +631,7 @@ impl GridReport {
         for c in &self.cells {
             let _ = write!(
                 out,
-                "{}|pics={}|seed={}|dreq={}|cd={}|bi={}",
+                "{}|pics={}|seed={}|dreq={}|cd={}|bi={}|bl={:?}|mix={}",
                 c.cell.poller.label(),
                 c.cell.piconets,
                 c.cell.seed,
@@ -503,6 +640,8 @@ impl GridReport {
                     .chain_deadline
                     .map_or_else(|| "-".into(), |d| d.to_string()),
                 c.cell.bidirectional,
+                c.cell.be_load_scale,
+                c.cell.be_source_mix.label(),
             );
             match &c.scatternet {
                 None => flow_digest(&mut out, &c.report),
@@ -640,15 +779,66 @@ impl ExperimentRunner {
     /// inadmissible chain deadline) is reported as an error before any
     /// cell executes.
     ///
+    /// The in-memory report is itself built through the streaming path: a
+    /// [`CollectSink`] is just one [`CellSink`] among the spill and
+    /// aggregation sinks of `btgs-grid`.
+    ///
     /// # Errors
     ///
     /// Returns [`ScenarioGrid::validate`]'s description of the violated
     /// rule.
     pub fn try_run_grid(&self, grid: &ScenarioGrid) -> Result<GridReport, String> {
+        let mut collect = CollectSink::new();
+        self.run_grid_streaming(grid, &mut collect)?;
+        Ok(collect.into_report())
+    }
+
+    /// Runs every cell of the grid, streaming each [`CellResult`] into
+    /// `sink` **as it completes** — in an arbitrary, thread-schedule-
+    /// dependent order. Sinks must therefore be completion-order
+    /// invariant (all the provided ones are); nothing is retained here,
+    /// so peak memory is the sink's, not O(cells).
+    ///
+    /// Returns the number of cells executed.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ScenarioGrid::validate`]'s description of the violated
+    /// rule, before any cell runs.
+    pub fn run_grid_streaming(
+        &self,
+        grid: &ScenarioGrid,
+        sink: &mut dyn CellSink,
+    ) -> Result<usize, String> {
         grid.validate()?;
         let cells = grid.cells();
-        let results = self.run(&cells, GridCell::run);
-        Ok(GridReport { cells: results })
+        let n = cells.len();
+        let workers = self.threads.min(n.max(1));
+        if workers <= 1 {
+            for (i, cell) in cells.iter().enumerate() {
+                sink.accept_owned(i, cell.run());
+            }
+            return Ok(n);
+        }
+        let cursor = AtomicUsize::new(0);
+        let shared = Mutex::new(sink);
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| loop {
+                    let i = cursor.fetch_add(1, Ordering::Relaxed);
+                    if i >= n {
+                        break;
+                    }
+                    // Simulate outside the lock; only delivery serialises.
+                    let result = cells[i].run();
+                    shared
+                        .lock()
+                        .expect("a worker panicked while holding the sink")
+                        .accept_owned(i, result);
+                });
+            }
+        });
+        Ok(n)
     }
 }
 
@@ -684,6 +874,8 @@ mod tests {
             horizon: SimTime::from_secs(1),
             warmup: SimDuration::ZERO,
             include_be: false,
+            be_load_scale: vec![1.0],
+            be_source_mix: BeSourceMix::Cbr,
         };
         let cells = grid.cells();
         assert_eq!(cells.len(), 12);
@@ -721,6 +913,8 @@ mod tests {
             horizon: SimTime::from_secs(2),
             warmup: SimDuration::from_millis(500),
             include_be: false,
+            be_load_scale: vec![1.0],
+            be_source_mix: BeSourceMix::Cbr,
         }
     }
 
@@ -780,6 +974,71 @@ mod tests {
         // and runs.
         g.delay_requirements = vec![SimDuration::from_millis(46)];
         assert!(g.validate().is_ok(), "{:?}", g.validate());
+    }
+
+    #[test]
+    fn validation_covers_the_be_load_axis() {
+        let mut g = base_grid();
+        g.be_load_scale.clear();
+        assert!(g.validate().unwrap_err().contains("be_load_scale"));
+
+        // Out-of-range multipliers are grid errors, not mid-run panics
+        // (a non-finite or zero scale would produce an invalid CBR
+        // interval inside a worker).
+        for bad in [0.0, -1.0, f64::NAN, f64::INFINITY, 101.0] {
+            let mut g = base_grid();
+            g.include_be = true;
+            g.be_load_scale = vec![1.0, bad];
+            let err = g.validate().unwrap_err();
+            assert!(err.contains("be_load_scale"), "{bad}: {err}");
+        }
+
+        // Sweeping BE load without BE flows is contradictory…
+        let mut g = base_grid();
+        g.be_load_scale = vec![0.5, 1.0, 2.0];
+        assert!(g.validate().unwrap_err().contains("include_be"));
+        // …but fine once the flows exist, and the axis multiplies the
+        // cell count.
+        g.include_be = true;
+        assert!(g.validate().is_ok(), "{:?}", g.validate());
+        assert_eq!(g.cells().len(), 3);
+        assert_eq!(g.cells()[0].be_load_scale, 0.5);
+        assert_eq!(g.cells()[2].be_load_scale, 2.0);
+    }
+
+    #[test]
+    fn poller_labels_round_trip() {
+        let mut kinds = vec![PollerKind::PfpGs, PollerKind::FixedGs];
+        for a in [false, true] {
+            for b in [false, true] {
+                for c in [false, true] {
+                    kinds.push(PollerKind::Custom(Improvements {
+                        packet_aware: a,
+                        replan_from_actual: b,
+                        skip_empty_downlink: c,
+                    }));
+                }
+            }
+        }
+        for kind in kinds {
+            assert_eq!(
+                PollerKind::from_label(&kind.label()),
+                Some(kind),
+                "{} must round-trip",
+                kind.label()
+            );
+        }
+        for bad in ["", "pfp", "gs-custom(", "gs-custom(d)", "gs-custom(aa)"] {
+            assert_eq!(PollerKind::from_label(bad), None, "{bad:?}");
+        }
+    }
+
+    #[test]
+    fn source_mix_labels_round_trip() {
+        for mix in [BeSourceMix::Cbr, BeSourceMix::Poisson, BeSourceMix::OnOff] {
+            assert_eq!(BeSourceMix::from_label(mix.label()), Some(mix));
+        }
+        assert_eq!(BeSourceMix::from_label("bursty"), None);
     }
 
     #[test]

@@ -23,8 +23,8 @@ use crate::chain_admission::{
 };
 use crate::gs_poller::GsPoller;
 use crate::scenario::{
-    derive_gs_schedule, paper_tspec, GsFlowPlan, PollerKind, BE_PACKET_SIZE, BE_RATES_KBPS,
-    GS_INTERVAL, GS_PACKET_RANGE,
+    derive_gs_schedule, paper_tspec, BeSourceMix, GsFlowPlan, PollerKind, GS_INTERVAL,
+    GS_PACKET_RANGE,
 };
 use btgs_baseband::{
     AmAddr, ChannelModel, Direction, IdealChannel, LogicalChannel, PacketType, PiconetId,
@@ -83,6 +83,11 @@ pub struct ScatternetScenarioParams {
     /// guaranteed traffic and the residence term is stressed under
     /// contention.
     pub bidirectional: bool,
+    /// Multiplier on every BE flow's Fig. 4 rate (1.0 = the paper's
+    /// load).
+    pub be_load_scale: f64,
+    /// How the BE flows generate traffic.
+    pub be_source_mix: BeSourceMix,
 }
 
 impl ScatternetScenarioParams {
@@ -98,6 +103,8 @@ impl ScatternetScenarioParams {
             bridge_cycle: SimDuration::from_millis(20),
             chain_deadline: None,
             bidirectional: false,
+            be_load_scale: 1.0,
+            be_source_mix: BeSourceMix::Cbr,
         }
     }
 }
@@ -366,21 +373,30 @@ impl ScatternetScenario {
                     continue; // relay-fed hop
                 }
                 let mut stream = root.stream(u64::from(f.id.0));
-                let (interval, min_size, max_size) = if f.channel.is_gs() {
-                    (GS_INTERVAL, GS_PACKET_RANGE.0, GS_PACKET_RANGE.1)
+                if f.channel.is_gs() {
+                    let offset = SimTime::ZERO
+                        + pic_offset
+                        + SimDuration::from_nanos(stream.below(GS_INTERVAL.as_nanos()));
+                    out.push(Box::new(
+                        CbrSource::new(
+                            f.id,
+                            GS_INTERVAL,
+                            GS_PACKET_RANGE.0,
+                            GS_PACKET_RANGE.1,
+                            stream,
+                        )
+                        .starting_at(offset),
+                    ));
                 } else {
-                    let k = (f.slave.get() - 4) as usize;
-                    let rate_bps = BE_RATES_KBPS[k] * 1000.0;
-                    let interval =
-                        SimDuration::from_secs_f64(BE_PACKET_SIZE as f64 * 8.0 / rate_bps);
-                    (interval, BE_PACKET_SIZE, BE_PACKET_SIZE)
-                };
-                let offset = SimTime::ZERO
-                    + pic_offset
-                    + SimDuration::from_nanos(stream.below(interval.as_nanos()));
-                out.push(Box::new(
-                    CbrSource::new(f.id, interval, min_size, max_size, stream).starting_at(offset),
-                ));
+                    out.push(crate::scenario::be_source(
+                        f.id,
+                        f.slave,
+                        self.params.be_load_scale,
+                        self.params.be_source_mix,
+                        SimTime::ZERO + pic_offset,
+                        stream,
+                    ));
+                }
             }
         }
         out

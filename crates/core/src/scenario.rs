@@ -33,7 +33,7 @@ use btgs_piconet::{
     SarPolicy,
 };
 use btgs_pollers::PfpBePoller;
-use btgs_traffic::{CbrSource, FlowId, Source};
+use btgs_traffic::{CbrSource, FlowId, OnOffSource, PoissonSource, Source};
 
 /// Which poller drives a scenario run.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -48,6 +48,51 @@ pub enum PollerKind {
     Custom(crate::plan::Improvements),
 }
 
+/// How the best-effort flows of a scenario generate traffic.
+///
+/// The GS flows are always the paper's CBR voice model; the mix only
+/// varies the *best-effort* load, the saturation-study axis the ROADMAP
+/// asks for. Every variant targets the same mean rate (the Fig. 4 rates
+/// times the scenario's `be_load_scale`), so the offered load is
+/// comparable across mixes — only its burstiness differs.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum BeSourceMix {
+    /// Constant bit rate at the target rate (the paper's workload).
+    #[default]
+    Cbr,
+    /// Poisson arrivals with the target mean rate.
+    Poisson,
+    /// Bursty on-off: exponential ON/OFF periods (mean
+    /// [`BE_ONOFF_MEAN`] each), CBR at twice the target rate while ON so
+    /// the long-run mean rate matches.
+    OnOff,
+}
+
+impl BeSourceMix {
+    /// A short stable label for tables, digests and the wire format.
+    pub fn label(&self) -> &'static str {
+        match self {
+            BeSourceMix::Cbr => "cbr",
+            BeSourceMix::Poisson => "poisson",
+            BeSourceMix::OnOff => "onoff",
+        }
+    }
+
+    /// The inverse of [`BeSourceMix::label`].
+    pub fn from_label(label: &str) -> Option<BeSourceMix> {
+        match label {
+            "cbr" => Some(BeSourceMix::Cbr),
+            "poisson" => Some(BeSourceMix::Poisson),
+            "onoff" => Some(BeSourceMix::OnOff),
+            _ => None,
+        }
+    }
+}
+
+/// Mean ON and OFF period of the [`BeSourceMix::OnOff`] best-effort
+/// sources.
+pub const BE_ONOFF_MEAN: SimDuration = SimDuration::from_millis(200);
+
 /// Parameters of the paper scenario.
 #[derive(Clone, Copy, Debug, PartialEq)]
 pub struct PaperScenarioParams {
@@ -59,6 +104,11 @@ pub struct PaperScenarioParams {
     pub warmup: SimDuration,
     /// Include the eight BE flows (disable for GS-only ablations).
     pub include_be: bool,
+    /// Multiplier on every BE flow's Fig. 4 rate (1.0 = the paper's
+    /// load); the saturation-study axis.
+    pub be_load_scale: f64,
+    /// How the BE flows generate traffic.
+    pub be_source_mix: BeSourceMix,
 }
 
 impl Default for PaperScenarioParams {
@@ -68,6 +118,8 @@ impl Default for PaperScenarioParams {
             seed: 1,
             warmup: SimDuration::from_secs(2),
             include_be: true,
+            be_load_scale: 1.0,
+            be_source_mix: BeSourceMix::Cbr,
         }
     }
 }
@@ -202,6 +254,69 @@ pub(crate) fn derive_gs_schedule(
     (outcome, gs_plans)
 }
 
+/// Builds one best-effort traffic source, shared by the single-piconet
+/// and scatternet scenarios.
+///
+/// `stream` is the flow's dedicated RNG stream; `start` is the earliest
+/// process start (zero for the paper scenario, the piconet stagger offset
+/// in scatternets). With `scale == 1.0` and [`BeSourceMix::Cbr`] the draw
+/// sequence and arrivals are bit-identical to the pre-axis scenarios.
+///
+/// # Panics
+///
+/// Panics if `slave` is not one of the BE slaves (S4..S7) or the scaled
+/// rate is not positive/finite — [`ScenarioGrid`](crate::ScenarioGrid)
+/// validation rejects such grids before any cell runs.
+pub(crate) fn be_source(
+    id: FlowId,
+    slave: AmAddr,
+    scale: f64,
+    mix: BeSourceMix,
+    start: SimTime,
+    mut stream: DetRng,
+) -> Box<dyn Source> {
+    let k = (slave.get() - 4) as usize;
+    let rate_bps = BE_RATES_KBPS[k] * 1000.0 * scale;
+    assert!(
+        rate_bps.is_finite() && rate_bps > 0.0,
+        "BE load scale {scale} yields an invalid rate"
+    );
+    let interval = SimDuration::from_secs_f64(BE_PACKET_SIZE as f64 * 8.0 / rate_bps);
+    match mix {
+        BeSourceMix::Cbr => {
+            let offset = start + SimDuration::from_nanos(stream.below(interval.as_nanos()));
+            Box::new(
+                CbrSource::new(id, interval, BE_PACKET_SIZE, BE_PACKET_SIZE, stream)
+                    .starting_at(offset),
+            )
+        }
+        BeSourceMix::Poisson => {
+            // The first arrival is already one random interval after the
+            // start; no extra phase stagger needed.
+            Box::new(
+                PoissonSource::new(id, interval, BE_PACKET_SIZE, BE_PACKET_SIZE, stream)
+                    .starting_at(start),
+            )
+        }
+        BeSourceMix::OnOff => {
+            // Same phase stagger as CBR; twice the rate while ON and a 50%
+            // duty cycle (equal ON/OFF means) preserve the mean rate.
+            let offset = start + SimDuration::from_nanos(stream.below(interval.as_nanos()));
+            Box::new(
+                OnOffSource::new(
+                    id,
+                    interval / 2,
+                    BE_PACKET_SIZE,
+                    BE_ONOFF_MEAN,
+                    BE_ONOFF_MEAN,
+                    stream,
+                )
+                .starting_at(offset),
+            )
+        }
+    }
+}
+
 /// The paper's TSpec (Eqs. 11–12): `p = r = 8800 B/s`, `b = M = 176`,
 /// `m = 144`.
 pub fn paper_tspec() -> TokenBucketSpec {
@@ -278,18 +393,28 @@ impl PaperScenario {
         let mut out: Vec<Box<dyn Source>> = Vec::new();
         for f in &self.config.flows {
             let mut stream = root.stream(u64::from(f.id.0));
-            let (interval, min_size, max_size) = if f.channel.is_gs() {
-                (GS_INTERVAL, GS_PACKET_RANGE.0, GS_PACKET_RANGE.1)
+            if f.channel.is_gs() {
+                let offset = SimTime::from_nanos(stream.below(GS_INTERVAL.as_nanos()));
+                out.push(Box::new(
+                    CbrSource::new(
+                        f.id,
+                        GS_INTERVAL,
+                        GS_PACKET_RANGE.0,
+                        GS_PACKET_RANGE.1,
+                        stream,
+                    )
+                    .starting_at(offset),
+                ));
             } else {
-                let k = (f.slave.get() - 4) as usize;
-                let rate_bps = BE_RATES_KBPS[k] * 1000.0;
-                let interval = SimDuration::from_secs_f64(BE_PACKET_SIZE as f64 * 8.0 / rate_bps);
-                (interval, BE_PACKET_SIZE, BE_PACKET_SIZE)
-            };
-            let offset = SimTime::from_nanos(stream.below(interval.as_nanos()));
-            out.push(Box::new(
-                CbrSource::new(f.id, interval, min_size, max_size, stream).starting_at(offset),
-            ));
+                out.push(be_source(
+                    f.id,
+                    f.slave,
+                    self.params.be_load_scale,
+                    self.params.be_source_mix,
+                    SimTime::ZERO,
+                    stream,
+                ));
+            }
         }
         out
     }

@@ -1,0 +1,53 @@
+//! # btgs-grid — sharded, streaming, resumable experiment-grid execution
+//!
+//! `btgs-core`'s [`ExperimentRunner`](btgs_core::ExperimentRunner) runs a
+//! [`ScenarioGrid`](btgs_core::ScenarioGrid) on one process and, until
+//! this crate, held every [`CellResult`](btgs_core::CellResult) in
+//! memory. This crate turns grid execution into a pipeline that scales
+//! past one heap and one process — the ROADMAP's "shard grids across
+//! machines, stream partial reports" item:
+//!
+//! ```text
+//!   ScenarioGrid ──GridPartitioner──▶ GridShards (content-addressed,
+//!        │                             pure fn of the grid digest)
+//!        │              ┌──────────────┴──────────────┐
+//!        │        grid_worker #1  …  grid_worker #N   (processes)
+//!        │              │  length-prefixed JSONL frames │
+//!        │              ▼                              ▼
+//!        │        per-shard checkpoints (kill-and-resume)
+//!        │              └──────────────┬──────────────┘
+//!        ▼                             ▼
+//!   CellSink streaming:   OnlineAggregator (O(pollers) memory)
+//!                         JsonlSpillSink   (full-fidelity archive)
+//!                         CollectSink      (merged GridReport)
+//! ```
+//!
+//! * [`GridPartitioner`] — splits a grid into [`GridShard`]s; the cell →
+//!   shard map is a pure function of the grid digest, so every worker
+//!   count (and every machine) sees the same shards.
+//! * [`wire`] — the full-fidelity JSON wire format plus length-prefixed
+//!   framing with torn-tail detection.
+//! * [`OnlineAggregator`] — mergeable per-poller summaries
+//!   ([`DelaySummary`](btgs_metrics::DelaySummary) + fixed histograms);
+//!   memory bounded by the number of summary series, not cells.
+//! * [`JsonlSpillSink`] — archives every cell as one JSONL frame.
+//! * [`ShardedGridRunner`] — spawns N `grid_worker` processes, streams
+//!   frames into the caller's sink, checkpoints every frame, and merges
+//!   a [`GridReport`](btgs_core::GridReport) **byte-identical** to the
+//!   in-process runner's at any worker count, including after a worker
+//!   is killed mid-shard and the run resumed.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod json;
+mod partition;
+mod runner;
+mod sink;
+pub mod wire;
+mod worker;
+
+pub use partition::{GridPartitioner, GridShard};
+pub use runner::{GridError, ShardedGridRunner, ShardedRunOutcome, ShardedStreamStats};
+pub use sink::{JsonlSpillSink, OnlineAggregator};
+pub use worker::{fault_injection_from_env, run_worker, FaultInjection};

@@ -1,0 +1,230 @@
+//! Deterministic, content-addressed grid sharding.
+//!
+//! A [`GridPartitioner`] splits a [`ScenarioGrid`] into [`GridShard`]s.
+//! The cell → shard assignment is a **pure function of the grid digest**
+//! (hash of the canonical grid spec) and the cell index: the shard layout
+//! is identical on every machine and for every worker count, so a run
+//! interrupted under 8 workers resumes seamlessly under 2, and checkpoint
+//! files written by one invocation are valid for any other invocation of
+//! the same grid.
+//!
+//! Cells are *hash-scattered* across shards rather than chunked
+//! contiguously: grid order sorts by poller and piconet count, so
+//! contiguous chunks would concentrate the expensive scatternet cells in
+//! the trailing shards and serialise the tail of the run. Scattering
+//! mixes cheap and expensive cells into every shard.
+
+use crate::wire::{fnv1a64, grid_digest};
+use btgs_core::ScenarioGrid;
+
+/// One shard of a partitioned grid: a content-addressed subset of cell
+/// indices.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct GridShard {
+    /// Position of the shard in the partition (0-based).
+    pub index: usize,
+    /// The content address: a hex digest over the grid digest, the shard
+    /// index and the member cells. Checkpoint files are named by this.
+    pub id: String,
+    /// Digest of the grid this shard belongs to.
+    pub grid_digest: u64,
+    /// Grid-order indices of the member cells, ascending.
+    pub cells: Vec<usize>,
+}
+
+/// Splits grids into deterministic shards.
+#[derive(Clone, Copy, Debug)]
+pub struct GridPartitioner {
+    target_cells_per_shard: usize,
+}
+
+impl Default for GridPartitioner {
+    fn default() -> Self {
+        GridPartitioner::new()
+    }
+}
+
+impl GridPartitioner {
+    /// The default partitioner: shards of (up to) 16 cells — small enough
+    /// that a lost worker forfeits little work, large enough that process
+    /// spawn overhead stays negligible next to simulation time.
+    pub fn new() -> GridPartitioner {
+        GridPartitioner {
+            target_cells_per_shard: 16,
+        }
+    }
+
+    /// Overrides the shard size target.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero.
+    pub fn with_target_cells_per_shard(n: usize) -> GridPartitioner {
+        assert!(n > 0, "shards need at least one cell");
+        GridPartitioner {
+            target_cells_per_shard: n,
+        }
+    }
+
+    /// The shard count this partitioner produces for `cell_count` cells.
+    pub fn shard_count(&self, cell_count: usize) -> usize {
+        cell_count.div_ceil(self.target_cells_per_shard).max(1)
+    }
+
+    /// The shard index of one cell — the pure assignment function. Does
+    /// not depend on worker count, machine, or which other cells exist.
+    pub fn shard_of(&self, grid_digest: u64, cell_index: usize, shard_count: usize) -> usize {
+        let mut key = [0u8; 16];
+        key[..8].copy_from_slice(&grid_digest.to_le_bytes());
+        key[8..].copy_from_slice(&(cell_index as u64).to_le_bytes());
+        (fnv1a64(&key) % shard_count as u64) as usize
+    }
+
+    /// Partitions the grid.
+    ///
+    /// Every cell lands in exactly one shard; shards may end up slightly
+    /// unequal (hash scatter), but never empty beyond what hashing makes
+    /// unavoidable — empty shards are dropped, and the remaining shards
+    /// keep their positional `index`.
+    pub fn partition(&self, grid: &ScenarioGrid) -> Vec<GridShard> {
+        let digest = grid_digest(grid);
+        let n = grid.cells().len();
+        let shard_count = self.shard_count(n);
+        let mut members: Vec<Vec<usize>> = vec![Vec::new(); shard_count];
+        for i in 0..n {
+            members[self.shard_of(digest, i, shard_count)].push(i);
+        }
+        members
+            .into_iter()
+            .enumerate()
+            .filter(|(_, cells)| !cells.is_empty())
+            .map(|(index, cells)| GridShard {
+                index,
+                id: shard_address(digest, index, &cells),
+                grid_digest: digest,
+                cells,
+            })
+            .collect()
+    }
+}
+
+/// The content address of a shard: hex FNV-1a over (grid digest, shard
+/// index, member cells).
+fn shard_address(grid_digest: u64, index: usize, cells: &[usize]) -> String {
+    let mut bytes = Vec::with_capacity(16 + 8 * cells.len());
+    bytes.extend_from_slice(&grid_digest.to_le_bytes());
+    bytes.extend_from_slice(&(index as u64).to_le_bytes());
+    for &c in cells {
+        bytes.extend_from_slice(&(c as u64).to_le_bytes());
+    }
+    format!("{:016x}", fnv1a64(&bytes))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use btgs_core::{BeSourceMix, PollerKind};
+    use btgs_des::{SimDuration, SimTime};
+
+    fn grid(seeds: u64) -> ScenarioGrid {
+        ScenarioGrid {
+            pollers: vec![PollerKind::PfpGs, PollerKind::FixedGs],
+            piconets: vec![1],
+            seeds: (1..=seeds).collect(),
+            delay_requirements: vec![SimDuration::from_millis(40)],
+            chain_deadlines: vec![None],
+            bidirectional: false,
+            bridge_cycle: SimDuration::from_millis(20),
+            horizon: SimTime::from_secs(2),
+            warmup: SimDuration::from_millis(500),
+            include_be: false,
+            be_load_scale: vec![1.0],
+            be_source_mix: BeSourceMix::Cbr,
+        }
+    }
+
+    #[test]
+    fn partition_is_exhaustive_and_disjoint() {
+        let g = grid(40); // 80 cells
+        let shards = GridPartitioner::new().partition(&g);
+        assert!(shards.len() >= 80 / 16, "{} shards", shards.len());
+        let mut seen = [false; 80];
+        for shard in &shards {
+            assert!(!shard.cells.is_empty());
+            assert!(shard.cells.windows(2).all(|w| w[0] < w[1]), "ascending");
+            for &c in &shard.cells {
+                assert!(!seen[c], "cell {c} in two shards");
+                seen[c] = true;
+            }
+        }
+        assert!(seen.iter().all(|&s| s), "every cell assigned");
+    }
+
+    #[test]
+    fn partition_is_deterministic_and_content_addressed() {
+        let g = grid(16);
+        let a = GridPartitioner::new().partition(&g);
+        let b = GridPartitioner::new().partition(&g);
+        assert_eq!(a, b);
+        // Ids are stable hex and distinct.
+        for (i, s) in a.iter().enumerate() {
+            assert_eq!(s.id.len(), 16);
+            for other in &a[i + 1..] {
+                assert_ne!(s.id, other.id);
+            }
+        }
+        // A different grid produces entirely different addresses.
+        let c = GridPartitioner::new().partition(&grid(17));
+        for s in &a {
+            assert!(c.iter().all(|o| o.id != s.id));
+        }
+    }
+
+    #[test]
+    fn assignment_is_a_pure_function_of_digest_and_index() {
+        let g = grid(16);
+        let digest = grid_digest(&g);
+        let p = GridPartitioner::new();
+        let shard_count = p.shard_count(32);
+        for i in 0..32 {
+            let a = p.shard_of(digest, i, shard_count);
+            let b = p.shard_of(digest, i, shard_count);
+            assert_eq!(a, b);
+            assert!(a < shard_count);
+        }
+    }
+
+    #[test]
+    fn shard_size_target_is_honoured() {
+        let g = grid(32); // 64 cells
+        let fine = GridPartitioner::with_target_cells_per_shard(4).partition(&g);
+        assert!(fine.len() >= 10, "{}", fine.len());
+        let coarse = GridPartitioner::with_target_cells_per_shard(64).partition(&g);
+        assert_eq!(coarse.len(), 1);
+        assert_eq!(coarse[0].cells.len(), 64);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one cell")]
+    fn zero_target_is_rejected() {
+        let _ = GridPartitioner::with_target_cells_per_shard(0);
+    }
+
+    #[test]
+    fn scatter_mixes_grid_order() {
+        // With 2 pollers x 40 seeds, contiguous chunking would put all of
+        // poller 0 in the first shards; scattering must mix both pollers
+        // into most shards.
+        let g = grid(40);
+        let shards = GridPartitioner::new().partition(&g);
+        let mixed = shards
+            .iter()
+            .filter(|s| s.cells.iter().any(|&c| c < 40) && s.cells.iter().any(|&c| c >= 40))
+            .count();
+        assert!(
+            mixed * 2 > shards.len(),
+            "only {mixed}/{} shards mix pollers",
+            shards.len()
+        );
+    }
+}

@@ -1,0 +1,77 @@
+//! The worker side of the sharded protocol (the `grid_worker` binary is
+//! a thin wrapper around [`run_worker`]).
+
+use crate::wire::{frame_to_json, grid_digest, shard_spec_from_json, write_frame};
+use crate::GridError;
+use std::io::Write;
+
+/// Test-only fault injection, wired through environment variables by the
+/// `grid_worker` binary so the crash-recovery tests can kill a worker
+/// mid-shard deterministically.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct FaultInjection {
+    /// Abort (exit non-zero) after completing this many cells.
+    pub crash_after_cells: Option<usize>,
+    /// When crashing, first emit a torn (half-written) frame — the
+    /// signature of a process killed mid-write.
+    pub torn_frame: bool,
+}
+
+/// Runs one shard: parses the spec JSON, simulates each listed cell, and
+/// writes one length-prefixed frame per cell to `out` (flushing after
+/// each, so the parent streams results as they complete).
+///
+/// Returns the number of cells executed.
+///
+/// # Errors
+///
+/// * [`GridError::InvalidGrid`] for malformed specs or grids,
+/// * [`GridError::Worker`] when fault injection requests a crash,
+/// * [`GridError::Io`] on write failures.
+pub fn run_worker(
+    spec_json: &str,
+    out: &mut dyn Write,
+    fault: &FaultInjection,
+) -> Result<usize, GridError> {
+    let spec =
+        shard_spec_from_json(spec_json).map_err(|e| GridError::InvalidGrid(e.to_string()))?;
+    spec.grid.validate().map_err(GridError::InvalidGrid)?;
+    let digest = grid_digest(&spec.grid);
+    let cells = spec.grid.cells();
+    for (done, &index) in spec.cells.iter().enumerate() {
+        if fault.crash_after_cells == Some(done) {
+            if fault.torn_frame {
+                // Half a frame: a length prefix promising more bytes than
+                // follow, then death.
+                let _ = out.write_all(b"100000\n{\"v\":1,\"grid\":");
+                let _ = out.flush();
+            }
+            return Err(GridError::Worker(format!(
+                "fault injection: crashing after {done} cells"
+            )));
+        }
+        let cell = cells.get(index).ok_or_else(|| {
+            GridError::InvalidGrid(format!(
+                "shard names cell {index}, but the grid has {}",
+                cells.len()
+            ))
+        })?;
+        let outcome = cell.simulate();
+        let payload = frame_to_json(digest, index, cell, &outcome);
+        write_frame(out, &payload)?;
+        out.flush()?;
+    }
+    Ok(spec.cells.len())
+}
+
+/// Reads [`FaultInjection`] from `BTGS_GRID_CRASH_AFTER_CELLS` /
+/// `BTGS_GRID_CRASH_TORN` (used by the crash-recovery tests; absent in
+/// normal operation).
+pub fn fault_injection_from_env() -> FaultInjection {
+    FaultInjection {
+        crash_after_cells: std::env::var("BTGS_GRID_CRASH_AFTER_CELLS")
+            .ok()
+            .and_then(|v| v.parse().ok()),
+        torn_frame: std::env::var("BTGS_GRID_CRASH_TORN").is_ok_and(|v| v == "1"),
+    }
+}

@@ -158,6 +158,172 @@ impl DelayStats {
         self.sum_ns += other.sum_ns;
         self.sorted.set(false);
     }
+
+    /// Calls `f` with every recorded sample (in nanoseconds) in storage
+    /// order, without cloning the buffer or allocating — the streaming
+    /// aggregators bin samples into fixed histograms through this.
+    pub fn for_each_nanos(&self, mut f: impl FnMut(u64)) {
+        for &ns in self.samples_ns.borrow().iter() {
+            f(ns);
+        }
+    }
+
+    /// A copy of the raw sample buffer in nanoseconds, in storage order.
+    ///
+    /// Storage order is an implementation detail (order-statistic queries
+    /// may have sorted the buffer in place); no public query depends on it,
+    /// so serializing and re-loading samples through this accessor
+    /// preserves every observable statistic exactly.
+    pub fn samples_nanos(&self) -> Vec<u64> {
+        self.samples_ns.borrow().clone()
+    }
+
+    /// Rebuilds a collector from raw nanosecond samples (the inverse of
+    /// [`DelayStats::samples_nanos`]); the exact sum is recomputed.
+    pub fn from_nanos_samples(samples: Vec<u64>) -> DelayStats {
+        let sum_ns = samples.iter().map(|&ns| ns as u128).sum();
+        DelayStats {
+            samples_ns: RefCell::new(samples),
+            sorted: Cell::new(false),
+            sum_ns,
+        }
+    }
+}
+
+/// A bounded-size, exactly mergeable delay digest: count, sum, min, max.
+///
+/// Unlike [`DelayStats`] it keeps **no samples**, so its memory footprint
+/// is a handful of words regardless of how many delays it has seen — the
+/// streaming grid aggregator pools millions of cell samples through these
+/// without growing. All four components are commutative and associative,
+/// so merging per-shard summaries in **any completion order** yields the
+/// same digest, and [`DelaySummary::mean`] uses the same integer
+/// arithmetic as [`DelayStats::mean`] (truncating `u128` division), so a
+/// summary observed from a stats collector reports the identical mean.
+///
+/// # Examples
+///
+/// ```
+/// use btgs_metrics::{DelayStats, DelaySummary};
+/// use btgs_des::SimDuration;
+///
+/// let mut stats = DelayStats::new();
+/// stats.record(SimDuration::from_millis(10));
+/// stats.record(SimDuration::from_millis(30));
+/// let mut summary = DelaySummary::new();
+/// summary.observe(&stats);
+/// assert_eq!(summary.mean(), stats.mean());
+/// assert_eq!(summary.max(), stats.max());
+/// ```
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct DelaySummary {
+    count: u64,
+    sum_ns: u128,
+    min_ns: u64,
+    max_ns: u64,
+}
+
+impl DelaySummary {
+    /// Creates an empty summary.
+    pub fn new() -> DelaySummary {
+        DelaySummary::default()
+    }
+
+    /// Records one delay sample.
+    pub fn record(&mut self, delay: SimDuration) {
+        let ns = delay.as_nanos();
+        if self.count == 0 {
+            self.min_ns = ns;
+            self.max_ns = ns;
+        } else {
+            self.min_ns = self.min_ns.min(ns);
+            self.max_ns = self.max_ns.max(ns);
+        }
+        self.count += 1;
+        self.sum_ns += ns as u128;
+    }
+
+    /// Folds a whole sample collector into this summary (allocation-free).
+    pub fn observe(&mut self, stats: &DelayStats) {
+        if stats.is_empty() {
+            return;
+        }
+        let min = stats.min().expect("non-empty").as_nanos();
+        let max = stats.max().expect("non-empty").as_nanos();
+        if self.count == 0 {
+            self.min_ns = min;
+            self.max_ns = max;
+        } else {
+            self.min_ns = self.min_ns.min(min);
+            self.max_ns = self.max_ns.max(max);
+        }
+        self.count += stats.count() as u64;
+        self.sum_ns += stats.sum_nanos();
+    }
+
+    /// Merges another summary into this one. Exact: the result is
+    /// identical to having recorded both sample streams into one summary,
+    /// in any order.
+    pub fn merge(&mut self, other: &DelaySummary) {
+        if other.count == 0 {
+            return;
+        }
+        if self.count == 0 {
+            *self = *other;
+            return;
+        }
+        self.min_ns = self.min_ns.min(other.min_ns);
+        self.max_ns = self.max_ns.max(other.max_ns);
+        self.count += other.count;
+        self.sum_ns += other.sum_ns;
+    }
+
+    /// Number of samples summarised.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// `true` if no samples were summarised.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Exact sum of all samples, in nanoseconds.
+    pub fn sum_nanos(&self) -> u128 {
+        self.sum_ns
+    }
+
+    /// Smallest sample.
+    pub fn min(&self) -> Option<SimDuration> {
+        (self.count > 0).then(|| SimDuration::from_nanos(self.min_ns))
+    }
+
+    /// Largest sample.
+    pub fn max(&self) -> Option<SimDuration> {
+        (self.count > 0).then(|| SimDuration::from_nanos(self.max_ns))
+    }
+
+    /// Arithmetic mean, with [`DelayStats::mean`]'s exact integer
+    /// arithmetic.
+    pub fn mean(&self) -> Option<SimDuration> {
+        (self.count > 0).then(|| SimDuration::from_nanos((self.sum_ns / self.count as u128) as u64))
+    }
+}
+
+impl fmt::Display for DelaySummary {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_empty() {
+            return f.write_str("no samples");
+        }
+        write!(
+            f,
+            "n={} min={} mean={} max={}",
+            self.count,
+            self.min().expect("non-empty"),
+            self.mean().expect("non-empty"),
+            self.max().expect("non-empty"),
+        )
+    }
 }
 
 impl fmt::Display for DelayStats {
@@ -287,6 +453,76 @@ mod tests {
         a.merge(&b);
         assert_eq!(a.count(), 2);
         assert_eq!(a.mean(), Some(ms(2)));
+    }
+
+    #[test]
+    fn samples_round_trip_preserves_statistics() {
+        let mut s = DelayStats::new();
+        for v in [40, 10, 30, 20] {
+            s.record(ms(v));
+        }
+        // Force a sort so storage order differs from insertion order.
+        assert_eq!(s.quantile(0.5), Some(ms(20)));
+        let rebuilt = DelayStats::from_nanos_samples(s.samples_nanos());
+        assert_eq!(rebuilt.count(), s.count());
+        assert_eq!(rebuilt.sum_nanos(), s.sum_nanos());
+        assert_eq!(rebuilt.min(), s.min());
+        assert_eq!(rebuilt.max(), s.max());
+        assert_eq!(rebuilt.quantile(0.95), s.quantile(0.95));
+        assert_eq!(rebuilt.violations_of(ms(25)), s.violations_of(ms(25)));
+        // for_each_nanos visits every sample exactly once.
+        let mut sum = 0u128;
+        rebuilt.for_each_nanos(|ns| sum += ns as u128);
+        assert_eq!(sum, rebuilt.sum_nanos());
+    }
+
+    #[test]
+    fn summary_matches_stats_and_merges_order_invariantly() {
+        let mut all = DelayStats::new();
+        let mut a = DelayStats::new();
+        let mut b = DelayStats::new();
+        for v in [7, 3, 11] {
+            all.record(ms(v));
+            a.record(ms(v));
+        }
+        for v in [5, 23, 1] {
+            all.record(ms(v));
+            b.record(ms(v));
+        }
+        let mut sa = DelaySummary::new();
+        sa.observe(&a);
+        let mut sb = DelaySummary::new();
+        sb.observe(&b);
+
+        let mut ab = sa;
+        ab.merge(&sb);
+        let mut ba = sb;
+        ba.merge(&sa);
+        assert_eq!(ab, ba, "merge must be order-invariant");
+        assert_eq!(ab.count(), 6);
+        assert_eq!(ab.sum_nanos(), all.sum_nanos());
+        assert_eq!(ab.min(), all.min());
+        assert_eq!(ab.max(), all.max());
+        assert_eq!(ab.mean(), all.mean());
+
+        // record() agrees with observe().
+        let mut rec = DelaySummary::new();
+        all.for_each_nanos(|ns| rec.record(SimDuration::from_nanos(ns)));
+        assert_eq!(rec, ab);
+
+        // Empty merges are identities.
+        let empty = DelaySummary::new();
+        assert!(empty.is_empty());
+        assert_eq!(empty.min(), None);
+        assert_eq!(empty.mean(), None);
+        assert_eq!(empty.to_string(), "no samples");
+        let mut e = empty;
+        e.merge(&ab);
+        assert_eq!(e, ab);
+        let mut f = ab;
+        f.merge(&empty);
+        assert_eq!(f, ab);
+        assert!(ab.to_string().contains("n=6"));
     }
 
     #[test]

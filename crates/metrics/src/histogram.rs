@@ -42,6 +42,18 @@ impl fmt::Display for InvalidHistogram {
 
 impl std::error::Error for InvalidHistogram {}
 
+/// Error merging two [`Histogram`]s with different bin geometry.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct HistogramShapeMismatch;
+
+impl fmt::Display for HistogramShapeMismatch {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("histograms must share range and bin count to merge")
+    }
+}
+
+impl std::error::Error for HistogramShapeMismatch {}
+
 impl Histogram {
     /// Creates a histogram over `[lo, hi)` with `bins` uniform bins.
     ///
@@ -105,6 +117,28 @@ impl Histogram {
         (self.lo + w * i as f64, self.lo + w * (i + 1) as f64)
     }
 
+    /// Merges another histogram's counts into this one.
+    ///
+    /// Merging is exact and commutative (per-bin addition), so per-shard
+    /// histograms combined in any completion order yield the same result —
+    /// the property the streaming grid aggregator relies on. Both
+    /// histograms must have identical bin geometry.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `other` has a different range or bin count.
+    pub fn merge(&mut self, other: &Histogram) -> Result<(), HistogramShapeMismatch> {
+        if self.lo != other.lo || self.hi != other.hi || self.bins.len() != other.bins.len() {
+            return Err(HistogramShapeMismatch);
+        }
+        for (b, o) in self.bins.iter_mut().zip(&other.bins) {
+            *b += o;
+        }
+        self.underflow += other.underflow;
+        self.overflow += other.overflow;
+        Ok(())
+    }
+
     /// Renders a compact ASCII bar chart, one bin per line.
     pub fn ascii_chart(&self, width: usize) -> String {
         let max = self.bins.iter().copied().max().unwrap_or(0).max(1);
@@ -159,6 +193,34 @@ mod tests {
         let h = Histogram::new(0.0, 10.0, 5).unwrap();
         assert_eq!(h.bin_edges(0), (0.0, 2.0));
         assert_eq!(h.bin_edges(4), (8.0, 10.0));
+    }
+
+    #[test]
+    fn merge_adds_counts_commutatively() {
+        let mut a = Histogram::new(0.0, 10.0, 5).unwrap();
+        let mut b = Histogram::new(0.0, 10.0, 5).unwrap();
+        for v in [1.0, 3.0, -1.0] {
+            a.record(v);
+        }
+        for v in [3.5, 20.0] {
+            b.record(v);
+        }
+        let mut ab = a.clone();
+        ab.merge(&b).unwrap();
+        let mut ba = b.clone();
+        ba.merge(&a).unwrap();
+        assert_eq!(ab.bin_counts(), ba.bin_counts());
+        assert_eq!(ab.underflow(), 1);
+        assert_eq!(ab.overflow(), 1);
+        assert_eq!(ab.count(), 5);
+        assert_eq!(ab.bin_counts()[1], 2, "3.0 and 3.5 share bin [2,4)");
+
+        // Shape mismatches are rejected.
+        let mut narrow = Histogram::new(0.0, 5.0, 5).unwrap();
+        assert_eq!(narrow.merge(&a), Err(HistogramShapeMismatch));
+        let mut coarse = Histogram::new(0.0, 10.0, 2).unwrap();
+        assert_eq!(coarse.merge(&a), Err(HistogramShapeMismatch));
+        assert!(HistogramShapeMismatch.to_string().contains("bin count"));
     }
 
     #[test]

@@ -5,6 +5,8 @@
 //!
 //! * [`DelayStats`] — exact per-packet delay summaries (min/mean/quantiles/
 //!   max) plus bound-violation counting, the paper's §4.2 validation metric.
+//! * [`DelaySummary`] — bounded-size, exactly mergeable delay digests for
+//!   streaming aggregation over arbitrarily many grid cells.
 //! * [`ThroughputMeter`] / [`BinnedThroughput`] — per-flow and per-slave
 //!   throughput, the y-axis of the paper's Fig. 5.
 //! * [`jain_index`] / [`max_min_fair`] — fairness measures for the
@@ -23,9 +25,9 @@ mod series;
 mod table;
 mod throughput;
 
-pub use delay::DelayStats;
+pub use delay::{DelayStats, DelaySummary};
 pub use fairness::{jain_index, max_min_fair};
-pub use histogram::{Histogram, InvalidHistogram};
+pub use histogram::{Histogram, HistogramShapeMismatch, InvalidHistogram};
 pub use series::SweepSeries;
 pub use table::{fmt_f64, Table};
 pub use throughput::{BinnedThroughput, ThroughputMeter};

@@ -22,7 +22,12 @@
 //!   computations, C/D export, admission control, the GS pollers, the
 //!   Fig. 4/Fig. 5 evaluation scenario, and the parallel
 //!   [`core::ExperimentRunner`] that sweeps scenario grids across
-//!   threads deterministically.
+//!   threads deterministically;
+//! * [`grid`] — sharded, streaming, resumable grid execution: the
+//!   [`grid::GridPartitioner`], the multi-process
+//!   [`grid::ShardedGridRunner`] with per-shard checkpoints, the
+//!   bounded-memory [`grid::OnlineAggregator`] and the
+//!   [`grid::JsonlSpillSink`] archive.
 //!
 //! # Quickstart
 //!
@@ -38,6 +43,7 @@
 //!     seed: 42,
 //!     warmup: SimDuration::from_millis(500),
 //!     include_be: false,
+//!     ..Default::default()
 //! });
 //! let report = scenario.run(PollerKind::PfpGs, SimTime::from_secs(5)).unwrap();
 //! for plan in &scenario.gs_plans {
@@ -52,6 +58,7 @@
 pub use btgs_baseband as baseband;
 pub use btgs_core as core;
 pub use btgs_des as des;
+pub use btgs_grid as grid;
 pub use btgs_gs as gs;
 pub use btgs_metrics as metrics;
 pub use btgs_piconet as piconet;

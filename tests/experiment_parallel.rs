@@ -2,8 +2,11 @@
 //! byte-identical whatever the worker count, because every cell derives all
 //! of its randomness from its own seed.
 
-use btgs::core::{comparison_pollers, ExperimentRunner, PollerKind, ScenarioGrid};
-use btgs::des::{SimDuration, SimTime};
+use btgs::core::{
+    comparison_pollers, BeSourceMix, CellSink, CollectSink, ExperimentRunner, GridCell, PollerKind,
+    ScenarioGrid,
+};
+use btgs::des::{DetRng, SimDuration, SimTime};
 
 fn grid_4x8() -> ScenarioGrid {
     ScenarioGrid {
@@ -17,6 +20,8 @@ fn grid_4x8() -> ScenarioGrid {
         horizon: SimTime::from_secs(2),
         warmup: SimDuration::from_millis(500),
         include_be: true,
+        be_load_scale: vec![1.0],
+        be_source_mix: BeSourceMix::Cbr,
     }
 }
 
@@ -69,6 +74,8 @@ fn scatternet_axis_runs_under_the_experiment_runner() {
         horizon: SimTime::from_secs(2),
         warmup: SimDuration::from_millis(500),
         include_be: true,
+        be_load_scale: vec![1.0],
+        be_source_mix: BeSourceMix::Cbr,
     };
     assert_eq!(
         grid.cells().len(),
@@ -126,6 +133,147 @@ fn scatternet_axis_runs_under_the_experiment_runner() {
     }
 }
 
+/// The GridReport's digest and summary must be invariant to cell
+/// *completion* order — shards and threads finish out of order, and the
+/// merge layer must restore grid order regardless (the PR 5 ordering
+/// fix). Property test: deliver the same results to a `CollectSink` in
+/// DetRng-shuffled orders and compare against the sequential seed
+/// digest.
+#[test]
+fn grid_report_is_invariant_to_completion_order() {
+    let grid = ScenarioGrid {
+        pollers: vec![PollerKind::PfpGs, PollerKind::FixedGs],
+        piconets: vec![1],
+        seeds: vec![1, 2, 3],
+        delay_requirements: vec![SimDuration::from_millis(40)],
+        chain_deadlines: vec![None],
+        bidirectional: false,
+        bridge_cycle: SimDuration::from_millis(20),
+        horizon: SimTime::from_secs(1),
+        warmup: SimDuration::from_millis(250),
+        include_be: true,
+        be_load_scale: vec![1.0],
+        be_source_mix: BeSourceMix::Cbr,
+    };
+    let cells = grid.cells();
+    let results: Vec<_> = cells.iter().map(GridCell::run).collect();
+    let seed_report = ExperimentRunner::with_threads(1).run_grid(&grid);
+    let seed_digest = seed_report.digest();
+    let seed_table = seed_report.summary_table().render();
+
+    let mut rng = DetRng::seed_from_u64(0x0DE7);
+    for round in 0..8 {
+        // Fisher–Yates over the delivery order.
+        let mut order: Vec<usize> = (0..results.len()).collect();
+        for i in (1..order.len()).rev() {
+            order.swap(i, rng.below(i as u64 + 1) as usize);
+        }
+        let mut sink = CollectSink::new();
+        for &i in &order {
+            sink.accept(i, &results[i]);
+        }
+        let merged = sink.into_report();
+        assert_eq!(
+            merged.digest(),
+            seed_digest,
+            "round {round}: completion order {order:?} changed the digest"
+        );
+        assert_eq!(merged.summary_table().render(), seed_table, "round {round}");
+        // The merged cells are in grid order, not delivery order.
+        for (cell, result) in cells.iter().zip(&merged.cells) {
+            assert_eq!(*cell, result.cell);
+        }
+    }
+}
+
+/// The streaming path and the collected path are the same execution: a
+/// grid run through `run_grid_streaming` + `CollectSink` equals
+/// `run_grid` byte for byte at any thread count.
+#[test]
+fn streaming_execution_matches_collected_execution() {
+    let grid = ScenarioGrid {
+        pollers: vec![PollerKind::PfpGs],
+        piconets: vec![1, 2],
+        seeds: vec![1, 2],
+        delay_requirements: vec![SimDuration::from_millis(40)],
+        chain_deadlines: vec![None],
+        bidirectional: false,
+        bridge_cycle: SimDuration::from_millis(20),
+        horizon: SimTime::from_secs(1),
+        warmup: SimDuration::from_millis(250),
+        include_be: true,
+        be_load_scale: vec![1.0],
+        be_source_mix: BeSourceMix::Cbr,
+    };
+    let reference = ExperimentRunner::with_threads(1).run_grid(&grid);
+    for threads in [1, 4] {
+        let mut sink = CollectSink::new();
+        let n = ExperimentRunner::with_threads(threads)
+            .run_grid_streaming(&grid, &mut sink)
+            .unwrap();
+        assert_eq!(n, 4);
+        assert_eq!(sink.into_report().digest(), reference.digest());
+    }
+}
+
+/// The new BE load axis actually changes the offered load, and the
+/// source mixes run end to end: scaling BE rates up increases delivered
+/// BE bytes, and every mix keeps the GS guarantee machinery running.
+#[test]
+fn be_load_axis_scales_offered_load_across_mixes() {
+    let base = |mix, scale: f64| ScenarioGrid {
+        pollers: vec![PollerKind::PfpGs],
+        piconets: vec![1],
+        seeds: vec![5],
+        delay_requirements: vec![SimDuration::from_millis(40)],
+        chain_deadlines: vec![None],
+        bidirectional: false,
+        bridge_cycle: SimDuration::from_millis(20),
+        horizon: SimTime::from_secs(3),
+        warmup: SimDuration::from_millis(500),
+        include_be: true,
+        be_load_scale: vec![scale],
+        be_source_mix: mix,
+    };
+    let be_offered = |grid: &ScenarioGrid| -> u64 {
+        let report = ExperimentRunner::new().run_grid(grid);
+        let cell = &report.cells[0];
+        cell.report
+            .flows
+            .iter()
+            .filter(|f| !f.channel.is_gs())
+            .map(|f| cell.report.flow(f.id).offered_bytes)
+            .sum()
+    };
+    for mix in [BeSourceMix::Cbr, BeSourceMix::Poisson, BeSourceMix::OnOff] {
+        let half = be_offered(&base(mix, 0.5));
+        let one = be_offered(&base(mix, 1.0));
+        let double = be_offered(&base(mix, 2.0));
+        assert!(
+            half > 0 && one > 0 && double > 0,
+            "{mix:?}: sources generated traffic"
+        );
+        // Offered load tracks the scale (generously bounded: Poisson and
+        // on-off randomness wobbles around the mean).
+        let ratio_up = double as f64 / one as f64;
+        let ratio_down = half as f64 / one as f64;
+        assert!(
+            (1.5..=2.5).contains(&ratio_up),
+            "{mix:?}: 2x scale gave {ratio_up:.2}x offered bytes"
+        );
+        assert!(
+            (0.25..=0.75).contains(&ratio_down),
+            "{mix:?}: 0.5x scale gave {ratio_down:.2}x offered bytes"
+        );
+    }
+    // The default scale + mix remain byte-identical to the pre-axis
+    // scenario digest-wise (regression anchor: grids with
+    // be_load_scale = [1.0], Cbr are what every older test pinned).
+    let a = ExperimentRunner::new().run_grid(&base(BeSourceMix::Cbr, 1.0));
+    let b = ExperimentRunner::new().run_grid(&base(BeSourceMix::Cbr, 1.0));
+    assert_eq!(a.digest(), b.digest());
+}
+
 /// Repeated runs at the same thread count are stable too (no hidden
 /// global state).
 #[test]
@@ -141,6 +289,8 @@ fn repeated_parallel_runs_are_stable() {
         horizon: SimTime::from_secs(2),
         warmup: SimDuration::from_millis(500),
         include_be: false,
+        be_load_scale: vec![1.0],
+        be_source_mix: BeSourceMix::Cbr,
     };
     let a = ExperimentRunner::with_threads(4).run_grid(&grid);
     let b = ExperimentRunner::with_threads(4).run_grid(&grid);

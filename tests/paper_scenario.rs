@@ -114,6 +114,7 @@ fn warmup_and_windows_are_respected() {
         seed: 1,
         warmup: SimDuration::from_secs(3),
         include_be: false,
+        ..Default::default()
     });
     let report = scenario
         .run(PollerKind::PfpGs, SimTime::from_secs(10))

@@ -34,6 +34,7 @@ fn paper_scenario_reports_identical_across_backends() {
                 seed,
                 warmup: SimDuration::from_millis(500),
                 include_be: true,
+                ..Default::default()
             });
             let wheel = report_bytes(&scenario, kind, horizon, EventQueueBackend::TimingWheel);
             let heap = report_bytes(&scenario, kind, horizon, EventQueueBackend::BinaryHeap);
@@ -56,6 +57,7 @@ fn gs_only_and_tight_requirement_reports_identical() {
             seed: 5,
             warmup: SimDuration::from_millis(500),
             include_be,
+            ..Default::default()
         });
         let wheel = report_bytes(
             &scenario,
@@ -83,6 +85,7 @@ fn wheel_is_the_default_backend() {
         seed: 3,
         warmup: SimDuration::from_millis(500),
         include_be: true,
+        ..Default::default()
     });
     let horizon = SimTime::from_secs(2);
     let via_default = format!(
