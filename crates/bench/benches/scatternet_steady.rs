@@ -1,19 +1,28 @@
 //! Macro-benchmark: simulated seconds per wall second for the chained
-//! scatternet scenario (2 and 3 Fig. 4 piconets, one bridged GS flow).
+//! scatternet scenario (2, 3, 8 and 16 Fig. 4 piconets plus an 8-piconet
+//! ring, one bridged GS flow per chain).
 //!
-//! Throughput is declared in shared-engine events (measured from a probe
-//! run), so the JSON output records events/sec alongside ns/op — the same
-//! convention as `sim_steady`. The single-piconet `sim_steady` numbers are
-//! the baseline: a scatternet run costs roughly the sum of its piconets
-//! plus the (small) relay fabric.
+//! Throughput is declared in engine events (measured from a probe run),
+//! so the JSON output records events/sec alongside ns/op — the same
+//! convention as `sim_steady`. The single-piconet `sim_steady` numbers
+//! are the baseline: a scatternet run costs roughly the sum of its
+//! piconets plus the (small) relay fabric.
+//!
+//! The `parallel4` twins run the *same* scenarios through the island
+//! engine with four worker threads ([`ScatternetSim::with_threads`]);
+//! reports are byte-identical to the serial runs (asserted by
+//! `tests/parallel_equivalence.rs`), so a twin's speedup is pure engine
+//! parallelism, not a different workload.
+//!
+//! [`ScatternetSim::with_threads`]: btgs_piconet::ScatternetSim::with_threads
 
 use btgs_bench::microbench::{Criterion, Throughput};
 use btgs_bench::{criterion_group, criterion_main};
-use btgs_core::{BeSourceMix, PollerKind, ScatternetScenario, ScatternetScenarioParams};
+use btgs_core::{BeSourceMix, PollerKind, ScatternetScenario, ScatternetScenarioParams, Topology};
 use btgs_des::{SimDuration, SimTime};
 use std::hint::black_box;
 
-fn params(piconets: u8) -> ScatternetScenarioParams {
+fn params(piconets: u8, topology: Topology) -> ScatternetScenarioParams {
     ScatternetScenarioParams {
         piconets,
         delay_requirement: SimDuration::from_millis(40),
@@ -25,32 +34,45 @@ fn params(piconets: u8) -> ScatternetScenarioParams {
         bidirectional: false,
         be_load_scale: 1.0,
         be_source_mix: BeSourceMix::Cbr,
+        topology,
     }
 }
 
-fn run(piconets: u8) -> btgs_piconet::ScatternetReport {
-    let scenario = ScatternetScenario::build(params(piconets));
+fn run(piconets: u8, topology: Topology, threads: usize) -> btgs_piconet::ScatternetReport {
+    let scenario = ScatternetScenario::build(params(piconets, topology));
     scenario
-        .run(PollerKind::PfpGs, SimTime::from_secs(5))
+        .simulator(PollerKind::PfpGs)
+        .expect("scenario builds")
+        .with_threads(threads)
+        .run(SimTime::from_secs(5))
         .expect("scenario runs")
 }
 
 fn scatternet_throughput(c: &mut Criterion) {
-    // One probe run per scenario supplies the event count for the
-    // events/sec figure (runs are deterministic, so it is exact).
-    let events2 = run(2).events_processed;
-    let events3 = run(3).events_processed;
-
+    let cases: &[(&str, u8, Topology)] = &[
+        ("chained2", 2, Topology::Chain),
+        ("chained3", 3, Topology::Chain),
+        ("chained8", 8, Topology::Chain),
+        ("chained16", 16, Topology::Chain),
+        ("ring8", 8, Topology::Ring),
+    ];
     let mut group = c.benchmark_group("scatternet_steady");
     group.sample_size(10);
-    group.throughput(Throughput::Elements(events2));
-    group.bench_function("chained2_5s_simulated", |b| {
-        b.iter(|| black_box(run(2).total_throughput_kbps()))
-    });
-    group.throughput(Throughput::Elements(events3));
-    group.bench_function("chained3_5s_simulated", |b| {
-        b.iter(|| black_box(run(3).total_throughput_kbps()))
-    });
+    for &(name, n, topology) in cases {
+        // One probe run per scenario supplies the event count for the
+        // events/sec figure (runs are deterministic, so it is exact).
+        let events = run(n, topology, 1).events_processed;
+        group.throughput(Throughput::Elements(events));
+        group.bench_function(&format!("{name}_5s_simulated"), |b| {
+            b.iter(|| black_box(run(n, topology, 1).total_throughput_kbps()))
+        });
+        // The parallel twin simulates the identical scenario; only the
+        // wall clock may differ.
+        group.throughput(Throughput::Elements(events));
+        group.bench_function(&format!("{name}_5s_parallel4"), |b| {
+            b.iter(|| black_box(run(n, topology, 4).total_throughput_kbps()))
+        });
+    }
     group.finish();
 }
 

@@ -7,7 +7,9 @@
 //! [`ExperimentRunner`].
 
 use btgs_bench::{banner, be_total_kbps, BenchArgs};
-use btgs_core::{BeSourceMix, CollectSink, ExperimentRunner, MultiSink, PollerKind, ScenarioGrid};
+use btgs_core::{
+    BeSourceMix, CollectSink, ExperimentRunner, MultiSink, PollerKind, ScenarioGrid, Topology,
+};
 use btgs_des::SimDuration;
 use btgs_grid::OnlineAggregator;
 use btgs_metrics::Table;
@@ -20,6 +22,7 @@ fn main() {
         pollers: vec![PollerKind::FixedGs, PollerKind::PfpGs],
         piconets: vec![1],
         seeds: vec![args.seed],
+        topologies: vec![Topology::Chain],
         delay_requirements: [36u64, 40, 46]
             .iter()
             .map(|&ms| SimDuration::from_millis(ms))

@@ -9,6 +9,7 @@
 use btgs_bench::{banner, be_total_kbps, BenchArgs};
 use btgs_core::{
     BeSourceMix, CollectSink, ExperimentRunner, Improvements, MultiSink, PollerKind, ScenarioGrid,
+    Topology,
 };
 use btgs_des::SimDuration;
 use btgs_grid::OnlineAggregator;
@@ -54,6 +55,7 @@ fn main() {
             .collect(),
         piconets: vec![1],
         seeds: vec![args.seed],
+        topologies: vec![Topology::Chain],
         delay_requirements: vec![SimDuration::from_millis(40)],
         chain_deadlines: vec![None],
         bidirectional: false,

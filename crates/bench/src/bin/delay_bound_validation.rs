@@ -17,7 +17,7 @@
 //! admission ledger rolled back byte-identically.
 
 use btgs_bench::{banner, BenchArgs};
-use btgs_core::{run_point, BeSourceMix, ExperimentRunner, PollerKind, ScenarioGrid};
+use btgs_core::{run_point, BeSourceMix, ExperimentRunner, PollerKind, ScenarioGrid, Topology};
 use btgs_des::SimDuration;
 use btgs_metrics::Table;
 
@@ -104,6 +104,7 @@ fn scatternet_mode(args: &BenchArgs) {
             pollers: vec![PollerKind::PfpGs, PollerKind::FixedGs],
             piconets: vec![piconets],
             seeds: vec![args.seed, args.seed + 1],
+            topologies: vec![Topology::Chain],
             delay_requirements: vec![SimDuration::from_millis(46)],
             chain_deadlines: vec![Some(SimDuration::from_millis(deadline_ms))],
             bidirectional: true,
@@ -157,6 +158,7 @@ fn scatternet_mode(args: &BenchArgs) {
         pollers: vec![PollerKind::PfpGs],
         piconets: vec![2],
         seeds: vec![args.seed],
+        topologies: vec![Topology::Chain],
         delay_requirements: vec![SimDuration::from_millis(46)],
         chain_deadlines: vec![Some(SimDuration::from_millis(25))],
         bidirectional: false,

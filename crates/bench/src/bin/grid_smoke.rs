@@ -13,7 +13,9 @@
 //!
 //! Exits non-zero on any mismatch.
 
-use btgs_core::{comparison_pollers, BeSourceMix, ExperimentRunner, MultiSink, ScenarioGrid};
+use btgs_core::{
+    comparison_pollers, BeSourceMix, ExperimentRunner, MultiSink, ScenarioGrid, Topology,
+};
 use btgs_des::{SimDuration, SimTime};
 use btgs_grid::{GridPartitioner, JsonlSpillSink, OnlineAggregator, ShardedGridRunner};
 use std::path::PathBuf;
@@ -56,6 +58,7 @@ fn main() -> ExitCode {
         pollers: comparison_pollers(),
         piconets: vec![1, 2],
         seeds: (seed..seed + 4).collect(),
+        topologies: vec![Topology::Chain],
         delay_requirements: vec![SimDuration::from_millis(40)],
         chain_deadlines: vec![None],
         bidirectional: false,

@@ -11,7 +11,7 @@
 //! stdout, checkpoint append/replay/truncation, retry, and the merge.
 
 use btgs_core::{
-    comparison_pollers, BeSourceMix, CellResult, CellSink, ExperimentRunner, ScenarioGrid,
+    comparison_pollers, BeSourceMix, CellResult, CellSink, ExperimentRunner, ScenarioGrid, Topology,
 };
 use btgs_des::{SimDuration, SimTime};
 use btgs_grid::{GridPartitioner, JsonlSpillSink, OnlineAggregator, ShardedGridRunner};
@@ -48,6 +48,7 @@ fn grid_64() -> ScenarioGrid {
         pollers: comparison_pollers(),
         piconets: vec![1, 2],
         seeds: (1..=4).collect(),
+        topologies: vec![Topology::Chain],
         delay_requirements: vec![SimDuration::from_millis(40)],
         chain_deadlines: vec![None],
         bidirectional: false,
@@ -66,6 +67,7 @@ fn grid_scatternet() -> ScenarioGrid {
         pollers: vec![btgs_core::PollerKind::PfpGs],
         piconets: vec![1, 2],
         seeds: vec![1, 2],
+        topologies: vec![Topology::Chain],
         delay_requirements: vec![SimDuration::from_millis(40)],
         chain_deadlines: vec![None],
         bidirectional: false,

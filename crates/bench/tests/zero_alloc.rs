@@ -17,7 +17,7 @@ use btgs_baseband::{AmAddr, Direction, IdealChannel, LogicalChannel, PacketType}
 use btgs_bench::alloc_counter::{allocation_count, CountingAllocator};
 use btgs_core::{
     BeSourceMix, PaperScenario, PaperScenarioParams, PollerKind, ScatternetScenario,
-    ScatternetScenarioParams,
+    ScatternetScenarioParams, Topology,
 };
 use btgs_des::{DetRng, SimDuration, SimTime, Simulator};
 use btgs_piconet::{FlowQueue, FlowSpec, FlowTable, MasterView, PiconetSim, Poller};
@@ -190,6 +190,7 @@ fn scatternet_steady_state_is_allocation_free() {
         bidirectional: false,
         be_load_scale: 1.0,
         be_source_mix: BeSourceMix::Cbr,
+        topology: Topology::Chain,
     });
     let sim = scenario.simulator(PollerKind::PfpGs).unwrap();
     let mut marks = [0u64; 2];
@@ -265,6 +266,49 @@ fn mixed_acl_sco_steady_state_is_allocation_free() {
     assert!(report.events_processed > 1_000);
 }
 
+fn parallel_scatternet_steady_state_is_allocation_free() {
+    // The same bracketed window as `scatternet_steady_state_is_allocation_
+    // free`, but through the phased engine with two worker threads. The
+    // workers are spawned once at run start (before the checkpoint), the
+    // staging scratch and every island buffer are pre-sized, and workers
+    // only ever lock-and-run islands between barriers — so the steady
+    // state must stay allocation-free even though the counter is
+    // process-global and sees every thread.
+    let scenario = ScatternetScenario::build(ScatternetScenarioParams {
+        piconets: 2,
+        delay_requirement: SimDuration::from_millis(40),
+        seed: 1,
+        warmup: SimDuration::from_millis(500),
+        include_be: false,
+        bridge_cycle: SimDuration::from_millis(20),
+        chain_deadline: None,
+        bidirectional: false,
+        be_load_scale: 1.0,
+        be_source_mix: BeSourceMix::Cbr,
+        topology: Topology::Chain,
+    });
+    let sim = scenario
+        .simulator(PollerKind::PfpGs)
+        .unwrap()
+        .with_threads(2);
+    let mut marks = [0u64; 2];
+    let mut i = 0;
+    let report = sim
+        .run_probed(SimTime::from_secs(2), SimTime::from_secs(6), &mut || {
+            marks[i.min(1)] = allocation_count();
+            i += 1;
+        })
+        .unwrap();
+    assert_eq!(i, 2, "probe fires at checkpoint and at loop end");
+    let delta = marks[1] - marks[0];
+    assert_eq!(
+        delta, 0,
+        "parallel scatternet steady state allocated {delta} times over 4 simulated seconds"
+    );
+    assert!(report.events_processed > 4_000);
+    assert!(report.chains[0].delivered_packets > 100);
+}
+
 /// The streaming grid aggregator's memory must be bounded by the number
 /// of summary series, **not** the cell count (the ISSUE's acceptance
 /// criterion for "millions of cells" sweeps): aggregating 256 cells must
@@ -278,6 +322,7 @@ fn grid_aggregator_memory_is_independent_of_cell_count() {
         pollers: vec![PollerKind::PfpGs, PollerKind::FixedGs],
         piconets: vec![1],
         seeds: vec![1],
+        topologies: vec![Topology::Chain],
         delay_requirements: vec![SimDuration::from_millis(40)],
         chain_deadlines: vec![None],
         bidirectional: false,
@@ -332,6 +377,8 @@ fn main() {
     println!("ok - ACL+SCO steady state is allocation-free");
     scatternet_steady_state_is_allocation_free();
     println!("ok - scatternet steady state is allocation-free");
+    parallel_scatternet_steady_state_is_allocation_free();
+    println!("ok - parallel scatternet steady state is allocation-free");
     grid_aggregator_memory_is_independent_of_cell_count();
     println!("ok - grid aggregator memory is independent of cell count");
 }

@@ -18,8 +18,8 @@ use btgs_baseband::{AmAddr, Direction, LogicalChannel};
 use btgs_des::{SimDuration, SimTime};
 use btgs_piconet::{ExchangeReport, MasterView, PollDecision, Poller, SegmentOutcome};
 use btgs_traffic::FlowId;
-use std::cell::Cell;
-use std::rc::Rc;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 struct EntityState {
     slave: AmAddr,
@@ -40,19 +40,19 @@ struct EntityState {
 /// consumed the poller box).
 #[derive(Clone, Debug, Default)]
 pub struct GsPollerStats {
-    skipped: Rc<Cell<u64>>,
-    executed: Rc<Cell<u64>>,
+    skipped: Arc<AtomicU64>,
+    executed: Arc<AtomicU64>,
 }
 
 impl GsPollerStats {
     /// GS polls skipped by improvement (c).
     pub fn skipped_polls(&self) -> u64 {
-        self.skipped.get()
+        self.skipped.load(Ordering::Relaxed)
     }
 
     /// GS polls issued.
     pub fn executed_polls(&self) -> u64 {
-        self.executed.get()
+        self.executed.load(Ordering::Relaxed)
     }
 }
 
@@ -212,7 +212,7 @@ impl Poller for GsPoller {
                 }
                 while e.plan.is_due(now) && !view.downlink_has_data(e.accounting_flow, now) {
                     e.plan.skip();
-                    self.stats.skipped.set(self.stats.skipped.get() + 1);
+                    self.stats.skipped.fetch_add(1, Ordering::Relaxed);
                 }
             }
         }
@@ -230,7 +230,7 @@ impl Poller for GsPoller {
             .find(|e| e.plan.is_due(now) && view.fits_exchange(e.slave, e.s))
         {
             e.pending_planned = Some(e.plan.next_poll());
-            self.stats.executed.set(self.stats.executed.get() + 1);
+            self.stats.executed.fetch_add(1, Ordering::Relaxed);
             return PollDecision::Poll {
                 slave: e.slave,
                 channel: LogicalChannel::GuaranteedService,

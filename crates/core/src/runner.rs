@@ -17,6 +17,7 @@
 //!     pollers: vec![PollerKind::PfpGs, PollerKind::FixedGs],
 //!     piconets: vec![1],
 //!     seeds: vec![1, 2],
+//!     topologies: vec![btgs_core::Topology::Chain],
 //!     delay_requirements: vec![SimDuration::from_millis(40)],
 //!     chain_deadlines: vec![None],
 //!     bidirectional: false,
@@ -32,7 +33,7 @@
 //! ```
 
 use crate::plan::Improvements;
-use crate::scatternet_scenario::{ScatternetScenario, ScatternetScenarioParams};
+use crate::scatternet_scenario::{ScatternetScenario, ScatternetScenarioParams, Topology};
 use crate::scenario::{BeSourceMix, PaperScenario, PaperScenarioParams, PollerKind};
 use crate::sink::{CellSink, CollectSink};
 use btgs_des::{SimDuration, SimTime};
@@ -99,6 +100,12 @@ pub struct ScenarioGrid {
     pub piconets: Vec<u8>,
     /// Seeds for the per-cell deterministic RNG streams.
     pub seeds: Vec<u64>,
+    /// The scatternet wirings to sweep for cells with `piconets ≥ 2`
+    /// (single-piconet cells ignore it). Non-chain topologies are
+    /// measurement-only: [`ScenarioGrid::validate`] rejects them combined
+    /// with `chain_deadlines` other than `None` or with `bidirectional`,
+    /// and [`Topology::Tree`] additionally with `include_be`.
+    pub topologies: Vec<Topology>,
     /// The delay requirements to sweep.
     pub delay_requirements: Vec<SimDuration>,
     /// End-to-end chain deadlines to sweep in scatternet cells: `None`
@@ -138,6 +145,7 @@ impl ScenarioGrid {
             pollers,
             piconets: vec![1],
             seeds,
+            topologies: vec![Topology::Chain],
             delay_requirements: vec![SimDuration::from_millis(40)],
             chain_deadlines: vec![None],
             bidirectional: false,
@@ -167,6 +175,7 @@ impl ScenarioGrid {
             ("pollers", self.pollers.is_empty()),
             ("piconets", self.piconets.is_empty()),
             ("seeds", self.seeds.is_empty()),
+            ("topologies", self.topologies.is_empty()),
             ("delay_requirements", self.delay_requirements.is_empty()),
             ("chain_deadlines", self.chain_deadlines.is_empty()),
             ("be_load_scale", self.be_load_scale.is_empty()),
@@ -196,27 +205,38 @@ impl ScenarioGrid {
                 self.warmup, self.horizon
             ));
         }
-        let scatternet_axes =
-            self.bidirectional || self.chain_deadlines.iter().any(Option::is_some);
+        let scatternet_axes = self.bidirectional
+            || self.chain_deadlines.iter().any(Option::is_some)
+            || self.topologies.iter().any(|&t| t != Topology::Chain);
         for &p in &self.piconets {
             if p == 0 {
                 return Err("piconet count 0 names no scenario (use 1 for Fig. 4)".into());
             }
-            if u32::from(p) * crate::scatternet_scenario::PICONET_ID_STRIDE
-                > crate::scatternet_scenario::CHAIN_ID_BASE
-            {
-                return Err(format!(
-                    "piconet count {p} exceeds the flow-id scheme's maximum of {}",
-                    crate::scatternet_scenario::CHAIN_ID_BASE
-                        / crate::scatternet_scenario::PICONET_ID_STRIDE
-                ));
-            }
             if p == 1 && scatternet_axes {
                 return Err(
-                    "chain_deadlines/bidirectional are scatternet axes; they are undefined \
-                     for single-piconet cells (piconets = 1)"
+                    "chain_deadlines/bidirectional/non-chain topologies are scatternet \
+                     axes; they are undefined for single-piconet cells (piconets = 1)"
                         .into(),
                 );
+            }
+        }
+        for &topology in &self.topologies {
+            if topology == Topology::Chain {
+                continue;
+            }
+            let label = topology.label();
+            if self.chain_deadlines.iter().any(Option::is_some) {
+                return Err(format!(
+                    "chain_deadlines are derived for the chain topology only, not `{label}`"
+                ));
+            }
+            if self.bidirectional {
+                return Err(format!(
+                    "bidirectional requires the chain topology, not `{label}`"
+                ));
+            }
+            if topology == Topology::Tree && self.include_be {
+                return Err("tree topology cells cannot include_be (S5 is a bridge)".into());
             }
         }
         // Scatternet cells split the rendezvous cycle evenly, and both
@@ -244,6 +264,8 @@ impl ScenarioGrid {
             }
             for &dreq in &self.delay_requirements {
                 for deadline in self.chain_deadlines.iter().flatten() {
+                    // Non-chain topologies were rejected above; deadlines
+                    // only reach here with Topology::Chain in play.
                     let mut params = ScatternetScenarioParams::chained(p);
                     params.delay_requirement = dreq;
                     params.warmup = self.warmup;
@@ -264,12 +286,13 @@ impl ScenarioGrid {
     }
 
     /// Materialises the cells in deterministic (poller-major, then piconet
-    /// count, then chain deadline, then requirement, then BE load scale,
-    /// then seed) order.
+    /// count, then topology, then chain deadline, then requirement, then
+    /// BE load scale, then seed) order.
     pub fn cells(&self) -> Vec<GridCell> {
         let mut out = Vec::with_capacity(
             self.pollers.len()
                 * self.piconets.len()
+                * self.topologies.len()
                 * self.chain_deadlines.len()
                 * self.seeds.len()
                 * self.delay_requirements.len()
@@ -277,24 +300,27 @@ impl ScenarioGrid {
         );
         for &poller in &self.pollers {
             for &piconets in &self.piconets {
-                for &chain_deadline in &self.chain_deadlines {
-                    for &delay_requirement in &self.delay_requirements {
-                        for &be_load_scale in &self.be_load_scale {
-                            for &seed in &self.seeds {
-                                out.push(GridCell {
-                                    poller,
-                                    piconets,
-                                    seed,
-                                    delay_requirement,
-                                    chain_deadline,
-                                    bidirectional: self.bidirectional,
-                                    bridge_cycle: self.bridge_cycle,
-                                    horizon: self.horizon,
-                                    warmup: self.warmup,
-                                    include_be: self.include_be,
-                                    be_load_scale,
-                                    be_source_mix: self.be_source_mix,
-                                });
+                for &topology in &self.topologies {
+                    for &chain_deadline in &self.chain_deadlines {
+                        for &delay_requirement in &self.delay_requirements {
+                            for &be_load_scale in &self.be_load_scale {
+                                for &seed in &self.seeds {
+                                    out.push(GridCell {
+                                        poller,
+                                        piconets,
+                                        seed,
+                                        topology,
+                                        delay_requirement,
+                                        chain_deadline,
+                                        bidirectional: self.bidirectional,
+                                        bridge_cycle: self.bridge_cycle,
+                                        horizon: self.horizon,
+                                        warmup: self.warmup,
+                                        include_be: self.include_be,
+                                        be_load_scale,
+                                        be_source_mix: self.be_source_mix,
+                                    });
+                                }
                             }
                         }
                     }
@@ -314,6 +340,8 @@ pub struct GridCell {
     pub piconets: u8,
     /// The root seed of the cell's RNG streams.
     pub seed: u64,
+    /// Scatternet wiring (scatternet cells only; ignored at piconets = 1).
+    pub topology: Topology,
     /// The delay requirement of the cell's GS flows.
     pub delay_requirement: SimDuration,
     /// End-to-end deadline of the bridged chain(s); `Some` runs multi-hop
@@ -346,6 +374,7 @@ impl GridCell {
             include_be: self.include_be,
             be_load_scale: self.be_load_scale,
             be_source_mix: self.be_source_mix,
+            arrival_batch: 1,
         }
     }
 
@@ -353,6 +382,7 @@ impl GridCell {
     pub fn scatternet_params(&self) -> ScatternetScenarioParams {
         ScatternetScenarioParams {
             piconets: self.piconets,
+            topology: self.topology,
             delay_requirement: self.delay_requirement,
             seed: self.seed,
             warmup: self.warmup,
@@ -867,6 +897,7 @@ mod tests {
             pollers: vec![PollerKind::PfpGs, PollerKind::FixedGs],
             piconets: vec![1],
             seeds: vec![1, 2, 3],
+            topologies: vec![Topology::Chain],
             delay_requirements: vec![SimDuration::from_millis(40), SimDuration::from_millis(30)],
             chain_deadlines: vec![None],
             bidirectional: false,
@@ -906,6 +937,7 @@ mod tests {
             pollers: vec![PollerKind::PfpGs],
             piconets: vec![1],
             seeds: vec![1],
+            topologies: vec![Topology::Chain],
             delay_requirements: vec![SimDuration::from_millis(40)],
             chain_deadlines: vec![None],
             bidirectional: false,
@@ -930,11 +962,28 @@ mod tests {
         g.piconets = vec![0];
         assert!(g.validate().unwrap_err().contains("piconet count 0"));
 
-        // Piconet counts past the flow-id scheme used to panic mid-run
-        // inside the worker threads; now they are a grid-level error.
+        // Piconet counts past the historic nine-piconet id block now
+        // widen the block instead of failing (see `chain_id_base`).
         let mut g = base_grid();
         g.piconets = vec![10];
-        assert!(g.validate().unwrap_err().contains("flow-id scheme"));
+        assert!(g.validate().is_ok());
+
+        // Non-chain topologies are scatternet axes and reject the
+        // chain-only knobs.
+        let mut g = base_grid();
+        g.topologies = vec![Topology::Ring];
+        assert!(g.validate().unwrap_err().contains("scatternet axes"));
+        let mut g = base_grid();
+        g.piconets = vec![3];
+        g.topologies = vec![Topology::Chain, Topology::Ring];
+        assert!(g.validate().is_ok());
+        g.bidirectional = true;
+        assert!(g.validate().unwrap_err().contains("chain topology"));
+        let mut g = base_grid();
+        g.piconets = vec![3];
+        g.topologies = vec![Topology::Tree];
+        g.include_be = true;
+        assert!(g.validate().unwrap_err().contains("include_be"));
 
         let mut g = base_grid();
         g.warmup = SimDuration::from_secs(3);

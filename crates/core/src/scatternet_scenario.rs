@@ -42,13 +42,15 @@ use btgs_traffic::{CbrSource, FlowId, Source};
 /// Gap between consecutive piconets' flow id blocks.
 pub const PICONET_ID_STRIDE: u32 = 100;
 
-/// First id of the chain's hop flows (`CHAIN_ID_BASE + 2p` enters piconet
-/// `p`, `CHAIN_ID_BASE + 1 + 2p` leaves it).
+/// First id of the chain's hop flows for scenarios of up to nine piconets
+/// (`CHAIN_ID_BASE + 2p` enters piconet `p`, `CHAIN_ID_BASE + 1 + 2p`
+/// leaves it). Longer scatternets widen the block: see [`chain_id_base`].
 pub const CHAIN_ID_BASE: u32 = 900;
 
-/// First id of the *reverse* chain's hop flows (bidirectional scenarios):
-/// `REV_CHAIN_ID_BASE + 2p` leaves piconet `p` toward lower-numbered
-/// piconets, `REV_CHAIN_ID_BASE + 1 + 2p` enters it from above.
+/// First id of the *reverse* chain's hop flows (bidirectional scenarios
+/// of up to nine piconets): `REV_CHAIN_ID_BASE + 2p` leaves piconet `p`
+/// toward lower-numbered piconets, `REV_CHAIN_ID_BASE + 1 + 2p` enters it
+/// from above.
 pub const REV_CHAIN_ID_BASE: u32 = 950;
 
 /// The slave address every bridge uses in its *downstream* piconet.
@@ -56,6 +58,68 @@ pub const BRIDGE_IN_SLAVE: u8 = 7;
 
 /// The slave address every bridge uses in its *upstream* piconet.
 pub const BRIDGE_OUT_SLAVE: u8 = 6;
+
+/// The upstream slave address of a tree piconet's *second* out-bridge
+/// (its first uses [`BRIDGE_OUT_SLAVE`]). S5 doubles as a best-effort
+/// slave, so tree scenarios require `include_be == false`.
+pub const TREE_SECOND_OUT_SLAVE: u8 = 5;
+
+/// First id of the hop-flow block for an `n`-piconet scenario.
+///
+/// Up to nine piconets this is exactly [`CHAIN_ID_BASE`] (so all historic
+/// flow ids are preserved); longer scatternets slide the block up so the
+/// paper blocks (`100·p + k`) can never reach into it.
+pub const fn chain_id_base(n: u8) -> u32 {
+    let n = n as u32;
+    PICONET_ID_STRIDE * if n > 9 { n } else { 9 }
+}
+
+/// First id of the reverse-chain hop block for an `n`-piconet scenario
+/// ([`REV_CHAIN_ID_BASE`] for up to nine piconets).
+pub const fn rev_chain_id_base(n: u8) -> u32 {
+    let gap = 2 * n as u32 + 2;
+    chain_id_base(n) + if gap > 50 { gap } else { 50 }
+}
+
+/// How the piconets of a [`ScatternetScenario`] are wired together.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Topology {
+    /// A line: `M0 → M1 → … → M(N−1)` with one bridge per consecutive
+    /// pair and a single end-to-end chain (plus the reverse chain when
+    /// `bidirectional`). The PR 3 scenario.
+    Chain,
+    /// The chain closed into a ring (the mesh variant): a wrap bridge
+    /// `P(N−1)/S6 → P0/S7` carries a second, two-hop chain, so every
+    /// piconet holds both bridge roles and every rendezvous window is in
+    /// use.
+    Ring,
+    /// A fanout-2 tree (children of piconet `p` are `2p+1` and `2p+2`),
+    /// one independent two-hop chain per edge. A parent's second
+    /// out-bridge rides on [`TREE_SECOND_OUT_SLAVE`], so trees require
+    /// `include_be == false`.
+    Tree,
+}
+
+impl Topology {
+    /// Stable lower-case label (grid axes, wire format, bench ids).
+    pub fn label(self) -> &'static str {
+        match self {
+            Topology::Chain => "chain",
+            Topology::Ring => "ring",
+            Topology::Tree => "tree",
+        }
+    }
+
+    /// Inverse of [`Topology::label`].
+    pub fn from_label(label: &str) -> Option<Topology> {
+        match label {
+            "chain" => Some(Topology::Chain),
+            "ring" => Some(Topology::Ring),
+            "tree" => Some(Topology::Tree),
+            _ => None,
+        }
+    }
+}
 
 /// Parameters of the scatternet scenario.
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -88,6 +152,11 @@ pub struct ScatternetScenarioParams {
     pub be_load_scale: f64,
     /// How the BE flows generate traffic.
     pub be_source_mix: BeSourceMix,
+    /// How the piconets are wired together. Non-chain topologies support
+    /// neither `chain_deadline` (multi-hop admission is derived for the
+    /// line) nor `bidirectional`, and [`Topology::Tree`] additionally
+    /// requires `include_be == false`.
+    pub topology: Topology,
 }
 
 impl ScatternetScenarioParams {
@@ -105,6 +174,25 @@ impl ScatternetScenarioParams {
             bidirectional: false,
             be_load_scale: 1.0,
             be_source_mix: BeSourceMix::Cbr,
+            topology: Topology::Chain,
+        }
+    }
+
+    /// [`ScatternetScenarioParams::chained`] closed into a ring.
+    pub fn ring(n: u8) -> ScatternetScenarioParams {
+        ScatternetScenarioParams {
+            topology: Topology::Ring,
+            ..ScatternetScenarioParams::chained(n)
+        }
+    }
+
+    /// A fanout-2 tree over `n` piconets (best-effort load off — S5
+    /// carries second out-bridges).
+    pub fn tree(n: u8) -> ScatternetScenarioParams {
+        ScatternetScenarioParams {
+            topology: Topology::Tree,
+            include_be: false,
+            ..ScatternetScenarioParams::chained(n)
         }
     }
 }
@@ -134,26 +222,87 @@ fn slave(n: u8) -> AmAddr {
     AmAddr::new(n).expect("scenario slave addresses are 1..=7")
 }
 
-/// First hop id of piconet `p`'s incoming bridge flow.
-fn hop_in_id(p: u8) -> u32 {
-    CHAIN_ID_BASE + 2 * p as u32
+/// Uplink hop id keyed by `p` within the `base` block (chain/ring: the
+/// flow entering piconet `p` through its S7 bridge identity; tree: the
+/// flow entering child `p`).
+fn hop_in_id(base: u32, p: u8) -> u32 {
+    base + 2 * p as u32
 }
 
-/// Hop id of piconet `p`'s outgoing bridge flow.
-fn hop_out_id(p: u8) -> u32 {
-    CHAIN_ID_BASE + 1 + 2 * p as u32
+/// Downlink hop id keyed by `p` within the `base` block (chain/ring: the
+/// flow leaving piconet `p` toward its out-bridge; tree: the flow leaving
+/// child `p`'s parent toward it).
+fn hop_out_id(base: u32, p: u8) -> u32 {
+    base + 1 + 2 * p as u32
 }
 
 /// Reverse-chain hop leaving piconet `p` toward piconet `p − 1` (downlink
 /// to the bridge-in slave); exists for `p ≥ 1`.
-fn rev_out_id(p: u8) -> u32 {
-    REV_CHAIN_ID_BASE + 2 * p as u32
+fn rev_out_id(rev_base: u32, p: u8) -> u32 {
+    rev_base + 2 * p as u32
 }
 
 /// Reverse-chain hop entering piconet `p` from piconet `p + 1` (uplink
 /// from the bridge-out slave); exists for `p ≤ n − 2`.
-fn rev_in_id(p: u8) -> u32 {
-    REV_CHAIN_ID_BASE + 1 + 2 * p as u32
+fn rev_in_id(rev_base: u32, p: u8) -> u32 {
+    rev_base + 1 + 2 * p as u32
+}
+
+/// One bridge edge of the topology: packets flow `up_pic → down_pic`
+/// through a bridge slave that is `out_slave` in `up_pic` and
+/// [`BRIDGE_IN_SLAVE`] in `down_pic`.
+#[derive(Clone, Copy, Debug)]
+struct EdgeDef {
+    up_pic: u8,
+    down_pic: u8,
+    out_slave: u8,
+    /// Downlink hop id in `up_pic` (master → bridge).
+    out_flow: u32,
+    /// Uplink hop id in `down_pic` (bridge → master).
+    in_flow: u32,
+}
+
+/// The bridge edges of the scenario's topology, in deterministic order
+/// (chain position / wrap last / tree child index).
+fn topology_edges(params: &ScatternetScenarioParams) -> Vec<EdgeDef> {
+    let n = params.piconets;
+    let base = chain_id_base(n);
+    let chain_edge = |p: u8| EdgeDef {
+        up_pic: p,
+        down_pic: p + 1,
+        out_slave: BRIDGE_OUT_SLAVE,
+        out_flow: hop_out_id(base, p),
+        in_flow: hop_in_id(base, p + 1),
+    };
+    match params.topology {
+        Topology::Chain => (0..n - 1).map(chain_edge).collect(),
+        Topology::Ring => {
+            let mut edges: Vec<EdgeDef> = (0..n - 1).map(chain_edge).collect();
+            edges.push(EdgeDef {
+                up_pic: n - 1,
+                down_pic: 0,
+                out_slave: BRIDGE_OUT_SLAVE,
+                out_flow: hop_out_id(base, n - 1),
+                in_flow: hop_in_id(base, 0),
+            });
+            edges
+        }
+        Topology::Tree => (1..n)
+            .map(|c| EdgeDef {
+                up_pic: (c - 1) / 2,
+                down_pic: c,
+                // The first child rides the regular out-bridge slave; the
+                // second child needs a second radio on the parent.
+                out_slave: if c % 2 == 1 {
+                    BRIDGE_OUT_SLAVE
+                } else {
+                    TREE_SECOND_OUT_SLAVE
+                },
+                out_flow: hop_out_id(base, c),
+                in_flow: hop_in_id(base, c),
+            })
+            .collect(),
+    }
 }
 
 impl ScatternetScenario {
@@ -162,39 +311,58 @@ impl ScatternetScenario {
     /// # Panics
     ///
     /// Panics if `params.piconets < 2` (a one-piconet "scatternet" is the
-    /// plain [`PaperScenario`](crate::PaperScenario)) or `> 9` (piconet 9's
-    /// paper-flow id block would reach [`CHAIN_ID_BASE`]; longer chains
-    /// need a wider id scheme first), or — with a `chain_deadline` — if
-    /// the multi-hop admission rejects a chain; use
-    /// [`ScatternetScenario::try_build`] to handle rejection.
+    /// plain [`PaperScenario`](crate::PaperScenario)), on an unsupported
+    /// parameter combination (see [`ScatternetScenarioParams::topology`]),
+    /// or — with a `chain_deadline` — if the multi-hop admission rejects
+    /// a chain; use [`ScatternetScenario::try_build`] to handle
+    /// rejection.
     pub fn build(params: ScatternetScenarioParams) -> ScatternetScenario {
         ScatternetScenario::try_build(params)
             .unwrap_or_else(|e| panic!("scatternet scenario rejected: {e}"))
     }
 
-    /// Derives the scenario, surfacing chain-admission rejections as
-    /// errors instead of panicking.
+    /// Derives the scenario, surfacing chain-admission rejections and
+    /// unsupported parameter combinations as errors instead of
+    /// panicking.
     ///
     /// # Errors
     ///
     /// Returns the [`ChainAdmissionError`](crate::ChainAdmissionError)
-    /// rendering when `params.chain_deadline` is set and a chain cannot be
-    /// admitted.
+    /// rendering when `params.chain_deadline` is set and a chain cannot
+    /// be admitted, and a description of the conflict for unsupported
+    /// combinations (non-chain topology with `chain_deadline` or
+    /// `bidirectional`; tree with `include_be`).
     ///
     /// # Panics
     ///
-    /// Panics on out-of-range `params.piconets` (< 2 or > 9) — a caller
-    /// bug, not an admission verdict.
+    /// Panics on `params.piconets < 2` — a caller bug, not a verdict.
     pub fn try_build(params: ScatternetScenarioParams) -> Result<ScatternetScenario, String> {
         let n = params.piconets;
         assert!(n >= 2, "a scatternet scenario needs at least two piconets");
-        assert!(
-            u32::from(n) * PICONET_ID_STRIDE <= CHAIN_ID_BASE,
-            "flow id scheme supports at most {} chained piconets",
-            CHAIN_ID_BASE / PICONET_ID_STRIDE
-        );
+        if params.topology != Topology::Chain {
+            let label = params.topology.label();
+            if params.chain_deadline.is_some() {
+                return Err(format!(
+                    "chain_deadline (multi-hop admission) is derived for the chain \
+                     topology only, not `{label}`"
+                ));
+            }
+            if params.bidirectional {
+                return Err(format!(
+                    "bidirectional reverse chains exist in the chain topology only, \
+                     not `{label}`"
+                ));
+            }
+        }
+        if params.topology == Topology::Tree && params.include_be {
+            return Err(format!(
+                "tree topologies use S{TREE_SECOND_OUT_SLAVE} for second out-bridges; \
+                 set include_be to false"
+            ));
+        }
         let allowed = vec![PacketType::Dh1, PacketType::Dh3];
-        let chains = derive_chain_paths(&params, &allowed);
+        let edges = topology_edges(&params);
+        let chains = derive_chain_paths(&params, &edges, &allowed);
 
         // Per-piconet entity definitions: the paper's order, then the
         // bridge roles (lowest priority, so the paper flows keep their
@@ -237,19 +405,22 @@ impl ScatternetScenario {
                     defs.clear(); // transit piconets carry bridged traffic only
                 }
             }
-            if p > 0 {
-                let mut flows = vec![(hop_in_id(p), Direction::SlaveToMaster)];
+            let rev_base = rev_chain_id_base(n);
+            for e in edges.iter().filter(|e| e.down_pic == p) {
+                let mut flows = vec![(e.in_flow, Direction::SlaveToMaster)];
                 if params.bidirectional {
-                    flows.push((rev_out_id(p), Direction::MasterToSlave));
+                    // Chain topology only: the reverse chain's downlink
+                    // piggybacks on the in-bridge entity.
+                    flows.push((rev_out_id(rev_base, p), Direction::MasterToSlave));
                 }
                 defs.push((slave(BRIDGE_IN_SLAVE), flows));
             }
-            if p < n - 1 {
-                let mut flows = vec![(hop_out_id(p), Direction::MasterToSlave)];
+            for e in edges.iter().filter(|e| e.up_pic == p) {
+                let mut flows = vec![(e.out_flow, Direction::MasterToSlave)];
                 if params.bidirectional {
-                    flows.push((rev_in_id(p), Direction::SlaveToMaster));
+                    flows.push((rev_in_id(rev_base, p), Direction::SlaveToMaster));
                 }
-                defs.push((slave(BRIDGE_OUT_SLAVE), flows));
+                defs.push((slave(e.out_slave), flows));
             }
             all_defs.push(defs);
         }
@@ -308,10 +479,11 @@ impl ScatternetScenario {
             piconets.push(config);
         }
 
-        let bridges = (0..n - 1)
-            .map(|k| BridgeSpec {
-                upstream: ScopedSlave::new(PiconetId(k), slave(BRIDGE_OUT_SLAVE)),
-                downstream: ScopedSlave::new(PiconetId(k + 1), slave(BRIDGE_IN_SLAVE)),
+        let bridges = edges
+            .iter()
+            .map(|e| BridgeSpec {
+                upstream: ScopedSlave::new(PiconetId(e.up_pic), slave(e.out_slave)),
+                downstream: ScopedSlave::new(PiconetId(e.down_pic), slave(BRIDGE_IN_SLAVE)),
                 cycle: params.bridge_cycle,
                 dwell_upstream: params.bridge_cycle / 2,
             })
@@ -369,7 +541,7 @@ impl ScatternetScenario {
             // Spread piconet starts across one GS interval.
             let pic_offset = GS_INTERVAL * p as u64 / self.config.piconets.len() as u64;
             for f in &cfg.flows {
-                if f.id.0 >= CHAIN_ID_BASE && !entries.contains(&f.id) {
+                if f.id.0 >= chain_id_base(self.params.piconets) && !entries.contains(&f.id) {
                     continue; // relay-fed hop
                 }
                 let mut stream = root.stream(u64::from(f.id.0));
@@ -468,6 +640,7 @@ impl ScatternetScenario {
 /// terms derived from the bridge rendezvous schedule.
 fn derive_chain_paths(
     params: &ScatternetScenarioParams,
+    edges: &[EdgeDef],
     allowed: &[PacketType],
 ) -> Vec<Vec<ChainHopSpec>> {
     let n = params.piconets;
@@ -495,40 +668,60 @@ fn derive_chain_paths(
         absence: worst_case_residence(cycle, window_len, u),
     };
 
-    let mut forward = Vec::with_capacity(2 * (n as usize - 1));
-    for p in 0..n {
-        if p > 0 {
-            // Bridge crossing into piconet p: wait for the S7 window.
-            forward.push(hop(
-                p,
-                hop_in_id(p),
-                BRIDGE_IN_SLAVE,
-                Direction::SlaveToMaster,
-                worst_case_residence(cycle, down_len, SimDuration::ZERO),
-                down_len,
-            ));
+    // Every edge contributes the same two hops: a master-to-slave exit
+    // in the upstream piconet (no residence — the packet leaves with the
+    // bridge) followed by a slave-to-master entry in the downstream
+    // piconet once the bridge's S7 window opens.
+    let out_hop = |e: &EdgeDef| {
+        hop(
+            e.up_pic,
+            e.out_flow,
+            e.out_slave,
+            Direction::MasterToSlave,
+            SimDuration::ZERO,
+            up_len,
+        )
+    };
+    let in_hop = |e: &EdgeDef| {
+        hop(
+            e.down_pic,
+            e.in_flow,
+            BRIDGE_IN_SLAVE,
+            Direction::SlaveToMaster,
+            worst_case_residence(cycle, down_len, SimDuration::ZERO),
+            down_len,
+        )
+    };
+    let span = |edges: &[EdgeDef]| -> Vec<ChainHopSpec> {
+        edges.iter().flat_map(|e| [out_hop(e), in_hop(e)]).collect()
+    };
+
+    let mut chains = match params.topology {
+        // One end-to-end chain M0 → M(N−1) over the consecutive edges.
+        Topology::Chain => vec![span(edges)],
+        // The forward chain plus a separate two-hop flow over the wrap
+        // edge M(N−1) → M0 (a single flow around the whole ring would
+        // revisit its first hop).
+        Topology::Ring => {
+            let (wrap, line) = edges.split_last().expect("ring has edges");
+            vec![span(line), span(std::slice::from_ref(wrap))]
         }
-        if p < n - 1 {
-            // First hop, or a master-internal relay: no residence.
-            forward.push(hop(
-                p,
-                hop_out_id(p),
-                BRIDGE_OUT_SLAVE,
-                Direction::MasterToSlave,
-                SimDuration::ZERO,
-                up_len,
-            ));
-        }
-    }
-    let mut chains = vec![forward];
+        // One two-hop parent→child flow per tree edge.
+        Topology::Tree => edges
+            .iter()
+            .map(|e| span(std::slice::from_ref(e)))
+            .collect(),
+    };
     if params.bidirectional {
+        // Chain topology only (validated in `try_build`).
         // M(N−1) → … → M0: each bridge is crossed downstream→upstream, so
         // the handoff waits for the bridge's *upstream* (S6) window.
+        let rev_base = rev_chain_id_base(n);
         let mut reverse = Vec::with_capacity(2 * (n as usize - 1));
         for p in (1..n).rev() {
             reverse.push(hop(
                 p,
-                rev_out_id(p),
+                rev_out_id(rev_base, p),
                 BRIDGE_IN_SLAVE,
                 Direction::MasterToSlave,
                 SimDuration::ZERO,
@@ -536,7 +729,7 @@ fn derive_chain_paths(
             ));
             reverse.push(hop(
                 p - 1,
-                rev_in_id(p - 1),
+                rev_in_id(rev_base, p - 1),
                 BRIDGE_OUT_SLAVE,
                 Direction::SlaveToMaster,
                 worst_case_residence(cycle, up_len, SimDuration::ZERO),
@@ -564,6 +757,7 @@ fn admit_chains(
     allowed: &[PacketType],
 ) -> Result<AdmittedSchedules, String> {
     let n = params.piconets as usize;
+    let base = chain_id_base(params.piconets);
     let mut ctl = ScatternetAdmissionController::new(AdmissionConfig::paper(), n);
     let mut gs_plans: Vec<Vec<GsFlowPlan>> = Vec::with_capacity(n);
     for (p, defs) in all_defs.iter().enumerate() {
@@ -572,7 +766,7 @@ fn admit_chains(
         // hops are granted by chain admission below instead.
         let borrowed: Vec<(AmAddr, &[(u32, Direction)])> = defs
             .iter()
-            .filter(|(_, flows)| flows.iter().all(|(id, _)| *id < CHAIN_ID_BASE))
+            .filter(|(_, flows)| flows.iter().all(|(id, _)| *id < base))
             .map(|(s, f)| (*s, f.as_slice()))
             .collect();
         let (_, plans) = derive_gs_schedule(&borrowed, params.delay_requirement, allowed);
@@ -645,16 +839,11 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "at most 9 chained piconets")]
-    fn rejects_chains_that_overrun_the_id_scheme() {
-        // Piconet 9's paper-flow block would collide with CHAIN_ID_BASE.
-        let _ = ScatternetScenario::build(ScatternetScenarioParams::chained(10));
-    }
-
-    #[test]
-    fn nine_piconets_is_the_longest_supported_chain() {
+    fn nine_piconets_keep_the_historic_id_block() {
         let sc = ScatternetScenario::build(ScatternetScenarioParams::chained(9));
         assert_eq!(sc.config.piconets.len(), 9);
+        assert_eq!(chain_id_base(9), CHAIN_ID_BASE);
+        assert_eq!(rev_chain_id_base(9), REV_CHAIN_ID_BASE);
         // Highest paper-flow id stays below the chain id block.
         let max_id = sc
             .config
@@ -676,6 +865,135 @@ mod tests {
                 .collect(),
         )
         .is_ok());
+    }
+
+    #[test]
+    fn long_chains_widen_the_id_block() {
+        // Beyond nine piconets the hop block slides past every paper
+        // block (piconet 15's flows are 1501..1504 < chain_id_base(16)).
+        let sc = ScatternetScenario::build(ScatternetScenarioParams::chained(16));
+        assert_eq!(sc.config.piconets.len(), 16);
+        assert_eq!(chain_id_base(16), 1600);
+        let base = chain_id_base(16);
+        assert_eq!(sc.config.chains[0].hops[0], FlowId(hop_out_id(base, 0)));
+        assert_eq!(sc.config.chains[0].hops.len(), 30);
+        let max_paper = sc
+            .config
+            .piconets
+            .iter()
+            .flat_map(|c| &c.flows)
+            .map(|f| f.id.0)
+            .filter(|id| *id < base)
+            .max()
+            .unwrap();
+        assert!(max_paper < base);
+        assert!(ScatternetSim::new(
+            sc.config.clone(),
+            sc.pollers(PollerKind::PfpGs),
+            sc.config
+                .piconets
+                .iter()
+                .map(|_| Box::new(IdealChannel) as Box<dyn ChannelModel>)
+                .collect(),
+        )
+        .is_ok());
+    }
+
+    #[test]
+    fn builds_ring_topology() {
+        let sc = ScatternetScenario::build(ScatternetScenarioParams::ring(4));
+        // n bridges: the line's three plus the wrap P3/S6 → P0/S7.
+        assert_eq!(sc.config.bridges.len(), 4);
+        assert_eq!(sc.config.bridges[3].upstream.piconet, PiconetId(3));
+        assert_eq!(sc.config.bridges[3].downstream.piconet, PiconetId(0));
+        // Two chains: the forward line and the two-hop wrap chain.
+        assert_eq!(sc.config.chains.len(), 2);
+        let base = chain_id_base(4);
+        assert_eq!(
+            sc.config.chains[1].hops,
+            vec![FlowId(hop_out_id(base, 3)), FlowId(hop_in_id(base, 0))]
+        );
+        // Every piconet now holds both bridge roles.
+        for cfg in &sc.config.piconets {
+            assert!(cfg.validate().is_ok());
+            for sl in [BRIDGE_IN_SLAVE, BRIDGE_OUT_SLAVE] {
+                assert!(cfg.flows.iter().any(|f| f.slave.get() == sl));
+            }
+        }
+        // Both chains are source-fed at their entries and deliver.
+        let mut params = ScatternetScenarioParams::ring(4);
+        params.warmup = SimDuration::from_millis(500);
+        let report = ScatternetScenario::build(params)
+            .run(PollerKind::PfpGs, SimTime::from_secs(3))
+            .unwrap();
+        for (ci, chain) in report.chains.iter().enumerate() {
+            assert!(
+                chain.delivered_packets > 50,
+                "ring chain {ci} delivered only {}",
+                chain.delivered_packets
+            );
+        }
+    }
+
+    #[test]
+    fn builds_tree_topology() {
+        let sc = ScatternetScenario::build(ScatternetScenarioParams::tree(5));
+        // One bridge and one two-hop chain per edge.
+        assert_eq!(sc.config.bridges.len(), 4);
+        assert_eq!(sc.config.chains.len(), 4);
+        let base = chain_id_base(5);
+        for (c, chain) in sc.config.chains.iter().enumerate() {
+            let child = (c + 1) as u8;
+            assert_eq!(
+                chain.hops,
+                vec![
+                    FlowId(hop_out_id(base, child)),
+                    FlowId(hop_in_id(base, child))
+                ]
+            );
+        }
+        // Piconet 0 parents children 1 and 2: S6 and S5 out-bridges.
+        let p0_slaves: Vec<u8> = sc.config.piconets[0]
+            .flows
+            .iter()
+            .map(|f| f.slave.get())
+            .collect();
+        assert!(p0_slaves.contains(&BRIDGE_OUT_SLAVE));
+        assert!(p0_slaves.contains(&TREE_SECOND_OUT_SLAVE));
+        for cfg in &sc.config.piconets {
+            assert!(cfg.validate().is_ok());
+        }
+        let mut params = ScatternetScenarioParams::tree(5);
+        params.warmup = SimDuration::from_millis(500);
+        let report = ScatternetScenario::build(params)
+            .run(PollerKind::PfpGs, SimTime::from_secs(3))
+            .unwrap();
+        for (ci, chain) in report.chains.iter().enumerate() {
+            assert!(
+                chain.delivered_packets > 50,
+                "tree chain {ci} delivered only {}",
+                chain.delivered_packets
+            );
+        }
+    }
+
+    #[test]
+    fn non_chain_topologies_reject_chain_only_parameters() {
+        let mut p = ScatternetScenarioParams::ring(3);
+        p.chain_deadline = Some(SimDuration::from_millis(150));
+        assert!(ScatternetScenario::try_build(p)
+            .unwrap_err()
+            .contains("chain topology only"));
+        let mut p = ScatternetScenarioParams::ring(3);
+        p.bidirectional = true;
+        assert!(ScatternetScenario::try_build(p)
+            .unwrap_err()
+            .contains("chain topology only"));
+        let mut p = ScatternetScenarioParams::tree(3);
+        p.include_be = true;
+        assert!(ScatternetScenario::try_build(p)
+            .unwrap_err()
+            .contains("include_be"));
     }
 
     #[test]
@@ -828,16 +1146,20 @@ mod admission_path_tests {
         let sc = ScatternetScenario::build(deadline_params(2, 150, true));
         assert_eq!(sc.config.chains.len(), 2);
         assert_eq!(sc.chain_grants.len(), 2);
+        let (base, rev_base) = (chain_id_base(2), rev_chain_id_base(2));
         assert_eq!(
             sc.config.chains[1].hops,
-            vec![FlowId(rev_out_id(1)), FlowId(rev_in_id(0))]
+            vec![
+                FlowId(rev_out_id(rev_base, 1)),
+                FlowId(rev_in_id(rev_base, 0))
+            ]
         );
         // Both entries are source-fed; relay-fed hops are not.
         let ids: Vec<FlowId> = sc.sources().iter().map(|s| s.flow()).collect();
-        assert!(ids.contains(&FlowId(hop_out_id(0))));
-        assert!(ids.contains(&FlowId(rev_out_id(1))));
-        assert!(!ids.contains(&FlowId(hop_in_id(1))));
-        assert!(!ids.contains(&FlowId(rev_in_id(0))));
+        assert!(ids.contains(&FlowId(hop_out_id(base, 0))));
+        assert!(ids.contains(&FlowId(rev_out_id(rev_base, 1))));
+        assert!(!ids.contains(&FlowId(hop_in_id(base, 1))));
+        assert!(!ids.contains(&FlowId(rev_in_id(rev_base, 0))));
         // Reverse hops piggyback on the forward bridge entities: the
         // bridge slaves' entities each serve two flows.
         for outcome in &sc.outcomes {

@@ -109,6 +109,9 @@ pub struct PaperScenarioParams {
     pub be_load_scale: f64,
     /// How the BE flows generate traffic.
     pub be_source_mix: BeSourceMix,
+    /// Arrival batching factor handed to the engine (see
+    /// [`btgs_piconet::PiconetConfig::arrival_batch`]); 1 = off.
+    pub arrival_batch: u32,
 }
 
 impl Default for PaperScenarioParams {
@@ -120,6 +123,7 @@ impl Default for PaperScenarioParams {
             include_be: true,
             be_load_scale: 1.0,
             be_source_mix: BeSourceMix::Cbr,
+            arrival_batch: 1,
         }
     }
 }
@@ -347,7 +351,9 @@ impl PaperScenario {
             derive_gs_schedule(&entity_defs, params.delay_requirement, &allowed);
 
         // Piconet configuration.
-        let mut config = PiconetConfig::new(allowed).with_warmup(params.warmup);
+        let mut config = PiconetConfig::new(allowed)
+            .with_warmup(params.warmup)
+            .with_arrival_batch(params.arrival_batch);
         for plan in &gs_plans {
             config = config.with_flow(FlowSpec::new(
                 plan.request.id,

@@ -135,6 +135,7 @@ mod tests {
             pollers: vec![PollerKind::PfpGs],
             piconets: vec![1],
             seeds: vec![1, 2, 3],
+            topologies: vec![crate::Topology::Chain],
             delay_requirements: vec![SimDuration::from_millis(40)],
             chain_deadlines: vec![None],
             bidirectional: false,

@@ -131,6 +131,7 @@ mod tests {
             pollers: vec![PollerKind::PfpGs, PollerKind::FixedGs],
             piconets: vec![1],
             seeds: (1..=seeds).collect(),
+            topologies: vec![btgs_core::Topology::Chain],
             delay_requirements: vec![SimDuration::from_millis(40)],
             chain_deadlines: vec![None],
             bidirectional: false,

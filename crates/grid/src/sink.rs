@@ -297,6 +297,7 @@ mod tests {
             pollers: vec![PollerKind::PfpGs, PollerKind::FixedGs],
             piconets: vec![1],
             seeds: vec![1, 2],
+            topologies: vec![btgs_core::Topology::Chain],
             delay_requirements: vec![SimDuration::from_millis(40)],
             chain_deadlines: vec![None],
             bidirectional: false,

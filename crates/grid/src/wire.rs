@@ -27,7 +27,7 @@
 
 use crate::json::{escape, Json};
 use btgs_baseband::{AmAddr, Direction, LogicalChannel, PacketType};
-use btgs_core::{BeSourceMix, CellOutcome, GridCell, PollerKind, ScenarioGrid};
+use btgs_core::{BeSourceMix, CellOutcome, GridCell, PollerKind, ScenarioGrid, Topology};
 use btgs_des::{SimDuration, SimTime};
 use btgs_metrics::DelayStats;
 use btgs_piconet::{
@@ -95,6 +95,13 @@ pub fn grid_to_json(grid: &ScenarioGrid) -> String {
     push_ints(&mut s, grid.piconets.iter().map(|&p| u64::from(p)));
     s.push_str("],\"seeds\":[");
     push_ints(&mut s, grid.seeds.iter().copied());
+    s.push_str("],\"topologies\":[");
+    for (i, t) in grid.topologies.iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        let _ = write!(s, "\"{}\"", t.label());
+    }
     s.push_str("],\"delay_req_ns\":[");
     push_ints(&mut s, grid.delay_requirements.iter().map(|d| d.as_nanos()));
     s.push_str("],\"chain_deadline_ns\":[");
@@ -197,6 +204,14 @@ pub fn grid_from_json(j: &Json) -> Result<ScenarioGrid, WireError> {
         .iter()
         .map(|v| v.as_u64().ok_or_else(|| wire_err("bad seed")))
         .collect::<Result<Vec<_>, _>>()?;
+    let topologies = arr_field(j, "topologies")?
+        .iter()
+        .map(|v| {
+            v.as_str()
+                .and_then(Topology::from_label)
+                .ok_or_else(|| wire_err(format!("unknown topology {v:?}")))
+        })
+        .collect::<Result<Vec<_>, _>>()?;
     let delay_requirements = arr_field(j, "delay_req_ns")?
         .iter()
         .map(|v| {
@@ -225,6 +240,7 @@ pub fn grid_from_json(j: &Json) -> Result<ScenarioGrid, WireError> {
         pollers,
         piconets,
         seeds,
+        topologies,
         delay_requirements,
         chain_deadlines,
         bidirectional: bool_field(j, "bidirectional")?,
@@ -353,12 +369,13 @@ fn cell_to_json(c: &GridCell) -> String {
     let mut s = String::with_capacity(192);
     let _ = write!(
         s,
-        "{{\"poller\":\"{}\",\"piconets\":{},\"seed\":{},\"dreq_ns\":{},\"cd_ns\":{},\
-         \"bi\":{},\"bridge_ns\":{},\"horizon_ns\":{},\"warmup_ns\":{},\"be\":{},\
-         \"bl\":{:?},\"mix\":\"{}\"}}",
+        "{{\"poller\":\"{}\",\"piconets\":{},\"seed\":{},\"topo\":\"{}\",\"dreq_ns\":{},\
+         \"cd_ns\":{},\"bi\":{},\"bridge_ns\":{},\"horizon_ns\":{},\"warmup_ns\":{},\
+         \"be\":{},\"bl\":{:?},\"mix\":\"{}\"}}",
         escape(&c.poller.label()),
         c.piconets,
         c.seed,
+        c.topology.label(),
         c.delay_requirement.as_nanos(),
         c.chain_deadline
             .map_or_else(|| "null".to_owned(), |d| d.as_nanos().to_string()),
@@ -381,6 +398,8 @@ fn cell_from_json(j: &Json) -> Result<GridCell, WireError> {
         piconets: u8::try_from(u64_field(j, "piconets")?)
             .map_err(|_| wire_err("bad piconet count"))?,
         seed: u64_field(j, "seed")?,
+        topology: Topology::from_label(str_field(j, "topo")?)
+            .ok_or_else(|| wire_err("unknown topology"))?,
         delay_requirement: SimDuration::from_nanos(u64_field(j, "dreq_ns")?),
         chain_deadline: if cd.is_null() {
             None
@@ -886,6 +905,7 @@ mod tests {
             ],
             piconets: vec![1, 2],
             seeds: vec![1, u64::MAX],
+            topologies: vec![Topology::Chain],
             delay_requirements: vec![SimDuration::from_millis(40)],
             chain_deadlines: vec![None],
             bidirectional: false,

@@ -299,6 +299,14 @@ pub struct PiconetConfig {
     /// Per-slave presence schedule; trivial (all-present) outside a
     /// scatternet.
     pub presence: PresenceMask,
+    /// Arrival batching factor: how many future source arrivals the engine
+    /// may materialize eagerly per scheduled `Arrival` event (1 = one
+    /// event per packet, the classic behaviour). Batching applies to
+    /// uplink ACL and SCO voice sources only — their packets are invisible
+    /// to the master until polled, so pre-queueing them is unobservable as
+    /// long as wake-up instants are clamped to the earliest batched
+    /// arrival (which the simulator does).
+    pub arrival_batch: u32,
 }
 
 impl PiconetConfig {
@@ -312,6 +320,7 @@ impl PiconetConfig {
             sar: SarPolicy::MaxFirst,
             warmup: SimDuration::ZERO,
             presence: PresenceMask::ALWAYS,
+            arrival_batch: 1,
         }
     }
 
@@ -340,6 +349,14 @@ impl PiconetConfig {
     #[must_use]
     pub fn with_sar(mut self, sar: SarPolicy) -> PiconetConfig {
         self.sar = sar;
+        self
+    }
+
+    /// Sets the arrival batching factor (builder style); see the
+    /// [`arrival_batch`](PiconetConfig::arrival_batch) field.
+    #[must_use]
+    pub fn with_arrival_batch(mut self, batch: u32) -> PiconetConfig {
+        self.arrival_batch = batch;
         self
     }
 
@@ -379,6 +396,11 @@ impl PiconetConfig {
     /// flow, at most seven slaves, non-overlapping SCO reservations, and
     /// voice-flow ids distinct from ACL flow ids.
     pub fn validate(&self) -> Result<(), PiconetError> {
+        if self.arrival_batch == 0 {
+            return Err(PiconetError(
+                "arrival_batch must be at least 1 (1 disables batching)".into(),
+            ));
+        }
         validate_flows(&self.flows).map_err(PiconetError)?;
         for f in &self.flows {
             if !self.allowed_for(f).iter().any(|t| t.is_acl_data()) {

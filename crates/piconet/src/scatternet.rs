@@ -15,31 +15,54 @@
 //!   Packets completing a hop are re-enqueued on the next hop — at the
 //!   exchange end for master relays (same device), or when the bridge next
 //!   appears in the target piconet (the *residence time*);
-//! * [`ScatternetSim`] drives all piconet worlds on **one** shared timing
-//!   wheel, reusing the single-piconet event handlers verbatim — a piconet
-//!   inside a scatternet and a [`PiconetSim`](crate::PiconetSim) run the
-//!   same code;
+//! * [`ScatternetSim`] runs each piconet as an **island**: a full
+//!   single-piconet simulator (own timing wheel, own clock) reusing the
+//!   single-piconet event handlers verbatim — a piconet inside a
+//!   scatternet and a [`PiconetSim`](crate::PiconetSim) run the same
+//!   code. Islands only interact through bridge relays, and a relay is
+//!   never live before the bridge's next presence window opens in the
+//!   target piconet, so the window starts are *conservative sync points*
+//!   (classic conservative parallel DES, with the rendezvous schedule as
+//!   the lookahead):
+//!
+//!   ```text
+//!    island 0  ──phase──▶|        ──▶|          ──▶|
+//!    island 1  ──────────▶|  ─────▶|  ──────────▶|     (each island runs
+//!    island 2  ────▶|       ──────▶|    ────────▶|      independently)
+//!              ─────┼──────────────┼─────────────┼────▶ simulated time
+//!                   B₁             B₂            B₃
+//!             window starts = phase boundaries; staged relays
+//!             are sorted and injected at each boundary
+//!   ```
+//!
+//!   Within a phase every island advances independently (in parallel with
+//!   [`ScatternetSim::with_threads`]); captured bridge crossings are
+//!   staged and injected at the boundary in a deterministic total order,
+//!   so reports are **byte-identical** across thread counts and island
+//!   visit orders;
 //! * [`ScatternetReport`] carries each piconet's [`RunReport`] (per-hop
 //!   delay statistics included) plus per-chain end-to-end and residence
 //!   [`DelayStats`]: with immediate master relays, end-to-end delay is
 //!   exactly the sum of per-hop queueing delays plus bridge residence.
 //!
 //! The steady state is allocation-free like the single-piconet loop: relay
-//! outboxes, origin FIFOs and report buffers are pre-reserved at build
-//! time.
+//! outboxes, staging buffers, origin FIFOs and report buffers are
+//! pre-reserved at build time.
 
 use crate::config::{PiconetConfig, PiconetError};
 use crate::flow::FlowSpec;
 use crate::flow_table::{FlowIdHasher, FlowIdx, FlowTable};
 use crate::poller::Poller;
 use crate::report::RunReport;
-use crate::sim::{handle, seed_world, Ev, EvSink, World};
+use crate::sim::{handle, seed_world, Ev, World};
 use btgs_baseband::{ChannelModel, PiconetId, PresenceWindow, ScopedSlave};
-use btgs_des::{EventKey, EventQueue, Scheduler, SimDuration, SimTime, Simulator};
+use btgs_des::{DetRng, EventQueue, Scheduler, SimDuration, SimTime, Simulator};
 use btgs_metrics::DelayStats;
 use btgs_traffic::{AppPacket, FlowId, Source};
 use std::collections::{HashMap, VecDeque};
 use std::hash::BuildHasherDefault;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::Mutex;
 
 /// How one global flow id resolves to its shard. Mirrors the dense/spread
 /// split of the per-piconet id index.
@@ -278,11 +301,7 @@ pub struct ScatternetConfig {
 #[derive(Clone, Copy, Debug)]
 enum HopNext {
     /// Last hop of its chain: record end-to-end delay.
-    Terminal {
-        chain: u32,
-        /// Position of the completed hop within the chain.
-        hop: u16,
-    },
+    Terminal { chain: u32 },
     /// Relay onto the next hop.
     Forward {
         chain: u32,
@@ -293,120 +312,105 @@ enum HopNext {
         pic: u8,
         /// Dense index of the target hop flow in its piconet.
         flow_idx: u32,
+        /// Global id of the target hop flow — resolved at build time so
+        /// routing a capture needs no cross-island table access.
+        flow: FlowId,
         /// Bridge crossings wait for the target-piconet presence window;
         /// `None` is a master-internal relay (immediate).
         window: Option<PresenceWindow>,
     },
 }
 
-/// Per-chain runtime accounting.
+/// A relay crossing an island boundary, staged until the end of the
+/// current phase and injected into the target island by the coordinator.
+#[derive(Clone, Copy, Debug)]
+struct StagedRelay {
+    /// Handoff instant (the bridge's next appearance in the target
+    /// piconet). Conservative phase boundaries guarantee `at >= B`.
+    at: SimTime,
+    /// Target piconet.
+    pic: u8,
+    /// Dense index of the target hop flow in its piconet.
+    flow_idx: u32,
+    /// The packet, restamped with the target flow id and handoff arrival.
+    pkt: AppPacket,
+    /// First-hop arrival of the packet's chain (for end-to-end delay).
+    origin: SimTime,
+}
+
+/// Per-island share of one chain's statistics; summed across islands at
+/// report time.
 ///
-/// Every chain statistic and counter covers the same packet population:
-/// packets whose *origin* (first-hop arrival) falls inside the measurement
-/// window. Per-flow FIFO order holds at every hop, and origins are
-/// non-decreasing, so the warm-up packets form a prefix of each hop's
-/// crossing sequence — a crossing is attributed to a counted packet by
-/// comparing its per-hop index against the warm-up prefix length, with no
-/// per-packet bookkeeping beyond the origin FIFO.
-struct ChainRt {
-    hops: Vec<FlowId>,
-    /// Origin (first-hop arrival) timestamps of packets in flight along the
-    /// chain, FIFO — per-flow order is preserved across hops, so the
-    /// terminal hop pops its own origin.
-    origins: VecDeque<SimTime>,
-    /// Packets that have completed each hop so far (crossing index).
-    crossings: Vec<u64>,
-    /// Number of packets whose origin fell into warm-up — a prefix of every
-    /// hop's crossing sequence (origins are non-decreasing).
-    warmup_origins: u64,
-    e2e: DelayStats,
-    residence: DelayStats,
+/// Every counter and statistic covers the same packet population: packets
+/// whose *origin* (first-hop arrival) falls inside the measurement window.
+/// The origin rides along with the packet (in the per-flow origin FIFOs
+/// and in [`StagedRelay::origin`]), so the counted check is a direct
+/// `origin >= warmup` comparison at every hop.
+struct ChainLocal {
     relayed: u64,
     delivered: u64,
+    e2e: DelayStats,
+    residence: DelayStats,
 }
 
-/// A piconet-tagged event on the shared scatternet wheel.
-#[derive(Debug)]
-struct SEv {
+/// One piconet's island: its [`World`] plus the relay fabric it can see
+/// without touching any other island.
+struct IslandState {
+    world: World,
+    /// This island's piconet id.
     pic: u8,
-    ev: Ev,
-}
-
-/// [`EvSink`] adapter: tags every event scheduled by a piconet's handlers
-/// with that piconet's id before it reaches the shared scheduler.
-struct PicCtx<'a> {
-    sched: &'a mut Scheduler<SEv, EventQueue<SEv>>,
-    pic: u8,
-}
-
-impl EvSink for PicCtx<'_> {
-    #[inline]
-    fn now(&self) -> SimTime {
-        self.sched.now()
-    }
-
-    #[inline]
-    fn schedule_at(&mut self, at: SimTime, ev: Ev) -> EventKey {
-        self.sched.schedule_at(at, SEv { pic: self.pic, ev })
-    }
-
-    #[inline]
-    fn cancel(&mut self, key: EventKey) {
-        let _ = self.sched.cancel(key);
-    }
-
-    #[inline]
-    fn next_event_time(&mut self) -> Option<SimTime> {
-        // Conservative: any same-instant event (even another piconet's)
-        // routes the wake through the queue instead of inlining it.
-        self.sched.next_event_time()
-    }
-}
-
-/// The shared state of all piconets plus the relay fabric.
-struct ScatterWorld {
-    worlds: Vec<World>,
-    /// `routes[pic][flow_idx]`: relay action for captured flows.
-    routes: Vec<Vec<Option<HopNext>>>,
-    chains: Vec<ChainRt>,
+    /// `routes[flow_idx]`: relay action for captured flows of this island.
+    routes: Vec<Option<HopNext>>,
+    /// `origins[flow_idx]`: origin timestamps of in-flight packets on a
+    /// relay-fed flow, FIFO — per-flow order is preserved across hops, so
+    /// the consuming hop pops its packet's own origin.
+    origins: Vec<VecDeque<SimTime>>,
+    /// Cross-island relays captured this phase, drained by the
+    /// coordinator at the phase boundary.
+    staged: Vec<StagedRelay>,
     /// Chain statistics are recorded for packets originating at or after
     /// this instant (the maximum piconet warm-up).
     warmup: SimTime,
+    /// This island's share of each chain's statistics.
+    chain_stats: Vec<ChainLocal>,
 }
 
-fn handle_scatter(sched: &mut Scheduler<SEv, EventQueue<SEv>>, sw: &mut ScatterWorld, ev: SEv) {
-    let pic = ev.pic as usize;
-    {
-        let mut ctx = PicCtx { sched, pic: ev.pic };
-        handle(&mut ctx, &mut sw.worlds[pic], ev.ev);
+/// One island: a full single-piconet simulator (own timing wheel, own
+/// clock) over an [`IslandState`].
+type IslandSim = Simulator<IslandState, Ev, EventQueue<Ev>>;
+
+/// The per-event handler of one island: the single-piconet handler
+/// verbatim, plus capture routing against island-local state only.
+fn island_handle(sched: &mut Scheduler<Ev, EventQueue<Ev>>, st: &mut IslandState, ev: Ev) {
+    handle(sched, &mut st.world, ev);
+    if !st.world.outbox.is_empty() {
+        route_captures(sched, st);
     }
-    if sw.worlds[pic].outbox.is_empty() {
-        return;
-    }
-    // Route every packet the handler completed on a captured hop. The
-    // outbox cannot grow while draining (routing only schedules events), so
-    // the indexed loop is exact; `Captured` is `Copy`, so each read ends
-    // its borrow before the routing mutates chains.
-    let captured = sw.worlds[pic].outbox.len();
+}
+
+/// Routes every packet the handler completed on a captured hop. In-island
+/// relays (master relays and self-loops) are scheduled directly; bridge
+/// crossings are staged for the coordinator. The outbox cannot grow while
+/// draining (routing only schedules or stages), so the indexed loop is
+/// exact; `Captured` is `Copy`, so each read ends its borrow before the
+/// routing mutates the island.
+fn route_captures(sched: &mut Scheduler<Ev, EventQueue<Ev>>, st: &mut IslandState) {
+    let captured = st.world.outbox.len();
     for i in 0..captured {
-        let cap = sw.worlds[pic].outbox[i];
-        let Some(next) = sw.routes[pic][cap.flow_idx] else {
+        let cap = st.world.outbox[i];
+        let Some(next) = st.routes[cap.flow_idx] else {
             debug_assert!(false, "captured flow without a route");
             continue;
         };
         match next {
-            HopNext::Terminal { chain, hop } => {
-                let c = &mut sw.chains[chain as usize];
-                let i = c.crossings[hop as usize];
-                c.crossings[hop as usize] += 1;
-                let origin = c.origins.pop_front().expect(
+            HopNext::Terminal { chain } => {
+                // The terminal hop is always relay-fed, so its origin FIFO
+                // holds this packet's origin at the front.
+                let origin = st.origins[cap.flow_idx].pop_front().expect(
                     "per-flow FIFO holds across hops: every terminal delivery has an origin",
                 );
-                // Counted iff the packet is past the warm-up prefix —
-                // equivalent to `origin >= warmup` here (asserted), phrased
-                // the same way as the intermediate hops for symmetry.
-                if i >= c.warmup_origins {
-                    debug_assert!(origin >= sw.warmup);
+                if origin >= st.warmup {
+                    let c = &mut st.chain_stats[chain as usize];
                     c.delivered += 1;
                     c.e2e.record(cap.at - origin);
                 }
@@ -414,10 +418,19 @@ fn handle_scatter(sched: &mut Scheduler<SEv, EventQueue<SEv>>, sw: &mut ScatterW
             HopNext::Forward {
                 chain,
                 hop,
-                pic: tpic,
+                pic,
                 flow_idx,
+                flow,
                 window,
             } => {
+                let origin = if hop == 0 {
+                    // First hop: the packet's own arrival starts the clock.
+                    cap.pkt.arrival
+                } else {
+                    st.origins[cap.flow_idx].pop_front().expect(
+                        "per-flow FIFO holds across hops: every relayed packet has an origin",
+                    )
+                };
                 let now = sched.now();
                 // The handoff instant: immediately for a master-internal
                 // relay; when the bridge next appears in the target piconet
@@ -429,42 +442,256 @@ fn handle_scatter(sched: &mut Scheduler<SEv, EventQueue<SEv>>, sw: &mut ScatterW
                     Some(w) => w.next_present(cap.at).max(now),
                     None => now,
                 };
-                let flow = sw.worlds[tpic as usize].table.id(FlowIdx(flow_idx));
-                let c = &mut sw.chains[chain as usize];
-                let i = c.crossings[hop as usize];
-                c.crossings[hop as usize] += 1;
-                if hop == 0 {
-                    // Classify the origin before the counted check, so a
-                    // warm-up packet extends the prefix past itself.
-                    if cap.pkt.arrival < sw.warmup {
-                        c.warmup_origins += 1;
-                    }
-                    c.origins.push_back(cap.pkt.arrival);
-                }
-                // Counted iff this crossing belongs to a packet whose
-                // origin cleared warm-up: all chain statistics and counters
-                // cover exactly the same packet population.
-                if i >= c.warmup_origins {
+                if origin >= st.warmup {
+                    let c = &mut st.chain_stats[chain as usize];
                     c.relayed += 1;
                     if window.is_some() {
                         c.residence.record(handoff - cap.at);
                     }
                 }
                 let pkt = AppPacket::new(cap.pkt.seq, flow, cap.pkt.size, handoff);
-                sched.schedule_at(
-                    handoff,
-                    SEv {
-                        pic: tpic,
-                        ev: Ev::Relay {
+                if pic == st.pic {
+                    // Master relay: same island, immediate re-enqueue.
+                    st.origins[flow_idx as usize].push_back(origin);
+                    sched.schedule_at(
+                        handoff,
+                        Ev::Relay {
                             flow_idx: flow_idx as usize,
                             pkt,
                         },
-                    },
-                );
+                    );
+                } else {
+                    st.staged.push(StagedRelay {
+                        at: handoff,
+                        pic,
+                        flow_idx,
+                        pkt,
+                        origin,
+                    });
+                }
             }
         }
     }
-    sw.worlds[pic].outbox.clear();
+    st.world.outbox.clear();
+}
+
+/// The first start of a presence window strictly after `t`, for the
+/// window with `phase` offset into its `cycle`.
+fn next_start_after(t: SimTime, phase: SimDuration, cycle: SimDuration) -> SimTime {
+    let anchor = SimTime::ZERO + phase;
+    if t < anchor {
+        return anchor;
+    }
+    anchor + ((t - anchor).div_duration(cycle) + 1) * cycle
+}
+
+/// The next conservative phase boundary after `t`: the earliest instant a
+/// staged relay could need to be live in its target island. Only windows
+/// that are the *target* of a bridge-crossing route are sync points —
+/// bridges no chain routes across never couple two islands.
+fn phase_boundary(
+    t: SimTime,
+    checkpoint: SimTime,
+    probed: bool,
+    horizon: SimTime,
+    sync_points: &[(SimDuration, SimDuration)],
+) -> SimTime {
+    let mut b = horizon;
+    if !probed && checkpoint > t && checkpoint < b {
+        b = checkpoint;
+    }
+    for &(phase, cycle) in sync_points {
+        let s = next_start_after(t, phase, cycle);
+        if s < b {
+            b = s;
+        }
+    }
+    b
+}
+
+/// A spinning barrier sized for sub-millisecond phases.
+///
+/// `std::sync::Barrier` parks threads in the kernel; at the paper's bridge
+/// cycles a phase is ~10 ms of simulated time but only a few microseconds
+/// of work per island, so wake-up latency would dominate. Island workers
+/// instead spin on a generation counter — but only briefly: past a short
+/// spin budget each waiter yields to the scheduler, so an oversubscribed
+/// run (more threads than cores) degrades to context-switch cost instead
+/// of burning whole scheduler quanta spinning against the very thread it
+/// is waiting for.
+struct SpinBarrier {
+    n: usize,
+    count: AtomicUsize,
+    generation: AtomicUsize,
+}
+
+impl SpinBarrier {
+    fn new(n: usize) -> SpinBarrier {
+        SpinBarrier {
+            n,
+            count: AtomicUsize::new(0),
+            generation: AtomicUsize::new(0),
+        }
+    }
+
+    fn wait(&self) {
+        let generation = self.generation.load(Ordering::Acquire);
+        if self.count.fetch_add(1, Ordering::AcqRel) + 1 == self.n {
+            // Last arrival: reset the count *before* releasing the
+            // generation, so a thread racing into the next round cannot
+            // observe a stale count.
+            self.count.store(0, Ordering::Relaxed);
+            self.generation.fetch_add(1, Ordering::Release);
+        } else {
+            let mut spins = 0u32;
+            while self.generation.load(Ordering::Acquire) == generation {
+                if spins < 1_000 {
+                    spins += 1;
+                    std::hint::spin_loop();
+                } else {
+                    std::thread::yield_now();
+                }
+            }
+        }
+    }
+}
+
+/// Advances every claimed island to `b`. Work-stealing over the visit
+/// `order`: each participant claims the next unclaimed position.
+fn claim_islands(cells: &[Mutex<IslandSim>], order: &[usize], cursor: &AtomicUsize, b: SimTime) {
+    loop {
+        let i = cursor.fetch_add(1, Ordering::AcqRel);
+        let Some(&idx) = order.get(i) else { return };
+        cells[idx]
+            .lock()
+            .expect("island workers do not panic while holding the lock")
+            .run_until(b, island_handle);
+    }
+}
+
+/// Drains every island's staged relays into `scratch`, tagged
+/// `(handoff, source piconet, capture order)` for the deterministic
+/// injection sort.
+fn collect_staged(cells: &[Mutex<IslandSim>], scratch: &mut Vec<(SimTime, u8, u32, StagedRelay)>) {
+    for cell in cells {
+        let mut island = cell.lock().expect("no poisoned islands");
+        let st = island.state_mut();
+        let pic = st.pic;
+        for (k, s) in st.staged.drain(..).enumerate() {
+            scratch.push((s.at, pic, k as u32, s));
+        }
+    }
+}
+
+/// Injects staged relays into their target islands in a total
+/// deterministic order (handoff instant, then source piconet, then
+/// capture order), so the target wheels' same-instant FIFO content is
+/// independent of island visit order and thread count. Returns `true` if
+/// any relay lands exactly on the phase boundary `b` (those islands must
+/// re-run to `b` before the phase can close).
+fn inject_staged(
+    cells: &[Mutex<IslandSim>],
+    scratch: &mut Vec<(SimTime, u8, u32, StagedRelay)>,
+    b: SimTime,
+) -> bool {
+    scratch.sort_unstable_by_key(|&(at, pic, k, _)| (at, pic, k));
+    let mut at_boundary = false;
+    for &(at, _, _, s) in scratch.iter() {
+        let mut island = cells[s.pic as usize].lock().expect("no poisoned islands");
+        let (sched, st) = island.split_mut();
+        st.origins[s.flow_idx as usize].push_back(s.origin);
+        sched.schedule_at(
+            at,
+            Ev::Relay {
+                flow_idx: s.flow_idx as usize,
+                pkt: s.pkt,
+            },
+        );
+        at_boundary |= at == b;
+    }
+    scratch.clear();
+    at_boundary
+}
+
+/// Runs all islands through the phased conservative loop.
+///
+/// Per phase: every island independently advances to the boundary `B`
+/// (claimed off a shared cursor by `threads` participants, the calling
+/// thread included), then the coordinator alone collects, sorts and
+/// injects the staged cross-island relays. Relays landing exactly on `B`
+/// trigger a boundary round: islands re-run to `B` so same-instant
+/// injections are processed in this phase (such a round stages nothing
+/// new — an injected relay only enqueues and wakes, and any exchange it
+/// starts completes after `B`).
+///
+/// With `threads == 1` no workers are spawned and the barriers are
+/// trivial, so the serial path *is* the parallel algorithm — reports are
+/// byte-identical across thread counts by construction.
+fn run_phases(
+    cells: &[Mutex<IslandSim>],
+    order: &[usize],
+    sync_points: &[(SimDuration, SimDuration)],
+    checkpoint: SimTime,
+    horizon: SimTime,
+    probe: &mut dyn FnMut(),
+    threads: usize,
+) {
+    let mut scratch: Vec<(SimTime, u8, u32, StagedRelay)> = Vec::with_capacity(1024);
+    let barrier = SpinBarrier::new(threads);
+    let cursor = AtomicUsize::new(0);
+    let bound = AtomicU64::new(0);
+    let stop = AtomicBool::new(false);
+
+    std::thread::scope(|scope| {
+        for _ in 1..threads {
+            let (barrier, cursor, bound, stop) = (&barrier, &cursor, &bound, &stop);
+            scope.spawn(move || loop {
+                barrier.wait();
+                if stop.load(Ordering::Acquire) {
+                    return;
+                }
+                let b = SimTime::ZERO + SimDuration::from_nanos(bound.load(Ordering::Acquire));
+                claim_islands(cells, order, cursor, b);
+                barrier.wait();
+            });
+        }
+
+        let run_round = |b: SimTime| {
+            bound.store((b - SimTime::ZERO).as_nanos(), Ordering::Release);
+            cursor.store(0, Ordering::Release);
+            barrier.wait();
+            claim_islands(cells, order, &cursor, b);
+            barrier.wait();
+        };
+
+        let mut t = SimTime::ZERO;
+        let mut probed = false;
+        loop {
+            let b = phase_boundary(t, checkpoint, probed, horizon, sync_points);
+            loop {
+                run_round(b);
+                collect_staged(cells, &mut scratch);
+                if scratch.is_empty() {
+                    break;
+                }
+                if !inject_staged(cells, &mut scratch, b) {
+                    break;
+                }
+            }
+            if !probed && b >= checkpoint {
+                probe();
+                probed = true;
+            }
+            t = b;
+            if t >= horizon {
+                break;
+            }
+        }
+        probe();
+
+        stop.store(true, Ordering::Release);
+        barrier.wait();
+    });
 }
 
 /// Measurements of one cross-piconet chain.
@@ -491,12 +718,12 @@ pub struct ChainReport {
 #[derive(Clone, Debug)]
 pub struct ScatternetReport {
     /// Per-piconet run reports (per-hop delay statistics live here, under
-    /// the hop flows' ids). Their `events_processed` fields are zero — the
-    /// engine is shared, see [`ScatternetReport::events_processed`].
+    /// the hop flows' ids). Each report's `events_processed` counts the
+    /// events of that piconet's own island engine.
     pub piconets: Vec<RunReport>,
     /// Per-chain end-to-end measurements.
     pub chains: Vec<ChainReport>,
-    /// Total events the shared engine processed over the whole run.
+    /// Total events processed across all island engines.
     pub events_processed: u64,
 }
 
@@ -521,14 +748,21 @@ impl ScatternetReport {
 
 /// A configured scatternet simulation, ready to run.
 ///
-/// Owns one [`World`] per piconet, all driven by a single shared timing
-/// wheel; see the [module docs](self) for the relay semantics.
+/// Owns one island simulator per piconet; see the [module docs](self) for
+/// the phased conservative execution and the relay semantics.
 pub struct ScatternetSim {
-    sim: Simulator<ScatterWorld, SEv, EventQueue<SEv>>,
+    islands: Vec<IslandSim>,
     arena: ShardedFlowArena,
     /// `relay_fed[pic][flow_idx]`: fed by relaying, exempt from the
     /// one-source-per-flow rule.
     relay_fed: Vec<Vec<bool>>,
+    /// The chains' hop lists, for report assembly.
+    chain_hops: Vec<Vec<FlowId>>,
+    /// `(phase, cycle)` of every presence window that is the target of a
+    /// bridge-crossing route — the conservative sync points.
+    sync_points: Vec<(SimDuration, SimDuration)>,
+    threads: usize,
+    shuffle_seed: Option<u64>,
 }
 
 impl ScatternetSim {
@@ -606,12 +840,14 @@ impl ScatternetSim {
         let arena = ShardedFlowArena::new(worlds.iter().map(|w| w.table.clone()).collect())
             .map_err(PiconetError)?;
 
-        // Resolve the chains into relay routes.
+        // Resolve the chains into relay routes, and record every
+        // route-target presence window as a sync point.
         let mut routes: Vec<Vec<Option<HopNext>>> =
             worlds.iter().map(|w| vec![None; w.table.len()]).collect();
         let mut relay_fed: Vec<Vec<bool>> =
             worlds.iter().map(|w| vec![false; w.table.len()]).collect();
-        let mut chains = Vec::with_capacity(config.chains.len());
+        let mut sync_points: Vec<(SimDuration, SimDuration)> = Vec::new();
+        let mut chain_hops = Vec::with_capacity(config.chains.len());
         for (ci, chain) in config.chains.iter().enumerate() {
             if chain.hops.len() < 2 {
                 return Err(PiconetError(format!(
@@ -665,15 +901,15 @@ impl ScatternetSim {
                     // piconet the packet continues into.
                     let from = ScopedSlave::new(apic, a.slave);
                     let into = ScopedSlave::new(bpic, b.slave);
-                    let window = config
+                    let (window, phase, cycle) = config
                         .bridges
                         .iter()
                         .zip(&bridge_windows)
                         .find_map(|(br, (up, down))| {
                             if br.upstream == from && br.downstream == into {
-                                Some(*down)
+                                Some((*down, br.dwell_upstream, br.cycle))
                             } else if br.upstream == into && br.downstream == from {
-                                Some(*up)
+                                Some((*up, SimDuration::ZERO, br.cycle))
                             } else {
                                 None
                             }
@@ -684,6 +920,9 @@ impl ScatternetSim {
                                 a.slave, b.slave
                             ))
                         })?;
+                    if !sync_points.contains(&(phase, cycle)) {
+                        sync_points.push((phase, cycle));
+                    }
                     Some(window)
                 };
                 let slot = &mut routes[apic.index()][aidx.get()];
@@ -698,6 +937,7 @@ impl ScatternetSim {
                     hop: k as u16,
                     pic: bpic.0,
                     flow_idx: bidx.0,
+                    flow: b.id,
                     window: bridge_window,
                 });
                 relay_fed[bpic.index()][bidx.get()] = true;
@@ -710,25 +950,9 @@ impl ScatternetSim {
                     arena.shard(lpic).id(lidx)
                 )));
             }
-            *slot = Some(HopNext::Terminal {
-                chain: ci as u32,
-                hop: (chain.hops.len() - 1) as u16,
-            });
+            *slot = Some(HopNext::Terminal { chain: ci as u32 });
 
-            let mut e2e = DelayStats::new();
-            let mut residence = DelayStats::new();
-            e2e.reserve(4096);
-            residence.reserve(4096);
-            chains.push(ChainRt {
-                hops: chain.hops.clone(),
-                origins: VecDeque::with_capacity(1024),
-                crossings: vec![0; chain.hops.len()],
-                warmup_origins: 0,
-                e2e,
-                residence,
-                relayed: 0,
-                delivered: 0,
-            });
+            chain_hops.push(chain.hops.clone());
         }
 
         // Arm the capture flags and pre-size the relay machinery.
@@ -751,17 +975,85 @@ impl ScatternetSim {
             .map(|c| SimTime::ZERO + c.warmup)
             .max()
             .expect("at least one piconet");
-        let world = ScatterWorld {
-            worlds,
-            routes,
-            chains,
-            warmup,
-        };
+
+        // Assemble the islands: per-piconet stat shares sized so the
+        // steady state stays allocation-free.
+        let num_chains = chain_hops.len();
+        let islands = worlds
+            .into_iter()
+            .zip(routes)
+            .enumerate()
+            .map(|(pic, (world, routes))| {
+                let origins = relay_fed[pic]
+                    .iter()
+                    .map(|fed| {
+                        if *fed {
+                            VecDeque::with_capacity(1024)
+                        } else {
+                            VecDeque::new()
+                        }
+                    })
+                    .collect();
+                let mut chain_stats: Vec<ChainLocal> = (0..num_chains)
+                    .map(|_| ChainLocal {
+                        relayed: 0,
+                        delivered: 0,
+                        e2e: DelayStats::new(),
+                        residence: DelayStats::new(),
+                    })
+                    .collect();
+                for r in routes.iter().flatten() {
+                    match r {
+                        HopNext::Terminal { chain } => {
+                            chain_stats[*chain as usize].e2e.reserve(4096);
+                        }
+                        HopNext::Forward { chain, window, .. } if window.is_some() => {
+                            chain_stats[*chain as usize].residence.reserve(4096);
+                        }
+                        HopNext::Forward { .. } => {}
+                    }
+                }
+                let state = IslandState {
+                    world,
+                    pic: pic as u8,
+                    routes,
+                    origins,
+                    staged: Vec::with_capacity(128),
+                    warmup,
+                    chain_stats,
+                };
+                Simulator::with_queue(state, EventQueue::new())
+            })
+            .collect();
+
         Ok(ScatternetSim {
-            sim: Simulator::with_queue(world, EventQueue::new()),
+            islands,
             arena,
             relay_fed,
+            chain_hops,
+            sync_points,
+            threads: 1,
+            shuffle_seed: None,
         })
+    }
+
+    /// Sets the number of threads advancing islands in parallel (builder
+    /// style). Clamped to at least 1 and at most the piconet count at run
+    /// time; reports are byte-identical across thread counts.
+    #[must_use]
+    pub fn with_threads(mut self, threads: usize) -> ScatternetSim {
+        self.threads = threads.max(1);
+        self
+    }
+
+    /// Permutes the island visit order with a deterministic
+    /// [`DetRng`]-driven shuffle (builder style). The reports do not
+    /// depend on the visit order; this exists so equivalence tests can
+    /// prove it.
+    #[must_use]
+    pub fn with_island_shuffle(mut self, seed: u64) -> ScatternetSim {
+        self.shuffle_seed = Some(seed);
+        self
     }
 
     /// The sharded flow arena (global id routing) of this scatternet.
@@ -784,13 +1076,19 @@ impl ScatternetSim {
                     "flow {id} is relay-fed; it cannot also have a source"
                 )));
             }
-            return self.sim.state_mut().worlds[pic.index()].add_source(source);
+            return self.islands[pic.index()]
+                .state_mut()
+                .world
+                .add_source(source);
         }
         // SCO voice flows are not in the arena: route to the world whose
         // SCO binding claims the id.
-        let worlds = &mut self.sim.state_mut().worlds;
-        match worlds.iter().position(|w| w.has_sco_voice(id)) {
-            Some(pic) => worlds[pic].add_source(source),
+        match self
+            .islands
+            .iter_mut()
+            .position(|i| i.state_mut().world.has_sco_voice(id))
+        {
+            Some(pic) => self.islands[pic].state_mut().world.add_source(source),
             None => Err(PiconetError(format!("no flow {id} configured"))),
         }
     }
@@ -810,7 +1108,9 @@ impl ScatternetSim {
     /// `checkpoint` and once more when the run loop finishes (before report
     /// assembly) — the same bracketing hook as
     /// [`PiconetSim::run_probed`](crate::PiconetSim::run_probed), used by
-    /// the zero-allocation gate.
+    /// the zero-allocation gate. The probe always fires at a phase
+    /// boundary, with every island at the same instant and no worker
+    /// holding a lock.
     ///
     /// # Errors
     ///
@@ -822,42 +1122,64 @@ impl ScatternetSim {
         probe: &mut dyn FnMut(),
     ) -> Result<ScatternetReport, PiconetError> {
         // `self` is consumed, so a sim cannot run twice by construction.
-        let (sched, sw) = self.sim.split_mut();
-        for (pic, w) in sw.worlds.iter_mut().enumerate() {
+        for (pic, island) in self.islands.iter_mut().enumerate() {
             let fed = &self.relay_fed[pic];
-            w.check_sources(&|idx| fed[idx])?;
-            w.check_horizon(horizon)?;
-            w.horizon = horizon;
-            let mut ctx = PicCtx {
-                sched: &mut *sched,
-                pic: pic as u8,
-            };
-            seed_world(&mut ctx, w);
+            let (sched, st) = island.split_mut();
+            st.world.check_sources(&|idx| fed[idx])?;
+            st.world.check_horizon(horizon)?;
+            st.world.horizon = horizon;
+            seed_world(sched, &mut st.world);
         }
 
-        self.sim.run_until(checkpoint, handle_scatter);
-        probe();
-        self.sim.run_until(horizon, handle_scatter);
-        probe();
+        // The island visit order: identity, or a deterministic shuffle to
+        // prove order independence.
+        let mut order: Vec<usize> = (0..self.islands.len()).collect();
+        if let Some(seed) = self.shuffle_seed {
+            let mut rng = DetRng::seed_from_u64(seed);
+            for i in (1..order.len()).rev() {
+                order.swap(i, rng.below(i as u64 + 1) as usize);
+            }
+        }
+        let threads = self.threads.min(order.len()).max(1);
 
-        let events_processed = self.sim.events_processed();
-        let sw = self.sim.into_state();
-        let piconets = sw
-            .worlds
+        let cells: Vec<Mutex<IslandSim>> = self.islands.into_iter().map(Mutex::new).collect();
+        run_phases(
+            &cells,
+            &order,
+            &self.sync_points,
+            checkpoint,
+            horizon,
+            probe,
+            threads,
+        );
+
+        let mut chains: Vec<ChainReport> = self
+            .chain_hops
             .into_iter()
-            .map(|w| w.into_report(horizon, 0))
-            .collect();
-        let chains = sw
-            .chains
-            .into_iter()
-            .map(|c| ChainReport {
-                hops: c.hops,
-                relayed_packets: c.relayed,
-                delivered_packets: c.delivered,
-                e2e: c.e2e,
-                residence: c.residence,
+            .map(|hops| ChainReport {
+                hops,
+                relayed_packets: 0,
+                delivered_packets: 0,
+                e2e: DelayStats::new(),
+                residence: DelayStats::new(),
             })
             .collect();
+        let mut piconets = Vec::with_capacity(cells.len());
+        let mut events_processed = 0;
+        for cell in cells {
+            let island = cell.into_inner().expect("no poisoned islands");
+            let events = island.events_processed();
+            events_processed += events;
+            let st = island.into_state();
+            for (ci, local) in st.chain_stats.into_iter().enumerate() {
+                let report = &mut chains[ci];
+                report.relayed_packets += local.relayed;
+                report.delivered_packets += local.delivered;
+                report.e2e.merge(&local.e2e);
+                report.residence.merge(&local.residence);
+            }
+            piconets.push(st.world.into_report(horizon, events));
+        }
         Ok(ScatternetReport {
             piconets,
             chains,

@@ -24,7 +24,7 @@ use btgs_des::{
     EventKey, EventQueue, HeapEventQueue, PendingEvents, Scheduler, SimDuration, SimTime, Simulator,
 };
 use btgs_traffic::{AppPacket, Source};
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, VecDeque};
 
 /// Destination of a source's packets.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -192,6 +192,15 @@ pub(crate) struct World {
     ledger: SlotLedger,
     gs_polls: PollCounters,
     be_polls: PollCounters,
+    /// Arrival batching factor (see [`PiconetConfig::arrival_batch`]);
+    /// 1 = one engine event per source packet.
+    arrival_batch: u32,
+    /// Per-source pending *future* arrival instants of packets that were
+    /// materialized eagerly (batched) into their queues. The master's idle
+    /// and sleep wake-ups clamp to the earliest of these, replacing the
+    /// per-packet `Ev::Arrival` wake-up batching elides. Parallel to
+    /// `sources`; empty deques when batching is off.
+    batched: Vec<VecDeque<SimTime>>,
 }
 
 impl World {
@@ -275,6 +284,8 @@ impl World {
             ledger: SlotLedger::default(),
             gs_polls: PollCounters::default(),
             be_polls: PollCounters::default(),
+            arrival_batch: config.arrival_batch,
+            batched: Vec::new(),
         })
     }
 
@@ -300,6 +311,12 @@ impl World {
             return Err(PiconetError(format!("flow {id} already has a source")));
         }
         self.sources.push(SourceSlot { source, target });
+        // At most `arrival_batch - 1` instants are pending per source, so
+        // the deque never reallocates mid-run (the zero-alloc gates cover
+        // the batched steady state too).
+        self.batched.push(VecDeque::with_capacity(
+            self.arrival_batch.saturating_sub(1) as usize,
+        ));
         Ok(())
     }
 
@@ -442,6 +459,41 @@ impl World {
     fn in_window(&self, t: SimTime) -> bool {
         t >= self.warmup
     }
+
+    /// `true` if arrivals of `target` may be materialized eagerly: their
+    /// packets are invisible to the master until it polls (uplink ACL data
+    /// is announced only in the slave's response; SCO voice is consumed at
+    /// reservation instants with `has_data_at` gating), so pre-queueing
+    /// future packets is unobservable. Downlink arrivals notify the poller
+    /// the instant they land and must keep one event per packet.
+    fn batchable(&self, target: Target) -> bool {
+        self.arrival_batch > 1
+            && match target {
+                Target::Flow(idx) => self.up_queues[idx].is_some(),
+                Target::Sco(_) => true,
+            }
+    }
+
+    /// The earliest strictly-future batched arrival instant, dropping
+    /// instants at or before `now` (those packets are already visible to
+    /// any decision made at `now`). `None` with batching off or no pending
+    /// batched arrivals.
+    fn next_batched_arrival(&mut self, now: SimTime) -> Option<SimTime> {
+        if self.arrival_batch <= 1 {
+            return None;
+        }
+        let mut next: Option<SimTime> = None;
+        for q in &mut self.batched {
+            while let Some(&front) = q.front() {
+                if front > now {
+                    next = Some(next.map_or(front, |n| n.min(front)));
+                    break;
+                }
+                q.pop_front();
+            }
+        }
+        next
+    }
 }
 
 fn ensure_wake<S: EvSink>(sched: &mut S, w: &mut World, t: SimTime) {
@@ -523,29 +575,65 @@ fn accept_flow_packet(w: &mut World, idx: usize, pkt: AppPacket, now: SimTime) {
     }
 }
 
-fn on_arrival<S: EvSink>(sched: &mut S, w: &mut World, source_idx: usize, pkt: AppPacket) {
-    let now = sched.now();
-    debug_assert_eq!(pkt.arrival, now);
-    debug_assert!(
-        pkt.arrival <= w.horizon,
-        "scheduled arrival {} exceeds the run horizon {}",
-        pkt.arrival,
-        w.horizon
-    );
-    let target = w.sources[source_idx].target;
+/// Books a higher-layer packet into its destination queue — ACL flow or
+/// SCO voice — with its offered-traffic accounting at instant `at`. The
+/// one enqueue path shared by arrivals (`at` = the event instant), relays
+/// (same) and batched pre-materialization (`at` = the packet's future
+/// arrival instant; the queues' availability gating keeps it invisible
+/// until then).
+fn ingress_packet(w: &mut World, target: Target, pkt: AppPacket, at: SimTime) {
     match target {
-        Target::Flow(idx) => accept_flow_packet(w, idx, pkt, now),
+        Target::Flow(idx) => accept_flow_packet(w, idx, pkt, at),
         Target::Sco(idx) => {
-            if w.in_window(now) {
+            if w.in_window(at) {
                 w.sco[idx].report.offered_packets += 1;
                 w.sco[idx].report.offered_bytes += pkt.size as u64;
             }
             w.sco[idx].queue.push(pkt);
         }
     }
-    // Fetch and schedule the source's next packet. Arrivals past the run
-    // horizon would never be popped; skipping them keeps infinite sources
-    // (greedy, Poisson) from piling dead events into the queue.
+}
+
+/// A free master may want to react to fresh data (e.g. serve a downlink
+/// packet); a busy one re-evaluates at exchange end anyway. Tail shared by
+/// the arrival and relay paths.
+fn wake_if_free<S: EvSink>(sched: &mut S, w: &mut World, now: SimTime) {
+    if now >= w.busy_until {
+        ensure_wake(sched, w, now);
+    }
+}
+
+/// Fetches and schedules the source's next packet(s). Arrivals past the
+/// run horizon would never be popped; skipping them keeps infinite sources
+/// (greedy, Poisson) from piling dead events into the queue.
+///
+/// With batching enabled and a batchable target, up to `arrival_batch - 1`
+/// future packets are materialized into the queue right away (offered
+/// accounting at their own arrival instants) before one real `Ev::Arrival`
+/// is scheduled — one engine event then carries a whole batch.
+fn arm_next_arrival<S: EvSink>(sched: &mut S, w: &mut World, source_idx: usize) {
+    let now = sched.now();
+    let target = w.sources[source_idx].target;
+    if w.batchable(target) {
+        // Every previous batch instant is at or before this event (the
+        // scheduled arrival is drawn after the batch): drop them so the
+        // deque never outgrows its `arrival_batch - 1` capacity.
+        while w.batched[source_idx].front().is_some_and(|&f| f <= now) {
+            w.batched[source_idx].pop_front();
+        }
+        debug_assert!(w.batched[source_idx].is_empty());
+        for _ in 1..w.arrival_batch {
+            let Some(next) = w.sources[source_idx].source.next_packet() else {
+                return;
+            };
+            debug_assert!(next.arrival >= now, "sources must be time-ordered");
+            if next.arrival > w.horizon {
+                return;
+            }
+            w.batched[source_idx].push_back(next.arrival);
+            ingress_packet(w, target, next, next.arrival);
+        }
+    }
     if let Some(next) = w.sources[source_idx].source.next_packet() {
         debug_assert!(next.arrival >= now, "sources must be time-ordered");
         if next.arrival <= w.horizon {
@@ -558,23 +646,34 @@ fn on_arrival<S: EvSink>(sched: &mut S, w: &mut World, source_idx: usize, pkt: A
             );
         }
     }
-    // A free master may want to react (e.g. serve fresh downlink data).
-    if now >= w.busy_until {
-        ensure_wake(sched, w, now);
-    }
 }
 
-/// A packet handed over from another piconet (scatternet relay): same
-/// bookkeeping as an arrival, but there is no source to re-arm — the next
-/// relay is scheduled by the scatternet layer when its packet completes the
-/// previous hop.
+fn on_arrival<S: EvSink>(sched: &mut S, w: &mut World, source_idx: usize, pkt: AppPacket) {
+    let now = sched.now();
+    debug_assert_eq!(pkt.arrival, now);
+    debug_assert!(
+        pkt.arrival <= w.horizon,
+        "scheduled arrival {} exceeds the run horizon {}",
+        pkt.arrival,
+        w.horizon
+    );
+    let target = w.sources[source_idx].target;
+    ingress_packet(w, target, pkt, now);
+    // Re-arm before the wake check so a same-instant next arrival is
+    // queued ahead of any same-instant Wake (the strict FIFO rule).
+    arm_next_arrival(sched, w, source_idx);
+    wake_if_free(sched, w, now);
+}
+
+/// A packet handed over from another piconet (scatternet bridge or master
+/// relay): same bookkeeping as an arrival, but there is no source to
+/// re-arm — the next relay is scheduled by the scatternet layer when its
+/// packet completes the previous hop.
 fn on_relay<S: EvSink>(sched: &mut S, w: &mut World, flow_idx: usize, pkt: AppPacket) {
     let now = sched.now();
     debug_assert_eq!(pkt.arrival, now, "relay handoff lands at its event time");
-    accept_flow_packet(w, flow_idx, pkt, now);
-    if now >= w.busy_until {
-        ensure_wake(sched, w, now);
-    }
+    ingress_packet(w, Target::Flow(flow_idx), pkt, now);
+    wake_if_free(sched, w, now);
 }
 
 fn on_wake<S: EvSink>(sched: &mut S, w: &mut World) {
@@ -612,11 +711,22 @@ fn on_wake<S: EvSink>(sched: &mut S, w: &mut World) {
             if let Some(res) = w.next_sco_after(now) {
                 t = t.min(res);
             }
+            // A batched arrival would have woken a free master with its
+            // own (elided) `Ev::Arrival`: clamp the idle period instead.
+            if let Some(b) = w.next_batched_arrival(now) {
+                t = t.min(b);
+            }
             ensure_wake(sched, w, t);
         }
         PollDecision::Sleep => {
-            if let Some(res) = w.next_sco_after(now) {
-                ensure_wake(sched, w, res);
+            let mut t = w.next_sco_after(now);
+            // Same as Idle: batched arrivals must still rouse a sleeping
+            // master exactly when their per-packet events would have.
+            if let Some(b) = w.next_batched_arrival(now) {
+                t = Some(t.map_or(b, |r| r.min(b)));
+            }
+            if let Some(t) = t {
+                ensure_wake(sched, w, t);
             }
         }
     }
@@ -661,6 +771,11 @@ fn start_exchange<S: EvSink>(
             t = t.min(w.presence.next_present(slave, now));
         }
         debug_assert!(t < SimTime::MAX, "window < 2 implies a blocker");
+        // A batched arrival during the wait would have re-woken the free
+        // master; keep that wake-up without its per-packet event.
+        if let Some(b) = w.next_batched_arrival(now) {
+            t = t.min(b);
+        }
         ensure_wake(sched, w, t);
         return;
     }

@@ -8,8 +8,7 @@ use btgs_piconet::{
     SegmentOutcome,
 };
 use btgs_traffic::{CbrSource, FlowId, TraceSource};
-use std::cell::RefCell;
-use std::rc::Rc;
+use std::sync::{Arc, Mutex};
 
 fn s(n: u8) -> AmAddr {
     AmAddr::new(n).unwrap()
@@ -18,7 +17,7 @@ fn s(n: u8) -> AmAddr {
 /// A poller that records every exchange it observes.
 struct Recorder {
     inner: Box<dyn Poller>,
-    log: Rc<RefCell<Vec<ExchangeReport>>>,
+    log: Arc<Mutex<Vec<ExchangeReport>>>,
 }
 
 impl Poller for Recorder {
@@ -26,7 +25,7 @@ impl Poller for Recorder {
         self.inner.decide(now, view)
     }
     fn on_exchange(&mut self, report: &ExchangeReport) {
-        self.log.borrow_mut().push(*report);
+        self.log.lock().unwrap().push(*report);
         self.inner.on_exchange(report);
     }
     fn name(&self) -> &'static str {
@@ -64,13 +63,13 @@ fn one_uplink_flow(channel: LogicalChannel) -> PiconetConfig {
 
 #[test]
 fn exchanges_start_on_even_slot_boundaries() {
-    let log = Rc::new(RefCell::new(Vec::new()));
+    let log = Arc::new(Mutex::new(Vec::new()));
     let poller = Recorder {
         inner: Box::new(FixedTarget {
             slave: s(1),
             channel: LogicalChannel::BestEffort,
         }),
-        log: Rc::clone(&log),
+        log: Arc::clone(&log),
     };
     let mut sim = PiconetSim::new(
         one_uplink_flow(LogicalChannel::BestEffort),
@@ -87,7 +86,7 @@ fn exchanges_start_on_even_slot_boundaries() {
     )))
     .unwrap();
     let _ = sim.run(SimTime::from_secs(1)).unwrap();
-    let log = log.borrow();
+    let log = log.lock().unwrap();
     assert!(log.len() > 100);
     for ex in log.iter() {
         assert_eq!(
@@ -107,13 +106,13 @@ fn uplink_data_needs_to_precede_the_poll() {
     // saturating poller the packet arriving at t=1 ms (inside the first
     // 2-slot exchange that started at t=0) is served by the poll at 2.5 ms,
     // not the one at 0.
-    let log = Rc::new(RefCell::new(Vec::new()));
+    let log = Arc::new(Mutex::new(Vec::new()));
     let poller = Recorder {
         inner: Box::new(FixedTarget {
             slave: s(1),
             channel: LogicalChannel::BestEffort,
         }),
-        log: Rc::clone(&log),
+        log: Arc::clone(&log),
     };
     let mut sim = PiconetSim::new(
         one_uplink_flow(LogicalChannel::BestEffort),
@@ -128,7 +127,7 @@ fn uplink_data_needs_to_precede_the_poll() {
     .unwrap();
     let report = sim.run(SimTime::from_millis(100)).unwrap();
     assert_eq!(report.flow(FlowId(1)).delivered_packets, 1);
-    let log = log.borrow();
+    let log = log.lock().unwrap();
     // Find the exchange that carried data.
     let carrying = log
         .iter()
@@ -150,13 +149,13 @@ fn uplink_data_needs_to_precede_the_poll() {
 fn gs_polls_never_move_be_data() {
     // A slave with only a BE uplink flow, polled on the GS channel: every
     // exchange must come back NULL (logical-channel separation).
-    let log = Rc::new(RefCell::new(Vec::new()));
+    let log = Arc::new(Mutex::new(Vec::new()));
     let poller = Recorder {
         inner: Box::new(FixedTarget {
             slave: s(1),
             channel: LogicalChannel::GuaranteedService,
         }),
-        log: Rc::clone(&log),
+        log: Arc::clone(&log),
     };
     let mut sim = PiconetSim::new(
         one_uplink_flow(LogicalChannel::BestEffort),
@@ -178,7 +177,7 @@ fn gs_polls_never_move_be_data() {
         0,
         "BE data must never ride a GS poll"
     );
-    assert!(log.borrow().iter().all(|ex| !ex.successful()));
+    assert!(log.lock().unwrap().iter().all(|ex| !ex.successful()));
     // All those empty polls are accounted as GS overhead.
     assert!(report.ledger.gs_overhead > 0);
     assert_eq!(report.ledger.be_data, 0);
@@ -201,13 +200,13 @@ fn downlink_and_uplink_can_share_one_exchange() {
             Direction::SlaveToMaster,
             LogicalChannel::BestEffort,
         ));
-    let log = Rc::new(RefCell::new(Vec::new()));
+    let log = Arc::new(Mutex::new(Vec::new()));
     let poller = Recorder {
         inner: Box::new(FixedTarget {
             slave: s(1),
             channel: LogicalChannel::BestEffort,
         }),
-        log: Rc::clone(&log),
+        log: Arc::clone(&log),
     };
     let mut sim = PiconetSim::new(config, Box::new(poller), Box::new(IdealChannel)).unwrap();
     for id in [1u32, 2] {
@@ -220,7 +219,7 @@ fn downlink_and_uplink_can_share_one_exchange() {
     let report = sim.run(SimTime::from_millis(50)).unwrap();
     assert_eq!(report.flow(FlowId(1)).delivered_packets, 1);
     assert_eq!(report.flow(FlowId(2)).delivered_packets, 1);
-    let log = log.borrow();
+    let log = log.lock().unwrap();
     let both = &log[0];
     assert!(
         matches!(both.down, SegmentOutcome::Data { .. })

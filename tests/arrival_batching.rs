@@ -1,0 +1,77 @@
+//! Differential end-to-end test for lazy CBR arrival batching.
+//!
+//! With `arrival_batch > 1` the engine materializes future uplink-ACL and
+//! SCO-voice packets eagerly and elides their per-packet `Arrival` events,
+//! clamping the master's idle/sleep wake-ups to the earliest batched
+//! instant instead. That must be unobservable: full [`PaperScenario`] runs
+//! across pollers and seeds must produce `RunReport`s identical to the
+//! unbatched engine **modulo `events_processed`** — every delay sample,
+//! ledger cell and counter, not just summary statistics — while the event
+//! count itself drops by the batching factor's share of arrival events.
+
+use btgs::core::{PaperScenario, PaperScenarioParams, PollerKind};
+use btgs::des::{SimDuration, SimTime};
+
+/// The report's full `Debug` rendering minus the `events_processed` line
+/// (the one field batching is allowed to change), plus the raw count.
+fn run(params: PaperScenarioParams, kind: PollerKind, horizon: SimTime) -> (String, u64) {
+    let scenario = PaperScenario::build(params);
+    let report = scenario.run(kind, horizon).expect("scenario runs");
+    let events = report.events_processed;
+    let digest: String = format!("{report:#?}")
+        .lines()
+        .filter(|l| !l.contains("events_processed"))
+        .collect::<Vec<_>>()
+        .join("\n");
+    (digest, events)
+}
+
+fn params(seed: u64, include_be: bool, batch: u32) -> PaperScenarioParams {
+    PaperScenarioParams {
+        delay_requirement: SimDuration::from_millis(40),
+        seed,
+        warmup: SimDuration::from_millis(500),
+        include_be,
+        arrival_batch: batch,
+        ..Default::default()
+    }
+}
+
+#[test]
+fn batched_reports_identical_modulo_event_count() {
+    let horizon = SimTime::from_secs(3);
+    for kind in [PollerKind::PfpGs, PollerKind::FixedGs] {
+        for seed in [1u64, 7, 23] {
+            for include_be in [true, false] {
+                let (base, base_events) = run(params(seed, include_be, 1), kind, horizon);
+                for batch in [2u32, 8, 16] {
+                    let (digest, events) = run(params(seed, include_be, batch), kind, horizon);
+                    assert_eq!(
+                        base, digest,
+                        "RunReport diverged under batching \
+                         ({kind:?}, seed {seed}, include_be {include_be}, batch {batch})"
+                    );
+                    assert!(
+                        events < base_events,
+                        "batch {batch} did not elide events ({events} vs {base_events})"
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// The headline criterion: on the 5-simulated-second paper scenario
+/// (the `sim_steady/paper_scenario_5s` bench configuration), batching
+/// removes at least 25% of all engine events.
+#[test]
+fn batching_cuts_paper_scenario_5s_events_by_a_quarter() {
+    let horizon = SimTime::from_secs(5);
+    let (base, base_events) = run(params(1, true, 1), PollerKind::PfpGs, horizon);
+    let (digest, events) = run(params(1, true, 16), PollerKind::PfpGs, horizon);
+    assert_eq!(base, digest, "batching must not change the physics");
+    assert!(
+        4 * events <= 3 * base_events,
+        "expected a >= 25% event cut: {events} of {base_events} events remain"
+    );
+}

@@ -4,7 +4,7 @@
 
 use btgs::core::{
     comparison_pollers, BeSourceMix, CellSink, CollectSink, ExperimentRunner, GridCell, PollerKind,
-    ScenarioGrid,
+    ScenarioGrid, Topology,
 };
 use btgs::des::{DetRng, SimDuration, SimTime};
 
@@ -13,6 +13,7 @@ fn grid_4x8() -> ScenarioGrid {
         pollers: comparison_pollers(),
         piconets: vec![1],
         seeds: (1..=8).collect(),
+        topologies: vec![Topology::Chain],
         delay_requirements: vec![SimDuration::from_millis(40)],
         chain_deadlines: vec![None],
         bidirectional: false,
@@ -67,6 +68,7 @@ fn scatternet_axis_runs_under_the_experiment_runner() {
         pollers: vec![PollerKind::PfpGs],
         piconets: vec![1, 2, 3],
         seeds: vec![1, 2],
+        topologies: vec![Topology::Chain],
         delay_requirements: vec![SimDuration::from_millis(40)],
         chain_deadlines: vec![None],
         bidirectional: false,
@@ -145,6 +147,7 @@ fn grid_report_is_invariant_to_completion_order() {
         pollers: vec![PollerKind::PfpGs, PollerKind::FixedGs],
         piconets: vec![1],
         seeds: vec![1, 2, 3],
+        topologies: vec![Topology::Chain],
         delay_requirements: vec![SimDuration::from_millis(40)],
         chain_deadlines: vec![None],
         bidirectional: false,
@@ -195,6 +198,7 @@ fn streaming_execution_matches_collected_execution() {
         pollers: vec![PollerKind::PfpGs],
         piconets: vec![1, 2],
         seeds: vec![1, 2],
+        topologies: vec![Topology::Chain],
         delay_requirements: vec![SimDuration::from_millis(40)],
         chain_deadlines: vec![None],
         bidirectional: false,
@@ -225,6 +229,7 @@ fn be_load_axis_scales_offered_load_across_mixes() {
         pollers: vec![PollerKind::PfpGs],
         piconets: vec![1],
         seeds: vec![5],
+        topologies: vec![Topology::Chain],
         delay_requirements: vec![SimDuration::from_millis(40)],
         chain_deadlines: vec![None],
         bidirectional: false,
@@ -282,6 +287,7 @@ fn repeated_parallel_runs_are_stable() {
         pollers: vec![PollerKind::PfpGs],
         piconets: vec![1],
         seeds: vec![3, 4],
+        topologies: vec![Topology::Chain],
         delay_requirements: vec![SimDuration::from_millis(40)],
         chain_deadlines: vec![None],
         bidirectional: false,
