@@ -85,7 +85,7 @@ impl TryFrom<u8> for AmAddr {
 /// assert_eq!(bridge.to_string(), "P0/S7");
 /// ```
 #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
-pub struct PiconetId(pub u8);
+pub struct PiconetId(pub u16);
 
 impl PiconetId {
     /// Zero-based index, for addressing per-piconet arrays.

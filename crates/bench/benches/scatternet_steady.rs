@@ -1,6 +1,8 @@
 //! Macro-benchmark: simulated seconds per wall second for the chained
 //! scatternet scenario (2, 3, 8 and 16 Fig. 4 piconets plus an 8-piconet
-//! ring, one bridged GS flow per chain).
+//! ring, one bridged GS flow per chain) and random-geometric meshes of 64
+//! and 256 piconets (degree-3, every spanning edge covered by a relay
+//! chain).
 //!
 //! Throughput is declared in engine events (measured from a probe run),
 //! so the JSON output records events/sec alongside ns/op — the same
@@ -14,6 +16,12 @@
 //! `tests/parallel_equivalence.rs`), so a twin's speedup is pure engine
 //! parallelism, not a different workload.
 //!
+//! Each probe run also prints the engine's observability counters
+//! (`phases_run`, `barrier_rounds`, `islands_claimed`, `relays_staged`)
+//! and annotates them into the JSON trajectory record, so the effect of
+//! phase batching and adaptive widening on the round structure is
+//! tracked across PRs alongside the wall clock.
+//!
 //! [`ScatternetSim::with_threads`]: btgs_piconet::ScatternetSim::with_threads
 
 use btgs_bench::microbench::{Criterion, Throughput};
@@ -22,13 +30,16 @@ use btgs_core::{BeSourceMix, PollerKind, ScatternetScenario, ScatternetScenarioP
 use btgs_des::{SimDuration, SimTime};
 use std::hint::black_box;
 
-fn params(piconets: u8, topology: Topology) -> ScatternetScenarioParams {
+fn params(piconets: u16, topology: Topology) -> ScatternetScenarioParams {
+    // Mesh cells allocate bridge roles down from S7 into the best-effort
+    // slave range, so they run without the Fig. 4 BE pairs.
+    let include_be = !matches!(topology, Topology::Mesh { .. });
     ScatternetScenarioParams {
         piconets,
         delay_requirement: SimDuration::from_millis(40),
         seed: 1,
         warmup: SimDuration::from_millis(500),
-        include_be: true,
+        include_be,
         bridge_cycle: SimDuration::from_millis(20),
         chain_deadline: None,
         bidirectional: false,
@@ -38,7 +49,7 @@ fn params(piconets: u8, topology: Topology) -> ScatternetScenarioParams {
     }
 }
 
-fn run(piconets: u8, topology: Topology, threads: usize) -> btgs_piconet::ScatternetReport {
+fn run(piconets: u16, topology: Topology, threads: usize) -> btgs_piconet::ScatternetReport {
     let scenario = ScatternetScenario::build(params(piconets, topology));
     scenario
         .simulator(PollerKind::PfpGs)
@@ -49,29 +60,63 @@ fn run(piconets: u8, topology: Topology, threads: usize) -> btgs_piconet::Scatte
 }
 
 fn scatternet_throughput(c: &mut Criterion) {
-    let cases: &[(&str, u8, Topology)] = &[
+    let mesh = Topology::Mesh {
+        degree: 3,
+        seed: 11,
+    };
+    let cases: &[(&str, u16, Topology)] = &[
         ("chained2", 2, Topology::Chain),
         ("chained3", 3, Topology::Chain),
         ("chained8", 8, Topology::Chain),
         ("chained16", 16, Topology::Chain),
         ("ring8", 8, Topology::Ring),
+        ("mesh64", 64, mesh),
+        ("mesh256", 256, mesh),
     ];
     let mut group = c.benchmark_group("scatternet_steady");
     group.sample_size(10);
     for &(name, n, topology) in cases {
         // One probe run per scenario supplies the event count for the
-        // events/sec figure (runs are deterministic, so it is exact).
-        let events = run(n, topology, 1).events_processed;
+        // events/sec figure (runs are deterministic, so it is exact) and
+        // the engine counters for the trajectory record.
+        let probe = run(n, topology, 1);
+        let events = probe.events_processed;
+        println!(
+            "{name:<44} {} phases, {} islands claimed, {} relays staged",
+            probe.phases_run, probe.islands_claimed, probe.relays_staged,
+        );
         group.throughput(Throughput::Elements(events));
         group.bench_function(&format!("{name}_5s_simulated"), |b| {
             b.iter(|| black_box(run(n, topology, 1).total_throughput_kbps()))
         });
+        group.annotate(
+            &format!("{name}_5s_simulated"),
+            &[
+                ("phases_run", probe.phases_run),
+                ("islands_claimed", probe.islands_claimed),
+                ("relays_staged", probe.relays_staged),
+            ],
+        );
         // The parallel twin simulates the identical scenario; only the
-        // wall clock may differ.
+        // wall clock (and the barrier-round count) may differ.
+        let par_probe = run(n, topology, 4);
+        println!(
+            "{name:<44} {} barrier rounds at 4 threads",
+            par_probe.barrier_rounds,
+        );
         group.throughput(Throughput::Elements(events));
         group.bench_function(&format!("{name}_5s_parallel4"), |b| {
             b.iter(|| black_box(run(n, topology, 4).total_throughput_kbps()))
         });
+        group.annotate(
+            &format!("{name}_5s_parallel4"),
+            &[
+                ("phases_run", par_probe.phases_run),
+                ("barrier_rounds", par_probe.barrier_rounds),
+                ("islands_claimed", par_probe.islands_claimed),
+                ("relays_staged", par_probe.relays_staged),
+            ],
+        );
     }
     group.finish();
 }

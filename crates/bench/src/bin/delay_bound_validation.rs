@@ -99,7 +99,7 @@ fn scatternet_mode(args: &BenchArgs) {
     // margin (see `ScatternetScenario`'s admission-path tests for the
     // budget arithmetic). Both grids run bidirectional chains, so every
     // bridge carries guaranteed traffic in both rendezvous windows.
-    for &(piconets, deadline_ms) in &[(2u8, 150u64), (3, 260)] {
+    for &(piconets, deadline_ms) in &[(2u16, 150u64), (3, 260)] {
         let grid = ScenarioGrid {
             pollers: vec![PollerKind::PfpGs, PollerKind::FixedGs],
             piconets: vec![piconets],
@@ -190,7 +190,7 @@ fn scatternet_mode(args: &BenchArgs) {
         for pic in 0..2u8 {
             for k in 1..=2u32 {
                 ctl.try_admit_local(
-                    PiconetId(pic),
+                    PiconetId(pic.into()),
                     GsRequest::new(
                         FlowId(100 * pic as u32 + k),
                         AmAddr::new(k as u8).unwrap(),
@@ -204,13 +204,13 @@ fn scatternet_mode(args: &BenchArgs) {
         }
         let fingerprint = |ctl: &ScatternetAdmissionController| {
             (0..2u8)
-                .map(|p| format!("{:?}", ctl.piconet(PiconetId(p)).outcome()))
+                .map(|p| format!("{:?}", ctl.piconet(PiconetId(p.into())).outcome()))
                 .collect::<Vec<_>>()
                 .join(";")
         };
         let before = fingerprint(&ctl);
         let hop = |p: u8, flow: u32, slave: u8, dir| ChainHopSpec {
-            piconet: PiconetId(p),
+            piconet: PiconetId(p.into()),
             flow: FlowId(flow),
             slave: AmAddr::new(slave).unwrap(),
             direction: dir,

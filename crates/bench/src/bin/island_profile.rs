@@ -1,0 +1,96 @@
+//! Dev probe: per-event vs per-activation cost of the island engine.
+
+use btgs_core::{BeSourceMix, PollerKind, ScatternetScenario, ScatternetScenarioParams, Topology};
+use btgs_des::{SimDuration, SimTime};
+use std::time::Instant;
+
+/// Process CPU seconds (utime + stime) from /proc/self/stat — immune to
+/// hypervisor steal, unlike the wall clock. 10 ms granularity, so measure
+/// over many runs.
+fn cpu_secs() -> f64 {
+    let stat = std::fs::read_to_string("/proc/self/stat").unwrap();
+    // Skip past the parenthesised comm field, then utime/stime are fields
+    // 12 and 13 of the remainder.
+    let rest = stat.rsplit_once(") ").unwrap().1;
+    let f: Vec<&str> = rest.split_whitespace().collect();
+    let ticks: u64 = f[11].parse::<u64>().unwrap() + f[12].parse::<u64>().unwrap();
+    ticks as f64 / 100.0
+}
+
+fn run(n: u16, topology: Topology, cycle_ms: u64, threads: usize) -> (f64, u64, u64, u64) {
+    let scenario = ScatternetScenario::build(ScatternetScenarioParams {
+        piconets: n,
+        delay_requirement: SimDuration::from_millis(40),
+        seed: 1,
+        warmup: SimDuration::from_millis(500),
+        include_be: !matches!(topology, Topology::Mesh { .. }),
+        bridge_cycle: SimDuration::from_millis(cycle_ms),
+        chain_deadline: None,
+        bidirectional: false,
+        be_load_scale: 1.0,
+        be_source_mix: BeSourceMix::Cbr,
+        topology,
+    });
+    let sim = scenario
+        .simulator(PollerKind::PfpGs)
+        .unwrap()
+        .with_threads(threads);
+    let start = Instant::now();
+    let report = sim.run(SimTime::from_secs(5)).unwrap();
+    let secs = start.elapsed().as_secs_f64();
+    (
+        secs,
+        report.events_processed,
+        report.phases_run,
+        report.islands_claimed,
+    )
+}
+
+fn main() {
+    if let Ok(n) = std::env::var("PROFILE_LOOP") {
+        let n: u32 = n.parse().unwrap();
+        for _ in 0..n {
+            std::hint::black_box(run(16, Topology::Chain, 20, 1));
+        }
+        return;
+    }
+    if std::env::var("PAR").is_ok() {
+        for threads in [1usize, 2, 4] {
+            let reps = 10u32;
+            let (_, ev, _, _) = run(16, Topology::Chain, 20, threads);
+            let (cpu0, wall0) = (cpu_secs(), Instant::now());
+            for _ in 0..reps {
+                std::hint::black_box(run(16, Topology::Chain, 20, threads));
+            }
+            let cpu = (cpu_secs() - cpu0) / reps as f64;
+            let wall = wall0.elapsed().as_secs_f64() / reps as f64;
+            println!(
+                "chained16 threads={threads}  {:>7.2} ms cpu  {:>7.2} ms wall  {ev} ev",
+                cpu * 1e3,
+                wall * 1e3,
+            );
+        }
+        return;
+    }
+    for (label, n, topo, cycle) in [
+        ("chained2-20ms", 2u16, Topology::Chain, 20u64),
+        ("chained16-20ms", 16, Topology::Chain, 20),
+        ("chained16-80ms", 16, Topology::Chain, 80),
+        ("chained16-160ms", 16, Topology::Chain, 160),
+    ] {
+        // CPU time over enough runs to swamp the 10 ms tick granularity.
+        let reps = 20u32;
+        let (_, ev, ph, act) = run(n, topo, cycle, 1); // warm-up + counters
+        let cpu0 = cpu_secs();
+        for _ in 0..reps {
+            std::hint::black_box(run(n, topo, cycle, 1));
+        }
+        let secs = (cpu_secs() - cpu0) / reps as f64;
+        println!(
+            "{label:<18} {:>8.2} ms cpu  {ev:>7} ev  {ph:>5} phases  {act:>6} activations  {:>6.1} ns/ev  {:>7.0} ns/act",
+            secs * 1e3,
+            secs * 1e9 / ev as f64,
+            secs * 1e9 / act as f64,
+        );
+    }
+}

@@ -92,6 +92,9 @@ struct BenchResult {
     median_ns: f64,
     best_ns: f64,
     elements: Option<u64>,
+    /// Bench-supplied integer annotations (e.g. engine phase counters),
+    /// serialized verbatim into the JSON record.
+    extras: Vec<(String, u64)>,
 }
 
 /// Entry point mirroring `criterion::Criterion`.
@@ -134,8 +137,25 @@ impl Criterion {
             median_ns: b.median_ns,
             best_ns: b.best_ns,
             elements,
+            extras: Vec::new(),
         });
         self
+    }
+
+    /// Attaches integer annotations to the most recently completed
+    /// benchmark whose name ends with `suffix` (workload-derived counters
+    /// the measurement loop itself cannot observe). They ride along in
+    /// the JSON trajectory record.
+    pub fn annotate(&mut self, suffix: &str, extras: &[(&str, u64)]) {
+        if let Some(r) = self
+            .results
+            .iter_mut()
+            .rev()
+            .find(|r| r.name.ends_with(suffix))
+        {
+            r.extras
+                .extend(extras.iter().map(|&(k, v)| (k.to_owned(), v)));
+        }
     }
 
     /// Opens a named group (grouping only affects the printed names).
@@ -178,6 +198,9 @@ impl Criterion {
                     ", \"elements_per_iter\": {n}, \"elements_per_sec\": {:.1}",
                     n as f64 * 1e9 / r.median_ns
                 ));
+            }
+            for (k, v) in &r.extras {
+                out.push_str(&format!(", \"{}\": {v}", json_escape(k)));
             }
             out.push_str(&format!("}}{sep}\n"));
         }
@@ -255,6 +278,13 @@ impl BenchmarkGroup<'_> {
         let full = format!("{}/{}", self.name, name);
         let elements = self.elements;
         self.criterion.bench_inner(&full, elements, f);
+        self
+    }
+
+    /// Forwards to [`Criterion::annotate`] for a benchmark of this group.
+    pub fn annotate(&mut self, name: &str, extras: &[(&str, u64)]) -> &mut Self {
+        let full = format!("{}/{}", self.name, name);
+        self.criterion.annotate(&full, extras);
         self
     }
 

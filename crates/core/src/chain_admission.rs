@@ -277,7 +277,7 @@ fn effective_fluid_rate(eta: f64, physical_rate: f64, absence: SimDuration) -> f
 ///
 /// let tspec = TokenBucketSpec::for_cbr(0.020, 144, 176)?;
 /// let mut ctl = ScatternetAdmissionController::new(AdmissionConfig::paper(), 2);
-/// let hop = |p: u8, flow: u32, slave: u8, dir, residence_ms: u64| ChainHopSpec {
+/// let hop = |p: u16, flow: u32, slave: u8, dir, residence_ms: u64| ChainHopSpec {
 ///     piconet: PiconetId(p),
 ///     flow: FlowId(flow),
 ///     slave: AmAddr::new(slave).unwrap(),
@@ -721,7 +721,7 @@ mod tests {
         use std::fmt::Write as _;
         let mut out = String::new();
         for p in 0..ctl.num_piconets() {
-            let c = ctl.piconet(PiconetId(p as u8));
+            let c = ctl.piconet(PiconetId(p as u16));
             let _ = write!(out, "{:?}|{:?};", c.accepted(), c.outcome());
         }
         out
@@ -729,7 +729,7 @@ mod tests {
 
     /// Seeds piconet `pic` with `n` paper-style entities (S1.., uplink,
     /// token rate).
-    fn seed_entities(ctl: &mut ScatternetAdmissionController, pic: u8, n: u8) {
+    fn seed_entities(ctl: &mut ScatternetAdmissionController, pic: u16, n: u8) {
         for k in 1..=n {
             ctl.try_admit_local(
                 PiconetId(pic),
@@ -745,7 +745,7 @@ mod tests {
         }
     }
 
-    fn hop(p: u8, flow: u32, slave: u8, dir: Direction) -> ChainHopSpec {
+    fn hop(p: u16, flow: u32, slave: u8, dir: Direction) -> ChainHopSpec {
         ChainHopSpec {
             piconet: PiconetId(p),
             flow: FlowId(flow),

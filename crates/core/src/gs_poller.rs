@@ -16,7 +16,7 @@ use crate::admission::AdmissionOutcome;
 use crate::plan::{Improvements, PollOutcome, PollPlan};
 use btgs_baseband::{AmAddr, Direction, LogicalChannel};
 use btgs_des::{SimDuration, SimTime};
-use btgs_piconet::{ExchangeReport, MasterView, PollDecision, Poller, SegmentOutcome};
+use btgs_piconet::{ExchangeReport, FlowIdx, MasterView, PollDecision, Poller, SegmentOutcome};
 use btgs_traffic::FlowId;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -24,6 +24,10 @@ use std::sync::Arc;
 struct EntityState {
     slave: AmAddr,
     accounting_flow: FlowId,
+    /// Dense index of `accounting_flow` in the piconet's flow table
+    /// (static per run; cached by [`GsPoller::sync`]). `None` when the
+    /// flow is not configured — the skip loop then sees no downlink data.
+    accounting_idx: Option<FlowIdx>,
     accounting_direction: Direction,
     can_skip: bool,
     /// The entity's segment-exchange time `s`: a GS poll is only issued
@@ -92,6 +96,10 @@ pub struct GsPoller {
     improvements: Improvements,
     stats: GsPollerStats,
     name: &'static str,
+    /// Flow count of the view when [`GsPoller::sync`] last resolved the
+    /// entities' accounting-flow indices. The flow set of a run is static,
+    /// so a matching count means the cache is valid.
+    synced_flows: usize,
 }
 
 impl GsPoller {
@@ -149,6 +157,7 @@ impl GsPoller {
             entities.push(EntityState {
                 slave: e.slave,
                 accounting_flow: e.accounting_flow,
+                accounting_idx: None,
                 accounting_direction: e.accounting_direction,
                 can_skip: e.can_skip,
                 s: e.s,
@@ -164,7 +173,21 @@ impl GsPoller {
             improvements,
             stats: GsPollerStats::default(),
             name: "gs-custom",
+            synced_flows: usize::MAX,
         }
+    }
+
+    /// Resolves each entity's accounting flow to its dense table index, so
+    /// the per-decide skip loop tests the downlink queue directly instead
+    /// of re-hashing the flow id and snapshotting a full view every wake.
+    fn sync(&mut self, view: &MasterView<'_>) {
+        if self.synced_flows == view.flows().len() {
+            return; // the flow set of a run is static
+        }
+        for e in &mut self.entities {
+            e.accounting_idx = view.table().idx_of(e.accounting_flow);
+        }
+        self.synced_flows = view.flows().len();
     }
 
     /// Attaches an inner best-effort poller (builder style).
@@ -203,6 +226,7 @@ impl GsPoller {
 
 impl Poller for GsPoller {
     fn decide(&mut self, now: SimTime, view: &MasterView<'_>) -> PollDecision {
+        self.sync(view);
         // Improvement (c): skip due polls of downlink-only entities whose
         // queue the master knows to be empty.
         if self.improvements.skip_empty_downlink {
@@ -210,7 +234,9 @@ impl Poller for GsPoller {
                 if !e.can_skip {
                     continue;
                 }
-                while e.plan.is_due(now) && !view.downlink_has_data(e.accounting_flow, now) {
+                let idx = e.accounting_idx;
+                while e.plan.is_due(now) && !idx.is_some_and(|i| view.downlink_has_data_at(i, now))
+                {
                     e.plan.skip();
                     self.stats.skipped.fetch_add(1, Ordering::Relaxed);
                 }
@@ -237,20 +263,24 @@ impl Poller for GsPoller {
             };
         }
         // No GS work: hand the slot to best effort, but never past the next
-        // planned GS poll.
-        let next_gs = self.next_gs_plan(view);
+        // planned GS poll. The plan minimum is a pure read, so it is only
+        // computed on the idle paths — a BE poll needs no cap.
         let be_decision = match &mut self.be {
             Some(be) => be.decide(now, view),
             None => PollDecision::Sleep,
         };
-        match (be_decision, next_gs) {
-            (PollDecision::Poll { slave, channel }, _) => PollDecision::Poll { slave, channel },
-            (PollDecision::Idle { until }, Some(gs)) => PollDecision::Idle {
-                until: until.min(gs),
+        match be_decision {
+            PollDecision::Poll { slave, channel } => PollDecision::Poll { slave, channel },
+            PollDecision::Idle { until } => match self.next_gs_plan(view) {
+                Some(gs) => PollDecision::Idle {
+                    until: until.min(gs),
+                },
+                None => PollDecision::Idle { until },
             },
-            (PollDecision::Idle { until }, None) => PollDecision::Idle { until },
-            (PollDecision::Sleep, Some(gs)) => PollDecision::Idle { until: gs },
-            (PollDecision::Sleep, None) => PollDecision::Sleep,
+            PollDecision::Sleep => match self.next_gs_plan(view) {
+                Some(gs) => PollDecision::Idle { until: gs },
+                None => PollDecision::Sleep,
+            },
         }
     }
 

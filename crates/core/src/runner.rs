@@ -97,14 +97,14 @@ pub struct ScenarioGrid {
     /// The piconet counts to sweep: `1` runs the single-piconet Fig. 4
     /// scenario (bit-identical to the pre-scatternet runner), `≥ 2` runs
     /// the chained [`ScatternetScenario`] with one bridged GS flow.
-    pub piconets: Vec<u8>,
+    pub piconets: Vec<u16>,
     /// Seeds for the per-cell deterministic RNG streams.
     pub seeds: Vec<u64>,
     /// The scatternet wirings to sweep for cells with `piconets ≥ 2`
-    /// (single-piconet cells ignore it). Non-chain topologies are
+    /// (single-piconet cells ignore it). Ring and tree topologies are
     /// measurement-only: [`ScenarioGrid::validate`] rejects them combined
-    /// with `chain_deadlines` other than `None` or with `bidirectional`,
-    /// and [`Topology::Tree`] additionally with `include_be`.
+    /// with `chain_deadlines` other than `None`; `bidirectional` requires
+    /// the chain topology; trees and meshes reject `include_be`.
     pub topologies: Vec<Topology>,
     /// The delay requirements to sweep.
     pub delay_requirements: Vec<SimDuration>,
@@ -224,8 +224,9 @@ impl ScenarioGrid {
             if topology == Topology::Chain {
                 continue;
             }
+            let is_mesh = matches!(topology, Topology::Mesh { .. });
             let label = topology.label();
-            if self.chain_deadlines.iter().any(Option::is_some) {
+            if self.chain_deadlines.iter().any(Option::is_some) && !is_mesh {
                 return Err(format!(
                     "chain_deadlines are derived for the chain topology only, not `{label}`"
                 ));
@@ -237,6 +238,11 @@ impl ScenarioGrid {
             }
             if topology == Topology::Tree && self.include_be {
                 return Err("tree topology cells cannot include_be (S5 is a bridge)".into());
+            }
+            if is_mesh && self.include_be {
+                return Err(
+                    "mesh topology cells cannot include_be (bridge roles use S4–S7)".into(),
+                );
             }
         }
         // Scatternet cells split the rendezvous cycle evenly, and both
@@ -264,21 +270,29 @@ impl ScenarioGrid {
             }
             for &dreq in &self.delay_requirements {
                 for deadline in self.chain_deadlines.iter().flatten() {
-                    // Non-chain topologies were rejected above; deadlines
-                    // only reach here with Topology::Chain in play.
-                    let mut params = ScatternetScenarioParams::chained(p);
-                    params.delay_requirement = dreq;
-                    params.warmup = self.warmup;
-                    params.include_be = self.include_be;
-                    params.chain_deadline = Some(*deadline);
-                    params.bidirectional = self.bidirectional;
-                    params.bridge_cycle = self.bridge_cycle;
-                    ScatternetScenario::try_build(params).map_err(|e| {
-                        format!(
-                            "cell (piconets = {p}, Dreq = {dreq}, chain deadline = {deadline}) \
-                             is not admissible: {e}"
-                        )
-                    })?;
+                    // Ring/tree + deadline combinations were rejected
+                    // above; deadlines only reach here with chain or mesh
+                    // topologies in play.
+                    for &topology in &self.topologies {
+                        if !matches!(topology, Topology::Chain | Topology::Mesh { .. }) {
+                            continue;
+                        }
+                        let mut params = ScatternetScenarioParams::chained(p);
+                        params.topology = topology;
+                        params.delay_requirement = dreq;
+                        params.warmup = self.warmup;
+                        params.include_be = self.include_be;
+                        params.chain_deadline = Some(*deadline);
+                        params.bidirectional = self.bidirectional;
+                        params.bridge_cycle = self.bridge_cycle;
+                        ScatternetScenario::try_build(params).map_err(|e| {
+                            format!(
+                                "cell (piconets = {p}, topology = {}, Dreq = {dreq}, chain \
+                                 deadline = {deadline}) is not admissible: {e}",
+                                topology.label()
+                            )
+                        })?;
+                    }
                 }
             }
         }
@@ -336,8 +350,8 @@ impl ScenarioGrid {
 pub struct GridCell {
     /// The poller driving this cell.
     pub poller: PollerKind,
-    /// Piconet count: 1 = the Fig. 4 piconet, ≥ 2 = chained scatternet.
-    pub piconets: u8,
+    /// Piconet count: 1 = the Fig. 4 piconet, ≥ 2 = a scatternet.
+    pub piconets: u16,
     /// The root seed of the cell's RNG streams.
     pub seed: u64,
     /// Scatternet wiring (scatternet cells only; ignored at piconets = 1).

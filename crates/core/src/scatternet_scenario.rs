@@ -69,14 +69,14 @@ pub const TREE_SECOND_OUT_SLAVE: u8 = 5;
 /// Up to nine piconets this is exactly [`CHAIN_ID_BASE`] (so all historic
 /// flow ids are preserved); longer scatternets slide the block up so the
 /// paper blocks (`100·p + k`) can never reach into it.
-pub const fn chain_id_base(n: u8) -> u32 {
+pub const fn chain_id_base(n: u16) -> u32 {
     let n = n as u32;
     PICONET_ID_STRIDE * if n > 9 { n } else { 9 }
 }
 
 /// First id of the reverse-chain hop block for an `n`-piconet scenario
 /// ([`REV_CHAIN_ID_BASE`] for up to nine piconets).
-pub const fn rev_chain_id_base(n: u8) -> u32 {
+pub const fn rev_chain_id_base(n: u16) -> u32 {
     let gap = 2 * n as u32 + 2;
     chain_id_base(n) + if gap > 50 { gap } else { 50 }
 }
@@ -98,15 +98,32 @@ pub enum Topology {
     /// out-bridge rides on [`TREE_SECOND_OUT_SLAVE`], so trees require
     /// `include_be == false`.
     Tree,
+    /// A deterministic random-geometric mesh: piconets get pseudo-random
+    /// plane positions from `seed`, each joins its nearest
+    /// already-placed piconet with a free bridge slot (guaranteeing a
+    /// connected spanning tree for `degree ≥ 2`), and `degree == 4` adds
+    /// one extra cross edge per piconet where slots allow. Every edge is
+    /// covered by a multi-hop chain (spanning-tree paths are cut into
+    /// segments of at most three edges). Bridge roles are allocated from
+    /// slaves S7 down to S4, so meshes require `include_be == false`;
+    /// `degree` must be 2..=4.
+    Mesh {
+        /// Maximum bridge roles per piconet (2..=4).
+        degree: u8,
+        /// Seed of the geometric placement.
+        seed: u64,
+    },
 }
 
 impl Topology {
     /// Stable lower-case label (grid axes, wire format, bench ids).
-    pub fn label(self) -> &'static str {
+    /// Meshes encode their parameters: `mesh{degree}x{seed}`.
+    pub fn label(self) -> String {
         match self {
-            Topology::Chain => "chain",
-            Topology::Ring => "ring",
-            Topology::Tree => "tree",
+            Topology::Chain => "chain".into(),
+            Topology::Ring => "ring".into(),
+            Topology::Tree => "tree".into(),
+            Topology::Mesh { degree, seed } => format!("mesh{degree}x{seed}"),
         }
     }
 
@@ -116,7 +133,14 @@ impl Topology {
             "chain" => Some(Topology::Chain),
             "ring" => Some(Topology::Ring),
             "tree" => Some(Topology::Tree),
-            _ => None,
+            _ => {
+                let rest = label.strip_prefix("mesh")?;
+                let (degree, seed) = rest.split_once('x')?;
+                Some(Topology::Mesh {
+                    degree: degree.parse().ok()?,
+                    seed: seed.parse().ok()?,
+                })
+            }
         }
     }
 }
@@ -124,8 +148,8 @@ impl Topology {
 /// Parameters of the scatternet scenario.
 #[derive(Clone, Copy, Debug, PartialEq)]
 pub struct ScatternetScenarioParams {
-    /// Number of chained piconets (≥ 2).
-    pub piconets: u8,
+    /// Number of piconets (≥ 2).
+    pub piconets: u16,
     /// The delay bound every per-piconet GS flow requests.
     pub delay_requirement: SimDuration,
     /// Seed for all stochastic components.
@@ -152,17 +176,18 @@ pub struct ScatternetScenarioParams {
     pub be_load_scale: f64,
     /// How the BE flows generate traffic.
     pub be_source_mix: BeSourceMix,
-    /// How the piconets are wired together. Non-chain topologies support
-    /// neither `chain_deadline` (multi-hop admission is derived for the
-    /// line) nor `bidirectional`, and [`Topology::Tree`] additionally
-    /// requires `include_be == false`.
+    /// How the piconets are wired together. Ring and tree topologies
+    /// support neither `chain_deadline` (multi-hop admission is derived
+    /// for the line and the mesh) nor `bidirectional`; trees and meshes
+    /// additionally require `include_be == false` (their extra bridge
+    /// roles ride on the best-effort slaves).
     pub topology: Topology,
 }
 
 impl ScatternetScenarioParams {
     /// Defaults matching [`PaperScenarioParams`](crate::PaperScenarioParams)
     /// with `n` piconets and a 20 ms rendezvous cycle.
-    pub fn chained(n: u8) -> ScatternetScenarioParams {
+    pub fn chained(n: u16) -> ScatternetScenarioParams {
         ScatternetScenarioParams {
             piconets: n,
             delay_requirement: SimDuration::from_millis(40),
@@ -179,7 +204,7 @@ impl ScatternetScenarioParams {
     }
 
     /// [`ScatternetScenarioParams::chained`] closed into a ring.
-    pub fn ring(n: u8) -> ScatternetScenarioParams {
+    pub fn ring(n: u16) -> ScatternetScenarioParams {
         ScatternetScenarioParams {
             topology: Topology::Ring,
             ..ScatternetScenarioParams::chained(n)
@@ -188,9 +213,19 @@ impl ScatternetScenarioParams {
 
     /// A fanout-2 tree over `n` piconets (best-effort load off — S5
     /// carries second out-bridges).
-    pub fn tree(n: u8) -> ScatternetScenarioParams {
+    pub fn tree(n: u16) -> ScatternetScenarioParams {
         ScatternetScenarioParams {
             topology: Topology::Tree,
+            include_be: false,
+            ..ScatternetScenarioParams::chained(n)
+        }
+    }
+
+    /// A random-geometric mesh over `n` piconets (best-effort load off —
+    /// bridge roles spill onto the best-effort slaves).
+    pub fn mesh(n: u16, degree: u8, seed: u64) -> ScatternetScenarioParams {
+        ScatternetScenarioParams {
+            topology: Topology::Mesh { degree, seed },
             include_be: false,
             ..ScatternetScenarioParams::chained(n)
         }
@@ -224,38 +259,41 @@ fn slave(n: u8) -> AmAddr {
 
 /// Uplink hop id keyed by `p` within the `base` block (chain/ring: the
 /// flow entering piconet `p` through its S7 bridge identity; tree: the
-/// flow entering child `p`).
-fn hop_in_id(base: u32, p: u8) -> u32 {
+/// flow entering child `p`; mesh: the flow entering edge `p`'s downstream
+/// piconet).
+fn hop_in_id(base: u32, p: u16) -> u32 {
     base + 2 * p as u32
 }
 
 /// Downlink hop id keyed by `p` within the `base` block (chain/ring: the
 /// flow leaving piconet `p` toward its out-bridge; tree: the flow leaving
-/// child `p`'s parent toward it).
-fn hop_out_id(base: u32, p: u8) -> u32 {
+/// child `p`'s parent toward it; mesh: the flow leaving edge `p`'s
+/// upstream piconet).
+fn hop_out_id(base: u32, p: u16) -> u32 {
     base + 1 + 2 * p as u32
 }
 
 /// Reverse-chain hop leaving piconet `p` toward piconet `p − 1` (downlink
 /// to the bridge-in slave); exists for `p ≥ 1`.
-fn rev_out_id(rev_base: u32, p: u8) -> u32 {
+fn rev_out_id(rev_base: u32, p: u16) -> u32 {
     rev_base + 2 * p as u32
 }
 
 /// Reverse-chain hop entering piconet `p` from piconet `p + 1` (uplink
 /// from the bridge-out slave); exists for `p ≤ n − 2`.
-fn rev_in_id(rev_base: u32, p: u8) -> u32 {
+fn rev_in_id(rev_base: u32, p: u16) -> u32 {
     rev_base + 1 + 2 * p as u32
 }
 
 /// One bridge edge of the topology: packets flow `up_pic → down_pic`
-/// through a bridge slave that is `out_slave` in `up_pic` and
-/// [`BRIDGE_IN_SLAVE`] in `down_pic`.
+/// through a bridge slave that is `out_slave` in `up_pic` and `in_slave`
+/// in `down_pic`.
 #[derive(Clone, Copy, Debug)]
 struct EdgeDef {
-    up_pic: u8,
-    down_pic: u8,
+    up_pic: u16,
+    down_pic: u16,
     out_slave: u8,
+    in_slave: u8,
     /// Downlink hop id in `up_pic` (master → bridge).
     out_flow: u32,
     /// Uplink hop id in `down_pic` (bridge → master).
@@ -263,14 +301,15 @@ struct EdgeDef {
 }
 
 /// The bridge edges of the scenario's topology, in deterministic order
-/// (chain position / wrap last / tree child index).
+/// (chain position / wrap last / tree child index / mesh build order).
 fn topology_edges(params: &ScatternetScenarioParams) -> Vec<EdgeDef> {
     let n = params.piconets;
     let base = chain_id_base(n);
-    let chain_edge = |p: u8| EdgeDef {
+    let chain_edge = |p: u16| EdgeDef {
         up_pic: p,
         down_pic: p + 1,
         out_slave: BRIDGE_OUT_SLAVE,
+        in_slave: BRIDGE_IN_SLAVE,
         out_flow: hop_out_id(base, p),
         in_flow: hop_in_id(base, p + 1),
     };
@@ -282,6 +321,7 @@ fn topology_edges(params: &ScatternetScenarioParams) -> Vec<EdgeDef> {
                 up_pic: n - 1,
                 down_pic: 0,
                 out_slave: BRIDGE_OUT_SLAVE,
+                in_slave: BRIDGE_IN_SLAVE,
                 out_flow: hop_out_id(base, n - 1),
                 in_flow: hop_in_id(base, 0),
             });
@@ -298,11 +338,117 @@ fn topology_edges(params: &ScatternetScenarioParams) -> Vec<EdgeDef> {
                 } else {
                     TREE_SECOND_OUT_SLAVE
                 },
+                in_slave: BRIDGE_IN_SLAVE,
                 out_flow: hop_out_id(base, c),
                 in_flow: hop_in_id(base, c),
             })
             .collect(),
+        Topology::Mesh { degree, seed } => mesh_edges(n, degree, seed, base),
     }
+}
+
+/// The deterministic random-geometric mesh builder.
+///
+/// Piconets get pseudo-random positions on a million-unit square; each
+/// piconet `k ≥ 1` bridges to its nearest already-placed piconet with a
+/// free bridge slot (squared distance, ties to the lower id). Every
+/// piconet has `degree` slots allocated downward from S7, and with
+/// `degree ≥ 2` a counting argument guarantees a free earlier slot always
+/// exists (`k` earlier piconets hold `k·degree ≥ 2k` slots while the
+/// `k − 1` spanning edges consume `2(k − 1)`), so the mesh is connected
+/// by construction. `degree == 4` densifies the spanning tree with one
+/// extra cross edge per piconet where both endpoints still have slots.
+/// Hop flow ids are keyed by edge index within the `base` block.
+fn mesh_edges(n: u16, degree: u8, seed: u64, base: u32) -> Vec<EdgeDef> {
+    let cap = degree.clamp(2, 4);
+    let mut rng = DetRng::seed_from_u64(seed);
+    let pos: Vec<(i64, i64)> = (0..n)
+        .map(|_| (rng.below(1_000_000) as i64, rng.below(1_000_000) as i64))
+        .collect();
+    let d2 = |a: usize, b: usize| {
+        let dx = pos[a].0 - pos[b].0;
+        let dy = pos[a].1 - pos[b].1;
+        dx * dx + dy * dy
+    };
+    // Bridge roles allocated per piconet, S7 downward: role i → S(7−i).
+    let mut used: Vec<u8> = vec![0; n as usize];
+    let mut edges: Vec<EdgeDef> = Vec::with_capacity(2 * n as usize);
+    let push_edge = |edges: &mut Vec<EdgeDef>, used: &mut Vec<u8>, j: usize, k: usize| {
+        let e = edges.len() as u16;
+        let out_slave = BRIDGE_IN_SLAVE - used[j];
+        let in_slave = BRIDGE_IN_SLAVE - used[k];
+        used[j] += 1;
+        used[k] += 1;
+        edges.push(EdgeDef {
+            up_pic: j as u16,
+            down_pic: k as u16,
+            out_slave,
+            in_slave,
+            out_flow: hop_out_id(base, e),
+            in_flow: hop_in_id(base, e),
+        });
+    };
+    for k in 1..n as usize {
+        let j = (0..k)
+            .filter(|&j| used[j] < cap)
+            .min_by_key(|&j| (d2(j, k), j))
+            .expect("degree >= 2 always leaves a free earlier slot");
+        push_edge(&mut edges, &mut used, j, k);
+    }
+    if cap == 4 {
+        // Cross edges close geometric cycles: nearest earlier non-adjacent
+        // piconet with slots free on both ends.
+        for k in 2..n as usize {
+            if used[k] >= cap {
+                continue;
+            }
+            let adjacent: Vec<usize> = edges
+                .iter()
+                .filter_map(|e| match (e.up_pic as usize, e.down_pic as usize) {
+                    (j, d) if d == k => Some(j),
+                    (j, d) if j == k => Some(d),
+                    _ => None,
+                })
+                .collect();
+            if let Some(j) = (0..k)
+                .filter(|&j| used[j] < cap && !adjacent.contains(&j))
+                .min_by_key(|&j| (d2(j, k), j))
+            {
+                push_edge(&mut edges, &mut used, j, k);
+            }
+        }
+    }
+    edges
+}
+
+/// Longest chain length (in edges) a mesh path segment may cover.
+const MESH_SEGMENT_EDGES: usize = 3;
+
+/// Cuts the mesh's edge list into chain segments: edge order is scanned
+/// once, and an edge extends the segment currently ending at its upstream
+/// piconet (master relay) unless that segment already spans
+/// [`MESH_SEGMENT_EDGES`] edges — otherwise it starts a new segment.
+/// Every edge lands in exactly one segment, so every bridge window
+/// carries chain traffic.
+fn mesh_chain_segments(edges: &[EdgeDef]) -> Vec<Vec<usize>> {
+    let mut segments: Vec<Vec<usize>> = Vec::new();
+    // Piconet → index of the segment currently extendable from it.
+    let mut extendable: std::collections::HashMap<u16, usize> = std::collections::HashMap::new();
+    for (ei, e) in edges.iter().enumerate() {
+        match extendable.remove(&e.up_pic) {
+            Some(si) if segments[si].len() < MESH_SEGMENT_EDGES => {
+                segments[si].push(ei);
+                if segments[si].len() < MESH_SEGMENT_EDGES {
+                    extendable.insert(e.down_pic, si);
+                }
+            }
+            _ => {
+                segments.push(vec![ei]);
+                extendable.insert(e.down_pic, segments.len() - 1);
+            }
+        }
+    }
+    segments
 }
 
 impl ScatternetScenario {
@@ -339,9 +485,10 @@ impl ScatternetScenario {
     pub fn try_build(params: ScatternetScenarioParams) -> Result<ScatternetScenario, String> {
         let n = params.piconets;
         assert!(n >= 2, "a scatternet scenario needs at least two piconets");
+        let is_mesh = matches!(params.topology, Topology::Mesh { .. });
         if params.topology != Topology::Chain {
             let label = params.topology.label();
-            if params.chain_deadline.is_some() {
+            if params.chain_deadline.is_some() && !is_mesh {
                 return Err(format!(
                     "chain_deadline (multi-hop admission) is derived for the chain \
                      topology only, not `{label}`"
@@ -359,6 +506,20 @@ impl ScatternetScenario {
                 "tree topologies use S{TREE_SECOND_OUT_SLAVE} for second out-bridges; \
                  set include_be to false"
             ));
+        }
+        if let Topology::Mesh { degree, .. } = params.topology {
+            if !(2..=4).contains(&degree) {
+                return Err(format!(
+                    "mesh degree {degree} out of range: 2..=4 bridge roles per piconet"
+                ));
+            }
+            if params.include_be {
+                return Err(
+                    "mesh topologies allocate bridge roles down from S7 into the \
+                     best-effort slaves; set include_be to false"
+                        .into(),
+                );
+            }
         }
         let allowed = vec![PacketType::Dh1, PacketType::Dh3];
         let edges = topology_edges(&params);
@@ -398,11 +559,20 @@ impl ScatternetScenario {
                 ),
                 (slave(3), vec![(base + 4, Direction::SlaveToMaster)]),
             ];
-            if guarantee_mode {
+            if is_mesh {
+                // Mesh piconets are transit-only in every mode: all of
+                // them hold bridge roles, and the mesh cells exist to
+                // stress the relay fabric — stacking the full Fig. 4
+                // population on top would leave the bridge hops
+                // over-committed on every node at once (a uniform
+                // overload, not a topology study).
+                defs.clear();
+            } else if guarantee_mode {
                 // See the capacity note above.
                 defs.remove(2); // S3
+                                // Transit piconets carry bridged traffic only.
                 if p > 0 && p < n - 1 {
-                    defs.clear(); // transit piconets carry bridged traffic only
+                    defs.clear();
                 }
             }
             let rev_base = rev_chain_id_base(n);
@@ -413,7 +583,7 @@ impl ScatternetScenario {
                     // piggybacks on the in-bridge entity.
                     flows.push((rev_out_id(rev_base, p), Direction::MasterToSlave));
                 }
-                defs.push((slave(BRIDGE_IN_SLAVE), flows));
+                defs.push((slave(e.in_slave), flows));
             }
             for e in edges.iter().filter(|e| e.up_pic == p) {
                 let mut flows = vec![(e.out_flow, Direction::MasterToSlave)];
@@ -483,7 +653,7 @@ impl ScatternetScenario {
             .iter()
             .map(|e| BridgeSpec {
                 upstream: ScopedSlave::new(PiconetId(e.up_pic), slave(e.out_slave)),
-                downstream: ScopedSlave::new(PiconetId(e.down_pic), slave(BRIDGE_IN_SLAVE)),
+                downstream: ScopedSlave::new(PiconetId(e.down_pic), slave(e.in_slave)),
                 cycle: params.bridge_cycle,
                 dwell_upstream: params.bridge_cycle / 2,
             })
@@ -654,7 +824,7 @@ fn derive_chain_paths(
     // between pollable instants is `cycle − dwell + U` — the schedule gap
     // guarded by the exchange time ([`worst_case_residence`]'s `guard`).
     let u = crate::timing::piconet_u(allowed);
-    let hop = |p: u8,
+    let hop = |p: u16,
                flow: u32,
                sl: u8,
                direction: Direction,
@@ -686,7 +856,7 @@ fn derive_chain_paths(
         hop(
             e.down_pic,
             e.in_flow,
-            BRIDGE_IN_SLAVE,
+            e.in_slave,
             Direction::SlaveToMaster,
             worst_case_residence(cycle, down_len, SimDuration::ZERO),
             down_len,
@@ -710,6 +880,15 @@ fn derive_chain_paths(
         Topology::Tree => edges
             .iter()
             .map(|e| span(std::slice::from_ref(e)))
+            .collect(),
+        // One multi-hop chain per spanning-path segment, covering every
+        // mesh edge exactly once.
+        Topology::Mesh { .. } => mesh_chain_segments(edges)
+            .into_iter()
+            .map(|segment| {
+                let seg_edges: Vec<EdgeDef> = segment.iter().map(|&ei| edges[ei]).collect();
+                span(&seg_edges)
+            })
             .collect(),
     };
     if params.bidirectional {
@@ -771,7 +950,7 @@ fn admit_chains(
             .collect();
         let (_, plans) = derive_gs_schedule(&borrowed, params.delay_requirement, allowed);
         for plan in &plans {
-            ctl.try_admit_local(PiconetId(p as u8), plan.request.clone())
+            ctl.try_admit_local(PiconetId(p as u16), plan.request.clone())
                 .map_err(|e| format!("seeding piconet {p}: {e}"))?;
         }
         gs_plans.push(plans);
@@ -810,7 +989,7 @@ fn admit_chains(
         plans.sort_by_key(|p| p.request.id);
     }
     let outcomes = (0..n)
-        .map(|p| ctl.piconet(PiconetId(p as u8)).outcome().clone())
+        .map(|p| ctl.piconet(PiconetId(p as u16)).outcome().clone())
         .collect();
     Ok((outcomes, gs_plans, grants))
 }
@@ -943,7 +1122,7 @@ mod tests {
         assert_eq!(sc.config.chains.len(), 4);
         let base = chain_id_base(5);
         for (c, chain) in sc.config.chains.iter().enumerate() {
-            let child = (c + 1) as u8;
+            let child = (c + 1) as u16;
             assert_eq!(
                 chain.hops,
                 vec![
@@ -1041,7 +1220,7 @@ mod tests {
         assert_eq!(chain.e2e.count() as u64, chain.delivered_packets);
         assert!(chain.residence.count() > 0);
         // Paper GS flows still deliver ~64 kbps in each piconet.
-        for p in 0..2u8 {
+        for p in 0..2u16 {
             let r = report.piconet(PiconetId(p));
             for id in 1..=4u32 {
                 let kbps = r.throughput_kbps(FlowId(PICONET_ID_STRIDE * p as u32 + id));
@@ -1059,7 +1238,7 @@ mod admission_path_tests {
     use super::*;
     use btgs_piconet::ScatternetReport;
 
-    fn deadline_params(n: u8, deadline_ms: u64, bidirectional: bool) -> ScatternetScenarioParams {
+    fn deadline_params(n: u16, deadline_ms: u64, bidirectional: bool) -> ScatternetScenarioParams {
         let mut params = ScatternetScenarioParams::chained(n);
         // At Dreq = 40 ms the paper flows' granted rates (x down to
         // 12.9 ms) leave no capacity for a guaranteed hop entity — the

@@ -196,7 +196,7 @@ pub fn grid_from_json(j: &Json) -> Result<ScenarioGrid, WireError> {
         .iter()
         .map(|v| {
             v.as_u64()
-                .and_then(|v| u8::try_from(v).ok())
+                .and_then(|v| u16::try_from(v).ok())
                 .ok_or_else(|| wire_err("bad piconet count"))
         })
         .collect::<Result<Vec<_>, _>>()?;
@@ -395,7 +395,7 @@ fn cell_from_json(j: &Json) -> Result<GridCell, WireError> {
     Ok(GridCell {
         poller: PollerKind::from_label(str_field(j, "poller")?)
             .ok_or_else(|| wire_err("unknown poller"))?,
-        piconets: u8::try_from(u64_field(j, "piconets")?)
+        piconets: u16::try_from(u64_field(j, "piconets")?)
             .map_err(|_| wire_err("bad piconet count"))?,
         seed: u64_field(j, "seed")?,
         topology: Topology::from_label(str_field(j, "topo")?)
@@ -777,7 +777,11 @@ pub fn scatternet_report_to_json(r: &ScatternetReport) -> String {
         }
         s.push_str(&chain_report_to_json(c));
     }
-    let _ = write!(s, "],\"events\":{}}}", r.events_processed);
+    let _ = write!(
+        s,
+        "],\"events\":{},\"phases\":{},\"barrier_rounds\":{},\"islands_claimed\":{},\"relays_staged\":{}}}",
+        r.events_processed, r.phases_run, r.barrier_rounds, r.islands_claimed, r.relays_staged,
+    );
     s
 }
 
@@ -797,6 +801,10 @@ pub fn scatternet_report_from_json(j: &Json) -> Result<ScatternetReport, WireErr
             .map(chain_report_from_json)
             .collect::<Result<Vec<_>, _>>()?,
         events_processed: u64_field(j, "events")?,
+        phases_run: u64_field(j, "phases")?,
+        barrier_rounds: u64_field(j, "barrier_rounds")?,
+        islands_claimed: u64_field(j, "islands_claimed")?,
+        relays_staged: u64_field(j, "relays_staged")?,
     })
 }
 

@@ -32,14 +32,26 @@
 //!              ─────┼──────────────┼─────────────┼────▶ simulated time
 //!                   B₁             B₂            B₃
 //!             window starts = phase boundaries; staged relays
-//!             are sorted and injected at each boundary
+//!             pool at the coordinator, injected when t == handoff
 //!   ```
 //!
-//!   Within a phase every island advances independently (in parallel with
-//!   [`ScatternetSim::with_threads`]); captured bridge crossings are
-//!   staged and injected at the boundary in a deterministic total order,
-//!   so reports are **byte-identical** across thread counts and island
-//!   visit orders;
+//!   The window starts form a precomputed **boundary calendar**: coincident
+//!   `(phase, cycle)` windows from different bridges merge into one
+//!   [`SyncPoint`] group that also remembers which islands feed it.
+//!   Phases are **adaptive**: a group's starts only become boundaries
+//!   while some source island could actually hold chain traffic (a
+//!   conservative per-island hotness instant derived from its in-flight
+//!   chain count and pending entry arrivals) — otherwise the phase widens
+//!   straight across them. Idle islands (next event past the boundary)
+//!   are never claimed, locked or drained, and staged relays park in a
+//!   coordinator-side pool until the round clock reaches their handoff
+//!   instant, at which point the target island has provably processed
+//!   every own event at that instant. The injection order — handoff
+//!   instant, then source piconet, then staging sequence — is a total
+//!   order, so reports are **byte-identical** across thread counts,
+//!   island visit orders, and the widening/batching toggles
+//!   ([`ScatternetSim::with_phase_widening`],
+//!   [`ScatternetSim::with_phase_batching`]);
 //! * [`ScatternetReport`] carries each piconet's [`RunReport`] (per-hop
 //!   delay statistics included) plus per-chain end-to-end and residence
 //!   [`DelayStats`]: with immediate master relays, end-to-end delay is
@@ -54,7 +66,7 @@ use crate::flow::FlowSpec;
 use crate::flow_table::{FlowIdHasher, FlowIdx, FlowTable};
 use crate::poller::Poller;
 use crate::report::RunReport;
-use crate::sim::{handle, seed_world, Ev, World};
+use crate::sim::{handle, seed_world, Ev, Target, World};
 use btgs_baseband::{ChannelModel, PiconetId, PresenceWindow, ScopedSlave};
 use btgs_des::{DetRng, EventQueue, Scheduler, SimDuration, SimTime, Simulator};
 use btgs_metrics::DelayStats;
@@ -116,11 +128,11 @@ impl ShardedFlowArena {
     /// # Errors
     ///
     /// Returns an error if a flow id appears in more than one shard, or if
-    /// there are more than 255 shards (piconet ids are 8-bit).
+    /// there are more than 65535 shards (piconet ids are 16-bit).
     pub fn new(shards: Vec<FlowTable>) -> Result<ShardedFlowArena, String> {
-        if shards.len() > u8::MAX as usize {
+        if shards.len() > u16::MAX as usize {
             return Err(format!(
-                "{} piconets exceed the 255 the 8-bit PiconetId can name",
+                "{} piconets exceed the 65535 the 16-bit PiconetId can name",
                 shards.len()
             ));
         }
@@ -133,7 +145,7 @@ impl ShardedFlowArena {
             .unwrap_or(0);
         let entries = shards.iter().enumerate().flat_map(|(p, t)| {
             t.iter()
-                .map(move |(idx, f)| (f.id, (PiconetId(p as u8), idx)))
+                .map(move |(idx, f)| (f.id, (PiconetId(p as u16), idx)))
         });
         let route = if max_id <= len * 8 + DENSE_ID_HEADROOM {
             let mut dense = vec![None; max_id + 1];
@@ -309,7 +321,7 @@ enum HopNext {
         /// whose packet arrival is the chain's origin timestamp).
         hop: u16,
         /// Target piconet.
-        pic: u8,
+        pic: u16,
         /// Dense index of the target hop flow in its piconet.
         flow_idx: u32,
         /// Global id of the target hop flow — resolved at build time so
@@ -329,7 +341,7 @@ struct StagedRelay {
     /// piconet). Conservative phase boundaries guarantee `at >= B`.
     at: SimTime,
     /// Target piconet.
-    pic: u8,
+    pic: u16,
     /// Dense index of the target hop flow in its piconet.
     flow_idx: u32,
     /// The packet, restamped with the target flow id and handoff arrival.
@@ -358,7 +370,7 @@ struct ChainLocal {
 struct IslandState {
     world: World,
     /// This island's piconet id.
-    pic: u8,
+    pic: u16,
     /// `routes[flow_idx]`: relay action for captured flows of this island.
     routes: Vec<Option<HopNext>>,
     /// `origins[flow_idx]`: origin timestamps of in-flight packets on a
@@ -368,6 +380,15 @@ struct IslandState {
     /// Cross-island relays captured this phase, drained by the
     /// coordinator at the phase boundary.
     staged: Vec<StagedRelay>,
+    /// Monotone count of relays ever staged by this island — the staging
+    /// sequence assigned at collect time, the last key of the
+    /// deterministic pool injection order. Never reset, so the key is
+    /// unique across the whole run.
+    staged_seq: u64,
+    /// Source indexes (into the world's source list) feeding chain-entry
+    /// flows; their next-arrival instants bound this island's chain
+    /// hotness when nothing is in flight. Filled at run start.
+    entry_sources: Vec<usize>,
     /// Chain statistics are recorded for packets originating at or after
     /// this instant (the maximum piconet warm-up).
     warmup: SimTime,
@@ -409,6 +430,8 @@ fn route_captures(sched: &mut Scheduler<Ev, EventQueue<Ev>>, st: &mut IslandStat
                 let origin = st.origins[cap.flow_idx].pop_front().expect(
                     "per-flow FIFO holds across hops: every terminal delivery has an origin",
                 );
+                debug_assert!(st.world.chain_inflight > 0);
+                st.world.chain_inflight = st.world.chain_inflight.saturating_sub(1);
                 if origin >= st.warmup {
                     let c = &mut st.chain_stats[chain as usize];
                     c.delivered += 1;
@@ -461,6 +484,11 @@ fn route_captures(sched: &mut Scheduler<Ev, EventQueue<Ev>>, st: &mut IslandStat
                         },
                     );
                 } else {
+                    // The packet leaves this island: it stops counting
+                    // against the local chain backlog and is re-counted in
+                    // the target island when the coordinator injects it.
+                    debug_assert!(st.world.chain_inflight > 0);
+                    st.world.chain_inflight = st.world.chain_inflight.saturating_sub(1);
                     st.staged.push(StagedRelay {
                         at: handoff,
                         pic,
@@ -485,23 +513,103 @@ fn next_start_after(t: SimTime, phase: SimDuration, cycle: SimDuration) -> SimTi
     anchor + ((t - anchor).div_duration(cycle) + 1) * cycle
 }
 
-/// The next conservative phase boundary after `t`: the earliest instant a
-/// staged relay could need to be live in its target island. Only windows
-/// that are the *target* of a bridge-crossing route are sync points —
-/// bridges no chain routes across never couple two islands.
-fn phase_boundary(
+/// One calendar group: every bridge presence window sharing `(phase,
+/// cycle)` — their starts coincide, so they contribute the same sync
+/// instants — plus the source islands whose staged relays land at those
+/// starts.
+#[derive(Clone, Debug, PartialEq, Eq)]
+struct SyncPoint {
+    /// Offset of the window start into its cycle.
+    phase: SimDuration,
+    /// The rendezvous cycle.
+    cycle: SimDuration,
+    /// Source piconets of every bridge-crossing route whose handoffs land
+    /// at this group's window starts (deduplicated). Adaptive widening
+    /// drops the group's starts from the boundary set while every source
+    /// is provably unable to stage such a relay.
+    sources: Vec<u16>,
+}
+
+/// Registers one bridge-crossing route in the calendar: coincident
+/// `(phase, cycle)` windows from different bridges share a group, and
+/// `source` joins the group's hot-source set.
+fn push_sync_point(
+    points: &mut Vec<SyncPoint>,
+    phase: SimDuration,
+    cycle: SimDuration,
+    source: u16,
+) {
+    match points
+        .iter_mut()
+        .find(|g| g.phase == phase && g.cycle == cycle)
+    {
+        Some(g) => {
+            if !g.sources.contains(&source) {
+                g.sources.push(source);
+            }
+        }
+        None => points.push(SyncPoint {
+            phase,
+            cycle,
+            sources: vec![source],
+        }),
+    }
+}
+
+/// The next phase boundary after `t`.
+///
+/// A calendar group's window start `s` must be a boundary only if some
+/// source island of the group could stage a relay landing at `s`. Island
+/// `i`'s conservative hotness `hot_from(i)` is the earliest instant chain
+/// traffic could be inside it (`ZERO` while packets are in flight,
+/// otherwise the earliest chain-entry arrival, `MAX` if it feeds no chain
+/// and holds nothing): a packet entering at `hot_from` is delivered
+/// strictly later and handed off at a window start strictly later still,
+/// so island `i` only produces handoffs at starts strictly after
+/// `hot_from(i)`. The boundary is the earliest needed start across
+/// groups, capped by the earliest pooled relay handoff (every pending
+/// injection instant is a mandatory boundary), the probe checkpoint, and
+/// the horizon. With `widening` off every group counts as hot from time
+/// zero, so every calendar start is a boundary — the fixed cadence the
+/// equivalence tests compare against.
+#[allow(clippy::too_many_arguments)]
+fn next_boundary(
     t: SimTime,
     checkpoint: SimTime,
     probed: bool,
     horizon: SimTime,
-    sync_points: &[(SimDuration, SimDuration)],
+    pool_min: Option<SimTime>,
+    groups: &[SyncPoint],
+    widening: bool,
+    hot_from: impl Fn(usize) -> SimTime,
 ) -> SimTime {
     let mut b = horizon;
     if !probed && checkpoint > t && checkpoint < b {
         b = checkpoint;
     }
-    for &(phase, cycle) in sync_points {
-        let s = next_start_after(t, phase, cycle);
+    if let Some(p) = pool_min {
+        debug_assert!(
+            p > t,
+            "relays due at or before t are injected before rounds"
+        );
+        if p < b {
+            b = p;
+        }
+    }
+    for g in groups {
+        let hot = if widening {
+            g.sources
+                .iter()
+                .map(|&p| hot_from(p as usize))
+                .min()
+                .unwrap_or(SimTime::MAX)
+        } else {
+            SimTime::ZERO
+        };
+        if hot >= b {
+            continue; // earliest landable start > hot >= b: cannot lower b
+        }
+        let s = next_start_after(t.max(hot), g.phase, g.cycle);
         if s < b {
             b = s;
         }
@@ -509,28 +617,45 @@ fn phase_boundary(
     b
 }
 
+/// Spin iterations before a barrier waiter starts yielding.
+const SPIN_BUDGET: u32 = 1_000;
+
+/// Yields before the barrier decides the host is oversubscribed and
+/// falls back to sleeping.
+const YIELD_BUDGET: u32 = 64;
+
+/// Cap on the backoff exponent: sleeps top out at `2^8` µs, the order of
+/// a scheduler quantum.
+const BACKOFF_CAP_EXP: u32 = 8;
+
 /// A spinning barrier sized for sub-millisecond phases.
 ///
 /// `std::sync::Barrier` parks threads in the kernel; at the paper's bridge
 /// cycles a phase is ~10 ms of simulated time but only a few microseconds
 /// of work per island, so wake-up latency would dominate. Island workers
-/// instead spin on a generation counter — but only briefly: past a short
-/// spin budget each waiter yields to the scheduler, so an oversubscribed
-/// run (more threads than cores) degrades to context-switch cost instead
-/// of burning whole scheduler quanta spinning against the very thread it
-/// is waiting for.
+/// instead spin on a generation counter with an adaptive budget: a short
+/// hot spin, then scheduler yields, and — once the yield count says the
+/// host is oversubscribed (more runnable threads than cores, so the
+/// release this waiter needs may be starved by the waiter itself) —
+/// exponential-backoff sleeps capped near a scheduler quantum.
 struct SpinBarrier {
     n: usize,
     count: AtomicUsize,
     generation: AtomicUsize,
+    /// Spin iterations before yielding. Zero when the barrier was built
+    /// for more waiters than the host has cores: spinning then only
+    /// steals cycles from the waiter being waited for.
+    spin_budget: u32,
 }
 
 impl SpinBarrier {
     fn new(n: usize) -> SpinBarrier {
+        let hw = std::thread::available_parallelism().map_or(1, |c| c.get());
         SpinBarrier {
             n,
             count: AtomicUsize::new(0),
             generation: AtomicUsize::new(0),
+            spin_budget: if n > hw { 0 } else { SPIN_BUDGET },
         }
     }
 
@@ -544,99 +669,318 @@ impl SpinBarrier {
             self.generation.fetch_add(1, Ordering::Release);
         } else {
             let mut spins = 0u32;
+            let mut yields = 0u32;
             while self.generation.load(Ordering::Acquire) == generation {
-                if spins < 1_000 {
+                if spins < self.spin_budget {
                     spins += 1;
                     std::hint::spin_loop();
-                } else {
+                } else if yields < YIELD_BUDGET {
+                    yields += 1;
                     std::thread::yield_now();
+                } else {
+                    let exp = (yields - YIELD_BUDGET).min(BACKOFF_CAP_EXP);
+                    yields = yields.saturating_add(1);
+                    std::thread::sleep(std::time::Duration::from_micros(1u64 << exp));
                 }
             }
         }
     }
 }
 
-/// Advances every claimed island to `b`. Work-stealing over the visit
-/// `order`: each participant claims the next unclaimed position.
-fn claim_islands(cells: &[Mutex<IslandSim>], order: &[usize], cursor: &AtomicUsize, b: SimTime) {
-    loop {
-        let i = cursor.fetch_add(1, Ordering::AcqRel);
-        let Some(&idx) = order.get(i) else { return };
-        cells[idx]
-            .lock()
-            .expect("island workers do not panic while holding the lock")
-            .run_until(b, island_handle);
-    }
+/// `SimTime` as the nanosecond payload of a status atomic
+/// (`SimTime::MAX` round-trips as `u64::MAX`).
+#[inline]
+fn nanos_of(t: SimTime) -> u64 {
+    (t - SimTime::ZERO).as_nanos()
 }
 
-/// Drains every island's staged relays into `scratch`, tagged
-/// `(handoff, source piconet, capture order)` for the deterministic
-/// injection sort.
-fn collect_staged(cells: &[Mutex<IslandSim>], scratch: &mut Vec<(SimTime, u8, u32, StagedRelay)>) {
-    for cell in cells {
-        let mut island = cell.lock().expect("no poisoned islands");
-        let st = island.state_mut();
-        let pic = st.pic;
-        for (k, s) in st.staged.drain(..).enumerate() {
-            scratch.push((s.at, pic, k as u32, s));
+/// Inverse of [`nanos_of`].
+#[inline]
+fn time_of(nanos: u64) -> SimTime {
+    SimTime::ZERO + SimDuration::from_nanos(nanos)
+}
+
+/// Published status of one island, read lock-free by the coordinator's
+/// boundary/claim decisions and written by whichever participant last ran
+/// (or injected into) the island. The barrier's acquire/release pairs
+/// order every publish before the next round's reads.
+struct IslandMeta {
+    /// Earliest pending event, nanos; `u64::MAX` when drained.
+    next_event: AtomicU64,
+    /// Chain hotness instant, nanos (see [`island_status`]).
+    hot_from: AtomicU64,
+    /// The island staged relays since the last collect.
+    staged: AtomicBool,
+}
+
+impl IslandMeta {
+    fn publish(&self, next_event: SimTime, hot_from: SimTime, staged: bool) {
+        self.next_event
+            .store(nanos_of(next_event), Ordering::Release);
+        self.hot_from.store(nanos_of(hot_from), Ordering::Release);
+        if staged {
+            self.staged.store(true, Ordering::Release);
         }
     }
 }
 
-/// Injects staged relays into their target islands in a total
-/// deterministic order (handoff instant, then source piconet, then
-/// capture order), so the target wheels' same-instant FIFO content is
-/// independent of island visit order and thread count. Returns `true` if
-/// any relay lands exactly on the phase boundary `b` (those islands must
-/// re-run to `b` before the phase can close).
-fn inject_staged(
-    cells: &[Mutex<IslandSim>],
-    scratch: &mut Vec<(SimTime, u8, u32, StagedRelay)>,
-    b: SimTime,
-) -> bool {
-    scratch.sort_unstable_by_key(|&(at, pic, k, _)| (at, pic, k));
-    let mut at_boundary = false;
-    for &(at, _, _, s) in scratch.iter() {
-        let mut island = cells[s.pic as usize].lock().expect("no poisoned islands");
-        let (sched, st) = island.split_mut();
-        st.origins[s.flow_idx as usize].push_back(s.origin);
-        sched.schedule_at(
-            at,
-            Ev::Relay {
-                flow_idx: s.flow_idx as usize,
-                pkt: s.pkt,
-            },
-        );
-        at_boundary |= at == b;
-    }
-    scratch.clear();
-    at_boundary
+/// Post-run island bookkeeping: `(next pending event time, chain
+/// hotness, staged-anything)`. The hotness is the earliest instant chain
+/// traffic could be inside the island: time zero while its conservative
+/// in-flight count is non-zero, else the earliest pending chain-entry
+/// arrival. It stays valid until the island next runs or receives an
+/// injection — both recompute it.
+fn island_status(island: &mut IslandSim) -> (SimTime, SimTime, bool) {
+    let (sched, st) = island.split_mut();
+    let next_event = sched.next_event_time().unwrap_or(SimTime::MAX);
+    let hot_from = if st.world.chain_inflight > 0 {
+        SimTime::ZERO
+    } else {
+        st.entry_sources
+            .iter()
+            .map(|&s| st.world.next_arrival[s])
+            .min()
+            .unwrap_or(SimTime::MAX)
+    };
+    (next_event, hot_from, !st.staged.is_empty())
 }
 
-/// Runs all islands through the phased conservative loop.
-///
-/// Per phase: every island independently advances to the boundary `B`
-/// (claimed off a shared cursor by `threads` participants, the calling
-/// thread included), then the coordinator alone collects, sorts and
-/// injects the staged cross-island relays. Relays landing exactly on `B`
-/// trigger a boundary round: islands re-run to `B` so same-instant
-/// injections are processed in this phase (such a round stages nothing
-/// new — an injected relay only enqueues and wakes, and any exchange it
-/// starts completes after `B`).
-///
-/// With `threads == 1` no workers are spawned and the barriers are
-/// trivial, so the serial path *is* the parallel algorithm — reports are
-/// byte-identical across thread counts by construction.
-fn run_phases(
+/// A staged relay parked in the coordinator's pool until the global round
+/// clock reaches its handoff instant.
+struct PooledRelay {
+    /// Injection key: handoff instant, then source piconet, then staging
+    /// sequence — the deterministic total order of same-instant
+    /// injections.
+    at: SimTime,
+    source: u16,
+    seq: u64,
+    relay: StagedRelay,
+}
+
+/// Pool head-room: enough for every relay in flight across one rendezvous
+/// cycle at mesh scale, so the steady state never grows the buffer.
+fn pool_capacity(islands: usize) -> usize {
+    (islands * 8).max(1024)
+}
+
+/// Restores the pool's descending key order (minimum last, so due entries
+/// pop off the back).
+fn sort_pool(pool: &mut [PooledRelay]) {
+    pool.sort_unstable_by_key(|p| std::cmp::Reverse((p.at, p.source, p.seq)));
+}
+
+/// Drains one island's staged relays into the pool, tagging each with the
+/// island's monotone staging sequence. Returns how many were staged.
+fn collect_island(st: &mut IslandState, pool: &mut Vec<PooledRelay>) -> u64 {
+    let pic = st.pic;
+    let staged = st.staged.len() as u64;
+    for (k, s) in st.staged.drain(..).enumerate() {
+        pool.push(PooledRelay {
+            at: s.at,
+            source: pic,
+            seq: st.staged_seq + k as u64,
+            relay: s,
+        });
+    }
+    st.staged_seq += staged;
+    staged
+}
+
+/// Injects one pooled relay into its target island. The engine only calls
+/// this when the global round clock equals `relay.at`: the target island
+/// has already processed every own event at that instant (it ran
+/// inclusively to it, or had nothing due), so injected relays land behind
+/// all same-instant local events in wheel FIFO order — an ordering that
+/// holds identically across thread counts, claim orders and the
+/// widening/batching toggles, which is what makes the reports
+/// byte-identical across all of them.
+fn inject_relay(island: &mut IslandSim, relay: &StagedRelay) {
+    let (sched, st) = island.split_mut();
+    st.origins[relay.flow_idx as usize].push_back(relay.origin);
+    // The packet is inside the target island again: it counts against the
+    // island's chain backlog from the moment it is scheduled.
+    st.world.chain_inflight += 1;
+    sched.schedule_at(
+        relay.at,
+        Ev::Relay {
+            flow_idx: relay.flow_idx as usize,
+            pkt: relay.pkt,
+        },
+    );
+}
+
+/// Engine observability counters, surfaced on [`ScatternetReport`].
+/// Excluded from cross-configuration byte-identity digests the way
+/// `events_processed` is.
+#[derive(Clone, Copy, Debug, Default)]
+struct EngineCounters {
+    phases_run: u64,
+    barrier_rounds: u64,
+    islands_claimed: u64,
+    relays_staged: u64,
+}
+
+/// The engine toggles (see [`ScatternetSim::with_phase_widening`] and
+/// [`ScatternetSim::with_phase_batching`]). Reports are byte-identical
+/// across all four combinations.
+#[derive(Clone, Copy)]
+struct EngineMode {
+    widening: bool,
+    batching: bool,
+}
+
+/// Rounds with at most this many active islands are run by the
+/// coordinator alone instead of being dispatched through two barrier
+/// crossings that wake every worker.
+const SOLO_ROUND_MAX: usize = 2;
+
+/// The parallel claim loop: every participant (workers and the
+/// coordinator) claims the next position off the shared cursor; claimed
+/// islands run to `b` and publish their status. With batching, an island
+/// with no event due by `b` is skipped without ever taking its lock.
+fn claim_islands(
+    cells: &[Mutex<IslandSim>],
+    meta: &[IslandMeta],
+    order: &[usize],
+    cursor: &AtomicUsize,
+    b: SimTime,
+    batching: bool,
+) {
+    let b_nanos = nanos_of(b);
+    loop {
+        let i = cursor.fetch_add(1, Ordering::AcqRel);
+        let Some(&idx) = order.get(i) else { return };
+        if batching && meta[idx].next_event.load(Ordering::Acquire) > b_nanos {
+            continue;
+        }
+        let mut island = cells[idx]
+            .lock()
+            .expect("island workers do not panic while holding the lock");
+        island.run_until(b, island_handle);
+        let (ne, hf, staged) = island_status(&mut island);
+        drop(island);
+        meta[idx].publish(ne, hf, staged);
+    }
+}
+
+/// The sequential engine: the parallel algorithm minus every lock, atomic
+/// and barrier — identical boundary sequence, claim rule and injection
+/// order, so its reports are byte-identical to any parallel run by
+/// construction.
+fn run_phases_seq(
+    islands: &mut [IslandSim],
+    order: &[usize],
+    groups: &[SyncPoint],
+    checkpoint: SimTime,
+    horizon: SimTime,
+    probe: &mut dyn FnMut(),
+    mode: EngineMode,
+) -> EngineCounters {
+    let n = islands.len();
+    let mut counters = EngineCounters::default();
+    let mut pool: Vec<PooledRelay> = Vec::with_capacity(pool_capacity(n));
+    let mut next_event: Vec<SimTime> = Vec::with_capacity(n);
+    let mut hot: Vec<SimTime> = Vec::with_capacity(n);
+    let mut staged: Vec<bool> = vec![false; n];
+    for island in islands.iter_mut() {
+        let (ne, hf, _) = island_status(island);
+        next_event.push(ne);
+        hot.push(hf);
+    }
+
+    let mut t = SimTime::ZERO;
+    let mut probed = false;
+    loop {
+        let b = next_boundary(
+            t,
+            checkpoint,
+            probed,
+            horizon,
+            pool.last().map(|p| p.at),
+            groups,
+            mode.widening,
+            |i| hot[i],
+        );
+        counters.phases_run += 1;
+        for &idx in order {
+            if mode.batching && next_event[idx] > b {
+                continue;
+            }
+            let island = &mut islands[idx];
+            island.run_until(b, island_handle);
+            counters.islands_claimed += 1;
+            let (ne, hf, did_stage) = island_status(island);
+            next_event[idx] = ne;
+            hot[idx] = hf;
+            staged[idx] |= did_stage;
+        }
+        for (idx, flag) in staged.iter_mut().enumerate() {
+            if mode.batching && !*flag {
+                continue;
+            }
+            *flag = false;
+            counters.relays_staged += collect_island(islands[idx].state_mut(), &mut pool);
+        }
+        sort_pool(&mut pool);
+        if !probed && b >= checkpoint {
+            probe();
+            probed = true;
+        }
+        t = b;
+        // Inject every relay due exactly now; it becomes live in the next
+        // round. At the horizon this is the drain: targets re-run to the
+        // horizon so relays landing exactly on it still fire, and later
+        // handoffs (which can never fire) are left in the pool.
+        let mut due = false;
+        while pool.last().is_some_and(|p| p.at == t) {
+            let p = pool.pop().expect("just peeked");
+            let idx = p.relay.pic as usize;
+            inject_relay(&mut islands[idx], &p.relay);
+            next_event[idx] = next_event[idx].min(t);
+            hot[idx] = SimTime::ZERO;
+            due = true;
+        }
+        if t >= horizon && !due {
+            break;
+        }
+    }
+    probe();
+    counters
+}
+
+/// The parallel engine: `threads` participants (the coordinator included)
+/// claim islands off a shared cursor each round; island status is
+/// published through per-island atomics so the coordinator's boundary,
+/// claim and collect decisions never take an idle island's lock. Rounds
+/// with at most [`SOLO_ROUND_MAX`] active islands are run by the
+/// coordinator alone — the workers stay parked at the barrier and the
+/// round costs zero crossings.
+#[allow(clippy::too_many_arguments)]
+fn run_phases_par(
     cells: &[Mutex<IslandSim>],
     order: &[usize],
-    sync_points: &[(SimDuration, SimDuration)],
+    groups: &[SyncPoint],
     checkpoint: SimTime,
     horizon: SimTime,
     probe: &mut dyn FnMut(),
     threads: usize,
-) {
-    let mut scratch: Vec<(SimTime, u8, u32, StagedRelay)> = Vec::with_capacity(1024);
+    mode: EngineMode,
+) -> EngineCounters {
+    let n = cells.len();
+    let mut counters = EngineCounters::default();
+    let mut pool: Vec<PooledRelay> = Vec::with_capacity(pool_capacity(n));
+    let meta: Vec<IslandMeta> = cells
+        .iter()
+        .map(|cell| {
+            let mut island = cell.lock().expect("no poisoned islands");
+            let (ne, hf, _) = island_status(&mut island);
+            IslandMeta {
+                next_event: AtomicU64::new(nanos_of(ne)),
+                hot_from: AtomicU64::new(nanos_of(hf)),
+                staged: AtomicBool::new(false),
+            }
+        })
+        .collect();
     let barrier = SpinBarrier::new(threads);
     let cursor = AtomicUsize::new(0);
     let bound = AtomicU64::new(0);
@@ -645,45 +989,91 @@ fn run_phases(
     std::thread::scope(|scope| {
         for _ in 1..threads {
             let (barrier, cursor, bound, stop) = (&barrier, &cursor, &bound, &stop);
+            let meta = &meta;
             scope.spawn(move || loop {
                 barrier.wait();
                 if stop.load(Ordering::Acquire) {
                     return;
                 }
-                let b = SimTime::ZERO + SimDuration::from_nanos(bound.load(Ordering::Acquire));
-                claim_islands(cells, order, cursor, b);
+                let b = time_of(bound.load(Ordering::Acquire));
+                claim_islands(cells, meta, order, cursor, b, mode.batching);
                 barrier.wait();
             });
         }
 
-        let run_round = |b: SimTime| {
-            bound.store((b - SimTime::ZERO).as_nanos(), Ordering::Release);
-            cursor.store(0, Ordering::Release);
-            barrier.wait();
-            claim_islands(cells, order, &cursor, b);
-            barrier.wait();
-        };
-
         let mut t = SimTime::ZERO;
         let mut probed = false;
         loop {
-            let b = phase_boundary(t, checkpoint, probed, horizon, sync_points);
-            loop {
-                run_round(b);
-                collect_staged(cells, &mut scratch);
-                if scratch.is_empty() {
-                    break;
+            let b = next_boundary(
+                t,
+                checkpoint,
+                probed,
+                horizon,
+                pool.last().map(|p| p.at),
+                groups,
+                mode.widening,
+                |i| time_of(meta[i].hot_from.load(Ordering::Acquire)),
+            );
+            counters.phases_run += 1;
+            let b_nanos = nanos_of(b);
+            let active = if mode.batching {
+                order
+                    .iter()
+                    .filter(|&&idx| meta[idx].next_event.load(Ordering::Acquire) <= b_nanos)
+                    .count()
+            } else {
+                order.len()
+            };
+            counters.islands_claimed += active as u64;
+            if mode.batching && active <= SOLO_ROUND_MAX {
+                // Coordinator-solo round: cheaper than two barrier
+                // crossings when almost everything is idle.
+                for &idx in order {
+                    if meta[idx].next_event.load(Ordering::Acquire) > b_nanos {
+                        continue;
+                    }
+                    let mut island = cells[idx].lock().expect("no poisoned islands");
+                    island.run_until(b, island_handle);
+                    let (ne, hf, did_stage) = island_status(&mut island);
+                    drop(island);
+                    meta[idx].publish(ne, hf, did_stage);
                 }
-                if !inject_staged(cells, &mut scratch, b) {
-                    break;
-                }
+            } else {
+                counters.barrier_rounds += 1;
+                bound.store(b_nanos, Ordering::Release);
+                cursor.store(0, Ordering::Release);
+                barrier.wait();
+                claim_islands(cells, &meta, order, &cursor, b, mode.batching);
+                barrier.wait();
             }
+            for (idx, m) in meta.iter().enumerate() {
+                if mode.batching && !m.staged.swap(false, Ordering::AcqRel) {
+                    continue;
+                }
+                let mut island = cells[idx].lock().expect("no poisoned islands");
+                counters.relays_staged += collect_island(island.state_mut(), &mut pool);
+            }
+            sort_pool(&mut pool);
             if !probed && b >= checkpoint {
                 probe();
                 probed = true;
             }
             t = b;
-            if t >= horizon {
+            let mut due = false;
+            while pool.last().is_some_and(|p| p.at == t) {
+                let p = pool.pop().expect("just peeked");
+                let idx = p.relay.pic as usize;
+                let mut island = cells[idx].lock().expect("no poisoned islands");
+                inject_relay(&mut island, &p.relay);
+                drop(island);
+                let ne = meta[idx].next_event.load(Ordering::Acquire);
+                meta[idx]
+                    .next_event
+                    .store(ne.min(nanos_of(t)), Ordering::Release);
+                meta[idx].hot_from.store(0, Ordering::Release);
+                due = true;
+            }
+            if t >= horizon && !due {
                 break;
             }
         }
@@ -692,6 +1082,7 @@ fn run_phases(
         stop.store(true, Ordering::Release);
         barrier.wait();
     });
+    counters
 }
 
 /// Measurements of one cross-piconet chain.
@@ -723,8 +1114,23 @@ pub struct ScatternetReport {
     pub piconets: Vec<RunReport>,
     /// Per-chain end-to-end measurements.
     pub chains: Vec<ChainReport>,
-    /// Total events processed across all island engines.
+    /// Total events processed across all island engines. Identical across
+    /// thread counts and engine toggles — the same events fire either way.
     pub events_processed: u64,
+    /// Boundary rounds the phased loop stepped through. Engine
+    /// observability, excluded from cross-configuration byte-identity
+    /// digests the way `events_processed` is (so are the three counters
+    /// below).
+    pub phases_run: u64,
+    /// Rounds dispatched through the worker barrier (two crossings each);
+    /// zero for single-threaded runs and coordinator-solo rounds.
+    pub barrier_rounds: u64,
+    /// Islands actually claimed and run, summed over all rounds —
+    /// idle-island skipping makes this far less than
+    /// `phases_run × piconets`.
+    pub islands_claimed: u64,
+    /// Cross-island relays staged through the coordinator pool.
+    pub relays_staged: u64,
 }
 
 impl ScatternetReport {
@@ -758,11 +1164,14 @@ pub struct ScatternetSim {
     relay_fed: Vec<Vec<bool>>,
     /// The chains' hop lists, for report assembly.
     chain_hops: Vec<Vec<FlowId>>,
-    /// `(phase, cycle)` of every presence window that is the target of a
-    /// bridge-crossing route — the conservative sync points.
-    sync_points: Vec<(SimDuration, SimDuration)>,
+    /// The boundary calendar: every presence window that is the target of
+    /// a bridge-crossing route, grouped by coincident `(phase, cycle)`
+    /// with the source islands that can feed it.
+    sync_points: Vec<SyncPoint>,
     threads: usize,
     shuffle_seed: Option<u64>,
+    widening: bool,
+    batching: bool,
 }
 
 impl ScatternetSim {
@@ -787,9 +1196,9 @@ impl ScatternetSim {
                 "a scatternet needs at least one piconet".into(),
             ));
         }
-        if n > u8::MAX as usize {
+        if n > u16::MAX as usize {
             return Err(PiconetError(format!(
-                "{n} piconets exceed the 255 the 8-bit PiconetId can name"
+                "{n} piconets exceed the 65535 the 16-bit PiconetId can name"
             )));
         }
         if pollers.len() != n || channels.len() != n {
@@ -846,7 +1255,7 @@ impl ScatternetSim {
             worlds.iter().map(|w| vec![None; w.table.len()]).collect();
         let mut relay_fed: Vec<Vec<bool>> =
             worlds.iter().map(|w| vec![false; w.table.len()]).collect();
-        let mut sync_points: Vec<(SimDuration, SimDuration)> = Vec::new();
+        let mut sync_points: Vec<SyncPoint> = Vec::new();
         let mut chain_hops = Vec::with_capacity(config.chains.len());
         for (ci, chain) in config.chains.iter().enumerate() {
             if chain.hops.len() < 2 {
@@ -870,6 +1279,10 @@ impl ScatternetSim {
                         .ok_or_else(|| PiconetError(format!("chain {ci}: unknown hop flow {id}")))
                 })
                 .collect::<Result<_, _>>()?;
+            // The first hop is the chain's entry: packets ingressing it
+            // join the entry island's conservative chain backlog.
+            let (fpic, fidx) = resolved[0];
+            worlds[fpic.index()].chain_entry[fidx.get()] = true;
             for (k, window) in resolved.windows(2).enumerate() {
                 let (apic, aidx) = window[0];
                 let (bpic, bidx) = window[1];
@@ -920,9 +1333,7 @@ impl ScatternetSim {
                                 a.slave, b.slave
                             ))
                         })?;
-                    if !sync_points.contains(&(phase, cycle)) {
-                        sync_points.push((phase, cycle));
-                    }
+                    push_sync_point(&mut sync_points, phase, cycle, apic.0);
                     Some(window)
                 };
                 let slot = &mut routes[apic.index()][aidx.get()];
@@ -1015,10 +1426,12 @@ impl ScatternetSim {
                 }
                 let state = IslandState {
                     world,
-                    pic: pic as u8,
+                    pic: pic as u16,
                     routes,
                     origins,
                     staged: Vec::with_capacity(128),
+                    staged_seq: 0,
+                    entry_sources: Vec::new(),
                     warmup,
                     chain_stats,
                 };
@@ -1034,6 +1447,8 @@ impl ScatternetSim {
             sync_points,
             threads: 1,
             shuffle_seed: None,
+            widening: true,
+            batching: true,
         })
     }
 
@@ -1053,6 +1468,29 @@ impl ScatternetSim {
     #[must_use]
     pub fn with_island_shuffle(mut self, seed: u64) -> ScatternetSim {
         self.shuffle_seed = Some(seed);
+        self
+    }
+
+    /// Enables or disables adaptive phase widening (builder style; default
+    /// on). When on, a calendar group's window starts are skipped as
+    /// boundaries while no source island can hold chain traffic; when off,
+    /// every calendar start is a boundary. Reports are byte-identical
+    /// either way — only the round count changes.
+    #[must_use]
+    pub fn with_phase_widening(mut self, widening: bool) -> ScatternetSim {
+        self.widening = widening;
+        self
+    }
+
+    /// Enables or disables phase batching and idle-island skipping
+    /// (builder style; default on). When on, an island with no event due
+    /// by the boundary is never claimed, locked or drained, and
+    /// small-active-set rounds run on the coordinator without barrier
+    /// crossings; when off, every island runs every round. Reports are
+    /// byte-identical either way.
+    #[must_use]
+    pub fn with_phase_batching(mut self, batching: bool) -> ScatternetSim {
+        self.batching = batching;
         self
     }
 
@@ -1129,6 +1567,18 @@ impl ScatternetSim {
             st.world.check_horizon(horizon)?;
             st.world.horizon = horizon;
             seed_world(sched, &mut st.world);
+            // Record which sources feed chain-entry flows: their pending
+            // arrival instants bound the island's chain hotness.
+            st.entry_sources = st
+                .world
+                .sources
+                .iter()
+                .enumerate()
+                .filter_map(|(i, s)| match s.target {
+                    Target::Flow(idx) if st.world.chain_entry[idx] => Some(i),
+                    _ => None,
+                })
+                .collect();
         }
 
         // The island visit order: identity, or a deterministic shuffle to
@@ -1140,18 +1590,51 @@ impl ScatternetSim {
                 order.swap(i, rng.below(i as u64 + 1) as usize);
             }
         }
-        let threads = self.threads.min(order.len()).max(1);
+        // Workers beyond the host's cores cannot run concurrently — they
+        // only add barrier crossings and scheduler churn. Clamp to the
+        // available parallelism, with a floor of two so a parallel run
+        // still exercises the parallel engine on a single-core host.
+        // Reports are thread-count-invariant, so the clamp never shows in
+        // results, only in wall time.
+        let hw = std::thread::available_parallelism().map_or(usize::MAX, |c| c.get());
+        let threads = self.threads.min(order.len()).min(hw.max(2)).max(1);
+        let mode = EngineMode {
+            widening: self.widening,
+            batching: self.batching,
+        };
 
-        let cells: Vec<Mutex<IslandSim>> = self.islands.into_iter().map(Mutex::new).collect();
-        run_phases(
-            &cells,
-            &order,
-            &self.sync_points,
-            checkpoint,
-            horizon,
-            probe,
-            threads,
-        );
+        let (islands, counters) = if threads == 1 {
+            // Single-threaded: the same algorithm without locks, atomics
+            // or barriers.
+            let mut islands = self.islands;
+            let counters = run_phases_seq(
+                &mut islands,
+                &order,
+                &self.sync_points,
+                checkpoint,
+                horizon,
+                probe,
+                mode,
+            );
+            (islands, counters)
+        } else {
+            let cells: Vec<Mutex<IslandSim>> = self.islands.into_iter().map(Mutex::new).collect();
+            let counters = run_phases_par(
+                &cells,
+                &order,
+                &self.sync_points,
+                checkpoint,
+                horizon,
+                probe,
+                threads,
+                mode,
+            );
+            let islands = cells
+                .into_iter()
+                .map(|c| c.into_inner().expect("no poisoned islands"))
+                .collect();
+            (islands, counters)
+        };
 
         let mut chains: Vec<ChainReport> = self
             .chain_hops
@@ -1164,10 +1647,10 @@ impl ScatternetSim {
                 residence: DelayStats::new(),
             })
             .collect();
-        let mut piconets = Vec::with_capacity(cells.len());
+        let islands: Vec<IslandSim> = islands;
+        let mut piconets = Vec::with_capacity(islands.len());
         let mut events_processed = 0;
-        for cell in cells {
-            let island = cell.into_inner().expect("no poisoned islands");
+        for island in islands {
             let events = island.events_processed();
             events_processed += events;
             let st = island.into_state();
@@ -1184,6 +1667,247 @@ impl ScatternetSim {
             piconets,
             chains,
             events_processed,
+            phases_run: counters.phases_run,
+            barrier_rounds: counters.barrier_rounds,
+            islands_claimed: counters.islands_claimed,
+            relays_staged: counters.relays_staged,
         })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ms(v: u64) -> SimDuration {
+        SimDuration::from_millis(v)
+    }
+
+    fn at_ms(v: u64) -> SimTime {
+        SimTime::ZERO + ms(v)
+    }
+
+    #[test]
+    fn next_start_after_is_strictly_after_t() {
+        let phase = ms(3);
+        let cycle = ms(10);
+        // Before the anchor: the anchor itself is the first start.
+        assert_eq!(next_start_after(SimTime::ZERO, phase, cycle), at_ms(3));
+        // Exactly at the anchor: strictly after means one full cycle on.
+        assert_eq!(next_start_after(at_ms(3), phase, cycle), at_ms(13));
+        // Exactly on a later boundary: again strictly after.
+        assert_eq!(next_start_after(at_ms(23), phase, cycle), at_ms(33));
+        // Mid-cycle: the enclosing cycle's next start.
+        assert_eq!(next_start_after(at_ms(17), phase, cycle), at_ms(23));
+        // Zero phase anchors at the origin.
+        assert_eq!(next_start_after(SimTime::ZERO, ms(0), cycle), at_ms(10));
+    }
+
+    #[test]
+    fn next_start_after_is_on_grid_and_minimal() {
+        // Property sweep: the result is strictly after t, lands on the
+        // window grid, and no earlier grid point is strictly after t.
+        for (phase_ms, cycle_ms) in [(0u64, 7u64), (3, 10), (9, 10), (5, 12), (11, 13)] {
+            let phase = ms(phase_ms);
+            let cycle = ms(cycle_ms);
+            let anchor = SimTime::ZERO + phase;
+            for t_ms in 0..200u64 {
+                let t = at_ms(t_ms);
+                let s = next_start_after(t, phase, cycle);
+                assert!(s > t, "start {s} not after {t}");
+                assert!(s >= anchor);
+                let off = s - anchor;
+                assert_eq!(
+                    off.div_duration(cycle) * cycle,
+                    off,
+                    "start {s} off the ({phase_ms},{cycle_ms}) grid"
+                );
+                // Minimality: one cycle earlier is at or before t (the
+                // anchor itself has no earlier grid point).
+                if s != anchor {
+                    assert!(s - cycle <= t);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn coincident_sync_points_merge_and_dedupe_sources() {
+        let mut points = Vec::new();
+        push_sync_point(&mut points, ms(3), ms(10), 0);
+        push_sync_point(&mut points, ms(3), ms(10), 4);
+        push_sync_point(&mut points, ms(3), ms(10), 0); // duplicate source
+        push_sync_point(&mut points, ms(5), ms(10), 1); // other phase
+        push_sync_point(&mut points, ms(3), ms(20), 2); // other cycle
+        assert_eq!(points.len(), 3);
+        assert_eq!(points[0].sources, vec![0, 4]);
+        assert_eq!(points[1].sources, vec![1]);
+        assert_eq!(points[2].sources, vec![2]);
+    }
+
+    /// Reference semantics of [`next_boundary`]: the minimum over every
+    /// cap and every group's next landable start, with no pruning.
+    #[allow(clippy::too_many_arguments)]
+    fn naive_boundary(
+        t: SimTime,
+        checkpoint: SimTime,
+        probed: bool,
+        horizon: SimTime,
+        pool_min: Option<SimTime>,
+        groups: &[SyncPoint],
+        widening: bool,
+        hot: &[SimTime],
+    ) -> SimTime {
+        let mut candidates = vec![horizon];
+        if !probed && checkpoint > t {
+            candidates.push(checkpoint);
+        }
+        if let Some(p) = pool_min {
+            candidates.push(p);
+        }
+        for g in groups {
+            let from = if widening {
+                g.sources
+                    .iter()
+                    .map(|&p| hot[p as usize])
+                    .min()
+                    .unwrap_or(SimTime::MAX)
+            } else {
+                SimTime::ZERO
+            };
+            if from == SimTime::MAX {
+                continue;
+            }
+            candidates.push(next_start_after(t.max(from), g.phase, g.cycle));
+        }
+        candidates
+            .into_iter()
+            .min()
+            .expect("horizon is always there")
+    }
+
+    #[test]
+    fn calendar_boundary_matches_naive_scan() {
+        // A 3-group calendar over 4 islands with every hotness shape:
+        // always hot, drained (MAX), and mid-run instants on and off the
+        // grids. The calendar walk must agree with the unpruned reference
+        // at every probe time, both widened and fixed.
+        let mut groups = Vec::new();
+        push_sync_point(&mut groups, ms(3), ms(10), 0);
+        push_sync_point(&mut groups, ms(3), ms(10), 1);
+        push_sync_point(&mut groups, ms(5), ms(12), 2);
+        push_sync_point(&mut groups, ms(0), ms(7), 3);
+        let hots: [[u64; 4]; 4] = [
+            [0, 0, 0, 0],
+            [0, 50, u64::MAX, 33],
+            [u64::MAX, u64::MAX, u64::MAX, u64::MAX],
+            [13, 13, 24, 91],
+        ];
+        let checkpoint = at_ms(100);
+        let horizon = at_ms(180);
+        for hot_ms in hots {
+            let hot: Vec<SimTime> = hot_ms
+                .iter()
+                .map(|&v| {
+                    if v == u64::MAX {
+                        SimTime::MAX
+                    } else {
+                        at_ms(v)
+                    }
+                })
+                .collect();
+            for widening in [false, true] {
+                for probed in [false, true] {
+                    for t_ms in 0..170u64 {
+                        let t = at_ms(t_ms);
+                        let pool_min = (t_ms % 3 == 0).then(|| t + ms(1 + t_ms % 17));
+                        let got = next_boundary(
+                            t,
+                            checkpoint,
+                            probed,
+                            horizon,
+                            pool_min,
+                            &groups,
+                            widening,
+                            |i| hot[i],
+                        );
+                        let want = naive_boundary(
+                            t, checkpoint, probed, horizon, pool_min, &groups, widening, &hot,
+                        );
+                        assert_eq!(
+                            got, want,
+                            "boundary diverged at t={t_ms}ms \
+                             (widening {widening}, probed {probed}, hot {hot_ms:?})"
+                        );
+                        assert!(got > t || got == horizon);
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn widened_boundaries_skip_cold_groups() {
+        // One group whose only source goes hot at 50 ms: before that the
+        // horizon is the boundary; afterwards the first start after the
+        // hot instant is.
+        let mut groups = Vec::new();
+        push_sync_point(&mut groups, ms(3), ms(10), 0);
+        let horizon = at_ms(200);
+        let b = |hot_at: SimTime| {
+            next_boundary(
+                SimTime::ZERO,
+                horizon,
+                true,
+                horizon,
+                None,
+                &groups,
+                true,
+                |_| hot_at,
+            )
+        };
+        assert_eq!(b(SimTime::MAX), horizon);
+        assert_eq!(b(at_ms(50)), at_ms(53));
+        assert_eq!(b(SimTime::ZERO), at_ms(3));
+        // Widening off: the calendar start counts regardless of hotness.
+        let fixed = next_boundary(
+            SimTime::ZERO,
+            horizon,
+            true,
+            horizon,
+            None,
+            &groups,
+            false,
+            |_| SimTime::MAX,
+        );
+        assert_eq!(fixed, at_ms(3));
+    }
+
+    #[test]
+    fn spin_barrier_survives_oversubscription() {
+        // More waiters than the host has cores: every thread must still
+        // clear every round (the backoff path keeps starved waiters from
+        // spinning the releaser off the CPU).
+        let cores = std::thread::available_parallelism().map_or(4, |n| n.get());
+        let n = 4 * cores + 1;
+        let rounds = 40;
+        let barrier = std::sync::Arc::new(SpinBarrier::new(n));
+        let hits = std::sync::Arc::new(AtomicU64::new(0));
+        let workers: Vec<_> = (0..n)
+            .map(|_| {
+                let barrier = std::sync::Arc::clone(&barrier);
+                let hits = std::sync::Arc::clone(&hits);
+                std::thread::spawn(move || {
+                    for _ in 0..rounds {
+                        hits.fetch_add(1, Ordering::Relaxed);
+                        barrier.wait();
+                    }
+                })
+            })
+            .collect();
+        for w in workers {
+            w.join().expect("barrier waiter panicked");
+        }
+        assert_eq!(hits.load(Ordering::Relaxed), (n * rounds) as u64);
     }
 }

@@ -201,6 +201,20 @@ pub(crate) struct World {
     /// per-packet `Ev::Arrival` wake-up batching elides. Parallel to
     /// `sources`; empty deques when batching is off.
     batched: Vec<VecDeque<SimTime>>,
+    /// `chain_entry[idx]`: flow `idx` is the entry hop of a scatternet
+    /// chain — packets ingressing it are counted in
+    /// [`World::chain_inflight`]. All-false outside a scatternet.
+    pub(crate) chain_entry: Vec<bool>,
+    /// Conservative count of chain packets currently inside this piconet
+    /// (entered or injected, not yet terminated or staged out). The island
+    /// engine's adaptive phase widening treats a piconet with zero
+    /// in-flight chain traffic *and* no imminent entry arrival as unable
+    /// to stage relays.
+    pub(crate) chain_inflight: u64,
+    /// Per-source instant of the pending `Ev::Arrival` (`SimTime::MAX`
+    /// when the source is exhausted or past the horizon). Parallel to
+    /// `sources`; read by the island engine's widening logic.
+    pub(crate) next_arrival: Vec<SimTime>,
 }
 
 impl World {
@@ -261,6 +275,7 @@ impl World {
             })
             .collect();
         let capture = vec![false; table.len()];
+        let chain_entry = vec![false; table.len()];
         Ok(World {
             table,
             allowed,
@@ -286,6 +301,9 @@ impl World {
             be_polls: PollCounters::default(),
             arrival_batch: config.arrival_batch,
             batched: Vec::new(),
+            chain_entry,
+            chain_inflight: 0,
+            next_arrival: Vec::new(),
         })
     }
 
@@ -317,6 +335,7 @@ impl World {
         self.batched.push(VecDeque::with_capacity(
             self.arrival_batch.saturating_sub(1) as usize,
         ));
+        self.next_arrival.push(SimTime::MAX);
         Ok(())
     }
 
@@ -368,15 +387,18 @@ impl World {
     }
 
     /// Assembles the per-flow [`RunReport`] of a finished run.
-    pub(crate) fn into_report(self, window_end: SimTime, events_processed: u64) -> RunReport {
+    pub(crate) fn into_report(mut self, window_end: SimTime, events_processed: u64) -> RunReport {
         let mut per_flow = BTreeMap::new();
-        for (idx, f) in self.table.specs().iter().enumerate() {
-            per_flow.insert(f.id, self.reports[idx].clone());
+        // `self` is consumed: move the reports out instead of cloning their
+        // (potentially large) delay-sample buffers.
+        let reports = std::mem::take(&mut self.reports);
+        for (f, report) in self.table.specs().iter().zip(reports) {
+            per_flow.insert(f.id, report);
         }
         let mut sco_flows = Vec::new();
-        for s in &self.sco {
+        for s in &mut self.sco {
             if let Some(id) = s.binding.voice_flow {
-                per_flow.insert(id, s.report.clone());
+                per_flow.insert(id, std::mem::take(&mut s.report));
                 sco_flows.push((id, s.binding.slave));
             }
         }
@@ -583,7 +605,12 @@ fn accept_flow_packet(w: &mut World, idx: usize, pkt: AppPacket, now: SimTime) {
 /// until then).
 fn ingress_packet(w: &mut World, target: Target, pkt: AppPacket, at: SimTime) {
     match target {
-        Target::Flow(idx) => accept_flow_packet(w, idx, pkt, at),
+        Target::Flow(idx) => {
+            if w.chain_entry[idx] {
+                w.chain_inflight += 1;
+            }
+            accept_flow_packet(w, idx, pkt, at);
+        }
         Target::Sco(idx) => {
             if w.in_window(at) {
                 w.sco[idx].report.offered_packets += 1;
@@ -624,19 +651,23 @@ fn arm_next_arrival<S: EvSink>(sched: &mut S, w: &mut World, source_idx: usize) 
         debug_assert!(w.batched[source_idx].is_empty());
         for _ in 1..w.arrival_batch {
             let Some(next) = w.sources[source_idx].source.next_packet() else {
+                w.next_arrival[source_idx] = SimTime::MAX;
                 return;
             };
             debug_assert!(next.arrival >= now, "sources must be time-ordered");
             if next.arrival > w.horizon {
+                w.next_arrival[source_idx] = SimTime::MAX;
                 return;
             }
             w.batched[source_idx].push_back(next.arrival);
             ingress_packet(w, target, next, next.arrival);
         }
     }
+    w.next_arrival[source_idx] = SimTime::MAX;
     if let Some(next) = w.sources[source_idx].source.next_packet() {
         debug_assert!(next.arrival >= now, "sources must be time-ordered");
         if next.arrival <= w.horizon {
+            w.next_arrival[source_idx] = next.arrival;
             sched.schedule_at(
                 next.arrival,
                 Ev::Arrival {
@@ -1096,6 +1127,7 @@ pub(crate) fn seed_world<S: EvSink>(sched: &mut S, w: &mut World) {
     for source_idx in 0..w.sources.len() {
         if let Some(pkt) = w.sources[source_idx].source.next_packet() {
             if pkt.arrival <= w.horizon {
+                w.next_arrival[source_idx] = pkt.arrival;
                 sched.schedule_at(pkt.arrival, Ev::Arrival { source_idx, pkt });
             }
         }

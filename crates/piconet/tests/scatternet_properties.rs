@@ -23,7 +23,7 @@ fn s(n: u8) -> AmAddr {
 }
 
 fn pic(n: u8) -> PiconetId {
-    PiconetId(n)
+    PiconetId(n.into())
 }
 
 /// Builds a random valid multi-shard flow layout: every flow id unique

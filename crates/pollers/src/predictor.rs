@@ -8,6 +8,7 @@
 //! since the last poll emptied the queue (a Poisson assumption).
 
 use btgs_des::{SimDuration, SimTime};
+use std::cell::Cell;
 
 /// Estimates the probability that a slave's uplink queue holds data.
 ///
@@ -41,6 +42,13 @@ pub struct AvailabilityPredictor {
     likely_backlogged: bool,
     last_data_at: Option<SimTime>,
     alpha: f64,
+    /// Memoized `(threshold, crossing)` of [`time_of_probability`] for the
+    /// current `(rate, empty_since)` state, invalidated by both observers.
+    /// The PFP idle path asks for the same threshold on every wake, so the
+    /// `ln` runs once per poll outcome instead of once per decide.
+    ///
+    /// [`time_of_probability`]: AvailabilityPredictor::time_of_probability
+    crossing_memo: Cell<Option<(f64, SimTime)>>,
 }
 
 impl AvailabilityPredictor {
@@ -64,6 +72,7 @@ impl AvailabilityPredictor {
             likely_backlogged: false,
             last_data_at: None,
             alpha: Self::ALPHA,
+            crossing_memo: Cell::new(None),
         }
     }
 
@@ -87,6 +96,7 @@ impl AvailabilityPredictor {
         self.last_data_at = Some(t);
         self.likely_backlogged = !emptied;
         self.empty_since = t;
+        self.crossing_memo.set(None);
     }
 
     /// Records a poll at `t` that returned no data.
@@ -103,6 +113,7 @@ impl AvailabilityPredictor {
         }
         self.likely_backlogged = false;
         self.empty_since = t;
+        self.crossing_memo.set(None);
     }
 
     /// The probability that the slave holds uplink data at instant `t`:
@@ -132,8 +143,15 @@ impl AvailabilityPredictor {
         if self.likely_backlogged {
             return self.empty_since;
         }
+        if let Some((thr, at)) = self.crossing_memo.get() {
+            if thr == threshold {
+                return at;
+            }
+        }
         let dt = -(1.0 - threshold).ln() / self.rate.max(1e-3);
-        self.empty_since + SimDuration::from_secs_f64(dt.min(3600.0))
+        let at = self.empty_since + SimDuration::from_secs_f64(dt.min(3600.0));
+        self.crossing_memo.set(Some((threshold, at)));
+        at
     }
 }
 
