@@ -1,0 +1,298 @@
+//! A line-oriented Rust token classifier.
+//!
+//! The lint does not need a full parser — it needs to know, per line,
+//! which characters are *code* and which are *comment*, with string and
+//! character literal contents blanked out (so a rule token inside a string
+//! never fires, and a waiver inside a string never waives). This module
+//! provides exactly that: a small state machine over the raw source that
+//! understands line comments, nested block comments, string literals
+//! (including raw strings with `#` fences and byte strings), character
+//! literals, and the `'lifetime` ambiguity.
+
+/// One source line, split into its code and comment halves.
+#[derive(Clone, Debug, Default)]
+pub struct SourceLine {
+    /// The line's code characters, with string/char literal contents
+    /// replaced by spaces. Comment characters are absent.
+    pub code: String,
+    /// The line's comment text (contents of `//`, `///`, `//!` and block
+    /// comments), concatenated when a line carries several.
+    pub comment: String,
+}
+
+#[derive(Clone, Copy, PartialEq)]
+enum State {
+    Code,
+    LineComment,
+    /// Block comments nest in Rust; the depth rides along.
+    BlockComment(u32),
+    Str,
+    /// Raw string with this many `#` fence characters.
+    RawStr(u32),
+    Char,
+}
+
+/// Splits `src` into per-line code/comment views.
+pub fn split_lines(src: &str) -> Vec<SourceLine> {
+    let mut lines: Vec<SourceLine> = Vec::new();
+    let mut cur = SourceLine::default();
+    let mut state = State::Code;
+    let chars: Vec<char> = src.chars().collect();
+    let mut i = 0usize;
+    while i < chars.len() {
+        let c = chars[i];
+        if c == '\n' {
+            if state == State::LineComment {
+                state = State::Code;
+            }
+            lines.push(std::mem::take(&mut cur));
+            i += 1;
+            continue;
+        }
+        match state {
+            State::Code => {
+                let next = chars.get(i + 1).copied();
+                match c {
+                    '/' if next == Some('/') => {
+                        state = State::LineComment;
+                        i += 2;
+                        // Swallow doc-comment markers so `///` and `//!`
+                        // read the same as `//`.
+                        while matches!(chars.get(i), Some('/') | Some('!')) {
+                            i += 1;
+                        }
+                        continue;
+                    }
+                    '/' if next == Some('*') => {
+                        state = State::BlockComment(1);
+                        i += 2;
+                        continue;
+                    }
+                    '"' => {
+                        cur.code.push('"');
+                        state = State::Str;
+                        i += 1;
+                        continue;
+                    }
+                    'r' | 'b' => {
+                        // Raw / byte string starts: r", r#", br", b"...
+                        // but NOT raw identifiers (r#ident).
+                        let mut j = i + 1;
+                        if c == 'b' && chars.get(j) == Some(&'r') {
+                            j += 1;
+                        }
+                        let mut hashes = 0u32;
+                        while chars.get(j) == Some(&'#') {
+                            hashes += 1;
+                            j += 1;
+                        }
+                        let is_raw = (c == 'r' || chars.get(i + 1) == Some(&'r'))
+                            && chars.get(j) == Some(&'"');
+                        let is_plain_byte_str =
+                            c == 'b' && hashes == 0 && chars.get(i + 1) == Some(&'"');
+                        if is_raw && !ident_tail(chars.get(i.wrapping_sub(1)).copied(), i == 0) {
+                            for _ in i..=j {
+                                cur.code.push(' ');
+                            }
+                            cur.code.push('"');
+                            state = State::RawStr(hashes);
+                            i = j + 1;
+                            continue;
+                        }
+                        if is_plain_byte_str
+                            && !ident_tail(chars.get(i.wrapping_sub(1)).copied(), i == 0)
+                        {
+                            cur.code.push(' ');
+                            cur.code.push('"');
+                            state = State::Str;
+                            i += 2;
+                            continue;
+                        }
+                        cur.code.push(c);
+                        i += 1;
+                        continue;
+                    }
+                    '\'' => {
+                        // Char literal vs lifetime: a char literal closes
+                        // within a few characters; a lifetime never has a
+                        // closing quote right after its identifier.
+                        if chars.get(i + 1) == Some(&'\\')
+                            || (chars.get(i + 2) == Some(&'\'') && chars.get(i + 1) != Some(&'\''))
+                        {
+                            cur.code.push('\'');
+                            state = State::Char;
+                            i += 1;
+                            continue;
+                        }
+                        cur.code.push('\'');
+                        i += 1;
+                        continue;
+                    }
+                    _ => {
+                        cur.code.push(c);
+                        i += 1;
+                        continue;
+                    }
+                }
+            }
+            State::LineComment => {
+                cur.comment.push(c);
+                i += 1;
+            }
+            State::BlockComment(depth) => {
+                let next = chars.get(i + 1).copied();
+                if c == '*' && next == Some('/') {
+                    state = if depth == 1 {
+                        State::Code
+                    } else {
+                        State::BlockComment(depth - 1)
+                    };
+                    i += 2;
+                } else if c == '/' && next == Some('*') {
+                    state = State::BlockComment(depth + 1);
+                    i += 2;
+                } else {
+                    cur.comment.push(c);
+                    i += 1;
+                }
+            }
+            State::Str => {
+                if c == '\\' {
+                    cur.code.push(' ');
+                    if chars.get(i + 1).is_some_and(|&n| n != '\n') {
+                        cur.code.push(' ');
+                        i += 2;
+                    } else {
+                        i += 1;
+                    }
+                } else if c == '"' {
+                    cur.code.push('"');
+                    state = State::Code;
+                    i += 1;
+                } else {
+                    cur.code.push(' ');
+                    i += 1;
+                }
+            }
+            State::RawStr(hashes) => {
+                if c == '"' {
+                    let mut j = i + 1;
+                    let mut seen = 0u32;
+                    while seen < hashes && chars.get(j) == Some(&'#') {
+                        seen += 1;
+                        j += 1;
+                    }
+                    if seen == hashes {
+                        cur.code.push('"');
+                        for _ in 0..hashes {
+                            cur.code.push(' ');
+                        }
+                        state = State::Code;
+                        i = j;
+                        continue;
+                    }
+                }
+                cur.code.push(' ');
+                i += 1;
+            }
+            State::Char => {
+                if c == '\\' {
+                    cur.code.push(' ');
+                    if chars.get(i + 1).is_some_and(|&n| n != '\n') {
+                        cur.code.push(' ');
+                        i += 2;
+                    } else {
+                        i += 1;
+                    }
+                } else if c == '\'' {
+                    cur.code.push('\'');
+                    state = State::Code;
+                    i += 1;
+                } else {
+                    cur.code.push(' ');
+                    i += 1;
+                }
+            }
+        }
+    }
+    if !cur.code.is_empty() || !cur.comment.is_empty() || state != State::Code {
+        lines.push(cur);
+    }
+    lines
+}
+
+/// `true` when the previous character continues an identifier, which makes
+/// a following `r"`/`b"` part of a name (e.g. `var"` cannot occur, but
+/// `attr` ∋ `r` followed by `"` inside macros could); `at_start` guards the
+/// index-0 wraparound.
+fn ident_tail(prev: Option<char>, at_start: bool) -> bool {
+    if at_start {
+        return false;
+    }
+    prev.is_some_and(|p| p.is_alphanumeric() || p == '_')
+}
+
+/// `true` if `code` contains `token` as a whole word (not embedded in a
+/// longer identifier).
+pub fn has_token(code: &str, token: &str) -> bool {
+    find_token(code, token).is_some()
+}
+
+/// Byte offset of the first whole-word occurrence of `token` in `code`.
+pub fn find_token(code: &str, token: &str) -> Option<usize> {
+    let bytes = code.as_bytes();
+    let mut from = 0usize;
+    while let Some(pos) = code[from..].find(token) {
+        let start = from + pos;
+        let end = start + token.len();
+        let pre_ok = start == 0 || !is_ident_byte(bytes[start - 1]);
+        let post_ok = end >= bytes.len() || !is_ident_byte(bytes[end]);
+        if pre_ok && post_ok {
+            return Some(start);
+        }
+        from = start + 1;
+    }
+    None
+}
+
+fn is_ident_byte(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_'
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strings_are_blanked_comments_split() {
+        let src = "let x = \"HashMap::new()\"; // real HashMap note\nlet y = 1;\n";
+        let lines = split_lines(src);
+        assert_eq!(lines.len(), 2);
+        assert!(!has_token(&lines[0].code, "HashMap"));
+        assert!(lines[0].comment.contains("HashMap"));
+        assert_eq!(lines[1].code.trim(), "let y = 1;");
+    }
+
+    #[test]
+    fn raw_strings_and_lifetimes() {
+        let src = "fn f<'a>(s: &'a str) { let r = r#\"Instant::now()\"#; let c = 'x'; }\n";
+        let lines = split_lines(src);
+        assert!(!has_token(&lines[0].code, "Instant"));
+        assert!(lines[0].code.contains("fn f<'a>"));
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let src = "a /* one /* two */ still */ b\n";
+        let lines = split_lines(src);
+        assert_eq!(lines[0].code.replace(' ', ""), "ab");
+        assert!(lines[0].comment.contains("two"));
+    }
+
+    #[test]
+    fn token_word_boundaries() {
+        assert!(has_token("use std::collections::HashMap;", "HashMap"));
+        assert!(!has_token("let MyHashMapLike = 1;", "HashMap"));
+        assert!(has_token("HashMap::new()", "HashMap"));
+    }
+}

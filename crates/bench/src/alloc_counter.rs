@@ -43,14 +43,20 @@ pub struct CountingAllocator;
 // SAFETY: delegates every operation verbatim to `System`, which upholds the
 // `GlobalAlloc` contract; the counter updates have no effect on allocation
 // behaviour.
+// This is the one `#[allow(unsafe_code)]` the determinism lint's
+// unsafe-policy rule permits in the workspace (btgs-analyze enforces it:
+// exactly one, on this impl).
 #[allow(unsafe_code)]
 unsafe impl GlobalAlloc for CountingAllocator {
     unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        // ord: Relaxed — a statistical tally; the zero-alloc assertions
+        // read it from the same thread that allocated.
         ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
         unsafe { System.alloc(layout) }
     }
 
     unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        // ord: Relaxed — same tally as above.
         DEALLOCATIONS.fetch_add(1, Ordering::Relaxed);
         unsafe { System.dealloc(ptr, layout) }
     }
@@ -58,11 +64,13 @@ unsafe impl GlobalAlloc for CountingAllocator {
     unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
         // A realloc may move the block: count it as an allocation event —
         // the steady state must not grow *any* buffer.
+        // ord: Relaxed — same tally as above.
         ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
         unsafe { System.realloc(ptr, layout, new_size) }
     }
 
     unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        // ord: Relaxed — same tally as above.
         ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
         unsafe { System.alloc_zeroed(layout) }
     }
@@ -72,10 +80,12 @@ unsafe impl GlobalAlloc for CountingAllocator {
 /// start. Only meaningful when [`CountingAllocator`] is installed as the
 /// global allocator.
 pub fn allocation_count() -> u64 {
+    // ord: Relaxed — the assertion brackets run on the allocating thread.
     ALLOCATIONS.load(Ordering::Relaxed)
 }
 
 /// Heap deallocation events since process start.
 pub fn deallocation_count() -> u64 {
+    // ord: Relaxed — same single-thread bracket read as above.
     DEALLOCATIONS.load(Ordering::Relaxed)
 }

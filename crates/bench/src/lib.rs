@@ -14,7 +14,10 @@
 //!   exists (currently `delay_bound_validation`).
 
 // `deny` rather than `forbid`: `alloc_counter` implements `GlobalAlloc`
-// (an inherently unsafe trait) and carries a scoped `allow`.
+// (an inherently unsafe trait) and carries a scoped `allow`. This is the
+// lint-enforced workspace policy (btgs-analyze's unsafe-policy rule):
+// every sim crate `#![forbid(unsafe_code)]`, this crate `deny` with
+// exactly one `allow` on that impl.
 #![deny(unsafe_code)]
 #![warn(missing_docs)]
 

@@ -51,11 +51,14 @@ pub struct GsPollerStats {
 impl GsPollerStats {
     /// GS polls skipped by improvement (c).
     pub fn skipped_polls(&self) -> u64 {
+        // ord: Relaxed — diagnostic tally read after the run; the thread
+        // join that ends the run orders it.
         self.skipped.load(Ordering::Relaxed)
     }
 
     /// GS polls issued.
     pub fn executed_polls(&self) -> u64 {
+        // ord: Relaxed — same post-join diagnostic read as above.
         self.executed.load(Ordering::Relaxed)
     }
 }
@@ -238,6 +241,8 @@ impl Poller for GsPoller {
                 while e.plan.is_due(now) && !idx.is_some_and(|i| view.downlink_has_data_at(i, now))
                 {
                     e.plan.skip();
+                    // ord: Relaxed — monotonic diagnostic counter; no
+                    // other memory rides on it.
                     self.stats.skipped.fetch_add(1, Ordering::Relaxed);
                 }
             }
@@ -256,6 +261,7 @@ impl Poller for GsPoller {
             .find(|e| e.plan.is_due(now) && view.fits_exchange(e.slave, e.s))
         {
             e.pending_planned = Some(e.plan.next_poll());
+            // ord: Relaxed — monotonic diagnostic counter, as above.
             self.stats.executed.fetch_add(1, Ordering::Relaxed);
             return PollDecision::Poll {
                 slave: e.slave,

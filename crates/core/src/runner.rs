@@ -788,6 +788,9 @@ impl ExperimentRunner {
                     // lock traffic negligible next to simulation time.
                     let mut local: Vec<(usize, R)> = Vec::new();
                     loop {
+                        // ord: Relaxed — RMW atomicity alone partitions
+                        // cell indices across workers; results are
+                        // ordered by the scope join and the result lock.
                         let i = cursor.fetch_add(1, Ordering::Relaxed);
                         if i >= cells.len() {
                             break;
@@ -869,6 +872,8 @@ impl ExperimentRunner {
         std::thread::scope(|scope| {
             for _ in 0..workers {
                 scope.spawn(|| loop {
+                    // ord: Relaxed — claim-only counter (see above); the
+                    // sink mutex orders the deliveries.
                     let i = cursor.fetch_add(1, Ordering::Relaxed);
                     if i >= n {
                         break;

@@ -432,8 +432,12 @@ const MESH_SEGMENT_EDGES: usize = 3;
 /// carries chain traffic.
 fn mesh_chain_segments(edges: &[EdgeDef]) -> Vec<Vec<usize>> {
     let mut segments: Vec<Vec<usize>> = Vec::new();
-    // Piconet → index of the segment currently extendable from it.
-    let mut extendable: std::collections::HashMap<u16, usize> = std::collections::HashMap::new();
+    // Piconet → index of the segment currently extendable from it. A
+    // BTreeMap, not a HashMap: the map is keyed-access-only today, but
+    // scenario derivation feeds the byte-identity invariant and an ordered
+    // map keeps any future iteration deterministic by construction
+    // (and off the determinism lint's waiver list).
+    let mut extendable: std::collections::BTreeMap<u16, usize> = std::collections::BTreeMap::new();
     for (ei, e) in edges.iter().enumerate() {
         match extendable.remove(&e.up_pic) {
             Some(si) if segments[si].len() < MESH_SEGMENT_EDGES => {

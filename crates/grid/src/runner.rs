@@ -283,6 +283,9 @@ impl ShardedGridRunner {
             std::thread::scope(|scope| {
                 for _ in 0..self.workers.min(jobs.len()) {
                     scope.spawn(|| loop {
+                        // ord: Relaxed — RMW atomicity alone partitions
+                        // shard jobs; the merge/stats mutexes order the
+                        // results.
                         let j = next.fetch_add(1, Ordering::Relaxed);
                         let Some(job) = jobs.get(j) else { break };
                         let (count, verdict) =

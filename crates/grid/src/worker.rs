@@ -69,9 +69,13 @@ pub fn run_worker(
 /// normal operation).
 pub fn fault_injection_from_env() -> FaultInjection {
     FaultInjection {
+        // analyze: allow(ambient-env): crash-test fault injection, read
+        // once at worker startup; absent in normal operation and never on
+        // a simulation or report path.
         crash_after_cells: std::env::var("BTGS_GRID_CRASH_AFTER_CELLS")
             .ok()
             .and_then(|v| v.parse().ok()),
+        // analyze: allow(ambient-env): same crash-test injection as above.
         torn_frame: std::env::var("BTGS_GRID_CRASH_TORN").is_ok_and(|v| v == "1"),
     }
 }

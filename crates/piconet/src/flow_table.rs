@@ -94,6 +94,9 @@ enum IdIndex {
     /// A single masked array read — faster than any scan or hash.
     Dense(Vec<Option<FlowIdx>>),
     /// Fast-hash map for sparse id spaces.
+    // analyze: allow(hash-iter): lookup-only — `get` resolves keyed ids and
+    // nothing ever iterates the map; every ordered walk of the table goes
+    // through the dense `specs` vec, so hash order cannot reach a report.
     Spread(HashMap<FlowId, FlowIdx, BuildHasherDefault<FlowIdHasher>>),
 }
 

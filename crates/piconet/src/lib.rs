@@ -43,6 +43,7 @@ mod report;
 mod sar;
 mod scatternet;
 mod sim;
+pub mod sync_protocol;
 
 pub use config::{AllowedByCap, PiconetConfig, PiconetError, PresenceMask, SarPolicy, ScoBinding};
 pub use flow::{validate_flows, FlowSpec};

@@ -67,13 +67,14 @@ use crate::flow_table::{FlowIdHasher, FlowIdx, FlowTable};
 use crate::poller::Poller;
 use crate::report::RunReport;
 use crate::sim::{handle, seed_world, Ev, Target, World};
+use crate::sync_protocol::{barrier_wait, claim_next, BarrierOrderings, SyncEnv};
 use btgs_baseband::{ChannelModel, PiconetId, PresenceWindow, ScopedSlave};
 use btgs_des::{DetRng, EventQueue, Scheduler, SimDuration, SimTime, Simulator};
 use btgs_metrics::DelayStats;
 use btgs_traffic::{AppPacket, FlowId, Source};
 use std::collections::{HashMap, VecDeque};
 use std::hash::BuildHasherDefault;
-use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Mutex;
 
 /// How one global flow id resolves to its shard. Mirrors the dense/spread
@@ -83,6 +84,8 @@ enum RouteIndex {
     /// Direct map for small id spaces: one masked array read.
     Dense(Vec<Option<(PiconetId, FlowIdx)>>),
     /// Fast-hash map for sparse id spaces.
+    // analyze: allow(hash-iter): lookup-only — `route` does keyed `get`s and
+    // nothing ever iterates the map, so hash order cannot reach a report.
     Spread(HashMap<FlowId, (PiconetId, FlowIdx), BuildHasherDefault<FlowIdHasher>>),
 }
 
@@ -158,7 +161,11 @@ impl ShardedFlowArena {
             }
             RouteIndex::Dense(dense)
         } else {
+            // analyze: allow(hash-iter): construction of the lookup-only
+            // route index; filled by keyed inserts from the deterministic
+            // shard iteration, never iterated itself.
             let mut map: HashMap<_, _, BuildHasherDefault<FlowIdHasher>> =
+                // analyze: allow(hash-iter): see above — same site.
                 HashMap::with_capacity_and_hasher(len, BuildHasherDefault::default());
             for (id, target) in entries {
                 if map.insert(id, target).is_some() {
@@ -639,49 +646,76 @@ const BACKOFF_CAP_EXP: u32 = 8;
 /// release this waiter needs may be starved by the waiter itself) —
 /// exponential-backoff sleeps capped near a scheduler quantum.
 struct SpinBarrier {
-    n: usize,
-    count: AtomicUsize,
-    generation: AtomicUsize,
-    /// Spin iterations before yielding. Zero when the barrier was built
-    /// for more waiters than the host has cores: spinning then only
-    /// steals cycles from the waiter being waited for.
-    spin_budget: u32,
+    n: u64,
+    count: AtomicU64,
+    generation: AtomicU64,
+    env: HardwareSyncEnv,
 }
 
 impl SpinBarrier {
     fn new(n: usize) -> SpinBarrier {
         let hw = std::thread::available_parallelism().map_or(1, |c| c.get());
         SpinBarrier {
-            n,
-            count: AtomicUsize::new(0),
-            generation: AtomicUsize::new(0),
-            spin_budget: if n > hw { 0 } else { SPIN_BUDGET },
+            n: n as u64,
+            count: AtomicU64::new(0),
+            generation: AtomicU64::new(0),
+            env: HardwareSyncEnv {
+                // Zero when the barrier was built for more waiters than
+                // the host has cores: spinning then only steals cycles
+                // from the waiter being waited for.
+                spin_budget: if n > hw { 0 } else { SPIN_BUDGET },
+            },
         }
     }
 
+    /// One crossing of the generation protocol
+    /// ([`crate::sync_protocol::barrier_wait`] — the logic the
+    /// `btgs-analyze` model checker explores exhaustively) on hardware
+    /// atomics with the adaptive waiter.
     fn wait(&self) {
-        let generation = self.generation.load(Ordering::Acquire);
-        if self.count.fetch_add(1, Ordering::AcqRel) + 1 == self.n {
-            // Last arrival: reset the count *before* releasing the
-            // generation, so a thread racing into the next round cannot
-            // observe a stale count.
-            self.count.store(0, Ordering::Relaxed);
-            self.generation.fetch_add(1, Ordering::Release);
-        } else {
-            let mut spins = 0u32;
-            let mut yields = 0u32;
-            while self.generation.load(Ordering::Acquire) == generation {
-                if spins < self.spin_budget {
-                    spins += 1;
-                    std::hint::spin_loop();
-                } else if yields < YIELD_BUDGET {
-                    yields += 1;
-                    std::thread::yield_now();
-                } else {
-                    let exp = (yields - YIELD_BUDGET).min(BACKOFF_CAP_EXP);
-                    yields = yields.saturating_add(1);
-                    std::thread::sleep(std::time::Duration::from_micros(1u64 << exp));
-                }
+        barrier_wait(
+            &self.env,
+            &self.count,
+            &self.generation,
+            self.n,
+            &BarrierOrderings::SOUND,
+        );
+    }
+}
+
+/// The hardware half of the barrier seam: waiting is a hot spin, then
+/// scheduler yields, and — once the yield count says the host is
+/// oversubscribed (more runnable threads than cores, so the release this
+/// waiter needs may be starved by the waiter itself) — exponential-backoff
+/// sleeps capped near a scheduler quantum.
+struct HardwareSyncEnv {
+    /// Spin iterations before yielding.
+    spin_budget: u32,
+}
+
+impl SyncEnv for HardwareSyncEnv {
+    type Cell = AtomicU64;
+
+    fn wait_until_changed(&self, cell: &AtomicU64, old: u64, order: Ordering) -> u64 {
+        let mut spins = 0u32;
+        let mut yields = 0u32;
+        loop {
+            // ord: the caller's ordering — the barrier passes Acquire
+            // (justified in sync_protocol::barrier_wait).
+            let v = cell.load(order);
+            if v != old {
+                return v;
+            }
+            if spins < self.spin_budget {
+                spins += 1;
+                std::hint::spin_loop();
+            } else if yields < YIELD_BUDGET {
+                yields += 1;
+                std::thread::yield_now();
+            } else {
+                let exp = (yields - YIELD_BUDGET).min(BACKOFF_CAP_EXP);
+                yields = yields.saturating_add(1);
+                std::thread::sleep(std::time::Duration::from_micros(1u64 << exp));
             }
         }
     }
@@ -715,11 +749,16 @@ struct IslandMeta {
 
 impl IslandMeta {
     fn publish(&self, next_event: SimTime, hot_from: SimTime, staged: bool) {
+        // ord: Release on all three — the coordinator reads them after the
+        // round's barrier crossing, whose Acquire/Release pair already
+        // orders them; the explicit Release keeps each publish
+        // individually well-ordered for the batching fast path, which
+        // reads `next_event` *without* an intervening barrier.
         self.next_event
             .store(nanos_of(next_event), Ordering::Release);
-        self.hot_from.store(nanos_of(hot_from), Ordering::Release);
+        self.hot_from.store(nanos_of(hot_from), Ordering::Release); // ord: see above
         if staged {
-            self.staged.store(true, Ordering::Release);
+            self.staged.store(true, Ordering::Release); // ord: see above
         }
     }
 }
@@ -842,14 +881,17 @@ fn claim_islands(
     cells: &[Mutex<IslandSim>],
     meta: &[IslandMeta],
     order: &[usize],
-    cursor: &AtomicUsize,
+    cursor: &AtomicU64,
     b: SimTime,
     batching: bool,
 ) {
     let b_nanos = nanos_of(b);
-    loop {
-        let i = cursor.fetch_add(1, Ordering::AcqRel);
-        let Some(&idx) = order.get(i) else { return };
+    // ord: Relaxed — RMW atomicity alone partitions the claims; justified
+    // in sync_protocol::claim_next and model-checked by btgs-analyze.
+    while let Some(i) = claim_next(cursor, order.len() as u64, Ordering::Relaxed) {
+        let idx = order[i as usize];
+        // ord: Acquire — pairs with the island's Release publish so a
+        // skip decision is made against the island's completed status.
         if batching && meta[idx].next_event.load(Ordering::Acquire) > b_nanos {
             continue;
         }
@@ -982,7 +1024,7 @@ fn run_phases_par(
         })
         .collect();
     let barrier = SpinBarrier::new(threads);
-    let cursor = AtomicUsize::new(0);
+    let cursor = AtomicU64::new(0);
     let bound = AtomicU64::new(0);
     let stop = AtomicBool::new(false);
 
@@ -992,9 +1034,15 @@ fn run_phases_par(
             let meta = &meta;
             scope.spawn(move || loop {
                 barrier.wait();
+                // ord: Acquire — pairs with the coordinator's Release
+                // store before its barrier crossing; the crossing itself
+                // already orders it, the explicit pair keeps the flag
+                // self-contained.
                 if stop.load(Ordering::Acquire) {
                     return;
                 }
+                // ord: Acquire — pairs with the coordinator's Release
+                // publish of the round bound (same reasoning as `stop`).
                 let b = time_of(bound.load(Ordering::Acquire));
                 claim_islands(cells, meta, order, cursor, b, mode.batching);
                 barrier.wait();
@@ -1012,6 +1060,8 @@ fn run_phases_par(
                 pool.last().map(|p| p.at),
                 groups,
                 mode.widening,
+                // ord: Acquire — pairs with the islands' Release publish;
+                // the inter-round barrier crossing already ordered it.
                 |i| time_of(meta[i].hot_from.load(Ordering::Acquire)),
             );
             counters.phases_run += 1;
@@ -1019,6 +1069,8 @@ fn run_phases_par(
             let active = if mode.batching {
                 order
                     .iter()
+                    // ord: Acquire — pairs with the islands' Release
+                    // publish (ordered since the last barrier crossing).
                     .filter(|&&idx| meta[idx].next_event.load(Ordering::Acquire) <= b_nanos)
                     .count()
             } else {
@@ -1029,6 +1081,9 @@ fn run_phases_par(
                 // Coordinator-solo round: cheaper than two barrier
                 // crossings when almost everything is idle.
                 for &idx in order {
+                    // ord: Acquire — same publish pairing as the `active`
+                    // count above; coordinator-solo rounds take no lock on
+                    // skipped islands.
                     if meta[idx].next_event.load(Ordering::Acquire) > b_nanos {
                         continue;
                     }
@@ -1040,13 +1095,20 @@ fn run_phases_par(
                 }
             } else {
                 counters.barrier_rounds += 1;
+                // ord: Release on both — published to the workers across
+                // the barrier crossing below; the crossing's
+                // Acquire/Release pair is what actually carries them, the
+                // explicit Release keeps each store individually sound.
                 bound.store(b_nanos, Ordering::Release);
-                cursor.store(0, Ordering::Release);
+                cursor.store(0, Ordering::Release); // ord: see above
                 barrier.wait();
                 claim_islands(cells, &meta, order, &cursor, b, mode.batching);
                 barrier.wait();
             }
             for (idx, m) in meta.iter().enumerate() {
+                // ord: AcqRel — the Acquire half pairs with the island's
+                // Release publish of the flag; the Release half keeps the
+                // reset ordered before the island's next publish.
                 if mode.batching && !m.staged.swap(false, Ordering::AcqRel) {
                     continue;
                 }
@@ -1066,11 +1128,14 @@ fn run_phases_par(
                 let mut island = cells[idx].lock().expect("no poisoned islands");
                 inject_relay(&mut island, &p.relay);
                 drop(island);
+                // ord: Acquire/Release — coordinator-only read-modify of
+                // the island's published status between rounds; the next
+                // barrier crossing republishes it to the workers.
                 let ne = meta[idx].next_event.load(Ordering::Acquire);
                 meta[idx]
                     .next_event
-                    .store(ne.min(nanos_of(t)), Ordering::Release);
-                meta[idx].hot_from.store(0, Ordering::Release);
+                    .store(ne.min(nanos_of(t)), Ordering::Release); // ord: see above
+                meta[idx].hot_from.store(0, Ordering::Release); // ord: see above
                 due = true;
             }
             if t >= horizon && !due {
@@ -1079,6 +1144,8 @@ fn run_phases_par(
         }
         probe();
 
+        // ord: Release — carried to the workers by the final barrier
+        // crossing; they read it with Acquire right after.
         stop.store(true, Ordering::Release);
         barrier.wait();
     });
@@ -1899,6 +1966,8 @@ mod tests {
                 let hits = std::sync::Arc::clone(&hits);
                 std::thread::spawn(move || {
                     for _ in 0..rounds {
+                        // ord: Relaxed — a test tally; the final read is
+                        // ordered by the joins below.
                         hits.fetch_add(1, Ordering::Relaxed);
                         barrier.wait();
                     }
@@ -1908,6 +1977,7 @@ mod tests {
         for w in workers {
             w.join().expect("barrier waiter panicked");
         }
+        // ord: Relaxed — all writers joined above.
         assert_eq!(hits.load(Ordering::Relaxed), (n * rounds) as u64);
     }
 }

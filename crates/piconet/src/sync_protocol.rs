@@ -1,0 +1,199 @@
+//! The atomics protocols of the parallel island engine, extracted behind a
+//! small trait seam.
+//!
+//! Everything the scatternet engine's byte-identity claim rests on — the
+//! [`barrier_wait`] generation protocol and the [`claim_next`] atomic-cursor
+//! island claiming — lives here as plain functions generic over [`SyncCell`]
+//! and [`SyncEnv`]. The engine instantiates them with hardware atomics
+//! ([`AtomicU64`] plus the adaptive spin/yield/backoff waiter), which
+//! monomorphises to exactly the code the engine ran before the extraction.
+//! `btgs-analyze`'s model checker instantiates the *same functions* with
+//! modeled memory cells and a schedule-exploring environment, so every
+//! interleaving the bounded DFS visits exercises the actual protocol logic,
+//! not a transcription of it.
+//!
+//! The memory orderings are parameters ([`BarrierOrderings`]) rather than
+//! literals so the checker can also run the deliberately weakened variants
+//! ([`BarrierOrderings::WEAK_SPIN`], [`BarrierOrderings::WEAK_ARRIVE`]) and
+//! prove it would catch the corresponding real-world regressions. The
+//! engine only ever passes [`BarrierOrderings::SOUND`], a `const`, so the
+//! parameterisation folds away.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// One shared atomic word of a protocol, as the protocol logic sees it.
+///
+/// Hardware implementation: [`AtomicU64`]. Model implementation (in
+/// `btgs-analyze`): a handle into the checker's vector-clocked memory whose
+/// every call is a scheduler yield point.
+pub trait SyncCell {
+    /// Atomic load with the given ordering.
+    fn load(&self, order: Ordering) -> u64;
+    /// Atomic store with the given ordering.
+    fn store(&self, value: u64, order: Ordering);
+    /// Atomic fetch-add; returns the previous value.
+    fn fetch_add(&self, value: u64, order: Ordering) -> u64;
+}
+
+impl SyncCell for AtomicU64 {
+    #[inline]
+    fn load(&self, order: Ordering) -> u64 {
+        AtomicU64::load(self, order)
+    }
+
+    #[inline]
+    fn store(&self, value: u64, order: Ordering) {
+        AtomicU64::store(self, value, order)
+    }
+
+    #[inline]
+    fn fetch_add(&self, value: u64, order: Ordering) -> u64 {
+        AtomicU64::fetch_add(self, value, order)
+    }
+}
+
+/// The scheduling side of a protocol: how a thread waits for another
+/// thread's store. Separated from the protocol logic because it is policy
+/// (how hard to spin) rather than correctness (what to wait for).
+pub trait SyncEnv {
+    /// The cell type this environment waits on.
+    type Cell: SyncCell;
+
+    /// Blocks until a load of `cell` with `order` observes a value
+    /// different from `old`, and returns that value.
+    ///
+    /// The hardware implementation is the adaptive spin → yield →
+    /// exponential-backoff loop; the model implementation lets the
+    /// checker's scheduler pick which qualifying store the load reads.
+    fn wait_until_changed(&self, cell: &Self::Cell, old: u64, order: Ordering) -> u64;
+}
+
+/// The memory orderings of the barrier protocol, as data.
+///
+/// Each field is one ordering decision in [`barrier_wait`]; the inline
+/// `ord:` comments at the use sites justify the [`SOUND`] choice, and the
+/// model checker demonstrates the weakened variants break the protocol's
+/// publish-visibility guarantee under explored schedules.
+///
+/// [`SOUND`]: BarrierOrderings::SOUND
+#[derive(Clone, Copy, Debug)]
+pub struct BarrierOrderings {
+    /// The generation load on entry, before arriving.
+    pub enter: Ordering,
+    /// The arrival `count.fetch_add`.
+    pub arrive: Ordering,
+    /// The releaser's `count.store(0)` reset.
+    pub reset: Ordering,
+    /// The releaser's `generation.fetch_add` release.
+    pub release: Ordering,
+    /// The waiters' generation loads while spinning.
+    pub spin: Ordering,
+}
+
+impl BarrierOrderings {
+    /// The production orderings; every choice is justified at its use site
+    /// in [`barrier_wait`] and validated by `btgs-analyze`'s exhaustive
+    /// small-model check.
+    pub const SOUND: BarrierOrderings = BarrierOrderings {
+        enter: Ordering::Acquire,   // ord: justified at the use site in barrier_wait
+        arrive: Ordering::AcqRel,   // ord: justified at the use site in barrier_wait
+        reset: Ordering::Relaxed,   // ord: justified at the use site in barrier_wait
+        release: Ordering::Release, // ord: justified at the use site in barrier_wait
+        spin: Ordering::Acquire,    // ord: justified at the use site in barrier_wait
+    };
+
+    /// Deliberately broken: waiters spin with `Relaxed` generation loads,
+    /// so clearing the barrier no longer synchronises with the releaser
+    /// and pre-barrier publishes by other threads may be invisible after
+    /// it. The model checker must find a counterexample for this variant
+    /// (regression-tested) — it is the exact bug a future contributor
+    /// could introduce by "optimising" the spin loop.
+    pub const WEAK_SPIN: BarrierOrderings = BarrierOrderings {
+        spin: Ordering::Relaxed, // ord: deliberately unsound — checker fixture
+        ..BarrierOrderings::SOUND
+    };
+
+    /// Deliberately broken the other way: `Relaxed` arrivals, so the
+    /// *releaser* (who never spins) is no longer ordered after the other
+    /// threads' pre-barrier publishes.
+    pub const WEAK_ARRIVE: BarrierOrderings = BarrierOrderings {
+        arrive: Ordering::Relaxed, // ord: deliberately unsound — checker fixture
+        ..BarrierOrderings::SOUND
+    };
+}
+
+/// One barrier crossing of the generation protocol.
+///
+/// `n` threads call this per round; the last arrival resets the count and
+/// bumps the generation, releasing the rest. Returns the generation the
+/// caller observed on clearing the barrier (entry generation + 1 in every
+/// sound schedule — checked by the model's no-generation-skip assertion).
+///
+/// Guarantees (with [`BarrierOrderings::SOUND`], model-checked
+/// exhaustively at 2–4 threads):
+///
+/// * **no lost wakeup** — every thread clears every round (no schedule
+///   deadlocks);
+/// * **no generation skip** — the observed generation is exactly one past
+///   the entry generation;
+/// * **publish visibility** — every write sequenced before any thread's
+///   crossing is visible to every thread after it.
+pub fn barrier_wait<E: SyncEnv>(
+    env: &E,
+    count: &E::Cell,
+    generation: &E::Cell,
+    n: u64,
+    ord: &BarrierOrderings,
+) -> u64 {
+    // ord: Acquire — pairs with the previous round's Release bump: a thread
+    // racing into round g+1 must order its arrival after observing g+1, or
+    // it could arrive against the previous round's count.
+    let entry = generation.load(ord.enter);
+    // ord: AcqRel — the Release half publishes this thread's pre-barrier
+    // writes into the count cell's release sequence (each arrival extends
+    // it), and the Acquire half makes the *last* arrival — which never
+    // spins — acquire every earlier arrival's publishes through that
+    // sequence. Weakening this to Relaxed loses the releaser's visibility
+    // (the model checker's WEAK_ARRIVE counterexample).
+    if count.fetch_add(1, ord.arrive) + 1 == n {
+        // ord: Relaxed is sufficient — this reset is sequenced before the
+        // Release generation bump below, so any thread that enters the
+        // next round (it must first observe the bump with Acquire) has the
+        // reset ordered before its arrival; write-write coherence then
+        // places the reset before that arrival in the count cell's
+        // modification order. Model-checked: no schedule loses an arrival.
+        count.store(0, ord.reset);
+        // ord: Release — the bump is the barrier's publication point: it
+        // carries every pre-barrier write (own and, via the acquiring
+        // fetch_add above, everyone else's) to the spinning waiters.
+        generation.fetch_add(1, ord.release);
+        entry + 1
+    } else {
+        // ord: Acquire — the spin load that clears the barrier pairs with
+        // the Release bump, making all pre-barrier publishes visible.
+        // Relaxed here is the classic silent breakage (WEAK_SPIN): the
+        // waiter leaves the barrier without synchronising.
+        env.wait_until_changed(generation, entry, ord.spin)
+    }
+}
+
+/// One claim off a shared work cursor: returns the claimed position, or
+/// `None` once the cursor has run past `len`.
+///
+/// The claim is a bare `fetch_add` — atomicity alone partitions positions
+/// across claimants (model-checked: claim sets are disjoint and cover
+/// `0..len` under every explored schedule at 2–4 threads).
+pub fn claim_next<C: SyncCell>(cursor: &C, len: u64, order: Ordering) -> Option<u64> {
+    // ord: Relaxed is sufficient — uniqueness comes from RMW atomicity
+    // (each fetch_add reads the latest value in the cell's modification
+    // order), not from visibility; the island data a claim guards is
+    // protected by the island's Mutex, and the coordinator's cursor reset
+    // is ordered before all claims by the barrier crossing between them.
+    // (Was AcqRel before the PR-8 audit: needlessly strong on a counter.)
+    let i = cursor.fetch_add(1, order);
+    if i < len {
+        Some(i)
+    } else {
+        None
+    }
+}
