@@ -30,12 +30,22 @@
 //!   claim-set partition under every explored schedule, and
 //!   regression-proves it would catch the deliberately weakened variants.
 //!
-//! Run both over the tree with `cargo run -p btgs-analyze -- --workspace`.
+//! * **Engine 3 — the divergence bisector** ([`bisect`]): when two engine
+//!   configurations that must be byte-identical ever disagree, `--bisect`
+//!   runs both with full event traces over a shared corpus scenario and
+//!   binary-searches the per-island rolling hashes to the *first
+//!   diverging event*, printing a minimal aligned trace (island, time,
+//!   event kind, hash prefix) instead of a useless whole-report diff.
+//!
+//! Run the static engines with `cargo run -p btgs-analyze -- --workspace`,
+//! the bisector with `cargo run -p btgs-analyze -- --bisect chain --vs
+//! threads=4`.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod audit;
+pub mod bisect;
 pub mod lexer;
 pub mod lint;
 pub mod model;

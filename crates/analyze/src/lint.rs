@@ -50,6 +50,14 @@ pub enum Rule {
     /// A truncating `as` cast on a time/id newtype payload (`.0 as u8`,
     /// `as_nanos() as u32`, …) that could silently wrap.
     NewtypeCast,
+    /// An unstable sort (`sort_unstable*`, `select_nth_unstable*`) or a
+    /// float-keyed comparator (`.partial_cmp(...)` at a call site) on a
+    /// simulation path. Unstable sorts reorder equal keys
+    /// implementation-dependently, so any duplicate-key sort feeding a
+    /// report is a byte-identity hazard; `partial_cmp` on floats silently
+    /// turns NaN into `Equal`-by-unwrap or panics. Waivable when the key is
+    /// provably unique; `total_cmp` is the sanctioned float comparator.
+    UnstableSort,
     /// A malformed or unused waiver comment.
     Waiver,
 }
@@ -65,6 +73,7 @@ impl Rule {
             Rule::UnsafePolicy => "unsafe-policy",
             Rule::OrdComment => "ord-comment",
             Rule::NewtypeCast => "newtype-cast",
+            Rule::UnstableSort => "unstable-sort",
             Rule::Waiver => "waiver",
         }
     }
@@ -78,6 +87,7 @@ impl Rule {
             "unsafe-policy" => Some(Rule::UnsafePolicy),
             "ord-comment" => Some(Rule::OrdComment),
             "newtype-cast" => Some(Rule::NewtypeCast),
+            "unstable-sort" => Some(Rule::UnstableSort),
             _ => None,
         }
     }
@@ -356,6 +366,39 @@ pub fn scan_source(rel: &str, src: &str) -> (Vec<Finding>, Vec<Waiver>) {
                     });
                     break;
                 }
+            }
+        }
+
+        // unstable-sort: unstable sorts and float-keyed comparators on sim
+        // paths. `total_cmp` is the sanctioned float comparator and never
+        // fires; a `fn partial_cmp` line is a trait-impl definition, not a
+        // call site.
+        if class == FileClass::Sim && !in_test && !is_use {
+            let unstable = ["sort_unstable", "select_nth_unstable"]
+                .iter()
+                .find(|t| code.contains(*t));
+            if let Some(token) = unstable {
+                raw_findings.push(Finding {
+                    rule: Rule::UnstableSort,
+                    file: rel.to_string(),
+                    line: lineno,
+                    message: format!(
+                        "`{token}` on a simulation path — equal keys reorder \
+                         implementation-dependently; use a stable sort or waive a \
+                         provably-unique key: `{trimmed}`"
+                    ),
+                });
+            } else if code.contains(".partial_cmp(") && !code.contains("fn partial_cmp") {
+                raw_findings.push(Finding {
+                    rule: Rule::UnstableSort,
+                    file: rel.to_string(),
+                    line: lineno,
+                    message: format!(
+                        "`partial_cmp` comparator on a simulation path — NaN breaks \
+                         the total order; use `total_cmp` (exempt) or integer keys: \
+                         `{trimmed}`"
+                    ),
+                });
             }
         }
 

@@ -9,13 +9,22 @@
 //!     --root PATH     workspace root (default: this crate's ../..)
 //!     -D              deny: nonzero exit on any finding (the default;
 //!                     accepted explicitly for CI clarity)
+//!
+//! cargo run --release -p btgs-analyze -- --bisect TOPO   # divergence bisector
+//!     TOPO            corpus scenario: chain | ring | mesh
+//!     --vs SPEC       suspect configuration vs the 1-thread baseline
+//!                     (default threads=4), e.g. threads=4|widening=off|shuffle=7
+//!     --horizon-ms N  simulated horizon in milliseconds (default 1500)
 //! ```
 //!
 //! Exit status 0 means: zero unwaivered lint findings, a fresh committed
 //! waiver audit, every sound protocol scenario passed (exhaustively where
-//! required) and every weakened fixture was refuted with a counterexample.
+//! required) and every weakened fixture was refuted with a counterexample —
+//! and, in bisect mode, byte-identical event traces (a found divergence
+//! exits 1 after printing the minimal aligned trace).
 
-use btgs_analyze::{audit, lint, scenarios};
+use btgs_analyze::{audit, bisect, lint, scenarios};
+use btgs_des::SimTime;
 use std::path::PathBuf;
 
 /// Default executions per model scenario — sized so the whole suite stays
@@ -29,6 +38,9 @@ fn main() {
     let mut write_audit = false;
     let mut budget = DEFAULT_BUDGET;
     let mut root: Option<PathBuf> = None;
+    let mut bisect_topology: Option<String> = None;
+    let mut bisect_vs = String::from("threads=4");
+    let mut horizon_ms: u64 = 1500;
 
     let mut args = std::env::args().skip(1);
     while let Some(flag) = args.next() {
@@ -49,13 +61,30 @@ fn main() {
                     args.next().unwrap_or_else(|| die("--root takes a path")),
                 ));
             }
+            "--bisect" => {
+                bisect_topology = Some(
+                    args.next()
+                        .unwrap_or_else(|| die("--bisect takes a topology: chain | ring | mesh")),
+                );
+            }
+            "--vs" => {
+                bisect_vs = args
+                    .next()
+                    .unwrap_or_else(|| die("--vs takes a spec like threads=4|widening=off"));
+            }
+            "--horizon-ms" => {
+                horizon_ms = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| die("--horizon-ms takes a positive integer"));
+            }
             other => die(&format!(
                 "unknown flag {other}; known: --workspace --lint --model --budget N \
-                 --write-audit --root PATH -D"
+                 --write-audit --root PATH -D --bisect TOPO --vs SPEC --horizon-ms N"
             )),
         }
     }
-    if !run_lint && !run_model {
+    if !run_lint && !run_model && bisect_topology.is_none() {
         run_lint = true;
         run_model = true;
     }
@@ -134,6 +163,19 @@ fn main() {
             }
             failed |= !ok;
         }
+    }
+
+    if let Some(topology) = bisect_topology {
+        println!("== divergence bisector ==");
+        let spec = bisect::BisectSpec::parse(&bisect_vs).unwrap_or_else(|e| die(&e));
+        println!(
+            "{topology}: baseline (1 thread, default engine) vs `{bisect_vs}`, \
+             horizon {horizon_ms} ms"
+        );
+        let report = bisect::run_bisect(&topology, &spec, SimTime::from_millis(horizon_ms))
+            .unwrap_or_else(|e| die(&e));
+        print!("{}", report.render());
+        failed |= report.divergence.is_some();
     }
 
     if failed {

@@ -24,10 +24,20 @@
 //! * a miniature engine round (coordinator resets the cursor and
 //!   publishes the round bound, workers cross the barrier, read the
 //!   bound and claim) — the composition the real
-//!   `run_phases_par` executes between two crossings.
+//!   `run_phases_par` executes between two crossings;
+//! * the staged-relay publish protocol
+//!   ([`publish_staged`]/[`collect_staged`]): workers write a relay and
+//!   raise their island's flag, the coordinator drains flagged islands
+//!   after the crossing — plus the *early-collect* fixture (a
+//!   coordinator that polls flags before the crossing, paired with
+//!   [`StagedOrderings::WEAK_PUBLISH`]), which the checker must refute
+//!   via a missed publish or stale staged data.
 
 use crate::model::{check_scenario, ModelEnv, ModelReport, Scenario};
-use btgs_piconet::sync_protocol::{barrier_wait, claim_next, BarrierOrderings, SyncCell};
+use btgs_piconet::sync_protocol::{
+    barrier_wait, claim_next, collect_staged, publish_staged, BarrierOrderings, StagedOrderings,
+    SyncCell,
+};
 use std::sync::atomic::Ordering;
 
 /// Modeled location of the barrier's arrival count.
@@ -332,6 +342,142 @@ impl Scenario for EngineRoundScenario {
     }
 }
 
+/// First per-worker `(flag, data)` location pair in
+/// [`StagedPublishScenario`] (after the barrier's two words).
+const STAGED_BASE: usize = 2;
+
+/// Modeled location of worker `w`'s staged flag (`w` in `1..n`).
+fn staged_flag(worker: usize) -> usize {
+    STAGED_BASE + 2 * (worker - 1)
+}
+
+/// Modeled location of worker `w`'s staged-relay data word.
+fn staged_data(worker: usize) -> usize {
+    STAGED_BASE + 2 * (worker - 1) + 1
+}
+
+/// The staged-relay publish protocol of `run_phases_par`: thread 0 is the
+/// coordinator, threads `1..n` are workers. Each worker writes a relay
+/// into its island's staging area (modeled as one data word), raises the
+/// island's staged flag via [`publish_staged`], and crosses the barrier;
+/// the coordinator drains every flagged island via [`collect_staged`]
+/// after the crossing. The check asserts no publish is missed and no
+/// collected relay is stale.
+///
+/// `early_collect` is the deliberately broken fixture: the coordinator
+/// polls the flags *before* crossing — the tempting "skip the barrier"
+/// optimisation. Paired with [`StagedOrderings::WEAK_PUBLISH`] the
+/// checker must refute it (missed publish, or a raised flag with stale
+/// data behind it).
+pub struct StagedPublishScenario {
+    /// Total threads including the coordinator (2–3).
+    pub n: usize,
+    /// The flag orderings — [`StagedOrderings::SOUND`] or the weakened
+    /// fixture.
+    pub ord: StagedOrderings,
+    /// `true` collects before the barrier crossing instead of after.
+    pub early_collect: bool,
+    /// Display label for the report.
+    pub label: &'static str,
+}
+
+impl StagedPublishScenario {
+    fn collect_all(&self, env: &ModelEnv<'_>) {
+        for w in 1..self.n {
+            let flag = env.cell(staged_flag(w));
+            if collect_staged(&flag, &self.ord) {
+                env.record(1);
+                // Adversarial stale read of the staged relay: the flag
+                // handshake (or the crossing) must order the worker's
+                // data write before this.
+                env.record(env.load_oldest(staged_data(w)));
+            } else {
+                env.record(0);
+                env.record(0);
+            }
+        }
+    }
+}
+
+impl Scenario for StagedPublishScenario {
+    fn name(&self) -> String {
+        format!("staged-publish[{}] n={}", self.label, self.n)
+    }
+
+    fn threads(&self) -> usize {
+        self.n
+    }
+
+    fn locations(&self) -> usize {
+        STAGED_BASE + 2 * (self.n - 1)
+    }
+
+    fn run(&self, env: &ModelEnv<'_>) {
+        let count = env.cell(COUNT);
+        let generation = env.cell(GEN);
+        if env.t == 0 {
+            if self.early_collect {
+                self.collect_all(env);
+            }
+            barrier_wait(
+                env,
+                &count,
+                &generation,
+                self.n as u64,
+                &BarrierOrderings::SOUND,
+            );
+            if !self.early_collect {
+                self.collect_all(env);
+            }
+        } else {
+            let data = env.cell(staged_data(env.t));
+            let flag = env.cell(staged_flag(env.t));
+            // ord: modeled non-atomic relay write — ordering must come
+            // from the flag handshake and/or the barrier crossing, not
+            // from this store.
+            data.store(secret(0, env.t), Ordering::Relaxed);
+            publish_staged(&flag, &self.ord);
+            barrier_wait(
+                env,
+                &count,
+                &generation,
+                self.n as u64,
+                &BarrierOrderings::SOUND,
+            );
+        }
+    }
+
+    fn check(&self, records: &[Vec<u64>]) -> Result<(), String> {
+        let rec = &records[0];
+        let expected = 2 * (self.n - 1);
+        if rec.len() != expected {
+            return Err(format!(
+                "coordinator recorded {} values, expected {expected}",
+                rec.len()
+            ));
+        }
+        for w in 1..self.n {
+            let flag = rec[2 * (w - 1)];
+            let data = rec[2 * (w - 1) + 1];
+            if flag != 1 {
+                return Err(format!(
+                    "missed publish: coordinator collected worker t{w}'s staged \
+                     flag as 0 — the relay would never be injected"
+                ));
+            }
+            if data != secret(0, w) {
+                return Err(format!(
+                    "stale staged data: coordinator drained worker t{w}'s relay \
+                     as {data}, expected {} — the flag was visible before the \
+                     data behind it",
+                    secret(0, w)
+                ));
+            }
+        }
+        Ok(())
+    }
+}
+
 /// One suite entry: a report plus whether the scenario is a weakened
 /// fixture the checker is *required* to refute.
 pub struct SuiteEntry {
@@ -473,6 +619,42 @@ pub fn run_suite(budget: u64) -> Vec<SuiteEntry> {
         false,
         budget,
     );
+    // The staged-relay publish protocol: sound stage → barrier → drain
+    // exhaustively at 2 and 3 threads; the early-collect + weak-publish
+    // fixture must be refuted.
+    push(
+        &StagedPublishScenario {
+            n: 2,
+            ord: StagedOrderings::SOUND,
+            early_collect: false,
+            label: "sound",
+        },
+        false,
+        true,
+        budget,
+    );
+    push(
+        &StagedPublishScenario {
+            n: 3,
+            ord: StagedOrderings::SOUND,
+            early_collect: false,
+            label: "sound",
+        },
+        false,
+        true,
+        budget,
+    );
+    push(
+        &StagedPublishScenario {
+            n: 2,
+            ord: StagedOrderings::WEAK_PUBLISH,
+            early_collect: true,
+            label: "early-collect+weak-publish",
+        },
+        true,
+        false,
+        budget,
+    );
     out
 }
 
@@ -539,6 +721,63 @@ mod tests {
         assert!(
             !failure.trace.is_empty(),
             "counterexample must carry a trace"
+        );
+    }
+
+    #[test]
+    fn sound_staged_publish_two_threads_exhaustive() {
+        let report = check_scenario(
+            &StagedPublishScenario {
+                n: 2,
+                ord: StagedOrderings::SOUND,
+                early_collect: false,
+                label: "sound",
+            },
+            200_000,
+        );
+        assert!(report.passed(), "{:?}", report.failure);
+        assert!(
+            report.exhausted,
+            "staged-publish n=2 must be fully explored"
+        );
+    }
+
+    #[test]
+    fn sound_staged_publish_three_threads_exhaustive() {
+        let report = check_scenario(
+            &StagedPublishScenario {
+                n: 3,
+                ord: StagedOrderings::SOUND,
+                early_collect: false,
+                label: "sound",
+            },
+            200_000,
+        );
+        assert!(report.passed(), "{:?}", report.failure);
+        assert!(
+            report.exhausted,
+            "staged-publish n=3 must be fully explored"
+        );
+    }
+
+    #[test]
+    fn early_collect_weak_publish_is_refuted() {
+        let report = check_scenario(
+            &StagedPublishScenario {
+                n: 2,
+                ord: StagedOrderings::WEAK_PUBLISH,
+                early_collect: true,
+                label: "early-collect+weak-publish",
+            },
+            200_000,
+        );
+        let failure = report
+            .failure
+            .expect("collecting before the crossing must be refuted");
+        assert!(
+            failure.reason.contains("missed publish") || failure.reason.contains("stale staged"),
+            "unexpected counterexample: {}",
+            failure.reason
         );
     }
 

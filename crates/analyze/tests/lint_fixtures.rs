@@ -205,6 +205,80 @@ fn newtype_cast_fires_on_truncations() {
 }
 
 #[test]
+fn unstable_sort_fires_on_sim_paths() {
+    expect(
+        SIM,
+        "fn f(v: &mut Vec<u32>) { v.sort_unstable(); }\n",
+        &[(Rule::UnstableSort, 1)],
+    );
+    expect(
+        SIM,
+        "fn f(v: &mut Vec<(u64, u32)>) { v.sort_unstable_by_key(|e| e.0); }\n",
+        &[(Rule::UnstableSort, 1)],
+    );
+    expect(
+        SIM,
+        "fn f(v: &mut Vec<u64>) { v.select_nth_unstable(3); }\n",
+        &[(Rule::UnstableSort, 1)],
+    );
+    // Float-keyed comparator at a call site.
+    expect(
+        SIM,
+        "fn f(v: &mut Vec<f64>) { v.sort_by(|a, b| a.partial_cmp(b).unwrap()); }\n",
+        &[(Rule::UnstableSort, 1)],
+    );
+    // Harness crates and #[cfg(test)] scaffolding are exempt.
+    expect(
+        HARNESS,
+        "fn f(v: &mut Vec<u32>) { v.sort_unstable(); }\n",
+        &[],
+    );
+    let in_test = "\
+fn sim() {}
+#[cfg(test)]
+mod tests {
+    fn t(v: &mut Vec<u32>) { v.sort_unstable(); }
+}
+";
+    expect(SIM, in_test, &[]);
+}
+
+#[test]
+fn unstable_sort_silent_on_stable_sorts_and_total_cmp() {
+    expect(SIM, "fn f(v: &mut Vec<u32>) { v.sort(); }\n", &[]);
+    expect(
+        SIM,
+        "fn f(v: &mut Vec<u64>) { v.sort_by_key(|e| *e); }\n",
+        &[],
+    );
+    // `total_cmp` is the sanctioned float comparator.
+    expect(
+        SIM,
+        "fn f(v: &mut Vec<f64>) { v.sort_by(|a, b| a.total_cmp(b)); }\n",
+        &[],
+    );
+    // A `PartialOrd` impl *defines* partial_cmp; only call sites fire.
+    expect(
+        SIM,
+        "fn partial_cmp(&self, other: &Self) -> Option<Ordering> { None }\n",
+        &[],
+    );
+}
+
+#[test]
+fn unstable_sort_waivable_with_unique_key_reason() {
+    let src = "\
+// analyze: allow(unstable-sort): key (time, seq) is unique per entry.
+fn f(v: &mut Vec<(u64, u64)>) { v.sort_unstable(); }
+";
+    let (findings, waivers) = scan_source(SIM, src);
+    assert!(findings.is_empty(), "{findings:?}");
+    assert_eq!(waivers.len(), 1);
+    assert_eq!(waivers[0].rule, Rule::UnstableSort);
+    assert!(waivers[0].reason.contains("unique"));
+}
+
+#[test]
 fn unsafe_allow_only_at_audited_site() {
     let src = "#[allow(unsafe_code)]\nfn f() {}\n";
     expect(SIM, src, &[(Rule::UnsafePolicy, 1)]);

@@ -22,7 +22,16 @@
 //! phase batching and adaptive widening on the round structure is
 //! tracked across PRs alongside the wall clock.
 //!
+//! The `sanitized` twin runs one small scenario through
+//! [`ScatternetSim::run_sanitized`] — the causality sanitizer's
+//! instrumented monomorphisation. Its cost rides *only* on that twin:
+//! every other case runs the uninstrumented engine (the probe seam is a
+//! const-generic parameter, compiled out of the default path), so the
+//! serial and parallel trajectories above double as the regression gate
+//! that attaching the sanitizer costs the production engine nothing.
+//!
 //! [`ScatternetSim::with_threads`]: btgs_piconet::ScatternetSim::with_threads
+//! [`ScatternetSim::run_sanitized`]: btgs_piconet::ScatternetSim::run_sanitized
 
 use btgs_bench::microbench::{Criterion, Throughput};
 use btgs_bench::{criterion_group, criterion_main};
@@ -118,6 +127,22 @@ fn scatternet_throughput(c: &mut Criterion) {
             ],
         );
     }
+    // The sanitized twin: the chained-3 scenario under the causality
+    // sanitizer. Tracks the instrumentation's own overhead; the default
+    // cases above stay on the compiled-out path.
+    let san_probe = run(3, Topology::Chain, 1);
+    group.throughput(Throughput::Elements(san_probe.events_processed));
+    group.bench_function("chained3_5s_sanitized", |b| {
+        b.iter(|| {
+            let sanitized = ScatternetScenario::build(params(3, Topology::Chain))
+                .simulator(PollerKind::PfpGs)
+                .expect("scenario builds")
+                .run_sanitized(SimTime::from_secs(5))
+                .expect("scenario runs");
+            assert!(sanitized.sanitizer.clean(), "clean engine tripped");
+            black_box(sanitized.sanitizer.events_checked)
+        })
+    });
     group.finish();
 }
 

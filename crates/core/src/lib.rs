@@ -89,8 +89,9 @@ pub use runner::{
     ScatternetCellResult, ScenarioGrid,
 };
 pub use scatternet_scenario::{
-    chain_id_base, rev_chain_id_base, ScatternetScenario, ScatternetScenarioParams, Topology,
-    BRIDGE_IN_SLAVE, BRIDGE_OUT_SLAVE, CHAIN_ID_BASE, PICONET_ID_STRIDE, REV_CHAIN_ID_BASE,
+    chain_id_base, rev_chain_id_base, sanitizer_corpus, ScatternetScenario,
+    ScatternetScenarioParams, Topology, BRIDGE_IN_SLAVE, BRIDGE_OUT_SLAVE, CHAIN_ID_BASE,
+    PICONET_ID_STRIDE, REV_CHAIN_ID_BASE,
 };
 pub use scenario::{
     paper_tspec, BeSourceMix, GsFlowPlan, PaperScenario, PaperScenarioParams, PollerKind,

@@ -232,6 +232,25 @@ impl ScatternetScenarioParams {
     }
 }
 
+/// The sanitizer/bisector corpus: one small scenario per topology class
+/// (chain, ring, mesh), shared by the piconet mutation-corpus tests, the
+/// `btgs-analyze -- --bisect` CLI and CI's sanitized parallel-equivalence
+/// smoke — so all three surfaces prove the same engine on the same
+/// workloads. Short warmups keep a corpus run cheap; the default CBR load
+/// keeps islands busy across bridge handoffs, which the lookahead-safety
+/// and staging-order checks need to bite.
+pub fn sanitizer_corpus() -> Vec<(&'static str, ScatternetScenarioParams)> {
+    let tune = |mut p: ScatternetScenarioParams| {
+        p.warmup = SimDuration::from_millis(500);
+        p
+    };
+    vec![
+        ("chain", tune(ScatternetScenarioParams::chained(3))),
+        ("ring", tune(ScatternetScenarioParams::ring(4))),
+        ("mesh", tune(ScatternetScenarioParams::mesh(5, 2, 7))),
+    ]
+}
+
 /// A fully derived instance of the chained-piconets scenario.
 #[derive(Clone, Debug)]
 pub struct ScatternetScenario {

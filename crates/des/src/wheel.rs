@@ -402,6 +402,9 @@ impl<E> EventQueue<E> {
                 } else {
                     std::mem::swap(&mut self.batch, bucket);
                     self.batch
+                        // analyze: allow(unstable-sort): the key (time, seq)
+                        // is unique — seq is a per-wheel monotone counter —
+                        // so no two entries compare equal.
                         .sort_unstable_by_key(|e| core::cmp::Reverse((e.time, e.seq)));
                 }
                 return true;

@@ -63,6 +63,9 @@ impl DelayStats {
     /// Sorts the sample buffer in place unless it is already sorted.
     fn ensure_sorted(&self) {
         if !self.sorted.get() {
+            // analyze: allow(unstable-sort): u64 samples sorted by value —
+            // equal keys are bit-identical, so their relative order cannot
+            // reach any percentile or report byte.
             self.samples_ns.borrow_mut().sort_unstable();
             self.sorted.set(true);
         }

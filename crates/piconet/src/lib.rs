@@ -40,6 +40,7 @@ mod ledger;
 mod poller;
 mod queue;
 mod report;
+mod sanitizer;
 mod sar;
 mod scatternet;
 mod sim;
@@ -52,6 +53,11 @@ pub use ledger::{PollCounters, SlotLedger};
 pub use poller::{DownlinkView, ExchangeReport, MasterView, PollDecision, Poller, SegmentOutcome};
 pub use queue::{FlowQueue, SegmentPlan};
 pub use report::{FlowReport, RunReport};
+pub use sanitizer::{
+    bisect_runs, BisectReport, Divergence, EngineMutation, IslandTrace, RunTrace, SanitizedRun,
+    SanitizerCheck, SanitizerFinding, SanitizerReport, TraceConfig, TraceEvent, TraceKind,
+    TraceWindow,
+};
 pub use sar::{
     segment_count, segment_plan, AlwaysLargestPolicy, MaxFirstPolicy, SegmentationPolicy,
 };

@@ -66,8 +66,15 @@ use crate::flow::FlowSpec;
 use crate::flow_table::{FlowIdHasher, FlowIdx, FlowTable};
 use crate::poller::Poller;
 use crate::report::RunReport;
+use crate::sanitizer::{
+    EngineMutation, EngineSanitizer, IslandProbe, RunTrace, SanitizedRun, SanitizerReport,
+    TraceConfig, TraceKind,
+};
 use crate::sim::{handle, seed_world, Ev, Target, World};
-use crate::sync_protocol::{barrier_wait, claim_next, BarrierOrderings, SyncEnv};
+use crate::sync_protocol::{
+    barrier_wait, claim_next, collect_staged, publish_staged, BarrierOrderings, StagedOrderings,
+    SyncEnv,
+};
 use btgs_baseband::{ChannelModel, PiconetId, PresenceWindow, ScopedSlave};
 use btgs_des::{DetRng, EventQueue, Scheduler, SimDuration, SimTime, Simulator};
 use btgs_metrics::DelayStats;
@@ -75,7 +82,7 @@ use btgs_traffic::{AppPacket, FlowId, Source};
 use std::collections::{HashMap, VecDeque};
 use std::hash::BuildHasherDefault;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 
 /// How one global flow id resolves to its shard. Mirrors the dense/spread
 /// split of the per-piconet id index.
@@ -401,6 +408,11 @@ struct IslandState {
     warmup: SimTime,
     /// This island's share of each chain's statistics.
     chain_stats: Vec<ChainLocal>,
+    /// Instrumentation hook of the sanitizer/bisector seam: `None` (one
+    /// machine word, no allocation) on default runs, installed by the
+    /// instrumented run paths. The uninstrumented handler
+    /// monomorphisation never reads it.
+    probe: Option<Box<IslandProbe>>,
 }
 
 /// One island: a full single-piconet simulator (own timing wheel, own
@@ -409,10 +421,38 @@ type IslandSim = Simulator<IslandState, Ev, EventQueue<Ev>>;
 
 /// The per-event handler of one island: the single-piconet handler
 /// verbatim, plus capture routing against island-local state only.
-fn island_handle(sched: &mut Scheduler<Ev, EventQueue<Ev>>, st: &mut IslandState, ev: Ev) {
+///
+/// `I` selects the instrumented monomorphisation (sanitizer/trace probes
+/// on every event). Default runs use `I = false`, which compiles to
+/// exactly the pre-seam handler — the zero-allocation gate and the
+/// steady-state benches run that code path.
+fn island_handle<const I: bool>(
+    sched: &mut Scheduler<Ev, EventQueue<Ev>>,
+    st: &mut IslandState,
+    ev: Ev,
+) {
+    if I {
+        if let Some(probe) = st.probe.as_deref_mut() {
+            let (kind, a, b) = trace_descriptor(&ev);
+            probe.on_event(sched.now(), kind, a, b);
+        }
+    }
     handle(sched, &mut st.world, ev);
     if !st.world.outbox.is_empty() {
-        route_captures(sched, st);
+        route_captures::<I>(sched, st);
+    }
+}
+
+/// The `(kind, a, b)` descriptor of an island event, as folded into the
+/// rolling trace hash — enough to identify the event in an aligned
+/// bisection window without storing packets.
+fn trace_descriptor(ev: &Ev) -> (TraceKind, u64, u64) {
+    match ev {
+        Ev::Arrival { source_idx, pkt } => (TraceKind::Arrival, *source_idx as u64, pkt.seq),
+        Ev::Wake => (TraceKind::Wake, 0, 0),
+        Ev::ExchangeDone => (TraceKind::ExchangeDone, 0, 0),
+        Ev::ScoDone { sco_idx, start } => (TraceKind::ScoDone, *sco_idx as u64, nanos_of(*start)),
+        Ev::Relay { flow_idx, pkt } => (TraceKind::Relay, *flow_idx as u64, pkt.seq),
     }
 }
 
@@ -422,7 +462,7 @@ fn island_handle(sched: &mut Scheduler<Ev, EventQueue<Ev>>, st: &mut IslandState
 /// draining (routing only schedules or stages), so the indexed loop is
 /// exact; `Captured` is `Copy`, so each read ends its borrow before the
 /// routing mutates the island.
-fn route_captures(sched: &mut Scheduler<Ev, EventQueue<Ev>>, st: &mut IslandState) {
+fn route_captures<const I: bool>(sched: &mut Scheduler<Ev, EventQueue<Ev>>, st: &mut IslandState) {
     let captured = st.world.outbox.len();
     for i in 0..captured {
         let cap = st.world.outbox[i];
@@ -490,6 +530,11 @@ fn route_captures(sched: &mut Scheduler<Ev, EventQueue<Ev>>, st: &mut IslandStat
                             pkt,
                         },
                     );
+                    if I {
+                        if let Some(probe) = st.probe.as_deref_mut() {
+                            probe.on_scheduled_relay(handoff, flow_idx, pkt.seq);
+                        }
+                    }
                 } else {
                     // The packet leaves this island: it stops counting
                     // against the local chain backlog and is re-counted in
@@ -503,6 +548,11 @@ fn route_captures(sched: &mut Scheduler<Ev, EventQueue<Ev>>, st: &mut IslandStat
                         pkt,
                         origin,
                     });
+                    if I {
+                        if let Some(probe) = st.probe.as_deref_mut() {
+                            probe.on_staged(pic, flow_idx);
+                        }
+                    }
                 }
             }
         }
@@ -724,7 +774,7 @@ impl SyncEnv for HardwareSyncEnv {
 /// `SimTime` as the nanosecond payload of a status atomic
 /// (`SimTime::MAX` round-trips as `u64::MAX`).
 #[inline]
-fn nanos_of(t: SimTime) -> u64 {
+pub(crate) fn nanos_of(t: SimTime) -> u64 {
     (t - SimTime::ZERO).as_nanos()
 }
 
@@ -743,8 +793,10 @@ struct IslandMeta {
     next_event: AtomicU64,
     /// Chain hotness instant, nanos (see [`island_status`]).
     hot_from: AtomicU64,
-    /// The island staged relays since the last collect.
-    staged: AtomicBool,
+    /// The island staged relays since the last collect (0/1 flag, driven
+    /// through the [`publish_staged`]/[`collect_staged`] protocol that
+    /// `btgs-analyze` model-checks exhaustively).
+    staged: AtomicU64,
 }
 
 impl IslandMeta {
@@ -758,7 +810,9 @@ impl IslandMeta {
             .store(nanos_of(next_event), Ordering::Release);
         self.hot_from.store(nanos_of(hot_from), Ordering::Release); // ord: see above
         if staged {
-            self.staged.store(true, Ordering::Release); // ord: see above
+            // ord: Release via StagedOrderings::SOUND, justified in
+            // sync_protocol::publish_staged.
+            publish_staged(&self.staged, &StagedOrderings::SOUND);
         }
     }
 }
@@ -786,6 +840,7 @@ fn island_status(island: &mut IslandSim) -> (SimTime, SimTime, bool) {
 
 /// A staged relay parked in the coordinator's pool until the global round
 /// clock reaches its handoff instant.
+#[derive(Clone)]
 struct PooledRelay {
     /// Injection key: handoff instant, then source piconet, then staging
     /// sequence — the deterministic total order of same-instant
@@ -803,17 +858,42 @@ fn pool_capacity(islands: usize) -> usize {
 }
 
 /// Restores the pool's descending key order (minimum last, so due entries
-/// pop off the back).
-fn sort_pool(pool: &mut [PooledRelay]) {
-    pool.sort_unstable_by_key(|p| std::cmp::Reverse((p.at, p.source, p.seq)));
+/// pop off the back). `unsorted` is the [`EngineMutation::UnsortedStagingDrain`]
+/// corpus mutation: the sort keeps `(at, source)` descending but flips the
+/// staging-sequence tie-break, so same-instant same-source relays pop in
+/// reverse staging order.
+fn sort_pool(pool: &mut [PooledRelay], unsorted: bool) {
+    if unsorted {
+        // analyze: allow(unstable-sort): deliberate corpus mutation — the
+        // broken tie-break is the point; the sanitizer must flag it.
+        pool.sort_unstable_by(|x, y| {
+            (y.at, y.source)
+                .cmp(&(x.at, x.source))
+                .then(x.seq.cmp(&y.seq))
+        });
+    } else {
+        // analyze: allow(unstable-sort): the key (at, source, seq) is
+        // unique per entry (seq is a per-source monotone counter), so
+        // unstable ties cannot occur and the order is deterministic.
+        pool.sort_unstable_by_key(|p| std::cmp::Reverse((p.at, p.source, p.seq)));
+    }
 }
 
 /// Drains one island's staged relays into the pool, tagging each with the
 /// island's monotone staging sequence. Returns how many were staged.
-fn collect_island(st: &mut IslandState, pool: &mut Vec<PooledRelay>) -> u64 {
+/// The sanitizer (when attached to `ctl`) checks each drained relay's
+/// handoff against the phase boundary `b` — a handoff before `b` means
+/// the phase stretched across a boundary this relay lands on.
+fn collect_island(
+    st: &mut IslandState,
+    pool: &mut Vec<PooledRelay>,
+    b: SimTime,
+    ctl: &mut EngineCtl<'_>,
+) -> u64 {
     let pic = st.pic;
     let staged = st.staged.len() as u64;
     for (k, s) in st.staged.drain(..).enumerate() {
+        ctl.on_collected(b, pic, s.at);
         pool.push(PooledRelay {
             at: s.at,
             source: pic,
@@ -833,19 +913,31 @@ fn collect_island(st: &mut IslandState, pool: &mut Vec<PooledRelay>) -> u64 {
 /// holds identically across thread counts, claim orders and the
 /// widening/batching toggles, which is what makes the reports
 /// byte-identical across all of them.
-fn inject_relay(island: &mut IslandSim, relay: &StagedRelay) {
+fn inject_relay<const I: bool>(island: &mut IslandSim, relay: &StagedRelay) {
     let (sched, st) = island.split_mut();
     st.origins[relay.flow_idx as usize].push_back(relay.origin);
     // The packet is inside the target island again: it counts against the
     // island's chain backlog from the moment it is scheduled.
     st.world.chain_inflight += 1;
+    // In the clean engine the clamp is the identity: the round clock only
+    // reaches `relay.at` while the target island's clock is at or before
+    // it. It exists so the deliberately broken corpus engines (injections
+    // behind the clock) keep running for the sanitizer to report the
+    // violation instead of tripping the wheel's no-past-scheduling assert.
+    let at = relay.at.max(sched.now());
+    let pkt = AppPacket::new(relay.pkt.seq, relay.pkt.flow, relay.pkt.size, at);
     sched.schedule_at(
-        relay.at,
+        at,
         Ev::Relay {
             flow_idx: relay.flow_idx as usize,
-            pkt: relay.pkt,
+            pkt,
         },
     );
+    if I {
+        if let Some(probe) = st.probe.as_deref_mut() {
+            probe.on_scheduled_relay(at, relay.flow_idx, relay.pkt.seq);
+        }
+    }
 }
 
 /// Engine observability counters, surfaced on [`ScatternetReport`].
@@ -868,6 +960,172 @@ struct EngineMode {
     batching: bool,
 }
 
+/// Test-only engine corruption state, driving one [`EngineMutation`]
+/// through the round loop (the seeded-mutation corpus the sanitizer and
+/// bisector are proven against).
+pub(crate) struct MutationState {
+    which: EngineMutation,
+    /// [`EngineMutation::RelayBehindClock`]: the withheld relay, released
+    /// one boundary late.
+    held: Option<PooledRelay>,
+    /// One-shot latch for the hold/drop/duplicate corruptions.
+    fired: bool,
+}
+
+impl MutationState {
+    pub(crate) fn new(which: EngineMutation) -> MutationState {
+        MutationState {
+            which,
+            held: None,
+            fired: false,
+        }
+    }
+}
+
+/// Per-run instrumentation control handed to the engine loops: the
+/// sanitizer (sanitized runs) and the seeded mutation (corpus tests).
+/// Default runs carry `None` in both fields; every hook is a per-round or
+/// per-injection `Option` branch, never per event — the per-event seam is
+/// the `I` const generic on [`island_handle`].
+struct EngineCtl<'a> {
+    san: Option<&'a mut EngineSanitizer>,
+    muts: Option<&'a mut MutationState>,
+}
+
+impl EngineCtl<'_> {
+    /// `true` once the sanitizer recorded any finding: the engine halts at
+    /// the end of the current round instead of cascading.
+    fn tripped(&self) -> bool {
+        self.san.as_deref().is_some_and(EngineSanitizer::tripped)
+    }
+
+    /// [`EngineMutation::WideningPastHotBoundary`]: every island reads as
+    /// never-hot, so the widened walk runs straight past boundaries that
+    /// hot islands' staged relays land on.
+    fn hot_blind(&self) -> bool {
+        self.muts
+            .as_deref()
+            .is_some_and(|m| m.which == EngineMutation::WideningPastHotBoundary)
+    }
+
+    /// [`EngineMutation::UnsortedStagingDrain`]: break the pool sort's
+    /// staging-sequence tie-break.
+    fn unsorted(&self) -> bool {
+        self.muts
+            .as_deref()
+            .is_some_and(|m| m.which == EngineMutation::UnsortedStagingDrain)
+    }
+
+    /// [`EngineMutation::BoundaryOffByOne`]: `true` when boundary `b` is a
+    /// skippable calendar start — never a pending-injection, checkpoint or
+    /// horizon cap, so the mutated walk skips sync points without
+    /// deadlocking the round loop or scheduling injections it already owes.
+    fn skip_boundary(
+        &self,
+        b: SimTime,
+        checkpoint: SimTime,
+        probed: bool,
+        horizon: SimTime,
+        pool_min: Option<SimTime>,
+    ) -> bool {
+        self.muts
+            .as_deref()
+            .is_some_and(|m| m.which == EngineMutation::BoundaryOffByOne)
+            && b < horizon
+            && pool_min != Some(b)
+            && (probed || b != checkpoint)
+    }
+
+    /// [`EngineMutation::DroppedRelay`] / [`EngineMutation::DuplicatedRelay`]:
+    /// corrupt the freshly sorted pool, once — after the sanitizer counted
+    /// the collected relays, so conservation is checked against the true
+    /// staging counts.
+    fn corrupt_pool(&mut self, pool: &mut Vec<PooledRelay>) {
+        let Some(m) = self.muts.as_deref_mut() else {
+            return;
+        };
+        if m.fired || pool.is_empty() {
+            return;
+        }
+        match m.which {
+            EngineMutation::DroppedRelay => {
+                m.fired = true;
+                pool.pop();
+            }
+            EngineMutation::DuplicatedRelay => {
+                m.fired = true;
+                let dup = pool.last().expect("pool checked non-empty").clone();
+                pool.push(dup);
+            }
+            _ => {}
+        }
+    }
+
+    /// [`EngineMutation::RelayBehindClock`]: withholds the first due relay
+    /// from injection (returns `None`; the relay is parked in the
+    /// mutation state).
+    fn intercept(&mut self, p: PooledRelay) -> Option<PooledRelay> {
+        let Some(m) = self.muts.as_deref_mut() else {
+            return Some(p);
+        };
+        if m.which == EngineMutation::RelayBehindClock && !m.fired {
+            m.fired = true;
+            m.held = Some(p);
+            return None;
+        }
+        Some(p)
+    }
+
+    /// [`EngineMutation::RelayBehindClock`]: hands the withheld relay back
+    /// at the first boundary past its handoff — an injection behind the
+    /// target island's clock.
+    fn release_due(&mut self, t: SimTime) -> Option<PooledRelay> {
+        let m = self.muts.as_deref_mut()?;
+        if m.held.as_ref().is_some_and(|h| h.at < t) {
+            m.held.take()
+        } else {
+            None
+        }
+    }
+
+    /// Forwards one collected relay to the sanitizer's widening-boundary
+    /// check (see [`collect_island`]).
+    fn on_collected(&mut self, b: SimTime, source: u16, at: SimTime) {
+        if let Some(san) = self.san.as_deref_mut() {
+            san.on_collected(b, source, at);
+        }
+    }
+
+    /// Runs the sanitizer's injection checks (total order, duplication,
+    /// lookahead safety against the target island's clock). `false` means
+    /// the injection would land behind the clock — the caller withholds
+    /// the schedule (the run is halting at this finding anyway).
+    fn check_injection(
+        &mut self,
+        key: (SimTime, u16, u64),
+        target: (u16, u32),
+        target_now: SimTime,
+    ) -> bool {
+        match self.san.as_deref_mut() {
+            Some(san) => san.check_injection(key, target, target_now),
+            None => true,
+        }
+    }
+
+    /// Reports every relay still pooled at run end to the sanitizer's
+    /// conservation reconciliation (legitimate for handoffs past the
+    /// horizon). A relay still *held* by the behind-clock mutation is
+    /// deliberately not reported: a never-released hold must trip the
+    /// conservation check.
+    fn note_leftovers(&mut self, pool: &[PooledRelay]) {
+        if let Some(san) = self.san.as_deref_mut() {
+            for p in pool {
+                san.on_leftover((p.relay.pic, p.relay.flow_idx));
+            }
+        }
+    }
+}
+
 /// Rounds with at most this many active islands are run by the
 /// coordinator alone instead of being dispatched through two barrier
 /// crossings that wake every worker.
@@ -877,7 +1135,7 @@ const SOLO_ROUND_MAX: usize = 2;
 /// coordinator) claims the next position off the shared cursor; claimed
 /// islands run to `b` and publish their status. With batching, an island
 /// with no event due by `b` is skipped without ever taking its lock.
-fn claim_islands(
+fn claim_islands<const I: bool>(
     cells: &[Mutex<IslandSim>],
     meta: &[IslandMeta],
     order: &[usize],
@@ -898,7 +1156,7 @@ fn claim_islands(
         let mut island = cells[idx]
             .lock()
             .expect("island workers do not panic while holding the lock");
-        island.run_until(b, island_handle);
+        island.run_until(b, island_handle::<I>);
         let (ne, hf, staged) = island_status(&mut island);
         drop(island);
         meta[idx].publish(ne, hf, staged);
@@ -909,7 +1167,8 @@ fn claim_islands(
 /// and barrier — identical boundary sequence, claim rule and injection
 /// order, so its reports are byte-identical to any parallel run by
 /// construction.
-fn run_phases_seq(
+#[allow(clippy::too_many_arguments)]
+fn run_phases_seq<const I: bool>(
     islands: &mut [IslandSim],
     order: &[usize],
     groups: &[SyncPoint],
@@ -917,6 +1176,7 @@ fn run_phases_seq(
     horizon: SimTime,
     probe: &mut dyn FnMut(),
     mode: EngineMode,
+    ctl: &mut EngineCtl<'_>,
 ) -> EngineCounters {
     let n = islands.len();
     let mut counters = EngineCounters::default();
@@ -933,23 +1193,38 @@ fn run_phases_seq(
     let mut t = SimTime::ZERO;
     let mut probed = false;
     loop {
-        let b = next_boundary(
+        let pool_min = pool.last().map(|p| p.at);
+        let blind = ctl.hot_blind();
+        let hot_of = |i: usize| if blind { SimTime::MAX } else { hot[i] };
+        let mut b = next_boundary(
             t,
             checkpoint,
             probed,
             horizon,
-            pool.last().map(|p| p.at),
+            pool_min,
             groups,
             mode.widening,
-            |i| hot[i],
+            hot_of,
         );
+        if ctl.skip_boundary(b, checkpoint, probed, horizon, pool_min) {
+            b = next_boundary(
+                b,
+                checkpoint,
+                probed,
+                horizon,
+                pool_min,
+                groups,
+                mode.widening,
+                hot_of,
+            );
+        }
         counters.phases_run += 1;
         for &idx in order {
             if mode.batching && next_event[idx] > b {
                 continue;
             }
             let island = &mut islands[idx];
-            island.run_until(b, island_handle);
+            island.run_until(b, island_handle::<I>);
             counters.islands_claimed += 1;
             let (ne, hf, did_stage) = island_status(island);
             next_event[idx] = ne;
@@ -961,32 +1236,56 @@ fn run_phases_seq(
                 continue;
             }
             *flag = false;
-            counters.relays_staged += collect_island(islands[idx].state_mut(), &mut pool);
+            counters.relays_staged += collect_island(islands[idx].state_mut(), &mut pool, b, ctl);
         }
-        sort_pool(&mut pool);
+        sort_pool(&mut pool, ctl.unsorted());
+        ctl.corrupt_pool(&mut pool);
         if !probed && b >= checkpoint {
             probe();
             probed = true;
         }
         t = b;
-        // Inject every relay due exactly now; it becomes live in the next
-        // round. At the horizon this is the drain: targets re-run to the
-        // horizon so relays landing exactly on it still fire, and later
-        // handoffs (which can never fire) are left in the pool.
+        if let Some(h) = ctl.release_due(t) {
+            pool.push(h);
+            sort_pool(&mut pool, ctl.unsorted());
+        }
+        // Inject every relay due now; it becomes live in the next round.
+        // In the clean engine a due relay's handoff is exactly `t` (the
+        // pending-injection cap makes every handoff a boundary); `<=`
+        // keeps corpus-mutated engines draining late relays instead of
+        // carrying them into next_boundary's `p > t` invariant. At the
+        // horizon this is the drain: targets re-run to the horizon so
+        // relays landing exactly on it still fire, and later handoffs
+        // (which can never fire) are left in the pool.
         let mut due = false;
-        while pool.last().is_some_and(|p| p.at == t) {
+        while pool.last().is_some_and(|p| p.at <= t) {
             let p = pool.pop().expect("just peeked");
+            let Some(p) = ctl.intercept(p) else {
+                continue;
+            };
             let idx = p.relay.pic as usize;
-            inject_relay(&mut islands[idx], &p.relay);
+            let island = &mut islands[idx];
+            let proceed = !I || {
+                let now = island.split_mut().0.now();
+                ctl.check_injection(
+                    (p.at, p.source, p.seq),
+                    (p.relay.pic, p.relay.flow_idx),
+                    now,
+                )
+            };
+            if proceed {
+                inject_relay::<I>(island, &p.relay);
+            }
             next_event[idx] = next_event[idx].min(t);
             hot[idx] = SimTime::ZERO;
             due = true;
         }
-        if t >= horizon && !due {
+        if (t >= horizon && !due) || ctl.tripped() {
             break;
         }
     }
     probe();
+    ctl.note_leftovers(&pool);
     counters
 }
 
@@ -998,7 +1297,7 @@ fn run_phases_seq(
 /// coordinator alone — the workers stay parked at the barrier and the
 /// round costs zero crossings.
 #[allow(clippy::too_many_arguments)]
-fn run_phases_par(
+fn run_phases_par<const I: bool>(
     cells: &[Mutex<IslandSim>],
     order: &[usize],
     groups: &[SyncPoint],
@@ -1007,6 +1306,7 @@ fn run_phases_par(
     probe: &mut dyn FnMut(),
     threads: usize,
     mode: EngineMode,
+    ctl: &mut EngineCtl<'_>,
 ) -> EngineCounters {
     let n = cells.len();
     let mut counters = EngineCounters::default();
@@ -1019,7 +1319,7 @@ fn run_phases_par(
             IslandMeta {
                 next_event: AtomicU64::new(nanos_of(ne)),
                 hot_from: AtomicU64::new(nanos_of(hf)),
-                staged: AtomicBool::new(false),
+                staged: AtomicU64::new(0),
             }
         })
         .collect();
@@ -1044,7 +1344,7 @@ fn run_phases_par(
                 // ord: Acquire — pairs with the coordinator's Release
                 // publish of the round bound (same reasoning as `stop`).
                 let b = time_of(bound.load(Ordering::Acquire));
-                claim_islands(cells, meta, order, cursor, b, mode.batching);
+                claim_islands::<I>(cells, meta, order, cursor, b, mode.batching);
                 barrier.wait();
             });
         }
@@ -1052,18 +1352,40 @@ fn run_phases_par(
         let mut t = SimTime::ZERO;
         let mut probed = false;
         loop {
-            let b = next_boundary(
+            let pool_min = pool.last().map(|p| p.at);
+            let blind = ctl.hot_blind();
+            let hot_of = |i: usize| {
+                if blind {
+                    SimTime::MAX
+                } else {
+                    // ord: Acquire — pairs with the islands' Release
+                    // publish; the inter-round barrier crossing already
+                    // ordered it.
+                    time_of(meta[i].hot_from.load(Ordering::Acquire))
+                }
+            };
+            let mut b = next_boundary(
                 t,
                 checkpoint,
                 probed,
                 horizon,
-                pool.last().map(|p| p.at),
+                pool_min,
                 groups,
                 mode.widening,
-                // ord: Acquire — pairs with the islands' Release publish;
-                // the inter-round barrier crossing already ordered it.
-                |i| time_of(meta[i].hot_from.load(Ordering::Acquire)),
+                hot_of,
             );
+            if ctl.skip_boundary(b, checkpoint, probed, horizon, pool_min) {
+                b = next_boundary(
+                    b,
+                    checkpoint,
+                    probed,
+                    horizon,
+                    pool_min,
+                    groups,
+                    mode.widening,
+                    hot_of,
+                );
+            }
             counters.phases_run += 1;
             let b_nanos = nanos_of(b);
             let active = if mode.batching {
@@ -1088,7 +1410,7 @@ fn run_phases_par(
                         continue;
                     }
                     let mut island = cells[idx].lock().expect("no poisoned islands");
-                    island.run_until(b, island_handle);
+                    island.run_until(b, island_handle::<I>);
                     let (ne, hf, did_stage) = island_status(&mut island);
                     drop(island);
                     meta[idx].publish(ne, hf, did_stage);
@@ -1102,31 +1424,50 @@ fn run_phases_par(
                 bound.store(b_nanos, Ordering::Release);
                 cursor.store(0, Ordering::Release); // ord: see above
                 barrier.wait();
-                claim_islands(cells, &meta, order, &cursor, b, mode.batching);
+                claim_islands::<I>(cells, &meta, order, &cursor, b, mode.batching);
                 barrier.wait();
             }
             for (idx, m) in meta.iter().enumerate() {
-                // ord: AcqRel — the Acquire half pairs with the island's
-                // Release publish of the flag; the Release half keeps the
-                // reset ordered before the island's next publish.
-                if mode.batching && !m.staged.swap(false, Ordering::AcqRel) {
+                // ord: Acquire/Relaxed via StagedOrderings::SOUND — the
+                // test-and-clear protocol justified in
+                // sync_protocol::collect_staged and model-checked by the
+                // btgs-analyze staged-publish scenario.
+                if mode.batching && !collect_staged(&m.staged, &StagedOrderings::SOUND) {
                     continue;
                 }
                 let mut island = cells[idx].lock().expect("no poisoned islands");
-                counters.relays_staged += collect_island(island.state_mut(), &mut pool);
+                counters.relays_staged += collect_island(island.state_mut(), &mut pool, b, ctl);
             }
-            sort_pool(&mut pool);
+            sort_pool(&mut pool, ctl.unsorted());
+            ctl.corrupt_pool(&mut pool);
             if !probed && b >= checkpoint {
                 probe();
                 probed = true;
             }
             t = b;
+            if let Some(h) = ctl.release_due(t) {
+                pool.push(h);
+                sort_pool(&mut pool, ctl.unsorted());
+            }
             let mut due = false;
-            while pool.last().is_some_and(|p| p.at == t) {
+            while pool.last().is_some_and(|p| p.at <= t) {
                 let p = pool.pop().expect("just peeked");
+                let Some(p) = ctl.intercept(p) else {
+                    continue;
+                };
                 let idx = p.relay.pic as usize;
                 let mut island = cells[idx].lock().expect("no poisoned islands");
-                inject_relay(&mut island, &p.relay);
+                let proceed = !I || {
+                    let now = island.split_mut().0.now();
+                    ctl.check_injection(
+                        (p.at, p.source, p.seq),
+                        (p.relay.pic, p.relay.flow_idx),
+                        now,
+                    )
+                };
+                if proceed {
+                    inject_relay::<I>(&mut island, &p.relay);
+                }
                 drop(island);
                 // ord: Acquire/Release — coordinator-only read-modify of
                 // the island's published status between rounds; the next
@@ -1138,11 +1479,12 @@ fn run_phases_par(
                 meta[idx].hot_from.store(0, Ordering::Release); // ord: see above
                 due = true;
             }
-            if t >= horizon && !due {
+            if (t >= horizon && !due) || ctl.tripped() {
                 break;
             }
         }
         probe();
+        ctl.note_leftovers(&pool);
 
         // ord: Release — carried to the workers by the final barrier
         // crossing; they read it with Acquire right after.
@@ -1239,7 +1581,19 @@ pub struct ScatternetSim {
     shuffle_seed: Option<u64>,
     widening: bool,
     batching: bool,
+    /// Test-only seeded engine corruption (see [`EngineMutation`]); `None`
+    /// for every supported configuration.
+    mutation: Option<EngineMutation>,
 }
+
+/// What [`ScatternetSim::run_inner`] hands back to its public wrappers:
+/// the report (withheld when the sanitizer halted the run), the sanitizer
+/// findings, and the event trace — each populated only when requested.
+type RunInnerOutput = (
+    Option<ScatternetReport>,
+    Option<SanitizerReport>,
+    Option<RunTrace>,
+);
 
 impl ScatternetSim {
     /// Builds a scatternet simulation.
@@ -1501,6 +1855,7 @@ impl ScatternetSim {
                     entry_sources: Vec::new(),
                     warmup,
                     chain_stats,
+                    probe: None,
                 };
                 Simulator::with_queue(state, EventQueue::new())
             })
@@ -1516,6 +1871,7 @@ impl ScatternetSim {
             shuffle_seed: None,
             widening: true,
             batching: true,
+            mutation: None,
         })
     }
 
@@ -1621,11 +1977,82 @@ impl ScatternetSim {
     ///
     /// See [`ScatternetSim::run`].
     pub fn run_probed(
-        mut self,
+        self,
         checkpoint: SimTime,
         horizon: SimTime,
         probe: &mut dyn FnMut(),
     ) -> Result<ScatternetReport, PiconetError> {
+        let (report, _, _) = self.run_inner(checkpoint, horizon, probe, false, None)?;
+        Ok(report.expect("uninstrumented runs always carry a report"))
+    }
+
+    /// Runs to `horizon` with the causality sanitizer enabled: per-phase
+    /// checks of lookahead safety, widening boundaries, staged-relay total
+    /// order, wheel FIFO and cross-island packet conservation (see the
+    /// [`sanitizer`](crate::SanitizerCheck) docs). The engine halts at the
+    /// end of the round that records the first finding, and a halted run's
+    /// report is withheld; a clean sanitized run returns a report
+    /// **byte-identical** to the unsanitized run of the same
+    /// configuration. Plain [`run`](ScatternetSim::run) compiles all of
+    /// this out.
+    ///
+    /// # Errors
+    ///
+    /// See [`ScatternetSim::run`].
+    pub fn run_sanitized(self, horizon: SimTime) -> Result<SanitizedRun, PiconetError> {
+        let (report, sanitizer, _) = self.run_inner(horizon, horizon, &mut || {}, true, None)?;
+        Ok(SanitizedRun {
+            report,
+            sanitizer: sanitizer.expect("sanitized runs carry a sanitizer report"),
+        })
+    }
+
+    /// Runs to `horizon` recording an event trace ([`TraceConfig`]):
+    /// per-island rolling hashes for divergence search, or a bounded
+    /// descriptor window for an aligned counterexample. The divergence
+    /// bisector ([`crate::bisect_runs`]) drives two traced runs to the
+    /// first diverging event.
+    ///
+    /// # Errors
+    ///
+    /// See [`ScatternetSim::run`].
+    pub fn run_traced(
+        self,
+        horizon: SimTime,
+        trace: TraceConfig,
+    ) -> Result<(ScatternetReport, RunTrace), PiconetError> {
+        let (report, _, trace) =
+            self.run_inner(horizon, horizon, &mut || {}, false, Some(trace))?;
+        Ok((
+            report.expect("traced runs always carry a report"),
+            trace.expect("traced runs carry a trace"),
+        ))
+    }
+
+    /// Seeds one deliberately broken engine variant (builder style).
+    /// Test-only: the sanitizer-corpus tests prove each mutation is caught
+    /// and localized; never part of a supported configuration.
+    #[doc(hidden)]
+    #[must_use]
+    pub fn with_mutation(mut self, mutation: EngineMutation) -> ScatternetSim {
+        self.mutation = Some(mutation);
+        self
+    }
+
+    /// The shared run loop behind [`run_probed`](ScatternetSim::run_probed)
+    /// (uninstrumented), [`run_sanitized`](ScatternetSim::run_sanitized)
+    /// and [`run_traced`](ScatternetSim::run_traced): seeds the islands,
+    /// dispatches the sequential or parallel engine (instrumented
+    /// monomorphisation only when sanitizing or tracing), and assembles
+    /// the report plus whatever instrumentation output was requested.
+    fn run_inner(
+        mut self,
+        checkpoint: SimTime,
+        horizon: SimTime,
+        probe: &mut dyn FnMut(),
+        sanitize: bool,
+        trace: Option<TraceConfig>,
+    ) -> Result<RunInnerOutput, PiconetError> {
         // `self` is consumed, so a sim cannot run twice by construction.
         for (pic, island) in self.islands.iter_mut().enumerate() {
             let fed = &self.relay_fed[pic];
@@ -1647,6 +2074,31 @@ impl ScatternetSim {
                 })
                 .collect();
         }
+
+        // Instrumentation: install the per-island probes (sanitizer state,
+        // trace sinks) and the coordinator-side control. All of it is
+        // behind the `I` monomorphisation seam — default runs never touch
+        // any of this beyond a handful of `Option::None` branches per
+        // round.
+        let instrumented = sanitize || trace.is_some();
+        let tripped = Arc::new(AtomicBool::new(false));
+        if instrumented {
+            for island in self.islands.iter_mut() {
+                let st = island.state_mut();
+                st.probe = Some(Box::new(IslandProbe::new(
+                    st.pic,
+                    Arc::clone(&tripped),
+                    sanitize,
+                    trace.as_ref(),
+                )));
+            }
+        }
+        let mut san = sanitize.then(|| EngineSanitizer::new(Arc::clone(&tripped)));
+        let mut muts = self.mutation.map(MutationState::new);
+        let mut ctl = EngineCtl {
+            san: san.as_mut(),
+            muts: muts.as_mut(),
+        };
 
         // The island visit order: identity, or a deterministic shuffle to
         // prove order independence.
@@ -1674,28 +2126,57 @@ impl ScatternetSim {
             // Single-threaded: the same algorithm without locks, atomics
             // or barriers.
             let mut islands = self.islands;
-            let counters = run_phases_seq(
-                &mut islands,
-                &order,
-                &self.sync_points,
-                checkpoint,
-                horizon,
-                probe,
-                mode,
-            );
+            let counters = if instrumented {
+                run_phases_seq::<true>(
+                    &mut islands,
+                    &order,
+                    &self.sync_points,
+                    checkpoint,
+                    horizon,
+                    probe,
+                    mode,
+                    &mut ctl,
+                )
+            } else {
+                run_phases_seq::<false>(
+                    &mut islands,
+                    &order,
+                    &self.sync_points,
+                    checkpoint,
+                    horizon,
+                    probe,
+                    mode,
+                    &mut ctl,
+                )
+            };
             (islands, counters)
         } else {
             let cells: Vec<Mutex<IslandSim>> = self.islands.into_iter().map(Mutex::new).collect();
-            let counters = run_phases_par(
-                &cells,
-                &order,
-                &self.sync_points,
-                checkpoint,
-                horizon,
-                probe,
-                threads,
-                mode,
-            );
+            let counters = if instrumented {
+                run_phases_par::<true>(
+                    &cells,
+                    &order,
+                    &self.sync_points,
+                    checkpoint,
+                    horizon,
+                    probe,
+                    threads,
+                    mode,
+                    &mut ctl,
+                )
+            } else {
+                run_phases_par::<false>(
+                    &cells,
+                    &order,
+                    &self.sync_points,
+                    checkpoint,
+                    horizon,
+                    probe,
+                    threads,
+                    mode,
+                    &mut ctl,
+                )
+            };
             let islands = cells
                 .into_iter()
                 .map(|c| c.into_inner().expect("no poisoned islands"))
@@ -1716,11 +2197,16 @@ impl ScatternetSim {
             .collect();
         let islands: Vec<IslandSim> = islands;
         let mut piconets = Vec::with_capacity(islands.len());
+        let mut probes: Vec<IslandProbe> =
+            Vec::with_capacity(if instrumented { piconets.capacity() } else { 0 });
         let mut events_processed = 0;
         for island in islands {
             let events = island.events_processed();
             events_processed += events;
-            let st = island.into_state();
+            let mut st = island.into_state();
+            if let Some(probe) = st.probe.take() {
+                probes.push(*probe);
+            }
             for (ci, local) in st.chain_stats.into_iter().enumerate() {
                 let report = &mut chains[ci];
                 report.relayed_packets += local.relayed;
@@ -1730,7 +2216,7 @@ impl ScatternetSim {
             }
             piconets.push(st.world.into_report(horizon, events));
         }
-        Ok(ScatternetReport {
+        let report = ScatternetReport {
             piconets,
             chains,
             events_processed,
@@ -1738,7 +2224,23 @@ impl ScatternetSim {
             barrier_rounds: counters.barrier_rounds,
             islands_claimed: counters.islands_claimed,
             relays_staged: counters.relays_staged,
-        })
+        };
+
+        let sanitizer = san.map(|mut s| {
+            s.finish(&probes);
+            s.into_report(&mut probes)
+        });
+        let run_trace = trace.is_some().then(|| RunTrace {
+            islands: probes.iter_mut().map(IslandProbe::take_trace).collect(),
+        });
+        // ord: Relaxed — every engine participant has joined or unlocked
+        // by now; this is a post-run summary read.
+        let halted = sanitize && tripped.load(Ordering::Relaxed);
+        Ok((
+            if halted { None } else { Some(report) },
+            sanitizer,
+            run_trace,
+        ))
     }
 }
 

@@ -2,8 +2,9 @@
 //! small trait seam.
 //!
 //! Everything the scatternet engine's byte-identity claim rests on — the
-//! [`barrier_wait`] generation protocol and the [`claim_next`] atomic-cursor
-//! island claiming — lives here as plain functions generic over [`SyncCell`]
+//! [`barrier_wait`] generation protocol, the [`claim_next`] atomic-cursor
+//! island claiming, and the [`publish_staged`]/[`collect_staged`]
+//! staged-relay flag protocol — lives here as plain functions generic over [`SyncCell`]
 //! and [`SyncEnv`]. The engine instantiates them with hardware atomics
 //! ([`AtomicU64`] plus the adaptive spin/yield/backoff waiter), which
 //! monomorphises to exactly the code the engine ran before the extraction.
@@ -175,6 +176,79 @@ pub fn barrier_wait<E: SyncEnv>(
         // waiter leaves the barrier without synchronising.
         env.wait_until_changed(generation, entry, ord.spin)
     }
+}
+
+/// The memory orderings of the staged-relay publish protocol, as data.
+///
+/// Workers stage cross-island relays under their island's lock, then raise
+/// the island's staged flag; the coordinator drains flagged islands after
+/// the round's barrier crossing (stage → publish → **barrier** → collect).
+/// As with [`BarrierOrderings`], the orderings are parameters so
+/// `btgs-analyze` can run the production choice and the deliberately
+/// weakened fixture through the same functions.
+#[derive(Clone, Copy, Debug)]
+pub struct StagedOrderings {
+    /// The worker's flag store after staging relays.
+    pub publish: Ordering,
+    /// The coordinator's flag load at collect time.
+    pub collect: Ordering,
+    /// The coordinator's flag reset after a positive collect.
+    pub reset: Ordering,
+}
+
+impl StagedOrderings {
+    /// The production orderings; justified at the use sites in
+    /// [`publish_staged`] and [`collect_staged`], and validated by the
+    /// `btgs-analyze` staged-publish model scenario.
+    pub const SOUND: StagedOrderings = StagedOrderings {
+        publish: Ordering::Release, // ord: justified at the use site in publish_staged
+        collect: Ordering::Acquire, // ord: justified at the use site in collect_staged
+        reset: Ordering::Relaxed,   // ord: justified at the use site in collect_staged
+    };
+
+    /// Deliberately broken: a `Relaxed` publish. Behind the engine's
+    /// barrier crossing this is masked (the crossing orders everything),
+    /// which is exactly why the model checker pairs it with the
+    /// *early-collect* fixture — a coordinator that polls staged flags
+    /// before the crossing, the tempting "skip the barrier" optimisation.
+    /// The checker must refute that composition: the collect can read a
+    /// raised flag while the staged data is still stale, or miss a
+    /// publish outright.
+    pub const WEAK_PUBLISH: StagedOrderings = StagedOrderings {
+        publish: Ordering::Relaxed, // ord: deliberately unsound — checker fixture
+        ..StagedOrderings::SOUND
+    };
+}
+
+/// Raises an island's staged flag: the worker has pushed cross-island
+/// relays that the coordinator must drain this round.
+pub fn publish_staged<C: SyncCell>(flag: &C, ord: &StagedOrderings) {
+    // ord: Release — pairs with the coordinator's Acquire collect load so
+    // the staged relays written before the publish are ordered before the
+    // drain. In the engine the intervening barrier crossing already
+    // carries that ordering; the explicit Release keeps the protocol
+    // self-contained — the early-collect model fixture shows what breaks
+    // once the crossing is (wrongly) removed.
+    flag.store(1, ord.publish);
+}
+
+/// Tests-and-clears an island's staged flag at collect time; `true` means
+/// the island staged relays since the last collect.
+pub fn collect_staged<C: SyncCell>(flag: &C, ord: &StagedOrderings) -> bool {
+    // ord: Acquire — pairs with the workers' Release publish. A plain
+    // load/store pair (no RMW) is sound here because only the coordinator
+    // ever clears the flag, and the barrier crossing temporally separates
+    // every worker publish from the collect — exactly the claim the
+    // btgs-analyze staged-publish scenario checks exhaustively at 2–3
+    // threads.
+    if flag.load(ord.collect) == 0 {
+        return false;
+    }
+    // ord: Relaxed — the reset races with nothing: workers are parked at
+    // the next crossing until the coordinator arrives, and that crossing
+    // orders the reset before any later publish of the same flag.
+    flag.store(0, ord.reset);
+    true
 }
 
 /// One claim off a shared work cursor: returns the claimed position, or
