@@ -35,6 +35,7 @@ fn main() {
         include_be: true,
         be_load_scale: vec![1.0],
         be_source_mix: BeSourceMix::Cbr,
+        telemetry: false,
     };
     // Streamed execution through the grid subsystem's sinks.
     let mut collect = CollectSink::new();

@@ -65,6 +65,7 @@ fn main() {
         include_be: true,
         be_load_scale: vec![1.0],
         be_source_mix: BeSourceMix::Cbr,
+        telemetry: false,
     };
     // Streamed execution: the in-memory collector and the bounded-memory
     // aggregator ride the same CellSink pass (grid-subsystem plumbing).

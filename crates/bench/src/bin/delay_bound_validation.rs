@@ -114,6 +114,7 @@ fn scatternet_mode(args: &BenchArgs) {
             include_be: true,
             be_load_scale: vec![1.0],
             be_source_mix: BeSourceMix::Cbr,
+            telemetry: false,
         };
         let report = ExperimentRunner::new()
             .try_run_grid(&grid)
@@ -168,6 +169,7 @@ fn scatternet_mode(args: &BenchArgs) {
         include_be: true,
         be_load_scale: vec![1.0],
         be_source_mix: BeSourceMix::Cbr,
+        telemetry: false,
     };
     let err = hopeless
         .validate()

@@ -68,6 +68,7 @@ fn main() -> ExitCode {
         include_be: true,
         be_load_scale: vec![1.0, 1.5],
         be_source_mix: BeSourceMix::Cbr,
+        telemetry: false,
     };
     let cells = grid.cells().len();
     println!("=== sharded-runner smoke: {cells} cells, {workers} worker processes ===");

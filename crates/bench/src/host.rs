@@ -39,6 +39,24 @@ pub fn hostname() -> String {
         .unwrap_or_else(|| "unknown-host".to_owned())
 }
 
+/// Process CPU seconds (utime + stime) from `/proc/self/stat` — immune
+/// to hypervisor steal, unlike the wall clock. 10 ms tick granularity,
+/// so measure over many runs; returns 0.0 where `/proc` is unavailable.
+pub fn cpu_secs() -> f64 {
+    let Ok(stat) = std::fs::read_to_string("/proc/self/stat") else {
+        return 0.0;
+    };
+    // Skip past the parenthesised comm field, then utime/stime are fields
+    // 12 and 13 of the remainder.
+    let Some((_, rest)) = stat.rsplit_once(") ") else {
+        return 0.0;
+    };
+    let f: Vec<&str> = rest.split_whitespace().collect();
+    let ticks = f.get(11).and_then(|v| v.parse::<u64>().ok()).unwrap_or(0)
+        + f.get(12).and_then(|v| v.parse::<u64>().ok()).unwrap_or(0);
+    ticks as f64 / 100.0
+}
+
 /// The CPU model (`model name` from `/proc/cpuinfo`, falling back to the
 /// architecture).
 pub fn cpu_model() -> String {

@@ -58,6 +58,7 @@ fn grid_64() -> ScenarioGrid {
         include_be: true,
         be_load_scale: vec![1.0, 1.5],
         be_source_mix: BeSourceMix::Cbr,
+        telemetry: false,
     }
 }
 
@@ -77,6 +78,7 @@ fn grid_scatternet() -> ScenarioGrid {
         include_be: true,
         be_load_scale: vec![1.0],
         be_source_mix: BeSourceMix::Cbr,
+        telemetry: false,
     }
 }
 

@@ -266,6 +266,102 @@ fn mixed_acl_sco_steady_state_is_allocation_free() {
     assert!(report.events_processed > 1_000);
 }
 
+fn observed_scatternet_steady_state_is_allocation_free() {
+    // The same chained scenario as above, but through the observed engine
+    // with the trace ring, the telemetry registry and per-island event
+    // meters all switched ON (`fine_events` records one instant per
+    // island event). Everything is pre-sized — the rings at sink
+    // creation, the histograms and counters as fixed arrays, the meter
+    // state inline — so even fully instrumented the steady state must
+    // not touch the allocator. This is the gate that keeps the
+    // observability seam honest: "compiled in and enabled" may cost
+    // cycles, never heap traffic.
+    use btgs_piconet::{EventMeter, ObsConfig};
+
+    /// A clock-free meter: tallies `begin`/`end` pairs per tag. (Wall
+    /// meters live in `btgs-obs`; here only the call protocol and its
+    /// allocation behaviour are under test.)
+    #[derive(Default)]
+    struct TallyMeter {
+        counts: [u64; 8],
+        open: bool,
+    }
+    impl EventMeter for TallyMeter {
+        fn begin(&mut self) {
+            self.open = true;
+        }
+        fn end(&mut self, tag: u8) {
+            assert!(self.open, "end without begin");
+            self.open = false;
+            self.counts[(tag as usize).min(7)] += 1;
+        }
+        fn as_any(&self) -> &dyn core::any::Any {
+            self
+        }
+    }
+
+    let scenario = ScatternetScenario::build(ScatternetScenarioParams {
+        piconets: 2,
+        delay_requirement: SimDuration::from_millis(40),
+        seed: 1,
+        warmup: SimDuration::from_millis(500),
+        include_be: false,
+        bridge_cycle: SimDuration::from_millis(20),
+        chain_deadline: None,
+        bidirectional: false,
+        be_load_scale: 1.0,
+        be_source_mix: BeSourceMix::Cbr,
+        topology: Topology::Chain,
+    });
+    let sim = scenario.simulator(PollerKind::PfpGs).unwrap();
+    let meters: Vec<Box<dyn EventMeter>> =
+        vec![Box::<TallyMeter>::default(), Box::<TallyMeter>::default()];
+    let cfg = ObsConfig {
+        ring_capacity: 1 << 16,
+        fine_events: true,
+    };
+    let mut marks = [0u64; 2];
+    let mut i = 0;
+    let run = sim
+        .run_observed_probed(
+            SimTime::from_secs(2),
+            SimTime::from_secs(6),
+            &mut || {
+                marks[i.min(1)] = allocation_count();
+                i += 1;
+            },
+            cfg,
+            meters,
+        )
+        .unwrap();
+    assert_eq!(i, 2, "probe fires at checkpoint and at loop end");
+    let delta = marks[1] - marks[0];
+    assert_eq!(
+        delta, 0,
+        "observed scatternet steady state allocated {delta} times over 4 simulated seconds"
+    );
+    // Sanity: the instrumentation actually observed the window.
+    assert!(run.report.events_processed > 4_000);
+    assert!(run.telemetry.events_processed > 4_000);
+    assert!(!run.trace.records.is_empty(), "trace ring captured records");
+    let metered: u64 = run
+        .meters
+        .iter()
+        .map(|m| {
+            m.as_any()
+                .downcast_ref::<TallyMeter>()
+                .expect("meters come back as handed in")
+                .counts
+                .iter()
+                .sum::<u64>()
+        })
+        .sum();
+    assert_eq!(
+        metered, run.telemetry.events_processed,
+        "every island event gets a begin/end pair"
+    );
+}
+
 fn parallel_scatternet_steady_state_is_allocation_free() {
     // The same bracketed window as `scatternet_steady_state_is_allocation_
     // free`, but through the phased engine with two worker threads. The
@@ -390,6 +486,7 @@ fn grid_aggregator_memory_is_independent_of_cell_count() {
         include_be: true,
         be_load_scale: vec![1.0],
         be_source_mix: BeSourceMix::Cbr,
+        telemetry: false,
     };
     // Two simulated results re-presented under many indices: the
     // aggregator only ever sees (cell coordinates, reports), so this is
@@ -435,6 +532,8 @@ fn main() {
     println!("ok - ACL+SCO steady state is allocation-free");
     scatternet_steady_state_is_allocation_free();
     println!("ok - scatternet steady state is allocation-free");
+    observed_scatternet_steady_state_is_allocation_free();
+    println!("ok - observed (traced+metered) scatternet steady state is allocation-free");
     parallel_scatternet_steady_state_is_allocation_free();
     println!("ok - parallel scatternet steady state is allocation-free");
     mesh_scatternet_steady_state_is_allocation_free();

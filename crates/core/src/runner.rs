@@ -27,6 +27,7 @@
 //!     include_be: false,
 //!     be_load_scale: vec![1.0],
 //!     be_source_mix: BeSourceMix::Cbr,
+//!     telemetry: false,
 //! };
 //! let report = ExperimentRunner::new().run_grid(&grid);
 //! assert_eq!(report.cells.len(), 4);
@@ -38,7 +39,7 @@ use crate::scenario::{BeSourceMix, PaperScenario, PaperScenarioParams, PollerKin
 use crate::sink::{CellSink, CollectSink};
 use btgs_des::{SimDuration, SimTime};
 use btgs_metrics::{fmt_f64, DelayStats, Table};
-use btgs_piconet::{RunReport, ScatternetReport};
+use btgs_piconet::{ObsConfig, RunReport, ScatternetReport, TelemetryReport};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
@@ -135,6 +136,13 @@ pub struct ScenarioGrid {
     /// How the BE flows generate traffic (a grid-wide variant, not an
     /// axis).
     pub be_source_mix: BeSourceMix,
+    /// Run scatternet cells (`piconets ≥ 2`) through the observed engine
+    /// and attach each cell's engine [`TelemetryReport`] to its outcome
+    /// (merged by the grid aggregator, carried as an optional wire
+    /// frame field, and **excluded** from every byte-identity digest).
+    /// Single-piconet cells ignore it; the simulated reports are
+    /// byte-identical either way.
+    pub telemetry: bool,
 }
 
 impl ScenarioGrid {
@@ -155,6 +163,7 @@ impl ScenarioGrid {
             include_be: true,
             be_load_scale: vec![1.0],
             be_source_mix: BeSourceMix::Cbr,
+            telemetry: false,
         }
     }
 
@@ -333,6 +342,7 @@ impl ScenarioGrid {
                                         include_be: self.include_be,
                                         be_load_scale,
                                         be_source_mix: self.be_source_mix,
+                                        telemetry: self.telemetry,
                                     });
                                 }
                             }
@@ -375,6 +385,9 @@ pub struct GridCell {
     pub be_load_scale: f64,
     /// How the BE flows generate traffic.
     pub be_source_mix: BeSourceMix,
+    /// Attach engine telemetry to the outcome (scatternet cells only;
+    /// see [`ScenarioGrid::telemetry`]).
+    pub telemetry: bool,
 }
 
 impl GridCell {
@@ -432,11 +445,23 @@ impl GridCell {
             )
         } else {
             let scenario = ScatternetScenario::build(self.scatternet_params());
-            CellOutcome::Scatternet(
-                scenario
-                    .run(self.poller, self.horizon)
-                    .expect("scatternet scenario must simulate"),
-            )
+            if self.telemetry {
+                // The observed engine returns a report byte-identical to
+                // the plain run (the parallel-equivalence suite proves
+                // it), plus the engine telemetry riding alongside.
+                let run = scenario
+                    .simulator(self.poller)
+                    .and_then(|sim| sim.run_observed(self.horizon, ObsConfig::default()))
+                    .expect("scatternet scenario must simulate");
+                CellOutcome::Scatternet(run.report, Some(Box::new(run.telemetry)))
+            } else {
+                CellOutcome::Scatternet(
+                    scenario
+                        .run(self.poller, self.horizon)
+                        .expect("scatternet scenario must simulate"),
+                    None,
+                )
+            }
         }
     }
 
@@ -458,8 +483,9 @@ impl GridCell {
 pub enum CellOutcome {
     /// A single-piconet (Fig. 4) cell's report.
     Piconet(RunReport),
-    /// A scatternet cell's full report.
-    Scatternet(ScatternetReport),
+    /// A scatternet cell's full report, plus the engine telemetry when
+    /// the cell ran observed ([`GridCell::telemetry`]).
+    Scatternet(ScatternetReport, Option<Box<TelemetryReport>>),
 }
 
 /// The scatternet-specific outcome of a multi-piconet grid cell.
@@ -469,6 +495,9 @@ pub struct ScatternetCellResult {
     pub scenario: ScatternetScenario,
     /// The full scatternet report (per-piconet runs + chain statistics).
     pub report: ScatternetReport,
+    /// The engine telemetry, when the cell ran observed
+    /// ([`GridCell::telemetry`]). Excluded from every digest.
+    pub telemetry: Option<Box<TelemetryReport>>,
 }
 
 /// The outcome of one grid cell.
@@ -524,7 +553,7 @@ impl CellResult {
                     scatternet: None,
                 }
             }
-            CellOutcome::Scatternet(report) => {
+            CellOutcome::Scatternet(report, telemetry) => {
                 assert!(
                     cell.piconets >= 2,
                     "single-piconet cell carries a scatternet outcome"
@@ -536,6 +565,7 @@ impl CellResult {
                     scatternet: Some(ScatternetCellResult {
                         scenario: ScatternetScenario::build(cell.scatternet_params()),
                         report,
+                        telemetry,
                     }),
                 }
             }
@@ -547,7 +577,7 @@ impl CellResult {
     pub fn outcome(&self) -> CellOutcome {
         match &self.scatternet {
             None => CellOutcome::Piconet(self.report.clone()),
-            Some(s) => CellOutcome::Scatternet(s.report.clone()),
+            Some(s) => CellOutcome::Scatternet(s.report.clone(), s.telemetry.clone()),
         }
     }
 
@@ -926,6 +956,7 @@ mod tests {
             include_be: false,
             be_load_scale: vec![1.0],
             be_source_mix: BeSourceMix::Cbr,
+            telemetry: false,
         };
         let cells = grid.cells();
         assert_eq!(cells.len(), 12);
@@ -966,6 +997,7 @@ mod tests {
             include_be: false,
             be_load_scale: vec![1.0],
             be_source_mix: BeSourceMix::Cbr,
+            telemetry: false,
         }
     }
 

@@ -145,6 +145,7 @@ mod tests {
             include_be: false,
             be_load_scale: vec![1.0],
             be_source_mix: BeSourceMix::Cbr,
+            telemetry: false,
         }
     }
 

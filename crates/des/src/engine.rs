@@ -1,6 +1,6 @@
 //! The discrete-event simulation driver.
 
-use crate::queue::{EventKey, PendingEvents};
+use crate::queue::{EventKey, PendingEvents, QueueOccupancy};
 use crate::time::{SimDuration, SimTime};
 use crate::wheel::EventQueue;
 use core::marker::PhantomData;
@@ -69,6 +69,14 @@ impl<E, Q: PendingEvents<E>> Scheduler<E, Q> {
     /// Number of pending events.
     pub fn pending(&self) -> usize {
         self.queue.len()
+    }
+
+    /// A structural snapshot of the pending-event set (see
+    /// [`QueueOccupancy`]): how many live events sit in each of the
+    /// backend's tiers. Observability only — reading it never perturbs
+    /// the queue.
+    pub fn queue_occupancy(&self) -> QueueOccupancy {
+        self.queue.occupancy()
     }
 
     /// Requests that the run loop stop after the current handler returns.

@@ -46,11 +46,13 @@
 mod engine;
 mod queue;
 mod rng;
+mod tag;
 mod time;
 mod wheel;
 
 pub use engine::{Scheduler, Simulator};
-pub use queue::{EventKey, HeapEventQueue, PendingEvents, Scheduled};
+pub use queue::{EventKey, HeapEventQueue, PendingEvents, QueueOccupancy, Scheduled};
 pub use rng::DetRng;
+pub use tag::Tagged;
 pub use time::{SimDuration, SimTime};
 pub use wheel::EventQueue;

@@ -34,6 +34,22 @@ pub struct Scheduled<E> {
     pub event: E,
 }
 
+/// A structural snapshot of a pending-event queue, for observability:
+/// how the live events are distributed across the backend's tiers.
+/// Backends without tiers report everything as `near`.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct QueueOccupancy {
+    /// Total live (not yet popped or cancelled) events.
+    pub live: usize,
+    /// Events in the near-horizon tier (wheel level 0 and its
+    /// same-tick batch; everything, for the heap reference).
+    pub near: usize,
+    /// Events in the far tier (wheel level 1).
+    pub far: usize,
+    /// Events beyond the wheel span (the overflow heap).
+    pub overflow: usize,
+}
+
 /// The interface between the [`Simulator`](crate::Simulator) run loop and a
 /// pending-event structure.
 ///
@@ -70,6 +86,17 @@ pub trait PendingEvents<E> {
     /// `true` if no live events remain.
     fn is_empty(&self) -> bool {
         self.len() == 0
+    }
+
+    /// A structural snapshot of where the live events sit (see
+    /// [`QueueOccupancy`]). The default reports an untiered backend.
+    fn occupancy(&self) -> QueueOccupancy {
+        QueueOccupancy {
+            live: self.len(),
+            near: self.len(),
+            far: 0,
+            overflow: 0,
+        }
     }
 }
 

@@ -1,0 +1,47 @@
+//! Event-kind tagging for observability.
+//!
+//! Profilers and trace exporters bucket per-event costs *by kind*
+//! without knowing the domain's event enum: the domain implements
+//! [`Tagged`] once, and harness-side meters receive the small-integer
+//! tag with [`TAG_NAMES`](Tagged::TAG_NAMES) as the label table.
+
+/// A domain event type whose variants carry a stable small-integer tag.
+///
+/// Tags must be dense (`0..TAG_NAMES.len()`) and stable across runs —
+/// they index fixed-size per-kind accumulators in profilers and are
+/// carried in trace records.
+pub trait Tagged {
+    /// Kind names, indexed by [`tag`](Tagged::tag).
+    const TAG_NAMES: &'static [&'static str];
+
+    /// This event's kind tag (an index into
+    /// [`TAG_NAMES`](Tagged::TAG_NAMES)).
+    fn tag(&self) -> u8;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    enum Toy {
+        A,
+        B,
+    }
+
+    impl Tagged for Toy {
+        const TAG_NAMES: &'static [&'static str] = &["a", "b"];
+
+        fn tag(&self) -> u8 {
+            match self {
+                Toy::A => 0,
+                Toy::B => 1,
+            }
+        }
+    }
+
+    #[test]
+    fn tags_index_names() {
+        assert_eq!(Toy::TAG_NAMES[Toy::A.tag() as usize], "a");
+        assert_eq!(Toy::TAG_NAMES[Toy::B.tag() as usize], "b");
+    }
+}

@@ -38,7 +38,7 @@
 //! their capacity, which the allocation-counting tests in `btgs-bench`
 //! enforce.
 
-use crate::queue::{Entry, EventKey, PendingEvents, Scheduled, SlotArena};
+use crate::queue::{Entry, EventKey, PendingEvents, QueueOccupancy, Scheduled, SlotArena};
 use crate::time::SimTime;
 use std::collections::BinaryHeap;
 
@@ -505,6 +505,18 @@ impl<E> PendingEvents<E> for EventQueue<E> {
 
     fn len(&self) -> usize {
         EventQueue::len(self)
+    }
+
+    fn occupancy(&self) -> QueueOccupancy {
+        QueueOccupancy {
+            live: self.live,
+            // Tier counts track stored index entries, which may include
+            // cancelled ones not yet swept — a structural snapshot, not
+            // an exact live split.
+            near: usize::from(self.front.is_some()) + self.batch.len() + self.l0_len,
+            far: self.l1_len,
+            overflow: self.overflow.len(),
+        }
     }
 }
 

@@ -523,7 +523,7 @@ fn accept_frame(
     // retries can handle it.
     let variant_matches = match &frame.outcome {
         CellOutcome::Piconet(_) => expected.piconets <= 1,
-        CellOutcome::Scatternet(_) => expected.piconets >= 2,
+        CellOutcome::Scatternet(..) => expected.piconets >= 2,
     };
     if !variant_matches {
         return Err(format!(

@@ -8,6 +8,7 @@
 use crate::wire::{frame_to_json, grid_digest};
 use btgs_core::{CellResult, CellSink, PollerKind, ScenarioGrid};
 use btgs_metrics::{fmt_f64, DelaySummary, Histogram, Table};
+use btgs_piconet::TelemetryReport;
 use std::fmt::Write as _;
 use std::fs::File;
 use std::io::{self, BufWriter, Write};
@@ -60,6 +61,7 @@ impl SeriesAccum {
 pub struct OnlineAggregator {
     series: Vec<(PollerKind, SeriesAccum)>,
     cells: u64,
+    telemetry: TelemetryReport,
 }
 
 impl OnlineAggregator {
@@ -81,6 +83,15 @@ impl OnlineAggregator {
     /// Total cells aggregated.
     pub fn cells(&self) -> u64 {
         self.cells
+    }
+
+    /// The engine telemetry pooled over every observed cell (all zeros
+    /// when the grid ran without [`ScenarioGrid::telemetry`]). Like the
+    /// per-cell reports it is **excluded** from [`OnlineAggregator::digest`]
+    /// and the summary table: it describes the engine, not the simulated
+    /// system.
+    pub fn telemetry(&self) -> &TelemetryReport {
+        &self.telemetry
     }
 
     fn series_mut(&mut self, kind: PollerKind) -> &mut SeriesAccum {
@@ -107,6 +118,7 @@ impl OnlineAggregator {
                 .expect("aggregator histograms share one shape");
         }
         self.cells += other.cells;
+        self.telemetry.merge(&other.telemetry);
     }
 
     /// A per-poller summary table (rows sorted by poller label, so the
@@ -217,6 +229,15 @@ impl CellSink for OnlineAggregator {
                 accum.be_bytes += u128::from(r.delivered_bytes);
             }
         }
+        if let Some(t) = result
+            .scatternet
+            .as_ref()
+            .and_then(|s| s.telemetry.as_ref())
+        {
+            // `TelemetryReport` is `Copy` and fixed-size: folding a
+            // shard's telemetry allocates nothing per cell.
+            self.telemetry.merge(t);
+        }
         self.cells += 1;
     }
 }
@@ -307,6 +328,7 @@ mod tests {
             include_be: true,
             be_load_scale: vec![1.0],
             be_source_mix: BeSourceMix::Cbr,
+            telemetry: false,
         }
     }
 
@@ -403,6 +425,46 @@ mod tests {
         let hist = agg.delay_histogram(PollerKind::PfpGs).unwrap();
         assert!(hist.count() > 0);
         assert_eq!(hist.overflow(), 0, "all delays fall inside 100 ms");
+    }
+
+    #[test]
+    fn aggregator_pools_telemetry_without_moving_digests() {
+        let mut g = grid();
+        g.pollers = vec![PollerKind::PfpGs];
+        g.piconets = vec![2];
+        g.seeds = vec![1, 2];
+        let plain: Vec<_> = g.cells().iter().map(GridCell::run).collect();
+        g.telemetry = true;
+        let observed: Vec<_> = g.cells().iter().map(GridCell::run).collect();
+
+        let mut agg_plain = OnlineAggregator::new();
+        let mut agg_obs = OnlineAggregator::new();
+        for (i, (p, o)) in plain.iter().zip(&observed).enumerate() {
+            agg_plain.accept(i, p);
+            agg_obs.accept(i, o);
+        }
+        // Telemetry pools across the observed cells and stays out of the
+        // digest and summary — the aggregate is byte-identical to the
+        // unobserved grid's.
+        assert!(agg_obs.telemetry().events_processed > 0);
+        assert!(agg_obs.telemetry().phases_run > 0);
+        assert_eq!(agg_plain.telemetry().events_processed, 0);
+        assert_eq!(agg_plain.digest(), agg_obs.digest());
+        assert_eq!(
+            agg_plain.summary_table().render(),
+            agg_obs.summary_table().render()
+        );
+
+        // Shard-wise merge pools telemetry like every other accumulator.
+        let mut left = OnlineAggregator::new();
+        let mut right = OnlineAggregator::new();
+        left.accept(0, &observed[0]);
+        right.accept(1, &observed[1]);
+        left.merge(&right);
+        assert_eq!(
+            left.telemetry().events_processed,
+            agg_obs.telemetry().events_processed
+        );
     }
 
     #[test]

@@ -31,7 +31,8 @@ use btgs_core::{BeSourceMix, CellOutcome, GridCell, PollerKind, ScenarioGrid, To
 use btgs_des::{SimDuration, SimTime};
 use btgs_metrics::DelayStats;
 use btgs_piconet::{
-    ChainReport, FlowReport, FlowSpec, PollCounters, RunReport, ScatternetReport, SlotLedger,
+    ChainReport, FlowReport, FlowSpec, Histo32, PollCounters, RunReport, ScatternetReport,
+    SlotLedger, TelemetryReport,
 };
 use btgs_traffic::FlowId;
 use std::collections::BTreeMap;
@@ -134,8 +135,9 @@ pub fn grid_to_json(grid: &ScenarioGrid) -> String {
     }
     let _ = write!(
         s,
-        "],\"be_source_mix\":\"{}\"}}",
-        grid.be_source_mix.label()
+        "],\"be_source_mix\":\"{}\",\"telemetry\":{}}}",
+        grid.be_source_mix.label(),
+        grid.telemetry,
     );
     s
 }
@@ -251,6 +253,7 @@ pub fn grid_from_json(j: &Json) -> Result<ScenarioGrid, WireError> {
         be_load_scale,
         be_source_mix: BeSourceMix::from_label(str_field(j, "be_source_mix")?)
             .ok_or_else(|| wire_err("unknown be_source_mix"))?,
+        telemetry: bool_field(j, "telemetry")?,
     })
 }
 
@@ -333,8 +336,12 @@ pub fn frame_to_json(digest: u64, index: usize, cell: &GridCell, outcome: &CellO
         CellOutcome::Piconet(report) => {
             let _ = write!(s, "\"piconet\":{}}}", run_report_to_json(report));
         }
-        CellOutcome::Scatternet(report) => {
-            let _ = write!(s, "\"scatternet\":{}}}", scatternet_report_to_json(report));
+        CellOutcome::Scatternet(report, telemetry) => {
+            let _ = write!(s, "\"scatternet\":{}", scatternet_report_to_json(report));
+            if let Some(t) = telemetry {
+                let _ = write!(s, ",\"telemetry\":{}", telemetry_to_json(t));
+            }
+            s.push('}');
         }
     }
     debug_assert!(!s.contains('\n'), "frames must be single lines");
@@ -354,7 +361,15 @@ pub fn frame_from_json(src: &str) -> Result<CellFrame, WireError> {
     let cell = cell_from_json(field(&j, "cell")?)?;
     let outcome = match (j.get("piconet"), j.get("scatternet")) {
         (Some(r), None) => CellOutcome::Piconet(run_report_from_json(r)?),
-        (None, Some(r)) => CellOutcome::Scatternet(scatternet_report_from_json(r)?),
+        (None, Some(r)) => CellOutcome::Scatternet(
+            scatternet_report_from_json(r)?,
+            // Telemetry frames are optional: a frame without one decodes
+            // to `None` (an unobserved cell).
+            j.get("telemetry")
+                .map(telemetry_from_json)
+                .transpose()?
+                .map(Box::new),
+        ),
         _ => return Err(wire_err("frame must carry exactly one outcome")),
     };
     Ok(CellFrame {
@@ -371,7 +386,7 @@ fn cell_to_json(c: &GridCell) -> String {
         s,
         "{{\"poller\":\"{}\",\"piconets\":{},\"seed\":{},\"topo\":\"{}\",\"dreq_ns\":{},\
          \"cd_ns\":{},\"bi\":{},\"bridge_ns\":{},\"horizon_ns\":{},\"warmup_ns\":{},\
-         \"be\":{},\"bl\":{:?},\"mix\":\"{}\"}}",
+         \"be\":{},\"bl\":{:?},\"mix\":\"{}\",\"telemetry\":{}}}",
         escape(&c.poller.label()),
         c.piconets,
         c.seed,
@@ -386,6 +401,7 @@ fn cell_to_json(c: &GridCell) -> String {
         c.include_be,
         c.be_load_scale,
         c.be_source_mix.label(),
+        c.telemetry,
     );
     s
 }
@@ -416,6 +432,7 @@ fn cell_from_json(j: &Json) -> Result<GridCell, WireError> {
         be_load_scale: field(j, "bl")?.as_f64().ok_or_else(|| wire_err("bad bl"))?,
         be_source_mix: BeSourceMix::from_label(str_field(j, "mix")?)
             .ok_or_else(|| wire_err("unknown mix"))?,
+        telemetry: bool_field(j, "telemetry")?,
     })
 }
 
@@ -779,8 +796,15 @@ pub fn scatternet_report_to_json(r: &ScatternetReport) -> String {
     }
     let _ = write!(
         s,
-        "],\"events\":{},\"phases\":{},\"barrier_rounds\":{},\"islands_claimed\":{},\"relays_staged\":{}}}",
-        r.events_processed, r.phases_run, r.barrier_rounds, r.islands_claimed, r.relays_staged,
+        "],\"events\":{},\"phases\":{},\"barrier_rounds\":{},\"islands_claimed\":{},\"relays_staged\":{},\"widening_stretches\":{},\"islands_skipped_idle\":{},\"relays_injected\":{}}}",
+        r.events_processed,
+        r.phases_run,
+        r.barrier_rounds,
+        r.islands_claimed,
+        r.relays_staged,
+        r.widening_stretches,
+        r.islands_skipped_idle,
+        r.relays_injected,
     );
     s
 }
@@ -805,6 +829,98 @@ pub fn scatternet_report_from_json(j: &Json) -> Result<ScatternetReport, WireErr
         barrier_rounds: u64_field(j, "barrier_rounds")?,
         islands_claimed: u64_field(j, "islands_claimed")?,
         relays_staged: u64_field(j, "relays_staged")?,
+        widening_stretches: u64_field(j, "widening_stretches")?,
+        islands_skipped_idle: u64_field(j, "islands_skipped_idle")?,
+        relays_injected: u64_field(j, "relays_injected")?,
+    })
+}
+
+fn histo_to_json(h: &Histo32) -> String {
+    let mut s = String::with_capacity(160);
+    s.push_str("{\"counts\":[");
+    push_ints(&mut s, h.counts.iter().copied());
+    let _ = write!(s, "],\"count\":{},\"sum\":{}}}", h.count, h.sum);
+    s
+}
+
+fn histo_from_json(j: &Json) -> Result<Histo32, WireError> {
+    let raw = arr_field(j, "counts")?;
+    if raw.len() != 32 {
+        return Err(wire_err(format!("histogram has {} buckets", raw.len())));
+    }
+    let mut counts = [0u64; 32];
+    for (c, v) in counts.iter_mut().zip(raw.iter()) {
+        *c = v.as_u64().ok_or_else(|| wire_err("bad histogram bucket"))?;
+    }
+    Ok(Histo32 {
+        counts,
+        count: u64_field(j, "count")?,
+        sum: u64_field(j, "sum")?,
+    })
+}
+
+/// Serialises a [`TelemetryReport`] (the optional per-shard telemetry
+/// frame payload; also the `btgs-obs` CLI's `--telemetry` output).
+pub fn telemetry_to_json(t: &TelemetryReport) -> String {
+    let mut s = String::with_capacity(1024);
+    let _ = write!(
+        s,
+        "{{\"events\":{},\"phases\":{},\"barrier_rounds\":{},\"islands_claimed\":{},\
+         \"relays_staged\":{},\"relays_injected\":{},\"widening_stretches\":{},\
+         \"islands_skipped_idle\":{},\"gs_polls_successful\":{},\"gs_polls_unsuccessful\":{},\
+         \"be_polls_successful\":{},\"be_polls_unsuccessful\":{},\"trace_dropped\":{}",
+        t.events_processed,
+        t.phases_run,
+        t.barrier_rounds,
+        t.islands_claimed,
+        t.relays_staged,
+        t.relays_injected,
+        t.widening_stretches,
+        t.islands_skipped_idle,
+        t.gs_polls_successful,
+        t.gs_polls_unsuccessful,
+        t.be_polls_successful,
+        t.be_polls_unsuccessful,
+        t.trace_dropped,
+    );
+    for (key, h) in [
+        ("phase_width_ns", &t.phase_width_ns),
+        ("relay_pool", &t.relay_pool),
+        ("wheel_pending", &t.wheel_pending),
+        ("wheel_near", &t.wheel_near),
+        ("events_per_claim", &t.events_per_claim),
+    ] {
+        let _ = write!(s, ",\"{key}\":{}", histo_to_json(h));
+    }
+    s.push('}');
+    s
+}
+
+/// Parses a [`TelemetryReport`].
+///
+/// # Errors
+///
+/// Returns a description of the first malformed field.
+pub fn telemetry_from_json(j: &Json) -> Result<TelemetryReport, WireError> {
+    Ok(TelemetryReport {
+        events_processed: u64_field(j, "events")?,
+        phases_run: u64_field(j, "phases")?,
+        barrier_rounds: u64_field(j, "barrier_rounds")?,
+        islands_claimed: u64_field(j, "islands_claimed")?,
+        relays_staged: u64_field(j, "relays_staged")?,
+        relays_injected: u64_field(j, "relays_injected")?,
+        widening_stretches: u64_field(j, "widening_stretches")?,
+        islands_skipped_idle: u64_field(j, "islands_skipped_idle")?,
+        gs_polls_successful: u64_field(j, "gs_polls_successful")?,
+        gs_polls_unsuccessful: u64_field(j, "gs_polls_unsuccessful")?,
+        be_polls_successful: u64_field(j, "be_polls_successful")?,
+        be_polls_unsuccessful: u64_field(j, "be_polls_unsuccessful")?,
+        phase_width_ns: histo_from_json(field(j, "phase_width_ns")?)?,
+        relay_pool: histo_from_json(field(j, "relay_pool")?)?,
+        wheel_pending: histo_from_json(field(j, "wheel_pending")?)?,
+        wheel_near: histo_from_json(field(j, "wheel_near")?)?,
+        events_per_claim: histo_from_json(field(j, "events_per_claim")?)?,
+        trace_dropped: u64_field(j, "trace_dropped")?,
     })
 }
 
@@ -923,6 +1039,7 @@ mod tests {
             include_be: true,
             be_load_scale: vec![0.5, 1.0, 1.75],
             be_source_mix: BeSourceMix::Poisson,
+            telemetry: false,
         }
     }
 
@@ -1027,6 +1144,53 @@ mod tests {
                 .sum_nanos(),
             "exact sums survive the wire"
         );
+    }
+
+    #[test]
+    fn telemetry_rides_frames_and_leaves_digests_alone() {
+        let mut grid = sample_grid();
+        grid.piconets = vec![2];
+        grid.seeds = vec![1];
+        grid.pollers = vec![PollerKind::PfpGs];
+        grid.be_load_scale = vec![1.0];
+        grid.be_source_mix = BeSourceMix::Cbr;
+        grid.horizon = SimTime::from_secs(1);
+        grid.warmup = SimDuration::from_millis(200);
+        let plain_cell = grid.cells()[0];
+        grid.telemetry = true;
+        let cell = grid.cells()[0];
+        assert!(cell.telemetry, "the grid flag reaches its cells");
+
+        let outcome = cell.simulate();
+        let CellOutcome::Scatternet(_, Some(telemetry)) = &outcome else {
+            panic!("observed scatternet cells carry telemetry");
+        };
+        assert!(telemetry.events_processed > 0);
+        assert!(telemetry.phases_run > 0);
+        assert!(telemetry.phase_width_ns.count > 0);
+
+        // The telemetry object round-trips exactly.
+        let json = telemetry_to_json(telemetry);
+        let parsed = telemetry_from_json(&Json::parse(&json).unwrap()).unwrap();
+        assert_eq!(parsed, **telemetry);
+
+        // It rides the cell frame as an optional field…
+        let frame_json = frame_to_json(grid_digest(&grid), 0, &cell, &outcome);
+        let frame = frame_from_json(&frame_json).unwrap();
+        let CellOutcome::Scatternet(_, Some(shipped)) = &frame.outcome else {
+            panic!("the frame dropped its telemetry");
+        };
+        assert_eq!(*shipped, *telemetry);
+
+        // …and the observed cell's measured report is byte-identical to
+        // the unobserved run of the same coordinates.
+        let plain = btgs_core::GridReport {
+            cells: vec![plain_cell.run()],
+        };
+        let observed = btgs_core::GridReport {
+            cells: vec![btgs_core::CellResult::reassemble(cell, frame.outcome)],
+        };
+        assert_eq!(plain.digest(), observed.digest());
     }
 
     #[test]

@@ -45,6 +45,7 @@ mod sar;
 mod scatternet;
 mod sim;
 pub mod sync_protocol;
+mod telemetry;
 
 pub use config::{AllowedByCap, PiconetConfig, PiconetError, PresenceMask, SarPolicy, ScoBinding};
 pub use flow::{validate_flows, FlowSpec};
@@ -66,3 +67,7 @@ pub use scatternet::{
     ShardedFlowArena,
 };
 pub use sim::{EventQueueBackend, PiconetSim, RoundRobinForTest};
+pub use telemetry::{
+    EngineTrace, EventMeter, Histo32, ObsConfig, ObservedRun, TelemetryReport, TraceRecord,
+    TraceRecordKind, EVENT_KIND_NAMES,
+};

@@ -51,6 +51,7 @@
 //!   reports zero findings.
 
 use crate::config::PiconetError;
+use crate::telemetry::IslandObs;
 use crate::ScatternetSim;
 use btgs_des::SimTime;
 use std::collections::{BTreeMap, BTreeSet, VecDeque};
@@ -126,6 +127,10 @@ pub struct SanitizerReport {
     pub events_checked: u64,
     /// Cross-island relays tracked through stage → pool → injection.
     pub relays_tracked: u64,
+    /// Relays still pooled at run end — handoffs past the horizon, which
+    /// can never fire. A clean run conserves staged relays exactly:
+    /// `relays_staged == relays_injected + relays_leftover`.
+    pub relays_leftover: u64,
 }
 
 impl SanitizerReport {
@@ -347,6 +352,9 @@ pub(crate) struct IslandProbe {
     hashes: Vec<u64>,
     times: Vec<u64>,
     window: Vec<TraceEvent>,
+    /// Telemetry/trace capture for this island — `None` unless the run
+    /// was started through `run_observed`.
+    obs: Option<IslandObs>,
 }
 
 impl IslandProbe {
@@ -355,6 +363,7 @@ impl IslandProbe {
         tripped: Arc<AtomicBool>,
         sanitize: bool,
         trace: Option<&TraceConfig>,
+        obs: Option<IslandObs>,
     ) -> IslandProbe {
         let trace_window = trace
             .and_then(|c| c.window)
@@ -376,6 +385,7 @@ impl IslandProbe {
             hashes: Vec::new(),
             times: Vec::new(),
             window: Vec::with_capacity(trace_window.map_or(0, |(_, len)| len as usize)),
+            obs,
         }
     }
 
@@ -397,6 +407,11 @@ impl IslandProbe {
     pub(crate) fn on_event(&mut self, t: SimTime, kind: TraceKind, a: u64, b: u64) {
         self.events += 1;
         let t_nanos = crate::scatternet::nanos_of(t);
+        if let Some(obs) = self.obs.as_mut() {
+            // analyze: allow(obs-seam): delegated from island_handle, itself
+            // behind the `I` const-generic seam.
+            obs.on_event(t, kind, a, b);
+        }
         if self.sanitize {
             if let Some(last) = self.last_event {
                 if t < last {
@@ -464,9 +479,19 @@ impl IslandProbe {
         }
     }
 
+    /// Called by the instrumented handler after each event's handler
+    /// returns — closes the per-event cost meter, if one is attached.
+    pub(crate) fn after_event(&mut self) {
+        if let Some(obs) = self.obs.as_mut() {
+            // analyze: allow(obs-seam): delegated from island_handle, itself
+            // behind the `I` const-generic seam.
+            obs.after_event();
+        }
+    }
+
     /// Records a cross-island relay this island staged for the
     /// coordinator.
-    pub(crate) fn on_staged(&mut self, target_pic: u16, flow_idx: u32) {
+    pub(crate) fn on_staged(&mut self, target_pic: u16, flow_idx: u32, at: SimTime, seq: u64) {
         if self.sanitize {
             self.staged_total += 1;
             *self
@@ -474,6 +499,25 @@ impl IslandProbe {
                 .entry((target_pic, flow_idx))
                 .or_default() += 1;
         }
+        if let Some(obs) = self.obs.as_mut() {
+            // analyze: allow(obs-seam): delegated from route_captures, itself
+            // behind the `I` const-generic seam.
+            obs.on_staged(target_pic, flow_idx, at, seq);
+        }
+    }
+
+    /// Called once per coordinator claim after this island ran to the
+    /// phase boundary `b`, with the island wheel's live/near occupancy.
+    pub(crate) fn on_island_ran(&mut self, b: SimTime, live: u64, near: u64) {
+        if let Some(obs) = self.obs.as_mut() {
+            // analyze: allow(obs-seam): delegated from island_status_after_run,
+            // itself behind the `I` const-generic seam.
+            obs.on_island_ran(b, live, near);
+        }
+    }
+
+    pub(crate) fn take_obs(&mut self) -> Option<IslandObs> {
+        self.obs.take()
     }
 
     pub(crate) fn events(&self) -> u64 {
@@ -679,6 +723,7 @@ impl EngineSanitizer {
             findings,
             events_checked: probes.iter().map(IslandProbe::events).sum(),
             relays_tracked: self.received_total,
+            relays_leftover: self.leftover_by_flow.values().sum(),
         }
     }
 }

@@ -75,6 +75,7 @@ use crate::sync_protocol::{
     barrier_wait, claim_next, collect_staged, publish_staged, BarrierOrderings, StagedOrderings,
     SyncEnv,
 };
+use crate::telemetry::{CoordObs, EventMeter, IslandObs, ObsConfig, ObservedRun};
 use btgs_baseband::{ChannelModel, PiconetId, PresenceWindow, ScopedSlave};
 use btgs_des::{DetRng, EventQueue, Scheduler, SimDuration, SimTime, Simulator};
 use btgs_metrics::DelayStats;
@@ -441,6 +442,11 @@ fn island_handle<const I: bool>(
     if !st.world.outbox.is_empty() {
         route_captures::<I>(sched, st);
     }
+    if I {
+        if let Some(probe) = st.probe.as_deref_mut() {
+            probe.after_event();
+        }
+    }
 }
 
 /// The `(kind, a, b)` descriptor of an island event, as folded into the
@@ -550,7 +556,7 @@ fn route_captures<const I: bool>(sched: &mut Scheduler<Ev, EventQueue<Ev>>, st: 
                     });
                     if I {
                         if let Some(probe) = st.probe.as_deref_mut() {
-                            probe.on_staged(pic, flow_idx);
+                            probe.on_staged(pic, flow_idx, handoff, pkt.seq);
                         }
                     }
                 }
@@ -672,6 +678,18 @@ fn next_boundary(
         }
     }
     b
+}
+
+/// The earliest calendar window start strictly after `t`, hotness
+/// ignored — what the boundary at `t` would have been with widening off.
+/// A widened phase is one whose chosen boundary lies strictly past this
+/// instant; the engine counts those as `widening_stretches`.
+fn earliest_calendar_start(t: SimTime, groups: &[SyncPoint]) -> SimTime {
+    groups
+        .iter()
+        .map(|g| next_start_after(t, g.phase, g.cycle))
+        .min()
+        .unwrap_or(SimTime::MAX)
 }
 
 /// Spin iterations before a barrier waiter starts yielding.
@@ -838,6 +856,25 @@ fn island_status(island: &mut IslandSim) -> (SimTime, SimTime, bool) {
     (next_event, hot_from, !st.staged.is_empty())
 }
 
+/// [`island_status`] at the end of a claimed run to boundary `b`, with the
+/// observability hook: under the instrumented monomorphisation the
+/// island's probe records the `[previous boundary, b]` run slice, the
+/// events it processed in this claim and its queue occupancy. The default
+/// engine (`I = false`) compiles this down to plain [`island_status`].
+fn island_status_after_run<const I: bool>(
+    island: &mut IslandSim,
+    b: SimTime,
+) -> (SimTime, SimTime, bool) {
+    if I {
+        let (sched, st) = island.split_mut();
+        let occ = sched.queue_occupancy();
+        if let Some(probe) = st.probe.as_deref_mut() {
+            probe.on_island_ran(b, occ.live as u64, occ.near as u64);
+        }
+    }
+    island_status(island)
+}
+
 /// A staged relay parked in the coordinator's pool until the global round
 /// clock reaches its handoff instant.
 #[derive(Clone)]
@@ -944,11 +981,14 @@ fn inject_relay<const I: bool>(island: &mut IslandSim, relay: &StagedRelay) {
 /// Excluded from cross-configuration byte-identity digests the way
 /// `events_processed` is.
 #[derive(Clone, Copy, Debug, Default)]
-struct EngineCounters {
-    phases_run: u64,
-    barrier_rounds: u64,
-    islands_claimed: u64,
-    relays_staged: u64,
+pub(crate) struct EngineCounters {
+    pub(crate) phases_run: u64,
+    pub(crate) barrier_rounds: u64,
+    pub(crate) islands_claimed: u64,
+    pub(crate) relays_staged: u64,
+    pub(crate) widening_stretches: u64,
+    pub(crate) islands_skipped_idle: u64,
+    pub(crate) relays_injected: u64,
 }
 
 /// The engine toggles (see [`ScatternetSim::with_phase_widening`] and
@@ -983,13 +1023,15 @@ impl MutationState {
 }
 
 /// Per-run instrumentation control handed to the engine loops: the
-/// sanitizer (sanitized runs) and the seeded mutation (corpus tests).
-/// Default runs carry `None` in both fields; every hook is a per-round or
+/// sanitizer (sanitized runs), the seeded mutation (corpus tests) and the
+/// coordinator-side observability recorder (observed runs). Default runs
+/// carry `None` in every field; every hook is a per-round or
 /// per-injection `Option` branch, never per event — the per-event seam is
 /// the `I` const generic on [`island_handle`].
 struct EngineCtl<'a> {
     san: Option<&'a mut EngineSanitizer>,
     muts: Option<&'a mut MutationState>,
+    obs: Option<&'a mut CoordObs>,
 }
 
 impl EngineCtl<'_> {
@@ -1112,6 +1154,34 @@ impl EngineCtl<'_> {
         }
     }
 
+    /// Records one closed phase on the coordinator observability recorder:
+    /// the `[t, b]` slice, the claim/skip split, the post-collect relay
+    /// pool occupancy and whether adaptive widening stretched the phase
+    /// past a calendar start. Every argument is derived from
+    /// thread-count-invariant engine state, so the recorded trace is
+    /// byte-identical across 1/2/4 threads and claim orders.
+    fn on_phase(
+        &mut self,
+        t: SimTime,
+        b: SimTime,
+        active: u64,
+        skipped: u64,
+        pool_len: usize,
+        stretched: bool,
+    ) {
+        if let Some(obs) = self.obs.as_deref_mut() {
+            obs.on_phase(t, b, active, skipped, pool_len, stretched);
+        }
+    }
+
+    /// Records one pooled-relay injection (target island and staging
+    /// sequence) on the coordinator observability recorder.
+    fn on_injected(&mut self, t: SimTime, target: u16, seq: u64) {
+        if let Some(obs) = self.obs.as_deref_mut() {
+            obs.on_injected(t, target, seq);
+        }
+    }
+
     /// Reports every relay still pooled at run end to the sanitizer's
     /// conservation reconciliation (legitimate for handoffs past the
     /// horizon). A relay still *held* by the behind-clock mutation is
@@ -1157,7 +1227,7 @@ fn claim_islands<const I: bool>(
             .lock()
             .expect("island workers do not panic while holding the lock");
         island.run_until(b, island_handle::<I>);
-        let (ne, hf, staged) = island_status(&mut island);
+        let (ne, hf, staged) = island_status_after_run::<I>(&mut island, b);
         drop(island);
         meta[idx].publish(ne, hf, staged);
     }
@@ -1219,14 +1289,26 @@ fn run_phases_seq<const I: bool>(
             );
         }
         counters.phases_run += 1;
+        let stretched = mode.widening && earliest_calendar_start(t, groups) < b;
+        counters.widening_stretches += u64::from(stretched);
+        // The claim rule (`next_event <= b`) reads the same published
+        // values the loop below skips on, so `active` equals the number
+        // of islands actually run — the identical accounting the parallel
+        // engine derives from the island meta.
+        let active = if mode.batching {
+            order.iter().filter(|&&idx| next_event[idx] <= b).count()
+        } else {
+            order.len()
+        };
+        counters.islands_claimed += active as u64;
+        counters.islands_skipped_idle += (order.len() - active) as u64;
         for &idx in order {
             if mode.batching && next_event[idx] > b {
                 continue;
             }
             let island = &mut islands[idx];
             island.run_until(b, island_handle::<I>);
-            counters.islands_claimed += 1;
-            let (ne, hf, did_stage) = island_status(island);
+            let (ne, hf, did_stage) = island_status_after_run::<I>(island, b);
             next_event[idx] = ne;
             hot[idx] = hf;
             staged[idx] |= did_stage;
@@ -1240,6 +1322,14 @@ fn run_phases_seq<const I: bool>(
         }
         sort_pool(&mut pool, ctl.unsorted());
         ctl.corrupt_pool(&mut pool);
+        ctl.on_phase(
+            t,
+            b,
+            active as u64,
+            (order.len() - active) as u64,
+            pool.len(),
+            stretched,
+        );
         if !probed && b >= checkpoint {
             probe();
             probed = true;
@@ -1275,6 +1365,8 @@ fn run_phases_seq<const I: bool>(
             };
             if proceed {
                 inject_relay::<I>(island, &p.relay);
+                counters.relays_injected += 1;
+                ctl.on_injected(t, p.relay.pic, p.seq);
             }
             next_event[idx] = next_event[idx].min(t);
             hot[idx] = SimTime::ZERO;
@@ -1387,6 +1479,8 @@ fn run_phases_par<const I: bool>(
                 );
             }
             counters.phases_run += 1;
+            let stretched = mode.widening && earliest_calendar_start(t, groups) < b;
+            counters.widening_stretches += u64::from(stretched);
             let b_nanos = nanos_of(b);
             let active = if mode.batching {
                 order
@@ -1399,6 +1493,7 @@ fn run_phases_par<const I: bool>(
                 order.len()
             };
             counters.islands_claimed += active as u64;
+            counters.islands_skipped_idle += (order.len() - active) as u64;
             if mode.batching && active <= SOLO_ROUND_MAX {
                 // Coordinator-solo round: cheaper than two barrier
                 // crossings when almost everything is idle.
@@ -1411,7 +1506,7 @@ fn run_phases_par<const I: bool>(
                     }
                     let mut island = cells[idx].lock().expect("no poisoned islands");
                     island.run_until(b, island_handle::<I>);
-                    let (ne, hf, did_stage) = island_status(&mut island);
+                    let (ne, hf, did_stage) = island_status_after_run::<I>(&mut island, b);
                     drop(island);
                     meta[idx].publish(ne, hf, did_stage);
                 }
@@ -1440,6 +1535,14 @@ fn run_phases_par<const I: bool>(
             }
             sort_pool(&mut pool, ctl.unsorted());
             ctl.corrupt_pool(&mut pool);
+            ctl.on_phase(
+                t,
+                b,
+                active as u64,
+                (order.len() - active) as u64,
+                pool.len(),
+                stretched,
+            );
             if !probed && b >= checkpoint {
                 probe();
                 probed = true;
@@ -1467,6 +1570,8 @@ fn run_phases_par<const I: bool>(
                 };
                 if proceed {
                     inject_relay::<I>(&mut island, &p.relay);
+                    counters.relays_injected += 1;
+                    ctl.on_injected(t, p.relay.pic, p.seq);
                 }
                 drop(island);
                 // ord: Acquire/Release — coordinator-only read-modify of
@@ -1540,6 +1645,17 @@ pub struct ScatternetReport {
     pub islands_claimed: u64,
     /// Cross-island relays staged through the coordinator pool.
     pub relays_staged: u64,
+    /// Phases whose boundary was widened past at least one calendar
+    /// window start because no source island could hold chain traffic.
+    pub widening_stretches: u64,
+    /// Idle islands skipped without a claim (nothing due by the
+    /// boundary), summed over all rounds. Zero with batching off.
+    pub islands_skipped_idle: u64,
+    /// Pooled relays actually injected into their target islands. Clean
+    /// runs conserve relays: `relays_staged` equals `relays_injected`
+    /// plus the relays still pooled at run end (handoffs past the
+    /// horizon, reported by the sanitizer as `relays_leftover`).
+    pub relays_injected: u64,
 }
 
 impl ScatternetReport {
@@ -1588,12 +1704,14 @@ pub struct ScatternetSim {
 
 /// What [`ScatternetSim::run_inner`] hands back to its public wrappers:
 /// the report (withheld when the sanitizer halted the run), the sanitizer
-/// findings, and the event trace — each populated only when requested.
-type RunInnerOutput = (
-    Option<ScatternetReport>,
-    Option<SanitizerReport>,
-    Option<RunTrace>,
-);
+/// findings, the bisector event trace, and the observability outputs —
+/// each populated only when requested.
+struct RunInnerOutput {
+    report: Option<ScatternetReport>,
+    sanitizer: Option<SanitizerReport>,
+    trace: Option<RunTrace>,
+    observed: Option<crate::telemetry::ObservedParts>,
+}
 
 impl ScatternetSim {
     /// Builds a scatternet simulation.
@@ -1982,8 +2100,67 @@ impl ScatternetSim {
         horizon: SimTime,
         probe: &mut dyn FnMut(),
     ) -> Result<ScatternetReport, PiconetError> {
-        let (report, _, _) = self.run_inner(checkpoint, horizon, probe, false, None)?;
-        Ok(report.expect("uninstrumented runs always carry a report"))
+        let out = self.run_inner(checkpoint, horizon, probe, false, None, None)?;
+        Ok(out
+            .report
+            .expect("uninstrumented runs always carry a report"))
+    }
+
+    /// Runs to `horizon` with the observability layer enabled: a
+    /// deterministic structured trace (fixed-capacity per-track ring
+    /// buffers, sim-time keyed — byte-identical across thread counts and
+    /// claim orders) plus the pre-registered engine telemetry
+    /// ([`TelemetryReport`]). Plain [`run`](ScatternetSim::run) compiles
+    /// all of it out through the same const-generic seam as the
+    /// sanitizer.
+    ///
+    /// # Errors
+    ///
+    /// See [`ScatternetSim::run`].
+    pub fn run_observed(
+        self,
+        horizon: SimTime,
+        cfg: ObsConfig,
+    ) -> Result<ObservedRun, PiconetError> {
+        self.run_observed_probed(horizon, horizon, &mut || {}, cfg, Vec::new())
+    }
+
+    /// [`run_observed`](ScatternetSim::run_observed) with the
+    /// zero-allocation probe bracket of
+    /// [`run_probed`](ScatternetSim::run_probed), plus optional per-event
+    /// cost meters — one per island, in [`PiconetId`] order (or an empty
+    /// vector for none). Meters receive a `begin`/`end(tag)` pair around
+    /// every island event and are handed back on the
+    /// [`ObservedRun`]; wall-clock meters live in the harness crates
+    /// (`btgs-obs`), keeping ambient time out of the simulation.
+    ///
+    /// # Errors
+    ///
+    /// See [`ScatternetSim::run`]; additionally rejects a meter vector
+    /// whose length does not match the piconet count.
+    pub fn run_observed_probed(
+        self,
+        checkpoint: SimTime,
+        horizon: SimTime,
+        probe: &mut dyn FnMut(),
+        cfg: ObsConfig,
+        meters: Vec<Box<dyn EventMeter>>,
+    ) -> Result<ObservedRun, PiconetError> {
+        if !meters.is_empty() && meters.len() != self.islands.len() {
+            return Err(PiconetError(format!(
+                "{} event meters for {} piconets (provide one per island, or none)",
+                meters.len(),
+                self.islands.len()
+            )));
+        }
+        let out = self.run_inner(checkpoint, horizon, probe, false, None, Some((cfg, meters)))?;
+        let (trace, telemetry, meters) = out.observed.expect("observed runs carry their outputs");
+        Ok(ObservedRun {
+            report: out.report.expect("observed runs always carry a report"),
+            trace,
+            telemetry,
+            meters,
+        })
     }
 
     /// Runs to `horizon` with the causality sanitizer enabled: per-phase
@@ -2000,10 +2177,12 @@ impl ScatternetSim {
     ///
     /// See [`ScatternetSim::run`].
     pub fn run_sanitized(self, horizon: SimTime) -> Result<SanitizedRun, PiconetError> {
-        let (report, sanitizer, _) = self.run_inner(horizon, horizon, &mut || {}, true, None)?;
+        let out = self.run_inner(horizon, horizon, &mut || {}, true, None, None)?;
         Ok(SanitizedRun {
-            report,
-            sanitizer: sanitizer.expect("sanitized runs carry a sanitizer report"),
+            report: out.report,
+            sanitizer: out
+                .sanitizer
+                .expect("sanitized runs carry a sanitizer report"),
         })
     }
 
@@ -2021,11 +2200,10 @@ impl ScatternetSim {
         horizon: SimTime,
         trace: TraceConfig,
     ) -> Result<(ScatternetReport, RunTrace), PiconetError> {
-        let (report, _, trace) =
-            self.run_inner(horizon, horizon, &mut || {}, false, Some(trace))?;
+        let out = self.run_inner(horizon, horizon, &mut || {}, false, Some(trace), None)?;
         Ok((
-            report.expect("traced runs always carry a report"),
-            trace.expect("traced runs carry a trace"),
+            out.report.expect("traced runs always carry a report"),
+            out.trace.expect("traced runs carry a trace"),
         ))
     }
 
@@ -2052,6 +2230,7 @@ impl ScatternetSim {
         probe: &mut dyn FnMut(),
         sanitize: bool,
         trace: Option<TraceConfig>,
+        obs: Option<(ObsConfig, Vec<Box<dyn EventMeter>>)>,
     ) -> Result<RunInnerOutput, PiconetError> {
         // `self` is consumed, so a sim cannot run twice by construction.
         for (pic, island) in self.islands.iter_mut().enumerate() {
@@ -2076,28 +2255,40 @@ impl ScatternetSim {
         }
 
         // Instrumentation: install the per-island probes (sanitizer state,
-        // trace sinks) and the coordinator-side control. All of it is
-        // behind the `I` monomorphisation seam — default runs never touch
-        // any of this beyond a handful of `Option::None` branches per
-        // round.
-        let instrumented = sanitize || trace.is_some();
+        // trace sinks, observability recorders) and the coordinator-side
+        // control. All of it is behind the `I` monomorphisation seam —
+        // default runs never touch any of this beyond a handful of
+        // `Option::None` branches per round.
+        let (obs_cfg, obs_meters) = match obs {
+            Some((cfg, meters)) => (Some(cfg), meters),
+            None => (None, Vec::new()),
+        };
+        let instrumented = sanitize || trace.is_some() || obs_cfg.is_some();
         let tripped = Arc::new(AtomicBool::new(false));
         if instrumented {
+            // An empty meter vector yields `None` for every island.
+            let mut meters = obs_meters.into_iter();
             for island in self.islands.iter_mut() {
                 let st = island.state_mut();
+                let island_obs = obs_cfg
+                    .as_ref()
+                    .map(|cfg| IslandObs::new(st.pic, cfg, meters.next()));
                 st.probe = Some(Box::new(IslandProbe::new(
                     st.pic,
                     Arc::clone(&tripped),
                     sanitize,
                     trace.as_ref(),
+                    island_obs,
                 )));
             }
         }
+        let mut coord_obs = obs_cfg.as_ref().map(CoordObs::new);
         let mut san = sanitize.then(|| EngineSanitizer::new(Arc::clone(&tripped)));
         let mut muts = self.mutation.map(MutationState::new);
         let mut ctl = EngineCtl {
             san: san.as_mut(),
             muts: muts.as_mut(),
+            obs: coord_obs.as_mut(),
         };
 
         // The island visit order: identity, or a deterministic shuffle to
@@ -2224,6 +2415,9 @@ impl ScatternetSim {
             barrier_rounds: counters.barrier_rounds,
             islands_claimed: counters.islands_claimed,
             relays_staged: counters.relays_staged,
+            widening_stretches: counters.widening_stretches,
+            islands_skipped_idle: counters.islands_skipped_idle,
+            relays_injected: counters.relays_injected,
         };
 
         let sanitizer = san.map(|mut s| {
@@ -2233,14 +2427,22 @@ impl ScatternetSim {
         let run_trace = trace.is_some().then(|| RunTrace {
             islands: probes.iter_mut().map(IslandProbe::take_trace).collect(),
         });
+        let observed = coord_obs.map(|coord| {
+            let island_obs: Vec<IslandObs> = probes
+                .iter_mut()
+                .filter_map(IslandProbe::take_obs)
+                .collect();
+            crate::telemetry::assemble(coord, island_obs, &counters, &report)
+        });
         // ord: Relaxed — every engine participant has joined or unlocked
         // by now; this is a post-run summary read.
         let halted = sanitize && tripped.load(Ordering::Relaxed);
-        Ok((
-            if halted { None } else { Some(report) },
+        Ok(RunInnerOutput {
+            report: if halted { None } else { Some(report) },
             sanitizer,
-            run_trace,
-        ))
+            trace: run_trace,
+            observed,
+        })
     }
 }
 

@@ -130,6 +130,21 @@ pub(crate) enum Ev {
     Relay { flow_idx: usize, pkt: AppPacket },
 }
 
+impl btgs_des::Tagged for Ev {
+    const TAG_NAMES: &'static [&'static str] =
+        &["arrival", "wake", "exchange_done", "sco_done", "relay"];
+
+    fn tag(&self) -> u8 {
+        match self {
+            Ev::Arrival { .. } => 0,
+            Ev::Wake => 1,
+            Ev::ExchangeDone => 2,
+            Ev::ScoDone { .. } => 3,
+            Ev::Relay { .. } => 4,
+        }
+    }
+}
+
 pub(crate) struct SourceSlot {
     pub(crate) source: Box<dyn Source>,
     pub(crate) target: Target,

@@ -20,11 +20,14 @@ use btgs_piconet::{bisect_runs, EngineMutation, SanitizerCheck, ScatternetSim};
 
 /// The engine-observability counters excluded from byte-identity, exactly
 /// as in `tests/parallel_equivalence.rs`.
-const ENGINE_COUNTERS: [&str; 4] = [
+const ENGINE_COUNTERS: [&str; 7] = [
     "phases_run",
     "barrier_rounds",
     "islands_claimed",
     "relays_staged",
+    "widening_stretches",
+    "islands_skipped_idle",
+    "relays_injected",
 ];
 
 const HORIZON: SimTime = SimTime::from_millis(1500);
@@ -79,6 +82,19 @@ fn clean_engine_has_zero_findings_across_corpus() {
             assert!(
                 run.sanitizer.relays_tracked > 0,
                 "{label}: sanitizer tracked no relays — corpus traffic never bridges"
+            );
+            // Conservation, now confirmable from the report alone: every
+            // staged relay was injected or is still pooled at the horizon.
+            let report = run.report.as_ref().expect("checked above");
+            assert!(
+                report.relays_injected <= report.relays_staged,
+                "{label}: more relays injected than staged"
+            );
+            assert_eq!(
+                report.relays_staged,
+                report.relays_injected + run.sanitizer.relays_leftover,
+                "{label} at {threads} threads: staged relays neither injected \
+                 nor pooled at the horizon"
             );
         }
     }

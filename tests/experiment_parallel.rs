@@ -23,6 +23,7 @@ fn grid_4x8() -> ScenarioGrid {
         include_be: true,
         be_load_scale: vec![1.0],
         be_source_mix: BeSourceMix::Cbr,
+        telemetry: false,
     }
 }
 
@@ -78,6 +79,7 @@ fn scatternet_axis_runs_under_the_experiment_runner() {
         include_be: true,
         be_load_scale: vec![1.0],
         be_source_mix: BeSourceMix::Cbr,
+        telemetry: false,
     };
     assert_eq!(
         grid.cells().len(),
@@ -157,6 +159,7 @@ fn grid_report_is_invariant_to_completion_order() {
         include_be: true,
         be_load_scale: vec![1.0],
         be_source_mix: BeSourceMix::Cbr,
+        telemetry: false,
     };
     let cells = grid.cells();
     let results: Vec<_> = cells.iter().map(GridCell::run).collect();
@@ -208,6 +211,7 @@ fn streaming_execution_matches_collected_execution() {
         include_be: true,
         be_load_scale: vec![1.0],
         be_source_mix: BeSourceMix::Cbr,
+        telemetry: false,
     };
     let reference = ExperimentRunner::with_threads(1).run_grid(&grid);
     for threads in [1, 4] {
@@ -239,6 +243,7 @@ fn be_load_axis_scales_offered_load_across_mixes() {
         include_be: true,
         be_load_scale: vec![scale],
         be_source_mix: mix,
+        telemetry: false,
     };
     let be_offered = |grid: &ScenarioGrid| -> u64 {
         let report = ExperimentRunner::new().run_grid(grid);
@@ -297,6 +302,7 @@ fn repeated_parallel_runs_are_stable() {
         include_be: false,
         be_load_scale: vec![1.0],
         be_source_mix: BeSourceMix::Cbr,
+        telemetry: false,
     };
     let a = ExperimentRunner::with_threads(4).run_grid(&grid);
     let b = ExperimentRunner::with_threads(4).run_grid(&grid);

@@ -11,9 +11,10 @@
 //! the event count — is byte-identical across thread counts, topologies
 //! (mesh included), pollers, seeds, a deterministically shuffled island
 //! claim order, and all four widening × batching combinations. Only the
-//! four engine-observability counters (`phases_run`, `barrier_rounds`,
-//! `islands_claimed`, `relays_staged`) are excluded: they describe the
-//! execution, not the simulation.
+//! engine-observability counters (`phases_run`, `barrier_rounds`,
+//! `islands_claimed`, `relays_staged`, `relays_injected`,
+//! `widening_stretches`, `islands_skipped_idle`) are excluded: they
+//! describe the execution, not the simulation.
 //!
 //! [`ScatternetReport`]: btgs::piconet::ScatternetReport
 
@@ -23,11 +24,14 @@ use btgs::des::{SimDuration, SimTime};
 /// The engine-observability counter fields excluded from byte-identity
 /// (`events_processed` stays in: the same events fire in every
 /// configuration).
-const ENGINE_COUNTERS: [&str; 4] = [
+const ENGINE_COUNTERS: [&str; 7] = [
     "phases_run",
     "barrier_rounds",
     "islands_claimed",
     "relays_staged",
+    "widening_stretches",
+    "islands_skipped_idle",
+    "relays_injected",
 ];
 
 #[derive(Clone, Copy)]
@@ -181,6 +185,89 @@ fn island_claim_order_is_free_of_observable_effects() {
             assert_eq!(
                 base, shuffled,
                 "island shuffle {shuffle} with {threads} threads changed the report"
+            );
+        }
+    }
+}
+
+#[test]
+fn tracing_on_reports_and_traces_are_byte_identical() {
+    // The observability twin of the byte-identity contract. With the
+    // trace ring and telemetry registry switched ON: (a) the simulated
+    // report must not move by a byte relative to the plain engine, and
+    // (b) the exported Perfetto trace itself must be byte-identical
+    // across thread counts and shuffled claim orders — the merged
+    // record order `(start_ns, track, seq)` is a total order derived
+    // from simulated time, never from which OS thread ran an island.
+    use btgs::piconet::ObsConfig;
+    use btgs_obs::perfetto_trace_json;
+
+    let horizon = SimTime::from_secs(2);
+    let observed = |knobs: EngineKnobs| -> (String, String) {
+        let params = params_for("chain", 7);
+        let piconets = params.piconets as usize;
+        let mut sim = ScatternetScenario::build(params)
+            .simulator(PollerKind::PfpGs)
+            .expect("scenario builds")
+            .with_threads(knobs.threads)
+            .with_phase_widening(knobs.widening)
+            .with_phase_batching(knobs.batching);
+        if let Some(seed) = knobs.shuffle {
+            sim = sim.with_island_shuffle(seed);
+        }
+        let run = sim
+            .run_observed(horizon, ObsConfig::default())
+            .expect("scenario runs");
+        let filtered = format!("{:#?}", run.report)
+            .lines()
+            .filter(|l| !ENGINE_COUNTERS.iter().any(|c| l.contains(c)))
+            .collect::<Vec<_>>()
+            .join("\n");
+        (filtered, perfetto_trace_json(&run.trace, piconets))
+    };
+
+    let plain = digest(
+        params_for("chain", 7),
+        PollerKind::PfpGs,
+        EngineKnobs::default_engine(1),
+        horizon,
+    );
+    let (base_report, base_trace) = observed(EngineKnobs::default_engine(1));
+    assert_eq!(
+        plain, base_report,
+        "switching instrumentation on moved the simulated report"
+    );
+    assert!(
+        base_trace.contains("\"traceEvents\""),
+        "exporter produced a trace envelope"
+    );
+    for threads in [2usize, 4] {
+        let (report, trace) = observed(EngineKnobs::default_engine(threads));
+        assert_eq!(
+            plain, report,
+            "observed report diverged at {threads} threads"
+        );
+        assert_eq!(
+            base_trace, trace,
+            "exported trace diverged at {threads} threads"
+        );
+    }
+    for shuffle in [3u64, 99] {
+        for threads in [2usize, 4] {
+            let knobs = EngineKnobs {
+                threads,
+                shuffle: Some(shuffle),
+                widening: true,
+                batching: true,
+            };
+            let (report, trace) = observed(knobs);
+            assert_eq!(
+                plain, report,
+                "observed report diverged (shuffle {shuffle}, {threads} threads)"
+            );
+            assert_eq!(
+                base_trace, trace,
+                "exported trace diverged (shuffle {shuffle}, {threads} threads)"
             );
         }
     }
